@@ -1,0 +1,61 @@
+package neptune
+
+import "repro/internal/graph"
+
+// GraphBuilder assembles a GraphSpec fluently. Errors are deferred to
+// Build so call chains stay clean.
+type GraphBuilder struct {
+	spec graph.Spec
+}
+
+// NewGraph starts a builder for a job named name.
+func NewGraph(name string) *GraphBuilder {
+	return &GraphBuilder{spec: graph.Spec{Name: name}}
+}
+
+// Source declares a stream source with the given parallelism (0 means 1).
+func (b *GraphBuilder) Source(name string, parallelism int) *GraphBuilder {
+	b.spec.Operators = append(b.spec.Operators, graph.OperatorSpec{
+		Name: name, Kind: graph.KindSource, Parallelism: parallelism,
+	})
+	return b
+}
+
+// Processor declares a stream processor with the given parallelism
+// (0 means 1).
+func (b *GraphBuilder) Processor(name string, parallelism int) *GraphBuilder {
+	b.spec.Operators = append(b.spec.Operators, graph.OperatorSpec{
+		Name: name, Kind: graph.KindProcessor, Parallelism: parallelism,
+	})
+	return b
+}
+
+// Link connects from -> to with the named partitioning scheme ("" means
+// shuffle). The link's name defaults to "from->to".
+func (b *GraphBuilder) Link(from, to, partitioner string) *GraphBuilder {
+	b.spec.Links = append(b.spec.Links, graph.LinkSpec{
+		From: from, To: to, Partitioner: partitioner,
+	})
+	return b
+}
+
+// NamedLink is Link with an explicit link name, for operators that emit on
+// multiple outgoing links via OpContext.Emit(name, p).
+func (b *GraphBuilder) NamedLink(name, from, to, partitioner string) *GraphBuilder {
+	b.spec.Links = append(b.spec.Links, graph.LinkSpec{
+		Name: name, From: from, To: to, Partitioner: partitioner,
+	})
+	return b
+}
+
+// Build normalizes and validates the graph.
+func (b *GraphBuilder) Build() (*GraphSpec, error) {
+	spec := b.spec // copy: the builder can keep being used
+	spec.Operators = append([]graph.OperatorSpec(nil), b.spec.Operators...)
+	spec.Links = append([]graph.LinkSpec(nil), b.spec.Links...)
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}

@@ -1,0 +1,72 @@
+// Command neptune-bench regenerates the paper's evaluation: every table
+// and figure has a corresponding experiment whose output mirrors the rows
+// or series the paper reports.
+//
+// Usage:
+//
+//	neptune-bench -exp all                 # everything (several minutes)
+//	neptune-bench -exp fig7                # one artifact
+//	neptune-bench -exp table1 -runtime 2s  # longer measurement windows
+//
+// Experiments: fig2, table1, objreuse, fig4, compression, fig5, fig6,
+// fig7, fig9, fig10, headline, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2|table1|objreuse|fig4|compression|fig5|fig6|fig7|fig7-engine|fig9|fig10|headline|ablation|all)")
+	runtime := flag.Duration("runtime", 400*time.Millisecond, "measurement window per real-engine run")
+	trials := flag.Int("trials", 5, "trials for statistical experiments")
+	flag.Parse()
+
+	opts := experiments.Options{EngineRunTime: *runtime, Trials: *trials}
+
+	type entry struct {
+		id string
+		fn func() (*experiments.Table, error)
+	}
+	all := []entry{
+		{"fig2", func() (*experiments.Table, error) { return experiments.Fig2(opts) }},
+		{"table1", func() (*experiments.Table, error) { return experiments.Table1(opts) }},
+		{"objreuse", func() (*experiments.Table, error) { return experiments.ObjectReuse(opts) }},
+		{"fig4", func() (*experiments.Table, error) { return experiments.Fig4(opts) }},
+		{"compression", func() (*experiments.Table, error) { return experiments.Compression(opts) }},
+		{"fig5", experiments.Fig5},
+		{"fig6", experiments.Fig6},
+		{"fig7", experiments.Fig7},
+		{"fig7-engine", func() (*experiments.Table, error) { return experiments.VersusInProcess(opts) }},
+		{"fig9", experiments.Fig9},
+		{"fig10", experiments.Fig10},
+		{"headline", experiments.Headline},
+		{"ablation", func() (*experiments.Table, error) { return experiments.Ablation(opts) }},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tab, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "neptune-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s took %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "neptune-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Command neptune-relay runs the paper's Fig. 1 three-stage message relay
+// on the real engine — sender and receiver on one engine, the relay on a
+// second — and prints live throughput/latency once per second, the
+// workload behind Fig. 2, Table I, and the headline single-node number.
+//
+// Usage:
+//
+//	neptune-relay -msg 50 -buffer 1048576 -duration 10s
+//	neptune-relay -msg 10240 -buffer 16384 -flush 5ms -compress 6.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	msg := flag.Int("msg", 50, "message payload bytes")
+	buffer := flag.Int("buffer", 1<<20, "application-level buffer bytes")
+	flush := flag.Duration("flush", 10*time.Millisecond, "buffer flush timer bound")
+	duration := flag.Duration("duration", 10*time.Second, "run duration")
+	compress := flag.Float64("compress", 0, "compression entropy threshold in bits/byte (0 = off)")
+	batching := flag.Bool("batching", true, "batched scheduling")
+	pooling := flag.Bool("pooling", true, "object reuse")
+	flag.Parse()
+
+	fmt.Printf("three-stage relay: %dB messages, %s buffers, flush <= %v\n",
+		*msg, fmtBytes(*buffer), *flush)
+
+	var last uint64
+	var lastAt time.Duration
+	res, err := experiments.RunRelay(experiments.RelayConfig{
+		MsgBytes:             *msg,
+		BufferBytes:          *buffer,
+		FlushInterval:        *flush,
+		Batching:             *batching,
+		Pooling:              *pooling,
+		CompressionThreshold: *compress,
+		Duration:             *duration,
+		SampleEvery:          time.Second,
+		OnSample: func(elapsed time.Duration, received uint64) {
+			dt := (elapsed - lastAt).Seconds()
+			if dt > 0 {
+				fmt.Printf("  t=%-6s rate=%s total=%d\n",
+					elapsed.Round(time.Second),
+					metrics.FormatRate(float64(received-last)/dt),
+					received)
+			}
+			last, lastAt = received, elapsed
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neptune-relay: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndone: %d packets in %v\n", res.Received, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput : %s\n", metrics.FormatRate(res.Throughput))
+	fmt.Printf("  latency    : mean %v, p50 %v, p99 %v\n",
+		res.MeanLatency.Round(time.Microsecond),
+		res.P50Latency.Round(time.Microsecond),
+		res.P99Latency.Round(time.Microsecond))
+	fmt.Printf("  sender IO  : %d batches, %s payload\n", res.BatchesOut, fmtBytes(int(res.BytesOut)))
+	fmt.Printf("  relay node : %d context-switch equivalents\n", res.Switches)
+	fmt.Printf("  packet pool: %.1f%% hit rate\n", res.PoolHitRate*100)
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,112 @@
+// Quickstart: a minimal NEPTUNE stream processing job.
+//
+// A source emits temperature readings from four simulated sensors; a
+// keyed processor tracks each sensor's running average and flags
+// anomalies; a sink prints what it caught. The graph uses fields
+// partitioning so one instance always owns one sensor's state.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"sync/atomic"
+	"time"
+
+	neptune "repro"
+)
+
+const (
+	sensors  = 4
+	readings = 50_000
+)
+
+func main() {
+	spec, err := neptune.NewGraph("quickstart").
+		Source("readings", 1).
+		Processor("detect", 2).
+		Processor("report", 1).
+		Link("readings", "detect", "fields:sensor"). // key affinity
+		Link("detect", "report", "").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	job, err := neptune.NewJob(spec, neptune.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Source: synthetic temperature stream with occasional spikes.
+	var emitted atomic.Int64
+	job.SetSource("readings", func(int) neptune.Source {
+		return neptune.SourceFunc(func(ctx *neptune.OpContext) error {
+			i := emitted.Add(1) - 1
+			if i >= readings {
+				return io.EOF
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("sensor", i%sensors)
+			temp := 20 + 5*math.Sin(float64(i)/500)
+			if i%9973 == 0 { // rare spike
+				temp += 40
+			}
+			p.AddFloat64("temp", temp)
+			return ctx.EmitDefault(p)
+		})
+	})
+
+	// Keyed anomaly detector: per-sensor exponential moving average.
+	job.SetProcessor("detect", func(instance int) neptune.Processor {
+		ema := map[int64]float64{}
+		return neptune.ProcessorFunc(func(ctx *neptune.OpContext, p *neptune.Packet) error {
+			sensor, err := p.Int64("sensor")
+			if err != nil {
+				return err
+			}
+			temp, err := p.Float64("temp")
+			if err != nil {
+				return err
+			}
+			avg, seen := ema[sensor]
+			if !seen {
+				avg = temp
+			}
+			if seen && math.Abs(temp-avg) > 15 {
+				alert := ctx.NewPacket()
+				alert.AddInt64("sensor", sensor)
+				alert.AddFloat64("temp", temp)
+				alert.AddFloat64("expected", avg)
+				if err := ctx.EmitDefault(alert); err != nil {
+					return err
+				}
+			}
+			ema[sensor] = 0.98*avg + 0.02*temp
+			return nil
+		})
+	})
+
+	// Sink: print alerts.
+	var alerts atomic.Int64
+	job.SetProcessor("report", func(int) neptune.Processor {
+		return neptune.ProcessorFunc(func(ctx *neptune.OpContext, p *neptune.Packet) error {
+			sensor, _ := p.Int64("sensor")
+			temp, _ := p.Float64("temp")
+			expected, _ := p.Float64("expected")
+			fmt.Printf("ALERT sensor %d: %.1f°C (expected ~%.1f°C)\n", sensor, temp, expected)
+			alerts.Add(1)
+			return nil
+		})
+	})
+
+	start := time.Now()
+	if err := neptune.Run(job, time.Minute, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprocessed %d readings in %v (%d alerts)\n",
+		readings, time.Since(start).Round(time.Millisecond), alerts.Load())
+}

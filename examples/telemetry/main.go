@@ -1,0 +1,147 @@
+// Telemetry: offered-load ingestion with time-driven window emission.
+//
+// An IoT gateway pushes CPU-temperature telemetry at a fixed rate (the
+// source is wrapped with neptune.Throttle — sensors set the pace, not the
+// engine). A windowed processor keeps a sliding average per device and,
+// being a TickingProcessor, publishes a summary every 250 ms even when
+// the stream goes quiet — the emit-on-time pattern that NEPTUNE's
+// combined (data-driven + periodic) Granules scheduling enables.
+//
+//	go run ./examples/telemetry [-rate 5000] [-duration 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"sync/atomic"
+	"time"
+
+	neptune "repro"
+)
+
+const devices = 3
+
+func main() {
+	rate := flag.Float64("rate", 5000, "telemetry packets per second")
+	duration := flag.Duration("duration", 5*time.Second, "run duration")
+	flag.Parse()
+
+	spec, err := neptune.NewGraph("telemetry").
+		Source("gateway", 1).
+		Processor("window", 1).
+		Processor("dashboard", 1).
+		Link("gateway", "window", "fields:device").
+		Link("window", "dashboard", "").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	job, err := neptune.NewJob(spec, neptune.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var tick atomic.Int64
+	raw := neptune.SourceFunc(func(ctx *neptune.OpContext) error {
+		if stop.Load() {
+			return io.EOF
+		}
+		i := tick.Add(1)
+		p := ctx.NewPacket()
+		p.AddInt64("device", i%devices)
+		p.AddFloat64("temp", 55+8*math.Sin(float64(i)/2000)+float64(i%7)*0.1)
+		return ctx.EmitDefault(p)
+	})
+	job.SetSource("gateway", func(int) neptune.Source {
+		return neptune.Throttle(*rate, 64, raw)
+	})
+
+	job.SetProcessor("window", func(int) neptune.Processor {
+		return newWindower()
+	})
+
+	var summaries atomic.Int64
+	job.SetProcessor("dashboard", func(int) neptune.Processor {
+		return neptune.ProcessorFunc(func(ctx *neptune.OpContext, p *neptune.Packet) error {
+			dev, _ := p.Int64("device")
+			mean, _ := p.Float64("mean")
+			n, _ := p.Int64("n")
+			fmt.Printf("  device %d: sliding mean %.2f°C over %d samples\n", dev, mean, n)
+			summaries.Add(1)
+			return nil
+		})
+	})
+
+	if err := job.Launch(); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(*duration)
+	stop.Store(true)
+	if err := job.Stop(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d telemetry packets at %.0f/s produced %d window summaries\n",
+		tick.Load(), *rate, summaries.Load())
+}
+
+// windower keeps a sliding window per device and emits summaries on time.
+type windower struct {
+	wins map[int64]*neptune.SlidingCountWindow
+}
+
+func newWindower() *windower {
+	return &windower{wins: map[int64]*neptune.SlidingCountWindow{}}
+}
+
+// Open implements neptune.Processor.
+func (w *windower) Open(*neptune.OpContext) error { return nil }
+
+// Close implements neptune.Processor.
+func (w *windower) Close() error { return nil }
+
+// Process folds one reading into its device's window.
+func (w *windower) Process(ctx *neptune.OpContext, p *neptune.Packet) error {
+	dev, err := p.Int64("device")
+	if err != nil {
+		return err
+	}
+	temp, err := p.Float64("temp")
+	if err != nil {
+		return err
+	}
+	win := w.wins[dev]
+	if win == nil {
+		win, err = neptune.NewSlidingCountWindow(512)
+		if err != nil {
+			return err
+		}
+		w.wins[dev] = win
+	}
+	win.Add(temp)
+	return nil
+}
+
+// TickInterval implements neptune.TickingProcessor.
+func (w *windower) TickInterval() time.Duration { return 250 * time.Millisecond }
+
+// Tick publishes each device's current window summary.
+func (w *windower) Tick(ctx *neptune.OpContext) error {
+	for dev, win := range w.wins {
+		if win.Count() == 0 {
+			continue
+		}
+		out := ctx.NewPacket()
+		out.AddInt64("device", dev)
+		out.AddFloat64("mean", win.Mean())
+		out.AddInt64("n", int64(win.Count()))
+		if err := ctx.EmitDefault(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

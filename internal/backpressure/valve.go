@@ -1,0 +1,301 @@
+// Package backpressure implements NEPTUNE's flow-control mechanism
+// (paper §III-B4). Each stream processor's inbound buffer carries a high
+// and a low watermark: once buffered bytes reach the high watermark the
+// valve closes and IO threads may no longer write into the buffer; it
+// reopens only after worker threads drain it to the low watermark. The two
+// watermarks are kept apart to prevent the system from oscillating rapidly
+// between the open and closed states.
+//
+// In the real cluster this blocking propagates through TCP's sliding
+// window; in this reproduction the same effect arises because a blocked
+// writer stalls the sender's bounded outbound buffer, which in turn blocks
+// the upstream operator's emit call — throttling all the way back to the
+// stream source (Fig. 4).
+package backpressure
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned when the valve or queue has been shut down.
+var ErrClosed = errors.New("backpressure: closed")
+
+// Stats describes a valve's flow-control activity.
+type Stats struct {
+	// GateClosures counts transitions from open to gated.
+	GateClosures uint64
+	// BlockedAcquires counts Acquire calls that had to wait.
+	BlockedAcquires uint64
+	// BlockedTime is the cumulative time writers spent waiting.
+	BlockedTime time.Duration
+	// MaxLevel is the high-water mark of buffered bytes observed.
+	MaxLevel int64
+}
+
+// Valve is the watermark gate. It tracks a byte level; Acquire raises it
+// and blocks while the gate is closed, Release lowers it and reopens the
+// gate at the low watermark.
+type Valve struct {
+	high int64
+	low  int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	level   int64
+	gated   bool
+	closed  bool
+	stats   Stats
+	nowFunc func() time.Time
+}
+
+// NewValve creates a valve with the given watermarks (bytes). low must be
+// < high; both must be positive. The paper keeps them "sufficiently apart"
+// — a common split is low = high/2.
+func NewValve(low, high int64) (*Valve, error) {
+	if low <= 0 || high <= 0 || low >= high {
+		return nil, fmt.Errorf("backpressure: invalid watermarks low=%d high=%d", low, high)
+	}
+	v := &Valve{high: high, low: low, nowFunc: time.Now}
+	v.cond = sync.NewCond(&v.mu)
+	return v, nil
+}
+
+// MustValve is NewValve that panics on invalid watermarks; for use with
+// constant configuration.
+func MustValve(low, high int64) *Valve {
+	v, err := NewValve(low, high)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Acquire admits n bytes into the guarded buffer, blocking while the gate
+// is closed. A single admission may push the level above the high
+// watermark (packets are never split); the gate then closes for subsequent
+// writers. Returns ErrClosed if the valve is shut down before admission.
+func (v *Valve) Acquire(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("backpressure: negative acquire %d", n)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.gated && !v.closed {
+		v.stats.BlockedAcquires++
+		start := v.nowFunc()
+		for v.gated && !v.closed {
+			v.cond.Wait()
+		}
+		v.stats.BlockedTime += v.nowFunc().Sub(start)
+	}
+	if v.closed {
+		return ErrClosed
+	}
+	v.level += n
+	if v.level > v.stats.MaxLevel {
+		v.stats.MaxLevel = v.level
+	}
+	if !v.gated && v.level >= v.high {
+		v.gated = true
+		v.stats.GateClosures++
+	}
+	return nil
+}
+
+// TryAcquire is a non-blocking Acquire. It reports whether the bytes were
+// admitted.
+func (v *Valve) TryAcquire(n int64) (bool, error) {
+	if n < 0 {
+		return false, fmt.Errorf("backpressure: negative acquire %d", n)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return false, ErrClosed
+	}
+	if v.gated {
+		return false, nil
+	}
+	v.level += n
+	if v.level > v.stats.MaxLevel {
+		v.stats.MaxLevel = v.level
+	}
+	if v.level >= v.high {
+		v.gated = true
+		v.stats.GateClosures++
+	}
+	return true, nil
+}
+
+// Release removes n bytes from the guarded buffer. When a gated valve
+// drains to the low watermark it reopens and wakes all blocked writers.
+func (v *Valve) Release(n int64) {
+	if n < 0 {
+		return
+	}
+	v.mu.Lock()
+	v.level -= n
+	if v.level < 0 {
+		v.level = 0
+	}
+	if v.gated && v.level <= v.low {
+		v.gated = false
+		v.cond.Broadcast()
+	}
+	v.mu.Unlock()
+}
+
+// Level reports the current byte level.
+func (v *Valve) Level() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.level
+}
+
+// Gated reports whether the gate is currently closed to writers.
+func (v *Valve) Gated() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.gated
+}
+
+// Watermarks returns the configured low and high watermarks.
+func (v *Valve) Watermarks() (low, high int64) { return v.low, v.high }
+
+// Stats returns a snapshot of the valve's counters.
+func (v *Valve) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// Close shuts the valve down, unblocking all waiters with ErrClosed.
+func (v *Valve) Close() {
+	v.mu.Lock()
+	v.closed = true
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+// Queue is a bounded FIFO of byte-weighted items guarded by a Valve — the
+// inbound buffer of a stream processor. Push blocks when the buffer is
+// above the high watermark; Pop drains it and reopens the gate at the low
+// watermark.
+type Queue[T any] struct {
+	valve *Valve
+
+	mu     sync.Mutex
+	nempty *sync.Cond
+	items  []queued[T]
+	head   int
+	closed bool
+}
+
+type queued[T any] struct {
+	item  T
+	bytes int64
+}
+
+// NewQueue creates a queue guarded by watermarks (see NewValve).
+func NewQueue[T any](low, high int64) (*Queue[T], error) {
+	v, err := NewValve(low, high)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue[T]{valve: v}
+	q.nempty = sync.NewCond(&q.mu)
+	return q, nil
+}
+
+// Push enqueues item weighing bytes, blocking while the valve is gated.
+func (q *Queue[T]) Push(item T, bytes int64) error {
+	if err := q.valve.Acquire(bytes); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.valve.Release(bytes)
+		return ErrClosed
+	}
+	q.items = append(q.items, queued[T]{item: item, bytes: bytes})
+	q.nempty.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// Pop dequeues the oldest item, blocking until one is available. The
+// item's bytes are released from the valve, potentially reopening the gate.
+// The second result is false when the queue is closed and drained.
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	for len(q.items)-q.head == 0 && !q.closed {
+		q.nempty.Wait()
+	}
+	if len(q.items)-q.head == 0 {
+		q.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	it := q.items[q.head]
+	var zero queued[T]
+	q.items[q.head] = zero // release reference for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.mu.Unlock()
+	q.valve.Release(it.bytes)
+	return it.item, true
+}
+
+// TryPop is a non-blocking Pop.
+func (q *Queue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	if len(q.items)-q.head == 0 {
+		q.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	it := q.items[q.head]
+	var zero queued[T]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.mu.Unlock()
+	q.valve.Release(it.bytes)
+	return it.item, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// Level reports buffered bytes (the valve level).
+func (q *Queue[T]) Level() int64 { return q.valve.Level() }
+
+// Gated reports whether producers are currently blocked.
+func (q *Queue[T]) Gated() bool { return q.valve.Gated() }
+
+// Stats returns the underlying valve's counters.
+func (q *Queue[T]) Stats() Stats { return q.valve.Stats() }
+
+// Close shuts the queue down: blocked Push calls fail with ErrClosed and
+// Pop drains remaining items before reporting closure.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.nempty.Broadcast()
+	q.mu.Unlock()
+	q.valve.Close()
+}

@@ -1,0 +1,412 @@
+package backpressure
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewValveValidation(t *testing.T) {
+	bad := [][2]int64{{0, 10}, {10, 0}, {10, 10}, {20, 10}, {-1, 5}}
+	for _, c := range bad {
+		if _, err := NewValve(c[0], c[1]); err == nil {
+			t.Errorf("NewValve(%d, %d) accepted", c[0], c[1])
+		}
+	}
+	if _, err := NewValve(5, 10); err != nil {
+		t.Fatalf("valid watermarks rejected: %v", err)
+	}
+}
+
+func TestMustValvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustValve should panic on invalid watermarks")
+		}
+	}()
+	MustValve(10, 5)
+}
+
+func TestValveGatesAtHighWatermark(t *testing.T) {
+	v := MustValve(50, 100)
+	if err := v.Acquire(99); err != nil {
+		t.Fatal(err)
+	}
+	if v.Gated() {
+		t.Fatal("gated below high watermark")
+	}
+	if err := v.Acquire(1); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Gated() {
+		t.Fatal("not gated at high watermark")
+	}
+	if v.Level() != 100 {
+		t.Fatalf("Level = %d", v.Level())
+	}
+}
+
+func TestValveHysteresis(t *testing.T) {
+	v := MustValve(50, 100)
+	v.Acquire(100)
+	// Draining to just above low keeps the gate closed.
+	v.Release(49)
+	if !v.Gated() {
+		t.Fatal("gate opened above low watermark (no hysteresis)")
+	}
+	// Reaching low reopens.
+	v.Release(1)
+	if v.Gated() {
+		t.Fatal("gate still closed at low watermark")
+	}
+	if s := v.Stats(); s.GateClosures != 1 {
+		t.Fatalf("GateClosures = %d", s.GateClosures)
+	}
+}
+
+func TestValveBlocksAndUnblocksWriter(t *testing.T) {
+	v := MustValve(10, 100)
+	v.Acquire(100) // gate closes
+	done := make(chan error, 1)
+	go func() {
+		done <- v.Acquire(5)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Acquire should have blocked while gated")
+	case <-time.After(20 * time.Millisecond):
+	}
+	v.Release(90) // level 10 <= low: reopen
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked writer never woke")
+	}
+	if v.Level() != 15 {
+		t.Fatalf("Level = %d, want 15", v.Level())
+	}
+	s := v.Stats()
+	if s.BlockedAcquires != 1 || s.BlockedTime <= 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestValveTryAcquire(t *testing.T) {
+	v := MustValve(10, 100)
+	ok, err := v.TryAcquire(100)
+	if !ok || err != nil {
+		t.Fatalf("TryAcquire = %v, %v", ok, err)
+	}
+	ok, err = v.TryAcquire(1)
+	if ok || err != nil {
+		t.Fatalf("gated TryAcquire = %v, %v", ok, err)
+	}
+	v.Close()
+	if _, err := v.TryAcquire(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryAcquire after close = %v", err)
+	}
+}
+
+func TestValveNegativeAcquire(t *testing.T) {
+	v := MustValve(10, 100)
+	if err := v.Acquire(-1); err == nil {
+		t.Fatal("negative Acquire accepted")
+	}
+	if _, err := v.TryAcquire(-1); err == nil {
+		t.Fatal("negative TryAcquire accepted")
+	}
+	v.Release(-5) // must be a no-op, not corrupt the level
+	if v.Level() != 0 {
+		t.Fatalf("Level = %d after negative release", v.Level())
+	}
+}
+
+func TestValveReleaseClampsAtZero(t *testing.T) {
+	v := MustValve(10, 100)
+	v.Acquire(5)
+	v.Release(50)
+	if v.Level() != 0 {
+		t.Fatalf("Level = %d, want clamp to 0", v.Level())
+	}
+}
+
+func TestValveCloseUnblocksWaiters(t *testing.T) {
+	v := MustValve(10, 100)
+	v.Acquire(100)
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- v.Acquire(1)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	v.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("waiter err = %v, want ErrClosed", err)
+		}
+	}
+	if err := v.Acquire(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Acquire after close = %v", err)
+	}
+}
+
+func TestValveMaxLevelStat(t *testing.T) {
+	v := MustValve(10, 1000)
+	v.Acquire(700)
+	v.Release(600)
+	v.Acquire(100)
+	if s := v.Stats(); s.MaxLevel != 700 {
+		t.Fatalf("MaxLevel = %d, want 700", s.MaxLevel)
+	}
+}
+
+func TestValveWatermarks(t *testing.T) {
+	v := MustValve(3, 9)
+	lo, hi := v.Watermarks()
+	if lo != 3 || hi != 9 {
+		t.Fatalf("Watermarks = %d/%d", lo, hi)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q, err := NewQueue[int](10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := q.Push(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 5 || q.Level() != 5 {
+		t.Fatalf("Len/Level = %d/%d", q.Len(), q.Level())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %v, %v; want %d", v, ok, i)
+		}
+	}
+	if q.Level() != 0 {
+		t.Fatalf("Level = %d after drain", q.Level())
+	}
+}
+
+func TestQueueBackpressureEndToEnd(t *testing.T) {
+	// A slow consumer must throttle a fast producer to its rate — the
+	// mechanism behind Fig. 4.
+	q, err := NewQueue[int](512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var produced, consumed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	const total = 500
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := q.Push(i, 64); err != nil {
+				t.Error(err)
+				return
+			}
+			produced.Add(1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if _, ok := q.Pop(); !ok {
+				t.Error("queue closed early")
+				return
+			}
+			consumed.Add(1)
+			if i%50 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	if produced.Load() != total || consumed.Load() != total {
+		t.Fatalf("produced/consumed = %d/%d", produced.Load(), consumed.Load())
+	}
+	// The producer must have been gated at least once: it produces much
+	// faster than the consumer drains and the window is 16 items.
+	if q.Stats().GateClosures == 0 {
+		t.Fatal("producer was never throttled")
+	}
+}
+
+func TestQueueInOrderUnderThrottle(t *testing.T) {
+	q, _ := NewQueue[int](64, 128)
+	const total = 1000
+	go func() {
+		for i := 0; i < total; i++ {
+			q.Push(i, 16)
+		}
+		q.Close()
+	}()
+	prev := -1
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v != prev+1 {
+			t.Fatalf("out of order: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if prev != total-1 {
+		t.Fatalf("drained %d items, want %d", prev+1, total)
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	q, _ := NewQueue[string](10, 100)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue returned ok")
+	}
+	q.Push("x", 1)
+	v, ok := q.TryPop()
+	if !ok || v != "x" {
+		t.Fatalf("TryPop = %q, %v", v, ok)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q, _ := NewQueue[int](10, 100)
+	q.Push(1, 1)
+	q.Push(2, 1)
+	q.Close()
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop after close = %v, %v", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop after close = %v, %v", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop past drain should report closed")
+	}
+	if err := q.Push(3, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push after close = %v", err)
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q, _ := NewQueue[int](10, 100)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop on closed empty queue returned ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop never unblocked")
+	}
+}
+
+func TestQueueCloseUnblocksPush(t *testing.T) {
+	q, _ := NewQueue[int](10, 20)
+	q.Push(0, 20) // gate closes
+	done := make(chan error, 1)
+	go func() { done <- q.Push(1, 1) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Push = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Push never unblocked")
+	}
+}
+
+func TestQueueInvalidWatermarks(t *testing.T) {
+	if _, err := NewQueue[int](100, 10); err == nil {
+		t.Fatal("invalid watermarks accepted")
+	}
+}
+
+func TestQueueConcurrentProducersConservation(t *testing.T) {
+	q, _ := NewQueue[uint64](1024, 4096)
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(base+uint64(i), 32); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(p) << 32)
+	}
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				return
+			}
+			mu.Lock()
+			if seen[v] {
+				t.Errorf("duplicate item %d", v)
+			}
+			seen[v] = true
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("saw %d items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func BenchmarkValveAcquireRelease(b *testing.B) {
+	v := MustValve(1<<19, 1<<20)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := v.Acquire(64); err != nil {
+				b.Fatal(err)
+			}
+			v.Release(64)
+		}
+	})
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q, _ := NewQueue[int](1<<19, 1<<20)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Push(1, 64)
+			q.TryPop()
+		}
+	})
+}

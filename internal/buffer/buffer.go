@@ -1,0 +1,285 @@
+// Package buffer implements NEPTUNE's application-level buffering
+// (paper §III-B1). Outbound stream packets are accumulated per link in a
+// capacity-based buffer — sized in bytes, not message count, so streams of
+// mixed packet sizes flush as soon as the byte threshold is reached — and
+// each buffer carries a timer that guarantees a flush within a bounded
+// delay of the first message, putting a soft upper bound on end-to-end
+// latency even for low-rate streams.
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// FlushReason records why a batch left the buffer.
+type FlushReason uint8
+
+// Flush reasons.
+const (
+	// FlushCapacity: the byte threshold was reached.
+	FlushCapacity FlushReason = iota
+	// FlushTimer: the per-buffer timer fired before capacity was reached.
+	FlushTimer
+	// FlushManual: the owner forced a flush.
+	FlushManual
+	// FlushClose: the buffer was closed with packets pending.
+	FlushClose
+)
+
+// String names the reason.
+func (r FlushReason) String() string {
+	switch r {
+	case FlushCapacity:
+		return "capacity"
+	case FlushTimer:
+		return "timer"
+	case FlushManual:
+		return "manual"
+	case FlushClose:
+		return "close"
+	default:
+		return "unknown"
+	}
+}
+
+// Flusher consumes a flushed batch. The batch slice is owned by the buffer
+// and reused for a later batch once Flusher returns; implementations must
+// finish with (or copy) the packets before returning. bytes is the summed
+// wire size of the batch.
+type Flusher func(batch []*packet.Packet, bytes int, reason FlushReason)
+
+// ErrClosed is returned by Add after Close.
+var ErrClosed = errors.New("buffer: closed")
+
+// Stats counts buffer activity by flush reason.
+type Stats struct {
+	Packets       uint64
+	Bytes         uint64
+	CapacityFlush uint64
+	TimerFlush    uint64
+	ManualFlush   uint64
+	CloseFlush    uint64
+	LargestBatch  int
+	SmallestBatch int // smallest non-empty batch
+	TimerResets   uint64
+}
+
+// Flushes returns the total number of flushes.
+func (s Stats) Flushes() uint64 {
+	return s.CapacityFlush + s.TimerFlush + s.ManualFlush + s.CloseFlush
+}
+
+// MeanBatchPackets returns the average packets per flush.
+func (s Stats) MeanBatchPackets() float64 {
+	f := s.Flushes()
+	if f == 0 {
+		return 0
+	}
+	return float64(s.Packets) / float64(f)
+}
+
+// CapacityBuffer accumulates packets until their summed wire size reaches
+// the capacity, or until maxDelay elapses from the first packet of the
+// current batch, whichever comes first. Both paths invoke the Flusher with
+// the batch. CapacityBuffer is safe for concurrent Add calls; flushes are
+// serialized.
+type CapacityBuffer struct {
+	capacity int
+	maxDelay time.Duration
+	flush    Flusher
+
+	mu       sync.Mutex
+	pending  []*packet.Packet
+	spare    []*packet.Packet // double buffer handed to the flusher
+	bytes    int
+	timer    *time.Timer
+	epoch    uint64 // invalidates in-flight timers after a flush
+	closed   bool
+	flushing sync.Mutex // serializes flusher invocations
+	stats    Stats
+}
+
+// New creates a buffer. capacity is the flush threshold in bytes
+// (minimum 1). maxDelay <= 0 disables the timer — packets then leave only
+// on capacity, manual flush, or close. flush must be non-nil.
+func New(capacity int, maxDelay time.Duration, flush Flusher) *CapacityBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if flush == nil {
+		panic("buffer: nil Flusher")
+	}
+	return &CapacityBuffer{
+		capacity: capacity,
+		maxDelay: maxDelay,
+		flush:    flush,
+	}
+}
+
+// Add appends p to the current batch, flushing synchronously (on the
+// caller's goroutine) when the byte threshold is reached. The first packet
+// of a batch arms the flush timer.
+func (b *CapacityBuffer) Add(p *packet.Packet) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.pending = append(b.pending, p)
+	b.bytes += p.WireSize()
+	if len(b.pending) == 1 && b.maxDelay > 0 {
+		b.armTimerLocked()
+	}
+	if b.bytes >= b.capacity {
+		batch, bytes := b.takeLocked()
+		b.mu.Unlock()
+		b.deliver(batch, bytes, FlushCapacity)
+		return nil
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// armTimerLocked starts (or restarts) the flush timer for the current
+// batch. Caller holds b.mu.
+func (b *CapacityBuffer) armTimerLocked() {
+	epoch := b.epoch
+	if b.timer != nil {
+		b.timer.Stop()
+		b.stats.TimerResets++
+	}
+	b.timer = time.AfterFunc(b.maxDelay, func() {
+		b.timerFire(epoch)
+	})
+}
+
+func (b *CapacityBuffer) timerFire(epoch uint64) {
+	b.mu.Lock()
+	if b.closed || b.epoch != epoch || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch, bytes := b.takeLocked()
+	b.mu.Unlock()
+	b.deliver(batch, bytes, FlushTimer)
+}
+
+// takeLocked swaps out the pending batch. Caller holds b.mu.
+func (b *CapacityBuffer) takeLocked() ([]*packet.Packet, int) {
+	batch := b.pending
+	bytes := b.bytes
+	b.pending = b.spare[:0]
+	b.spare = nil
+	b.bytes = 0
+	b.epoch++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch, bytes
+}
+
+// deliver runs the flusher outside b.mu, then recycles the batch slice.
+func (b *CapacityBuffer) deliver(batch []*packet.Packet, bytes int, reason FlushReason) {
+	if len(batch) == 0 {
+		return
+	}
+	b.flushing.Lock()
+	b.flush(batch, bytes, reason)
+	b.flushing.Unlock()
+
+	b.mu.Lock()
+	b.stats.Packets += uint64(len(batch))
+	b.stats.Bytes += uint64(bytes)
+	switch reason {
+	case FlushCapacity:
+		b.stats.CapacityFlush++
+	case FlushTimer:
+		b.stats.TimerFlush++
+	case FlushManual:
+		b.stats.ManualFlush++
+	case FlushClose:
+		b.stats.CloseFlush++
+	}
+	if len(batch) > b.stats.LargestBatch {
+		b.stats.LargestBatch = len(batch)
+	}
+	if b.stats.SmallestBatch == 0 || len(batch) < b.stats.SmallestBatch {
+		b.stats.SmallestBatch = len(batch)
+	}
+	// Park the slice for reuse by the next batch.
+	for i := range batch {
+		batch[i] = nil
+	}
+	if b.spare == nil {
+		b.spare = batch[:0]
+	}
+	b.mu.Unlock()
+}
+
+// Flush forces any pending packets out with FlushManual.
+func (b *CapacityBuffer) Flush() {
+	b.mu.Lock()
+	if b.closed || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch, bytes := b.takeLocked()
+	b.mu.Unlock()
+	b.deliver(batch, bytes, FlushManual)
+}
+
+// Close flushes any pending packets with FlushClose and rejects further
+// Adds. Close is idempotent.
+func (b *CapacityBuffer) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var batch []*packet.Packet
+	var bytes int
+	if len(b.pending) > 0 {
+		batch, bytes = b.takeLocked()
+	} else if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	if batch != nil {
+		// deliver checks stats under mu; closed buffers still record.
+		b.deliver(batch, bytes, FlushClose)
+	}
+}
+
+// Len reports the number of packets currently pending.
+func (b *CapacityBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// PendingBytes reports the wire size of the pending batch.
+func (b *CapacityBuffer) PendingBytes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes
+}
+
+// Capacity reports the configured flush threshold in bytes.
+func (b *CapacityBuffer) Capacity() int { return b.capacity }
+
+// MaxDelay reports the configured timer bound.
+func (b *CapacityBuffer) MaxDelay() time.Duration { return b.maxDelay }
+
+// Stats returns a snapshot of the buffer's counters.
+func (b *CapacityBuffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

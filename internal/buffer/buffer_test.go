@@ -1,0 +1,346 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func mkPacket(payload int) *packet.Packet {
+	p := &packet.Packet{}
+	p.AddBytes("payload", make([]byte, payload))
+	return p
+}
+
+type capture struct {
+	mu      sync.Mutex
+	batches [][]uint64 // sequence numbers per batch
+	bytes   []int
+	reasons []FlushReason
+}
+
+func (c *capture) flusher(batch []*packet.Packet, bytes int, reason FlushReason) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seqs := make([]uint64, len(batch))
+	for i, p := range batch {
+		seqs[i] = p.Seq
+	}
+	c.batches = append(c.batches, seqs)
+	c.bytes = append(c.bytes, bytes)
+	c.reasons = append(c.reasons, reason)
+}
+
+func (c *capture) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.batches)
+}
+
+func TestCapacityFlush(t *testing.T) {
+	c := &capture{}
+	// Each 100-byte-payload packet has a wire size slightly above 100;
+	// capacity 300 flushes on the third packet.
+	b := New(300, 0, c.flusher)
+	for i := 0; i < 3; i++ {
+		p := mkPacket(100)
+		p.Seq = uint64(i)
+		if err := b.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.count() != 1 {
+		t.Fatalf("flushes = %d, want 1", c.count())
+	}
+	if got := c.reasons[0]; got != FlushCapacity {
+		t.Fatalf("reason = %v", got)
+	}
+	if len(c.batches[0]) != 3 {
+		t.Fatalf("batch size = %d, want 3", len(c.batches[0]))
+	}
+	if b.Len() != 0 || b.PendingBytes() != 0 {
+		t.Fatal("buffer not drained after flush")
+	}
+}
+
+func TestFlushIrrespectiveOfMessageCount(t *testing.T) {
+	// The paper sizes buffers in bytes so a single large packet flushes
+	// immediately while many small ones batch together.
+	c := &capture{}
+	b := New(1024, 0, c.flusher)
+	if err := b.Add(mkPacket(2000)); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != 1 || len(c.batches[0]) != 1 {
+		t.Fatalf("oversized packet should flush alone: %+v", c.batches)
+	}
+}
+
+func TestTimerFlush(t *testing.T) {
+	c := &capture{}
+	b := New(1<<20, 20*time.Millisecond, c.flusher)
+	p := mkPacket(50)
+	p.Seq = 7
+	if err := b.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.count() != 1 {
+		t.Fatal("timer flush did not fire")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reasons[0] != FlushTimer {
+		t.Fatalf("reason = %v, want timer", c.reasons[0])
+	}
+	if len(c.batches[0]) != 1 || c.batches[0][0] != 7 {
+		t.Fatalf("batch = %v", c.batches[0])
+	}
+}
+
+func TestTimerDoesNotFireAfterCapacityFlush(t *testing.T) {
+	c := &capture{}
+	b := New(60, 10*time.Millisecond, c.flusher)
+	b.Add(mkPacket(100)) // flushes on capacity immediately
+	time.Sleep(50 * time.Millisecond)
+	if got := c.count(); got != 1 {
+		t.Fatalf("flushes = %d, want 1 (stale timer fired)", got)
+	}
+}
+
+func TestTimerRearmedPerBatch(t *testing.T) {
+	c := &capture{}
+	b := New(1<<20, 15*time.Millisecond, c.flusher)
+	b.Add(mkPacket(10))
+	waitFor(t, func() bool { return c.count() == 1 })
+	b.Add(mkPacket(10)) // new batch must arm a fresh timer
+	waitFor(t, func() bool { return c.count() == 2 })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reasons[0] != FlushTimer || c.reasons[1] != FlushTimer {
+		t.Fatalf("reasons = %v", c.reasons)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestManualFlush(t *testing.T) {
+	c := &capture{}
+	b := New(1<<20, 0, c.flusher)
+	b.Flush() // empty: no-op
+	if c.count() != 0 {
+		t.Fatal("empty Flush produced a batch")
+	}
+	b.Add(mkPacket(10))
+	b.Flush()
+	if c.count() != 1 || c.reasons[0] != FlushManual {
+		t.Fatalf("manual flush: %v", c.reasons)
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	c := &capture{}
+	b := New(1<<20, 0, c.flusher)
+	b.Add(mkPacket(10))
+	b.Close()
+	if c.count() != 1 || c.reasons[0] != FlushClose {
+		t.Fatalf("close flush: %v", c.reasons)
+	}
+	if err := b.Add(mkPacket(10)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+	b.Flush() // no-op after close
+	if c.count() != 1 {
+		t.Fatal("extra flush after close")
+	}
+}
+
+func TestCloseEmptyStopsTimer(t *testing.T) {
+	c := &capture{}
+	b := New(1<<20, 10*time.Millisecond, c.flusher)
+	b.Add(mkPacket(10))
+	b.Flush() // drain; timer epoch invalidated
+	b.Close()
+	time.Sleep(30 * time.Millisecond)
+	if c.count() != 1 {
+		t.Fatalf("flushes = %d, want 1", c.count())
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	c := &capture{}
+	b := New(1<<20, 0, c.flusher)
+	p1, p2 := mkPacket(100), mkPacket(200)
+	want := p1.WireSize() + p2.WireSize()
+	b.Add(p1)
+	b.Add(p2)
+	if got := b.PendingBytes(); got != want {
+		t.Fatalf("PendingBytes = %d, want %d", got, want)
+	}
+	b.Flush()
+	if c.bytes[0] != want {
+		t.Fatalf("flushed bytes = %d, want %d", c.bytes[0], want)
+	}
+}
+
+func TestConservationUnderConcurrency(t *testing.T) {
+	// Property: every packet added is flushed exactly once, in per-sender
+	// order (buffer-level conservation, the paper's no-drop guarantee).
+	var received atomic.Uint64
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	b := New(4096, 5*time.Millisecond, func(batch []*packet.Packet, bytes int, r FlushReason) {
+		mu.Lock()
+		for _, p := range batch {
+			seen[p.Seq]++
+		}
+		mu.Unlock()
+		received.Add(uint64(len(batch)))
+	})
+	const senders, perSender = 8, 2000
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				p := mkPacket(32)
+				p.Seq = base + uint64(i)
+				if err := b.Add(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(s) << 32)
+	}
+	wg.Wait()
+	b.Close()
+	if got := received.Load(); got != senders*perSender {
+		t.Fatalf("received %d packets, want %d", got, senders*perSender)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("packet %d delivered %d times", seq, n)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := &capture{}
+	b := New(250, 0, c.flusher)
+	for i := 0; i < 6; i++ {
+		b.Add(mkPacket(100)) // ~110 wire bytes; flush every 3rd... (>=250)
+	}
+	b.Add(mkPacket(10))
+	b.Flush()
+	b.Add(mkPacket(10))
+	b.Close()
+	s := b.Stats()
+	if s.Packets != 8 {
+		t.Fatalf("Packets = %d, want 8", s.Packets)
+	}
+	if s.CapacityFlush == 0 || s.ManualFlush != 1 || s.CloseFlush != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Flushes() != s.CapacityFlush+2 {
+		t.Fatalf("Flushes = %d", s.Flushes())
+	}
+	if s.MeanBatchPackets() <= 0 {
+		t.Fatal("MeanBatchPackets should be positive")
+	}
+	if s.LargestBatch < s.SmallestBatch {
+		t.Fatalf("batch extremes inverted: %+v", s)
+	}
+	var empty Stats
+	if empty.MeanBatchPackets() != 0 {
+		t.Fatal("empty stats MeanBatchPackets should be 0")
+	}
+}
+
+func TestFlushReasonString(t *testing.T) {
+	names := map[FlushReason]string{
+		FlushCapacity: "capacity", FlushTimer: "timer",
+		FlushManual: "manual", FlushClose: "close", FlushReason(99): "unknown",
+	}
+	for r, want := range names {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil flusher should panic")
+		}
+	}()
+	New(0, 0, nil)
+}
+
+func TestCapacityClamp(t *testing.T) {
+	c := &capture{}
+	b := New(0, 0, c.flusher)
+	if b.Capacity() != 1 {
+		t.Fatalf("Capacity = %d, want clamp to 1", b.Capacity())
+	}
+	if b.MaxDelay() != 0 {
+		t.Fatalf("MaxDelay = %v", b.MaxDelay())
+	}
+}
+
+func TestBatchSliceReuse(t *testing.T) {
+	// The flusher's batch slice must be recycled, not retained: verify a
+	// second batch arrives correctly after the first slice was reused.
+	var first, second []uint64
+	b := New(1, 0, func(batch []*packet.Packet, bytes int, r FlushReason) {
+		seqs := make([]uint64, len(batch))
+		for i, p := range batch {
+			seqs[i] = p.Seq
+		}
+		if first == nil {
+			first = seqs
+		} else {
+			second = seqs
+		}
+	})
+	p1 := mkPacket(10)
+	p1.Seq = 1
+	b.Add(p1)
+	p2 := mkPacket(10)
+	p2.Seq = 2
+	b.Add(p2)
+	if len(first) != 1 || first[0] != 1 || len(second) != 1 || second[0] != 2 {
+		t.Fatalf("batches corrupted by reuse: %v %v", first, second)
+	}
+}
+
+func BenchmarkAddSmallPackets(b *testing.B) {
+	buf := New(1<<20, 0, func(batch []*packet.Packet, bytes int, r FlushReason) {})
+	p := mkPacket(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Add(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

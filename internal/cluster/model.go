@@ -1,0 +1,595 @@
+// Package cluster models the paper's 50-node, 1 Gbps evaluation testbed so
+// the distributed experiments (Figs. 5, 6, 9, 10 and the headline cluster
+// numbers) can be regenerated on one machine. It is a steady-state flow
+// solver with a virtual-time latency model:
+//
+//   - Every node contributes CPU capacity (cores × 1 s of CPU per second,
+//     minus a scheduling-overhead penalty that grows once the node hosts
+//     more runnable threads than cores — the overprovisioning decline of
+//     Fig. 5) and two 1 Gbps NIC directions modeled by internal/netsim.
+//   - Every job contributes per-packet resource demands derived from an
+//     engine cost model (NEPTUNE or Storm). The solver finds the largest
+//     uniform per-job throughput such that no resource is oversubscribed;
+//     the binding resource is reported as the bottleneck.
+//   - Latency combines buffer residence, wire time, and processing; an
+//     engine without backpressure (Storm) whose source outruns a stage
+//     accumulates queue latency linearly over the measurement horizon,
+//     reproducing the Fig. 7 blow-up.
+//
+// The cost-model constants are calibrated against microbenchmarks of the
+// real in-process engine (see EXPERIMENTS.md); the shapes — who wins, by
+// what factor, where peaks fall — follow from the model structure, not
+// from fitting the paper's curves.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// EngineKind selects the cost model.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// Neptune: batched transfer, two-tier threading, pooled objects,
+	// watermark backpressure.
+	Neptune EngineKind = iota
+	// Storm: per-tuple transfer, four-hop threading, fresh allocations,
+	// no backpressure, acking disabled.
+	Storm
+)
+
+// String names the engine.
+func (e EngineKind) String() string {
+	if e == Neptune {
+		return "neptune"
+	}
+	return "storm"
+}
+
+// CostModel gives the per-packet CPU costs of one engine in nanoseconds.
+// These constants were calibrated against the real engine's
+// microbenchmarks on the development machine (see EXPERIMENTS.md §model).
+type CostModel struct {
+	// SerializeFixedNs is the per-packet serialization overhead.
+	SerializeFixedNs float64
+	// SerializePerByteNs is the per-byte serialization cost.
+	SerializePerByteNs float64
+	// FlushNs is the cost of one buffer flush + socket write (syscall,
+	// framing). NEPTUNE pays it once per batch; Storm once per tuple.
+	FlushNs float64
+	// HandoffNs is one inter-thread queue handoff.
+	HandoffNs float64
+	// ContextSwitchNs is one thread wakeup/switch.
+	ContextSwitchNs float64
+	// SwitchesPerUnit is how many context switches one scheduling unit
+	// (a batch for NEPTUNE, a tuple for Storm) incurs.
+	SwitchesPerUnit float64
+	// HandoffsPerPacket is queue hops each packet crosses inside a
+	// worker (2 for NEPTUNE's two-tier model, 4 for Storm).
+	HandoffsPerPacket float64
+	// AllocNs is the object creation + GC amortized cost per packet.
+	AllocNs float64
+	// BaseHeapMB is the fixed per-worker memory footprint.
+	BaseHeapMB float64
+}
+
+// NeptuneModel returns the cost model for the NEPTUNE engine.
+func NeptuneModel() CostModel {
+	return CostModel{
+		SerializeFixedNs:   25,
+		SerializePerByteNs: 0.35,
+		FlushNs:            4000,
+		HandoffNs:          120,
+		ContextSwitchNs:    3000,
+		SwitchesPerUnit:    2, // producer->IO wakeup + IO->worker wakeup, per batch
+		HandoffsPerPacket:  0, // per-packet hops amortized into the batch
+		AllocNs:            30,
+		BaseHeapMB:         1024, // 1 GB heap, paper's setting
+	}
+}
+
+// StormModel returns the cost model for the Storm baseline.
+func StormModel() CostModel {
+	return CostModel{
+		SerializeFixedNs:   25,
+		SerializePerByteNs: 0.35,
+		FlushNs:            4000, // per tuple: no application-level batching
+		HandoffNs:          120,
+		ContextSwitchNs:    3000,
+		SwitchesPerUnit:    4, // receiver, executor-in, executor-out, sender
+		HandoffsPerPacket:  4,
+		AllocNs:            350, // fresh tuple + serialization objects + GC share
+		BaseHeapMB:         1024,
+	}
+}
+
+// modelFor returns the cost model for an engine kind.
+func modelFor(e EngineKind) CostModel {
+	if e == Neptune {
+		return NeptuneModel()
+	}
+	return StormModel()
+}
+
+// StageSpec describes one pipeline stage of a job.
+type StageSpec struct {
+	// Name identifies the stage.
+	Name string
+	// Parallelism is the instance count.
+	Parallelism int
+	// ProcessNs is the user-logic CPU cost per packet.
+	ProcessNs float64
+	// OutBytes is the serialized size of packets this stage emits (0 for
+	// sinks).
+	OutBytes int
+	// Placement maps instance -> node index; nil spreads instances
+	// round-robin across the cluster.
+	Placement []int
+}
+
+// JobSpec describes one stream processing job as a linear pipeline
+// (stage 0 is the source).
+type JobSpec struct {
+	Name   string
+	Engine EngineKind
+	Stages []StageSpec
+	// BatchBytes is the application-level buffer capacity (NEPTUNE). At
+	// most one batch is in flight per flush; Storm ignores it (batch =
+	// one tuple).
+	BatchBytes int
+	// FlushInterval bounds buffer residence time (NEPTUNE's timer).
+	FlushInterval time.Duration
+	// SourceRate caps the source's offered load in packets/s (0 = emit
+	// as fast as resources allow).
+	SourceRate float64
+}
+
+// Cluster is the modeled testbed.
+type Cluster struct {
+	nodes    int
+	cores    int
+	memMB    float64
+	linkBits float64
+	// SchedOverheadPerThread is the fraction of one core lost per
+	// runnable thread beyond the core count (overprovisioning penalty).
+	SchedOverheadPerThread float64
+}
+
+// New creates a cluster of n nodes. Defaults match the paper's testbed:
+// 8 virtual cores, 12 GB, 1 Gbps.
+func New(n int) *Cluster {
+	return &Cluster{
+		nodes:                  n,
+		cores:                  8,
+		memMB:                  12 * 1024,
+		linkBits:               netsim.GigabitEthernet,
+		SchedOverheadPerThread: 0.004,
+	}
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.nodes }
+
+// Result is the steady-state outcome for one job.
+type Result struct {
+	// Throughput is the source emission rate in packets/s the job
+	// sustains.
+	Throughput float64
+	// GoodputBits is the application payload bits/s the job moves over
+	// the network (sum over all inter-node hops).
+	GoodputBits float64
+	// WireBits is the on-wire bits/s including framing.
+	WireBits float64
+	// MeanLatency and P99Latency are end-to-end packet latencies.
+	MeanLatency, P99Latency time.Duration
+	// Bottleneck names the binding resource ("cpu:node3", "egress:node0",
+	// "offered-load", "source-cpu").
+	Bottleneck string
+}
+
+// ClusterStats aggregates per-node utilization at the solved operating
+// point.
+type ClusterStats struct {
+	// CPUUsed is per-node CPU consumption in cores (the paper's Fig. 10
+	// reports this cumulated over 8 virtual cores).
+	CPUUsed []float64
+	// MemUsedMB is per-node memory consumption.
+	MemUsedMB []float64
+	// EgressUtil is per-node egress link utilization in [0, 1].
+	EgressUtil []float64
+	// IngressUtil is per-node ingress link utilization in [0, 1].
+	IngressUtil []float64
+}
+
+// demand captures one job's per-packet resource usage.
+type demand struct {
+	cpuPerNode     []float64 // ns of CPU per source packet, per node
+	egressPerNode  []float64 // wire bytes per source packet leaving node
+	ingressPerNode []float64 // wire bytes per source packet entering node
+	goodputBytes   float64   // payload bytes per source packet (all hops)
+	threadsPerNode []int     // runnable threads the job parks on the node
+	memPerNode     []float64 // MB
+	sourceCPUNs    float64   // per-packet CPU on the source node's pump
+	sourceNodes    []int
+	// jobCap is the job's own throughput ceiling: each operator instance
+	// is single-threaded (one core), so a stage sustains at most
+	// parallelism × (1 s / per-packet cost). The stage holding the
+	// minimum is capStage.
+	jobCap   float64
+	capStage string
+}
+
+// placement returns the node hosting instance i of a stage.
+func (c *Cluster) placement(s *StageSpec, i int) int {
+	if s.Placement != nil {
+		return s.Placement[i%len(s.Placement)]
+	}
+	return i % c.nodes
+}
+
+// batchPackets returns how many packets one scheduling unit carries.
+func batchPackets(j *JobSpec, stage int) float64 {
+	if j.Engine == Storm {
+		return 1
+	}
+	out := j.Stages[stage].OutBytes
+	if out <= 0 {
+		out = 64
+	}
+	b := float64(j.BatchBytes) / float64(out)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// demandFor computes the job's per-source-packet resource demands.
+func (c *Cluster) demandFor(j *JobSpec) demand {
+	m := modelFor(j.Engine)
+	d := demand{
+		cpuPerNode:     make([]float64, c.nodes),
+		egressPerNode:  make([]float64, c.nodes),
+		ingressPerNode: make([]float64, c.nodes),
+		threadsPerNode: make([]int, c.nodes),
+		memPerNode:     make([]float64, c.nodes),
+	}
+	seenWorker := make([]bool, c.nodes)
+	d.jobCap = math.Inf(1)
+	for si := range j.Stages {
+		st := &j.Stages[si]
+		b := batchPackets(j, si)
+		// Per-packet CPU at this stage.
+		perPacket := st.ProcessNs + m.AllocNs +
+			m.HandoffsPerPacket*m.HandoffNs +
+			(m.SwitchesPerUnit*m.ContextSwitchNs+m.FlushNs)/b
+		if st.OutBytes > 0 {
+			perPacket += m.SerializeFixedNs + m.SerializePerByteNs*float64(st.OutBytes)
+		}
+		// Single-threaded instances bound the stage's rate regardless of
+		// idle cluster capacity.
+		if perPacket > 0 {
+			stageCap := float64(st.Parallelism) * float64(time.Second) / perPacket
+			if stageCap < d.jobCap {
+				d.jobCap = stageCap
+				d.capStage = st.Name
+			}
+		}
+		for i := 0; i < st.Parallelism; i++ {
+			node := c.placement(st, i)
+			share := 1.0 / float64(st.Parallelism)
+			d.cpuPerNode[node] += perPacket * share
+			d.threadsPerNode[node] += threadsPerInstance(j.Engine)
+			if !seenWorker[node] {
+				seenWorker[node] = true
+				d.memPerNode[node] += m.BaseHeapMB / 8 // heap shared by co-located jobs' workers; scaled in solver
+			}
+			if si == 0 {
+				d.sourceCPUNs += perPacket * share
+				d.sourceNodes = append(d.sourceNodes, node)
+			}
+		}
+		// Network demand on the link to the next stage.
+		if si+1 < len(j.Stages) && st.OutBytes > 0 {
+			next := &j.Stages[si+1]
+			var wirePerPacket float64
+			if j.Engine == Storm {
+				wirePerPacket = float64(netsim.WireBytes(st.OutBytes))
+			} else {
+				batchBytes := float64(st.OutBytes) * b
+				wirePerPacket = float64(netsim.WireBytes(int(batchBytes))) / b
+			}
+			d.goodputBytes += float64(st.OutBytes)
+			// Traffic split: fraction of packets crossing nodes is 1 -
+			// P(same node) under the placement.
+			for i := 0; i < st.Parallelism; i++ {
+				from := c.placement(st, i)
+				share := 1.0 / float64(st.Parallelism)
+				for k := 0; k < next.Parallelism; k++ {
+					to := c.placement(next, k)
+					frac := share / float64(next.Parallelism)
+					if from == to {
+						continue // local handoff: no NIC traffic
+					}
+					d.egressPerNode[from] += wirePerPacket * frac
+					d.ingressPerNode[to] += wirePerPacket * frac
+				}
+			}
+		}
+	}
+	return d
+}
+
+// threadsPerInstance is the runnable-thread footprint of one operator
+// instance.
+func threadsPerInstance(e EngineKind) int {
+	if e == Neptune {
+		return 1 // worker-pool share; IO pool shared per resource
+	}
+	return 4 // Storm's receiver/executor/executor-out/sender
+}
+
+// Solve computes the steady-state operating point for a set of jobs
+// sharing the cluster, assuming the fair outcome where identical jobs
+// receive identical throughput (the paper runs identical concurrent
+// jobs). horizon is the virtual measurement window used for the
+// no-backpressure latency model.
+func (c *Cluster) Solve(jobs []JobSpec, horizon time.Duration) ([]Result, ClusterStats, error) {
+	if len(jobs) == 0 {
+		return nil, ClusterStats{}, fmt.Errorf("cluster: no jobs")
+	}
+	demands := make([]demand, len(jobs))
+	totalThreads := make([]float64, c.nodes)
+	for i := range jobs {
+		if err := c.validate(&jobs[i]); err != nil {
+			return nil, ClusterStats{}, err
+		}
+		demands[i] = c.demandFor(&jobs[i])
+		for n := 0; n < c.nodes; n++ {
+			totalThreads[n] += float64(demands[i].threadsPerNode[n])
+		}
+	}
+	// Effective CPU capacity per node after the overprovisioning
+	// penalty: threads beyond the core count cost scheduler time.
+	capNs := make([]float64, c.nodes)
+	for n := 0; n < c.nodes; n++ {
+		excess := totalThreads[n] - float64(c.cores)
+		if excess < 0 {
+			excess = 0
+		}
+		eff := 1 - c.SchedOverheadPerThread*excess
+		if eff < 0.25 {
+			eff = 0.25
+		}
+		capNs[n] = float64(c.cores) * eff * float64(time.Second)
+	}
+	// Waterfilling: jobs whose own ceiling (single-threaded stage rate or
+	// offered load) sits below the fair share are pinned at that ceiling
+	// and their demand removed; the rest split what remains uniformly.
+	type jobState struct {
+		cap      float64
+		capName  string
+		rate     float64
+		rateName string
+		fixed    bool
+	}
+	states := make([]jobState, len(jobs))
+	for i := range jobs {
+		states[i].cap = demands[i].jobCap
+		states[i].capName = "stage-cpu:" + demands[i].capStage
+		if jobs[i].SourceRate > 0 && jobs[i].SourceRate < states[i].cap {
+			states[i].cap = jobs[i].SourceRate
+			states[i].capName = "offered-load"
+		}
+	}
+	remCPU := append([]float64(nil), capNs...)
+	remEg := make([]float64, c.nodes)
+	remIn := make([]float64, c.nodes)
+	for n := 0; n < c.nodes; n++ {
+		remEg[n] = c.linkBits / 8
+		remIn[n] = c.linkBits / 8
+	}
+	for iter := 0; iter <= len(jobs); iter++ {
+		// Shared scale over non-fixed jobs.
+		scale := math.Inf(1)
+		bottleneck := "unbounded"
+		anyActive := false
+		for n := 0; n < c.nodes; n++ {
+			var cpu, eg, in float64
+			for i := range demands {
+				if states[i].fixed {
+					continue
+				}
+				anyActive = true
+				cpu += demands[i].cpuPerNode[n]
+				eg += demands[i].egressPerNode[n]
+				in += demands[i].ingressPerNode[n]
+			}
+			if cpu > 0 {
+				if t := remCPU[n] / cpu; t < scale {
+					scale, bottleneck = t, fmt.Sprintf("cpu:node%d", n)
+				}
+			}
+			if eg > 0 {
+				if t := remEg[n] / eg; t < scale {
+					scale, bottleneck = t, fmt.Sprintf("egress:node%d", n)
+				}
+			}
+			if in > 0 {
+				if t := remIn[n] / in; t < scale {
+					scale, bottleneck = t, fmt.Sprintf("ingress:node%d", n)
+				}
+			}
+		}
+		if !anyActive {
+			break
+		}
+		// Pin jobs whose ceiling is below the shared scale.
+		pinned := false
+		for i := range states {
+			if states[i].fixed || states[i].cap > scale {
+				continue
+			}
+			states[i].fixed = true
+			states[i].rate = states[i].cap
+			states[i].rateName = states[i].capName
+			pinned = true
+			for n := 0; n < c.nodes; n++ {
+				remCPU[n] -= demands[i].cpuPerNode[n] * states[i].cap
+				remEg[n] -= demands[i].egressPerNode[n] * states[i].cap
+				remIn[n] -= demands[i].ingressPerNode[n] * states[i].cap
+			}
+		}
+		if pinned {
+			continue
+		}
+		// No ceilings bind: remaining jobs share the bottleneck.
+		for i := range states {
+			if !states[i].fixed {
+				states[i].fixed = true
+				states[i].rate = scale
+				states[i].rateName = bottleneck
+			}
+		}
+		break
+	}
+	results := make([]Result, len(jobs))
+	for i := range jobs {
+		results[i] = c.finish(&jobs[i], &demands[i], states[i].rate, states[i].rateName, horizon)
+	}
+	stats := c.stats(demands, results)
+	return results, stats, nil
+}
+
+// validate sanity-checks a job spec.
+func (c *Cluster) validate(j *JobSpec) error {
+	if len(j.Stages) < 2 {
+		return fmt.Errorf("cluster: job %q needs at least source and sink", j.Name)
+	}
+	for i := range j.Stages {
+		if j.Stages[i].Parallelism < 1 {
+			j.Stages[i].Parallelism = 1
+		}
+		for _, p := range j.Stages[i].Placement {
+			if p < 0 || p >= c.nodes {
+				return fmt.Errorf("cluster: job %q stage %q placed on node %d of %d", j.Name, j.Stages[i].Name, p, c.nodes)
+			}
+		}
+	}
+	if j.BatchBytes <= 0 {
+		j.BatchBytes = 1 << 20
+	}
+	if j.FlushInterval <= 0 {
+		j.FlushInterval = 10 * time.Millisecond
+	}
+	return nil
+}
+
+// finish computes latency and bandwidth figures at throughput t.
+func (c *Cluster) finish(j *JobSpec, d *demand, t float64, bottleneck string, horizon time.Duration) Result {
+	r := Result{Throughput: t, Bottleneck: bottleneck}
+	r.GoodputBits = d.goodputBytes * 8 * t
+	var wire float64
+	for n := 0; n < c.nodes; n++ {
+		wire += d.egressPerNode[n]
+	}
+	r.WireBits = wire * 8 * t
+
+	// Latency: per inter-stage hop, buffer residence + wire time +
+	// processing.
+	var mean, p99 float64
+	for si := 0; si+1 < len(j.Stages); si++ {
+		st := &j.Stages[si]
+		out := st.OutBytes
+		if out <= 0 {
+			out = 64
+		}
+		b := batchPackets(j, si)
+		stageRate := t / float64(st.Parallelism) // packets/s per instance
+		var fill float64                         // seconds to fill one buffer
+		if stageRate > 0 {
+			fill = b / stageRate
+		}
+		bound := j.FlushInterval.Seconds()
+		if j.Engine == Storm {
+			fill, bound = 0, 0 // per-tuple sends: no buffer residence
+		}
+		residMean := math.Min(fill/2, bound/2)
+		residP99 := math.Min(fill, bound)
+		wireTime := float64(netsim.WireBytes(int(float64(out)*b))) * 8 / c.linkBits
+		proc := j.Stages[si+1].ProcessNs / 1e9
+		mean += residMean + wireTime + proc
+		p99 += residP99 + wireTime*1.2 + proc
+	}
+	// Engines without backpressure accumulate queue delay when the
+	// source outruns the pipeline. The source's maximum emission rate is
+	// set by its own per-packet CPU cost; whatever the pipeline cannot
+	// absorb sits in unbounded queues and every packet observed at the
+	// end of the horizon has waited behind them.
+	if j.Engine == Storm && d.sourceCPUNs > 0 {
+		sourceMax := float64(time.Second) / d.sourceCPUNs * float64(c.cores) / 4
+		if j.SourceRate > 0 && j.SourceRate < sourceMax {
+			sourceMax = j.SourceRate
+		}
+		if sourceMax > t {
+			overload := (sourceMax - t) / sourceMax
+			queueDelay := horizon.Seconds() * overload / 2
+			mean += queueDelay
+			p99 += queueDelay * 1.9
+		}
+	}
+	r.MeanLatency = time.Duration(mean * float64(time.Second))
+	r.P99Latency = time.Duration(p99 * float64(time.Second))
+	return r
+}
+
+// stats aggregates node utilization at the operating point.
+func (c *Cluster) stats(demands []demand, results []Result) ClusterStats {
+	s := ClusterStats{
+		CPUUsed:     make([]float64, c.nodes),
+		MemUsedMB:   make([]float64, c.nodes),
+		EgressUtil:  make([]float64, c.nodes),
+		IngressUtil: make([]float64, c.nodes),
+	}
+	for i := range demands {
+		t := results[i].Throughput
+		for n := 0; n < c.nodes; n++ {
+			s.CPUUsed[n] += demands[i].cpuPerNode[n] * t / float64(time.Second)
+			s.MemUsedMB[n] += demands[i].memPerNode[n]
+			s.EgressUtil[n] += demands[i].egressPerNode[n] * 8 * t / c.linkBits
+			s.IngressUtil[n] += demands[i].ingressPerNode[n] * 8 * t / c.linkBits
+		}
+	}
+	for n := 0; n < c.nodes; n++ {
+		if s.CPUUsed[n] > float64(c.cores) {
+			s.CPUUsed[n] = float64(c.cores)
+		}
+		if s.EgressUtil[n] > 1 {
+			s.EgressUtil[n] = 1
+		}
+		if s.IngressUtil[n] > 1 {
+			s.IngressUtil[n] = 1
+		}
+	}
+	return s
+}
+
+// NoisySamples perturbs per-node figures with measurement noise so the
+// harness can run the paper's statistical tests (Fig. 10's t-tests) on
+// realistic samples. relSigma is the relative standard deviation.
+func NoisySamples(values []float64, relSigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v * (1 + rng.NormFloat64()*relSigma)
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}

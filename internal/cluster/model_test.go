@@ -1,0 +1,374 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+const horizon = 60 * time.Second
+
+func TestRelayJobSingleNeptuneThroughputScale(t *testing.T) {
+	// Headline: a single 3-stage relay with 1 MB buffers and small
+	// packets should land in the paper's ~2M packets/s regime
+	// (50 B messages on gigabit max out near 2.3M/s of goodput).
+	c := New(2)
+	job := RelayJob(Neptune, 50, 1<<20, 0, 1)
+	res, _, err := c.Solve([]JobSpec{job}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := res[0].Throughput
+	if tput < 1e6 || tput > 4e6 {
+		t.Fatalf("relay throughput = %.2fM/s, want 1-4M/s (paper ~2M)", tput/1e6)
+	}
+	// Network-bound with big buffers: bandwidth utilization must be high.
+	if !strings.HasPrefix(res[0].Bottleneck, "egress") && !strings.HasPrefix(res[0].Bottleneck, "ingress") {
+		t.Fatalf("bottleneck = %s, expected a NIC", res[0].Bottleneck)
+	}
+}
+
+func TestNeptuneBeatsStormOnRelay(t *testing.T) {
+	for _, msg := range []int{50, 200, 1024, 10240} {
+		c := New(2)
+		nep, _, err := c.Solve([]JobSpec{RelayJob(Neptune, msg, 1<<20, 0, 1)}, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := New(2)
+		st, _, err := c2.Solve([]JobSpec{RelayJob(Storm, msg, 1<<20, 0, 1)}, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nep[0].Throughput <= st[0].Throughput {
+			t.Errorf("msg %d: neptune %.0f <= storm %.0f", msg, nep[0].Throughput, st[0].Throughput)
+		}
+	}
+}
+
+func TestStormLatencyBlowsUpWithoutBackpressure(t *testing.T) {
+	// Fig. 7's latency contrast: the Storm relay's sink latency includes
+	// queue buildup over the horizon; NEPTUNE's is bounded by buffer
+	// timers and stays in the tens of milliseconds.
+	c := New(2)
+	nep, _, _ := c.Solve([]JobSpec{RelayJob(Neptune, 10240, 1<<20, 0, 1)}, horizon)
+	c2 := New(2)
+	st, _, _ := c2.Solve([]JobSpec{RelayJob(Storm, 10240, 1<<20, 0, 1)}, horizon)
+	if nep[0].P99Latency > 200*time.Millisecond {
+		t.Fatalf("neptune p99 = %v, want well under a second", nep[0].P99Latency)
+	}
+	if st[0].P99Latency < 10*nep[0].P99Latency {
+		t.Fatalf("storm p99 (%v) not clearly above neptune (%v)", st[0].P99Latency, nep[0].P99Latency)
+	}
+}
+
+func TestHeadlineLatencyBound(t *testing.T) {
+	// Paper §VI: p99 < 87.8 ms for 10 KB packets with the
+	// throughput-optimized configuration.
+	c := New(2)
+	res, _, _ := c.Solve([]JobSpec{RelayJob(Neptune, 10240, 1<<20, 0, 1)}, horizon)
+	if res[0].P99Latency > 88*time.Millisecond {
+		t.Fatalf("p99 = %v, paper bound is 87.8 ms", res[0].P99Latency)
+	}
+}
+
+func TestFig5ShapeJobScalingPeaksThenDeclines(t *testing.T) {
+	// Cumulative throughput rises until ~#nodes jobs, then declines in
+	// the overprovisioned regime.
+	const nodes = 50
+	cum := func(jobs int) float64 {
+		c := New(nodes)
+		specs := make([]JobSpec, jobs)
+		for i := range specs {
+			specs[i] = AllPairsJob(Neptune, nodes, 128, 1<<20)
+		}
+		res, _, err := c.Solve(specs, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, r := range res {
+			total += r.Throughput
+		}
+		return total
+	}
+	t10, t50, t100 := cum(10), cum(50), cum(100)
+	if !(t10 < t50) {
+		t.Fatalf("cumulative throughput should rise to 50 jobs: %v vs %v", t10, t50)
+	}
+	if !(t100 < t50) {
+		t.Fatalf("cumulative throughput should decline beyond 50 jobs: %v vs %v", t100, t50)
+	}
+}
+
+func TestFig6ShapeLinearNodeScaling(t *testing.T) {
+	// Fixed 50 jobs, growing cluster: cumulative throughput scales up
+	// roughly linearly with node count.
+	cum := func(nodes int) float64 {
+		c := New(nodes)
+		specs := make([]JobSpec, 50)
+		for i := range specs {
+			specs[i] = AllPairsJob(Neptune, nodes, 128, 1<<20)
+		}
+		res, _, err := c.Solve(specs, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, r := range res {
+			total += r.Throughput
+		}
+		return total
+	}
+	t10, t20, t40 := cum(10), cum(20), cum(40)
+	r1 := t20 / t10
+	r2 := t40 / t20
+	if r1 < 1.5 || r2 < 1.5 {
+		t.Fatalf("scaling not近 linear: x2 nodes gave %.2fx then %.2fx", r1, r2)
+	}
+}
+
+func TestFig9ShapeManufacturingRatio(t *testing.T) {
+	// NEPTUNE's cumulative manufacturing-job throughput should exceed
+	// Storm's by several times (paper: 8x at 32 jobs); both scale
+	// roughly linearly with job count.
+	const nodes = 50
+	cum := func(engine EngineKind, jobs int) float64 {
+		c := New(nodes)
+		specs := make([]JobSpec, jobs)
+		for i := range specs {
+			specs[i] = ManufacturingJob(engine, nodes, i)
+		}
+		res, _, err := c.Solve(specs, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, r := range res {
+			total += r.Throughput
+		}
+		return total
+	}
+	n32 := cum(Neptune, 32)
+	s32 := cum(Storm, 32)
+	ratio := n32 / s32
+	if ratio < 4 || ratio > 20 {
+		t.Fatalf("neptune/storm ratio at 32 jobs = %.1f, want 4-20 (paper ~8)", ratio)
+	}
+	// Linearity: 2x jobs -> ~2x cumulative throughput in the
+	// underprovisioned regime (placement collisions cost a few percent).
+	n8, n16 := cum(Neptune, 8), cum(Neptune, 16)
+	if n16/n8 < 1.6 {
+		t.Fatalf("neptune not scaling linearly: %0.f -> %0.f", n8, n16)
+	}
+	s8, s16 := cum(Storm, 8), cum(Storm, 16)
+	if s16/s8 < 1.6 {
+		t.Fatalf("storm not scaling linearly: %0.f -> %0.f", s8, s16)
+	}
+}
+
+func TestFig10ShapeResourceConsumption(t *testing.T) {
+	// 50 jobs on 50 nodes: NEPTUNE's per-node CPU below Storm's;
+	// memory similar.
+	const nodes = 50
+	run := func(engine EngineKind) ClusterStats {
+		c := New(nodes)
+		specs := make([]JobSpec, nodes)
+		for i := range specs {
+			specs[i] = ManufacturingJob(engine, nodes, i)
+		}
+		_, stats, err := c.Solve(specs, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	nep := run(Neptune)
+	st := run(Storm)
+	var nepCPU, stCPU, nepMem, stMem float64
+	for n := 0; n < nodes; n++ {
+		nepCPU += nep.CPUUsed[n]
+		stCPU += st.CPUUsed[n]
+		nepMem += nep.MemUsedMB[n]
+		stMem += st.MemUsedMB[n]
+	}
+	if nepCPU >= stCPU {
+		t.Fatalf("neptune CPU (%.1f cores) not below storm (%.1f)", nepCPU, stCPU)
+	}
+	memRatio := nepMem / stMem
+	if memRatio < 0.8 || memRatio > 1.25 {
+		t.Fatalf("memory should be similar: ratio %.2f", memRatio)
+	}
+}
+
+func TestBufferSizeSweepShapesFig2(t *testing.T) {
+	// Throughput rises with buffer size to a plateau; with tiny buffers
+	// per-batch overheads dominate.
+	c := New(2)
+	prev := 0.0
+	plateau := 0.0
+	for _, buf := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		res, _, err := c.Solve([]JobSpec{RelayJob(Neptune, 50, buf, 0, 1)}, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput := res[0].Throughput
+		if tput+1 < prev*0.98 {
+			t.Fatalf("throughput decreased with larger buffer: %v -> %v at %d", prev, tput, buf)
+		}
+		prev = tput
+		plateau = tput
+	}
+	// 1 KB buffers must be clearly below the plateau.
+	res, _, _ := c.Solve([]JobSpec{RelayJob(Neptune, 50, 1<<10, 0, 1)}, horizon)
+	if res[0].Throughput > plateau*0.8 {
+		t.Fatalf("no buffering benefit visible: %v vs plateau %v", res[0].Throughput, plateau)
+	}
+}
+
+func TestLatencyRisesWithBufferSize(t *testing.T) {
+	// Fig. 2's latency panel: bigger buffers mean longer residence.
+	c := New(2)
+	small, _, _ := c.Solve([]JobSpec{func() JobSpec {
+		j := RelayJob(Neptune, 50, 1<<10, 0, 1)
+		j.FlushInterval = time.Second // isolate fill time
+		return j
+	}()}, horizon)
+	large, _, _ := c.Solve([]JobSpec{func() JobSpec {
+		j := RelayJob(Neptune, 50, 1<<20, 0, 1)
+		j.FlushInterval = time.Second
+		return j
+	}()}, horizon)
+	if large[0].MeanLatency <= small[0].MeanLatency {
+		t.Fatalf("latency did not grow with buffer: %v vs %v", small[0].MeanLatency, large[0].MeanLatency)
+	}
+}
+
+func TestSourceRateCap(t *testing.T) {
+	c := New(2)
+	j := RelayJob(Neptune, 100, 1<<20, 0, 1)
+	j.SourceRate = 1000
+	res, _, err := c.Solve([]JobSpec{j}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Throughput != 1000 || res[0].Bottleneck != "offered-load" {
+		t.Fatalf("capped result = %+v", res[0])
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	c := New(2)
+	if _, _, err := c.Solve(nil, horizon); err == nil {
+		t.Fatal("empty job list accepted")
+	}
+	bad := JobSpec{Name: "bad", Stages: []StageSpec{{Name: "only"}}}
+	if _, _, err := c.Solve([]JobSpec{bad}, horizon); err == nil {
+		t.Fatal("single-stage job accepted")
+	}
+	oob := RelayJob(Neptune, 50, 1<<20, 0, 1)
+	oob.Stages[0].Placement = []int{5}
+	if _, _, err := c.Solve([]JobSpec{oob}, horizon); err == nil {
+		t.Fatal("out-of-range placement accepted")
+	}
+}
+
+func TestGoodputVsWireBits(t *testing.T) {
+	c := New(2)
+	res, _, err := c.Solve([]JobSpec{RelayJob(Neptune, 50, 1<<20, 0, 1)}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].WireBits <= res[0].GoodputBits {
+		t.Fatalf("wire bits (%.0f) must exceed goodput (%.0f)", res[0].WireBits, res[0].GoodputBits)
+	}
+	// Relay crosses the wire twice: goodput = 2 * msg * 8 * T.
+	want := 2 * 50 * 8 * res[0].Throughput
+	if diff := res[0].GoodputBits / want; diff < 0.99 || diff > 1.01 {
+		t.Fatalf("goodput accounting off by %.3f", diff)
+	}
+}
+
+func TestLocalHandoffHasNoNICTraffic(t *testing.T) {
+	// All stages on the same node: no egress/ingress demand.
+	c := New(1)
+	j := JobSpec{
+		Name:   "local",
+		Engine: Neptune,
+		Stages: []StageSpec{
+			{Name: "src", Parallelism: 1, ProcessNs: 100, OutBytes: 100, Placement: []int{0}},
+			{Name: "sink", Parallelism: 1, ProcessNs: 100, Placement: []int{0}},
+		},
+	}
+	res, stats, err := c.Solve([]JobSpec{j}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EgressUtil[0] != 0 || stats.IngressUtil[0] != 0 {
+		t.Fatalf("local job produced NIC traffic: %+v", stats)
+	}
+	if !strings.Contains(res[0].Bottleneck, "cpu") {
+		t.Fatalf("bottleneck = %s", res[0].Bottleneck)
+	}
+}
+
+func TestNoisySamples(t *testing.T) {
+	base := []float64{10, 10, 10, 10}
+	a := NoisySamples(base, 0.05, 1)
+	b := NoisySamples(base, 0.05, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same noise")
+		}
+		if a[i] <= 0 {
+			t.Fatal("noisy sample clamped incorrectly")
+		}
+	}
+	c := NoisySamples(base, 0.05, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical noise")
+	}
+	if got := NoisySamples([]float64{1e-9}, 100, 3); got[0] < 0 {
+		t.Fatal("negative sample escaped clamp")
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	if Neptune.String() != "neptune" || Storm.String() != "storm" {
+		t.Fatal("engine names")
+	}
+}
+
+func TestBatchPackets(t *testing.T) {
+	j := RelayJob(Neptune, 100, 1000, 0, 1)
+	if got := batchPackets(&j, 0); got != 10 {
+		t.Fatalf("batchPackets = %v, want 10", got)
+	}
+	js := RelayJob(Storm, 100, 1000, 0, 1)
+	if got := batchPackets(&js, 0); got != 1 {
+		t.Fatalf("storm batchPackets = %v, want 1", got)
+	}
+	// Sink stage (OutBytes 0) defaults to 64-byte packets.
+	if got := batchPackets(&j, 2); got != 1000.0/64.0 {
+		t.Fatalf("sink batchPackets = %v", got)
+	}
+	// Oversized packet: at least one per batch.
+	big := RelayJob(Neptune, 5000, 1000, 0, 1)
+	if got := batchPackets(&big, 0); got != 1 {
+		t.Fatalf("oversized batchPackets = %v", got)
+	}
+}
+
+func ExampleCluster_Solve() {
+	c := New(2)
+	res, _, _ := c.Solve([]JobSpec{RelayJob(Neptune, 50, 1<<20, 0, 1)}, time.Minute)
+	fmt.Println(res[0].Bottleneck)
+	// Output: egress:node0
+}

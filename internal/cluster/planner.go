@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// PlanPlacement implements the paper's future-work item: "a dynamic
+// deployment model that leverages the available capabilities of cluster
+// nodes, properties of the stream processing graph, and the data arrival
+// patterns of data streams" (§VI). Given a set of jobs, it fills each
+// stage's Placement greedily: instances are placed heaviest-first onto
+// the node whose worst-case normalized load (CPU, egress, ingress) stays
+// lowest, so no single resource becomes a premature bottleneck.
+//
+// The jobs are modified in place and also returned for chaining. Stages
+// that already carry an explicit Placement are respected and their load
+// pre-charged.
+func (c *Cluster) PlanPlacement(jobs []JobSpec) []JobSpec {
+	cpu := make([]float64, c.nodes)     // ns per reference packet
+	egress := make([]float64, c.nodes)  // wire bytes per reference packet
+	ingress := make([]float64, c.nodes) // wire bytes per reference packet
+
+	type pending struct {
+		job      *JobSpec
+		stage    int
+		instance int
+		weight   float64
+	}
+	var work []pending
+
+	// Pre-charge explicit placements; queue the rest.
+	for j := range jobs {
+		job := &jobs[j]
+		if job.BatchBytes <= 0 {
+			job.BatchBytes = 1 << 20
+		}
+		for si := range job.Stages {
+			st := &job.Stages[si]
+			if st.Parallelism < 1 {
+				st.Parallelism = 1
+			}
+			cpuD, egD, inD := c.instanceDemand(job, si)
+			if st.Placement != nil {
+				for i := 0; i < st.Parallelism; i++ {
+					n := st.Placement[i%len(st.Placement)]
+					if n >= 0 && n < c.nodes {
+						cpu[n] += cpuD
+						egress[n] += egD
+						ingress[n] += inD
+					}
+				}
+				continue
+			}
+			for i := 0; i < st.Parallelism; i++ {
+				work = append(work, pending{
+					job: job, stage: si, instance: i,
+					weight: cpuD/float64(c.cores) + (egD+inD)*8/c.linkBits*float64(time.Second),
+				})
+			}
+		}
+	}
+	// Heaviest instances first: they constrain the packing.
+	sort.SliceStable(work, func(a, b int) bool { return work[a].weight > work[b].weight })
+
+	// Allocate placement slices.
+	for _, w := range work {
+		st := &w.job.Stages[w.stage]
+		if st.Placement == nil {
+			st.Placement = make([]int, st.Parallelism)
+			for i := range st.Placement {
+				st.Placement[i] = -1
+			}
+		}
+	}
+	for _, w := range work {
+		st := &w.job.Stages[w.stage]
+		if st.Placement[w.instance] >= 0 {
+			continue
+		}
+		cpuD, egD, inD := c.instanceDemand(w.job, w.stage)
+		best, bestScore := 0, 0.0
+		for n := 0; n < c.nodes; n++ {
+			score := c.loadScore(cpu[n]+cpuD, egress[n]+egD, ingress[n]+inD)
+			if n == 0 || score < bestScore {
+				best, bestScore = n, score
+			}
+		}
+		st.Placement[w.instance] = best
+		cpu[best] += cpuD
+		egress[best] += egD
+		ingress[best] += inD
+	}
+	return jobs
+}
+
+// instanceDemand estimates one instance's per-reference-packet demands.
+func (c *Cluster) instanceDemand(j *JobSpec, si int) (cpuNs, egressBytes, ingressBytes float64) {
+	m := modelFor(j.Engine)
+	st := &j.Stages[si]
+	b := batchPackets(j, si)
+	cpuNs = st.ProcessNs + m.AllocNs + m.HandoffsPerPacket*m.HandoffNs +
+		(m.SwitchesPerUnit*m.ContextSwitchNs+m.FlushNs)/b
+	if st.OutBytes > 0 {
+		cpuNs += m.SerializeFixedNs + m.SerializePerByteNs*float64(st.OutBytes)
+	}
+	share := 1.0 / float64(st.Parallelism)
+	cpuNs *= share
+	if si+1 < len(j.Stages) && st.OutBytes > 0 {
+		egressBytes = wirePerPacket(j, si) * share
+	}
+	if si > 0 && j.Stages[si-1].OutBytes > 0 {
+		ingressBytes = wirePerPacket(j, si-1) / float64(st.Parallelism)
+	}
+	return
+}
+
+// wirePerPacket is the on-wire bytes one packet of stage si's output
+// costs under the job's engine.
+func wirePerPacket(j *JobSpec, si int) float64 {
+	st := &j.Stages[si]
+	if j.Engine == Storm {
+		return float64(netsim.WireBytes(st.OutBytes))
+	}
+	b := batchPackets(j, si)
+	return float64(netsim.WireBytes(int(float64(st.OutBytes)*b))) / b
+}
+
+// loadScore is the max normalized resource load — minimizing the maximum
+// keeps every dimension below its ceiling as long as possible.
+func (c *Cluster) loadScore(cpuNs, egressBytes, ingressBytes float64) float64 {
+	score := cpuNs / (float64(c.cores) * float64(time.Second))
+	if v := egressBytes * 8 / c.linkBits; v > score {
+		score = v
+	}
+	if v := ingressBytes * 8 / c.linkBits; v > score {
+		score = v
+	}
+	return score
+}

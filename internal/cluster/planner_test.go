@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// unplacedManufacturing is a manufacturing-style job without placements.
+func unplacedManufacturing(engine EngineKind) JobSpec {
+	j := ManufacturingJob(engine, 1, 0)
+	for i := range j.Stages {
+		j.Stages[i].Placement = nil
+	}
+	return j
+}
+
+func TestPlannerFillsAllPlacements(t *testing.T) {
+	c := New(8)
+	jobs := []JobSpec{unplacedManufacturing(Neptune), unplacedManufacturing(Neptune)}
+	planned := c.PlanPlacement(jobs)
+	for ji, j := range planned {
+		for si, st := range j.Stages {
+			if len(st.Placement) != st.Parallelism {
+				t.Fatalf("job %d stage %d: placement len %d", ji, si, len(st.Placement))
+			}
+			for _, n := range st.Placement {
+				if n < 0 || n >= c.Nodes() {
+					t.Fatalf("job %d stage %d: node %d out of range", ji, si, n)
+				}
+			}
+		}
+	}
+}
+
+func TestPlannerBeatsNaiveColocation(t *testing.T) {
+	// Naive: every stage of every job on node 0. Planner: spread.
+	const nodes, jobsN = 8, 8
+	mkJobs := func() []JobSpec {
+		jobs := make([]JobSpec, jobsN)
+		for i := range jobs {
+			jobs[i] = unplacedManufacturing(Neptune)
+		}
+		return jobs
+	}
+	naive := mkJobs()
+	for ji := range naive {
+		for si := range naive[ji].Stages {
+			naive[ji].Stages[si].Placement = []int{0}
+		}
+	}
+	c := New(nodes)
+	naiveRes, _, err := c.Solve(naive, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := New(nodes).PlanPlacement(mkJobs())
+	planRes, _, err := New(nodes).Solve(planned, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naiveCum, planCum float64
+	for i := range naiveRes {
+		naiveCum += naiveRes[i].Throughput
+		planCum += planRes[i].Throughput
+	}
+	if planCum < naiveCum*2 {
+		t.Fatalf("planner (%.0f) should clearly beat all-on-one-node (%.0f)", planCum, naiveCum)
+	}
+}
+
+func TestPlannerMatchesHandPlacementQuality(t *testing.T) {
+	// The hand-tuned staggered placement in ManufacturingJob is the
+	// reference; the planner should come within 25% of it.
+	const nodes, jobsN = 50, 32
+	hand := make([]JobSpec, jobsN)
+	auto := make([]JobSpec, jobsN)
+	for i := range hand {
+		hand[i] = ManufacturingJob(Neptune, nodes, i)
+		auto[i] = unplacedManufacturing(Neptune)
+	}
+	handRes, _, err := New(nodes).Solve(hand, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := New(nodes).PlanPlacement(auto)
+	autoRes, _, err := New(nodes).Solve(planned, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handCum, autoCum float64
+	for i := range handRes {
+		handCum += handRes[i].Throughput
+		autoCum += autoRes[i].Throughput
+	}
+	if autoCum < handCum*0.75 {
+		t.Fatalf("planner (%.0f) too far below hand placement (%.0f)", autoCum, handCum)
+	}
+}
+
+func TestPlannerRespectsExplicitPlacements(t *testing.T) {
+	c := New(4)
+	j := unplacedManufacturing(Neptune)
+	j.Stages[0].Placement = []int{3}
+	planned := c.PlanPlacement([]JobSpec{j})
+	if planned[0].Stages[0].Placement[0] != 3 {
+		t.Fatal("explicit placement overridden")
+	}
+	for si := 1; si < len(planned[0].Stages); si++ {
+		if planned[0].Stages[si].Placement == nil {
+			t.Fatalf("stage %d left unplaced", si)
+		}
+	}
+}
+
+func TestPlannerSpreadsParallelInstances(t *testing.T) {
+	c := New(4)
+	j := JobSpec{
+		Name:   "wide",
+		Engine: Neptune,
+		Stages: []StageSpec{
+			{Name: "src", Parallelism: 4, ProcessNs: 3000, OutBytes: 512},
+			{Name: "sink", Parallelism: 4, ProcessNs: 3000},
+		},
+	}
+	planned := c.PlanPlacement([]JobSpec{j})
+	used := map[int]bool{}
+	for _, n := range planned[0].Stages[0].Placement {
+		used[n] = true
+	}
+	if len(used) < 3 {
+		t.Fatalf("heavy parallel instances packed onto %d nodes: %v", len(used), planned[0].Stages[0].Placement)
+	}
+}

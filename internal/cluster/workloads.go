@@ -1,0 +1,88 @@
+package cluster
+
+import "time"
+
+// Canonical per-packet user-logic costs (ns) for the modeled workloads,
+// calibrated against the real engine's operators (EXPERIMENTS.md §model).
+const (
+	relayProcessNs   = 120 // forward a packet unchanged
+	sourceProcessNs  = 80  // generate/ingest one packet
+	parseProcessNs   = 260 // field projection of a 66-field reading
+	monitorProcessNs = 420 // sensor/valve delay tracking (keyed state)
+	alertProcessNs   = 90  // sink: aggregate + occasional alert
+)
+
+// RelayJob builds the paper's Fig. 1 three-stage message relay: sender and
+// receiver on node A, relay on node B, so every packet crosses the wire
+// twice and end-to-end latency needs no clock synchronization.
+func RelayJob(engine EngineKind, msgBytes, batchBytes int, nodeA, nodeB int) JobSpec {
+	return JobSpec{
+		Name:   "relay",
+		Engine: engine,
+		Stages: []StageSpec{
+			{Name: "sender", Parallelism: 1, ProcessNs: sourceProcessNs, OutBytes: msgBytes, Placement: []int{nodeA}},
+			{Name: "relay", Parallelism: 1, ProcessNs: relayProcessNs, OutBytes: msgBytes, Placement: []int{nodeB}},
+			{Name: "receiver", Parallelism: 1, ProcessNs: relayProcessNs, Placement: []int{nodeA}},
+		},
+		BatchBytes:    batchBytes,
+		FlushInterval: 10 * time.Millisecond,
+	}
+}
+
+// AllPairsJob builds the two-stage scalability job of Figs. 5 and 6: both
+// stages run one instance on every node with shuffle partitioning, so
+// there is data flow between every pair of nodes in the cluster. Each job
+// ingests an external stream at a fixed offered rate (IoT sources push at
+// their own pace) and applies non-trivial per-packet processing, which is
+// what makes concurrency scaling meaningful: a handful of jobs cannot
+// saturate the cluster, ~#nodes jobs can, and beyond that the
+// overprovisioning penalty bites (Fig. 5's decline).
+func AllPairsJob(engine EngineKind, nodes, msgBytes, batchBytes int) JobSpec {
+	placeAll := make([]int, nodes)
+	for i := range placeAll {
+		placeAll[i] = i
+	}
+	return JobSpec{
+		Name:   "all-pairs",
+		Engine: engine,
+		Stages: []StageSpec{
+			{Name: "ingest", Parallelism: nodes, ProcessNs: 3000, OutBytes: msgBytes, Placement: placeAll},
+			{Name: "consume", Parallelism: nodes, ProcessNs: 3000, Placement: placeAll},
+		},
+		BatchBytes:    batchBytes,
+		FlushInterval: 10 * time.Millisecond,
+		SourceRate:    800_000,
+	}
+}
+
+// ManufacturingJob builds the Fig. 8 four-stage equipment-monitoring job:
+// ingest readings, project the 6 monitored fields + timestamp out of 66,
+// track sensor-to-valve actuation delay over a 24 h window (keyed by
+// sensor), and aggregate/alert. jobIdx staggers placement so concurrent
+// jobs spread across the cluster as the paper's scheduler would.
+func ManufacturingJob(engine EngineKind, nodes, jobIdx int) JobSpec {
+	place := func(k, parallelism int) []int {
+		p := make([]int, parallelism)
+		for i := range p {
+			// Distinct base node per job, wide stride between a job's
+			// stages, so concurrent jobs' ingest stages (the heaviest
+			// NIC users) land on distinct nodes up to #nodes jobs.
+			p[i] = (jobIdx + k*13 + i) % nodes
+		}
+		return p
+	}
+	const readingBytes = 330  // 66-field raw reading on the wire
+	const projectedBytes = 60 // ts + 3 sensors + 3 valves
+	return JobSpec{
+		Name:   "manufacturing",
+		Engine: engine,
+		Stages: []StageSpec{
+			{Name: "ingest", Parallelism: 1, ProcessNs: sourceProcessNs, OutBytes: readingBytes, Placement: place(0, 1)},
+			{Name: "project", Parallelism: 1, ProcessNs: parseProcessNs, OutBytes: projectedBytes, Placement: place(1, 1)},
+			{Name: "monitor", Parallelism: 1, ProcessNs: monitorProcessNs, OutBytes: projectedBytes, Placement: place(2, 1)},
+			{Name: "alert", Parallelism: 1, ProcessNs: alertProcessNs, Placement: place(3, 1)},
+		},
+		BatchBytes:    1 << 20,
+		FlushInterval: 10 * time.Millisecond,
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Config carries a job's tuning knobs. Every optimization the paper
+// evaluates can be toggled independently so the experiment harness can run
+// ablations (buffering, batching, pooling, backpressure window sizes,
+// compression).
+type Config struct {
+	// BufferSize is the application-level buffer capacity in bytes for
+	// every outbound link buffer (paper default: 1 MB). Values < 1 mean
+	// "buffering disabled": each packet flushes individually.
+	BufferSize int
+
+	// FlushInterval bounds how long a packet may wait in an outbound
+	// buffer (the per-buffer timer of §III-B1). <= 0 disables the timer.
+	FlushInterval time.Duration
+
+	// Batching controls batched scheduling (§III-B2). When false, each
+	// scheduled execution of a processor handles exactly one packet, the
+	// per-message mode of Table I.
+	Batching bool
+
+	// Pooling controls object reuse (§III-B3). When false, packets and
+	// buffers are freshly allocated, the no-reuse baseline.
+	Pooling bool
+
+	// InLowWatermark and InHighWatermark bound each processor's inbound
+	// buffer in bytes (§III-B4). Defaults: 2 MiB / 4 MiB.
+	InLowWatermark, InHighWatermark int64
+
+	// OutLowWatermark and OutHighWatermark bound each transport's shared
+	// outbound buffer in bytes. Defaults: 512 KiB / 1 MiB.
+	OutLowWatermark, OutHighWatermark int64
+
+	// CompressionThreshold is the entropy gate in bits/byte (§III-B5):
+	// payloads below it are LZ-compressed. 0 disables compression
+	// framing entirely; 8 compresses everything compressible.
+	CompressionThreshold float64
+
+	// Workers sizes the worker thread pool (0 = NumCPU, the paper's
+	// automatic sizing).
+	Workers int
+
+	// VerifyOrdering enables per-stream sequence verification at
+	// receivers, enforcing the paper's in-order, exactly-once
+	// correctness requirement at runtime (used by tests; small cost).
+	VerifyOrdering bool
+
+	// PoolCapacity bounds the packet pool (idle packets). 0 defaults to
+	// 65536.
+	PoolCapacity int
+}
+
+// DefaultConfig returns the paper's default configuration: 1 MB buffers,
+// a 10 ms flush bound, batching and pooling on, compression off.
+func DefaultConfig() Config {
+	return Config{
+		BufferSize:       1 << 20,
+		FlushInterval:    10 * time.Millisecond,
+		Batching:         true,
+		Pooling:          true,
+		InLowWatermark:   2 << 20,
+		InHighWatermark:  4 << 20,
+		OutLowWatermark:  512 << 10,
+		OutHighWatermark: 1 << 20,
+		VerifyOrdering:   false,
+		PoolCapacity:     65536,
+	}
+}
+
+// Config validation errors.
+var (
+	ErrBadWatermarks = errors.New("core: invalid watermarks")
+)
+
+// normalize fills defaults and validates.
+func (c *Config) normalize() error {
+	if c.BufferSize < 1 {
+		c.BufferSize = 1 // buffering effectively disabled: flush per packet
+	}
+	if c.InHighWatermark == 0 {
+		c.InHighWatermark = 4 << 20
+	}
+	if c.InLowWatermark == 0 {
+		c.InLowWatermark = c.InHighWatermark / 2
+	}
+	if c.OutHighWatermark == 0 {
+		c.OutHighWatermark = 1 << 20
+	}
+	if c.OutLowWatermark == 0 {
+		c.OutLowWatermark = c.OutHighWatermark / 2
+	}
+	if c.InLowWatermark >= c.InHighWatermark || c.InLowWatermark <= 0 {
+		return fmt.Errorf("%w: inbound %d/%d", ErrBadWatermarks, c.InLowWatermark, c.InHighWatermark)
+	}
+	if c.OutLowWatermark >= c.OutHighWatermark || c.OutLowWatermark <= 0 {
+		return fmt.Errorf("%w: outbound %d/%d", ErrBadWatermarks, c.OutLowWatermark, c.OutHighWatermark)
+	}
+	if c.CompressionThreshold < 0 || c.CompressionThreshold > 8 {
+		return fmt.Errorf("core: compression threshold %v outside [0, 8]", c.CompressionThreshold)
+	}
+	if c.PoolCapacity <= 0 {
+		c.PoolCapacity = 65536
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+)
+
+// TickingProcessor is an optional extension of Processor: the engine
+// schedules the instance both when data is available (data-driven) and at
+// least every TickInterval (periodic) — Granules' combined scheduling
+// strategy. Tick runs on the worker pool under the same serialization
+// guarantee as Process, so windowed operators can emit on time without
+// waiting for the next packet (e.g. closing a time window on a stream
+// that went quiet).
+type TickingProcessor interface {
+	Processor
+	// TickInterval is the maximum time between Tick calls.
+	TickInterval() time.Duration
+	// Tick runs periodically; emitted packets flow as usual.
+	Tick(ctx *OpContext) error
+}
+
+// maybeTick invokes the processor's Tick when due. Called from Execute,
+// which Granules serializes per instance.
+func (inst *instance) maybeTick() {
+	tp, ok := inst.proc.(TickingProcessor)
+	if !ok {
+		return
+	}
+	now := inst.engine.now()
+	iv := int64(tp.TickInterval())
+	if iv <= 0 {
+		return
+	}
+	if inst.lastTick != 0 && now-inst.lastTick < iv {
+		return
+	}
+	inst.lastTick = now
+	inst.ctx.current = nil
+	inst.ctx.forwarded = false
+	if err := tp.Tick(&inst.ctx); err != nil {
+		inst.procErrs.Inc()
+		inst.verifyErr.set(err)
+	}
+}
+
+// Throttle wraps a source so it emits at most rate packets per second —
+// the offered-load sources of the paper's scalability experiments (IoT
+// gateways push at the sensors' pace, not the engine's). Pacing uses a
+// token bucket refilled in bursts of up to burst tokens, so a throttled
+// source still fills buffers efficiently.
+func Throttle(rate float64, burst int, s Source) Source {
+	if rate <= 0 {
+		return s
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &throttledSource{inner: s, rate: rate, burst: float64(burst)}
+}
+
+type throttledSource struct {
+	inner  Source
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// Open initializes the token bucket and the inner source.
+func (t *throttledSource) Open(ctx *OpContext) error {
+	t.last = time.Now()
+	t.tokens = 1
+	return t.inner.Open(ctx)
+}
+
+// Next refills tokens from elapsed time, sleeps when empty, then calls
+// the inner source once per token.
+func (t *throttledSource) Next(ctx *OpContext) error {
+	now := time.Now()
+	t.tokens += now.Sub(t.last).Seconds() * t.rate
+	t.last = now
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	if t.tokens < 1 {
+		// Sleep until a full burst accumulates: sub-millisecond sleeps
+		// round up to the OS timer granularity, so paying one sleep per
+		// burst (instead of per packet) keeps the effective rate at the
+		// configured one.
+		wait := time.Duration((t.burst - t.tokens) / t.rate * float64(time.Second))
+		time.Sleep(wait)
+		now = time.Now()
+		t.tokens += now.Sub(t.last).Seconds() * t.rate
+		t.last = now
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+		if t.tokens < 1 {
+			t.tokens = 1
+		}
+	}
+	t.tokens--
+	return t.inner.Next(ctx)
+}
+
+// Close closes the inner source.
+func (t *throttledSource) Close() error { return t.inner.Close() }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// tickingCounter counts packets and emits a summary packet on each tick.
+type tickingCounter struct {
+	interval time.Duration
+	seen     atomic.Int64
+	ticks    atomic.Int64
+	emitOnTk bool
+}
+
+func (t *tickingCounter) Open(*OpContext) error       { return nil }
+func (t *tickingCounter) Close() error                { return nil }
+func (t *tickingCounter) TickInterval() time.Duration { return t.interval }
+func (t *tickingCounter) Process(ctx *OpContext, p *packet.Packet) error {
+	t.seen.Add(1)
+	return nil
+}
+
+func (t *tickingCounter) Tick(ctx *OpContext) error {
+	t.ticks.Add(1)
+	if t.emitOnTk {
+		out := ctx.NewPacket()
+		out.AddInt64("count", t.seen.Load())
+		return ctx.EmitDefault(out)
+	}
+	return nil
+}
+
+func TestTickingProcessorRunsWithoutData(t *testing.T) {
+	// A quiet stream: the processor must still tick periodically.
+	spec := twoStageSpec(1)
+	cfg := testConfig()
+	tick := &tickingCounter{interval: 5 * time.Millisecond}
+	j, err := NewJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	j.SetSource("src", func(int) Source {
+		return SourceFunc(func(ctx *OpContext) error {
+			if stop.Load() {
+				return io.EOF
+			}
+			time.Sleep(time.Millisecond)
+			return nil // quiet source: no packets at all
+		})
+	})
+	j.SetProcessor("sink", func(int) Processor { return tick })
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tick.ticks.Load() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	if err := j.Stop(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tick.ticks.Load() < 5 {
+		t.Fatalf("only %d ticks on a quiet stream", tick.ticks.Load())
+	}
+}
+
+func TestTickingProcessorEmitsDownstream(t *testing.T) {
+	// Ticks can emit packets that flow to the next stage: the windowed
+	// emit-on-time pattern.
+	spec := relaySpec() // sender -> relay -> receiver
+	cfg := testConfig()
+	tick := &tickingCounter{interval: 3 * time.Millisecond, emitOnTk: true}
+	sink := newCollectSink()
+	sink.onProc = func(ctx *OpContext, p *packet.Packet) error {
+		// Summary packets carry "count", not "i"; normalize for the
+		// collect helper.
+		if p.Lookup("i") == nil {
+			c, err := p.Int64("count")
+			if err != nil {
+				return err
+			}
+			p.AddInt64("i", c<<32|int64(sink.count.Load()))
+		}
+		return nil
+	}
+	j, err := NewJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	src := &countingSource{n: n}
+	j.SetSource("sender", func(int) Source { return src })
+	j.SetProcessor("relay", func(int) Processor { return tick })
+	j.SetProcessor("receiver", func(int) Processor { return sink })
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	j.WaitSources(30 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for tick.ticks.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := j.Stop(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tick.seen.Load() != n {
+		t.Fatalf("relay saw %d packets", tick.seen.Load())
+	}
+	if tick.ticks.Load() < 3 {
+		t.Fatalf("ticks = %d", tick.ticks.Load())
+	}
+	if sink.count.Load() < 3 {
+		t.Fatalf("summary packets at sink = %d", sink.count.Load())
+	}
+}
+
+func TestThrottleLimitsSourceRate(t *testing.T) {
+	spec := twoStageSpec(1)
+	cfg := testConfig()
+	sink := newCollectSink()
+	j, err := NewJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted atomic.Int64
+	inner := SourceFunc(func(ctx *OpContext) error {
+		p := ctx.NewPacket()
+		p.AddInt64("i", emitted.Add(1))
+		return ctx.EmitDefault(p)
+	})
+	const rate = 2000.0
+	j.SetSource("src", func(int) Source { return Throttle(rate, 16, inner) })
+	j.SetProcessor("sink", func(int) Processor { return sink })
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	const window = 300 * time.Millisecond
+	time.Sleep(window)
+	got := float64(emitted.Load()) / window.Seconds()
+	// Stop the infinite source.
+	j.StopSources()
+	if err := j.Stop(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got > rate*1.3 {
+		t.Fatalf("throttled source ran at %.0f/s, cap %.0f/s", got, rate)
+	}
+	if got < rate*0.5 {
+		t.Fatalf("throttled source too slow: %.0f/s for cap %.0f/s", got, rate)
+	}
+}
+
+func TestThrottlePassthroughAndClamps(t *testing.T) {
+	inner := SourceFunc(func(ctx *OpContext) error { return io.EOF })
+	if s := Throttle(0, 1, inner); s == nil {
+		t.Fatal("nil passthrough")
+	} else if _, ok := s.(*throttledSource); ok {
+		t.Fatal("rate 0 should pass through unchanged")
+	}
+	ts := Throttle(100, 0, inner).(*throttledSource)
+	if ts.burst != 1 {
+		t.Fatalf("burst clamp = %v", ts.burst)
+	}
+	if err := ts.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Next(nil); err != io.EOF {
+		t.Fatalf("Next = %v", err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThrottleStopInterruptible: a throttled infinite source must still
+// stop promptly.
+func TestThrottleStopInterruptible(t *testing.T) {
+	spec := twoStageSpec(1)
+	j, err := NewJob(spec, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := SourceFunc(func(ctx *OpContext) error {
+		p := ctx.NewPacket()
+		p.AddInt64("i", 1)
+		return ctx.EmitDefault(p)
+	})
+	j.SetSource("src", func(int) Source { return Throttle(10, 1, inner) }) // very slow
+	sink := newCollectSink()
+	sink.seen = nil // duplicates expected (i always 1); disable map use
+	j.SetProcessor("sink", func(int) Processor {
+		return ProcessorFunc(func(ctx *OpContext, p *packet.Packet) error { return nil })
+	})
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- j.Stop(10 * time.Second) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Stop hung on throttled source")
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// launchTwoEngineRelay starts a small cross-engine job and returns both
+// engines plus the job; the source runs until stopped.
+func launchTwoEngineRelay(t *testing.T, cfg Config, n int) (*Job, *Engine, *Engine, *collectSink) {
+	t.Helper()
+	e1, err := NewEngine("f-1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine("f-2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &countingSource{n: n, payload: 32}
+	sink := newCollectSink()
+	j, err := NewJob(twoStageSpec(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("src", func(int) Source { return src })
+	j.SetProcessor("sink", func(int) Processor { return sink })
+	place := func(op string, _ int) int {
+		if op == "sink" {
+			return 1
+		}
+		return 0
+	}
+	if err := j.LaunchOn([]*Engine{e1, e2}, place, nil); err != nil {
+		t.Fatal(err)
+	}
+	return j, e1, e2, sink
+}
+
+func TestDispatchMalformedFrameCounted(t *testing.T) {
+	cfg := testConfig()
+	j, _, e2, sink := launchTwoEngineRelay(t, cfg, 200)
+	// Channel 0 was allocated for the src->sink link; inject garbage.
+	e2.Dispatch(transport.Frame{Channel: 0, Payload: []byte{0xFF, 0xFF, 0xFF}})
+	waitCond(t, func() bool { return e2.Metrics().Counter("dispatch_errors").Value() == 1 })
+	// The job still completes: valid traffic is unaffected. (Ordering
+	// verification stays green because the malformed frame never decoded
+	// into packets.)
+	finishJob(t, j)
+	sink.exactlyOnce(t, 200)
+}
+
+func TestDispatchUnknownChannelCounted(t *testing.T) {
+	cfg := testConfig()
+	j, _, e2, _ := launchTwoEngineRelay(t, cfg, 50)
+	e2.Dispatch(transport.Frame{Channel: 9999, Payload: []byte("lost")})
+	if got := e2.Metrics().Counter("dispatch_unknown_channel").Value(); got != 1 {
+		t.Fatalf("unknown-channel counter = %d", got)
+	}
+	finishJob(t, j)
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDrainTimeoutSurfaces(t *testing.T) {
+	cfg := testConfig()
+	cfg.Batching = false // one packet per execution: terminate stays responsive
+	src := &countingSource{n: 300}
+	blocked := newCollectSink()
+	blocked.delay = 20 * time.Millisecond
+	j, err := NewJob(twoStageSpec(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("src", func(int) Source { return src })
+	j.SetProcessor("sink", func(int) Processor { return blocked })
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	j.WaitSources(30 * time.Second)
+	// 300 packets x 20 ms >> 100 ms: the drain cannot finish.
+	err = j.Stop(100 * time.Millisecond)
+	if !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Stop = %v, want ErrDrainTimeout", err)
+	}
+}
+
+func TestOversizedPacketDropsWithoutWedging(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferSize = 1 // flush each packet individually
+	// Sequence checking would rightly flag the dropped packet; this test
+	// is about liveness, so ordering verification stays off.
+	cfg.VerifyOrdering = false
+	e1, _ := NewEngine("big-1", cfg)
+	e2, _ := NewEngine("big-2", cfg)
+	sink := newCollectSink()
+	var emitted atomic.Int64
+	j, err := NewJob(twoStageSpec(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("src", func(int) Source {
+		return SourceFunc(func(ctx *OpContext) error {
+			i := emitted.Add(1)
+			if i > 3 {
+				return io.EOF
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("i", i)
+			if i == 2 {
+				// Exceeds transport.MaxFrameSize: the flush must fail
+				// cleanly and the job must keep moving.
+				p.AddBytes("huge", make([]byte, transport.MaxFrameSize+1))
+			}
+			return ctx.EmitDefault(p)
+		})
+	})
+	j.SetProcessor("sink", func(int) Processor { return sink })
+	place := func(op string, _ int) int {
+		if op == "sink" {
+			return 1
+		}
+		return 0
+	}
+	if err := j.LaunchOn([]*Engine{e1, e2}, place, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.WaitSources(30 * time.Second)
+	if err := j.Stop(30 * time.Second); err != nil {
+		t.Fatalf("Stop = %v", err)
+	}
+	if got := e1.Metrics().Counter("send_errors").Value(); got != 1 {
+		t.Fatalf("send_errors = %d, want 1", got)
+	}
+	if sink.count.Load() != 2 {
+		t.Fatalf("sink saw %d packets, want 2 (oversized one dropped)", sink.count.Load())
+	}
+}
+
+func TestBurstySourceNoLoss(t *testing.T) {
+	// Alternate idle pauses with bursts; the flush timer must move the
+	// stragglers, and counts must reconcile exactly.
+	cfg := testConfig()
+	cfg.BufferSize = 1 << 20 // big buffer: bursts rely on the timer
+	cfg.FlushInterval = 3 * time.Millisecond
+	var phase atomic.Int64
+	src := SourceFunc(func(ctx *OpContext) error {
+		i := phase.Add(1)
+		if i > 2000 {
+			return io.EOF
+		}
+		if i%500 == 0 {
+			time.Sleep(20 * time.Millisecond) // idle gap
+		}
+		p := ctx.NewPacket()
+		p.AddInt64("i", i-1)
+		return ctx.EmitDefault(p)
+	})
+	sink := newCollectSink()
+	j, err := NewJob(twoStageSpec(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("src", func(int) Source { return src })
+	j.SetProcessor("sink", func(int) Processor { return sink })
+	runToCompletion(t, j)
+	sink.exactlyOnce(t, 2000)
+}
+
+// TestPacketFieldsSurviveRemoteHop ensures typed fields round-trip the
+// full engine encode/transport/decode path, not just the codec.
+func TestPacketFieldsSurviveRemoteHop(t *testing.T) {
+	cfg := testConfig()
+	e1, _ := NewEngine("r-1", cfg)
+	e2, _ := NewEngine("r-2", cfg)
+	type obs struct {
+		b   bool
+		i   int64
+		f   float64
+		s   string
+		raw []byte
+	}
+	in := obs{b: true, i: -42, f: 3.5, s: "θ sensor", raw: []byte{0, 1, 2, 255}}
+	var got obs
+	var done atomic.Bool
+	var sent atomic.Bool
+	j, err := NewJob(twoStageSpec(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("src", func(int) Source {
+		return SourceFunc(func(ctx *OpContext) error {
+			if sent.Swap(true) {
+				return io.EOF
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("i", 0) // satisfies the sink helper
+			p.AddBool("b", in.b)
+			p.AddInt64("iv", in.i)
+			p.AddFloat64("f", in.f)
+			p.AddString("s", in.s)
+			p.AddBytes("raw", in.raw)
+			return ctx.EmitDefault(p)
+		})
+	})
+	j.SetProcessor("sink", func(int) Processor {
+		return ProcessorFunc(func(ctx *OpContext, p *packet.Packet) error {
+			got.b, _ = p.Bool("b")
+			got.i, _ = p.Int64("iv")
+			got.f, _ = p.Float64("f")
+			got.s, _ = p.String("s")
+			raw, _ := p.Bytes("raw")
+			got.raw = append([]byte(nil), raw...)
+			done.Store(true)
+			return nil
+		})
+	})
+	place := func(op string, _ int) int {
+		if op == "sink" {
+			return 1
+		}
+		return 0
+	}
+	if err := j.LaunchOn([]*Engine{e1, e2}, place, nil); err != nil {
+		t.Fatal(err)
+	}
+	finishJob(t, j)
+	if !done.Load() {
+		t.Fatal("packet never arrived")
+	}
+	if got.b != in.b || got.i != in.i || got.f != in.f || got.s != in.s ||
+		string(got.raw) != string(in.raw) {
+		t.Fatalf("fields corrupted across the hop: %+v vs %+v", got, in)
+	}
+}

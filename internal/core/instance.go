@@ -1,0 +1,489 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/compression"
+	"repro/internal/granules"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// inBatch is one unit on an instance's inbound dataset: the packets of one
+// flushed (and, for remote links, one decoded) batch plus their wire size.
+type inBatch struct {
+	packets []*packet.Packet
+	bytes   int
+}
+
+// destination is one (sender instance, link, receiver instance) edge: a
+// capacity buffer that flushes either into a co-located instance's dataset
+// or over a transport channel.
+type destination struct {
+	channel  uint32
+	streamID uint32
+	local    *instance           // non-nil when receiver shares the engine
+	remote   transport.Transport // used otherwise
+	buf      *buffer.CapacityBuffer
+	sender   *instance
+
+	seq      uint64 // next sequence number (sender executions are serialized)
+	enc      packet.Encoder
+	sel      *compression.Selective
+	scratch  []byte // reused encode buffer
+	frameBuf []byte // reused compression frame buffer
+}
+
+// outLink is one outgoing link of one sender instance.
+type outLink struct {
+	spec     graph.LinkSpec
+	part     graph.Partitioner
+	dests    []*destination
+	routeBuf []int
+}
+
+// instance is one parallel instance of a stream operator.
+type instance struct {
+	engine *Engine
+	op     graph.OperatorSpec
+	idx    int
+
+	source Source
+	proc   Processor
+
+	ctx       OpContext
+	dataset   *granules.StreamDataset[*inBatch]
+	outs      []*outLink
+	outByName map[string]*outLink
+	isSink    bool
+
+	// Per-message scheduling cursor (Batching = false).
+	cur    *inBatch
+	curPos int
+
+	// lastTick is the engine-clock time of the last TickingProcessor
+	// callback (accessed only from serialized executions).
+	lastTick int64
+
+	// Ordering verification (Config.VerifyOrdering).
+	expect    map[uint32]uint64
+	verifyErr errOnce
+
+	stopping atomic.Bool
+	pumpWG   sync.WaitGroup
+	pumpErr  errOnce
+	closeOp  sync.Once
+
+	// Decode-side state. packet.Decoder is stateless; the Selective
+	// codec's Decode path is read-only, so sharing across transport IO
+	// goroutines is safe.
+	dec packet.Decoder
+	sel *compression.Selective
+
+	processed *metrics.Counter
+	emitted   *metrics.Counter
+	batches   *metrics.Counter
+	latency   *metrics.Histogram
+	procErrs  *metrics.Counter
+}
+
+// errOnce retains the first error recorded.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// taskID names the instance's Granules task.
+func (inst *instance) taskID() string {
+	return fmt.Sprintf("%s[%d]", inst.op.Name, inst.idx)
+}
+
+// newInstance builds an instance shell; link wiring attaches outputs.
+func newInstance(e *Engine, op graph.OperatorSpec, idx int, src Source, proc Processor) (*instance, error) {
+	inst := &instance{
+		engine:    e,
+		op:        op,
+		idx:       idx,
+		source:    src,
+		proc:      proc,
+		outByName: make(map[string]*outLink),
+		sel:       e.newSelective(),
+		processed: e.metrics.Counter(op.Name + ".processed"),
+		emitted:   e.metrics.Counter(op.Name + ".emitted"),
+		batches:   e.metrics.Counter(op.Name + ".batches"),
+		procErrs:  e.metrics.Counter(op.Name + ".errors"),
+	}
+	inst.ctx = OpContext{inst: inst}
+	if e.cfg.VerifyOrdering {
+		inst.expect = make(map[uint32]uint64)
+	}
+	if proc != nil {
+		ds, err := granules.NewStreamDataset[*inBatch](
+			"in", e.res, inst.taskID(), e.cfg.InLowWatermark, e.cfg.InHighWatermark)
+		if err != nil {
+			return nil, err
+		}
+		inst.dataset = ds
+	}
+	if err := e.addInstance(inst); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// markSink finalizes the instance after wiring: instances without outputs
+// are sinks and record end-to-end latency.
+func (inst *instance) markSinkIfTerminal() {
+	if len(inst.outs) == 0 && inst.proc != nil {
+		inst.isSink = true
+		inst.latency = inst.engine.metrics.Histogram(inst.op.Name + ".latency_ns")
+	}
+}
+
+// addOut attaches an outgoing link with its per-destination buffers.
+func (inst *instance) addOut(spec graph.LinkSpec, part graph.Partitioner, dests []*destination) {
+	l := &outLink{spec: spec, part: part, dests: dests}
+	inst.outs = append(inst.outs, l)
+	inst.outByName[spec.Name] = l
+}
+
+// ---- Granules task adaptation (processors) ----
+
+// ID implements granules.Task.
+func (inst *instance) ID() string { return inst.taskID() }
+
+// Init implements granules.Task: the processor's Open runs here.
+func (inst *instance) Init(rc *granules.RunContext) error {
+	if inst.proc != nil {
+		return inst.proc.Open(&inst.ctx)
+	}
+	return nil
+}
+
+// Execute implements granules.Task: one scheduled execution of the stream
+// processor. With batching enabled it consumes one whole buffered batch;
+// with batching disabled it consumes exactly one packet and reschedules
+// itself — the per-message mode whose context-switch cost Table I
+// quantifies.
+func (inst *instance) Execute(rc *granules.RunContext) error {
+	if inst.engine.cfg.Batching {
+		defer inst.maybeTick()
+		b, ok := inst.dataset.Poll()
+		if !ok {
+			return nil
+		}
+		inst.batches.Inc()
+		for _, p := range b.packets {
+			inst.processOne(p)
+		}
+		if inst.dataset.Len() > 0 {
+			_ = rc.Resource().NotifyData(inst.taskID())
+		}
+		return nil
+	}
+	// Per-message scheduling.
+	defer inst.maybeTick()
+	if inst.cur == nil {
+		b, ok := inst.dataset.Poll()
+		if !ok {
+			return nil
+		}
+		inst.batches.Inc()
+		inst.cur = b
+		inst.curPos = 0
+	}
+	p := inst.cur.packets[inst.curPos]
+	inst.curPos++
+	if inst.curPos >= len(inst.cur.packets) {
+		inst.cur = nil
+	}
+	inst.processOne(p)
+	if inst.cur != nil || inst.dataset.Len() > 0 {
+		_ = rc.Resource().NotifyData(inst.taskID())
+	}
+	return nil
+}
+
+// Close implements granules.Task. Operator close is handled separately
+// (closeOperator) so sources and processors share one path.
+func (inst *instance) Close() error { return nil }
+
+// closeOperator closes the user operator exactly once.
+func (inst *instance) closeOperator() {
+	inst.closeOp.Do(func() {
+		if inst.source != nil {
+			if err := inst.source.Close(); err != nil {
+				inst.procErrs.Inc()
+			}
+		}
+		if inst.proc != nil {
+			if err := inst.proc.Close(); err != nil {
+				inst.procErrs.Inc()
+			}
+		}
+	})
+}
+
+// processOne runs the processor on one packet and manages its lifecycle.
+func (inst *instance) processOne(p *packet.Packet) {
+	if inst.expect != nil {
+		inst.checkOrder(p)
+	}
+	inst.ctx.current = p
+	inst.ctx.forwarded = false
+	if err := inst.proc.Process(&inst.ctx, p); err != nil {
+		inst.procErrs.Inc()
+		inst.verifyErr.set(fmt.Errorf("core: %s process: %w", inst.taskID(), err))
+	}
+	inst.processed.Inc()
+	if inst.isSink && p.EmitNanos > 0 {
+		inst.latency.Record(inst.engine.now() - p.EmitNanos)
+	}
+	if !inst.ctx.forwarded {
+		inst.engine.pktPool.Put(p)
+	}
+	inst.ctx.current = nil
+}
+
+// checkOrder enforces the in-order, exactly-once invariant per stream.
+func (inst *instance) checkOrder(p *packet.Packet) {
+	want := inst.expect[p.StreamID]
+	if p.Seq != want {
+		inst.verifyErr.set(fmt.Errorf(
+			"core: %s stream %d: got seq %d, want %d (reorder/loss/duplicate)",
+			inst.taskID(), p.StreamID, p.Seq, want))
+	}
+	inst.expect[p.StreamID] = p.Seq + 1
+}
+
+// VerifyError reports an ordering or processing violation, if any.
+func (inst *instance) VerifyError() error { return inst.verifyErr.get() }
+
+// ---- Emission ----
+
+// emit routes p on the named link.
+func (inst *instance) emit(c *OpContext, link string, p *packet.Packet) error {
+	l, ok := inst.outByName[link]
+	if !ok {
+		return fmt.Errorf("%w: %q from %s", ErrUnknownLink, link, inst.taskID())
+	}
+	return inst.emitOn(c, l, p)
+}
+
+// emitOn stamps, partitions, and buffers the packet. Ownership of p moves
+// to the engine; for broadcast-style fan-out every extra destination gets
+// a pooled copy.
+func (inst *instance) emitOn(c *OpContext, l *outLink, p *packet.Packet) error {
+	if inst.stopping.Load() && inst.source != nil {
+		// Source pumps observe shutdown through the emit path too, so a
+		// source blocked in a tight Next loop still terminates.
+		return ErrStopped
+	}
+	if p.EmitNanos == 0 {
+		p.EmitNanos = inst.engine.now()
+	}
+	if p == c.current {
+		c.forwarded = true
+	}
+	l.routeBuf = l.part.Route(p, len(l.dests), l.routeBuf[:0])
+	route := l.routeBuf
+	for i, destIdx := range route {
+		out := p
+		if i < len(route)-1 {
+			// All but the last destination receive a copy.
+			out = inst.engine.pktPool.Get()
+			p.CopyTo(out)
+		}
+		d := l.dests[destIdx]
+		out.StreamID = d.streamID
+		out.Seq = d.seq
+		d.seq++
+		if err := d.buf.Add(out); err != nil {
+			inst.engine.pktPool.Put(out)
+			return fmt.Errorf("core: emit on %q: %w", l.spec.Name, err)
+		}
+		inst.emitted.Inc()
+	}
+	return nil
+}
+
+// flush delivers one flushed batch for a destination: zero-copy handoff to
+// a co-located instance, or encode (+ optional entropy-gated compression)
+// and transport send for a remote one.
+func (d *destination) flush(batch []*packet.Packet, bytes int, _ buffer.FlushReason) {
+	e := d.sender.engine
+	if d.local != nil {
+		pkts := make([]*packet.Packet, len(batch))
+		copy(pkts, batch)
+		if err := d.local.dataset.Put(&inBatch{packets: pkts, bytes: bytes}, int64(bytes)); err != nil {
+			// Receiver shut down: recycle and drop (job is ending).
+			e.recycleBatch(pkts)
+			e.metrics.Counter("drops_on_shutdown").Add(uint64(len(pkts)))
+		}
+		return
+	}
+	d.scratch = d.enc.EncodeBatch(d.scratch[:0], batch)
+	frame := d.scratch
+	if d.sel != nil {
+		d.frameBuf = d.sel.Encode(d.frameBuf[:0], d.scratch)
+		frame = d.frameBuf
+	}
+	if err := d.remote.Send(d.channel, frame); err != nil {
+		e.metrics.Counter("send_errors").Inc()
+	} else {
+		e.metrics.Counter("bytes_out").Add(uint64(len(frame)))
+		e.metrics.Counter("batches_out").Inc()
+	}
+	e.recycleBatch(batch)
+}
+
+// ingestFrame decodes a remote frame into pooled packets and enqueues them
+// on the instance's dataset. Called from transport IO goroutines; blocking
+// here propagates backpressure into the socket.
+func (inst *instance) ingestFrame(frame []byte) error {
+	e := inst.engine
+	data := frame
+	var decBuf []byte
+	if inst.sel != nil {
+		decBuf = e.bufPool.Get(len(frame) * 2)
+		var err error
+		decBuf, err = inst.sel.Decode(decBuf, frame, transport.MaxFrameSize)
+		if err != nil {
+			e.bufPool.Put(decBuf)
+			return err
+		}
+		data = decBuf
+	}
+	var pkts []*packet.Packet
+	_, err := inst.dec.DecodeBatch(data,
+		func() *packet.Packet { return e.pktPool.Get() },
+		func(p *packet.Packet) error { pkts = append(pkts, p); return nil })
+	if decBuf != nil {
+		e.bufPool.Put(decBuf)
+	}
+	if err != nil {
+		e.recycleBatch(pkts)
+		return err
+	}
+	if err := inst.dataset.Put(&inBatch{packets: pkts, bytes: len(data)}, int64(len(data))); err != nil {
+		e.recycleBatch(pkts)
+		return err
+	}
+	return nil
+}
+
+// ---- Source pump ----
+
+// startPump launches the source loop on its own goroutine.
+func (inst *instance) startPump(onExit func(error)) {
+	inst.pumpWG.Add(1)
+	go func() {
+		defer inst.pumpWG.Done()
+		err := inst.runPump()
+		inst.pumpErr.set(err)
+		if onExit != nil {
+			onExit(err)
+		}
+	}()
+}
+
+func (inst *instance) runPump() error {
+	if err := inst.source.Open(&inst.ctx); err != nil {
+		return fmt.Errorf("core: %s open: %w", inst.taskID(), err)
+	}
+	for !inst.stopping.Load() {
+		err := inst.source.Next(&inst.ctx)
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, ErrStopped) {
+			return nil
+		}
+		return fmt.Errorf("core: %s next: %w", inst.taskID(), err)
+	}
+	return nil
+}
+
+// PumpError reports a source pump failure, if any.
+func (inst *instance) PumpError() error { return inst.pumpErr.get() }
+
+// stop requests the instance wind down (sources stop emitting).
+func (inst *instance) stop() {
+	inst.stopping.Store(true)
+}
+
+// waitPump blocks until the source pump exits (no-op for processors).
+func (inst *instance) waitPump() { inst.pumpWG.Wait() }
+
+// flushOuts forces all outbound buffers to flush pending packets.
+func (inst *instance) flushOuts() {
+	for _, l := range inst.outs {
+		for _, d := range l.dests {
+			d.buf.Flush()
+		}
+	}
+}
+
+// closeOuts closes all outbound buffers (flushing remainders).
+func (inst *instance) closeOuts() {
+	for _, l := range inst.outs {
+		for _, d := range l.dests {
+			d.buf.Close()
+		}
+	}
+}
+
+// outsEmpty reports whether every outbound buffer is drained.
+func (inst *instance) outsEmpty() bool {
+	for _, l := range inst.outs {
+		for _, d := range l.dests {
+			if d.buf.Len() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// inEmpty reports whether the inbound dataset (and per-message cursor) is
+// drained.
+func (inst *instance) inEmpty() bool {
+	if inst.dataset == nil {
+		return true
+	}
+	if inst.cur != nil {
+		return false
+	}
+	return inst.dataset.Len() == 0
+}
+
+// shutdownInputs closes the inbound dataset, releasing blocked producers.
+func (inst *instance) shutdownInputs() {
+	if inst.dataset != nil {
+		inst.dataset.Close()
+	}
+}

@@ -1,0 +1,575 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/granules"
+	"repro/internal/graph"
+	"repro/internal/transport"
+)
+
+// Bridger connects pairs of engines with transports. The launcher asks for
+// one transport per (sender engine, receiver engine) pair that exchanges
+// traffic; implementations may pool or multiplex as they wish.
+type Bridger interface {
+	// Connect returns a transport whose Send delivers frames to the
+	// receiving engine's Dispatch.
+	Connect(from, to *Engine) (transport.Transport, error)
+	// Close tears down every transport the bridger created.
+	Close() error
+}
+
+// InprocBridger connects engines within one process through bounded
+// in-memory queues.
+type InprocBridger struct {
+	low, high int64
+	mu        sync.Mutex
+	created   []transport.Transport
+}
+
+// NewInprocBridger creates a bridger with the given outbound watermarks
+// (zero values default to 512 KiB / 1 MiB).
+func NewInprocBridger(low, high int64) *InprocBridger {
+	if high <= 0 {
+		high = 1 << 20
+	}
+	if low <= 0 || low >= high {
+		low = high / 2
+	}
+	return &InprocBridger{low: low, high: high}
+}
+
+// Connect implements Bridger.
+func (b *InprocBridger) Connect(_, to *Engine) (transport.Transport, error) {
+	t, err := transport.NewInproc(to.Dispatch, b.low, b.high)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.created = append(b.created, t)
+	b.mu.Unlock()
+	return t, nil
+}
+
+// Close implements Bridger.
+func (b *InprocBridger) Close() error {
+	b.mu.Lock()
+	created := b.created
+	b.created = nil
+	b.mu.Unlock()
+	var first error
+	for _, t := range created {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TCPBridger connects engines over loopback (or LAN) TCP: one listener per
+// receiving engine, one dialed connection per engine pair. It exercises
+// the real wire path — framing, CRC, kernel buffers, TCP flow control.
+type TCPBridger struct {
+	opts transport.TCPOptions
+
+	mu        sync.Mutex
+	listeners map[string]*transport.Listener // engine name -> listener
+	addrs     map[string]string
+	clients   []transport.Transport
+}
+
+// NewTCPBridger creates a TCP bridger with the given transport options.
+func NewTCPBridger(opts transport.TCPOptions) *TCPBridger {
+	return &TCPBridger{
+		opts:      opts,
+		listeners: make(map[string]*transport.Listener),
+		addrs:     make(map[string]string),
+	}
+}
+
+// Connect implements Bridger.
+func (b *TCPBridger) Connect(_, to *Engine) (transport.Transport, error) {
+	b.mu.Lock()
+	addr, ok := b.addrs[to.Name()]
+	if !ok {
+		ln, err := transport.Listen("127.0.0.1:0", to.Dispatch, b.opts)
+		if err != nil {
+			b.mu.Unlock()
+			return nil, err
+		}
+		b.listeners[to.Name()] = ln
+		addr = ln.Addr()
+		b.addrs[to.Name()] = addr
+	}
+	b.mu.Unlock()
+	t, err := transport.Dial(addr, nil, b.opts)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.clients = append(b.clients, t)
+	b.mu.Unlock()
+	return t, nil
+}
+
+// Close implements Bridger.
+func (b *TCPBridger) Close() error {
+	b.mu.Lock()
+	clients := b.clients
+	b.clients = nil
+	listeners := b.listeners
+	b.listeners = make(map[string]*transport.Listener)
+	b.addrs = make(map[string]string)
+	b.mu.Unlock()
+	var first error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, l := range listeners {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Placement maps an operator instance to the index of its hosting engine.
+type Placement func(op string, instance int) int
+
+// Job is a deployed stream processing graph: operator instances placed on
+// one or more engines, links wired with partitioners and buffers, source
+// pumps running.
+type Job struct {
+	spec    *graph.Spec
+	cfg     Config
+	sources map[string]SourceFactory
+	procs   map[string]ProcessorFactory
+
+	engines   []*Engine
+	bridger   Bridger
+	instances []*instance
+	byOp      map[string][]*instance
+	order     []string // topological operator order for draining
+
+	nextChannel uint32
+
+	launched    bool
+	stopped     atomic.Bool
+	sourcesLeft atomic.Int64
+	sourcesDone chan struct{}
+
+	firstErr errOnce
+}
+
+// Launch errors.
+var (
+	ErrMissingFactory = errors.New("core: operator has no factory")
+	ErrAlreadyRunning = errors.New("core: job already launched")
+	ErrDrainTimeout   = errors.New("core: drain timed out")
+)
+
+// NewJob creates an undeployed job for the given (normalized, validated)
+// graph spec and config.
+func NewJob(spec *graph.Spec, cfg Config) (*Job, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &Job{
+		spec:        spec,
+		cfg:         cfg,
+		sources:     make(map[string]SourceFactory),
+		procs:       make(map[string]ProcessorFactory),
+		byOp:        make(map[string][]*instance),
+		sourcesDone: make(chan struct{}),
+	}, nil
+}
+
+// SetSource installs the factory for a source operator.
+func (j *Job) SetSource(op string, f SourceFactory) *Job {
+	j.sources[op] = f
+	return j
+}
+
+// SetProcessor installs the factory for a processor operator.
+func (j *Job) SetProcessor(op string, f ProcessorFactory) *Job {
+	j.procs[op] = f
+	return j
+}
+
+// Spec returns the job's graph.
+func (j *Job) Spec() *graph.Spec { return j.spec }
+
+// Config returns the job's configuration.
+func (j *Job) Config() Config { return j.cfg }
+
+// Launch deploys the whole job on a single fresh engine — the common
+// single-node case.
+func (j *Job) Launch() error {
+	e, err := NewEngine(j.spec.Name, j.cfg)
+	if err != nil {
+		return err
+	}
+	return j.LaunchOn([]*Engine{e}, func(string, int) int { return 0 }, nil)
+}
+
+// LaunchOn deploys the job across the given engines. place assigns each
+// operator instance an engine index; bridger connects engines that
+// exchange traffic (nil defaults to in-process bridging). Engines must be
+// freshly created with the same Config as the job.
+func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) error {
+	if j.launched {
+		return ErrAlreadyRunning
+	}
+	if len(engines) == 0 {
+		return errors.New("core: no engines")
+	}
+	if place == nil {
+		place = func(string, int) int { return 0 }
+	}
+	if bridger == nil {
+		bridger = NewInprocBridger(j.cfg.OutLowWatermark, j.cfg.OutHighWatermark)
+	}
+	j.engines = engines
+	j.bridger = bridger
+
+	stages, err := j.spec.Stages()
+	if err != nil {
+		return err
+	}
+	j.order = orderByStage(j.spec, stages)
+
+	// 1. Instantiate every operator instance on its engine.
+	for _, opName := range j.order {
+		op := *j.spec.Operator(opName)
+		for idx := 0; idx < op.Parallelism; idx++ {
+			eIdx := place(op.Name, idx)
+			if eIdx < 0 || eIdx >= len(engines) {
+				return fmt.Errorf("core: placement of %s[%d] -> engine %d out of range", op.Name, idx, eIdx)
+			}
+			e := engines[eIdx]
+			var src Source
+			var proc Processor
+			if op.Kind == graph.KindSource {
+				f, ok := j.sources[op.Name]
+				if !ok {
+					return fmt.Errorf("%w: source %q", ErrMissingFactory, op.Name)
+				}
+				src = f(idx)
+			} else {
+				f, ok := j.procs[op.Name]
+				if !ok {
+					return fmt.Errorf("%w: processor %q", ErrMissingFactory, op.Name)
+				}
+				proc = f(idx)
+			}
+			inst, err := newInstance(e, op, idx, src, proc)
+			if err != nil {
+				return err
+			}
+			j.instances = append(j.instances, inst)
+			j.byOp[op.Name] = append(j.byOp[op.Name], inst)
+		}
+	}
+
+	// 2. Wire links: per sender instance, one partitioner and one
+	// destination (buffer + delivery path) per receiver instance.
+	transports := make(map[[2]string]transport.Transport)
+	for _, link := range j.spec.Links {
+		receivers := j.byOp[link.To]
+		for _, sender := range j.byOp[link.From] {
+			part, err := graph.ResolvePartitioner(link.Partitioner)
+			if err != nil {
+				return err
+			}
+			dests := make([]*destination, len(receivers))
+			for ri, recv := range receivers {
+				ch := j.nextChannel
+				j.nextChannel++
+				d := &destination{
+					channel:  ch,
+					streamID: ch,
+					sender:   sender,
+				}
+				if recv.engine == sender.engine {
+					d.local = recv
+				} else {
+					key := [2]string{sender.engine.Name(), recv.engine.Name()}
+					tr, ok := transports[key]
+					if !ok {
+						tr, err = bridger.Connect(sender.engine, recv.engine)
+						if err != nil {
+							return err
+						}
+						transports[key] = tr
+					}
+					d.remote = tr
+					d.sel = sender.engine.newSelective()
+					if err := recv.engine.registerChannel(ch, recv); err != nil {
+						return err
+					}
+				}
+				d.buf = buffer.New(j.cfg.BufferSize, j.cfg.FlushInterval, d.flush)
+				dests[ri] = d
+			}
+			sender.addOut(link, part, dests)
+		}
+	}
+	for _, inst := range j.instances {
+		inst.markSinkIfTerminal()
+	}
+
+	// 3. Register processor tasks and deploy the engines.
+	for _, inst := range j.instances {
+		if inst.proc != nil {
+			var strategy granules.Strategy = granules.DataDriven{}
+			if tp, ok := inst.proc.(TickingProcessor); ok && tp.TickInterval() > 0 {
+				strategy = granules.Combined{Data: granules.DataDriven{}, Every: tp.TickInterval()}
+			}
+			if err := inst.engine.res.Register(inst, strategy); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range engines {
+		if err := e.deploy(); err != nil {
+			return err
+		}
+	}
+
+	// 4. Start source pumps.
+	nSources := 0
+	for _, inst := range j.instances {
+		if inst.source != nil {
+			nSources++
+		}
+	}
+	j.sourcesLeft.Store(int64(nSources))
+	if nSources == 0 {
+		close(j.sourcesDone)
+	}
+	for _, inst := range j.instances {
+		if inst.source == nil {
+			continue
+		}
+		inst.startPump(func(err error) {
+			j.firstErr.set(err)
+			if j.sourcesLeft.Add(-1) == 0 {
+				close(j.sourcesDone)
+			}
+		})
+	}
+	j.launched = true
+	return nil
+}
+
+// orderByStage sorts operator names by stage number (sources first).
+func orderByStage(spec *graph.Spec, stages map[string]int) []string {
+	names := make([]string, 0, len(spec.Operators))
+	for i := range spec.Operators {
+		names = append(names, spec.Operators[i].Name)
+	}
+	// Insertion sort by (stage, name) — graphs are small.
+	for i := 1; i < len(names); i++ {
+		for k := i; k > 0; k-- {
+			a, b := names[k-1], names[k]
+			if stages[a] > stages[b] || (stages[a] == stages[b] && a > b) {
+				names[k-1], names[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return names
+}
+
+// WaitSources blocks until every source pump has exited (all sources
+// returned io.EOF or the job stopped), or the timeout elapses. It reports
+// whether the sources finished.
+func (j *Job) WaitSources(timeout time.Duration) bool {
+	select {
+	case <-j.sourcesDone:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Drain flushes every outbound buffer and waits until all in-flight
+// packets are processed. Sources must have finished (or been stopped)
+// first. Drain is the paper's no-loss guarantee made operational: every
+// emitted packet is processed before the job reports completion.
+func (j *Job) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, opName := range j.order {
+			for _, inst := range j.byOp[opName] {
+				inst.flushOuts()
+			}
+		}
+		quiet := true
+		for _, e := range j.engines {
+			if !e.quiesce(50 * time.Millisecond) {
+				quiet = false
+			}
+		}
+		if quiet && j.transportsSettled() {
+			drained := true
+			for _, inst := range j.instances {
+				if !inst.outsEmpty() || !inst.inEmpty() {
+					drained = false
+					break
+				}
+			}
+			if drained && j.transportsSettled() {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return ErrDrainTimeout
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// transportsSettled reports whether every remotely-sent frame has been
+// dispatched on its receiving engine: frames still queued in a transport
+// (or in kernel socket buffers) are invisible to the buffer/dataset
+// emptiness checks, so Drain must also wait for the sent and received
+// frame counts to agree.
+func (j *Job) transportsSettled() bool {
+	var sent, received uint64
+	for _, e := range j.engines {
+		sent += e.metrics.Counter("batches_out").Value()
+		received += e.metrics.Counter("frames_in").Value()
+	}
+	// received can exceed sent when frames arrive from outside the job
+	// (e.g. injected or duplicated traffic); only frames still in flight
+	// (received < sent) block the drain.
+	return received >= sent
+}
+
+// StopSources asks all source pumps to wind down and waits for them.
+func (j *Job) StopSources() {
+	for _, inst := range j.instances {
+		if inst.source != nil {
+			inst.stop()
+		}
+	}
+	for _, inst := range j.instances {
+		if inst.source != nil {
+			inst.waitPump()
+		}
+	}
+}
+
+// Stop gracefully shuts the job down: stop sources, drain in-flight data
+// (bounded by timeout), then tear down buffers, datasets, engines, and
+// transports. The returned error is the first pump/processing/verification
+// error observed during the run, drain timeout included.
+func (j *Job) Stop(timeout time.Duration) error {
+	if !j.launched || !j.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	j.StopSources()
+	if err := j.Drain(timeout); err != nil {
+		j.firstErr.set(err)
+	}
+	for _, inst := range j.instances {
+		inst.closeOuts()
+	}
+	for _, e := range j.engines {
+		if err := e.close(); err != nil {
+			j.firstErr.set(err)
+		}
+	}
+	if err := j.bridger.Close(); err != nil {
+		j.firstErr.set(err)
+	}
+	for _, inst := range j.instances {
+		j.firstErr.set(inst.PumpError())
+		j.firstErr.set(inst.VerifyError())
+	}
+	return j.firstErr.get()
+}
+
+// Err returns the first error observed so far without stopping the job.
+func (j *Job) Err() error {
+	for _, inst := range j.instances {
+		if err := inst.VerifyError(); err != nil {
+			return err
+		}
+	}
+	return j.firstErr.get()
+}
+
+// Engines returns the engines hosting the job.
+func (j *Job) Engines() []*Engine { return j.engines }
+
+// Instances reports the instance count of the named operator.
+func (j *Job) Instances(op string) int { return len(j.byOp[op]) }
+
+// OperatorCounter sums the named per-operator counter (".processed",
+// ".emitted", ".batches", ".errors") across all engines.
+func (j *Job) OperatorCounter(op, suffix string) uint64 {
+	var total uint64
+	for _, e := range j.engines {
+		total += e.metrics.Counter(op + suffix).Value()
+	}
+	return total
+}
+
+// LatencySnapshot returns the latency histogram snapshot of the named sink
+// operator on the engine hosting its first instance.
+func (j *Job) LatencySnapshot(op string) (snap struct {
+	Count  uint64
+	MeanNs float64
+	P50Ns  int64
+	P99Ns  int64
+	MaxNs  int64
+}) {
+	insts := j.byOp[op]
+	if len(insts) == 0 || !insts[0].isSink {
+		return
+	}
+	// All instances of op on the same engine share one histogram; merge
+	// across engines by taking each engine's histogram once.
+	seen := make(map[*Engine]bool)
+	var count uint64
+	var meanSum float64
+	var p50, p99, max int64
+	for _, inst := range insts {
+		if seen[inst.engine] {
+			continue
+		}
+		seen[inst.engine] = true
+		h := inst.engine.metrics.Histogram(op + ".latency_ns").Snapshot()
+		count += h.Count
+		meanSum += h.Mean * float64(h.Count)
+		if h.P50 > p50 {
+			p50 = h.P50
+		}
+		if h.P99 > p99 {
+			p99 = h.P99
+		}
+		if h.Max > max {
+			max = h.Max
+		}
+	}
+	snap.Count = count
+	if count > 0 {
+		snap.MeanNs = meanSum / float64(count)
+	}
+	snap.P50Ns, snap.P99Ns, snap.MaxNs = p50, p99, max
+	return
+}

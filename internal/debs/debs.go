@@ -1,0 +1,168 @@
+// Package debs generates a synthetic equivalent of the DEBS 2012 Grand
+// Challenge manufacturing-equipment monitoring dataset the paper evaluates
+// with (§III-B5 and Fig. 8/9). A real reading carries 66 data fields; the
+// paper's job consumes six of them plus the timestamp: the states of three
+// chemical-additive sensors and of the three corresponding valves. Sensor
+// readings change rarely, so consecutive buffered readings have low
+// entropy — the property the selective-compression experiment depends on.
+//
+// The generator is deterministic for a given seed, models valve actuation
+// as a delayed response to sensor state changes (the quantity the Fig. 8
+// job monitors), and can render readings either as packets or as raw
+// binary records for the compression benchmarks.
+package debs
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// FieldCount is the number of data fields in a full reading, matching the
+// DEBS 2012 format.
+const FieldCount = 66
+
+// Reading is one manufacturing-equipment observation.
+type Reading struct {
+	// TimestampNs is the reading's capture time.
+	TimestampNs int64
+	// Sensors holds the three chemical-additive sensor states.
+	Sensors [3]bool
+	// Valves holds the three corresponding valve states. A valve
+	// actuates (copies its sensor's state) a short delay after the
+	// sensor changes.
+	Valves [3]bool
+	// Analog carries the remaining 59 mostly-constant analog channels of
+	// the full 66-field record (the first 7 slots are the timestamp,
+	// sensors, and valves).
+	Analog [FieldCount - 7]float32
+}
+
+// Generator produces a deterministic reading stream.
+type Generator struct {
+	rng *rand.Rand
+	cur Reading
+
+	// pending valve actuations: sensor index -> readings remaining until
+	// the valve copies the sensor state (0 = none pending).
+	pending [3]int
+	// pendingAt records when the triggering sensor change happened.
+	pendingAt [3]int64
+
+	// ChangeProbability is the per-reading chance that a sensor flips
+	// (default 0.002 — changes are rare, keeping entropy low).
+	ChangeProbability float64
+	// ActuationDelayReadings is the mean valve response delay in
+	// readings (default 50).
+	ActuationDelayReadings int
+	// IntervalNs advances the timestamp per reading (default 10 ms).
+	IntervalNs int64
+	// Drift is the per-reading standard deviation of the analog
+	// channels' random walk (default 0: channels constant).
+	Drift float64
+}
+
+// NewGenerator creates a generator seeded deterministically.
+func NewGenerator(seed int64) *Generator {
+	g := &Generator{
+		rng:                    rand.New(rand.NewSource(seed)),
+		ChangeProbability:      0.002,
+		ActuationDelayReadings: 50,
+		IntervalNs:             int64(10 * time.Millisecond),
+	}
+	g.cur.TimestampNs = time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	for i := range g.cur.Analog {
+		g.cur.Analog[i] = float32(g.rng.NormFloat64()*10 + 100)
+	}
+	return g
+}
+
+// Next advances the stream and returns the next reading. The returned
+// pointer aliases generator state: copy it (or encode it) before the next
+// call.
+func (g *Generator) Next() *Reading {
+	g.cur.TimestampNs += g.IntervalNs
+	for i := 0; i < 3; i++ {
+		// Sensor flips are rare.
+		if g.rng.Float64() < g.ChangeProbability {
+			g.cur.Sensors[i] = !g.cur.Sensors[i]
+			delay := 1 + g.rng.Intn(2*g.ActuationDelayReadings)
+			g.pending[i] = delay
+			g.pendingAt[i] = g.cur.TimestampNs
+		}
+		// Pending actuation counts down; at zero the valve copies the
+		// sensor.
+		if g.pending[i] > 0 {
+			g.pending[i]--
+			if g.pending[i] == 0 {
+				g.cur.Valves[i] = g.cur.Sensors[i]
+			}
+		}
+	}
+	if g.Drift > 0 {
+		for i := range g.cur.Analog {
+			g.cur.Analog[i] += float32(g.rng.NormFloat64() * g.Drift)
+		}
+	}
+	return &g.cur
+}
+
+// FillPacket writes the reading's monitored fields (timestamp, three
+// sensors, three valves) into p, the projection the paper's job uses.
+func FillPacket(p *packet.Packet, r *Reading) {
+	p.AddInt64("ts", r.TimestampNs)
+	p.AddBool("s1", r.Sensors[0])
+	p.AddBool("s2", r.Sensors[1])
+	p.AddBool("s3", r.Sensors[2])
+	p.AddBool("v1", r.Valves[0])
+	p.AddBool("v2", r.Valves[1])
+	p.AddBool("v3", r.Valves[2])
+}
+
+// FillPacketFull writes all 66 fields into p.
+func FillPacketFull(p *packet.Packet, r *Reading) {
+	FillPacket(p, r)
+	for i, v := range r.Analog {
+		p.AddFloat32(analogNames[i], v)
+	}
+}
+
+// analogNames are the precomputed names of the analog channels ("f07"..)
+// so FillPacketFull allocates no strings on the hot path.
+var analogNames = func() [FieldCount - 7]string {
+	var names [FieldCount - 7]string
+	for i := range names {
+		n := i + 7
+		names[i] = "f" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return names
+}()
+
+// RecordSize is the byte size of one raw binary record produced by
+// AppendRecord: 8 (timestamp) + 1 (packed sensor/valve bits) +
+// 59*4 (analog channels).
+const RecordSize = 8 + 1 + (FieldCount-7)*4
+
+// AppendRecord renders the reading as a fixed-width binary record, the
+// form used by the compression experiments. Consecutive records differ in
+// few bytes, giving buffered batches low entropy like the real dataset.
+func AppendRecord(dst []byte, r *Reading) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.TimestampNs))
+	var bits byte
+	for i := 0; i < 3; i++ {
+		if r.Sensors[i] {
+			bits |= 1 << i
+		}
+		if r.Valves[i] {
+			bits |= 1 << (3 + i)
+		}
+	}
+	dst = append(dst, bits)
+	for _, v := range r.Analog {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}

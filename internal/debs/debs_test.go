@@ -1,0 +1,326 @@
+package debs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/compression"
+	"repro/internal/packet"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(7)
+	g2 := NewGenerator(7)
+	for i := 0; i < 10_000; i++ {
+		a := *g1.Next()
+		b := *g2.Next()
+		if a != b {
+			t.Fatalf("reading %d diverged", i)
+		}
+	}
+	g3 := NewGenerator(8)
+	diff := false
+	g1b := NewGenerator(7)
+	for i := 0; i < 10_000; i++ {
+		if *g1b.Next() != *g3.Next() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorTimestampsAdvance(t *testing.T) {
+	g := NewGenerator(1)
+	prev := int64(0)
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if r.TimestampNs <= prev {
+			t.Fatal("timestamps not strictly increasing")
+		}
+		prev = r.TimestampNs
+	}
+}
+
+func TestSensorChangesAreRare(t *testing.T) {
+	g := NewGenerator(2)
+	prev := *g.Next()
+	changes := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		r := *g.Next()
+		for s := 0; s < 3; s++ {
+			if r.Sensors[s] != prev.Sensors[s] {
+				changes++
+			}
+		}
+		prev = r
+	}
+	// Expected ~ 3 * n * 0.002 = 600; allow wide slack.
+	if changes < 200 || changes > 1500 {
+		t.Fatalf("sensor changes = %d over %d readings, expected rare (~600)", changes, n)
+	}
+}
+
+func TestValvesEventuallyFollowSensors(t *testing.T) {
+	g := NewGenerator(3)
+	followed := 0
+	misses := 0
+	var pendingSince [3]int
+	for i := 0; i < 200_000; i++ {
+		r := g.Next()
+		for s := 0; s < 3; s++ {
+			if r.Sensors[s] != r.Valves[s] {
+				pendingSince[s]++
+				// A valve must respond within 2*ActuationDelayReadings.
+				if pendingSince[s] > 2*g.ActuationDelayReadings+1 {
+					misses++
+				}
+			} else {
+				if pendingSince[s] > 0 {
+					followed++
+				}
+				pendingSince[s] = 0
+			}
+		}
+	}
+	if followed == 0 {
+		t.Fatal("no valve ever followed a sensor change")
+	}
+	if misses > 0 {
+		t.Fatalf("%d valve responses exceeded the maximum delay", misses)
+	}
+}
+
+func TestFillPacket(t *testing.T) {
+	g := NewGenerator(4)
+	var r *Reading
+	// Advance until some state is true so the test is non-trivial.
+	for i := 0; i < 50_000; i++ {
+		r = g.Next()
+		if r.Sensors[0] || r.Sensors[1] || r.Sensors[2] {
+			break
+		}
+	}
+	p := &packet.Packet{}
+	FillPacket(p, r)
+	if p.NumFields() != 7 {
+		t.Fatalf("NumFields = %d, want 7", p.NumFields())
+	}
+	ts, err := p.Int64("ts")
+	if err != nil || ts != r.TimestampNs {
+		t.Fatalf("ts = %d, %v", ts, err)
+	}
+	for i, name := range []string{"s1", "s2", "s3"} {
+		v, err := p.Bool(name)
+		if err != nil || v != r.Sensors[i] {
+			t.Fatalf("%s = %v, %v", name, v, err)
+		}
+	}
+	for i, name := range []string{"v1", "v2", "v3"} {
+		v, err := p.Bool(name)
+		if err != nil || v != r.Valves[i] {
+			t.Fatalf("%s = %v, %v", name, v, err)
+		}
+	}
+}
+
+func TestFillPacketFull(t *testing.T) {
+	g := NewGenerator(5)
+	r := g.Next()
+	p := &packet.Packet{}
+	FillPacketFull(p, r)
+	if p.NumFields() != FieldCount {
+		t.Fatalf("NumFields = %d, want %d", p.NumFields(), FieldCount)
+	}
+	v, err := p.Float64("f07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float32(v) != r.Analog[0] {
+		t.Fatalf("f07 = %v, want %v", v, r.Analog[0])
+	}
+	if _, err := p.Float64("f65"); err != nil {
+		t.Fatalf("last analog field: %v", err)
+	}
+}
+
+func TestAppendRecordSize(t *testing.T) {
+	g := NewGenerator(6)
+	rec := AppendRecord(nil, g.Next())
+	if len(rec) != RecordSize {
+		t.Fatalf("record size = %d, want %d", len(rec), RecordSize)
+	}
+	rec2 := AppendRecord(rec, g.Next())
+	if len(rec2) != 2*RecordSize {
+		t.Fatalf("appended size = %d", len(rec2))
+	}
+}
+
+func TestDatasetEntropyContrast(t *testing.T) {
+	// The core property behind the compression experiment: a buffer of
+	// consecutive sensor records has much lower entropy than random data
+	// of the same size, and compresses far better.
+	g := NewGenerator(7)
+	var sensor []byte
+	for i := 0; i < 200; i++ {
+		sensor = AppendRecord(sensor, g.Next())
+	}
+	rng := rand.New(rand.NewSource(7))
+	var random []byte
+	for i := 0; i < 200; i++ {
+		random = AppendRandomRecord(random, rng)
+	}
+	if len(sensor) != len(random) {
+		t.Fatalf("size mismatch %d vs %d", len(sensor), len(random))
+	}
+	hs := compression.Entropy(sensor)
+	hr := compression.Entropy(random)
+	if hs >= hr-1 {
+		t.Fatalf("sensor entropy %.2f not clearly below random %.2f", hs, hr)
+	}
+	var c compression.Compressor
+	rs := float64(len(c.Compress(nil, sensor))) / float64(len(sensor))
+	rr := float64(len(c.Compress(nil, random))) / float64(len(random))
+	if rs > 0.5 {
+		t.Fatalf("sensor data compressed to only %.2f", rs)
+	}
+	if rr < 0.95 {
+		t.Fatalf("random data compressed to %.2f (should be incompressible)", rr)
+	}
+}
+
+func TestMonitorDetectsActuations(t *testing.T) {
+	m := NewMonitor(time.Hour)
+	base := int64(1_000_000_000)
+	step := int64(10_000_000) // 10 ms
+	off := [3]bool{}
+	s1on := [3]bool{true, false, false}
+	v1on := [3]bool{true, false, false}
+
+	// Reading 0 initializes; sensor change at reading 1; valve follows
+	// at reading 5 -> delay = 4 steps.
+	if acts := m.ObserveReading(base, off, off); acts != nil {
+		t.Fatalf("initialization produced actuations: %v", acts)
+	}
+	m.ObserveReading(base+1*step, s1on, off)
+	m.ObserveReading(base+2*step, s1on, off)
+	m.ObserveReading(base+3*step, s1on, off)
+	m.ObserveReading(base+4*step, s1on, off)
+	acts := m.ObserveReading(base+5*step, s1on, v1on)
+	if len(acts) != 1 {
+		t.Fatalf("actuations = %v", acts)
+	}
+	if acts[0].Sensor != 0 || acts[0].DelayNs != 4*step {
+		t.Fatalf("actuation = %+v, want sensor 0 delay %d", acts[0], 4*step)
+	}
+	count, mean, max := m.WindowStats(0)
+	if count != 1 || mean != 4*step || max != 4*step {
+		t.Fatalf("stats = %d/%d/%d", count, mean, max)
+	}
+	if c, _, _ := m.WindowStats(1); c != 0 {
+		t.Fatal("sensor 1 should have no samples")
+	}
+}
+
+func TestMonitorWindowPruning(t *testing.T) {
+	m := NewMonitor(time.Second)
+	base := int64(0)
+	mkAct := func(at int64) {
+		off := [3]bool{}
+		on := [3]bool{true, false, false}
+		m.ObserveReading(at, off, off)
+		m.ObserveReading(at+1, on, off)
+		m.ObserveReading(at+2, on, on)
+		// Reset state for next round.
+		m.ObserveReading(at+3, off, on)
+		m.ObserveReading(at+4, off, off)
+	}
+	mkAct(base + 1)
+	mkAct(base + 100_000_000) // 0.1 s later
+	count, _, _ := m.WindowStats(0)
+	if count != 4 { // two rounds, each on->off and off->on actuation
+		t.Fatalf("count = %d, want 4", count)
+	}
+	// Two seconds later, all samples have left the 1 s window except the
+	// new ones.
+	mkAct(base + 2_100_000_000)
+	count, _, _ = m.WindowStats(0)
+	if count != 2 {
+		t.Fatalf("count after pruning = %d, want 2", count)
+	}
+}
+
+func TestMonitorObservePacket(t *testing.T) {
+	m := NewMonitor(0)
+	if m.Window() != 24*time.Hour {
+		t.Fatalf("default window = %v", m.Window())
+	}
+	g := NewGenerator(8)
+	total := 0
+	for i := 0; i < 300_000; i++ {
+		p := &packet.Packet{}
+		FillPacket(p, g.Next())
+		acts, err := m.Observe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(acts)
+	}
+	if total == 0 {
+		t.Fatal("no actuations detected in 300k generated readings")
+	}
+	// Every detected delay must be positive and bounded by the
+	// generator's maximum actuation delay.
+	for s := 0; s < 3; s++ {
+		_, mean, max := m.WindowStats(s)
+		if mean < 0 || max < mean {
+			t.Fatalf("sensor %d stats inconsistent: mean=%d max=%d", s, mean, max)
+		}
+	}
+}
+
+func TestMonitorObserveBadPacket(t *testing.T) {
+	m := NewMonitor(0)
+	p := &packet.Packet{}
+	p.AddInt64("ts", 1)
+	if _, err := m.Observe(p); err == nil {
+		t.Fatal("packet without sensor fields accepted")
+	}
+	q := &packet.Packet{}
+	q.AddString("ts", "not-a-timestamp")
+	if _, err := m.Observe(q); err == nil {
+		t.Fatal("packet with bad ts accepted")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkFillPacket(b *testing.B) {
+	g := NewGenerator(1)
+	r := g.Next()
+	p := &packet.Packet{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		FillPacket(p, r)
+	}
+}
+
+func BenchmarkAppendRecord(b *testing.B) {
+	g := NewGenerator(1)
+	r := g.Next()
+	buf := make([]byte, 0, RecordSize)
+	b.SetBytes(RecordSize)
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecord(buf[:0], r)
+	}
+}

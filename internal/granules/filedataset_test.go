@@ -1,0 +1,242 @@
+package granules
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// fileDrainTask consumes records from a FileDataset per execution.
+type fileDrainTask struct {
+	id    string
+	ds    *FileDataset
+	lines atomic.Int64
+	total atomic.Int64
+}
+
+func (d *fileDrainTask) ID() string             { return d.id }
+func (d *fileDrainTask) Init(*RunContext) error { return nil }
+func (d *fileDrainTask) Close() error           { return nil }
+func (d *fileDrainTask) Execute(*RunContext) error {
+	for {
+		rec, ok := d.ds.Poll()
+		if !ok {
+			return nil
+		}
+		d.lines.Add(1)
+		d.total.Add(int64(len(rec)))
+	}
+}
+
+func TestFileDatasetDrivesTask(t *testing.T) {
+	var content strings.Builder
+	want := 0
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&content, "record-%04d\n", i)
+		want += len(fmt.Sprintf("record-%04d", i))
+	}
+	path := writeTemp(t, "data.txt", content.String())
+
+	r := NewResource("res", 2)
+	task := &fileDrainTask{id: "reader"}
+	ds, err := NewFileDataset("file", path, r, "reader", FileDatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.ds = ds
+	r.Register(task, DataDriven{})
+	r.Deploy()
+	defer r.Terminate()
+	ds.Start()
+	ds.Start() // idempotent
+
+	waitUntil(t, func() bool { return task.lines.Load() == 500 && ds.Done() })
+	if task.total.Load() != int64(want) {
+		t.Fatalf("bytes = %d, want %d", task.total.Load(), want)
+	}
+	if err := ds.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDatasetCustomDelimiter(t *testing.T) {
+	path := writeTemp(t, "csv.txt", "a;bb;ccc;dddd")
+	r := NewResource("res", 1)
+	r.Register(&testTask{id: "t"}, nil)
+	r.Deploy()
+	defer r.Terminate()
+	ds, err := NewFileDataset("semi", path, r, "t", FileDatasetOptions{Delimiter: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.Start()
+	var recs [][]byte
+	for len(recs) < 4 {
+		rec, ok := ds.Take()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	want := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), []byte("dddd")}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestFileDatasetMissingFile(t *testing.T) {
+	r := NewResource("res", 1)
+	if _, err := NewFileDataset("nope", "/does/not/exist", r, "t", FileDatasetOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFileDatasetBackpressureThrottlesReader(t *testing.T) {
+	// A huge file with a tiny watermark: the reader must not slurp the
+	// whole file into memory while the consumer is slow.
+	var content strings.Builder
+	for i := 0; i < 10_000; i++ {
+		fmt.Fprintf(&content, "%0100d\n", i)
+	}
+	path := writeTemp(t, "big.txt", content.String())
+	r := NewResource("res", 1)
+	r.Register(&testTask{id: "t"}, nil)
+	r.Deploy()
+	defer r.Terminate()
+	ds, err := NewFileDataset("big", path, r, "t", FileDatasetOptions{
+		LowWatermark: 1 << 10, HighWatermark: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.Start()
+	time.Sleep(20 * time.Millisecond)
+	if ds.Done() {
+		t.Fatal("reader finished a 1 MB file against a 4 KB watermark without consumption")
+	}
+	if lvl := ds.stream.Level(); lvl > 8<<10 {
+		t.Fatalf("buffered %d bytes, watermark 4 KB", lvl)
+	}
+	// Drain everything; reader must finish.
+	n := 0
+	for {
+		_, ok := ds.Take()
+		if !ok {
+			break
+		}
+		n++
+		if n == 10_000 {
+			break
+		}
+	}
+	if n != 10_000 {
+		t.Fatalf("drained %d records", n)
+	}
+	waitUntil(t, func() bool { return ds.Done() })
+	if err := ds.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDatasetCloseStopsReader(t *testing.T) {
+	var content strings.Builder
+	for i := 0; i < 50_000; i++ {
+		content.WriteString("line\n")
+	}
+	path := writeTemp(t, "stop.txt", content.String())
+	r := NewResource("res", 1)
+	r.Register(&testTask{id: "t"}, nil)
+	r.Deploy()
+	defer r.Terminate()
+	ds, err := NewFileDataset("stop", path, r, "t", FileDatasetOptions{
+		LowWatermark: 256, HighWatermark: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Start()
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- ds.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a blocked reader")
+	}
+	if ds.Name() != "stop" {
+		t.Fatal("name")
+	}
+}
+
+func TestFileDatasetEmptyFile(t *testing.T) {
+	path := writeTemp(t, "empty.txt", "")
+	r := NewResource("res", 1)
+	r.Register(&testTask{id: "t"}, nil)
+	r.Deploy()
+	defer r.Terminate()
+	ds, err := NewFileDataset("empty", path, r, "t", FileDatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.Start()
+	waitUntil(t, func() bool { return ds.Done() })
+	if ds.Len() != 0 {
+		t.Fatalf("Len = %d for empty file", ds.Len())
+	}
+	if _, ok := ds.Poll(); ok {
+		t.Fatal("Poll returned a record from an empty file")
+	}
+}
+
+func TestFileDatasetNoTrailingDelimiter(t *testing.T) {
+	path := writeTemp(t, "trail.txt", "a\nb\nc") // no final newline
+	r := NewResource("res", 1)
+	r.Register(&testTask{id: "t"}, nil)
+	r.Deploy()
+	defer r.Terminate()
+	ds, err := NewFileDataset("trail", path, r, "t", FileDatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.Start()
+	var recs []string
+	for len(recs) < 3 {
+		rec, ok := ds.Take()
+		if !ok {
+			break
+		}
+		recs = append(recs, string(rec))
+	}
+	if len(recs) != 3 || recs[2] != "c" {
+		t.Fatalf("records = %v", recs)
+	}
+}

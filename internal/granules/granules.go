@@ -1,0 +1,535 @@
+// Package granules reproduces the Granules cloud runtime (Pallickara et
+// al., IEEE CLUSTER 2009) at the fidelity NEPTUNE requires. Granules is
+// the substrate the paper builds on: it orchestrates a set of machines,
+// each hosting one or more resources that act as containers for
+// computational tasks; tasks access data through datasets and are
+// scheduled to run by pluggable scheduling strategies (data-driven,
+// periodic, count-based, or combinations).
+package granules
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Task is the most fine-grained unit of execution in the Granules runtime.
+// A task encapsulates domain-specific logic to process fine-grained units
+// of data (a packet, a file, a record). The runtime guarantees that Init
+// is called once before the first Execute, that Execute calls for one task
+// never overlap, and that Close is called exactly once at termination.
+type Task interface {
+	// ID returns the task's unique identifier within its resource.
+	ID() string
+	// Init prepares the task. It runs on a worker goroutine.
+	Init(rc *RunContext) error
+	// Execute performs one scheduled execution.
+	Execute(rc *RunContext) error
+	// Close releases the task's resources.
+	Close() error
+}
+
+// RunContext carries per-execution state into a task.
+type RunContext struct {
+	resource *Resource
+	taskID   string
+}
+
+// Resource returns the container the task runs in.
+func (rc *RunContext) Resource() *Resource { return rc.resource }
+
+// TaskID returns the executing task's id.
+func (rc *RunContext) TaskID() string { return rc.taskID }
+
+// Metrics returns the resource-wide metric registry.
+func (rc *RunContext) Metrics() *metrics.Registry { return rc.resource.Metrics() }
+
+// Strategy decides when a task is scheduled to run. The paper's Granules
+// supports data-driven, periodic and count-based strategies, possibly
+// combined, and the strategy can be changed during execution.
+type Strategy interface {
+	// OnData is consulted on each data-availability notification and
+	// reports whether the task should be scheduled now.
+	OnData(notifications uint64) bool
+	// Interval returns the periodic scheduling interval, or 0 when the
+	// strategy has no periodic component.
+	Interval() time.Duration
+}
+
+// DataDriven schedules the task on every data-availability notification.
+type DataDriven struct{}
+
+// OnData always schedules.
+func (DataDriven) OnData(uint64) bool { return true }
+
+// Interval reports no periodic component.
+func (DataDriven) Interval() time.Duration { return 0 }
+
+// Periodic schedules the task every Every duration, ignoring data
+// notifications.
+type Periodic struct {
+	// Every is the scheduling period.
+	Every time.Duration
+}
+
+// OnData never schedules on data.
+func (Periodic) OnData(uint64) bool { return false }
+
+// Interval returns the period.
+func (p Periodic) Interval() time.Duration { return p.Every }
+
+// CountBased schedules the task on every N-th data notification.
+type CountBased struct {
+	// N is the notification count between executions (minimum 1).
+	N uint64
+}
+
+// OnData schedules on multiples of N.
+func (c CountBased) OnData(n uint64) bool {
+	step := c.N
+	if step == 0 {
+		step = 1
+	}
+	return n%step == 0
+}
+
+// Interval reports no periodic component.
+func (CountBased) Interval() time.Duration { return 0 }
+
+// Combined merges a data-triggered strategy with a periodic interval, e.g.
+// "run when data is available or at least every 500 ms".
+type Combined struct {
+	// Data is the data-triggered component (nil means never on data).
+	Data Strategy
+	// Every is the periodic component (0 means never periodic).
+	Every time.Duration
+}
+
+// OnData delegates to the data component.
+func (c Combined) OnData(n uint64) bool {
+	if c.Data == nil {
+		return false
+	}
+	return c.Data.OnData(n)
+}
+
+// Interval returns the periodic component.
+func (c Combined) Interval() time.Duration { return c.Every }
+
+// Resource errors.
+var (
+	ErrDuplicateTask  = errors.New("granules: duplicate task id")
+	ErrUnknownTask    = errors.New("granules: unknown task")
+	ErrNotDeployed    = errors.New("granules: resource not deployed")
+	ErrAlreadyRunning = errors.New("granules: resource already deployed")
+	ErrTerminated     = errors.New("granules: resource terminated")
+)
+
+// taskState tracks per-task scheduling so one task never executes on two
+// workers concurrently: a notification arriving mid-execution marks the
+// task pending and it is rescheduled as soon as the execution finishes.
+type taskState struct {
+	task     Task
+	strategy Strategy
+
+	mu            sync.Mutex
+	strategyLive  Strategy // may be swapped at runtime
+	running       bool
+	pending       bool
+	notifications uint64
+	executions    atomic.Uint64
+	lastErr       error
+	ticker        *time.Ticker
+	tickerStop    chan struct{}
+}
+
+// Resource is a container for computational tasks at a single machine. It
+// owns the worker pool on which tasks execute and manages task lifecycles.
+type Resource struct {
+	name    string
+	workers int
+
+	mu       sync.Mutex
+	tasks    map[string]*taskState
+	deployed bool
+	term     bool
+
+	runq     chan *taskState
+	done     chan struct{} // closed at Terminate; workers and submitters select on it
+	wg       sync.WaitGroup
+	idle     atomic.Int64 // workers parked waiting for work
+	switches *metrics.ContextSwitchAccount
+	reg      *metrics.Registry
+
+	// ErrorHandler receives task execution errors; nil means errors are
+	// recorded on the task and counted but otherwise ignored, matching a
+	// long-running container that must survive bad input.
+	ErrorHandler func(taskID string, err error)
+}
+
+// NewResource creates a resource named name with the given worker pool
+// size. workers <= 0 selects runtime.NumCPU(), the paper's default
+// ("thread pool sizes are determined automatically depending on the number
+// of cores").
+func NewResource(name string, workers int) *Resource {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Resource{
+		name:     name,
+		workers:  workers,
+		tasks:    make(map[string]*taskState),
+		switches: &metrics.ContextSwitchAccount{},
+		reg:      metrics.NewRegistry(nil),
+	}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Workers returns the worker pool size.
+func (r *Resource) Workers() int { return r.workers }
+
+// Metrics returns the resource's metric registry.
+func (r *Resource) Metrics() *metrics.Registry { return r.reg }
+
+// Switches exposes the context-switch accounting used by Table I.
+func (r *Resource) Switches() *metrics.ContextSwitchAccount { return r.switches }
+
+// Register adds a task with its scheduling strategy. Tasks may be
+// registered before or after Deploy; Init runs on first deployment or
+// immediately (on the caller) if already deployed.
+func (r *Resource) Register(task Task, strategy Strategy) error {
+	if strategy == nil {
+		strategy = DataDriven{}
+	}
+	r.mu.Lock()
+	if r.term {
+		r.mu.Unlock()
+		return ErrTerminated
+	}
+	if _, dup := r.tasks[task.ID()]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicateTask, task.ID())
+	}
+	ts := &taskState{task: task, strategy: strategy, strategyLive: strategy}
+	r.tasks[task.ID()] = ts
+	deployed := r.deployed
+	r.mu.Unlock()
+
+	if deployed {
+		if err := task.Init(&RunContext{resource: r, taskID: task.ID()}); err != nil {
+			r.mu.Lock()
+			delete(r.tasks, task.ID())
+			r.mu.Unlock()
+			return err
+		}
+		r.startTickerIfPeriodic(ts)
+	}
+	return nil
+}
+
+// Deploy initializes all registered tasks and starts the worker pool.
+func (r *Resource) Deploy() error {
+	r.mu.Lock()
+	if r.term {
+		r.mu.Unlock()
+		return ErrTerminated
+	}
+	if r.deployed {
+		r.mu.Unlock()
+		return ErrAlreadyRunning
+	}
+	r.deployed = true
+	r.runq = make(chan *taskState, 1024)
+	r.done = make(chan struct{})
+	tasks := make([]*taskState, 0, len(r.tasks))
+	for _, ts := range r.tasks {
+		tasks = append(tasks, ts)
+	}
+	r.mu.Unlock()
+
+	for _, ts := range tasks {
+		if err := ts.task.Init(&RunContext{resource: r, taskID: ts.task.ID()}); err != nil {
+			return fmt.Errorf("granules: init %q: %w", ts.task.ID(), err)
+		}
+	}
+	for i := 0; i < r.workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	for _, ts := range tasks {
+		r.startTickerIfPeriodic(ts)
+	}
+	return nil
+}
+
+func (r *Resource) startTickerIfPeriodic(ts *taskState) {
+	ts.mu.Lock()
+	iv := ts.strategyLive.Interval()
+	if iv <= 0 || ts.ticker != nil {
+		ts.mu.Unlock()
+		return
+	}
+	ts.ticker = time.NewTicker(iv)
+	ts.tickerStop = make(chan struct{})
+	ticker, stop := ts.ticker, ts.tickerStop
+	ts.mu.Unlock()
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				r.schedule(ts)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// worker is the body of one worker-pool goroutine.
+func (r *Resource) worker() {
+	defer r.wg.Done()
+	for {
+		r.idle.Add(1)
+		select {
+		case ts := <-r.runq:
+			r.idle.Add(-1)
+			r.execute(ts)
+		case <-r.done:
+			r.idle.Add(-1)
+			return
+		}
+	}
+}
+
+// execute runs one scheduled execution of a task and reschedules it if
+// notifications arrived meanwhile.
+func (r *Resource) execute(ts *taskState) {
+	rc := &RunContext{resource: r, taskID: ts.task.ID()}
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("granules: task %q panicked: %v", ts.task.ID(), p)
+			}
+		}()
+		return ts.task.Execute(rc)
+	}()
+	ts.executions.Add(1)
+	if err != nil {
+		r.reg.Counter("task_errors").Inc()
+		ts.mu.Lock()
+		ts.lastErr = err
+		ts.mu.Unlock()
+		if r.ErrorHandler != nil {
+			r.ErrorHandler(ts.task.ID(), err)
+		}
+	}
+	ts.mu.Lock()
+	if ts.pending {
+		ts.pending = false
+		ts.mu.Unlock()
+		// Re-submission is a preemption-equivalent: the task yielded the
+		// worker with work still pending.
+		r.switches.CountPreemption()
+		r.submit(ts)
+		return
+	}
+	ts.running = false
+	ts.mu.Unlock()
+}
+
+// submit places a task on the run queue, counting a context-switch
+// equivalent when an idle worker will be woken to take it.
+func (r *Resource) submit(ts *taskState) {
+	if r.idle.Load() > 0 {
+		r.switches.CountWakeup()
+	}
+	r.switches.CountHandoff()
+	select {
+	case r.runq <- ts:
+	case <-r.done:
+	}
+}
+
+// schedule requests one execution of ts, coalescing with any execution
+// already in flight.
+func (r *Resource) schedule(ts *taskState) {
+	ts.mu.Lock()
+	if ts.running {
+		ts.pending = true
+		ts.mu.Unlock()
+		return
+	}
+	ts.running = true
+	ts.mu.Unlock()
+	r.submit(ts)
+}
+
+// NotifyData signals that data became available for the given task; the
+// task's strategy decides whether this triggers an execution. Datasets
+// call this from IO goroutines.
+func (r *Resource) NotifyData(taskID string) error {
+	r.mu.Lock()
+	if !r.deployed {
+		r.mu.Unlock()
+		return ErrNotDeployed
+	}
+	if r.term {
+		r.mu.Unlock()
+		return ErrTerminated
+	}
+	ts, ok := r.tasks[taskID]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	ts.mu.Lock()
+	ts.notifications++
+	n := ts.notifications
+	strat := ts.strategyLive
+	ts.mu.Unlock()
+	if strat.OnData(n) {
+		r.schedule(ts)
+	}
+	return nil
+}
+
+// SetStrategy swaps a task's scheduling strategy at runtime (a Granules
+// capability the paper calls out). Periodic tickers are restarted to match.
+func (r *Resource) SetStrategy(taskID string, s Strategy) error {
+	if s == nil {
+		return errors.New("granules: nil strategy")
+	}
+	r.mu.Lock()
+	ts, ok := r.tasks[taskID]
+	deployed := r.deployed
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	ts.mu.Lock()
+	ts.strategyLive = s
+	// Stop any existing ticker; restart below if the new strategy is
+	// periodic and the resource is live.
+	if ts.ticker != nil {
+		ts.ticker.Stop()
+		close(ts.tickerStop)
+		ts.ticker = nil
+		ts.tickerStop = nil
+	}
+	ts.mu.Unlock()
+	if deployed {
+		r.startTickerIfPeriodic(ts)
+	}
+	return nil
+}
+
+// Executions reports how many times the task has executed.
+func (r *Resource) Executions(taskID string) (uint64, error) {
+	r.mu.Lock()
+	ts, ok := r.tasks[taskID]
+	r.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	return ts.executions.Load(), nil
+}
+
+// LastError reports the most recent execution error of the task (nil when
+// none).
+func (r *Resource) LastError(taskID string) (error, error) {
+	r.mu.Lock()
+	ts, ok := r.tasks[taskID]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.lastErr, nil
+}
+
+// TaskIDs returns the ids of all registered tasks.
+func (r *Resource) TaskIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.tasks))
+	for id := range r.tasks {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Quiesce blocks until no task is running or pending, or until timeout. It
+// reports whether quiescence was reached. Useful for drain-then-terminate
+// shutdown and for tests.
+func (r *Resource) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		busy := false
+		r.mu.Lock()
+		for _, ts := range r.tasks {
+			ts.mu.Lock()
+			if ts.running || ts.pending {
+				busy = true
+			}
+			ts.mu.Unlock()
+			if busy {
+				break
+			}
+		}
+		r.mu.Unlock()
+		if !busy && len(r.runq) == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Terminate stops the worker pool, stops periodic tickers, and closes all
+// tasks. It blocks until in-flight executions finish.
+func (r *Resource) Terminate() error {
+	r.mu.Lock()
+	if r.term {
+		r.mu.Unlock()
+		return nil
+	}
+	r.term = true
+	deployed := r.deployed
+	tasks := make([]*taskState, 0, len(r.tasks))
+	for _, ts := range r.tasks {
+		tasks = append(tasks, ts)
+	}
+	r.mu.Unlock()
+
+	for _, ts := range tasks {
+		ts.mu.Lock()
+		if ts.ticker != nil {
+			ts.ticker.Stop()
+			close(ts.tickerStop)
+			ts.ticker = nil
+			ts.tickerStop = nil
+		}
+		ts.mu.Unlock()
+	}
+	if deployed {
+		close(r.done)
+		r.wg.Wait()
+	}
+	var firstErr error
+	for _, ts := range tasks {
+		if err := ts.task.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

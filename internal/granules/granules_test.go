@@ -1,0 +1,470 @@
+package granules
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testTask is a configurable task for exercising the runtime.
+type testTask struct {
+	id        string
+	initCount atomic.Int32
+	execCount atomic.Int32
+	closed    atomic.Int32
+	onExec    func(rc *RunContext) error
+	onInit    func(rc *RunContext) error
+
+	mu         sync.Mutex
+	concurrent int
+	maxConc    int
+}
+
+func (t *testTask) ID() string { return t.id }
+
+func (t *testTask) Init(rc *RunContext) error {
+	t.initCount.Add(1)
+	if t.onInit != nil {
+		return t.onInit(rc)
+	}
+	return nil
+}
+
+func (t *testTask) Execute(rc *RunContext) error {
+	t.mu.Lock()
+	t.concurrent++
+	if t.concurrent > t.maxConc {
+		t.maxConc = t.concurrent
+	}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		t.concurrent--
+		t.mu.Unlock()
+	}()
+	t.execCount.Add(1)
+	if t.onExec != nil {
+		return t.onExec(rc)
+	}
+	return nil
+}
+
+func (t *testTask) Close() error {
+	t.closed.Add(1)
+	return nil
+}
+
+func deployOne(t *testing.T, task Task, s Strategy) *Resource {
+	t.Helper()
+	r := NewResource("test", 4)
+	if err := r.Register(task, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Terminate() })
+	return r
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	task := &testTask{id: "t1"}
+	r := NewResource("res", 2)
+	if err := r.Register(task, DataDriven{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if task.initCount.Load() != 1 {
+		t.Fatalf("Init ran %d times", task.initCount.Load())
+	}
+	if err := r.NotifyData("t1"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool { return task.execCount.Load() == 1 })
+	if err := r.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	if task.closed.Load() != 1 {
+		t.Fatalf("Close ran %d times", task.closed.Load())
+	}
+	// Terminate is idempotent.
+	if err := r.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	if task.closed.Load() != 1 {
+		t.Fatal("Close ran again on second Terminate")
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	r := NewResource("res", 1)
+	if err := r.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deploy(); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("second Deploy = %v", err)
+	}
+	r.Terminate()
+	if err := r.Deploy(); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("Deploy after Terminate = %v", err)
+	}
+	if err := r.Register(&testTask{id: "x"}, nil); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("Register after Terminate = %v", err)
+	}
+}
+
+func TestDuplicateTask(t *testing.T) {
+	r := NewResource("res", 1)
+	if err := r.Register(&testTask{id: "t"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(&testTask{id: "t"}, nil); !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("duplicate = %v", err)
+	}
+	r.Terminate()
+}
+
+func TestNotifyUnknownAndUndeployed(t *testing.T) {
+	r := NewResource("res", 1)
+	if err := r.NotifyData("ghost"); !errors.Is(err, ErrNotDeployed) {
+		t.Fatalf("undeployed NotifyData = %v", err)
+	}
+	r.Deploy()
+	defer r.Terminate()
+	if err := r.NotifyData("ghost"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("unknown NotifyData = %v", err)
+	}
+}
+
+func TestNoConcurrentExecutionPerTask(t *testing.T) {
+	task := &testTask{id: "t1", onExec: func(rc *RunContext) error {
+		time.Sleep(200 * time.Microsecond)
+		return nil
+	}}
+	r := deployOne(t, task, DataDriven{})
+	for i := 0; i < 200; i++ {
+		r.NotifyData("t1")
+	}
+	waitUntil(t, func() bool { return task.execCount.Load() >= 2 })
+	r.Quiesce(3 * time.Second)
+	task.mu.Lock()
+	defer task.mu.Unlock()
+	if task.maxConc != 1 {
+		t.Fatalf("task executed on %d workers concurrently", task.maxConc)
+	}
+}
+
+func TestNotificationCoalescing(t *testing.T) {
+	// Notifications arriving during an execution coalesce into a single
+	// follow-up run (the pending flag), so executions <= notifications
+	// but >= 2 for a burst.
+	block := make(chan struct{})
+	task := &testTask{id: "t1", onExec: func(rc *RunContext) error {
+		select {
+		case <-block:
+		case <-time.After(time.Second):
+		}
+		return nil
+	}}
+	r := deployOne(t, task, DataDriven{})
+	for i := 0; i < 100; i++ {
+		r.NotifyData("t1")
+	}
+	close(block)
+	waitUntil(t, func() bool { return task.execCount.Load() >= 2 })
+	r.Quiesce(3 * time.Second)
+	n := task.execCount.Load()
+	if n > 100 {
+		t.Fatalf("executions %d exceed notifications", n)
+	}
+	if n < 2 {
+		t.Fatalf("pending notification lost: %d executions", n)
+	}
+}
+
+func TestCountBasedStrategy(t *testing.T) {
+	task := &testTask{id: "t1"}
+	r := deployOne(t, task, CountBased{N: 10})
+	for i := 0; i < 100; i++ {
+		r.NotifyData("t1")
+		// Pace the notifications so executions don't coalesce; the
+		// count-based gate itself is what's under test.
+		if (i+1)%10 == 0 {
+			waitUntil(t, func() bool { return r.Quiesce(time.Second) })
+		}
+	}
+	if got := task.execCount.Load(); got != 10 {
+		t.Fatalf("executions = %d, want 10", got)
+	}
+}
+
+func TestCountBasedZeroN(t *testing.T) {
+	c := CountBased{N: 0}
+	if !c.OnData(1) || !c.OnData(2) {
+		t.Fatal("N=0 should behave like N=1")
+	}
+}
+
+func TestPeriodicStrategy(t *testing.T) {
+	task := &testTask{id: "t1"}
+	r := deployOne(t, task, Periodic{Every: 5 * time.Millisecond})
+	waitUntil(t, func() bool { return task.execCount.Load() >= 3 })
+	// Data notifications must not schedule a periodic task.
+	before := task.execCount.Load()
+	r.NotifyData("t1")
+	r.NotifyData("t1")
+	time.Sleep(2 * time.Millisecond)
+	if got := task.execCount.Load(); got > before+2 {
+		t.Fatalf("data notifications scheduled a periodic task (%d -> %d)", before, got)
+	}
+}
+
+func TestCombinedStrategy(t *testing.T) {
+	s := Combined{Data: CountBased{N: 2}, Every: 100 * time.Millisecond}
+	if s.OnData(1) || !s.OnData(2) {
+		t.Fatal("Combined data gating broken")
+	}
+	if s.Interval() != 100*time.Millisecond {
+		t.Fatal("Combined interval broken")
+	}
+	nilData := Combined{Every: time.Second}
+	if nilData.OnData(5) {
+		t.Fatal("nil data component should never schedule on data")
+	}
+}
+
+func TestSetStrategyAtRuntime(t *testing.T) {
+	task := &testTask{id: "t1"}
+	r := deployOne(t, task, CountBased{N: 1000000})
+	r.NotifyData("t1")
+	time.Sleep(5 * time.Millisecond)
+	if task.execCount.Load() != 0 {
+		t.Fatal("premature execution")
+	}
+	if err := r.SetStrategy("t1", DataDriven{}); err != nil {
+		t.Fatal(err)
+	}
+	r.NotifyData("t1")
+	waitUntil(t, func() bool { return task.execCount.Load() >= 1 })
+
+	// Switch to periodic at runtime.
+	if err := r.SetStrategy("t1", Periodic{Every: 3 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	base := task.execCount.Load()
+	waitUntil(t, func() bool { return task.execCount.Load() >= base+3 })
+
+	if err := r.SetStrategy("ghost", DataDriven{}); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("SetStrategy(ghost) = %v", err)
+	}
+	if err := r.SetStrategy("t1", nil); err == nil {
+		t.Fatal("nil strategy accepted")
+	}
+}
+
+func TestTaskPanicRecovered(t *testing.T) {
+	task := &testTask{id: "t1", onExec: func(rc *RunContext) error {
+		panic("boom")
+	}}
+	var handled atomic.Int32
+	r := NewResource("res", 2)
+	r.ErrorHandler = func(taskID string, err error) {
+		if taskID == "t1" && err != nil {
+			handled.Add(1)
+		}
+	}
+	r.Register(task, DataDriven{})
+	r.Deploy()
+	defer r.Terminate()
+	r.NotifyData("t1")
+	waitUntil(t, func() bool { return handled.Load() == 1 })
+	lastErr, err := r.LastError("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastErr == nil {
+		t.Fatal("panic not recorded as task error")
+	}
+	if got := r.Metrics().Counter("task_errors").Value(); got != 1 {
+		t.Fatalf("task_errors = %d", got)
+	}
+	// The resource survives: further executions work.
+	task.onExec = nil
+	r.NotifyData("t1")
+	waitUntil(t, func() bool { return task.execCount.Load() >= 2 })
+}
+
+func TestInitFailureAtDeploy(t *testing.T) {
+	task := &testTask{id: "bad", onInit: func(rc *RunContext) error {
+		return errors.New("no init")
+	}}
+	r := NewResource("res", 1)
+	r.Register(task, nil)
+	if err := r.Deploy(); err == nil {
+		t.Fatal("Deploy should surface Init failure")
+	}
+	r.Terminate()
+}
+
+func TestRegisterAfterDeployInitsImmediately(t *testing.T) {
+	r := NewResource("res", 2)
+	r.Deploy()
+	defer r.Terminate()
+	task := &testTask{id: "late"}
+	if err := r.Register(task, DataDriven{}); err != nil {
+		t.Fatal(err)
+	}
+	if task.initCount.Load() != 1 {
+		t.Fatal("late-registered task not initialized")
+	}
+	r.NotifyData("late")
+	waitUntil(t, func() bool { return task.execCount.Load() == 1 })
+
+	// Init failure on late registration unregisters the task.
+	bad := &testTask{id: "badlate", onInit: func(rc *RunContext) error { return errors.New("x") }}
+	if err := r.Register(bad, nil); err == nil {
+		t.Fatal("late Init failure not surfaced")
+	}
+	if err := r.NotifyData("badlate"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("failed task still registered: %v", err)
+	}
+}
+
+func TestRegisterAfterDeployPeriodicStartsTicker(t *testing.T) {
+	r := NewResource("res", 2)
+	r.Deploy()
+	defer r.Terminate()
+	task := &testTask{id: "p"}
+	if err := r.Register(task, Periodic{Every: 3 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool { return task.execCount.Load() >= 2 })
+}
+
+func TestExecutionsAndTaskIDs(t *testing.T) {
+	task := &testTask{id: "t1"}
+	r := deployOne(t, task, DataDriven{})
+	r.NotifyData("t1")
+	waitUntil(t, func() bool {
+		n, _ := r.Executions("t1")
+		return n == 1
+	})
+	if _, err := r.Executions("ghost"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("Executions(ghost) = %v", err)
+	}
+	if _, err := r.LastError("ghost"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("LastError(ghost) = %v", err)
+	}
+	ids := r.TaskIDs()
+	if len(ids) != 1 || ids[0] != "t1" {
+		t.Fatalf("TaskIDs = %v", ids)
+	}
+}
+
+func TestWorkerPoolDefaultSize(t *testing.T) {
+	r := NewResource("res", 0)
+	if r.Workers() < 1 {
+		t.Fatalf("Workers = %d", r.Workers())
+	}
+	if r.Name() != "res" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}
+
+func TestContextSwitchAccounting(t *testing.T) {
+	task := &testTask{id: "t1"}
+	r := deployOne(t, task, DataDriven{})
+	for i := 0; i < 50; i++ {
+		r.NotifyData("t1")
+		time.Sleep(100 * time.Microsecond)
+	}
+	r.Quiesce(3 * time.Second)
+	if r.Switches().Handoffs() == 0 {
+		t.Fatal("no handoffs recorded")
+	}
+	if r.Switches().Switches() == 0 {
+		t.Fatal("no context-switch equivalents recorded")
+	}
+}
+
+func TestManyTasksParallel(t *testing.T) {
+	r := NewResource("res", 8)
+	const n = 32
+	tasks := make([]*testTask, n)
+	for i := range tasks {
+		tasks[i] = &testTask{id: string(rune('a' + i))}
+		if err := r.Register(tasks[i], DataDriven{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Deploy()
+	defer r.Terminate()
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.NotifyData(id)
+			}
+		}(tasks[i].id)
+	}
+	wg.Wait()
+	waitUntil(t, func() bool { return r.Quiesce(time.Second) })
+	for _, task := range tasks {
+		if task.execCount.Load() == 0 {
+			t.Fatalf("task %s never executed", task.id)
+		}
+	}
+}
+
+func TestQuiesceTimeout(t *testing.T) {
+	task := &testTask{id: "slow", onExec: func(rc *RunContext) error {
+		time.Sleep(300 * time.Millisecond)
+		return nil
+	}}
+	r := deployOne(t, task, DataDriven{})
+	r.NotifyData("slow")
+	if r.Quiesce(10 * time.Millisecond) {
+		t.Fatal("Quiesce reported idle while a task was running")
+	}
+	if !r.Quiesce(3 * time.Second) {
+		t.Fatal("Quiesce never settled")
+	}
+}
+
+func TestRunContextAccessors(t *testing.T) {
+	var gotID string
+	var gotRes *Resource
+	task := &testTask{id: "ctx", onExec: func(rc *RunContext) error {
+		gotID = rc.TaskID()
+		gotRes = rc.Resource()
+		rc.Metrics().Counter("custom").Inc()
+		return nil
+	}}
+	r := deployOne(t, task, DataDriven{})
+	r.NotifyData("ctx")
+	waitUntil(t, func() bool { return task.execCount.Load() == 1 })
+	r.Quiesce(time.Second)
+	if gotID != "ctx" || gotRes != r {
+		t.Fatalf("RunContext accessors: %q, %p vs %p", gotID, gotRes, r)
+	}
+	if r.Metrics().Counter("custom").Value() != 1 {
+		t.Fatal("metrics not shared through RunContext")
+	}
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonSpec is the JSON descriptor schema (paper §III-A7: "a stream
+// processing graph can be created by directly invoking the NEPTUNE API or
+// through a JSON descriptor file").
+type jsonSpec struct {
+	Name      string         `json:"name"`
+	Operators []jsonOperator `json:"operators"`
+	Links     []jsonLink     `json:"links"`
+}
+
+type jsonOperator struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"` // "source" | "processor"
+	Parallelism int    `json:"parallelism,omitempty"`
+	Node        string `json:"node,omitempty"`
+}
+
+type jsonLink struct {
+	Name        string `json:"name,omitempty"`
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Partitioner string `json:"partitioner,omitempty"`
+}
+
+// ParseDescriptor reads a JSON graph descriptor, normalizes it, and
+// validates it.
+func ParseDescriptor(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var js jsonSpec
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("graph: parsing descriptor: %w", err)
+	}
+	spec := &Spec{Name: js.Name}
+	for _, op := range js.Operators {
+		var kind Kind
+		switch op.Kind {
+		case "source":
+			kind = KindSource
+		case "processor", "":
+			kind = KindProcessor
+		default:
+			return nil, fmt.Errorf("graph: operator %q has unknown kind %q", op.Name, op.Kind)
+		}
+		spec.Operators = append(spec.Operators, OperatorSpec{
+			Name:        op.Name,
+			Kind:        kind,
+			Parallelism: op.Parallelism,
+			Node:        op.Node,
+		})
+	}
+	for _, l := range js.Links {
+		spec.Links = append(spec.Links, LinkSpec{
+			Name:        l.Name,
+			From:        l.From,
+			To:          l.To,
+			Partitioner: l.Partitioner,
+		})
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// LoadDescriptor parses the descriptor file at path.
+func LoadDescriptor(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseDescriptor(f)
+}
+
+// MarshalDescriptor renders the spec as a JSON descriptor.
+func MarshalDescriptor(s *Spec) ([]byte, error) {
+	js := jsonSpec{Name: s.Name}
+	for _, op := range s.Operators {
+		js.Operators = append(js.Operators, jsonOperator{
+			Name:        op.Name,
+			Kind:        op.Kind.String(),
+			Parallelism: op.Parallelism,
+			Node:        op.Node,
+		})
+	}
+	for _, l := range s.Links {
+		js.Links = append(js.Links, jsonLink{
+			Name:        l.Name,
+			From:        l.From,
+			To:          l.To,
+			Partitioner: l.Partitioner,
+		})
+	}
+	return json.MarshalIndent(js, "", "  ")
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const relayJSON = `{
+  "name": "relay",
+  "operators": [
+    {"name": "sender", "kind": "source"},
+    {"name": "relay", "kind": "processor", "parallelism": 2},
+    {"name": "receiver", "kind": "processor"}
+  ],
+  "links": [
+    {"from": "sender", "to": "relay", "partitioner": "round-robin"},
+    {"from": "relay", "to": "receiver"}
+  ]
+}`
+
+func TestParseDescriptor(t *testing.T) {
+	spec, err := ParseDescriptor(strings.NewReader(relayJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "relay" || len(spec.Operators) != 3 || len(spec.Links) != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Operator("relay").Parallelism != 2 {
+		t.Fatal("parallelism lost")
+	}
+	if spec.Operator("sender").Kind != KindSource {
+		t.Fatal("kind lost")
+	}
+	if spec.Links[1].Partitioner != "shuffle" {
+		t.Fatalf("default partitioner = %q", spec.Links[1].Partitioner)
+	}
+	if spec.Links[0].Name != "sender->relay" {
+		t.Fatalf("default link name = %q", spec.Links[0].Name)
+	}
+}
+
+func TestParseDescriptorDefaultsProcessorKind(t *testing.T) {
+	js := `{"name":"g","operators":[{"name":"s","kind":"source"},{"name":"p"}],
+	        "links":[{"from":"s","to":"p"}]}`
+	spec, err := ParseDescriptor(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Operator("p").Kind != KindProcessor {
+		t.Fatal("empty kind should default to processor")
+	}
+}
+
+func TestParseDescriptorErrors(t *testing.T) {
+	cases := []struct{ name, js string }{
+		{"bad json", `{`},
+		{"unknown field", `{"name":"g","bogus":1}`},
+		{"unknown kind", `{"name":"g","operators":[{"name":"x","kind":"alien"}]}`},
+		{"invalid graph", `{"name":"g","operators":[{"name":"p","kind":"processor"}]}`},
+		{"bad partitioner", `{"name":"g","operators":[{"name":"s","kind":"source"},{"name":"p"}],
+		                      "links":[{"from":"s","to":"p","partitioner":"zap"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseDescriptor(strings.NewReader(c.js)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadDescriptorFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "relay.json")
+	if err := os.WriteFile(path, []byte(relayJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadDescriptor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "relay" {
+		t.Fatalf("Name = %q", spec.Name)
+	}
+	if _, err := LoadDescriptor(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	orig, err := ParseDescriptor(strings.NewReader(relayJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalDescriptor(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDescriptor(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	if back.Name != orig.Name || len(back.Operators) != len(orig.Operators) || len(back.Links) != len(orig.Links) {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	for i := range orig.Operators {
+		if back.Operators[i] != orig.Operators[i] {
+			t.Fatalf("operator %d changed: %+v vs %+v", i, back.Operators[i], orig.Operators[i])
+		}
+	}
+	for i := range orig.Links {
+		if back.Links[i] != orig.Links[i] {
+			t.Fatalf("link %d changed: %+v vs %+v", i, back.Links[i], orig.Links[i])
+		}
+	}
+}

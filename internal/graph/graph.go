@@ -1,0 +1,307 @@
+// Package graph models NEPTUNE's stream processing graphs (paper §III-A):
+// stream sources and stream processors (collectively, stream operators)
+// for each stage, per-operator parallelism levels, links connecting
+// operator instances, and a stream partitioning scheme per link. Graphs
+// can be assembled through the API or loaded from a JSON descriptor file.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes the two operator roles.
+type Kind uint8
+
+// Operator kinds.
+const (
+	// KindSource ingests external streams into the graph.
+	KindSource Kind = iota
+	// KindProcessor consumes packets from incoming links and may emit on
+	// outgoing links.
+	KindProcessor
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindProcessor:
+		return "processor"
+	default:
+		return "unknown"
+	}
+}
+
+// OperatorSpec declares one logical stream operator. At runtime the graph
+// may fan out to Parallelism instances of the operator, each processing a
+// partition of its input streams.
+type OperatorSpec struct {
+	// Name uniquely identifies the operator within the graph.
+	Name string
+	// Kind is source or processor.
+	Kind Kind
+	// Parallelism is the instance count (minimum 1; 0 defaults to 1).
+	Parallelism int
+	// Node optionally pins the operator's instances to a cluster node
+	// (round-robin across instances when multiple nodes host it);
+	// empty means the engine places it.
+	Node string
+}
+
+// LinkSpec connects two operators; every packet emitted by From on this
+// link is routed to one (or more, for broadcast) instances of To according
+// to the Partitioner.
+type LinkSpec struct {
+	// Name identifies the link; empty defaults to "from->to".
+	Name string
+	// From and To are operator names.
+	From, To string
+	// Partitioner names the stream partitioning scheme (see the
+	// partitioner registry): "shuffle", "round-robin", "broadcast",
+	// "fields:<fieldname>", or a custom registered name.
+	Partitioner string
+}
+
+// Spec is a complete stream processing graph description.
+type Spec struct {
+	// Name identifies the job.
+	Name string
+	// Operators lists every logical operator.
+	Operators []OperatorSpec
+	// Links lists the data flow edges.
+	Links []LinkSpec
+}
+
+// Validation errors.
+var (
+	ErrEmptyGraph      = errors.New("graph: no operators")
+	ErrDuplicateName   = errors.New("graph: duplicate operator name")
+	ErrDuplicateLink   = errors.New("graph: duplicate link name")
+	ErrUnknownOperator = errors.New("graph: link references unknown operator")
+	ErrSourceHasInput  = errors.New("graph: source operator has an incoming link")
+	ErrCycle           = errors.New("graph: cycle detected")
+	ErrSelfLoop        = errors.New("graph: operator linked to itself")
+	ErrUnreachable     = errors.New("graph: processor unreachable from any source")
+	ErrNoSource        = errors.New("graph: no source operator")
+	ErrBadParallelism  = errors.New("graph: negative parallelism")
+	ErrEmptyName       = errors.New("graph: empty operator name")
+	ErrBadPartitioner  = errors.New("graph: unknown partitioner")
+)
+
+// Normalize fills defaults in place: parallelism 0 -> 1 and empty link
+// names -> "from->to".
+func (s *Spec) Normalize() {
+	for i := range s.Operators {
+		if s.Operators[i].Parallelism == 0 {
+			s.Operators[i].Parallelism = 1
+		}
+	}
+	for i := range s.Links {
+		if s.Links[i].Name == "" {
+			s.Links[i].Name = s.Links[i].From + "->" + s.Links[i].To
+		}
+		if s.Links[i].Partitioner == "" {
+			s.Links[i].Partitioner = "shuffle"
+		}
+	}
+}
+
+// Validate checks structural invariants: unique names, links referencing
+// declared operators, sources without inputs, acyclicity, reachability of
+// every processor from a source, and resolvable partitioners. Call
+// Normalize first (Validate does not mutate).
+func (s *Spec) Validate() error {
+	if len(s.Operators) == 0 {
+		return ErrEmptyGraph
+	}
+	ops := make(map[string]*OperatorSpec, len(s.Operators))
+	hasSource := false
+	for i := range s.Operators {
+		op := &s.Operators[i]
+		if op.Name == "" {
+			return ErrEmptyName
+		}
+		if _, dup := ops[op.Name]; dup {
+			return fmt.Errorf("%w: %q", ErrDuplicateName, op.Name)
+		}
+		if op.Parallelism < 0 {
+			return fmt.Errorf("%w: %q has %d", ErrBadParallelism, op.Name, op.Parallelism)
+		}
+		if op.Kind == KindSource {
+			hasSource = true
+		}
+		ops[op.Name] = op
+	}
+	if !hasSource {
+		return ErrNoSource
+	}
+	linkNames := make(map[string]bool, len(s.Links))
+	adj := make(map[string][]string)
+	indeg := make(map[string]int)
+	for i := range s.Links {
+		l := &s.Links[i]
+		if l.Name != "" {
+			if linkNames[l.Name] {
+				return fmt.Errorf("%w: %q", ErrDuplicateLink, l.Name)
+			}
+			linkNames[l.Name] = true
+		}
+		from, ok := ops[l.From]
+		if !ok {
+			return fmt.Errorf("%w: %q (link %q)", ErrUnknownOperator, l.From, l.Name)
+		}
+		to, ok := ops[l.To]
+		if !ok {
+			return fmt.Errorf("%w: %q (link %q)", ErrUnknownOperator, l.To, l.Name)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("%w: %q", ErrSelfLoop, l.From)
+		}
+		if to.Kind == KindSource {
+			return fmt.Errorf("%w: %q <- %q", ErrSourceHasInput, l.To, l.From)
+		}
+		_ = from
+		if l.Partitioner != "" {
+			if _, err := ResolvePartitioner(l.Partitioner); err != nil {
+				return err
+			}
+		}
+		adj[l.From] = append(adj[l.From], l.To)
+		indeg[l.To]++
+	}
+	// Topological order establishes acyclicity.
+	order, err := s.topoOrder(adj, indeg)
+	if err != nil {
+		return err
+	}
+	// Reachability: every processor must be downstream of some source.
+	reach := make(map[string]bool)
+	for i := range s.Operators {
+		if s.Operators[i].Kind == KindSource {
+			reach[s.Operators[i].Name] = true
+		}
+	}
+	for _, name := range order {
+		if !reach[name] {
+			continue
+		}
+		for _, next := range adj[name] {
+			reach[next] = true
+		}
+	}
+	for i := range s.Operators {
+		op := &s.Operators[i]
+		if op.Kind == KindProcessor && !reach[op.Name] {
+			return fmt.Errorf("%w: %q", ErrUnreachable, op.Name)
+		}
+	}
+	return nil
+}
+
+// topoOrder returns a topological ordering of the operators or ErrCycle.
+func (s *Spec) topoOrder(adj map[string][]string, indeg map[string]int) ([]string, error) {
+	var ready []string
+	for i := range s.Operators {
+		name := s.Operators[i].Name
+		if indeg[name] == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Strings(ready) // determinism
+	deg := make(map[string]int, len(indeg))
+	for k, v := range indeg {
+		deg[k] = v
+	}
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		next := append([]string(nil), adj[n]...)
+		sort.Strings(next)
+		for _, m := range next {
+			deg[m]--
+			if deg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(order) != len(s.Operators) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Stages assigns each operator a stage number: sources are stage 0 and
+// every other operator is one past its deepest upstream operator — the
+// logical phases the paper composes jobs from. The spec must be valid.
+func (s *Spec) Stages() (map[string]int, error) {
+	adj := make(map[string][]string)
+	indeg := make(map[string]int)
+	for i := range s.Links {
+		adj[s.Links[i].From] = append(adj[s.Links[i].From], s.Links[i].To)
+		indeg[s.Links[i].To]++
+	}
+	order, err := s.topoOrder(adj, indeg)
+	if err != nil {
+		return nil, err
+	}
+	stage := make(map[string]int, len(order))
+	for _, name := range order {
+		for _, next := range adj[name] {
+			if stage[name]+1 > stage[next] {
+				stage[next] = stage[name] + 1
+			}
+		}
+	}
+	return stage, nil
+}
+
+// Operator returns the spec of the named operator, or nil.
+func (s *Spec) Operator(name string) *OperatorSpec {
+	for i := range s.Operators {
+		if s.Operators[i].Name == name {
+			return &s.Operators[i]
+		}
+	}
+	return nil
+}
+
+// Inputs returns the links flowing into the named operator.
+func (s *Spec) Inputs(name string) []LinkSpec {
+	var in []LinkSpec
+	for i := range s.Links {
+		if s.Links[i].To == name {
+			in = append(in, s.Links[i])
+		}
+	}
+	return in
+}
+
+// Outputs returns the links flowing out of the named operator.
+func (s *Spec) Outputs(name string) []LinkSpec {
+	var out []LinkSpec
+	for i := range s.Links {
+		if s.Links[i].From == name {
+			out = append(out, s.Links[i])
+		}
+	}
+	return out
+}
+
+// TotalInstances returns the sum of parallelism across operators (after
+// Normalize).
+func (s *Spec) TotalInstances() int {
+	total := 0
+	for i := range s.Operators {
+		p := s.Operators[i].Parallelism
+		if p == 0 {
+			p = 1
+		}
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func relaySpec() *Spec {
+	s := &Spec{
+		Name: "relay",
+		Operators: []OperatorSpec{
+			{Name: "sender", Kind: KindSource},
+			{Name: "relay", Kind: KindProcessor},
+			{Name: "receiver", Kind: KindProcessor},
+		},
+		Links: []LinkSpec{
+			{From: "sender", To: "relay"},
+			{From: "relay", To: "receiver"},
+		},
+	}
+	s.Normalize()
+	return s
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := relaySpec()
+	for _, op := range s.Operators {
+		if op.Parallelism != 1 {
+			t.Fatalf("parallelism default: %+v", op)
+		}
+	}
+	if s.Links[0].Name != "sender->relay" {
+		t.Fatalf("link name default = %q", s.Links[0].Name)
+	}
+	if s.Links[0].Partitioner != "shuffle" {
+		t.Fatalf("partitioner default = %q", s.Links[0].Partitioner)
+	}
+}
+
+func TestValidateAcceptsRelay(t *testing.T) {
+	if err := relaySpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want error
+	}{
+		{"empty graph", func(s *Spec) { s.Operators = nil }, ErrEmptyGraph},
+		{"empty name", func(s *Spec) { s.Operators[0].Name = "" }, ErrEmptyName},
+		{"duplicate op", func(s *Spec) { s.Operators[1].Name = "sender" }, ErrDuplicateName},
+		{"negative parallelism", func(s *Spec) { s.Operators[0].Parallelism = -2 }, ErrBadParallelism},
+		{"no source", func(s *Spec) { s.Operators[0].Kind = KindProcessor }, ErrNoSource},
+		{"duplicate link", func(s *Spec) { s.Links[1].Name = s.Links[0].Name }, ErrDuplicateLink},
+		{"unknown from", func(s *Spec) { s.Links[0].From = "ghost" }, ErrUnknownOperator},
+		{"unknown to", func(s *Spec) { s.Links[0].To = "ghost" }, ErrUnknownOperator},
+		{"self loop", func(s *Spec) { s.Links[0].To = "sender"; s.Links[0].Name = "x" }, ErrSelfLoop},
+		{"source input", func(s *Spec) {
+			s.Links = append(s.Links, LinkSpec{Name: "bad", From: "relay", To: "sender"})
+		}, ErrSourceHasInput},
+		{"bad partitioner", func(s *Spec) { s.Links[0].Partitioner = "nope" }, ErrBadPartitioner},
+		{"fields without arg", func(s *Spec) { s.Links[0].Partitioner = "fields" }, nil /* any error */},
+	}
+	for _, c := range cases {
+		s := relaySpec()
+		c.mut(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	s := &Spec{
+		Name: "cyclic",
+		Operators: []OperatorSpec{
+			{Name: "src", Kind: KindSource},
+			{Name: "a", Kind: KindProcessor},
+			{Name: "b", Kind: KindProcessor},
+		},
+		Links: []LinkSpec{
+			{From: "src", To: "a"},
+			{From: "a", To: "b"},
+			{From: "b", To: "a"},
+		},
+	}
+	s.Normalize()
+	if err := s.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateUnreachable(t *testing.T) {
+	s := &Spec{
+		Name: "island",
+		Operators: []OperatorSpec{
+			{Name: "src", Kind: KindSource},
+			{Name: "a", Kind: KindProcessor},
+			{Name: "island", Kind: KindProcessor},
+		},
+		Links: []LinkSpec{{From: "src", To: "a"}},
+	}
+	s.Normalize()
+	if err := s.Validate(); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestStages(t *testing.T) {
+	// Diamond: src -> a,b -> sink. Deepest path defines the stage.
+	s := &Spec{
+		Name: "diamond",
+		Operators: []OperatorSpec{
+			{Name: "src", Kind: KindSource},
+			{Name: "a", Kind: KindProcessor},
+			{Name: "b", Kind: KindProcessor},
+			{Name: "c", Kind: KindProcessor},
+			{Name: "sink", Kind: KindProcessor},
+		},
+		Links: []LinkSpec{
+			{From: "src", To: "a"},
+			{From: "src", To: "b"},
+			{From: "b", To: "c"},
+			{From: "a", To: "sink"},
+			{From: "c", To: "sink"},
+		},
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stages, err := s.Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"src": 0, "a": 1, "b": 1, "c": 2, "sink": 3}
+	for op, st := range want {
+		if stages[op] != st {
+			t.Errorf("stage[%s] = %d, want %d", op, stages[op], st)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := relaySpec()
+	if op := s.Operator("relay"); op == nil || op.Kind != KindProcessor {
+		t.Fatalf("Operator(relay) = %+v", op)
+	}
+	if s.Operator("ghost") != nil {
+		t.Fatal("Operator(ghost) should be nil")
+	}
+	if in := s.Inputs("relay"); len(in) != 1 || in[0].From != "sender" {
+		t.Fatalf("Inputs(relay) = %+v", in)
+	}
+	if out := s.Outputs("relay"); len(out) != 1 || out[0].To != "receiver" {
+		t.Fatalf("Outputs(relay) = %+v", out)
+	}
+	if n := s.TotalInstances(); n != 3 {
+		t.Fatalf("TotalInstances = %d", n)
+	}
+	s.Operators[1].Parallelism = 4
+	if n := s.TotalInstances(); n != 6 {
+		t.Fatalf("TotalInstances = %d, want 6", n)
+	}
+}
+
+func TestTotalInstancesUnnormalized(t *testing.T) {
+	s := &Spec{Operators: []OperatorSpec{{Name: "a", Kind: KindSource}}}
+	if n := s.TotalInstances(); n != 1 {
+		t.Fatalf("TotalInstances (parallelism 0) = %d, want 1", n)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSource.String() != "source" || KindProcessor.String() != "processor" {
+		t.Fatal("kind names")
+	}
+	if Kind(9).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/packet"
+)
+
+// Partitioner decides which instance(s) of the destination operator a
+// packet is routed to. Implementations must be safe for concurrent use —
+// one partitioner instance serves all upstream emitters of a link.
+//
+// Route appends destination instance indexes (each in [0, n)) to dst and
+// returns the extended slice; reusing dst keeps the hot path allocation
+// free. Most schemes emit exactly one destination; broadcast emits all n.
+type Partitioner interface {
+	// Name identifies the scheme (as used in LinkSpec.Partitioner).
+	Name() string
+	// Route selects destinations for p among n instances.
+	Route(p *packet.Packet, n int, dst []int) []int
+}
+
+// Shuffle distributes packets pseudo-randomly and uniformly across
+// instances. It uses a per-partitioner xorshift generator rather than the
+// global rand to avoid lock contention on the emit path.
+type Shuffle struct {
+	state atomic.Uint64
+}
+
+// NewShuffle creates a shuffle partitioner seeded deterministically.
+func NewShuffle(seed uint64) *Shuffle {
+	s := &Shuffle{}
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s.state.Store(seed)
+	return s
+}
+
+// Name returns "shuffle".
+func (*Shuffle) Name() string { return "shuffle" }
+
+// Route picks one uniformly pseudo-random instance.
+func (s *Shuffle) Route(_ *packet.Packet, n int, dst []int) []int {
+	if n <= 1 {
+		return append(dst, 0)
+	}
+	// xorshift64*; atomic CAS loop keeps concurrent emitters lock-free.
+	for {
+		old := s.state.Load()
+		x := old
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		if s.state.CompareAndSwap(old, x) {
+			r := (x * 0x2545F4914F6CDD1D) >> 33
+			return append(dst, int(r%uint64(n)))
+		}
+	}
+}
+
+// RoundRobin cycles through instances, balancing load exactly.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// Name returns "round-robin".
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Route picks instances in strict rotation.
+func (r *RoundRobin) Route(_ *packet.Packet, n int, dst []int) []int {
+	if n <= 1 {
+		return append(dst, 0)
+	}
+	i := r.next.Add(1) - 1
+	return append(dst, int(i%uint64(n)))
+}
+
+// Broadcast replicates every packet to all instances.
+type Broadcast struct{}
+
+// Name returns "broadcast".
+func (Broadcast) Name() string { return "broadcast" }
+
+// Route selects every instance.
+func (Broadcast) Route(_ *packet.Packet, n int, dst []int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// Fields partitions by the hash of one or more named fields, guaranteeing
+// that packets with equal key fields always reach the same instance —
+// NEPTUNE's key-grouping scheme, required for stateful processors.
+type Fields struct {
+	// Keys are the field names hashed together.
+	Keys []string
+}
+
+// Name returns "fields:<k1,k2,...>".
+func (f *Fields) Name() string { return "fields:" + strings.Join(f.Keys, ",") }
+
+// Route hashes the key fields with FNV-1a. Packets missing a key field
+// hash the field's absence (stable) rather than failing the emit path.
+func (f *Fields) Route(p *packet.Packet, n int, dst []int) []int {
+	if n <= 1 {
+		return append(dst, 0)
+	}
+	h := fnv.New64a()
+	var scratch [8]byte
+	for _, key := range f.Keys {
+		fl := p.Lookup(key)
+		if fl == nil {
+			h.Write([]byte{0})
+			continue
+		}
+		h.Write([]byte{byte(fl.Type)})
+		switch fl.Type {
+		case packet.TypeString:
+			h.Write([]byte(fl.Str()))
+		case packet.TypeBytes:
+			h.Write(fl.Bytes())
+		case packet.TypeBool:
+			if fl.Bool() {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		case packet.TypeFloat32:
+			putUint64(scratch[:], uint64(math.Float32bits(fl.Float32())))
+			h.Write(scratch[:])
+		case packet.TypeFloat64:
+			putUint64(scratch[:], math.Float64bits(fl.Float64()))
+			h.Write(scratch[:])
+		default: // integer types
+			putUint64(scratch[:], uint64(fl.Int64()))
+			h.Write(scratch[:])
+		}
+	}
+	return append(dst, int(h.Sum64()%uint64(n)))
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Factory builds a fresh partitioner instance for one link.
+type Factory func(arg string) (Partitioner, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// RegisterPartitioner installs a custom scheme under the given name
+// (paper §III-A6: users can design custom partitioning schemes). Names
+// must not contain ':' — the suffix after ':' is passed to the factory as
+// its argument.
+func RegisterPartitioner(name string, f Factory) error {
+	if name == "" || strings.Contains(name, ":") {
+		return fmt.Errorf("graph: invalid partitioner name %q", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("graph: partitioner %q already registered", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+func init() {
+	mustRegister := func(name string, f Factory) {
+		if err := RegisterPartitioner(name, f); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister("shuffle", func(string) (Partitioner, error) {
+		return NewShuffle(0), nil
+	})
+	mustRegister("round-robin", func(string) (Partitioner, error) {
+		return &RoundRobin{}, nil
+	})
+	mustRegister("broadcast", func(string) (Partitioner, error) {
+		return Broadcast{}, nil
+	})
+	mustRegister("fields", func(arg string) (Partitioner, error) {
+		if arg == "" {
+			return nil, fmt.Errorf("graph: fields partitioner needs field names, e.g. \"fields:sensor_id\"")
+		}
+		return &Fields{Keys: strings.Split(arg, ",")}, nil
+	})
+}
+
+// ResolvePartitioner instantiates the scheme named by spec, which is
+// either a bare name ("shuffle") or name:argument ("fields:sensor_id").
+func ResolvePartitioner(spec string) (Partitioner, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrBadPartitioner, spec)
+	}
+	return f(arg)
+}

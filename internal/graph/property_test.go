@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAGSpec builds a random layered DAG: guaranteed valid by
+// construction (sources in layer 0, edges only forward, every processor
+// wired to some upstream operator).
+func randomDAGSpec(rng *rand.Rand) *Spec {
+	layers := 2 + rng.Intn(4)
+	spec := &Spec{Name: "fuzz"}
+	var layerOps [][]string
+	for l := 0; l < layers; l++ {
+		n := 1 + rng.Intn(3)
+		var names []string
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("op-%d-%d", l, i)
+			kind := KindProcessor
+			if l == 0 {
+				kind = KindSource
+			}
+			spec.Operators = append(spec.Operators, OperatorSpec{
+				Name:        name,
+				Kind:        kind,
+				Parallelism: 1 + rng.Intn(4),
+			})
+			names = append(names, name)
+		}
+		layerOps = append(layerOps, names)
+	}
+	parts := []string{"shuffle", "round-robin", "broadcast", "fields:key"}
+	// Every non-source operator gets at least one inbound edge from an
+	// earlier layer; extra random edges sprinkle in.
+	for l := 1; l < layers; l++ {
+		for _, to := range layerOps[l] {
+			fromLayer := rng.Intn(l)
+			from := layerOps[fromLayer][rng.Intn(len(layerOps[fromLayer]))]
+			spec.Links = append(spec.Links, LinkSpec{
+				From: from, To: to, Partitioner: parts[rng.Intn(len(parts))],
+			})
+		}
+	}
+	for extra := rng.Intn(4); extra > 0; extra-- {
+		fl := rng.Intn(layers - 1)
+		tl := fl + 1 + rng.Intn(layers-fl-1)
+		from := layerOps[fl][rng.Intn(len(layerOps[fl]))]
+		to := layerOps[tl][rng.Intn(len(layerOps[tl]))]
+		// Skip duplicates of an existing (from,to) pair: the default
+		// link name would collide.
+		dup := false
+		for _, l := range spec.Links {
+			if l.From == from && l.To == to {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			spec.Links = append(spec.Links, LinkSpec{From: from, To: to})
+		}
+	}
+	spec.Normalize()
+	return spec
+}
+
+func TestRandomLayeredDAGsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := randomDAGSpec(rng)
+		if err := spec.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Stages must be strictly increasing along every link.
+		stages, err := spec.Stages()
+		if err != nil {
+			return false
+		}
+		for _, l := range spec.Links {
+			if stages[l.From] >= stages[l.To] {
+				return false
+			}
+		}
+		// Every source sits in stage 0.
+		for _, op := range spec.Operators {
+			if op.Kind == KindSource && stages[op.Name] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDAGReversedEdgeCaught(t *testing.T) {
+	// Injecting a back edge into any random DAG must surface as a cycle
+	// (or a source-input violation when the target is a source).
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		spec := randomDAGSpec(rng)
+		if len(spec.Links) == 0 {
+			continue
+		}
+		l := spec.Links[rng.Intn(len(spec.Links))]
+		spec.Links = append(spec.Links, LinkSpec{
+			Name: "backedge", From: l.To, To: l.From,
+		})
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("iteration %d: back edge %s->%s accepted", i, l.To, l.From)
+		}
+	}
+}
+
+func TestRandomDAGDescriptorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		spec := randomDAGSpec(rng)
+		data, err := MarshalDescriptor(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseDescriptor(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, data)
+		}
+		if len(back.Operators) != len(spec.Operators) || len(back.Links) != len(spec.Links) {
+			t.Fatalf("iteration %d: shape changed", i)
+		}
+	}
+}

@@ -1,0 +1,617 @@
+// Package metrics provides the instrumentation primitives used throughout
+// the NEPTUNE reproduction: atomic counters and gauges, windowed rate
+// meters, log-bucketed latency histograms with quantile queries, bandwidth
+// accounting, and the context-switch accounting used to regenerate the
+// paper's Table I.
+//
+// All types are safe for concurrent use and designed for the hot path: a
+// counter increment is a single atomic add, and a histogram record is an
+// atomic add into a precomputed bucket.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1 to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() uint64 { return c.v.Swap(0) }
+
+// Gauge is an instantaneous value that may go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v as the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Clock abstracts time for deterministic tests and for the discrete-event
+// cluster simulator, which advances a virtual clock.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the real time.Now clock.
+type WallClock struct{}
+
+// Now returns the current wall time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a settable clock for tests and simulations.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a clock frozen at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the clock's current instant.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set pins the clock to t.
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// RateMeter measures event throughput over the lifetime of the meter and
+// over a sliding window of recent samples.
+type RateMeter struct {
+	clock Clock
+
+	mu      sync.Mutex
+	started time.Time
+	total   uint64
+	// Ring of per-tick (count, time) samples for windowed rate.
+	samples []rateSample
+	head    int
+	size    int
+}
+
+type rateSample struct {
+	at    time.Time
+	count uint64
+}
+
+// NewRateMeter returns a meter using the given clock (nil means wall time)
+// keeping up to windowSamples recent marks for windowed rates.
+func NewRateMeter(clock Clock, windowSamples int) *RateMeter {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	if windowSamples < 2 {
+		windowSamples = 2
+	}
+	m := &RateMeter{
+		clock:   clock,
+		samples: make([]rateSample, windowSamples),
+	}
+	m.started = clock.Now()
+	return m
+}
+
+// Mark records n events occurring now.
+func (m *RateMeter) Mark(n uint64) {
+	now := m.clock.Now()
+	m.mu.Lock()
+	m.total += n
+	m.samples[m.head] = rateSample{at: now, count: m.total}
+	m.head = (m.head + 1) % len(m.samples)
+	if m.size < len(m.samples) {
+		m.size++
+	}
+	m.mu.Unlock()
+}
+
+// Total returns the number of events marked so far.
+func (m *RateMeter) Total() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// MeanRate returns events/second averaged since the meter was created.
+func (m *RateMeter) MeanRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := m.clock.Now().Sub(m.started).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.total) / elapsed
+}
+
+// WindowRate returns events/second computed over the retained window of
+// recent marks. It returns 0 until at least two samples exist.
+func (m *RateMeter) WindowRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.size < 2 {
+		return 0
+	}
+	newest := (m.head - 1 + len(m.samples)) % len(m.samples)
+	oldest := (m.head - m.size + len(m.samples)) % len(m.samples)
+	dt := m.samples[newest].at.Sub(m.samples[oldest].at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	dc := m.samples[newest].count - m.samples[oldest].count
+	return float64(dc) / dt
+}
+
+// Histogram records durations (or any non-negative int64 values) into
+// logarithmically spaced buckets, supporting approximate quantiles with a
+// bounded relative error set by the buckets-per-octave resolution.
+type Histogram struct {
+	buckets []atomic.Uint64
+	// sub-bucket resolution: each power of two is split into subBuckets
+	// linear sub-buckets, giving relative error <= 1/subBuckets.
+	subBuckets int
+	count      atomic.Uint64
+	sum        atomic.Int64
+	min        atomic.Int64
+	max        atomic.Int64
+}
+
+const histMaxExp = 50 // values up to 2^50 (≈13 days in ns) are exact-bucketed
+
+// NewHistogram creates a histogram with the given sub-bucket resolution
+// (8, 16, and 32 are typical; higher is more precise and more memory).
+func NewHistogram(subBuckets int) *Histogram {
+	if subBuckets < 2 {
+		subBuckets = 2
+	}
+	h := &Histogram{
+		buckets:    make([]atomic.Uint64, (histMaxExp+1)*subBuckets),
+		subBuckets: subBuckets,
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func (h *Histogram) bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < int64(h.subBuckets) {
+		return int(v) // exact buckets for tiny values
+	}
+	exp := 63 - leadingZeros64(uint64(v))
+	// Position within the octave [2^exp, 2^(exp+1)).
+	frac := (v - (1 << exp)) * int64(h.subBuckets) >> exp
+	idx := exp*h.subBuckets + int(frac)
+	max := len(h.buckets) - 1
+	if idx > max {
+		idx = max
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound value of bucket idx.
+func (h *Histogram) bucketLow(idx int) int64 {
+	if idx < h.subBuckets {
+		return int64(idx)
+	}
+	exp := idx / h.subBuckets
+	frac := idx % h.subBuckets
+	return (int64(1) << exp) + (int64(frac) << exp / int64(h.subBuckets))
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration adds one duration observation in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean of recorded values, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an approximation of the q-th quantile of the recorded
+// values. The result has relative error bounded by the sub-bucket
+// resolution. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return h.bucketLow(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot captures the histogram's headline quantiles.
+type HistogramSnapshot struct {
+	Count uint64
+	Mean  float64
+	Min   int64
+	Max   int64
+	P50   int64
+	P95   int64
+	P99   int64
+}
+
+// Snapshot returns the current headline statistics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+}
+
+// BandwidthMeter accounts for bytes moved over a link, reporting both
+// payload (goodput) and on-wire (framed) byte rates.
+type BandwidthMeter struct {
+	clock        Clock
+	started      time.Time
+	payloadBytes atomic.Uint64
+	wireBytes    atomic.Uint64
+	mu           sync.Mutex
+}
+
+// NewBandwidthMeter creates a meter on the given clock (nil = wall clock).
+func NewBandwidthMeter(clock Clock) *BandwidthMeter {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &BandwidthMeter{clock: clock, started: clock.Now()}
+}
+
+// Count records a transfer of payload bytes that occupied wire bytes on the
+// physical medium (wire >= payload once framing is added).
+func (b *BandwidthMeter) Count(payload, wire uint64) {
+	b.payloadBytes.Add(payload)
+	b.wireBytes.Add(wire)
+}
+
+// PayloadBytes returns the cumulative payload bytes.
+func (b *BandwidthMeter) PayloadBytes() uint64 { return b.payloadBytes.Load() }
+
+// WireBytes returns the cumulative on-wire bytes.
+func (b *BandwidthMeter) WireBytes() uint64 { return b.wireBytes.Load() }
+
+// GoodputBitsPerSec returns payload bits/sec since creation.
+func (b *BandwidthMeter) GoodputBitsPerSec() float64 {
+	el := b.clock.Now().Sub(b.started).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(b.payloadBytes.Load()) * 8 / el
+}
+
+// WireBitsPerSec returns on-wire bits/sec since creation.
+func (b *BandwidthMeter) WireBitsPerSec() float64 {
+	el := b.clock.Now().Sub(b.started).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(b.wireBytes.Load()) * 8 / el
+}
+
+// Utilization returns the fraction of the given link capacity (bits/sec)
+// consumed by on-wire traffic since creation. The result may exceed 1 if
+// the meter is fed by a model rather than a real link.
+func (b *BandwidthMeter) Utilization(linkBitsPerSec float64) float64 {
+	if linkBitsPerSec <= 0 {
+		return 0
+	}
+	return b.WireBitsPerSec() / linkBitsPerSec
+}
+
+// ContextSwitchAccount tracks scheduler events that stand in for the
+// non-voluntary context switches the paper measures in Table I. Every queue
+// handoff that wakes a parked consumer and every preemption-equivalent
+// (batch boundary reached with more work pending) is counted.
+type ContextSwitchAccount struct {
+	wakeups     Counter // consumer parked -> woken by producer
+	preemptions Counter // execution yielded with work remaining
+	handoffs    Counter // total queue handoffs (context-switch opportunities)
+}
+
+// CountWakeup records a parked-consumer wakeup.
+func (a *ContextSwitchAccount) CountWakeup() { a.wakeups.Inc() }
+
+// CountPreemption records a yield with pending work.
+func (a *ContextSwitchAccount) CountPreemption() { a.preemptions.Inc() }
+
+// CountHandoff records a queue handoff.
+func (a *ContextSwitchAccount) CountHandoff() { a.handoffs.Inc() }
+
+// Switches returns the context-switch-equivalent total: wakeups plus
+// preemptions (each forces a register/stack switch on a real kernel).
+func (a *ContextSwitchAccount) Switches() uint64 {
+	return a.wakeups.Value() + a.preemptions.Value()
+}
+
+// Handoffs returns the total queue handoffs observed.
+func (a *ContextSwitchAccount) Handoffs() uint64 { return a.handoffs.Value() }
+
+// Reset zeroes the account and returns the prior switch total.
+func (a *ContextSwitchAccount) Reset() uint64 {
+	s := a.wakeups.Reset() + a.preemptions.Reset()
+	a.handoffs.Reset()
+	return s
+}
+
+// Registry is a named collection of metrics for one resource or job,
+// snapshotted by the experiment harness.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	clock      Clock
+}
+
+// NewRegistry creates a registry on the given clock (nil = wall clock).
+func NewRegistry(clock Clock) *Registry {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		clock:      clock,
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// 32 sub-buckets if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram(32)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot captures every metric in the registry at one instant.
+type Snapshot struct {
+	At         time.Time
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot returns a consistent point-in-time copy of all metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		At:         r.clock.Now(),
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered metrics, prefixed by
+// kind ("counter/", "gauge/", "histogram/"); useful for debugging dumps.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var names []string
+	for n := range r.counters {
+		names = append(names, "counter/"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "gauge/"+n)
+	}
+	for n := range r.histograms {
+		names = append(names, "histogram/"+n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatBits renders a bits/sec figure with an SI suffix, e.g. "0.94 Gbps".
+func FormatBits(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f Gbps", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2f Mbps", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.2f Kbps", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f bps", bps)
+	}
+}
+
+// FormatRate renders an events/sec figure with an SI suffix.
+func FormatRate(eps float64) string {
+	switch {
+	case eps >= 1e6:
+		return fmt.Sprintf("%.2f M/s", eps/1e6)
+	case eps >= 1e3:
+		return fmt.Sprintf("%.2f K/s", eps/1e3)
+	default:
+		return fmt.Sprintf("%.1f /s", eps)
+	}
+}

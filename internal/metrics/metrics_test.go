@@ -1,0 +1,397 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+	if got := c.Reset(); got != 42 {
+		t.Fatalf("Reset returned %d, want 42", got)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("Value after reset = %d, want 0", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 10000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Fatalf("Value = %d, want %d", c.Value(), workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("Value = %d, want 7", g.Value())
+	}
+	g.Add(-20)
+	if g.Value() != -13 {
+		t.Fatalf("Value = %d, want -13", g.Value())
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	base := time.Unix(1000, 0)
+	c := NewManualClock(base)
+	if !c.Now().Equal(base) {
+		t.Fatal("clock not at start")
+	}
+	c.Advance(5 * time.Second)
+	if got := c.Now().Sub(base); got != 5*time.Second {
+		t.Fatalf("advanced %v, want 5s", got)
+	}
+	c.Set(base)
+	if !c.Now().Equal(base) {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestRateMeterMeanRate(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	m := NewRateMeter(clk, 16)
+	m.Mark(100)
+	clk.Advance(2 * time.Second)
+	m.Mark(100)
+	if got := m.MeanRate(); got != 100 {
+		t.Fatalf("MeanRate = %v, want 100", got)
+	}
+	if m.Total() != 200 {
+		t.Fatalf("Total = %d, want 200", m.Total())
+	}
+}
+
+func TestRateMeterWindowRate(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	m := NewRateMeter(clk, 4)
+	if m.WindowRate() != 0 {
+		t.Fatal("WindowRate with <2 samples should be 0")
+	}
+	// Slow phase: 10/s for a long time.
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+		m.Mark(10)
+	}
+	// Fast phase: 1000/s. Window keeps only the last 4 marks.
+	for i := 0; i < 6; i++ {
+		clk.Advance(time.Second)
+		m.Mark(1000)
+	}
+	wr := m.WindowRate()
+	if wr != 1000 {
+		t.Fatalf("WindowRate = %v, want 1000 (window excludes slow phase)", wr)
+	}
+	if mr := m.MeanRate(); mr >= wr {
+		t.Fatalf("MeanRate %v should be below WindowRate %v", mr, wr)
+	}
+}
+
+func TestRateMeterZeroElapsed(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	m := NewRateMeter(clk, 4)
+	m.Mark(5)
+	if m.MeanRate() != 0 {
+		t.Fatal("MeanRate with zero elapsed should be 0")
+	}
+	m.Mark(5) // same instant: window dt == 0
+	if m.WindowRate() != 0 {
+		t.Fatal("WindowRate with zero dt should be 0")
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram(32)
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 32 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got < 14 || got > 17 {
+		t.Fatalf("P50 = %d, want ~15-16", got)
+	}
+	if got := h.Quantile(1.0); got != 31 {
+		t.Fatalf("P100 = %d, want 31", got)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram(32)
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 20000)
+	for i := range values {
+		// Log-uniform values across 6 orders of magnitude.
+		values[i] = int64(math.Exp(rng.Float64() * 14))
+		h.Record(values[i])
+	}
+	// Compare histogram quantiles against exact order statistics.
+	sorted := append([]int64(nil), values...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := sorted[int(q*float64(len(sorted)-1))]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if relErr > 0.10 {
+			t.Errorf("q=%v: got %d, exact %d, relErr %.3f > 0.10", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(8)
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative value should clamp to 0, Min = %d", h.Min())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(8)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(8)
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("post-reset Min/Max = %d/%d, want 7/7", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSnapshotOrdering(t *testing.T) {
+	h := NewHistogram(32)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		h.Record(int64(rng.Intn(1_000_000)))
+	}
+	s := h.Snapshot()
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles not ordered: %+v", s)
+	}
+	if s.Count != 5000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+}
+
+func TestHistogramQuantileOrderingProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(16)
+		for _, v := range raw {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram(16)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(int64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+func TestBandwidthMeter(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	b := NewBandwidthMeter(clk)
+	b.Count(1000, 1500)
+	clk.Advance(time.Second)
+	if got := b.GoodputBitsPerSec(); got != 8000 {
+		t.Fatalf("Goodput = %v, want 8000", got)
+	}
+	if got := b.WireBitsPerSec(); got != 12000 {
+		t.Fatalf("Wire = %v, want 12000", got)
+	}
+	if got := b.Utilization(24000); got != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+	if b.Utilization(0) != 0 {
+		t.Fatal("Utilization of zero-capacity link should be 0")
+	}
+	if b.PayloadBytes() != 1000 || b.WireBytes() != 1500 {
+		t.Fatalf("bytes = %d/%d", b.PayloadBytes(), b.WireBytes())
+	}
+}
+
+func TestContextSwitchAccount(t *testing.T) {
+	var a ContextSwitchAccount
+	a.CountWakeup()
+	a.CountWakeup()
+	a.CountPreemption()
+	a.CountHandoff()
+	if a.Switches() != 3 {
+		t.Fatalf("Switches = %d, want 3", a.Switches())
+	}
+	if a.Handoffs() != 1 {
+		t.Fatalf("Handoffs = %d, want 1", a.Handoffs())
+	}
+	if got := a.Reset(); got != 3 {
+		t.Fatalf("Reset = %d, want 3", got)
+	}
+	if a.Switches() != 0 || a.Handoffs() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(nil)
+	c1 := r.Counter("packets")
+	c2 := r.Counter("packets")
+	if c1 != c2 {
+		t.Fatal("Counter not idempotent")
+	}
+	c1.Add(5)
+	r.Gauge("queue").Set(3)
+	r.Histogram("latency").Record(100)
+
+	s := r.Snapshot()
+	if s.Counters["packets"] != 5 {
+		t.Fatalf("snapshot counter = %d", s.Counters["packets"])
+	}
+	if s.Gauges["queue"] != 3 {
+		t.Fatalf("snapshot gauge = %d", s.Gauges["queue"])
+	}
+	if s.Histograms["latency"].Count != 1 {
+		t.Fatalf("snapshot histogram count = %d", s.Histograms["latency"].Count)
+	}
+	names := r.Names()
+	want := []string{"counter/packets", "gauge/queue", "histogram/latency"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Record(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("shared").Value() != 16000 {
+		t.Fatalf("shared = %d", r.Counter("shared").Value())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{9.4e9, "9.40 Gbps"},
+		{12.5e6, "12.50 Mbps"},
+		{3.2e3, "3.20 Kbps"},
+		{512, "512 bps"},
+	}
+	for _, c := range cases {
+		if got := FormatBits(c.in); got != c.want {
+			t.Errorf("FormatBits(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := FormatRate(2e6); got != "2.00 M/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+	if got := FormatRate(1500); got != "1.50 K/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+	if got := FormatRate(12); got != "12.0 /s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(32)
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			h.Record(i & 0xFFFFF)
+			i += 7919
+		}
+	})
+}

@@ -1,0 +1,180 @@
+// Package netsim models the network substrate of the paper's testbed: a
+// 1 Gbps switched Ethernet LAN carrying TCP traffic with an MTU of 1500
+// bytes. The paper's bandwidth-utilization results (Figs. 2, 5, 6, 7) are
+// consequences of Ethernet/IP/TCP framing overhead on small payloads; this
+// package computes exact on-wire byte counts and transfer times so the
+// reproduction recovers those curves without the physical cluster.
+//
+// The model is deliberately explicit about where each byte goes:
+//
+//	per frame:  preamble+SFD 8 + Ethernet header 14 + FCS 4 + IFG 12 = 38
+//	per segment: IPv4 header 20 + TCP header 20 = 40
+//	max TCP payload per frame (MSS): 1500 - 40 = 1460
+//	minimum Ethernet payload: 46 bytes (padded)
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Framing constants for standard (non-jumbo) Ethernet with IPv4/TCP.
+const (
+	MTU              = 1500 // IP packet bytes per frame
+	IPTCPHeader      = 40   // IPv4 (20) + TCP (20), no options
+	MSS              = MTU - IPTCPHeader
+	EthHeader        = 14 // dst+src MAC + ethertype
+	EthFCS           = 4  // frame check sequence
+	EthPreambleSFD   = 8  // preamble + start-of-frame delimiter
+	EthIFG           = 12 // inter-frame gap (time on the wire, counted as bytes)
+	EthMinPayload    = 46 // frames below this are padded
+	PerFrameOverhead = EthHeader + EthFCS + EthPreambleSFD + EthIFG
+)
+
+// GigabitEthernet is the link speed of the paper's cluster in bits/sec.
+const GigabitEthernet = 1e9
+
+// WireBytes returns the total on-wire bytes (including every layer of
+// framing and the inter-frame gap) needed to carry payload application
+// bytes in a single TCP write that the stack may segment. A zero payload
+// still costs one frame (the pure-ACK/flush case).
+func WireBytes(payload int) int {
+	if payload <= 0 {
+		return frameWire(0)
+	}
+	full := payload / MSS
+	rem := payload % MSS
+	total := full * frameWire(MSS)
+	if rem > 0 {
+		total += frameWire(rem)
+	}
+	return total
+}
+
+// frameWire returns on-wire bytes for one frame carrying seg TCP payload
+// bytes.
+func frameWire(seg int) int {
+	ethPayload := seg + IPTCPHeader
+	if ethPayload < EthMinPayload {
+		ethPayload = EthMinPayload
+	}
+	return ethPayload + PerFrameOverhead
+}
+
+// Frames returns the number of Ethernet frames a payload occupies.
+func Frames(payload int) int {
+	if payload <= 0 {
+		return 1
+	}
+	f := payload / MSS
+	if payload%MSS > 0 {
+		f++
+	}
+	return f
+}
+
+// Efficiency returns payload bytes divided by wire bytes — the maximum
+// fraction of link capacity this payload size can convert into goodput.
+// Unbuffered 50-byte IoT packets sit near 0.31; full batches approach 0.95.
+func Efficiency(payload int) float64 {
+	if payload <= 0 {
+		return 0
+	}
+	return float64(payload) / float64(WireBytes(payload))
+}
+
+// Link models one direction of a switched point-to-point Ethernet link as
+// seen by a discrete-event simulation: a serializing resource with a fixed
+// bit rate and propagation delay. Link is not safe for concurrent use; the
+// event loop in internal/cluster owns it.
+type Link struct {
+	// RateBits is the link speed in bits per second.
+	RateBits float64
+	// Propagation is the one-way signal delay (cable + switch latency).
+	Propagation time.Duration
+
+	busyUntil time.Duration // virtual time at which the link frees up
+	wireBytes uint64
+	payload   uint64
+}
+
+// NewLink returns a link with the given rate (bits/sec) and propagation
+// delay. Rates <= 0 default to gigabit Ethernet.
+func NewLink(rateBits float64, propagation time.Duration) *Link {
+	if rateBits <= 0 {
+		rateBits = GigabitEthernet
+	}
+	return &Link{RateBits: rateBits, Propagation: propagation}
+}
+
+// SerializationTime returns how long the payload occupies the wire.
+func (l *Link) SerializationTime(payload int) time.Duration {
+	bits := float64(WireBytes(payload)) * 8
+	return time.Duration(bits / l.RateBits * float64(time.Second))
+}
+
+// Send schedules a payload transmission starting no earlier than now
+// (virtual time) and returns the virtual time at which the last bit
+// arrives at the receiver. The link serializes transmissions: a send that
+// arrives while the link is busy queues behind the previous one.
+func (l *Link) Send(now time.Duration, payload int) (arrival time.Duration) {
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := l.SerializationTime(payload)
+	l.busyUntil = start + ser
+	l.wireBytes += uint64(WireBytes(payload))
+	l.payload += uint64(max(payload, 0))
+	return l.busyUntil + l.Propagation
+}
+
+// BusyUntil reports the virtual time at which the link becomes idle.
+func (l *Link) BusyUntil() time.Duration { return l.busyUntil }
+
+// WireBytesSent reports cumulative on-wire bytes sent.
+func (l *Link) WireBytesSent() uint64 { return l.wireBytes }
+
+// PayloadBytesSent reports cumulative payload bytes sent.
+func (l *Link) PayloadBytesSent() uint64 { return l.payload }
+
+// Utilization reports the fraction of capacity used over the window
+// [0, horizon) of virtual time.
+func (l *Link) Utilization(horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	sent := float64(l.wireBytes) * 8
+	capacity := l.RateBits * horizon.Seconds()
+	u := sent / capacity
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset clears the link's accounting and busy state.
+func (l *Link) Reset() {
+	l.busyUntil = 0
+	l.wireBytes = 0
+	l.payload = 0
+}
+
+// GoodputAtEfficiency returns the maximum application-level bits/sec a
+// link of rateBits can sustain for messages of the given payload size when
+// each message is sent in its own TCP segment (the unbuffered case).
+func GoodputAtEfficiency(rateBits float64, payload int) float64 {
+	return rateBits * Efficiency(payload)
+}
+
+// String renders the link's parameters for debugging output.
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%.0f Mbps, prop %v)", l.RateBits/1e6, l.Propagation)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

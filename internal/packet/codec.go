@@ -1,0 +1,232 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec errors.
+var (
+	ErrTruncated    = errors.New("packet: truncated encoding")
+	ErrBadFieldType = errors.New("packet: unknown field type in encoding")
+	ErrBatchLength  = errors.New("packet: bad batch length prefix")
+)
+
+// Encoder serializes packets into a caller-supplied or internal buffer.
+//
+// Per the paper's object-reuse scheme (§III-B3), an Encoder is created once
+// per link and reused for every batch: its scratch buffer grows to the
+// high-water mark and is then reused, so steady-state encoding performs no
+// allocation.
+type Encoder struct {
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// Encode appends the wire form of p to dst and returns the extended slice.
+func (e *Encoder) Encode(dst []byte, p *Packet) []byte {
+	dst = e.appendUvarint(dst, uint64(p.StreamID))
+	dst = e.appendUvarint(dst, p.Seq)
+	dst = e.appendUvarint(dst, uint64(p.EmitNanos))
+	dst = e.appendUvarint(dst, uint64(len(p.fields)))
+	for i := range p.fields {
+		f := &p.fields[i]
+		dst = e.appendUvarint(dst, uint64(len(f.Name)))
+		dst = append(dst, f.Name...)
+		dst = append(dst, byte(f.Type))
+		switch f.Type {
+		case TypeBool:
+			if f.num != 0 {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		case TypeInt32, TypeFloat32:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(f.num))
+		case TypeInt64, TypeFloat64:
+			dst = binary.LittleEndian.AppendUint64(dst, f.num)
+		case TypeString:
+			dst = e.appendUvarint(dst, uint64(len(f.str)))
+			dst = append(dst, f.str...)
+		case TypeBytes:
+			dst = e.appendUvarint(dst, uint64(len(f.bytes)))
+			dst = append(dst, f.bytes...)
+		}
+	}
+	return dst
+}
+
+// EncodeBatch appends a length-prefixed batch of packets to dst: a uvarint
+// count followed by each packet prefixed with its uvarint byte length, so a
+// decoder can skip packets without parsing fields.
+func (e *Encoder) EncodeBatch(dst []byte, ps []*Packet) []byte {
+	dst = e.appendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
+		dst = e.appendUvarint(dst, uint64(p.WireSize()))
+		dst = e.Encode(dst, p)
+	}
+	return dst
+}
+
+func (e *Encoder) appendUvarint(dst []byte, v uint64) []byte {
+	n := binary.PutUvarint(e.scratch[:], v)
+	return append(dst, e.scratch[:n]...)
+}
+
+// Decoder deserializes packets from a byte slice. Like Encoder it is
+// created once per link and reused; Decode fills a caller-supplied packet
+// (typically from a pool) so steady-state decoding allocates only when a
+// string field forces a copy.
+type Decoder struct{}
+
+// Decode parses one packet from buf into p (Reset first) and returns the
+// number of bytes consumed.
+func (d *Decoder) Decode(buf []byte, p *Packet) (int, error) {
+	p.Reset()
+	pos := 0
+	streamID, n, err := readUvarint(buf[pos:])
+	if err != nil {
+		return 0, err
+	}
+	pos += n
+	if streamID > math.MaxUint32 {
+		return 0, fmt.Errorf("packet: stream id %d overflows uint32", streamID)
+	}
+	p.StreamID = uint32(streamID)
+	p.Seq, n, err = readUvarint(buf[pos:])
+	if err != nil {
+		return 0, err
+	}
+	pos += n
+	emit, n, err := readUvarint(buf[pos:])
+	if err != nil {
+		return 0, err
+	}
+	pos += n
+	p.EmitNanos = int64(emit)
+	nFields, n, err := readUvarint(buf[pos:])
+	if err != nil {
+		return 0, err
+	}
+	pos += n
+	if nFields > uint64(len(buf)) {
+		// A field costs at least one byte on the wire; more fields than
+		// remaining bytes means a corrupt count.
+		return 0, fmt.Errorf("%w: field count %d exceeds buffer", ErrTruncated, nFields)
+	}
+	for i := uint64(0); i < nFields; i++ {
+		nameLen, n, err := readUvarint(buf[pos:])
+		if err != nil {
+			return 0, err
+		}
+		pos += n
+		if uint64(len(buf)-pos) < nameLen+1 {
+			return 0, ErrTruncated
+		}
+		name := string(buf[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		ft := FieldType(buf[pos])
+		pos++
+		switch ft {
+		case TypeBool:
+			if pos >= len(buf) {
+				return 0, ErrTruncated
+			}
+			p.AddBool(name, buf[pos] != 0)
+			pos++
+		case TypeInt32:
+			if len(buf)-pos < 4 {
+				return 0, ErrTruncated
+			}
+			p.AddInt32(name, int32(binary.LittleEndian.Uint32(buf[pos:])))
+			pos += 4
+		case TypeFloat32:
+			if len(buf)-pos < 4 {
+				return 0, ErrTruncated
+			}
+			p.AddFloat32(name, math.Float32frombits(binary.LittleEndian.Uint32(buf[pos:])))
+			pos += 4
+		case TypeInt64:
+			if len(buf)-pos < 8 {
+				return 0, ErrTruncated
+			}
+			p.AddInt64(name, int64(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		case TypeFloat64:
+			if len(buf)-pos < 8 {
+				return 0, ErrTruncated
+			}
+			p.AddFloat64(name, math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		case TypeString:
+			sl, n, err := readUvarint(buf[pos:])
+			if err != nil {
+				return 0, err
+			}
+			pos += n
+			if uint64(len(buf)-pos) < sl {
+				return 0, ErrTruncated
+			}
+			p.AddString(name, string(buf[pos:pos+int(sl)]))
+			pos += int(sl)
+		case TypeBytes:
+			bl, n, err := readUvarint(buf[pos:])
+			if err != nil {
+				return 0, err
+			}
+			pos += n
+			if uint64(len(buf)-pos) < bl {
+				return 0, ErrTruncated
+			}
+			p.AddBytes(name, buf[pos:pos+int(bl)])
+			pos += int(bl)
+		default:
+			return 0, fmt.Errorf("%w: %d", ErrBadFieldType, ft)
+		}
+	}
+	return pos, nil
+}
+
+// DecodeBatch parses a batch produced by EncodeBatch. For each packet it
+// calls alloc to obtain a destination packet (typically pool.Get) and then
+// emit with the decoded packet. It returns the number of bytes consumed.
+func (d *Decoder) DecodeBatch(buf []byte, alloc func() *Packet, emit func(*Packet) error) (int, error) {
+	pos := 0
+	count, n, err := readUvarint(buf)
+	if err != nil {
+		return 0, err
+	}
+	pos += n
+	for i := uint64(0); i < count; i++ {
+		plen, n, err := readUvarint(buf[pos:])
+		if err != nil {
+			return pos, err
+		}
+		pos += n
+		if uint64(len(buf)-pos) < plen {
+			return pos, fmt.Errorf("%w: packet %d claims %d bytes, %d remain", ErrBatchLength, i, plen, len(buf)-pos)
+		}
+		p := alloc()
+		used, err := d.Decode(buf[pos:pos+int(plen)], p)
+		if err != nil {
+			return pos, err
+		}
+		if used != int(plen) {
+			return pos, fmt.Errorf("%w: packet %d decoded %d of %d bytes", ErrBatchLength, i, used, plen)
+		}
+		pos += int(plen)
+		if err := emit(p); err != nil {
+			return pos, err
+		}
+	}
+	return pos, nil
+}
+
+func readUvarint(buf []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, ErrTruncated
+	}
+	return v, n, nil
+}

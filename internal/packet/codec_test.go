@@ -1,0 +1,327 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	p := samplePacket()
+	buf := enc.Encode(nil, p)
+	var q Packet
+	n, err := dec.Decode(buf, &q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("Decode consumed %d of %d bytes", n, len(buf))
+	}
+	if !p.Equal(&q) {
+		t.Fatalf("round trip mismatch:\n p=%+v\n q=%+v", p, q)
+	}
+}
+
+func TestEncodeDecodeEmptyPacket(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	p := &Packet{}
+	buf := enc.Encode(nil, p)
+	var q Packet
+	if _, err := dec.Decode(buf, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(&q) {
+		t.Fatal("empty packet round trip mismatch")
+	}
+}
+
+// randomPacket builds a packet with random fields for property testing.
+func randomPacket(rng *rand.Rand) *Packet {
+	p := &Packet{
+		StreamID:  rng.Uint32(),
+		Seq:       rng.Uint64(),
+		EmitNanos: rng.Int63(),
+	}
+	names := []string{"a", "bb", "ccc", "sensor_reading", "", "列"}
+	n := rng.Intn(10)
+	for i := 0; i < n; i++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(7) {
+		case 0:
+			p.AddBool(name, rng.Intn(2) == 1)
+		case 1:
+			p.AddInt32(name, int32(rng.Uint32()))
+		case 2:
+			p.AddInt64(name, int64(rng.Uint64()))
+		case 3:
+			p.AddFloat32(name, rng.Float32())
+		case 4:
+			p.AddFloat64(name, rng.NormFloat64())
+		case 5:
+			b := make([]byte, rng.Intn(64))
+			rng.Read(b)
+			p.AddString(name, string(b))
+		case 6:
+			b := make([]byte, rng.Intn(256))
+			rng.Read(b)
+			p.AddBytes(name, b)
+		}
+	}
+	return p
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		enc := &Encoder{}
+		dec := &Decoder{}
+		p := randomPacket(rng)
+		buf := enc.Encode(nil, p)
+		if len(buf) != p.WireSize() {
+			return false
+		}
+		var q Packet
+		n, err := dec.Decode(buf, &q)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return p.Equal(&q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	enc := &Encoder{}
+	dec := &Decoder{}
+	var batch []*Packet
+	for i := 0; i < 37; i++ {
+		batch = append(batch, randomPacket(rng))
+	}
+	buf := enc.EncodeBatch(nil, batch)
+	var got []*Packet
+	n, err := dec.DecodeBatch(buf,
+		func() *Packet { return &Packet{} },
+		func(p *Packet) error { got = append(got, p); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d packets, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if !batch[i].Equal(got[i]) {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+}
+
+func TestBatchEmitError(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	buf := enc.EncodeBatch(nil, []*Packet{samplePacket(), samplePacket()})
+	sentinel := errors.New("stop")
+	calls := 0
+	_, err := dec.DecodeBatch(buf,
+		func() *Packet { return &Packet{} },
+		func(p *Packet) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after error, want 1", calls)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	full := enc.Encode(nil, samplePacket())
+	for cut := 0; cut < len(full); cut++ {
+		var q Packet
+		if _, err := dec.Decode(full[:cut], &q); err == nil {
+			t.Fatalf("Decode of %d/%d bytes succeeded, want error", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeBadFieldType(t *testing.T) {
+	enc := &Encoder{}
+	p := &Packet{}
+	p.AddBool("x", true)
+	buf := enc.Encode(nil, p)
+	// Corrupt the type tag (last two bytes are tag+value for the bool).
+	buf[len(buf)-2] = 200
+	dec := &Decoder{}
+	var q Packet
+	if _, err := dec.Decode(buf, &q); !errors.Is(err, ErrBadFieldType) {
+		t.Fatalf("err = %v, want ErrBadFieldType", err)
+	}
+}
+
+func TestDecodeCorruptFieldCount(t *testing.T) {
+	// Hand-craft: streamID=0, seq=0, emit=0, fields=huge.
+	buf := []byte{0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	dec := &Decoder{}
+	var q Packet
+	if _, err := dec.Decode(buf, &q); err == nil {
+		t.Fatal("corrupt field count accepted")
+	}
+}
+
+func TestDecodeBatchBadLengths(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	buf := enc.EncodeBatch(nil, []*Packet{samplePacket()})
+	// Truncate mid-packet.
+	_, err := dec.DecodeBatch(buf[:len(buf)-3],
+		func() *Packet { return &Packet{} },
+		func(p *Packet) error { return nil })
+	if err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	// Batch with a length prefix longer than the data.
+	bad := []byte{1, 50, 0, 0} // 1 packet claiming 50 bytes, 2 remain
+	if _, err := dec.DecodeBatch(bad, func() *Packet { return &Packet{} }, func(*Packet) error { return nil }); !errors.Is(err, ErrBatchLength) {
+		t.Fatalf("err = %v, want ErrBatchLength", err)
+	}
+	// Empty input.
+	if _, err := dec.DecodeBatch(nil, func() *Packet { return &Packet{} }, func(*Packet) error { return nil }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeBatchInnerLengthMismatch(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	p := &Packet{}
+	p.AddBool("x", true)
+	inner := enc.Encode(nil, p)
+	// Claim one extra byte in the packet-length prefix and pad, so the
+	// inner Decode consumes fewer bytes than claimed.
+	buf := []byte{1, byte(len(inner) + 1)}
+	buf = append(buf, inner...)
+	buf = append(buf, 0)
+	_, err := dec.DecodeBatch(buf, func() *Packet { return &Packet{} }, func(*Packet) error { return nil })
+	if !errors.Is(err, ErrBatchLength) {
+		t.Fatalf("err = %v, want ErrBatchLength", err)
+	}
+}
+
+func TestEncoderReuseNoSteadyStateAllocs(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	p := samplePacket()
+	buf := make([]byte, 0, 4096)
+	var q Packet
+	// Warm both packet and buffer capacity.
+	buf = enc.Encode(buf[:0], p)
+	if _, err := dec.Decode(buf, &q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = enc.Encode(buf[:0], p)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Encode allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestDecodeIntoReusedPacketClearsOldFields(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	var q Packet
+	q.AddString("leftover", "stale")
+
+	p := &Packet{}
+	p.AddInt64("fresh", 9)
+	buf := enc.Encode(nil, p)
+	if _, err := dec.Decode(buf, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Lookup("leftover") != nil {
+		t.Fatal("stale field survived decode into reused packet")
+	}
+	if v, err := q.Int64("fresh"); err != nil || v != 9 {
+		t.Fatalf("fresh = %v, %v", v, err)
+	}
+}
+
+func TestReflectDeepEqualAgreesWithEqual(t *testing.T) {
+	// Guard against Equal() drifting from structural equality for decoded
+	// packets (they share no storage, so DeepEqual is applicable).
+	rng := rand.New(rand.NewSource(5))
+	enc := &Encoder{}
+	dec := &Decoder{}
+	for i := 0; i < 50; i++ {
+		p := randomPacket(rng)
+		buf := enc.Encode(nil, p)
+		var q Packet
+		if _, err := dec.Decode(buf, &q); err != nil {
+			t.Fatal(err)
+		}
+		var p2 Packet
+		if _, err := dec.Decode(buf, &p2); err != nil {
+			t.Fatal(err)
+		}
+		if p.Equal(&q) != reflect.DeepEqual(normalize(&p2), normalize(&q)) {
+			t.Fatalf("Equal and DeepEqual disagree for %+v", p)
+		}
+	}
+}
+
+// normalize maps a packet to a comparable representation.
+func normalize(p *Packet) [][4]string {
+	var out [][4]string
+	for i := 0; i < p.NumFields(); i++ {
+		f := p.FieldAt(i)
+		out = append(out, [4]string{f.Name, f.Type.String(), f.str, string(f.bytes)})
+	}
+	return out
+}
+
+func BenchmarkEncode(b *testing.B) {
+	enc := &Encoder{}
+	p := samplePacket()
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = enc.Encode(buf[:0], p)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	buf := enc.Encode(nil, samplePacket())
+	var q Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(buf, &q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBatch100(b *testing.B) {
+	enc := &Encoder{}
+	batch := make([]*Packet, 100)
+	for i := range batch {
+		batch[i] = samplePacket()
+	}
+	buf := make([]byte, 0, 64*1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = enc.EncodeBatch(buf[:0], batch)
+	}
+}

@@ -1,0 +1,246 @@
+package packet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func samplePacket() *Packet {
+	p := &Packet{StreamID: 7, Seq: 42, EmitNanos: 123456789}
+	p.AddBool("valid", true).
+		AddInt32("sensor", -5).
+		AddInt64("ts", 1_700_000_000_000).
+		AddFloat32("temp", 21.5).
+		AddFloat64("pressure", 101.325).
+		AddString("unit", "kPa").
+		AddBytes("raw", []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	return p
+}
+
+func TestFieldAccessors(t *testing.T) {
+	p := samplePacket()
+	if p.NumFields() != 7 {
+		t.Fatalf("NumFields = %d, want 7", p.NumFields())
+	}
+	if v, err := p.Bool("valid"); err != nil || !v {
+		t.Errorf("Bool(valid) = %v, %v", v, err)
+	}
+	if v, err := p.Int64("sensor"); err != nil || v != -5 {
+		t.Errorf("Int64(sensor) = %v, %v (int32 widening)", v, err)
+	}
+	if v, err := p.Int64("ts"); err != nil || v != 1_700_000_000_000 {
+		t.Errorf("Int64(ts) = %v, %v", v, err)
+	}
+	if v, err := p.Float64("temp"); err != nil || v != 21.5 {
+		t.Errorf("Float64(temp) = %v, %v (float32 widening)", v, err)
+	}
+	if v, err := p.Float64("pressure"); err != nil || v != 101.325 {
+		t.Errorf("Float64(pressure) = %v, %v", v, err)
+	}
+	if v, err := p.String("unit"); err != nil || v != "kPa" {
+		t.Errorf("String(unit) = %q, %v", v, err)
+	}
+	if v, err := p.Bytes("raw"); err != nil || len(v) != 4 || v[0] != 0xDE {
+		t.Errorf("Bytes(raw) = %x, %v", v, err)
+	}
+}
+
+func TestFieldErrors(t *testing.T) {
+	p := samplePacket()
+	if _, err := p.Bool("missing"); !errors.Is(err, ErrNoSuchField) {
+		t.Errorf("missing field: %v", err)
+	}
+	if _, err := p.Bool("unit"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("type mismatch: %v", err)
+	}
+	if _, err := p.Int64("unit"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Int64 mismatch: %v", err)
+	}
+	if _, err := p.Float64("unit"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Float64 mismatch: %v", err)
+	}
+	if _, err := p.String("valid"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("String mismatch: %v", err)
+	}
+	if _, err := p.Bytes("valid"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Bytes mismatch: %v", err)
+	}
+	if _, err := p.Int64("nope"); !errors.Is(err, ErrNoSuchField) {
+		t.Errorf("Int64 missing: %v", err)
+	}
+	if _, err := p.Float64("nope"); !errors.Is(err, ErrNoSuchField) {
+		t.Errorf("Float64 missing: %v", err)
+	}
+	if _, err := p.String("nope"); !errors.Is(err, ErrNoSuchField) {
+		t.Errorf("String missing: %v", err)
+	}
+	if _, err := p.Bytes("nope"); !errors.Is(err, ErrNoSuchField) {
+		t.Errorf("Bytes missing: %v", err)
+	}
+}
+
+func TestFieldTypeString(t *testing.T) {
+	types := map[FieldType]string{
+		TypeBool: "bool", TypeInt32: "int32", TypeInt64: "int64",
+		TypeFloat32: "float32", TypeFloat64: "float64",
+		TypeString: "string", TypeBytes: "bytes",
+	}
+	for ft, want := range types {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+	if got := TypeInvalid.String(); !strings.HasPrefix(got, "invalid") {
+		t.Errorf("TypeInvalid.String() = %q", got)
+	}
+}
+
+func TestResetRetainsCapacity(t *testing.T) {
+	p := samplePacket()
+	capBefore := cap(p.fields)
+	p.Reset()
+	if p.NumFields() != 0 || p.StreamID != 0 || p.Seq != 0 || p.EmitNanos != 0 {
+		t.Fatal("Reset did not clear packet")
+	}
+	if cap(p.fields) != capBefore {
+		t.Fatalf("Reset dropped capacity: %d -> %d", capBefore, cap(p.fields))
+	}
+	// Refill must not allocate field structs.
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Reset()
+		p.AddInt64("a", 1)
+		p.AddFloat64("b", 2)
+		p.AddBool("c", true)
+	})
+	if allocs > 0 {
+		t.Errorf("refill after Reset allocates %v times/op, want 0", allocs)
+	}
+}
+
+func TestAddBytesCopies(t *testing.T) {
+	src := []byte{1, 2, 3}
+	p := &Packet{}
+	p.AddBytes("b", src)
+	src[0] = 99
+	got, err := p.Bytes("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("AddBytes aliased the caller's buffer")
+	}
+}
+
+func TestCopyToAndEqual(t *testing.T) {
+	p := samplePacket()
+	var q Packet
+	p.CopyTo(&q)
+	if !p.Equal(&q) {
+		t.Fatal("copy not equal to original")
+	}
+	// Mutating the copy must not affect the original.
+	b, _ := q.Bytes("raw")
+	b[0] = 0x00
+	orig, _ := p.Bytes("raw")
+	if orig[0] != 0xDE {
+		t.Fatal("CopyTo aliased byte storage")
+	}
+	q.Seq++
+	if p.Equal(&q) {
+		t.Fatal("Equal ignored Seq")
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	base := samplePacket()
+	mk := func(mutate func(*Packet)) *Packet {
+		var q Packet
+		base.CopyTo(&q)
+		mutate(&q)
+		return &q
+	}
+	cases := []struct {
+		name string
+		p    *Packet
+	}{
+		{"streamID", mk(func(q *Packet) { q.StreamID++ })},
+		{"emit", mk(func(q *Packet) { q.EmitNanos++ })},
+		{"fieldCount", mk(func(q *Packet) { q.AddBool("x", false) })},
+		{"fieldName", mk(func(q *Packet) { q.fields[0].Name = "other" })},
+		{"fieldNum", mk(func(q *Packet) { q.fields[1].num++ })},
+		{"fieldStr", mk(func(q *Packet) { q.fields[5].str = "psi" })},
+		{"bytesLen", mk(func(q *Packet) { q.fields[6].bytes = q.fields[6].bytes[:3] })},
+		{"bytesVal", mk(func(q *Packet) { q.fields[6].bytes[1] = 0 })},
+	}
+	for _, c := range cases {
+		if base.Equal(c.p) {
+			t.Errorf("Equal failed to distinguish %s", c.name)
+		}
+	}
+	same := mk(func(q *Packet) {})
+	if !base.Equal(same) {
+		t.Error("Equal rejected identical copy")
+	}
+}
+
+func TestLookupLinear(t *testing.T) {
+	p := &Packet{}
+	p.AddInt64("dup", 1)
+	p.AddInt64("dup", 2)
+	f := p.Lookup("dup")
+	if f == nil || f.Int64() != 1 {
+		t.Fatal("Lookup should return the first matching field")
+	}
+	if p.Lookup("absent") != nil {
+		t.Fatal("Lookup(absent) should be nil")
+	}
+}
+
+func TestFieldAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FieldAt out of range should panic")
+		}
+	}()
+	p := &Packet{}
+	_ = p.FieldAt(0)
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	enc := &Encoder{}
+	cases := []*Packet{
+		{},
+		samplePacket(),
+		func() *Packet {
+			p := &Packet{StreamID: 1}
+			p.AddString("s", strings.Repeat("x", 300)) // multi-byte varint len
+			return p
+		}(),
+		func() *Packet {
+			p := &Packet{Seq: 1 << 40}
+			p.AddBytes("big", make([]byte, 5000))
+			return p
+		}(),
+	}
+	for i, p := range cases {
+		encoded := enc.Encode(nil, p)
+		if len(encoded) != p.WireSize() {
+			t.Errorf("case %d: WireSize = %d, encoded = %d bytes", i, p.WireSize(), len(encoded))
+		}
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3}, {1 << 62, 9},
+	}
+	for _, c := range cases {
+		if got := uvarintLen(c.v); got != c.want {
+			t.Errorf("uvarintLen(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

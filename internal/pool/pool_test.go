@@ -1,0 +1,224 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestPacketPoolReuse(t *testing.T) {
+	p := NewPacketPool(4, true)
+	pkt := p.Get()
+	pkt.AddInt64("x", 1)
+	p.Put(pkt)
+	got := p.Get()
+	if got != pkt {
+		t.Fatal("expected the same packet back")
+	}
+	if got.NumFields() != 0 {
+		t.Fatal("recycled packet not reset")
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Hits != 1 || s.Puts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", s.HitRate())
+	}
+}
+
+func TestPacketPoolDisabled(t *testing.T) {
+	p := NewPacketPool(4, false)
+	pkt := p.Get()
+	p.Put(pkt)
+	got := p.Get()
+	if got == pkt {
+		t.Fatal("disabled pool must not recycle")
+	}
+	s := p.Stats()
+	if s.Hits != 0 || s.Discards != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPacketPoolBounded(t *testing.T) {
+	p := NewPacketPool(2, true)
+	a, b, c := &packet.Packet{}, &packet.Packet{}, &packet.Packet{}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c) // pool full: discarded
+	if p.Idle() != 2 {
+		t.Fatalf("Idle = %d, want 2", p.Idle())
+	}
+	if s := p.Stats(); s.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", s.Discards)
+	}
+}
+
+func TestPacketPoolNilPut(t *testing.T) {
+	p := NewPacketPool(2, true)
+	p.Put(nil) // must not panic or count
+	if s := p.Stats(); s.Puts != 0 {
+		t.Fatalf("nil Put counted: %+v", s)
+	}
+}
+
+func TestPacketPoolZeroCapacity(t *testing.T) {
+	p := NewPacketPool(0, true)
+	p.Put(&packet.Packet{})
+	if p.Idle() != 1 {
+		t.Fatalf("capacity clamp failed, Idle = %d", p.Idle())
+	}
+}
+
+func TestPacketPoolConcurrent(t *testing.T) {
+	p := NewPacketPool(64, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				pkt := p.Get()
+				pkt.AddInt64("i", int64(i))
+				if pkt.NumFields() != 1 {
+					t.Error("packet not clean")
+					return
+				}
+				p.Put(pkt)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Gets != 16000 || s.Puts != 16000 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() < 0.5 {
+		t.Errorf("hit rate %v unexpectedly low for tight loop", s.HitRate())
+	}
+}
+
+func TestBufferPoolSizing(t *testing.T) {
+	bp := NewBufferPool(64, 4096, true)
+	b := bp.Get(100)
+	if cap(b) < 100 {
+		t.Fatalf("cap = %d, want >= 100", cap(b))
+	}
+	if len(b) != 0 {
+		t.Fatalf("len = %d, want 0", len(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("cap = %d, want exact class 128", cap(b))
+	}
+	bp.Put(b)
+	b2 := bp.Get(128)
+	if cap(b2) != 128 {
+		t.Fatalf("recycled cap = %d", cap(b2))
+	}
+}
+
+func TestBufferPoolOversized(t *testing.T) {
+	bp := NewBufferPool(64, 1024, true)
+	b := bp.Get(10_000)
+	if cap(b) < 10_000 {
+		t.Fatalf("oversized Get cap = %d", cap(b))
+	}
+	bp.Put(b) // should be discarded, not poison a class
+	if s := bp.Stats(); s.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", s.Discards)
+	}
+}
+
+func TestBufferPoolOddCapacityDiscarded(t *testing.T) {
+	bp := NewBufferPool(64, 1024, true)
+	bp.Put(make([]byte, 0, 100)) // 100 is not a class size
+	if s := bp.Stats(); s.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", s.Discards)
+	}
+	b := bp.Get(64)
+	if cap(b) != 64 {
+		t.Fatalf("class poisoned: cap = %d", cap(b))
+	}
+}
+
+func TestBufferPoolDisabled(t *testing.T) {
+	bp := NewBufferPool(64, 1024, false)
+	b := bp.Get(64)
+	bp.Put(b)
+	if s := bp.Stats(); s.Hits != 0 || s.Discards != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBufferPoolNilPut(t *testing.T) {
+	bp := NewBufferPool(64, 1024, true)
+	bp.Put(nil)
+	if s := bp.Stats(); s.Puts != 0 {
+		t.Fatalf("nil Put counted: %+v", s)
+	}
+}
+
+func TestBufferPoolMinClamp(t *testing.T) {
+	bp := NewBufferPool(1, 1, true)
+	b := bp.Get(1)
+	if cap(b) != 64 {
+		t.Fatalf("min clamp: cap = %d, want 64", cap(b))
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {63, 64}, {64, 64}, {65, 128}, {1000, 1024},
+	}
+	for _, c := range cases {
+		if got := ceilPow2(c.in); got != c.want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCodecPool(t *testing.T) {
+	cp := NewCodecPool()
+	e := cp.GetEncoder()
+	if e == nil {
+		t.Fatal("nil encoder")
+	}
+	d := cp.GetDecoder()
+	if d == nil {
+		t.Fatal("nil decoder")
+	}
+	// Round trip through the pooled codec pair.
+	p := &packet.Packet{Seq: 3}
+	p.AddString("k", "v")
+	buf := e.Encode(nil, p)
+	var q packet.Packet
+	if _, err := d.Decode(buf, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(&q) {
+		t.Fatal("pooled codec round trip failed")
+	}
+	cp.PutEncoder(e)
+	cp.PutDecoder(d)
+}
+
+func BenchmarkPacketPoolGetPut(b *testing.B) {
+	p := NewPacketPool(128, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt := p.Get()
+		p.Put(pkt)
+	}
+}
+
+func BenchmarkPacketNoPool(b *testing.B) {
+	b.ReportAllocs()
+	var sink *packet.Packet
+	for i := 0; i < b.N; i++ {
+		sink = &packet.Packet{}
+		sink.AddInt64("x", int64(i))
+	}
+	_ = sink
+}

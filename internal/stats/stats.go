@@ -1,0 +1,506 @@
+// Package stats provides the statistical machinery used by the NEPTUNE
+// evaluation harness: streaming descriptive statistics, Student/Welch
+// t-tests, and the Tukey HSD multiple-comparison procedure the paper uses
+// to validate its compression experiment.
+//
+// Everything here is implemented from scratch on the standard library so the
+// experiment harness can report the same significance decisions the paper
+// reports (e.g. "p < 0.0001 for random data, p > 0.1561 for sensor data").
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a procedure needs more observations
+// than were provided (for example a variance of a single sample).
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Running accumulates a stream of observations and exposes descriptive
+// statistics without retaining the observations. It uses Welford's
+// algorithm, which is numerically stable for long runs of near-identical
+// latency samples.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates a single observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// AddAll incorporates every observation in xs.
+func (r *Running) AddAll(xs []float64) {
+	for _, x := range xs {
+		r.Add(x)
+	}
+}
+
+// N reports the number of observations seen so far.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean reports the arithmetic mean of the observations, or 0 when empty.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min reports the smallest observation, or 0 when empty.
+func (r *Running) Min() float64 { return r.min }
+
+// Max reports the largest observation, or 0 when empty.
+func (r *Running) Max() float64 { return r.max }
+
+// Variance reports the unbiased sample variance. It returns 0 when fewer
+// than two observations have been added.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Merge combines another accumulator into r, as if every observation added
+// to o had also been added to r. It uses the parallel variant of Welford's
+// update so the merged variance is exact.
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	delta := o.mean - r.mean
+	total := r.n + o.n
+	r.m2 += o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(total)
+	r.mean += delta * float64(o.n) / float64(total)
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n = total
+}
+
+// Summary holds descriptive statistics for a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes descriptive statistics for xs. The slice is not
+// modified. It returns ErrInsufficientData when xs is empty.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrInsufficientData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var r Running
+	r.AddAll(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   r.Mean(),
+		StdDev: r.StdDev(),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    Quantile(sorted, 0.50),
+		P95:    Quantile(sorted, 0.95),
+		P99:    Quantile(sorted, 0.99),
+	}, nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of a sorted sample using
+// linear interpolation between closest ranks (the R-7 definition used by
+// most spreadsheet software). The input must be sorted ascending and
+// non-empty; out-of-range q values are clamped.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the unbiased sample standard deviation of xs, or 0 when
+// fewer than two observations are present.
+func StdDev(xs []float64) float64 {
+	var r Running
+	r.AddAll(xs)
+	return r.StdDev()
+}
+
+// TTestResult reports the outcome of a two-sample t-test.
+type TTestResult struct {
+	T           float64 // the t statistic
+	DF          float64 // degrees of freedom (Welch–Satterthwaite)
+	POneTailed  float64 // P(T >= t) under H0 (or P(T <= t) when t < 0)
+	PTwoTailed  float64
+	MeanA       float64
+	MeanB       float64
+	Significant bool // PTwoTailed < 0.05
+}
+
+// WelchTTest performs Welch's unequal-variance two-sample t-test of the null
+// hypothesis that a and b have the same mean. It returns
+// ErrInsufficientData when either sample has fewer than two observations.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	var ra, rb Running
+	ra.AddAll(a)
+	rb.AddAll(b)
+	va := ra.Variance() / float64(ra.N())
+	vb := rb.Variance() / float64(rb.N())
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		// Identical constant samples: no evidence either way.
+		if ra.Mean() == rb.Mean() {
+			return TTestResult{T: 0, DF: float64(ra.N() + rb.N() - 2), POneTailed: 0.5, PTwoTailed: 1, MeanA: ra.Mean(), MeanB: rb.Mean()}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ra.Mean() - rb.Mean())), DF: float64(ra.N() + rb.N() - 2), POneTailed: 0, PTwoTailed: 0, MeanA: ra.Mean(), MeanB: rb.Mean(), Significant: true}, nil
+	}
+	t := (ra.Mean() - rb.Mean()) / se
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(ra.N()-1) + vb*vb/float64(rb.N()-1))
+	p2 := 2 * studentTSF(math.Abs(t), df)
+	res := TTestResult{
+		T:           t,
+		DF:          df,
+		POneTailed:  studentTSF(math.Abs(t), df),
+		PTwoTailed:  p2,
+		MeanA:       ra.Mean(),
+		MeanB:       rb.Mean(),
+		Significant: p2 < 0.05,
+	}
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTSF returns the upper-tail probability P(T >= t) for Student's t
+// distribution with df degrees of freedom, via the regularized incomplete
+// beta function.
+func studentTSF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion from Numerical Recipes.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 400
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Group is a named sample used in multi-group comparisons.
+type Group struct {
+	Name   string
+	Values []float64
+}
+
+// PairwiseComparison is one pair's outcome within a Tukey HSD procedure.
+type PairwiseComparison struct {
+	A, B        string
+	MeanDiff    float64
+	Q           float64 // studentized range statistic
+	P           float64 // approximate p-value
+	Significant bool    // P < alpha used for the procedure
+}
+
+// TukeyHSD performs Tukey's honestly-significant-difference multiple
+// comparison across the groups at significance level alpha. Groups must
+// each contain at least two observations. The p-values are computed from
+// the studentized range distribution via numerical integration.
+func TukeyHSD(groups []Group, alpha float64) ([]PairwiseComparison, error) {
+	k := len(groups)
+	if k < 2 {
+		return nil, ErrInsufficientData
+	}
+	totalN := 0
+	for _, g := range groups {
+		if len(g.Values) < 2 {
+			return nil, fmt.Errorf("stats: group %q has %d observations, need >= 2: %w", g.Name, len(g.Values), ErrInsufficientData)
+		}
+		totalN += len(g.Values)
+	}
+	dfWithin := totalN - k
+	// Pooled within-group mean square error.
+	ssWithin := 0.0
+	means := make([]float64, k)
+	for i, g := range groups {
+		var r Running
+		r.AddAll(g.Values)
+		means[i] = r.Mean()
+		ssWithin += r.Variance() * float64(r.N()-1)
+	}
+	msWithin := ssWithin / float64(dfWithin)
+	var out []PairwiseComparison
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			ni, nj := float64(len(groups[i].Values)), float64(len(groups[j].Values))
+			se := math.Sqrt(msWithin / 2 * (1/ni + 1/nj))
+			diff := means[i] - means[j]
+			var q float64
+			if se == 0 {
+				if diff == 0 {
+					q = 0
+				} else {
+					q = math.Inf(1)
+				}
+			} else {
+				q = math.Abs(diff) / se
+			}
+			p := studentizedRangeSF(q, float64(k), float64(dfWithin))
+			out = append(out, PairwiseComparison{
+				A:           groups[i].Name,
+				B:           groups[j].Name,
+				MeanDiff:    diff,
+				Q:           q,
+				P:           p,
+				Significant: p < alpha,
+			})
+		}
+	}
+	return out, nil
+}
+
+// studentizedRangeSF returns P(Q >= q) for the studentized range
+// distribution with k groups and df error degrees of freedom. It integrates
+// the classical double-integral representation numerically: the outer
+// integral over the chi distribution of the pooled standard deviation and
+// the inner Gauss–Hermite-style integral over the normal range CDF.
+func studentizedRangeSF(q, k, df float64) float64 {
+	if q <= 0 {
+		return 1
+	}
+	if math.IsInf(q, 1) {
+		return 0
+	}
+	cdf := studentizedRangeCDF(q, k, df)
+	if cdf > 1 {
+		cdf = 1
+	}
+	if cdf < 0 {
+		cdf = 0
+	}
+	return 1 - cdf
+}
+
+// studentizedRangeCDF computes P(Q <= q) via Gauss–Legendre quadrature of
+//
+//	∫_0^∞ f_chi(s; df) * P(range of k std normals <= q*s) ds
+//
+// where f_chi is the density of sqrt(chi^2_df / df). For df > 2000 the
+// s-distribution is treated as a point mass at 1 (the normal-range limit).
+func studentizedRangeCDF(q, k, df float64) float64 {
+	if df > 2000 {
+		return normalRangeCDF(q, k)
+	}
+	// Integrate over s in (0, hi) where the chi density is non-negligible.
+	// The density of s concentrates around 1 with spread ~ 1/sqrt(2 df).
+	spread := 4 / math.Sqrt(2*df)
+	lo := math.Max(0, 1-3*spread)
+	hi := 1 + 3*spread
+	if df < 10 {
+		lo, hi = 0, 4
+	}
+	const nSteps = 160
+	h := (hi - lo) / nSteps
+	sum := 0.0
+	// Simpson's rule.
+	for i := 0; i <= nSteps; i++ {
+		s := lo + float64(i)*h
+		w := 2.0
+		switch {
+		case i == 0 || i == nSteps:
+			w = 1
+		case i%2 == 1:
+			w = 4
+		}
+		sum += w * chiScaledPDF(s, df) * normalRangeCDF(q*s, k)
+	}
+	return sum * h / 3
+}
+
+// chiScaledPDF is the density of S = sqrt(chi^2_df / df).
+func chiScaledPDF(s, df float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	// f(s) = 2 * (df/2)^(df/2) / Gamma(df/2) * s^(df-1) * exp(-df s^2 / 2)
+	logf := math.Ln2 + (df/2)*math.Log(df/2) - lgamma(df/2) +
+		(df-1)*math.Log(s) - df*s*s/2
+	return math.Exp(logf)
+}
+
+// normalRangeCDF is P(range of k iid std normals <= w):
+//
+//	k ∫ φ(z) [Φ(z) - Φ(z-w)]^(k-1) dz
+func normalRangeCDF(w, k float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	const (
+		zLo    = -8.0
+		zHi    = 8.0
+		nSteps = 256
+	)
+	h := (zHi - zLo) / nSteps
+	sum := 0.0
+	for i := 0; i <= nSteps; i++ {
+		z := zLo + float64(i)*h
+		wgt := 2.0
+		switch {
+		case i == 0 || i == nSteps:
+			wgt = 1
+		case i%2 == 1:
+			wgt = 4
+		}
+		inner := stdNormCDF(z) - stdNormCDF(z-w)
+		if inner < 0 {
+			inner = 0
+		}
+		sum += wgt * stdNormPDF(z) * math.Pow(inner, k-1)
+	}
+	v := k * sum * h / 3
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

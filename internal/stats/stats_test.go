@@ -1,0 +1,398 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d, want 8", r.N())
+	}
+	if !approxEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !approxEqual(r.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.N() != 0 {
+		t.Errorf("empty accumulator not zero-valued: %+v", r)
+	}
+	r.Add(42)
+	if r.Mean() != 42 {
+		t.Errorf("Mean = %v, want 42", r.Mean())
+	}
+	if r.Variance() != 0 {
+		t.Errorf("Variance of single obs = %v, want 0", r.Variance())
+	}
+	if r.Min() != 42 || r.Max() != 42 {
+		t.Errorf("Min/Max = %v/%v, want 42/42", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	var whole Running
+	whole.AddAll(xs)
+	var a, b Running
+	a.AddAll(xs[:137])
+	b.AddAll(xs[137:])
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !approxEqual(a.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !approxEqual(a.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merged Variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestRunningMergeEmptySides(t *testing.T) {
+	var a, b Running
+	b.Add(3)
+	b.Add(5)
+	a.Merge(&b) // empty receiver adopts other
+	if a.N() != 2 || !approxEqual(a.Mean(), 4, 1e-12) {
+		t.Errorf("merge into empty: N=%d Mean=%v", a.N(), a.Mean())
+	}
+	var c Running
+	a.Merge(&c) // merging empty is a no-op
+	if a.N() != 2 || !approxEqual(a.Mean(), 4, 1e-12) {
+		t.Errorf("merge of empty changed state: N=%d Mean=%v", a.N(), a.Mean())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.25, 3.25}, {0.75, 7.75},
+		{-0.5, 1}, {1.5, 10},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !approxEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Errorf("Quantile(empty) should be NaN")
+	}
+}
+
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), xs...)
+		sortFloats(sorted)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(sorted, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			if v < sorted[0] || v > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{5, 1, 4, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) should error")
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("StdDev single = %v, want 0", got)
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !approxEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestStudentTSFKnownValues(t *testing.T) {
+	// Compare against well-known critical values: for df=10, t=1.812 gives
+	// an upper tail of 0.05; t=2.764 gives 0.01.
+	cases := []struct {
+		t, df, want, tol float64
+	}{
+		{1.812, 10, 0.05, 0.002},
+		{2.764, 10, 0.01, 0.001},
+		{1.96, 1e6, 0.025, 0.001}, // normal limit
+		{0, 5, 0.5, 1e-9},
+	}
+	for _, c := range cases {
+		if got := studentTSF(c.t, c.df); !approxEqual(got, c.want, c.tol) {
+			t.Errorf("studentTSF(%v, %v) = %v, want ~%v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestWelchTTestDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float64, 60)
+	b := make([]float64, 60)
+	for i := range a {
+		a[i] = rng.NormFloat64() + 0.0
+		b[i] = rng.NormFloat64() + 2.0
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Errorf("clearly separated samples not significant: %+v", res)
+	}
+	if res.PTwoTailed > 1e-6 {
+		t.Errorf("p too large for 2-sigma separation: %v", res.PTwoTailed)
+	}
+	if res.T >= 0 {
+		t.Errorf("t should be negative when mean(a) < mean(b): %v", res.T)
+	}
+}
+
+func TestWelchTTestNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PTwoTailed < 0.01 {
+		t.Errorf("same-distribution samples spuriously significant: p=%v", res.PTwoTailed)
+	}
+}
+
+func TestWelchTTestEdgeCases(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for single-observation sample")
+	}
+	// Identical constant samples.
+	res, err := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant || res.PTwoTailed != 1 {
+		t.Errorf("identical constants: %+v", res)
+	}
+	// Different constant samples: infinitely significant.
+	res, err = WelchTTest([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant || res.PTwoTailed != 0 {
+		t.Errorf("distinct constants: %+v", res)
+	}
+}
+
+func TestNormalRangeCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for w := 0.1; w < 10; w += 0.3 {
+		v := normalRangeCDF(w, 3)
+		if v < prev {
+			t.Fatalf("normalRangeCDF not monotone at w=%v: %v < %v", w, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("normalRangeCDF out of range at w=%v: %v", w, v)
+		}
+		prev = v
+	}
+	if got := normalRangeCDF(0, 4); got != 0 {
+		t.Errorf("normalRangeCDF(0) = %v, want 0", got)
+	}
+}
+
+func TestStudentizedRangeKnownCriticalValues(t *testing.T) {
+	// Published q_crit(alpha=0.05) values: k=3, df=10 -> 3.88;
+	// k=2, df=20 -> 2.95; k=4, df=30 -> 3.85 (standard Tukey tables).
+	cases := []struct {
+		q, k, df float64
+	}{
+		{3.88, 3, 10},
+		{2.95, 2, 20},
+		{3.85, 4, 30},
+	}
+	for _, c := range cases {
+		p := studentizedRangeSF(c.q, c.k, c.df)
+		if !approxEqual(p, 0.05, 0.012) {
+			t.Errorf("SF(q=%v,k=%v,df=%v) = %v, want ~0.05", c.q, c.k, c.df, p)
+		}
+	}
+}
+
+func TestStudentizedRangeSFBounds(t *testing.T) {
+	if got := studentizedRangeSF(0, 3, 10); got != 1 {
+		t.Errorf("SF(0) = %v, want 1", got)
+	}
+	if got := studentizedRangeSF(math.Inf(1), 3, 10); got != 0 {
+		t.Errorf("SF(inf) = %v, want 0", got)
+	}
+	if got := studentizedRangeSF(100, 3, 10); got > 1e-6 {
+		t.Errorf("SF(100) = %v, want ~0", got)
+	}
+}
+
+func TestTukeyHSDSeparatedGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	mk := func(mu float64) []float64 {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*0.5 + mu
+		}
+		return xs
+	}
+	groups := []Group{
+		{Name: "off", Values: mk(10)},
+		{Name: "always", Values: mk(6)},
+		{Name: "selective", Values: mk(10.05)},
+	}
+	cmp, err := TukeyHSD(groups, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp) != 3 {
+		t.Fatalf("expected 3 pairwise comparisons, got %d", len(cmp))
+	}
+	for _, c := range cmp {
+		involvesAlways := c.A == "always" || c.B == "always"
+		if involvesAlways && !c.Significant {
+			t.Errorf("pair %s-%s should be significant: p=%v", c.A, c.B, c.P)
+		}
+		if !involvesAlways && c.Significant {
+			t.Errorf("pair %s-%s should not be significant: p=%v", c.A, c.B, c.P)
+		}
+	}
+}
+
+func TestTukeyHSDErrors(t *testing.T) {
+	if _, err := TukeyHSD([]Group{{Name: "a", Values: []float64{1, 2}}}, 0.05); err == nil {
+		t.Error("single group should error")
+	}
+	groups := []Group{
+		{Name: "a", Values: []float64{1, 2}},
+		{Name: "b", Values: []float64{3}},
+	}
+	if _, err := TukeyHSD(groups, 0.05); err == nil {
+		t.Error("group with one observation should error")
+	}
+}
+
+func TestTukeyHSDIdenticalGroups(t *testing.T) {
+	groups := []Group{
+		{Name: "a", Values: []float64{5, 5, 5, 5}},
+		{Name: "b", Values: []float64{5, 5, 5, 5}},
+	}
+	cmp, err := TukeyHSD(groups, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp[0].Significant {
+		t.Errorf("identical constant groups flagged significant: %+v", cmp[0])
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	// I_x(a,b) boundary and symmetry identities.
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.9} {
+		l := regIncBeta(2.5, 4, x)
+		r := 1 - regIncBeta(4, 2.5, 1-x)
+		if !approxEqual(l, r, 1e-10) {
+			t.Errorf("symmetry broken at x=%v: %v vs %v", x, l, r)
+		}
+	}
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.2, 0.5, 0.77} {
+		if got := regIncBeta(1, 1, x); !approxEqual(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+func BenchmarkRunningAdd(b *testing.B) {
+	var r Running
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i & 1023))
+	}
+}
+
+func BenchmarkStudentizedRangeSF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		studentizedRangeSF(3.5, 3, 60)
+	}
+}

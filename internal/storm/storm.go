@@ -1,0 +1,670 @@
+// Package storm implements the comparison baseline for the paper's
+// evaluation: an engine with Apache Storm 0.9.5's execution model as the
+// paper (and the Heron paper it cites) characterizes it. The operator
+// logic is identical to NEPTUNE's; the engine differs exactly in the
+// mechanisms the paper identifies as Storm's weaknesses:
+//
+//   - Per-tuple transfer: every tuple moves through the topology
+//     individually — no application-level batching, so each tuple pays
+//     its own queue handoffs and (in the bandwidth model) its own framing.
+//   - Four-hop thread path: within a worker, a tuple passes through a
+//     receiver thread, the executor's input queue, the executor thread,
+//     and a sender thread — four context-switch opportunities per tuple
+//     versus NEPTUNE's two-tier model.
+//   - No backpressure: queues are unbounded; a slow bolt lets queues (and
+//     latency) grow without throttling the spout, reproducing the
+//     latency blow-up of Fig. 7.
+//   - No object reuse: every tuple is freshly allocated.
+//   - Reliable processing (acking) disabled, matching the paper's Storm
+//     configuration.
+package storm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Spout ingests a stream into the topology (Storm's source abstraction).
+type Spout interface {
+	// Open prepares the spout instance.
+	Open(ctx *Context) error
+	// NextTuple emits the next tuple(s); io.EOF ends the stream.
+	NextTuple(ctx *Context) error
+	// Close releases resources.
+	Close() error
+}
+
+// Bolt processes tuples (Storm's processor abstraction).
+type Bolt interface {
+	// Prepare readies the bolt instance.
+	Prepare(ctx *Context) error
+	// Execute handles one tuple, optionally emitting downstream.
+	Execute(ctx *Context, tuple *packet.Packet) error
+	// Cleanup releases resources.
+	Cleanup() error
+}
+
+// SpoutFactory builds a spout per instance.
+type SpoutFactory func(instance int) Spout
+
+// BoltFactory builds a bolt per instance.
+type BoltFactory func(instance int) Bolt
+
+// SpoutFunc adapts a function to Spout.
+type SpoutFunc func(ctx *Context) error
+
+// Open is a no-op.
+func (SpoutFunc) Open(*Context) error { return nil }
+
+// NextTuple calls the function.
+func (f SpoutFunc) NextTuple(ctx *Context) error { return f(ctx) }
+
+// Close is a no-op.
+func (SpoutFunc) Close() error { return nil }
+
+// BoltFunc adapts a function to Bolt.
+type BoltFunc func(ctx *Context, tuple *packet.Packet) error
+
+// Prepare is a no-op.
+func (BoltFunc) Prepare(*Context) error { return nil }
+
+// Execute calls the function.
+func (f BoltFunc) Execute(ctx *Context, tuple *packet.Packet) error { return f(ctx, tuple) }
+
+// Cleanup is a no-op.
+func (BoltFunc) Cleanup() error { return nil }
+
+var errStopped = errors.New("storm: topology stopped")
+
+// Context is the per-instance execution context.
+type Context struct {
+	inst *boltInstance // nil for spouts
+	top  *Topology
+	op   graph.OperatorSpec
+	idx  int
+	outs []*outStream
+}
+
+// NewTuple allocates a tuple. Storm has no object pooling; every tuple is
+// a fresh allocation (the paper's no-reuse contrast).
+func (c *Context) NewTuple() *packet.Packet { return &packet.Packet{} }
+
+// Emit routes the tuple onto the named stream. Emission from a bolt
+// executor crosses the sender thread first (the fourth hop); spouts emit
+// from their own pump thread.
+func (c *Context) Emit(stream string, tuple *packet.Packet) error {
+	for _, o := range c.outs {
+		if o.spec.Name == stream {
+			return c.send(o, tuple)
+		}
+	}
+	return fmt.Errorf("storm: unknown stream %q from %s", stream, c.op.Name)
+}
+
+// EmitDefault routes the tuple onto the instance's single outgoing stream.
+func (c *Context) EmitDefault(tuple *packet.Packet) error {
+	if len(c.outs) != 1 {
+		panic("storm: EmitDefault requires exactly one outgoing stream")
+	}
+	return c.send(c.outs[0], tuple)
+}
+
+func (c *Context) send(o *outStream, tuple *packet.Packet) error {
+	if c.inst != nil {
+		// Executor -> sender thread handoff.
+		if !c.inst.senderQ.push(outbound{stream: o, tuple: tuple}) {
+			return errStopped
+		}
+		c.top.switches.CountHandoff()
+		c.top.switches.CountWakeup()
+		return nil
+	}
+	return o.emit(tuple)
+}
+
+// Instance returns the instance index.
+func (c *Context) Instance() int { return c.idx }
+
+// Topology returns the owning topology.
+func (c *Context) Topology() *Topology { return c.top }
+
+// unboundedQueue is Storm's unbounded inter-thread queue: a mutex+cond
+// FIFO with no high watermark — the structural reason Storm lacks
+// backpressure in the paper's analysis.
+type unboundedQueue[T any] struct {
+	mu     sync.Mutex
+	nempty *sync.Cond
+	items  []T
+	head   int
+	closed bool
+	peak   int
+}
+
+func newUnboundedQueue[T any]() *unboundedQueue[T] {
+	q := &unboundedQueue[T]{}
+	q.nempty = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *unboundedQueue[T]) push(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, v)
+	if d := len(q.items) - q.head; d > q.peak {
+		q.peak = d
+	}
+	q.nempty.Signal()
+	q.mu.Unlock()
+	return true
+}
+
+func (q *unboundedQueue[T]) pop() (T, bool) {
+	q.mu.Lock()
+	for len(q.items)-q.head == 0 && !q.closed {
+		q.nempty.Wait()
+	}
+	if len(q.items)-q.head == 0 {
+		q.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.mu.Unlock()
+	return v, true
+}
+
+func (q *unboundedQueue[T]) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+func (q *unboundedQueue[T]) peakDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.peak
+}
+
+func (q *unboundedQueue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.nempty.Broadcast()
+	q.mu.Unlock()
+}
+
+// outbound is a tuple awaiting the sender thread.
+type outbound struct {
+	stream *outStream
+	tuple  *packet.Packet
+}
+
+// outStream is one outgoing stream of one instance, with its partitioner.
+type outStream struct {
+	spec  graph.LinkSpec
+	part  graph.Partitioner
+	dests []*boltInstance
+	top   *Topology
+	buf   []int
+	enc   packet.Encoder
+	dec   packet.Decoder
+	wire  []byte
+}
+
+// emit routes one tuple — individually, Storm-style — to the destination
+// instance's receiver queue. Each outStream belongs to one emitting
+// thread (a spout pump or a sender thread), so no locking is needed.
+// With SerializeTransfers enabled, every tuple is serialized and
+// deserialized individually on this hop, the per-tuple wire cost Storm
+// pays between workers (Kryo in 0.9.5) and the contrast to NEPTUNE's
+// batched, reuse-friendly codec path.
+func (o *outStream) emit(tuple *packet.Packet) error {
+	if tuple.EmitNanos == 0 {
+		tuple.EmitNanos = time.Now().UnixNano()
+	}
+	o.buf = o.part.Route(tuple, len(o.dests), o.buf[:0])
+	route := o.buf
+	for i, destIdx := range route {
+		out := tuple
+		if i < len(route)-1 {
+			out = &packet.Packet{}
+			tuple.CopyTo(out)
+		}
+		if o.top.serializeTransfers {
+			// One wire round trip per tuple, fresh objects each time —
+			// no batching, no reuse.
+			o.wire = o.enc.Encode(o.wire[:0], out)
+			decoded := &packet.Packet{}
+			if _, err := o.dec.Decode(o.wire, decoded); err != nil {
+				return err
+			}
+			o.top.wireBytes.Add(uint64(len(o.wire)))
+			out = decoded
+		}
+		d := o.dests[destIdx]
+		if !d.receiverQ.push(out) {
+			return errStopped
+		}
+		o.top.switches.CountHandoff()
+		o.top.switches.CountWakeup() // per-tuple wakeup of the receiver thread
+		o.top.tuplesMoved.Add(1)
+	}
+	return nil
+}
+
+// boltInstance hosts one bolt with Storm's four-thread message path.
+type boltInstance struct {
+	top  *Topology
+	op   graph.OperatorSpec
+	idx  int
+	bolt Bolt
+	ctx  Context
+
+	receiverQ *unboundedQueue[*packet.Packet]
+	executorQ *unboundedQueue[*packet.Packet]
+	senderQ   *unboundedQueue[outbound]
+
+	isSink  bool
+	latency *metrics.Histogram
+	procCtr *metrics.Counter
+	failCtr *metrics.Counter
+	wg      sync.WaitGroup
+}
+
+// Topology is a deployed Storm-style job.
+type Topology struct {
+	spec    *graph.Spec
+	spouts  map[string]SpoutFactory
+	bolts   map[string]BoltFactory
+	metrics *metrics.Registry
+
+	instances   map[string][]*boltInstance
+	spoutCtxs   []*spoutRunner
+	switches    *metrics.ContextSwitchAccount
+	tuplesMoved atomic.Uint64
+	wireBytes   atomic.Uint64
+
+	// serializeTransfers makes every inter-instance tuple transfer pay a
+	// full per-tuple serialize/deserialize round trip, as Storm does
+	// between workers. Set before Launch via SetSerializeTransfers.
+	serializeTransfers bool
+
+	stopped    atomic.Bool
+	spoutsLeft atomic.Int64
+	spoutsDone chan struct{}
+	firstErr   error
+	errMu      sync.Mutex
+	launched   bool
+}
+
+type spoutRunner struct {
+	top   *Topology
+	op    graph.OperatorSpec
+	idx   int
+	spout Spout
+	ctx   Context
+	wg    sync.WaitGroup
+}
+
+// NewTopology creates an undeployed topology from a validated spec.
+func NewTopology(spec *graph.Spec) (*Topology, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Topology{
+		spec:       spec,
+		spouts:     make(map[string]SpoutFactory),
+		bolts:      make(map[string]BoltFactory),
+		metrics:    metrics.NewRegistry(nil),
+		instances:  make(map[string][]*boltInstance),
+		switches:   &metrics.ContextSwitchAccount{},
+		spoutsDone: make(chan struct{}),
+	}, nil
+}
+
+// SetSpout installs a spout factory.
+func (t *Topology) SetSpout(op string, f SpoutFactory) *Topology {
+	t.spouts[op] = f
+	return t
+}
+
+// SetBolt installs a bolt factory.
+func (t *Topology) SetBolt(op string, f BoltFactory) *Topology {
+	t.bolts[op] = f
+	return t
+}
+
+// Metrics returns the topology's registry.
+func (t *Topology) Metrics() *metrics.Registry { return t.metrics }
+
+// Switches exposes context-switch accounting.
+func (t *Topology) Switches() *metrics.ContextSwitchAccount { return t.switches }
+
+// TuplesMoved reports individual tuple transfers between threads.
+func (t *Topology) TuplesMoved() uint64 { return t.tuplesMoved.Load() }
+
+// WireBytes reports per-tuple serialized bytes moved (only counted when
+// SetSerializeTransfers(true)).
+func (t *Topology) WireBytes() uint64 { return t.wireBytes.Load() }
+
+// SetSerializeTransfers toggles per-tuple wire serialization on every
+// inter-instance transfer (Storm's inter-worker behavior). Must be called
+// before Launch.
+func (t *Topology) SetSerializeTransfers(on bool) *Topology {
+	t.serializeTransfers = on
+	return t
+}
+
+// Launch deploys the topology and starts all threads.
+func (t *Topology) Launch() error {
+	if t.launched {
+		return errors.New("storm: already launched")
+	}
+	// 1. Bolt instances.
+	for i := range t.spec.Operators {
+		op := t.spec.Operators[i]
+		if op.Kind != graph.KindProcessor {
+			continue
+		}
+		f, ok := t.bolts[op.Name]
+		if !ok {
+			return fmt.Errorf("storm: bolt %q has no factory", op.Name)
+		}
+		for idx := 0; idx < op.Parallelism; idx++ {
+			bi := &boltInstance{
+				top:       t,
+				op:        op,
+				idx:       idx,
+				bolt:      f(idx),
+				receiverQ: newUnboundedQueue[*packet.Packet](),
+				executorQ: newUnboundedQueue[*packet.Packet](),
+				senderQ:   newUnboundedQueue[outbound](),
+				procCtr:   t.metrics.Counter(op.Name + ".processed"),
+				failCtr:   t.metrics.Counter(op.Name + ".errors"),
+			}
+			bi.ctx = Context{inst: bi, top: t, op: op, idx: idx}
+			t.instances[op.Name] = append(t.instances[op.Name], bi)
+		}
+	}
+	// 2. Wire streams out of bolts.
+	for _, link := range t.spec.Links {
+		if t.spec.Operator(link.From).Kind == graph.KindSource {
+			continue // spout streams wired in step 4
+		}
+		dests := t.instances[link.To]
+		for _, bi := range t.instances[link.From] {
+			part, err := graph.ResolvePartitioner(link.Partitioner)
+			if err != nil {
+				return err
+			}
+			bi.ctx.outs = append(bi.ctx.outs, &outStream{spec: link, part: part, dests: dests, top: t})
+		}
+	}
+	// 3. Mark sinks, prepare bolts, start their three threads.
+	for _, insts := range t.instances {
+		for _, bi := range insts {
+			if len(bi.ctx.outs) == 0 {
+				bi.isSink = true
+				bi.latency = t.metrics.Histogram(bi.op.Name + ".latency_ns")
+			}
+			if err := bi.bolt.Prepare(&bi.ctx); err != nil {
+				return fmt.Errorf("storm: prepare %s[%d]: %w", bi.op.Name, bi.idx, err)
+			}
+			bi.start()
+		}
+	}
+	// 4. Spouts and their streams.
+	nSpouts := 0
+	for i := range t.spec.Operators {
+		op := t.spec.Operators[i]
+		if op.Kind != graph.KindSource {
+			continue
+		}
+		f, ok := t.spouts[op.Name]
+		if !ok {
+			return fmt.Errorf("storm: spout %q has no factory", op.Name)
+		}
+		for idx := 0; idx < op.Parallelism; idx++ {
+			sr := &spoutRunner{top: t, op: op, idx: idx, spout: f(idx)}
+			sr.ctx = Context{top: t, op: op, idx: idx}
+			for _, link := range t.spec.Links {
+				if link.From != op.Name {
+					continue
+				}
+				part, err := graph.ResolvePartitioner(link.Partitioner)
+				if err != nil {
+					return err
+				}
+				sr.ctx.outs = append(sr.ctx.outs, &outStream{
+					spec: link, part: part, dests: t.instances[link.To], top: t,
+				})
+			}
+			t.spoutCtxs = append(t.spoutCtxs, sr)
+			nSpouts++
+		}
+	}
+	t.spoutsLeft.Store(int64(nSpouts))
+	if nSpouts == 0 {
+		close(t.spoutsDone)
+	}
+	for _, sr := range t.spoutCtxs {
+		sr.start()
+	}
+	t.launched = true
+	return nil
+}
+
+// start launches the bolt's receiver, executor, and sender threads.
+func (bi *boltInstance) start() {
+	t := bi.top
+	// Receiver thread: receiverQ -> executorQ, one tuple at a time.
+	bi.wg.Add(1)
+	go func() {
+		defer bi.wg.Done()
+		for {
+			p, ok := bi.receiverQ.pop()
+			if !ok {
+				bi.executorQ.close()
+				return
+			}
+			bi.executorQ.push(p)
+			t.switches.CountHandoff()
+			t.switches.CountWakeup()
+		}
+	}()
+	// Executor thread: runs the bolt.
+	bi.wg.Add(1)
+	go func() {
+		defer bi.wg.Done()
+		for {
+			p, ok := bi.executorQ.pop()
+			if !ok {
+				bi.senderQ.close()
+				return
+			}
+			bi.execute(p)
+		}
+	}()
+	// Sender thread: forwards tuples the executor emitted.
+	bi.wg.Add(1)
+	go func() {
+		defer bi.wg.Done()
+		for {
+			ob, ok := bi.senderQ.pop()
+			if !ok {
+				return
+			}
+			if err := ob.stream.emit(ob.tuple); err != nil {
+				bi.failCtr.Inc()
+			}
+		}
+	}()
+}
+
+// execute runs the bolt on one tuple.
+func (bi *boltInstance) execute(p *packet.Packet) {
+	if err := bi.bolt.Execute(&bi.ctx, p); err != nil {
+		bi.failCtr.Inc()
+		bi.top.recordErr(err)
+	}
+	bi.procCtr.Inc()
+	if bi.isSink && p.EmitNanos > 0 {
+		bi.latency.Record(time.Now().UnixNano() - p.EmitNanos)
+	}
+}
+
+func (t *Topology) recordErr(err error) {
+	t.errMu.Lock()
+	if t.firstErr == nil {
+		t.firstErr = err
+	}
+	t.errMu.Unlock()
+}
+
+// start launches the spout pump.
+func (sr *spoutRunner) start() {
+	sr.wg.Add(1)
+	go func() {
+		defer sr.wg.Done()
+		defer func() {
+			if sr.top.spoutsLeft.Add(-1) == 0 {
+				close(sr.top.spoutsDone)
+			}
+		}()
+		if err := sr.spout.Open(&sr.ctx); err != nil {
+			sr.top.recordErr(err)
+			return
+		}
+		for !sr.top.stopped.Load() {
+			err := sr.spout.NextTuple(&sr.ctx)
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, errStopped) {
+				return
+			}
+			sr.top.recordErr(err)
+			return
+		}
+	}()
+}
+
+// WaitSpouts blocks until all spouts finish or the timeout elapses.
+func (t *Topology) WaitSpouts(timeout time.Duration) bool {
+	select {
+	case <-t.spoutsDone:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// QueueDepths reports current and peak queue depth summed across all
+// instances of the named bolt — the buildup the paper attributes to
+// Storm's missing backpressure.
+func (t *Topology) QueueDepths(op string) (current, peak int) {
+	for _, bi := range t.instances[op] {
+		current += bi.receiverQ.len() + bi.executorQ.len() + bi.senderQ.len()
+		peak += bi.receiverQ.peakDepth() + bi.executorQ.peakDepth() + bi.senderQ.peakDepth()
+	}
+	return current, peak
+}
+
+// queuesEmpty reports whether every queue across the topology is empty.
+func (t *Topology) queuesEmpty() bool {
+	for _, insts := range t.instances {
+		for _, bi := range insts {
+			if bi.receiverQ.len() > 0 || bi.executorQ.len() > 0 || bi.senderQ.len() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Drain waits until every queue is empty or the timeout elapses.
+func (t *Topology) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if t.queuesEmpty() {
+			// Settle: tuples may sit between pop and push across hops.
+			time.Sleep(2 * time.Millisecond)
+			if t.queuesEmpty() {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return errors.New("storm: drain timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Stop halts spouts, drains, and tears down all threads.
+func (t *Topology) Stop(timeout time.Duration) error {
+	if !t.launched || !t.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, sr := range t.spoutCtxs {
+		sr.wg.Wait()
+	}
+	if err := t.Drain(timeout); err != nil {
+		t.recordErr(err)
+	}
+	for _, insts := range t.instances {
+		for _, bi := range insts {
+			bi.receiverQ.close()
+		}
+	}
+	for _, insts := range t.instances {
+		for _, bi := range insts {
+			bi.wg.Wait()
+			if err := bi.bolt.Cleanup(); err != nil {
+				t.recordErr(err)
+			}
+		}
+	}
+	for _, sr := range t.spoutCtxs {
+		if err := sr.spout.Close(); err != nil {
+			t.recordErr(err)
+		}
+	}
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.firstErr
+}
+
+// Err returns the first error recorded so far.
+func (t *Topology) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.firstErr
+}
+
+// LatencySnapshot returns the sink latency histogram for op.
+func (t *Topology) LatencySnapshot(op string) metrics.HistogramSnapshot {
+	return t.metrics.Histogram(op + ".latency_ns").Snapshot()
+}
+
+// Processed reports the processed-tuple count for op.
+func (t *Topology) Processed(op string) uint64 {
+	return t.metrics.Counter(op + ".processed").Value()
+}

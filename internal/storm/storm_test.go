@@ -1,0 +1,441 @@
+package storm
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/packet"
+)
+
+func relaySpec() *graph.Spec {
+	s := &graph.Spec{
+		Name: "relay",
+		Operators: []graph.OperatorSpec{
+			{Name: "spout", Kind: graph.KindSource},
+			{Name: "relay", Kind: graph.KindProcessor},
+			{Name: "sink", Kind: graph.KindProcessor},
+		},
+		Links: []graph.LinkSpec{
+			{From: "spout", To: "relay"},
+			{From: "relay", To: "sink"},
+		},
+	}
+	s.Normalize()
+	return s
+}
+
+type countSpout struct {
+	n    int
+	sent atomic.Int64
+}
+
+func (s *countSpout) Open(*Context) error { return nil }
+func (s *countSpout) Close() error        { return nil }
+func (s *countSpout) NextTuple(ctx *Context) error {
+	i := s.sent.Load()
+	if int(i) >= s.n {
+		return io.EOF
+	}
+	t := ctx.NewTuple()
+	t.AddInt64("i", i)
+	if err := ctx.EmitDefault(t); err != nil {
+		return err
+	}
+	s.sent.Add(1)
+	return nil
+}
+
+type countBolt struct {
+	mu    sync.Mutex
+	seen  map[int64]int
+	count atomic.Int64
+	delay time.Duration
+}
+
+func newCountBolt() *countBolt { return &countBolt{seen: map[int64]int{}} }
+
+func (b *countBolt) Prepare(*Context) error { return nil }
+func (b *countBolt) Cleanup() error         { return nil }
+func (b *countBolt) Execute(ctx *Context, tuple *packet.Packet) error {
+	v, err := tuple.Int64("i")
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.seen[v]++
+	b.mu.Unlock()
+	b.count.Add(1)
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	return nil
+}
+
+type relayBolt struct{}
+
+func (relayBolt) Prepare(*Context) error { return nil }
+func (relayBolt) Cleanup() error         { return nil }
+func (relayBolt) Execute(ctx *Context, tuple *packet.Packet) error {
+	return ctx.EmitDefault(tuple)
+}
+
+func TestTopologyEndToEnd(t *testing.T) {
+	const n = 5_000
+	top, err := NewTopology(relaySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spout := &countSpout{n: n}
+	sink := newCountBolt()
+	top.SetSpout("spout", func(int) Spout { return spout })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return sink })
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if !top.WaitSpouts(30 * time.Second) {
+		t.Fatal("spouts never finished")
+	}
+	if err := top.Stop(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.count.Load(); got != n {
+		t.Fatalf("sink saw %d, want %d", got, n)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for v, c := range sink.seen {
+		if c != 1 {
+			t.Fatalf("tuple %d delivered %d times", v, c)
+		}
+	}
+	if top.Processed("relay") != n || top.Processed("sink") != n {
+		t.Fatalf("processed: relay=%d sink=%d", top.Processed("relay"), top.Processed("sink"))
+	}
+	lat := top.LatencySnapshot("sink")
+	if lat.Count != n || lat.P99 <= 0 {
+		t.Fatalf("latency snapshot: %+v", lat)
+	}
+}
+
+func TestPerTupleHandoffsExceedBatchedByConstruction(t *testing.T) {
+	// Every tuple crosses >= 4 thread boundaries in the relay topology:
+	// spout->relay.recv, recv->exec, exec->send, send->sink.recv,
+	// sink recv->exec. So handoffs >= 5n — the per-message cost NEPTUNE's
+	// batching amortizes (Table I).
+	const n = 2_000
+	top, _ := NewTopology(relaySpec())
+	top.SetSpout("spout", func(int) Spout { return &countSpout{n: n} })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return newCountBolt() })
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	top.WaitSpouts(30 * time.Second)
+	if err := top.Stop(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h := top.Switches().Handoffs(); h < 5*n {
+		t.Fatalf("handoffs = %d, want >= %d", h, 5*n)
+	}
+	if moved := top.TuplesMoved(); moved != 2*n {
+		t.Fatalf("tuples moved = %d, want %d (two inter-bolt edges)", moved, 2*n)
+	}
+}
+
+func TestNoBackpressureQueuesGrow(t *testing.T) {
+	// A slow sink must NOT throttle the spout: the spout finishes all
+	// emissions while the sink's queues balloon — Storm's failure mode.
+	const n = 3_000
+	top, _ := NewTopology(relaySpec())
+	spout := &countSpout{n: n}
+	sink := newCountBolt()
+	sink.delay = 300 * time.Microsecond
+	top.SetSpout("spout", func(int) Spout { return spout })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return sink })
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if !top.WaitSpouts(30 * time.Second) {
+		t.Fatal("spout blocked — backpressure exists where there should be none")
+	}
+	// At spout completion the sink must be far behind; the backlog sits
+	// somewhere in the relay or sink queues (where exactly depends on
+	// thread scheduling), so peak depth is measured across both bolts.
+	done := sink.count.Load()
+	if done >= n {
+		t.Skip("machine too fast to observe lag; skipping lag assertion")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, peakRelay := top.QueueDepths("relay")
+		_, peakSink := top.QueueDepths("sink")
+		if peakRelay+peakSink >= 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no queue buildup observed: relay %d, sink %d", peakRelay, peakSink)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := top.Stop(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count.Load() != n {
+		t.Fatalf("sink saw %d after drain, want %d", sink.count.Load(), n)
+	}
+}
+
+func TestParallelBoltPartitioning(t *testing.T) {
+	spec := &graph.Spec{
+		Name: "par",
+		Operators: []graph.OperatorSpec{
+			{Name: "spout", Kind: graph.KindSource},
+			{Name: "sink", Kind: graph.KindProcessor, Parallelism: 4},
+		},
+		Links: []graph.LinkSpec{{From: "spout", To: "sink", Partitioner: "round-robin"}},
+	}
+	spec.Normalize()
+	const n = 4_000
+	top, _ := NewTopology(spec)
+	top.SetSpout("spout", func(int) Spout { return &countSpout{n: n} })
+	sinks := make([]*countBolt, 4)
+	top.SetBolt("sink", func(i int) Bolt {
+		sinks[i] = newCountBolt()
+		return sinks[i]
+	})
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	top.WaitSpouts(30 * time.Second)
+	if err := top.Stop(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i, s := range sinks {
+		c := s.count.Load()
+		if c != n/4 {
+			t.Fatalf("instance %d got %d, want %d", i, c, n/4)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestSpoutErrorSurfaces(t *testing.T) {
+	boom := errors.New("spout broke")
+	top, _ := NewTopology(relaySpec())
+	top.SetSpout("spout", func(int) Spout {
+		return SpoutFunc(func(ctx *Context) error { return boom })
+	})
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return newCountBolt() })
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	top.WaitSpouts(10 * time.Second)
+	if err := top.Stop(10 * time.Second); !errors.Is(err, boom) {
+		t.Fatalf("Stop = %v", err)
+	}
+}
+
+func TestBoltErrorSurfaces(t *testing.T) {
+	boom := errors.New("bolt broke")
+	top, _ := NewTopology(relaySpec())
+	top.SetSpout("spout", func(int) Spout { return &countSpout{n: 10} })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt {
+		return BoltFunc(func(ctx *Context, tuple *packet.Packet) error { return boom })
+	})
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	top.WaitSpouts(10 * time.Second)
+	if err := top.Stop(10 * time.Second); !errors.Is(err, boom) {
+		t.Fatalf("Stop = %v", err)
+	}
+	if top.Metrics().Counter("sink.errors").Value() != 10 {
+		t.Fatalf("error counter = %d", top.Metrics().Counter("sink.errors").Value())
+	}
+}
+
+func TestMissingFactories(t *testing.T) {
+	top, _ := NewTopology(relaySpec())
+	top.SetSpout("spout", func(int) Spout { return &countSpout{n: 1} })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	if err := top.Launch(); err == nil {
+		t.Fatal("missing bolt factory accepted")
+	}
+	top2, _ := NewTopology(relaySpec())
+	top2.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top2.SetBolt("sink", func(int) Bolt { return newCountBolt() })
+	if err := top2.Launch(); err == nil {
+		t.Fatal("missing spout factory accepted")
+	}
+}
+
+func TestInvalidSpec(t *testing.T) {
+	bad := &graph.Spec{Operators: []graph.OperatorSpec{{Name: "b", Kind: graph.KindProcessor}}}
+	if _, err := NewTopology(bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestDoubleLaunchAndStop(t *testing.T) {
+	top, _ := NewTopology(relaySpec())
+	top.SetSpout("spout", func(int) Spout { return &countSpout{n: 5} })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return newCountBolt() })
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Launch(); err == nil {
+		t.Fatal("double launch accepted")
+	}
+	top.WaitSpouts(10 * time.Second)
+	if err := top.Stop(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Stop(time.Second); err != nil {
+		t.Fatalf("second Stop = %v", err)
+	}
+}
+
+func TestEmitUnknownStream(t *testing.T) {
+	top, _ := NewTopology(relaySpec())
+	var emitErr atomic.Value
+	top.SetSpout("spout", func(int) Spout {
+		return SpoutFunc(func(ctx *Context) error {
+			if err := ctx.Emit("ghost", ctx.NewTuple()); err != nil {
+				emitErr.Store(err.Error())
+			}
+			return io.EOF
+		})
+	})
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return newCountBolt() })
+	top.Launch()
+	top.WaitSpouts(10 * time.Second)
+	top.Stop(10 * time.Second)
+	if emitErr.Load() == nil {
+		t.Fatal("unknown stream accepted")
+	}
+}
+
+func TestStopInterruptsInfiniteSpout(t *testing.T) {
+	top, _ := NewTopology(relaySpec())
+	var sent atomic.Int64
+	top.SetSpout("spout", func(int) Spout {
+		return SpoutFunc(func(ctx *Context) error {
+			tp := ctx.NewTuple()
+			tp.AddInt64("i", sent.Add(1))
+			err := ctx.EmitDefault(tp)
+			// Pace the infinite spout so queues stay drainable.
+			time.Sleep(50 * time.Microsecond)
+			return err
+		})
+	})
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	sink := newCountBolt()
+	top.SetBolt("sink", func(int) Bolt { return sink })
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count.Load() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() { done <- top.Stop(30 * time.Second) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(40 * time.Second):
+		t.Fatal("Stop hung")
+	}
+}
+
+func BenchmarkStormRelayThroughput(b *testing.B) {
+	top, _ := NewTopology(relaySpec())
+	var sent atomic.Int64
+	limit := int64(b.N)
+	top.SetSpout("spout", func(int) Spout {
+		return SpoutFunc(func(ctx *Context) error {
+			if sent.Add(1) > limit {
+				return io.EOF
+			}
+			t := ctx.NewTuple()
+			t.AddInt64("i", sent.Load())
+			return ctx.EmitDefault(t)
+		})
+	})
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return newCountBolt() })
+	b.ResetTimer()
+	if err := top.Launch(); err != nil {
+		b.Fatal(err)
+	}
+	top.WaitSpouts(10 * time.Minute)
+	if err := top.Stop(10 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestSerializeTransfersRoundTrip(t *testing.T) {
+	const n = 1_000
+	top, _ := NewTopology(relaySpec())
+	top.SetSerializeTransfers(true)
+	spout := &countSpout{n: n}
+	sink := newCountBolt()
+	top.SetSpout("spout", func(int) Spout { return spout })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return sink })
+	if err := top.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	top.WaitSpouts(30 * time.Second)
+	if err := top.Stop(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count.Load() != n {
+		t.Fatalf("sink saw %d, want %d", sink.count.Load(), n)
+	}
+	sink.mu.Lock()
+	for v, c := range sink.seen {
+		if c != 1 {
+			t.Fatalf("tuple %d delivered %d times through the wire path", v, c)
+		}
+	}
+	sink.mu.Unlock()
+	// Two serialized hops per tuple, each a handful of bytes.
+	if wb := top.WireBytes(); wb < 2*n || wb > 200*n {
+		t.Fatalf("WireBytes = %d for %d tuples over 2 hops", wb, n)
+	}
+	// Latency survives serialization (EmitNanos is part of the wire form).
+	if lat := top.LatencySnapshot("sink"); lat.Count != n || lat.P99 <= 0 {
+		t.Fatalf("latency lost across serialization: %+v", lat)
+	}
+}
+
+func TestSerializeTransfersOffByDefault(t *testing.T) {
+	top, _ := NewTopology(relaySpec())
+	top.SetSpout("spout", func(int) Spout { return &countSpout{n: 10} })
+	top.SetBolt("relay", func(int) Bolt { return relayBolt{} })
+	top.SetBolt("sink", func(int) Bolt { return newCountBolt() })
+	top.Launch()
+	top.WaitSpouts(10 * time.Second)
+	top.Stop(10 * time.Second)
+	if top.WireBytes() != 0 {
+		t.Fatalf("WireBytes = %d without SetSerializeTransfers", top.WireBytes())
+	}
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rawDial opens a plain TCP connection to the listener for injecting
+// hand-crafted byte streams.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func listenerWithErrCapture(t *testing.T) (*Listener, *atomic.Value, *atomic.Int64) {
+	t.Helper()
+	var lastErr atomic.Value
+	var delivered atomic.Int64
+	ln, err := Listen("127.0.0.1:0",
+		func(f Frame) { delivered.Add(1) },
+		TCPOptions{OnError: func(err error) { lastErr.Store(err) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln, &lastErr, &delivered
+}
+
+func waitErr(t *testing.T, v *atomic.Value) error {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if e := v.Load(); e != nil {
+			return e.(error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no error surfaced")
+	return nil
+}
+
+func TestCorruptedChecksumDetected(t *testing.T) {
+	ln, lastErr, delivered := listenerWithErrCapture(t)
+	conn := rawDial(t, ln.Addr())
+	defer conn.Close()
+	payload := []byte("corrupt me")
+	hdr := make([]byte, headerSize)
+	putHeader(hdr, 1, payload)
+	payload[0] ^= 0xFF // corrupt after the CRC was computed
+	conn.Write(hdr)
+	conn.Write(payload)
+	err := waitErr(t, lastErr)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("corrupted frame was delivered to the handler")
+	}
+}
+
+func TestGarbageStreamRejected(t *testing.T) {
+	ln, lastErr, delivered := listenerWithErrCapture(t)
+	conn := rawDial(t, ln.Addr())
+	defer conn.Close()
+	conn.Write([]byte("this is not a neptune frame at all, not even close"))
+	err := waitErr(t, lastErr)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("garbage produced a delivery")
+	}
+}
+
+func TestOversizedFrameHeaderRejected(t *testing.T) {
+	ln, lastErr, _ := listenerWithErrCapture(t)
+	conn := rawDial(t, ln.Addr())
+	defer conn.Close()
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = frameVersion
+	binary.LittleEndian.PutUint32(hdr[8:], MaxFrameSize+1)
+	conn.Write(hdr)
+	err := waitErr(t, lastErr)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestWrongVersionRejected(t *testing.T) {
+	ln, lastErr, _ := listenerWithErrCapture(t)
+	conn := rawDial(t, ln.Addr())
+	defer conn.Close()
+	hdr := make([]byte, headerSize)
+	putHeader(hdr, 1, nil)
+	hdr[2] = 99
+	conn.Write(hdr)
+	err := waitErr(t, lastErr)
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestValidFramesAroundFailureStillDelivered(t *testing.T) {
+	// A good frame before the corruption is delivered; the connection
+	// dies at the corruption; a fresh connection keeps working.
+	ln, lastErr, delivered := listenerWithErrCapture(t)
+
+	conn := rawDial(t, ln.Addr())
+	good := []byte("good frame")
+	hdr := make([]byte, headerSize)
+	putHeader(hdr, 1, good)
+	conn.Write(hdr)
+	conn.Write(good)
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if delivered.Load() != 1 {
+		t.Fatal("good frame not delivered")
+	}
+	// Now corrupt.
+	putHeader(hdr, 2, good)
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0x55
+	conn.Write(hdr)
+	conn.Write(bad)
+	if err := waitErr(t, lastErr); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v", err)
+	}
+	conn.Close()
+
+	// Fresh connection: listener still serves.
+	cl, err := Dial(ln.Addr(), nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Send(3, []byte("after the storm")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for delivered.Load() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if delivered.Load() != 2 {
+		t.Fatal("listener did not survive a corrupted connection")
+	}
+}

@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/backpressure"
+)
+
+// Inproc is the in-process transport used between operator instances that
+// share a resource: a bounded, byte-accounted frame queue drained by one
+// IO goroutine that invokes the receiver's handler. It preserves the
+// distributed transport's semantics — frames are copied, delivered
+// in-order, and Send blocks when the receiver falls behind — so a job
+// behaves identically whether its stages are co-located or remote.
+type Inproc struct {
+	queue   *backpressure.Queue[Frame]
+	handler Handler
+	stats   statCounters
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewInproc creates an in-process transport delivering to handler. low and
+// high are the outbound buffer watermarks in bytes; the IO goroutine
+// starts immediately.
+func NewInproc(handler Handler, low, high int64) (*Inproc, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	q, err := backpressure.NewQueue[Frame](low, high)
+	if err != nil {
+		return nil, err
+	}
+	t := &Inproc{queue: q, handler: handler}
+	t.wg.Add(1)
+	go t.ioLoop()
+	return t, nil
+}
+
+func (t *Inproc) ioLoop() {
+	defer t.wg.Done()
+	for {
+		f, ok := t.queue.Pop()
+		if !ok {
+			return
+		}
+		t.stats.framesReceived.Add(1)
+		t.stats.bytesReceived.Add(uint64(len(f.Payload)))
+		t.handler(f)
+	}
+}
+
+// Send copies payload and enqueues it, blocking while the queue is gated.
+func (t *Inproc) Send(channel uint32, payload []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.mu.Unlock()
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	if t.queue.Gated() {
+		t.stats.sendBlocked.Add(1)
+	}
+	if err := t.queue.Push(Frame{Channel: channel, Payload: cp}, int64(len(cp))+64); err != nil {
+		if errors.Is(err, backpressure.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	t.stats.framesSent.Add(1)
+	t.stats.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+// Stats reports transfer counters.
+func (t *Inproc) Stats() Stats { return t.stats.snapshot() }
+
+// Pressure reports the queue's backpressure counters.
+func (t *Inproc) Pressure() backpressure.Stats { return t.queue.Stats() }
+
+// Close stops the IO goroutine after the queue drains.
+func (t *Inproc) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.queue.Close()
+	t.wg.Wait()
+	return nil
+}
+
+var _ Transport = (*Inproc)(nil)

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/backpressure"
+)
+
+// TCP is the distributed transport: one TCP connection carrying framed
+// batches. A writer IO goroutine drains the bounded outbound queue into
+// the socket (coalescing frames through a bufio.Writer, reducing syscalls
+// exactly as the paper's application-level buffering intends), and a
+// reader IO goroutine parses inbound frames and hands them to the
+// receiver's handler. Send blocks when the outbound queue is full; since
+// the writer stalls when the kernel send buffer fills — which happens when
+// the remote reader stops draining — backpressure propagates end to end
+// through TCP flow control, as in the paper.
+type TCP struct {
+	conn    net.Conn
+	handler Handler
+	queue   *backpressure.Queue[Frame]
+	stats   statCounters
+	wgWrite sync.WaitGroup
+	wgRead  sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	ioErr   error
+	onError func(error)
+}
+
+// TCPOptions configures a TCP transport endpoint.
+type TCPOptions struct {
+	// OutboundLow/OutboundHigh are the outbound queue watermarks in
+	// bytes. Zero values default to 512 KiB / 1 MiB (the paper's default
+	// buffer scale).
+	OutboundLow, OutboundHigh int64
+	// WriteBufferSize is the size of the socket-level write coalescing
+	// buffer. Zero defaults to 256 KiB.
+	WriteBufferSize int
+	// OnError receives asynchronous IO errors (after which the transport
+	// is closed). May be nil.
+	OnError func(error)
+}
+
+func (o *TCPOptions) defaults() {
+	if o.OutboundHigh <= 0 {
+		o.OutboundHigh = 1 << 20
+	}
+	if o.OutboundLow <= 0 || o.OutboundLow >= o.OutboundHigh {
+		o.OutboundLow = o.OutboundHigh / 2
+	}
+	if o.WriteBufferSize <= 0 {
+		o.WriteBufferSize = 256 << 10
+	}
+}
+
+// NewTCP wraps an established connection. handler receives inbound frames;
+// it may be nil for send-only endpoints.
+func NewTCP(conn net.Conn, handler Handler, opts TCPOptions) (*TCP, error) {
+	opts.defaults()
+	q, err := backpressure.NewQueue[Frame](opts.OutboundLow, opts.OutboundHigh)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Batches are already large; Nagle would only add latency.
+		_ = tc.SetNoDelay(true)
+	}
+	t := &TCP{conn: conn, handler: handler, queue: q, onError: opts.OnError}
+	t.wgWrite.Add(1)
+	go t.writeLoop(opts.WriteBufferSize)
+	if handler != nil {
+		t.wgRead.Add(1)
+		go t.readLoop()
+	}
+	return t, nil
+}
+
+// Dial connects to a listening NEPTUNE resource at addr.
+func Dial(addr string, handler Handler, opts TCPOptions) (*TCP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCP(conn, handler, opts)
+}
+
+// Listener accepts inbound transport connections.
+type Listener struct {
+	ln      net.Listener
+	opts    TCPOptions
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  []*TCP
+	closed bool
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0"),
+// delivering every inbound frame from every connection to handler.
+func Listen(addr string, handler Handler, opts TCPOptions) (*Listener, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{ln: ln, opts: opts, handler: handler}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t, err := NewTCP(conn, l.handler, l.opts)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			t.Close()
+			return
+		}
+		l.conns = append(l.conns, t)
+		l.mu.Unlock()
+	}
+}
+
+// Close stops accepting and closes all accepted connections.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := append([]*TCP(nil), l.conns...)
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return err
+}
+
+// Send copies payload and enqueues it for the writer goroutine.
+func (t *TCP) Send(channel uint32, payload []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		err := t.ioErr
+		t.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return ErrClosed
+	}
+	t.mu.Unlock()
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	if t.queue.Gated() {
+		t.stats.sendBlocked.Add(1)
+	}
+	if err := t.queue.Push(Frame{Channel: channel, Payload: cp}, int64(len(cp))+headerSize); err != nil {
+		if errors.Is(err, backpressure.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	t.stats.framesSent.Add(1)
+	t.stats.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+func (t *TCP) writeLoop(bufSize int) {
+	defer t.wgWrite.Done()
+	w := bufio.NewWriterSize(t.conn, bufSize)
+	var hdr [headerSize]byte
+	for {
+		f, ok := t.queue.Pop()
+		if !ok {
+			w.Flush()
+			return
+		}
+		putHeader(hdr[:], f.Channel, f.Payload)
+		if _, err := w.Write(hdr[:]); err != nil {
+			t.fail(err)
+			return
+		}
+		if _, err := w.Write(f.Payload); err != nil {
+			t.fail(err)
+			return
+		}
+		// Flush only when no more frames are immediately available —
+		// consecutive frames coalesce into one syscall.
+		if t.queue.Len() == 0 {
+			if err := w.Flush(); err != nil {
+				t.fail(err)
+				return
+			}
+		}
+	}
+}
+
+func (t *TCP) readLoop() {
+	defer t.wgRead.Done()
+	r := bufio.NewReaderSize(t.conn, 256<<10)
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			t.fail(err)
+			return
+		}
+		channel, length, crc, err := parseHeader(hdr)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		if cap(payload) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			t.fail(err)
+			return
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			t.fail(fmt.Errorf("%w on channel %d", ErrChecksum, channel))
+			return
+		}
+		t.stats.framesReceived.Add(1)
+		t.stats.bytesReceived.Add(uint64(length))
+		t.handler(Frame{Channel: channel, Payload: payload})
+	}
+}
+
+// fail records the first IO error and tears the transport down.
+func (t *TCP) fail(err error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		t.ioErr = err
+	}
+	cb := t.onError
+	t.mu.Unlock()
+	t.queue.Close()
+	t.conn.Close()
+	if cb != nil && err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		cb(err)
+	}
+}
+
+// Err returns the transport's terminal IO error, if any.
+func (t *TCP) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ioErr
+}
+
+// Stats reports transfer counters.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
+// Pressure reports the outbound queue's backpressure counters.
+func (t *TCP) Pressure() backpressure.Stats { return t.queue.Stats() }
+
+// Close shuts the transport down. In-flight queued frames are written
+// before the writer exits (the queue drains on Close).
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wgWrite.Wait()
+		t.wgRead.Wait()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.queue.Close()
+	// Let the writer drain queued frames (Pop keeps returning items
+	// until empty), then close the socket to release the reader.
+	t.wgWrite.Wait()
+	err := t.conn.Close()
+	t.wgRead.Wait()
+	return err
+}
+
+var _ Transport = (*TCP)(nil)

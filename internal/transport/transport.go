@@ -1,0 +1,137 @@
+// Package transport moves batches of serialized stream packets between
+// NEPTUNE resources. It provides the asynchronous IO model of the paper's
+// communication module: senders enqueue frames into a bounded shared
+// outbound buffer drained by a dedicated IO goroutine (the IO thread tier),
+// and receivers get frames delivered on an IO goroutine via a handler.
+//
+// Two implementations are provided: an in-process transport used when
+// operator instances share a resource, and a TCP transport for distributed
+// deployments. Both apply backpressure by blocking Send when the outbound
+// buffer is full — the stall that propagates upstream and throttles
+// sources (paper §III-B4).
+//
+// Wire format (TCP): every frame is
+//
+//	magic   uint16  0x4E50 ("NP")
+//	version uint8   1
+//	flags   uint8   reserved
+//	channel uint32  link/stream multiplexing id
+//	length  uint32  payload byte count
+//	crc32   uint32  IEEE CRC of the payload
+//	payload [length]byte
+//
+// all little-endian. The CRC guards the paper's no-corruption requirement.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+)
+
+// Frame is one transport unit: an opaque payload multiplexed on a channel
+// id (one channel per graph link and destination instance).
+type Frame struct {
+	// Channel multiplexes logical links over one transport.
+	Channel uint32
+	// Payload is the serialized (and possibly compressed) packet batch.
+	Payload []byte
+}
+
+// Handler consumes inbound frames on the receiver's IO goroutine. The
+// payload slice is owned by the transport and reused after Handler
+// returns; implementations must finish with it (or copy) before returning.
+// Blocking inside Handler applies backpressure to the remote sender.
+type Handler func(f Frame)
+
+// Transport is a point-to-point frame mover.
+type Transport interface {
+	// Send enqueues a frame, blocking while the outbound buffer is full.
+	// The payload is copied before Send returns; callers may reuse it.
+	Send(channel uint32, payload []byte) error
+	// Close tears the transport down; pending frames may be dropped.
+	Close() error
+	// Stats reports transfer counters.
+	Stats() Stats
+}
+
+// Stats counts a transport's traffic.
+type Stats struct {
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64 // payload bytes
+	BytesReceived  uint64
+	SendBlocked    uint64 // Send calls that had to wait on the outbound buffer
+}
+
+type statCounters struct {
+	framesSent     atomic.Uint64
+	framesReceived atomic.Uint64
+	bytesSent      atomic.Uint64
+	bytesReceived  atomic.Uint64
+	sendBlocked    atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		FramesSent:     c.framesSent.Load(),
+		FramesReceived: c.framesReceived.Load(),
+		BytesSent:      c.bytesSent.Load(),
+		BytesReceived:  c.bytesReceived.Load(),
+		SendBlocked:    c.sendBlocked.Load(),
+	}
+}
+
+// Framing constants.
+const (
+	frameMagic   = 0x4E50 // "NP"
+	frameVersion = 1
+	headerSize   = 2 + 1 + 1 + 4 + 4 + 4
+	// MaxFrameSize bounds a frame payload; larger frames indicate either
+	// misconfiguration or corruption. 16 MiB comfortably exceeds the
+	// paper's 1 MB default buffers.
+	MaxFrameSize = 16 << 20
+)
+
+// Framing errors.
+var (
+	ErrClosed      = errors.New("transport: closed")
+	ErrBadMagic    = errors.New("transport: bad frame magic")
+	ErrBadVersion  = errors.New("transport: unsupported frame version")
+	ErrFrameTooBig = errors.New("transport: frame exceeds size limit")
+	ErrChecksum    = errors.New("transport: frame checksum mismatch")
+	ErrShortHeader = errors.New("transport: short frame header")
+)
+
+// putHeader writes the frame header for payload into hdr (headerSize bytes).
+func putHeader(hdr []byte, channel uint32, payload []byte) {
+	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = 0
+	binary.LittleEndian.PutUint32(hdr[4:], channel)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(payload))
+}
+
+// parseHeader validates a frame header, returning channel, payload length
+// and expected CRC.
+func parseHeader(hdr []byte) (channel uint32, length int, crc uint32, err error) {
+	if len(hdr) < headerSize {
+		return 0, 0, 0, ErrShortHeader
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != frameMagic {
+		return 0, 0, 0, ErrBadMagic
+	}
+	if hdr[2] != frameVersion {
+		return 0, 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	channel = binary.LittleEndian.Uint32(hdr[4:])
+	l := binary.LittleEndian.Uint32(hdr[8:])
+	if l > MaxFrameSize {
+		return 0, 0, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, l)
+	}
+	crc = binary.LittleEndian.Uint32(hdr[12:])
+	return channel, int(l), crc, nil
+}

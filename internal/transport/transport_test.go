@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	payload := []byte("hello neptune")
+	hdr := make([]byte, headerSize)
+	putHeader(hdr, 42, payload)
+	ch, length, crc, err := parseHeader(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != 42 || length != len(payload) {
+		t.Fatalf("parsed ch=%d len=%d", ch, length)
+	}
+	if crc == 0 {
+		t.Fatal("crc not set")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	good := make([]byte, headerSize)
+	putHeader(good, 1, []byte("x"))
+
+	short := good[:headerSize-1]
+	if _, _, _, err := parseHeader(short); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("short: %v", err)
+	}
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 0
+	if _, _, _, err := parseHeader(badMagic); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic: %v", err)
+	}
+	badVer := append([]byte(nil), good...)
+	badVer[2] = 99
+	if _, _, _, err := parseHeader(badVer); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+	tooBig := append([]byte(nil), good...)
+	tooBig[8], tooBig[9], tooBig[10], tooBig[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, _, err := parseHeader(tooBig); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("size: %v", err)
+	}
+}
+
+// collect accumulates delivered frames for assertions.
+type collect struct {
+	mu     sync.Mutex
+	frames []Frame
+	n      atomic.Int64
+	block  chan struct{} // non-nil: handler blocks until closed
+}
+
+func (c *collect) handler(f Frame) {
+	if c.block != nil {
+		<-c.block
+	}
+	cp := make([]byte, len(f.Payload))
+	copy(cp, f.Payload)
+	c.mu.Lock()
+	c.frames = append(c.frames, Frame{Channel: f.Channel, Payload: cp})
+	c.mu.Unlock()
+	c.n.Add(1)
+}
+
+func (c *collect) wait(t *testing.T, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.n.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d frames arrived", c.n.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestInprocDelivery(t *testing.T) {
+	c := &collect{}
+	tr, err := NewInproc(c.handler, 1<<19, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 100; i++ {
+		if err := tr.Send(uint32(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.wait(t, 100)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, f := range c.frames {
+		if f.Channel != uint32(i) || f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %+v", i, f)
+		}
+	}
+	s := tr.Stats()
+	if s.FramesSent != 100 || s.FramesReceived != 100 || s.BytesSent != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInprocSendCopiesPayload(t *testing.T) {
+	c := &collect{}
+	tr, _ := NewInproc(c.handler, 1<<19, 1<<20)
+	defer tr.Close()
+	buf := []byte("mutate-me")
+	tr.Send(1, buf)
+	buf[0] = 'X'
+	c.wait(t, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if string(c.frames[0].Payload) != "mutate-me" {
+		t.Fatal("Send aliased the caller's buffer")
+	}
+}
+
+func TestInprocBackpressureBlocksSender(t *testing.T) {
+	c := &collect{block: make(chan struct{})}
+	tr, _ := NewInproc(c.handler, 128, 256)
+	defer tr.Close()
+	// Fill past the high watermark while the handler is blocked.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			if err := tr.Send(1, make([]byte, 64)); err != nil {
+				break
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("sender never blocked against a stuck receiver")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(c.block)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender never unblocked")
+	}
+	if tr.Stats().SendBlocked == 0 {
+		t.Fatal("SendBlocked not counted")
+	}
+	if tr.Pressure().GateClosures == 0 {
+		t.Fatal("gate never closed")
+	}
+}
+
+func TestInprocClose(t *testing.T) {
+	c := &collect{}
+	tr, _ := NewInproc(c.handler, 128, 256)
+	tr.Send(1, []byte("a"))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Queued frame drained before close completed.
+	if c.n.Load() != 1 {
+		t.Fatalf("delivered %d frames before close", c.n.Load())
+	}
+	if err := tr.Send(1, []byte("b")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal("double close")
+	}
+}
+
+func TestInprocValidation(t *testing.T) {
+	if _, err := NewInproc(nil, 1, 2); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if _, err := NewInproc(func(Frame) {}, 10, 5); err == nil {
+		t.Fatal("bad watermarks accepted")
+	}
+	c := &collect{}
+	tr, _ := NewInproc(c.handler, 128, 256)
+	defer tr.Close()
+	if err := tr.Send(1, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize = %v", err)
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	c := &collect{}
+	ln, err := Listen("127.0.0.1:0", c.handler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl, err := Dial(ln.Addr(), nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	payloads := [][]byte{
+		[]byte("first"),
+		bytes.Repeat([]byte{0xAB}, 100_000), // multi-buffer frame
+		{},                                  // empty payload
+		[]byte("last"),
+	}
+	for i, p := range payloads {
+		if err := cl.Send(uint32(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.wait(t, int64(len(payloads)))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, f := range c.frames {
+		if f.Channel != uint32(i) {
+			t.Fatalf("frame %d channel %d (order broken)", i, f.Channel)
+		}
+		if !bytes.Equal(f.Payload, payloads[i]) {
+			t.Fatalf("frame %d payload mismatch: %d vs %d bytes", i, len(f.Payload), len(payloads[i]))
+		}
+	}
+	if cl.Stats().FramesSent != 4 {
+		t.Fatalf("client stats = %+v", cl.Stats())
+	}
+}
+
+func TestTCPManySmallFramesInOrder(t *testing.T) {
+	c := &collect{}
+	ln, err := Listen("127.0.0.1:0", c.handler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl, err := Dial(ln.Addr(), nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		payload := []byte{byte(i), byte(i >> 8)}
+		if err := cl.Send(7, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.wait(t, n)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, f := range c.frames {
+		if int(f.Payload[0])|int(f.Payload[1])<<8 != i {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+}
+
+func TestTCPCloseDrainsQueuedFrames(t *testing.T) {
+	c := &collect{}
+	ln, err := Listen("127.0.0.1:0", c.handler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl, err := Dial(ln.Addr(), nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := cl.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t, 100)
+	if err := cl.Send(1, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v", err)
+	}
+}
+
+func TestTCPPeerDisappears(t *testing.T) {
+	c := &collect{}
+	ln, err := Listen("127.0.0.1:0", c.handler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr atomic.Bool
+	cl, err := Dial(ln.Addr(), nil, TCPOptions{OnError: func(err error) { gotErr.Store(true) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ln.Close() // server goes away
+	// Eventually sends fail (the kernel buffer may absorb a few first).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := cl.Send(1, bytes.Repeat([]byte{1}, 64<<10)); err != nil {
+			return // expected path
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("sends kept succeeding after peer vanished")
+}
+
+func TestTCPOptionsDefaults(t *testing.T) {
+	var o TCPOptions
+	o.defaults()
+	if o.OutboundHigh != 1<<20 || o.OutboundLow != 1<<19 || o.WriteBufferSize != 256<<10 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = TCPOptions{OutboundHigh: 100, OutboundLow: 200}
+	o.defaults()
+	if o.OutboundLow != 50 {
+		t.Fatalf("low watermark not repaired: %+v", o)
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", nil, TCPOptions{}); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if _, err := Listen("256.256.256.256:0", func(Frame) {}, TCPOptions{}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestTCPBackpressurePropagatesThroughSocket(t *testing.T) {
+	// Receiver handler blocks -> its read loop stalls -> kernel buffers
+	// fill -> sender's writer stalls -> sender's bounded queue fills ->
+	// Send blocks. This is the paper's TCP-flow-control backpressure.
+	c := &collect{block: make(chan struct{})}
+	ln, err := Listen("127.0.0.1:0", c.handler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl, err := Dial(ln.Addr(), nil, TCPOptions{OutboundHigh: 64 << 10, OutboundLow: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	blocked := make(chan struct{})
+	var sent atomic.Int64
+	go func() {
+		payload := bytes.Repeat([]byte{1}, 32<<10)
+		for i := 0; i < 10_000; i++ {
+			if err := cl.Send(1, payload); err != nil {
+				break
+			}
+			sent.Add(1)
+		}
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("sender pushed 320 MB into a stalled receiver without blocking")
+	case <-time.After(300 * time.Millisecond):
+		// Sender is stuck: good.
+	}
+	before := sent.Load()
+	close(c.block) // receiver drains
+	deadline := time.Now().Add(10 * time.Second)
+	for sent.Load() == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sent.Load() == before {
+		t.Fatal("sender never resumed after receiver drained")
+	}
+}
+
+func BenchmarkInprocSend(b *testing.B) {
+	tr, _ := NewInproc(func(Frame) {}, 1<<22, 1<<23)
+	defer tr.Close()
+	payload := bytes.Repeat([]byte{1}, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Send(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPSend64K(b *testing.B) {
+	var n atomic.Int64
+	ln, err := Listen("127.0.0.1:0", func(f Frame) { n.Add(int64(len(f.Payload))) }, TCPOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	cl, err := Dial(ln.Addr(), nil, TCPOptions{OutboundHigh: 8 << 20, OutboundLow: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	payload := bytes.Repeat([]byte{1}, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Send(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package window provides the windowed-aggregation building blocks that
+// NEPTUNE stream processors use for the paper's motivating workloads: a
+// stage that "calculates a descriptive statistic for a sliding window
+// over incoming stream packets and emits a new stream packet only if it
+// detects a significant change" (§III-B1), and the manufacturing job's
+// 24-hour delay window (§IV-C).
+//
+// Three window shapes are provided, all single-owner (one per processor
+// instance, matching the engine's serialized execution):
+//
+//   - Tumbling: fixed-size, non-overlapping count windows.
+//   - SlidingCount: the last N observations, O(1) updates.
+//   - SlidingTime: observations within a trailing duration of the newest
+//     event timestamp (event time, not wall time — replays behave).
+package window
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// ErrBadSize reports an invalid window size.
+var ErrBadSize = errors.New("window: size must be positive")
+
+// Aggregate holds the descriptive statistics of a window's contents.
+type Aggregate struct {
+	Count  int
+	Sum    float64
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// aggregateOf computes stats over xs (non-empty).
+func aggregateOf(xs []float64) Aggregate {
+	a := Aggregate{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		a.Sum += x
+		if x < a.Min {
+			a.Min = x
+		}
+		if x > a.Max {
+			a.Max = x
+		}
+	}
+	a.Mean = a.Sum / float64(a.Count)
+	if a.Count > 1 {
+		var m2 float64
+		for _, x := range xs {
+			d := x - a.Mean
+			m2 += d * d
+		}
+		a.StdDev = math.Sqrt(m2 / float64(a.Count-1))
+	}
+	return a
+}
+
+// Tumbling is a non-overlapping count window: every Size-th observation
+// closes the window and Add returns its aggregate.
+type Tumbling struct {
+	size int
+	buf  []float64
+}
+
+// NewTumbling creates a tumbling window of the given size.
+func NewTumbling(size int) (*Tumbling, error) {
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	return &Tumbling{size: size, buf: make([]float64, 0, size)}, nil
+}
+
+// Add appends an observation. When the window fills, it returns the
+// closed window's aggregate with closed = true and starts a new window.
+func (t *Tumbling) Add(x float64) (agg Aggregate, closed bool) {
+	t.buf = append(t.buf, x)
+	if len(t.buf) < t.size {
+		return Aggregate{}, false
+	}
+	agg = aggregateOf(t.buf)
+	t.buf = t.buf[:0]
+	return agg, true
+}
+
+// Pending reports how many observations the open window holds.
+func (t *Tumbling) Pending() int { return len(t.buf) }
+
+// SlidingCount is a window over the last Size observations, maintained
+// incrementally: Add and Aggregate are O(1) except Min/Max recomputation
+// on eviction of an extreme (amortized O(1) via a monotonic deque).
+type SlidingCount struct {
+	size int
+	ring []float64
+	head int
+	n    int
+
+	sum float64
+	// Monotonic deques of ring indexes for min/max.
+	minq, maxq []int
+	next       int // global index of the next observation
+}
+
+// NewSlidingCount creates a sliding window over the last size values.
+func NewSlidingCount(size int) (*SlidingCount, error) {
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	return &SlidingCount{size: size, ring: make([]float64, size)}, nil
+}
+
+// Add appends an observation, evicting the oldest when full.
+func (s *SlidingCount) Add(x float64) {
+	idx := s.next
+	s.next++
+	if s.n == s.size {
+		// Evict the oldest (global index idx - size).
+		old := s.ring[s.head]
+		s.sum -= old
+		oldIdx := idx - s.size
+		if len(s.minq) > 0 && s.minq[0] == oldIdx {
+			s.minq = s.minq[1:]
+		}
+		if len(s.maxq) > 0 && s.maxq[0] == oldIdx {
+			s.maxq = s.maxq[1:]
+		}
+		s.ring[s.head] = x
+		s.head = (s.head + 1) % s.size
+	} else {
+		s.ring[(s.head+s.n)%s.size] = x
+		s.n++
+	}
+	s.sum += x
+	// Maintain deques: pop dominated entries.
+	for len(s.minq) > 0 && s.valueAt(s.minq[len(s.minq)-1]) >= x {
+		s.minq = s.minq[:len(s.minq)-1]
+	}
+	s.minq = append(s.minq, idx)
+	for len(s.maxq) > 0 && s.valueAt(s.maxq[len(s.maxq)-1]) <= x {
+		s.maxq = s.maxq[:len(s.maxq)-1]
+	}
+	s.maxq = append(s.maxq, idx)
+}
+
+// valueAt maps a global observation index to its ring value.
+func (s *SlidingCount) valueAt(global int) float64 {
+	// The oldest live global index is next - n.
+	offset := global - (s.next - s.n)
+	return s.ring[(s.head+offset)%s.size]
+}
+
+// Count reports how many observations the window holds.
+func (s *SlidingCount) Count() int { return s.n }
+
+// Mean returns the window mean (0 when empty).
+func (s *SlidingCount) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Sum returns the window sum.
+func (s *SlidingCount) Sum() float64 { return s.sum }
+
+// Min returns the window minimum (0 when empty).
+func (s *SlidingCount) Min() float64 {
+	if len(s.minq) == 0 {
+		return 0
+	}
+	return s.valueAt(s.minq[0])
+}
+
+// Max returns the window maximum (0 when empty).
+func (s *SlidingCount) Max() float64 {
+	if len(s.maxq) == 0 {
+		return 0
+	}
+	return s.valueAt(s.maxq[0])
+}
+
+// Values copies the window contents oldest-first (for full aggregation).
+func (s *SlidingCount) Values(dst []float64) []float64 {
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.ring[(s.head+i)%s.size])
+	}
+	return dst
+}
+
+// Aggregate computes full descriptive statistics (O(n) for StdDev).
+func (s *SlidingCount) Aggregate() Aggregate {
+	if s.n == 0 {
+		return Aggregate{}
+	}
+	return aggregateOf(s.Values(make([]float64, 0, s.n)))
+}
+
+// SlidingTime keeps observations whose event timestamps fall within the
+// trailing span of the newest timestamp. Timestamps must be non-
+// decreasing (the engine guarantees per-stream order).
+type SlidingTime struct {
+	span time.Duration
+	ts   []int64
+	vals []float64
+	sum  float64
+}
+
+// NewSlidingTime creates a time window over the trailing span.
+func NewSlidingTime(span time.Duration) (*SlidingTime, error) {
+	if span <= 0 {
+		return nil, ErrBadSize
+	}
+	return &SlidingTime{span: span}, nil
+}
+
+// ErrTimeRegression reports an out-of-order event timestamp.
+var ErrTimeRegression = errors.New("window: event timestamp went backwards")
+
+// Add appends an observation at event time tsNanos, evicting entries
+// older than span.
+func (w *SlidingTime) Add(tsNanos int64, x float64) error {
+	if n := len(w.ts); n > 0 && tsNanos < w.ts[n-1] {
+		return ErrTimeRegression
+	}
+	w.ts = append(w.ts, tsNanos)
+	w.vals = append(w.vals, x)
+	w.sum += x
+	cutoff := tsNanos - int64(w.span)
+	start := 0
+	for start < len(w.ts) && w.ts[start] <= cutoff {
+		w.sum -= w.vals[start]
+		start++
+	}
+	if start > 0 {
+		// Compact in place to bound memory.
+		w.ts = append(w.ts[:0], w.ts[start:]...)
+		w.vals = append(w.vals[:0], w.vals[start:]...)
+	}
+	return nil
+}
+
+// Count reports live observations.
+func (w *SlidingTime) Count() int { return len(w.vals) }
+
+// Sum returns the window sum.
+func (w *SlidingTime) Sum() float64 { return w.sum }
+
+// Mean returns the window mean (0 when empty).
+func (w *SlidingTime) Mean() float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	return w.sum / float64(len(w.vals))
+}
+
+// Aggregate computes full descriptive statistics.
+func (w *SlidingTime) Aggregate() Aggregate {
+	if len(w.vals) == 0 {
+		return Aggregate{}
+	}
+	return aggregateOf(w.vals)
+}
+
+// Span returns the window's trailing duration.
+func (w *SlidingTime) Span() time.Duration { return w.span }
+
+// ChangeDetector implements the paper's low-rate-stream pattern: it
+// watches a sliding statistic and reports only significant changes, so a
+// downstream link sees a low, variable data rate (the case NEPTUNE's
+// timer-based buffer flush exists for).
+type ChangeDetector struct {
+	win *SlidingCount
+	// RelThreshold is the relative mean change that counts as
+	// significant (e.g. 0.05 = 5%).
+	RelThreshold float64
+	lastEmitted  float64
+	emittedOnce  bool
+}
+
+// NewChangeDetector creates a detector over a sliding count window.
+func NewChangeDetector(windowSize int, relThreshold float64) (*ChangeDetector, error) {
+	w, err := NewSlidingCount(windowSize)
+	if err != nil {
+		return nil, err
+	}
+	if relThreshold <= 0 {
+		relThreshold = 0.05
+	}
+	return &ChangeDetector{win: w, RelThreshold: relThreshold}, nil
+}
+
+// Observe adds an observation and reports whether the window mean moved
+// significantly since the last emission (always true for the first full
+// window).
+func (c *ChangeDetector) Observe(x float64) (mean float64, significant bool) {
+	c.win.Add(x)
+	if c.win.Count() < c.win.size {
+		return c.win.Mean(), false
+	}
+	mean = c.win.Mean()
+	if !c.emittedOnce {
+		c.emittedOnce = true
+		c.lastEmitted = mean
+		return mean, true
+	}
+	base := math.Abs(c.lastEmitted)
+	if base == 0 {
+		base = 1e-12
+	}
+	if math.Abs(mean-c.lastEmitted)/base >= c.RelThreshold {
+		c.lastEmitted = mean
+		return mean, true
+	}
+	return mean, false
+}

@@ -1,0 +1,274 @@
+package window
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTumblingBasics(t *testing.T) {
+	w, err := NewTumbling(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, closed := w.Add(1); closed {
+		t.Fatal("closed early")
+	}
+	if _, closed := w.Add(2); closed {
+		t.Fatal("closed early")
+	}
+	agg, closed := w.Add(3)
+	if !closed {
+		t.Fatal("did not close at size")
+	}
+	if agg.Count != 3 || agg.Sum != 6 || agg.Mean != 2 || agg.Min != 1 || agg.Max != 3 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if math.Abs(agg.StdDev-1) > 1e-12 {
+		t.Fatalf("StdDev = %v", agg.StdDev)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("window not reset after close")
+	}
+	// Second window independent of the first.
+	w.Add(10)
+	w.Add(10)
+	agg, _ = w.Add(10)
+	if agg.Mean != 10 || agg.StdDev != 0 {
+		t.Fatalf("second window agg = %+v", agg)
+	}
+}
+
+func TestTumblingValidation(t *testing.T) {
+	if _, err := NewTumbling(0); !errors.Is(err, ErrBadSize) {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestSlidingCountExactStats(t *testing.T) {
+	w, err := NewSlidingCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Mean() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("empty window stats not zero")
+	}
+	for _, x := range []float64{5, 1, 4, 2} {
+		w.Add(x)
+	}
+	if w.Count() != 4 || w.Sum() != 12 || w.Mean() != 3 || w.Min() != 1 || w.Max() != 5 {
+		t.Fatalf("window: sum=%v mean=%v min=%v max=%v", w.Sum(), w.Mean(), w.Min(), w.Max())
+	}
+	// Slide: evict 5, add 3 -> contents {1,4,2,3}.
+	w.Add(3)
+	if w.Min() != 1 || w.Max() != 4 || w.Sum() != 10 {
+		t.Fatalf("after slide: min=%v max=%v sum=%v", w.Min(), w.Max(), w.Sum())
+	}
+	// Evict 1 -> {4,2,3,0}.
+	w.Add(0)
+	if w.Min() != 0 || w.Max() != 4 {
+		t.Fatalf("after second slide: min=%v max=%v", w.Min(), w.Max())
+	}
+	vals := w.Values(nil)
+	want := []float64{4, 2, 3, 0}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestSlidingCountAgainstNaiveProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		w, err := NewSlidingCount(size)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var hist []float64
+		for i := 0; i < 200; i++ {
+			x := math.Round(rng.NormFloat64() * 10)
+			w.Add(x)
+			hist = append(hist, x)
+			lo := len(hist) - size
+			if lo < 0 {
+				lo = 0
+			}
+			live := hist[lo:]
+			var sum, min, max float64
+			min, max = math.Inf(1), math.Inf(-1)
+			for _, v := range live {
+				sum += v
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if w.Count() != len(live) {
+				return false
+			}
+			if math.Abs(w.Sum()-sum) > 1e-9 || w.Min() != min || w.Max() != max {
+				return false
+			}
+			agg := w.Aggregate()
+			if agg.Count != len(live) || math.Abs(agg.Mean-sum/float64(len(live))) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingCountValidation(t *testing.T) {
+	if _, err := NewSlidingCount(-1); !errors.Is(err, ErrBadSize) {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestSlidingTimeEviction(t *testing.T) {
+	w, err := NewSlidingTime(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1e9)
+	w.Add(base, 1)
+	w.Add(base+int64(500*time.Millisecond), 2)
+	w.Add(base+int64(900*time.Millisecond), 3)
+	if w.Count() != 3 || w.Sum() != 6 {
+		t.Fatalf("count=%d sum=%v", w.Count(), w.Sum())
+	}
+	// At base+1.2s, the observation at base falls out (cutoff inclusive).
+	w.Add(base+int64(1200*time.Millisecond), 4)
+	if w.Count() != 3 || w.Sum() != 9 {
+		t.Fatalf("after eviction: count=%d sum=%v", w.Count(), w.Sum())
+	}
+	if w.Mean() != 3 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	agg := w.Aggregate()
+	if agg.Min != 2 || agg.Max != 4 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if w.Span() != time.Second {
+		t.Fatal("span")
+	}
+}
+
+func TestSlidingTimeRegressionRejected(t *testing.T) {
+	w, _ := NewSlidingTime(time.Second)
+	w.Add(100, 1)
+	if err := w.Add(50, 2); !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("regression accepted: %v", err)
+	}
+	// Equal timestamps are allowed (same-batch packets).
+	if err := w.Add(100, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingTimeEmpty(t *testing.T) {
+	w, _ := NewSlidingTime(time.Second)
+	if w.Mean() != 0 || w.Count() != 0 {
+		t.Fatal("empty stats")
+	}
+	if agg := w.Aggregate(); agg.Count != 0 {
+		t.Fatal("empty aggregate")
+	}
+	if _, err := NewSlidingTime(0); !errors.Is(err, ErrBadSize) {
+		t.Fatal("zero span accepted")
+	}
+}
+
+func TestSlidingTimeLongRunMemoryBounded(t *testing.T) {
+	w, _ := NewSlidingTime(10 * time.Millisecond)
+	ts := int64(0)
+	for i := 0; i < 100_000; i++ {
+		ts += int64(time.Millisecond)
+		if err := w.Add(ts, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() > 11 {
+		t.Fatalf("window retained %d entries for a 10-entry span", w.Count())
+	}
+	if cap(w.vals) > 1024 {
+		t.Fatalf("window storage grew unbounded: cap %d", cap(w.vals))
+	}
+}
+
+func TestChangeDetector(t *testing.T) {
+	d, err := NewChangeDetector(4, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: no emissions until the window fills.
+	for i := 0; i < 3; i++ {
+		if _, sig := d.Observe(100); sig {
+			t.Fatal("emitted before window filled")
+		}
+	}
+	// First full window always emits.
+	if _, sig := d.Observe(100); !sig {
+		t.Fatal("first full window not emitted")
+	}
+	// Stable stream: no further emissions.
+	for i := 0; i < 20; i++ {
+		if _, sig := d.Observe(100 + float64(i%2)); sig {
+			t.Fatal("stable stream emitted")
+		}
+	}
+	// Step change: mean moves > 10%.
+	emitted := false
+	for i := 0; i < 4; i++ {
+		if _, sig := d.Observe(150); sig {
+			emitted = true
+		}
+	}
+	if !emitted {
+		t.Fatal("step change not detected")
+	}
+}
+
+func TestChangeDetectorDefaults(t *testing.T) {
+	d, err := NewChangeDetector(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RelThreshold != 0.05 {
+		t.Fatalf("default threshold = %v", d.RelThreshold)
+	}
+	if _, err := NewChangeDetector(0, 0.1); !errors.Is(err, ErrBadSize) {
+		t.Fatal("bad size accepted")
+	}
+	// Zero baseline handled without division blowups.
+	d2, _ := NewChangeDetector(1, 0.5)
+	d2.Observe(0) // first emission with mean 0
+	if _, sig := d2.Observe(1); !sig {
+		t.Fatal("change from zero baseline not detected")
+	}
+}
+
+func BenchmarkSlidingCountAdd(b *testing.B) {
+	w, _ := NewSlidingCount(1024)
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i & 1023))
+	}
+}
+
+func BenchmarkSlidingTimeAdd(b *testing.B) {
+	w, _ := NewSlidingTime(time.Millisecond)
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		ts += 1000
+		w.Add(ts, float64(i))
+	}
+}

@@ -1,0 +1,136 @@
+// Package neptune is the public API of the NEPTUNE stream-processing
+// framework reproduction (Buddhika & Pallickara, IPDPS 2016): real-time,
+// high-throughput stream processing for IoT and sensing environments.
+//
+// A stream processing job is described as a graph of stream operators —
+// sources that ingest external streams and processors that transform
+// them — connected by links, each link carrying a stream partitioning
+// scheme. At runtime the framework provides the paper's full optimization
+// set: application-level buffering sized in bytes with timer-bounded
+// flushes, batched scheduling on a two-tier worker/IO thread model, object
+// reuse, watermark backpressure that throttles upstream stages through
+// the transport, and entropy-gated compression.
+//
+// Quick start:
+//
+//	spec, _ := neptune.NewGraph("wordcount").
+//		Source("lines", 1).
+//		Processor("split", 4).
+//		Processor("count", 4).
+//		Link("lines", "split", "shuffle").
+//		Link("split", "count", "fields:word").
+//		Build()
+//
+//	job, _ := neptune.NewJob(spec, neptune.DefaultConfig())
+//	job.SetSource("lines", func(i int) neptune.Source { ... })
+//	job.SetProcessor("split", func(i int) neptune.Processor { ... })
+//	job.SetProcessor("count", func(i int) neptune.Processor { ... })
+//	job.Launch()
+//	defer job.Stop(10 * time.Second)
+//
+// See the examples directory for complete programs, and DESIGN.md for the
+// system inventory and the mapping from the paper's experiments to this
+// repository's benchmarks.
+package neptune
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/packet"
+)
+
+// Re-exported core types. The engine lives in internal/core; these
+// aliases are the supported public surface.
+type (
+	// Config carries a job's tuning knobs; see DefaultConfig.
+	Config = core.Config
+	// Job is a deployed stream processing graph.
+	Job = core.Job
+	// Engine is one NEPTUNE resource (container for operator instances).
+	Engine = core.Engine
+	// Source ingests an external stream (paper §III-A2).
+	Source = core.Source
+	// Processor transforms stream packets (paper §III-A3).
+	Processor = core.Processor
+	// SourceFactory builds one Source per parallel instance.
+	SourceFactory = core.SourceFactory
+	// ProcessorFactory builds one Processor per parallel instance.
+	ProcessorFactory = core.ProcessorFactory
+	// SourceFunc adapts a function to Source.
+	SourceFunc = core.SourceFunc
+	// ProcessorFunc adapts a function to Processor.
+	ProcessorFunc = core.ProcessorFunc
+	// OpContext is the per-instance execution context.
+	OpContext = core.OpContext
+	// Packet is a stream packet: typed fields plus routing metadata.
+	Packet = packet.Packet
+	// Bridger connects engines with transports for multi-engine jobs.
+	Bridger = core.Bridger
+	// Placement assigns operator instances to engines.
+	Placement = core.Placement
+	// GraphSpec is a declarative stream-processing-graph description.
+	GraphSpec = graph.Spec
+	// OperatorSpec declares one logical operator.
+	OperatorSpec = graph.OperatorSpec
+	// LinkSpec declares one data-flow edge.
+	LinkSpec = graph.LinkSpec
+	// Partitioner routes packets to destination instances.
+	Partitioner = graph.Partitioner
+	// TickingProcessor is a Processor also scheduled periodically
+	// (Granules' combined strategy) — implement it to emit on time even
+	// when a stream goes quiet.
+	TickingProcessor = core.TickingProcessor
+)
+
+// Throttle wraps a source so it emits at most rate packets/second with
+// the given burst — offered-load sources, as IoT gateways behave.
+func Throttle(rate float64, burst int, s Source) Source {
+	return core.Throttle(rate, burst, s)
+}
+
+// Operator kinds for GraphSpec.
+const (
+	KindSource    = graph.KindSource
+	KindProcessor = graph.KindProcessor
+)
+
+// DefaultConfig returns the paper's default configuration: 1 MB buffers,
+// a 10 ms flush bound, batching and pooling enabled, compression off.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewJob creates an undeployed job for the given graph and config. The
+// spec is normalized and validated.
+func NewJob(spec *GraphSpec, cfg Config) (*Job, error) { return core.NewJob(spec, cfg) }
+
+// NewEngine creates an engine (one per process/node) for multi-engine
+// deployments via Job.LaunchOn.
+func NewEngine(name string, cfg Config) (*Engine, error) { return core.NewEngine(name, cfg) }
+
+// NewInprocBridger connects engines within one process through bounded
+// in-memory queues. Zero watermarks default to 512 KiB / 1 MiB.
+func NewInprocBridger(low, high int64) Bridger { return core.NewInprocBridger(low, high) }
+
+// LoadGraph parses and validates a JSON graph descriptor file
+// (paper §III-A7).
+func LoadGraph(path string) (*GraphSpec, error) { return graph.LoadDescriptor(path) }
+
+// RegisterPartitioner installs a custom stream partitioning scheme
+// (paper §III-A6) usable from LinkSpec.Partitioner as "name" or
+// "name:argument".
+func RegisterPartitioner(name string, f func(arg string) (Partitioner, error)) error {
+	return graph.RegisterPartitioner(name, graph.Factory(f))
+}
+
+// Run is a convenience wrapper: launch the job, wait for its sources to
+// finish (bounded by sourceTimeout), then drain and stop. Suitable for
+// finite-stream jobs; long-running services should call Launch/Stop
+// directly.
+func Run(job *Job, sourceTimeout, stopTimeout time.Duration) error {
+	if err := job.Launch(); err != nil {
+		return err
+	}
+	job.WaitSources(sourceTimeout)
+	return job.Stop(stopTimeout)
+}

@@ -1,0 +1,49 @@
+package neptune
+
+import (
+	"time"
+
+	"repro/internal/window"
+)
+
+// Windowed-aggregation building blocks for stream processors (the paper's
+// motivating sliding-window workloads, §III-B1 and §IV-C). All windows
+// are single-owner: keep one per processor instance — the engine
+// guarantees an instance's Process calls never overlap.
+type (
+	// TumblingWindow is a fixed-size, non-overlapping count window.
+	TumblingWindow = window.Tumbling
+	// SlidingCountWindow aggregates the last N observations in O(1).
+	SlidingCountWindow = window.SlidingCount
+	// SlidingTimeWindow aggregates observations within a trailing
+	// event-time span.
+	SlidingTimeWindow = window.SlidingTime
+	// ChangeDetector reports significant changes of a sliding mean —
+	// the low-rate emission pattern NEPTUNE's flush timers exist for.
+	ChangeDetector = window.ChangeDetector
+	// WindowAggregate holds a window's descriptive statistics.
+	WindowAggregate = window.Aggregate
+)
+
+// NewTumblingWindow creates a tumbling count window of the given size.
+func NewTumblingWindow(size int) (*TumblingWindow, error) {
+	return window.NewTumbling(size)
+}
+
+// NewSlidingCountWindow creates a sliding window over the last size
+// observations.
+func NewSlidingCountWindow(size int) (*SlidingCountWindow, error) {
+	return window.NewSlidingCount(size)
+}
+
+// NewSlidingTimeWindow creates a sliding window over the trailing span of
+// event time.
+func NewSlidingTimeWindow(span time.Duration) (*SlidingTimeWindow, error) {
+	return window.NewSlidingTime(span)
+}
+
+// NewChangeDetector creates a detector emitting when the sliding mean
+// moves by relThreshold (relative; 0 defaults to 5%).
+func NewChangeDetector(windowSize int, relThreshold float64) (*ChangeDetector, error) {
+	return window.NewChangeDetector(windowSize, relThreshold)
+}

@@ -1,0 +1,100 @@
+package neptune
+
+import (
+	"io"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWindowedProcessorEndToEnd drives the paper's motivating pattern
+// through the public API: a processor computes a sliding-window statistic
+// and emits only on significant change, producing a low, variable output
+// rate — exactly the stream the buffer's flush timer exists for.
+func TestWindowedProcessorEndToEnd(t *testing.T) {
+	spec, err := NewGraph("windowed").
+		Source("samples", 1).
+		Processor("smooth", 1).
+		Processor("alerts", 1).
+		Link("samples", "smooth", "").
+		Link("smooth", "alerts", "").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.FlushInterval = time.Millisecond // low-rate stream: timer flushes
+	job, err := NewJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Piecewise-constant signal with two level shifts.
+	const n = 3_000
+	var i atomic.Int64
+	job.SetSource("samples", func(int) Source {
+		return SourceFunc(func(ctx *OpContext) error {
+			v := i.Add(1) - 1
+			if v >= n {
+				return io.EOF
+			}
+			level := 10.0
+			if v >= 1000 {
+				level = 20
+			}
+			if v >= 2000 {
+				level = 5
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("i", v)
+			p.AddFloat64("x", level+0.1*math.Sin(float64(v)))
+			return ctx.EmitDefault(p)
+		})
+	})
+
+	job.SetProcessor("smooth", func(int) Processor {
+		det, err := NewChangeDetector(50, 0.10)
+		if err != nil {
+			t.Error(err)
+			return ProcessorFunc(func(*OpContext, *Packet) error { return err })
+		}
+		return ProcessorFunc(func(ctx *OpContext, p *Packet) error {
+			x, err := p.Float64("x")
+			if err != nil {
+				return err
+			}
+			mean, significant := det.Observe(x)
+			if !significant {
+				return nil
+			}
+			out := ctx.NewPacket()
+			out.AddFloat64("mean", mean)
+			return ctx.EmitDefault(out)
+		})
+	})
+
+	var alerts atomic.Int64
+	job.SetProcessor("alerts", func(int) Processor {
+		return ProcessorFunc(func(ctx *OpContext, p *Packet) error {
+			if _, err := p.Float64("mean"); err != nil {
+				return err
+			}
+			alerts.Add(1)
+			return nil
+		})
+	})
+	if err := Run(job, 30*time.Second, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the level shifts (plus the initial emission) should fire:
+	// 3 emissions, maybe a couple extra during transitions — but far,
+	// far fewer than n.
+	emitted := alerts.Load()
+	if emitted < 3 {
+		t.Fatalf("change detector missed level shifts: %d emissions", emitted)
+	}
+	if emitted > 20 {
+		t.Fatalf("change detector too chatty: %d emissions for 2 level shifts", emitted)
+	}
+}
