@@ -9,7 +9,7 @@
 //	neptune-bench -exp table1 -runtime 2s  # longer measurement windows
 //
 // Experiments: fig2, table1, objreuse, fig4, compression, fig5, fig6,
-// fig7, fig9, fig10, headline, ablation, all.
+// fig7, fig9, fig10, headline, ablation, chaos, all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2|table1|objreuse|fig4|compression|fig5|fig6|fig7|fig7-engine|fig9|fig10|headline|ablation|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|table1|objreuse|fig4|compression|fig5|fig6|fig7|fig7-engine|fig9|fig10|headline|ablation|chaos|all)")
 	runtime := flag.Duration("runtime", 400*time.Millisecond, "measurement window per real-engine run")
 	trials := flag.Int("trials", 5, "trials for statistical experiments")
 	flag.Parse()
@@ -47,6 +47,7 @@ func main() {
 		{"fig10", experiments.Fig10},
 		{"headline", experiments.Headline},
 		{"ablation", func() (*experiments.Table, error) { return experiments.Ablation(opts) }},
+		{"chaos", func() (*experiments.Table, error) { return experiments.Chaos(opts) }},
 	}
 
 	ran := 0

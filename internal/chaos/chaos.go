@@ -1,0 +1,272 @@
+// Package chaos provides deterministic fault injection for transport
+// links. An Injector wraps net.Conn and dialing with seeded, repeatable
+// faults — corrupted bytes, write delays, dropped connections, and
+// partition-then-heal — so resilience tests and benchmarks exercise the
+// exact same failure schedule on every run.
+//
+// The package deliberately has no dependency on internal/transport:
+// transport's own tests import chaos, and transport itself wraps chaos
+// decisions at the frame level (transport.Faulty).
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a failure manufactured by the injector, so tests
+// can tell injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// ErrPartitioned is returned by Dial while the injector's partition is
+// active.
+var ErrPartitioned = errors.New("chaos: network partitioned")
+
+// Stats counts the faults an injector has delivered.
+type Stats struct {
+	CorruptedWrites uint64
+	DelayedWrites   uint64
+	CutConns        uint64
+	RefusedDials    uint64
+}
+
+// Injector produces deterministic faults from a seed. All probability
+// draws come from one seeded source, so a fixed seed plus a fixed call
+// sequence yields a fixed fault schedule. The zero value is unusable;
+// construct with New.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned bool
+	conns       map[*Conn]struct{}
+
+	// Per-write fault probabilities in [0,1], applied by Conn.Write.
+	corruptP float64
+	delayP   float64
+	delayFor time.Duration
+
+	corruptOnce atomic.Int64 // pending one-shot corruptions
+
+	stats struct {
+		corrupted atomic.Uint64
+		delayed   atomic.Uint64
+		cut       atomic.Uint64
+		refused   atomic.Uint64
+	}
+}
+
+// New creates an injector whose fault schedule is fully determined by
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[*Conn]struct{}),
+	}
+}
+
+// Decide draws one Bernoulli sample with probability p from the seeded
+// source. Exposed so higher layers (e.g. frame-level fault wrappers)
+// share the injector's determinism.
+func (in *Injector) Decide(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v < p
+}
+
+// Intn draws a deterministic integer in [0, n) from the seeded source.
+func (in *Injector) Intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// SetCorrupt makes each write flip one byte with probability p.
+func (in *Injector) SetCorrupt(p float64) {
+	in.mu.Lock()
+	in.corruptP = p
+	in.mu.Unlock()
+}
+
+// SetDelay makes each write sleep d with probability p.
+func (in *Injector) SetDelay(p float64, d time.Duration) {
+	in.mu.Lock()
+	in.delayP = p
+	in.delayFor = d
+	in.mu.Unlock()
+}
+
+// CorruptOnce arms a one-shot corruption: the next write through any
+// tracked conn flips one byte.
+func (in *Injector) CorruptOnce() { in.corruptOnce.Add(1) }
+
+// Partition cuts every tracked connection and makes subsequent Dial
+// calls fail until Heal.
+func (in *Injector) Partition() {
+	in.mu.Lock()
+	in.partitioned = true
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.cut()
+	}
+}
+
+// Heal ends the partition; new dials succeed again.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.partitioned = false
+	in.mu.Unlock()
+}
+
+// Partitioned reports whether a partition is active.
+func (in *Injector) Partitioned() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.partitioned
+}
+
+// CutAll severs every tracked connection without blocking new dials —
+// a transient link failure rather than a partition.
+func (in *Injector) CutAll() {
+	in.mu.Lock()
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.cut()
+	}
+}
+
+// Dial opens a fault-tracked TCP connection. Its signature matches the
+// resilient transport's Dialer option. While partitioned it refuses
+// with ErrPartitioned.
+func (in *Injector) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	in.mu.Lock()
+	blocked := in.partitioned
+	in.mu.Unlock()
+	if blocked {
+		in.stats.refused.Add(1)
+		return nil, ErrPartitioned
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	// Register under the same lock that Partition snapshots, and re-check
+	// the partition flag: a dial racing Partition must either be refused
+	// here or be visible to the partition's cut — never slip between.
+	c := &Conn{Conn: raw, in: in}
+	in.mu.Lock()
+	if in.partitioned {
+		in.mu.Unlock()
+		raw.Close()
+		in.stats.refused.Add(1)
+		return nil, ErrPartitioned
+	}
+	in.conns[c] = struct{}{}
+	in.mu.Unlock()
+	return c, nil
+}
+
+// Track wraps an existing connection so the injector can fault it.
+func (in *Injector) Track(raw net.Conn) *Conn {
+	c := &Conn{Conn: raw, in: in}
+	in.mu.Lock()
+	in.conns[c] = struct{}{}
+	in.mu.Unlock()
+	return c
+}
+
+func (in *Injector) forget(c *Conn) {
+	in.mu.Lock()
+	delete(in.conns, c)
+	in.mu.Unlock()
+}
+
+// Stats snapshots the injector's fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		CorruptedWrites: in.stats.corrupted.Load(),
+		DelayedWrites:   in.stats.delayed.Load(),
+		CutConns:        in.stats.cut.Load(),
+		RefusedDials:    in.stats.refused.Load(),
+	}
+}
+
+// Conn is a net.Conn whose writes pass through the injector's fault
+// schedule.
+type Conn struct {
+	net.Conn
+	in     *Injector
+	closed atomic.Bool
+}
+
+// Write applies any armed faults, then forwards to the wrapped conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	in := c.in
+	in.mu.Lock()
+	corruptP, delayP, delayFor := in.corruptP, in.delayP, in.delayFor
+	in.mu.Unlock()
+	if delayP > 0 && in.Decide(delayP) {
+		in.stats.delayed.Add(1)
+		time.Sleep(delayFor)
+	}
+	corrupt := false
+	for {
+		n := in.corruptOnce.Load()
+		if n <= 0 {
+			break
+		}
+		if in.corruptOnce.CompareAndSwap(n, n-1) {
+			corrupt = true
+			break
+		}
+	}
+	if !corrupt && corruptP > 0 && in.Decide(corruptP) {
+		corrupt = true
+	}
+	if corrupt && len(b) > 0 {
+		in.stats.corrupted.Add(1)
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		cp[in.Intn(len(cp))] ^= 0xFF
+		b = cp
+	}
+	return c.Conn.Write(b)
+}
+
+// Close unregisters the connection and closes the underlying one.
+func (c *Conn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		c.in.forget(c)
+	}
+	return c.Conn.Close()
+}
+
+// cut severs the connection abruptly (as a fault, not a clean close).
+func (c *Conn) cut() {
+	if c.closed.CompareAndSwap(false, true) {
+		c.in.stats.cut.Add(1)
+		c.in.forget(c)
+	}
+	c.Conn.Close()
+}

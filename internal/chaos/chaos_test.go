@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoListener accepts one conn at a time and echoes whatever it reads.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Decide(0.3) != b.Decide(0.3) {
+			t.Fatalf("draw %d diverged", i)
+		}
+		if a.Intn(17) != b.Intn(17) {
+			t.Fatalf("Intn %d diverged", i)
+		}
+	}
+}
+
+func TestPartitionRefusesDialsUntilHeal(t *testing.T) {
+	ln := echoListener(t)
+	inj := New(1)
+	inj.Partition()
+	if _, err := inj.Dial(ln.Addr().String(), time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial during partition: %v, want ErrPartitioned", err)
+	}
+	if !inj.Partitioned() {
+		t.Fatal("Partitioned() = false during partition")
+	}
+	inj.Heal()
+	conn, err := inj.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	conn.Close()
+	if got := inj.Stats().RefusedDials; got != 1 {
+		t.Fatalf("RefusedDials = %d, want 1", got)
+	}
+}
+
+func TestPartitionCutsTrackedConns(t *testing.T) {
+	ln := echoListener(t)
+	inj := New(2)
+	conn, err := inj.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Partition()
+	if _, err := conn.Write([]byte("x")); err == nil {
+		// The cut closes the socket; a write on a closed conn errors.
+		t.Fatal("write on a cut connection succeeded")
+	}
+	if got := inj.Stats().CutConns; got != 1 {
+		t.Fatalf("CutConns = %d, want 1", got)
+	}
+}
+
+func TestCorruptOnceFlipsExactlyOneByte(t *testing.T) {
+	ln := echoListener(t)
+	inj := New(3)
+	conn, err := inj.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("twelve bytes")
+	inj.CorruptOnce()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range msg {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 (got %q)", diff, got)
+	}
+	// One-shot: the next write passes through untouched.
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("second write corrupted: %q", got)
+	}
+	if inj.Stats().CorruptedWrites != 1 {
+		t.Fatalf("CorruptedWrites = %d, want 1", inj.Stats().CorruptedWrites)
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestCutAllDoesNotBlockNewDials(t *testing.T) {
+	ln := echoListener(t)
+	inj := New(4)
+	c1, err := inj.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.CutAll()
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("write on a cut connection succeeded")
+	}
+	c2, err := inj.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial after CutAll: %v", err)
+	}
+	c2.Close()
+}

@@ -51,6 +51,14 @@ type Config struct {
 	// correctness requirement at runtime (used by tests; small cost).
 	VerifyOrdering bool
 
+	// DedupRemote drops packets arriving on remote links whose per-stream
+	// sequence was already ingested. The resilient transport already
+	// dedups redelivered frames per link; this second, packet-level guard
+	// catches duplication the link layer cannot see (frame duplication by
+	// fault injectors, a link recreated mid-job, v1 senders). Dropped
+	// packets are counted in the engine's "packets_dup_dropped" counter.
+	DedupRemote bool
+
 	// PoolCapacity bounds the packet pool (idle packets). 0 defaults to
 	// 65536.
 	PoolCapacity int
@@ -69,6 +77,7 @@ func DefaultConfig() Config {
 		OutLowWatermark:  512 << 10,
 		OutHighWatermark: 1 << 20,
 		VerifyOrdering:   false,
+		DedupRemote:      true,
 		PoolCapacity:     65536,
 	}
 }

@@ -76,6 +76,12 @@ type instance struct {
 	expect    map[uint32]uint64
 	verifyErr errOnce
 
+	// Remote-ingest dedup (Config.DedupRemote): next expected sequence per
+	// stream. Guarded by its own mutex because multiple transport IO
+	// goroutines may ingest frames for one instance concurrently.
+	dedupMu   sync.Mutex
+	dedupNext map[uint32]uint64
+
 	stopping atomic.Bool
 	pumpWG   sync.WaitGroup
 	pumpErr  errOnce
@@ -140,6 +146,9 @@ func newInstance(e *Engine, op graph.OperatorSpec, idx int, src Source, proc Pro
 	inst.ctx = OpContext{inst: inst}
 	if e.cfg.VerifyOrdering {
 		inst.expect = make(map[uint32]uint64)
+	}
+	if e.cfg.DedupRemote {
+		inst.dedupNext = make(map[uint32]uint64)
 	}
 	if proc != nil {
 		ds, err := granules.NewStreamDataset[*inBatch](
@@ -389,11 +398,44 @@ func (inst *instance) ingestFrame(frame []byte) error {
 		e.recycleBatch(pkts)
 		return err
 	}
+	if inst.dedupNext != nil {
+		pkts = inst.dedupPackets(pkts)
+		if len(pkts) == 0 {
+			return nil // whole frame was a duplicate redelivery
+		}
+	}
 	if err := inst.dataset.Put(&inBatch{packets: pkts, bytes: len(data)}, int64(len(data))); err != nil {
 		e.recycleBatch(pkts)
 		return err
 	}
 	return nil
+}
+
+// dedupPackets drops decoded packets whose per-stream sequence was already
+// ingested, recycling them and counting "packets_dup_dropped". The resilient
+// transport dedups redelivered frames per link, but duplication the link
+// layer cannot attribute (injected frame duplication, a link torn down and
+// recreated mid-job, v1 senders) still reaches this point; sequence
+// regression is the one signal that survives all those paths.
+func (inst *instance) dedupPackets(pkts []*packet.Packet) []*packet.Packet {
+	e := inst.engine
+	kept := pkts[:0]
+	var dropped uint64
+	inst.dedupMu.Lock()
+	for _, p := range pkts {
+		if next, ok := inst.dedupNext[p.StreamID]; ok && p.Seq < next {
+			e.pktPool.Put(p)
+			dropped++
+			continue
+		}
+		inst.dedupNext[p.StreamID] = p.Seq + 1
+		kept = append(kept, p)
+	}
+	inst.dedupMu.Unlock()
+	if dropped > 0 {
+		e.metrics.Counter("packets_dup_dropped").Add(dropped)
+	}
+	return kept
 }
 
 // ---- Source pump ----

@@ -71,33 +71,69 @@ func (b *InprocBridger) Close() error {
 	return first
 }
 
+// bridgeListener is the slice of listener behavior the bridger needs; both
+// transport.Listener and transport.ResilientListener satisfy it.
+type bridgeListener interface {
+	Addr() string
+	Close() error
+}
+
 // TCPBridger connects engines over loopback (or LAN) TCP: one listener per
 // receiving engine, one dialed connection per engine pair. It exercises
 // the real wire path — framing, CRC, kernel buffers, TCP flow control.
+//
+// A bridger built with NewResilientTCPBridger uses the resilient endpoints
+// instead: links auto-reconnect with backoff, journal unacked frames for
+// redelivery, and dedup per link, so a job survives connection cuts and
+// partitions with no loss or duplication.
 type TCPBridger struct {
-	opts transport.TCPOptions
+	opts  transport.TCPOptions
+	ropts *transport.ResilientOptions // non-nil selects resilient endpoints
 
 	mu        sync.Mutex
-	listeners map[string]*transport.Listener // engine name -> listener
+	listeners map[string]bridgeListener // engine name -> listener
 	addrs     map[string]string
 	clients   []transport.Transport
+	links     []*transport.Resilient
 }
 
 // NewTCPBridger creates a TCP bridger with the given transport options.
 func NewTCPBridger(opts transport.TCPOptions) *TCPBridger {
 	return &TCPBridger{
 		opts:      opts,
-		listeners: make(map[string]*transport.Listener),
+		listeners: make(map[string]bridgeListener),
 		addrs:     make(map[string]string),
 	}
 }
 
+// NewResilientTCPBridger creates a TCP bridger whose links are resilient:
+// dialed with backoff-and-retry, journaled for redelivery across
+// reconnects, and deduplicated at the receiver. opts.Metrics and
+// opts.LinkID are managed per link by the bridger (each sender engine's
+// registry receives its links' reconnect/redelivery counters; link ids must
+// be unique) and should be left zero.
+func NewResilientTCPBridger(opts transport.ResilientOptions) *TCPBridger {
+	b := NewTCPBridger(opts.TCP)
+	b.ropts = &opts
+	return b
+}
+
 // Connect implements Bridger.
-func (b *TCPBridger) Connect(_, to *Engine) (transport.Transport, error) {
+func (b *TCPBridger) Connect(from, to *Engine) (transport.Transport, error) {
 	b.mu.Lock()
 	addr, ok := b.addrs[to.Name()]
 	if !ok {
-		ln, err := transport.Listen("127.0.0.1:0", to.Dispatch, b.opts)
+		var (
+			ln  bridgeListener
+			err error
+		)
+		if b.ropts != nil {
+			lopts := *b.ropts
+			lopts.Metrics = to.Metrics()
+			ln, err = transport.ListenResilient("127.0.0.1:0", to.Dispatch, lopts)
+		} else {
+			ln, err = transport.Listen("127.0.0.1:0", to.Dispatch, b.opts)
+		}
 		if err != nil {
 			b.mu.Unlock()
 			return nil, err
@@ -107,9 +143,25 @@ func (b *TCPBridger) Connect(_, to *Engine) (transport.Transport, error) {
 		b.addrs[to.Name()] = addr
 	}
 	b.mu.Unlock()
-	t, err := transport.Dial(addr, nil, b.opts)
-	if err != nil {
-		return nil, err
+	var t transport.Transport
+	if b.ropts != nil {
+		dopts := *b.ropts
+		dopts.Metrics = from.Metrics()
+		dopts.LinkID = 0 // unique random id per link
+		r, err := transport.DialResilient(addr, nil, dopts)
+		if err != nil {
+			return nil, err
+		}
+		b.mu.Lock()
+		b.links = append(b.links, r)
+		b.mu.Unlock()
+		t = r
+	} else {
+		var err error
+		t, err = transport.Dial(addr, nil, b.opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	b.mu.Lock()
 	b.clients = append(b.clients, t)
@@ -117,13 +169,30 @@ func (b *TCPBridger) Connect(_, to *Engine) (transport.Transport, error) {
 	return t, nil
 }
 
+// LinkHealth reports per-link health snapshots. Only resilient links track
+// health; a plain TCP bridger reports nil.
+func (b *TCPBridger) LinkHealth() []transport.LinkHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.links) == 0 {
+		return nil
+	}
+	out := make([]transport.LinkHealth, 0, len(b.links))
+	for _, r := range b.links {
+		out = append(out, r.Health())
+	}
+	return out
+}
+
 // Close implements Bridger.
 func (b *TCPBridger) Close() error {
 	b.mu.Lock()
 	clients := b.clients
 	b.clients = nil
+	// b.links is kept: LinkHealth stays queryable after Close so a
+	// finished job's reconnect/redelivery counts can be inspected.
 	listeners := b.listeners
-	b.listeners = make(map[string]*transport.Listener)
+	b.listeners = make(map[string]bridgeListener)
 	b.addrs = make(map[string]string)
 	b.mu.Unlock()
 	var first error
@@ -515,6 +584,23 @@ func (j *Job) Err() error {
 
 // Engines returns the engines hosting the job.
 func (j *Job) Engines() []*Engine { return j.engines }
+
+// LinkHealthReporter is implemented by bridgers that track per-link
+// transport health (the resilient TCP bridger).
+type LinkHealthReporter interface {
+	LinkHealth() []transport.LinkHealth
+}
+
+// LinkHealth reports the health of every inter-engine link — state,
+// reconnects, redelivered/shed frames, replay-buffer occupancy. It returns
+// nil when the job's bridger does not track link health (in-process or
+// plain TCP bridging).
+func (j *Job) LinkHealth() []transport.LinkHealth {
+	if r, ok := j.bridger.(LinkHealthReporter); ok {
+		return r.LinkHealth()
+	}
+	return nil
+}
 
 // Instances reports the instance count of the named operator.
 func (j *Job) Instances(op string) int { return len(j.byOp[op]) }

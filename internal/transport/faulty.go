@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// Faulty injects frame-level faults — drop, duplicate, corrupt, delay —
+// in front of any Transport. Decisions come from a shared chaos.Injector
+// so the fault schedule is deterministic per seed. It is meant for tests
+// and cmd/neptune-bench; corruption flips a payload byte *before*
+// framing, so the CRC is computed over the corrupted payload and the
+// fault models an application-level error rather than wire noise (use
+// chaos.Conn for wire-level corruption that trips the CRC).
+type Faulty struct {
+	// Inner is the wrapped transport all surviving frames go to.
+	Inner Transport
+	// Inj supplies deterministic fault decisions.
+	Inj *chaos.Injector
+	// Drop, Dup, Corrupt, Delay are per-frame fault probabilities.
+	Drop, Dup, Corrupt, Delay float64
+	// DelayFor is how long a delayed frame sleeps.
+	DelayFor time.Duration
+}
+
+// Send applies the fault schedule, then forwards to the inner transport.
+func (f *Faulty) Send(channel uint32, payload []byte) error {
+	if f.Inj.Decide(f.Drop) {
+		return nil // silently dropped
+	}
+	if f.Inj.Decide(f.Delay) && f.DelayFor > 0 {
+		time.Sleep(f.DelayFor)
+	}
+	if f.Inj.Decide(f.Corrupt) && len(payload) > 0 {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		cp[f.Inj.Intn(len(cp))] ^= 0xFF
+		payload = cp
+	}
+	if err := f.Inner.Send(channel, payload); err != nil {
+		return err
+	}
+	if f.Inj.Decide(f.Dup) {
+		return f.Inner.Send(channel, payload)
+	}
+	return nil
+}
+
+// Close closes the inner transport.
+func (f *Faulty) Close() error { return f.Inner.Close() }
+
+// Stats reports the inner transport's counters.
+func (f *Faulty) Stats() Stats { return f.Inner.Stats() }
+
+var _ Transport = (*Faulty)(nil)

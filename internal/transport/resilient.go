@@ -1,0 +1,1139 @@
+package transport
+
+import (
+	"bufio"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backpressure"
+	"repro/internal/metrics"
+)
+
+// This file implements the resilient transport pair: Resilient (the
+// dialing, sending side) and ResilientListener (the accepting, receiving
+// side). Together they upgrade the fail-fast TCP transport to
+// effectively-once delivery per link across transient faults:
+//
+//   - Every data frame carries a link sequence number (wire format v2).
+//   - The sender journals sent-but-unacked frames in a bounded replay
+//     buffer; the receiver acks cumulatively (piggybacked on the v2
+//     header), letting the sender trim the journal.
+//   - On any IO error the sender redials with exponential backoff and
+//     jitter, replays the journal, and resumes — Send callers never see
+//     the outage (they at most block on backpressure).
+//   - The receiver keys redelivery state by a per-transport link id
+//     (carried in a hello frame), so duplicates are discarded even
+//     across reconnections. Dedup by last-seen sequence is sound
+//     because TCP delivers in order and the journal replays in order.
+//
+// When an outage outlives the replay buffer, DegradePolicy chooses
+// between blocking senders (default: preserves the no-loss guarantee)
+// and shedding the oldest journaled frames (bounds memory and latency,
+// admits loss, counts every shed frame).
+
+// LinkState describes a resilient link's connectivity.
+type LinkState int32
+
+const (
+	// LinkConnected means the link has a live connection.
+	LinkConnected LinkState = iota
+	// LinkReconnecting means the connection failed and the transport is
+	// redialing with backoff.
+	LinkReconnecting
+	// LinkDown means the transport gave up (budget exhausted) or closed.
+	LinkDown
+)
+
+// String names the state.
+func (s LinkState) String() string {
+	switch s {
+	case LinkConnected:
+		return "connected"
+	case LinkReconnecting:
+		return "reconnecting"
+	case LinkDown:
+		return "down"
+	default:
+		return fmt.Sprintf("LinkState(%d)", int32(s))
+	}
+}
+
+// DegradePolicy chooses what Send does when an outage outlives the
+// replay buffer.
+type DegradePolicy int
+
+const (
+	// DegradeBlock blocks senders until replay space frees (no loss).
+	DegradeBlock DegradePolicy = iota
+	// DegradeShedOldest drops the oldest unacked frames to admit new
+	// ones, trading loss for bounded memory and sender liveness.
+	DegradeShedOldest
+)
+
+// ResilientOptions configures a resilient transport endpoint.
+type ResilientOptions struct {
+	// TCP carries the underlying socket options (queue watermarks,
+	// write buffer, dial timeout, terminal OnError callback).
+	TCP TCPOptions
+	// BackoffBase is the first reconnect delay. Zero defaults to 50ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff. Zero defaults to 2s.
+	BackoffMax time.Duration
+	// MaxAttempts bounds dial attempts per outage (0 = unlimited).
+	MaxAttempts int
+	// ReconnectDeadline bounds the total time spent redialing per
+	// outage (0 = unlimited). When exceeded the transport goes down
+	// and surfaces ErrGaveUp.
+	ReconnectDeadline time.Duration
+	// ReplayLimit bounds the sent-but-unacked journal in bytes. Zero
+	// defaults to 4 MiB.
+	ReplayLimit int64
+	// Policy picks the behavior when the journal is full (see
+	// DegradePolicy). Default: DegradeBlock.
+	Policy DegradePolicy
+	// AckEvery makes the listener ack every n-th data frame. Zero
+	// defaults to 1 (ack every frame — promptest journal trimming).
+	AckEvery int
+	// AckTimeout bounds how long unacked frames may sit in the journal
+	// with no ack progress before the connection is declared dead and
+	// redialed. It catches failures TCP cannot surface — e.g. header
+	// corruption leaving the receiver blocked on a phantom payload
+	// length. Zero defaults to 5s; negative disables the watchdog.
+	AckTimeout time.Duration
+	// Seed seeds the backoff jitter for deterministic tests. Zero
+	// defaults to 1.
+	Seed int64
+	// LinkID identifies this sender's redelivery state at the
+	// receiver across reconnections. Zero picks a random id.
+	LinkID uint64
+	// Dialer opens the underlying connection; tests inject faults
+	// here. Nil defaults to net.DialTimeout.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// OnStateChange observes link state transitions. May be nil.
+	OnStateChange func(LinkState)
+	// Metrics, when non-nil, receives the resilience counters:
+	// transport.reconnects, transport.redelivered_frames,
+	// transport.frames_shed, transport.dup_frames_dropped, and the
+	// transport.replay_bytes / transport.replay_frames gauges.
+	Metrics *metrics.Registry
+}
+
+func (o *ResilientOptions) defaults() {
+	o.TCP.defaults()
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.ReplayLimit <= 0 {
+		o.ReplayLimit = 4 << 20
+	}
+	if o.AckEvery <= 0 {
+		o.AckEvery = 1
+	}
+	if o.AckTimeout == 0 {
+		o.AckTimeout = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.LinkID == 0 {
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err == nil {
+			o.LinkID = binary.LittleEndian.Uint64(b[:])
+		}
+		if o.LinkID == 0 {
+			o.LinkID = 1
+		}
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			if timeout < 0 {
+				timeout = 0
+			}
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+}
+
+// LinkHealth is a point-in-time snapshot of a resilient link.
+type LinkHealth struct {
+	Addr         string
+	State        LinkState
+	Reconnects   uint64
+	Redelivered  uint64 // frames replayed after reconnects
+	Shed         uint64 // frames dropped by DegradeShedOldest
+	DupsDropped  uint64 // inbound duplicates discarded (this endpoint)
+	ReplayFrames int    // current journal occupancy
+	ReplayBytes  int64
+	Err          error // terminal error, if the link is down
+}
+
+// jframe is one journaled (sent-but-unacked) frame.
+type jframe struct {
+	seq     uint64
+	channel uint32
+	payload []byte
+}
+
+// Resilient is the reconnecting, redelivering sender side of a link. It
+// implements Transport; Send has the same blocking/backpressure
+// semantics as TCP.Send, but IO errors trigger transparent reconnect
+// and journal replay instead of tearing the transport down.
+type Resilient struct {
+	addr    string
+	opts    ResilientOptions
+	handler Handler
+	queue   *backpressure.Queue[Frame]
+	stats   statCounters
+	linkID  uint64
+
+	// Writer-goroutine-owned connection state (conn/broken are also
+	// read by other goroutines under mu / brokenFlag).
+	bw *bufio.Writer
+
+	mu      sync.Mutex
+	conn    net.Conn
+	broken  bool
+	closed  bool
+	termErr error
+	state   LinkState
+
+	brokenFlag atomic.Bool // lock-free mirror of broken (journal wait path)
+	closedCh   chan struct{}
+	closeOnce  sync.Once // guards close(closedCh): Close and terminate race
+
+	jmu     sync.Mutex
+	jcond   *sync.Cond
+	jfr     []jframe
+	jhead   int
+	jbytes  int64
+	acked   uint64
+	jclosed bool
+
+	nextSeq uint64        // writer-goroutine-owned
+	recvSeq atomic.Uint64 // last inbound data seq delivered (piggyback ack)
+
+	// Outage-scoped reconnect state, owned by the writer goroutine
+	// (ready() runs only on it). Reset on every successful reconnect.
+	outageAttempts int
+	outageStart    time.Time
+	nextDialAt     time.Time
+	lastDialErr    error
+
+	reconnects  atomic.Uint64
+	redelivered atomic.Uint64
+	shedCount   atomic.Uint64
+	dups        atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	writerWG  sync.WaitGroup
+	readerWG  sync.WaitGroup
+	watcherWG sync.WaitGroup
+}
+
+// errAckTimeout marks a connection the ack watchdog declared dead.
+var errAckTimeout = errors.New("transport: ack progress timeout")
+
+// DialResilient connects to a resilient listener at addr. The initial
+// dial is a single attempt (fail fast, like Dial); subsequent outages
+// are retried per the backoff/budget options. handler receives inbound
+// frames and may be nil for send-only endpoints.
+func DialResilient(addr string, handler Handler, opts ResilientOptions) (*Resilient, error) {
+	opts.defaults()
+	q, err := backpressure.NewQueue[Frame](opts.TCP.OutboundLow, opts.TCP.OutboundHigh)
+	if err != nil {
+		return nil, err
+	}
+	r := &Resilient{
+		addr:     addr,
+		opts:     opts,
+		handler:  handler,
+		queue:    q,
+		linkID:   opts.LinkID,
+		closedCh: make(chan struct{}),
+		state:    LinkConnected,
+		rng:      newSeededRng(opts.Seed),
+	}
+	r.jcond = sync.NewCond(&r.jmu)
+	conn, err := opts.Dialer(addr, opts.TCP.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	r.conn = conn
+	r.bw = bufio.NewWriterSize(conn, opts.TCP.WriteBufferSize)
+	if err := r.writeHello(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: resilient hello: %w", err)
+	}
+	r.readerWG.Add(1)
+	go r.readLoop(conn)
+	r.writerWG.Add(1)
+	go r.writeLoop()
+	if opts.AckTimeout > 0 {
+		r.watcherWG.Add(1)
+		go r.ackWatch()
+	}
+	return r, nil
+}
+
+// ackWatch is the sender-side liveness watchdog: when the journal holds
+// unacked frames and the cumulative ack makes no progress for
+// AckTimeout, the connection is declared dead. This catches stalls TCP
+// never surfaces as an IO error — a receiver wedged mid-frame by header
+// corruption, or a black-holed path — at worst costing one spurious
+// reconnect (replayed duplicates are discarded by receiver dedup).
+func (r *Resilient) ackWatch() {
+	defer r.watcherWG.Done()
+	tick := time.NewTicker(r.opts.AckTimeout / 4)
+	defer tick.Stop()
+	var lastAcked uint64
+	var stuckSince time.Time
+	for {
+		select {
+		case <-r.closedCh:
+			return
+		case <-tick.C:
+		}
+		r.jmu.Lock()
+		pending := len(r.jfr) - r.jhead
+		acked := r.acked
+		r.jmu.Unlock()
+		if pending == 0 || acked != lastAcked {
+			lastAcked = acked
+			stuckSince = time.Time{}
+			continue
+		}
+		if stuckSince.IsZero() {
+			stuckSince = time.Now()
+			continue
+		}
+		if time.Since(stuckSince) >= r.opts.AckTimeout {
+			r.mu.Lock()
+			conn := r.conn
+			r.mu.Unlock()
+			if conn != nil {
+				r.connFailed(conn, errAckTimeout)
+			}
+			stuckSince = time.Time{}
+		}
+	}
+}
+
+// writeHello sends the link-identifying first frame on the current conn
+// and flushes it. Caller owns the writer goroutine (or constructor).
+func (r *Resilient) writeHello() error {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], r.linkID)
+	var hdr [headerV2Size]byte
+	putHeaderV2(hdr[:], 0, payload[:], flagHello, 0, r.recvSeq.Load())
+	if _, err := r.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := r.bw.Write(payload[:]); err != nil {
+		return err
+	}
+	return r.bw.Flush()
+}
+
+// Send copies payload and enqueues it for the writer goroutine. It
+// blocks while the outbound queue is gated (backpressure) and never
+// fails on link outages — only when the transport is closed or has
+// permanently given up.
+func (r *Resilient) Send(channel uint32, payload []byte) error {
+	r.mu.Lock()
+	if r.closed {
+		err := r.termErr
+		r.mu.Unlock()
+		if err != nil && !errors.Is(err, ErrClosed) {
+			return err
+		}
+		return ErrClosed
+	}
+	r.mu.Unlock()
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	if r.queue.Gated() {
+		r.stats.sendBlocked.Add(1)
+	}
+	if err := r.queue.Push(Frame{Channel: channel, Payload: cp}, int64(len(cp))+headerV2Size); err != nil {
+		if errors.Is(err, backpressure.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	r.stats.framesSent.Add(1)
+	r.stats.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+// writeLoop is the single IO writer: it drains the outbound queue,
+// journals every frame, and owns dialing/replacement of the connection.
+func (r *Resilient) writeLoop() {
+	defer r.writerWG.Done()
+	for {
+		f, ok := r.queue.Pop()
+		if !ok {
+			r.flushBest()
+			return
+		}
+		if f.Payload == nil {
+			// Reconnect nudge (from a failed reader or a backoff timer):
+			// redeliver the journal even though no new Send is in flight.
+			if !r.isClosed() && (r.journalLen() > 0 || r.brokenFlag.Load()) {
+				r.ready()
+			}
+			// Data frames popped just before this sentinel skipped their
+			// flush (the queue looked non-empty); flush them now or they
+			// rot in the buffer with no further pops to trigger it.
+			r.flushIfIdle()
+			continue
+		}
+		if r.isClosed() {
+			r.writeClosing(f)
+			continue
+		}
+		r.nextSeq++
+		seq := r.nextSeq
+		if !r.journalAppend(jframe{seq: seq, channel: f.Channel, payload: f.Payload}) {
+			// Transport closed while waiting for replay space.
+			r.writeClosing(f)
+			continue
+		}
+		r.writeData(f.Channel, f.Payload, seq)
+	}
+}
+
+// writeData writes one journaled frame, reconnecting as needed. The
+// frame is already journaled, so a reconnect's journal replay covers
+// it; a rare double-write after replay is discarded by receiver dedup.
+// Under DegradeShedOldest a down link makes this a no-op — the frame
+// stays journaled and the scheduled reconnect replays it later.
+func (r *Resilient) writeData(channel uint32, payload []byte, seq uint64) {
+	var hdr [headerV2Size]byte
+	for {
+		if !r.ready() {
+			return
+		}
+		putHeaderV2(hdr[:], channel, payload, 0, seq, r.recvSeq.Load())
+		if _, err := r.bw.Write(hdr[:]); err != nil {
+			r.connFailed(r.conn, err)
+			continue
+		}
+		if _, err := r.bw.Write(payload); err != nil {
+			r.connFailed(r.conn, err)
+			continue
+		}
+		// Flush only when no more frames are immediately available —
+		// consecutive frames coalesce into one syscall.
+		if r.queue.Len() == 0 {
+			if err := r.bw.Flush(); err != nil {
+				r.connFailed(r.conn, err)
+				continue
+			}
+		}
+		return
+	}
+}
+
+// writeClosing is the best-effort path for frames popped after Close:
+// write on the live conn if any, never journal, never reconnect.
+func (r *Resilient) writeClosing(f Frame) {
+	r.mu.Lock()
+	conn := r.conn
+	dead := conn == nil || r.broken
+	r.mu.Unlock()
+	if dead {
+		return
+	}
+	r.nextSeq++
+	var hdr [headerV2Size]byte
+	putHeaderV2(hdr[:], f.Channel, f.Payload, 0, r.nextSeq, r.recvSeq.Load())
+	if _, err := r.bw.Write(hdr[:]); err != nil {
+		r.connFailed(conn, err)
+		return
+	}
+	if _, err := r.bw.Write(f.Payload); err != nil {
+		r.connFailed(conn, err)
+		return
+	}
+	if r.queue.Len() == 0 {
+		if err := r.bw.Flush(); err != nil {
+			r.connFailed(conn, err)
+		}
+	}
+}
+
+// flushBest flushes the write buffer if the connection is still live.
+func (r *Resilient) flushBest() {
+	r.mu.Lock()
+	live := r.conn != nil && !r.broken
+	r.mu.Unlock()
+	if live && r.bw != nil {
+		_ = r.bw.Flush()
+	}
+}
+
+// flushIfIdle flushes buffered frames when no more pops are imminent,
+// surfacing a failed flush as a connection failure so the journaled
+// frames get replayed. Writer goroutine only.
+func (r *Resilient) flushIfIdle() {
+	if r.queue.Len() != 0 || r.bw == nil {
+		return
+	}
+	r.mu.Lock()
+	conn := r.conn
+	live := conn != nil && !r.broken
+	r.mu.Unlock()
+	if !live {
+		return
+	}
+	if err := r.bw.Flush(); err != nil {
+		r.connFailed(conn, err)
+	}
+}
+
+// ready returns with a live connection installed, dialing (with
+// backoff, within the attempt/deadline budget) and replaying the
+// journal as needed. It returns false when the transport is closed,
+// permanently gave up, or — under DegradeShedOldest — when the link is
+// still down (a backoff timer will renudge the writer; the writer must
+// stay free to consume and shed frames). Writer goroutine only.
+func (r *Resilient) ready() bool {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return false
+		}
+		if r.conn != nil && !r.broken {
+			r.mu.Unlock()
+			return true
+		}
+		old := r.conn
+		r.conn = nil
+		r.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		if r.outageStart.IsZero() {
+			r.outageStart = time.Now()
+		}
+		if r.opts.MaxAttempts > 0 && r.outageAttempts >= r.opts.MaxAttempts {
+			r.terminate(fmt.Errorf("%w after %d attempts: %v", ErrGaveUp, r.outageAttempts, r.lastDialErr))
+			return false
+		}
+		if r.opts.ReconnectDeadline > 0 && time.Since(r.outageStart) > r.opts.ReconnectDeadline {
+			r.terminate(fmt.Errorf("%w after %v: %v", ErrGaveUp, r.opts.ReconnectDeadline, r.lastDialErr))
+			return false
+		}
+		// Pace dial attempts: under the shed policy the writer never
+		// sleeps (the backoff timer renudges it); under the blocking
+		// policy it waits out the backoff right here.
+		if wait := time.Until(r.nextDialAt); wait > 0 {
+			if r.opts.Policy == DegradeShedOldest {
+				return false
+			}
+			select {
+			case <-r.closedCh:
+				return false
+			case <-time.After(wait):
+			}
+		}
+		conn, err := r.opts.Dialer(r.addr, r.opts.TCP.DialTimeout)
+		if err != nil {
+			r.lastDialErr = err
+			d := r.backoff(r.outageAttempts)
+			r.outageAttempts++
+			r.nextDialAt = time.Now().Add(d)
+			if r.opts.Policy == DegradeShedOldest {
+				time.AfterFunc(d, func() { _ = r.queue.Push(Frame{}, 0) })
+				return false
+			}
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		r.mu.Lock()
+		r.conn = conn
+		r.broken = false
+		r.state = LinkConnected
+		r.mu.Unlock()
+		r.brokenFlag.Store(false)
+		r.bw = bufio.NewWriterSize(conn, r.opts.TCP.WriteBufferSize)
+		if err := r.writeHello(); err != nil {
+			r.connFailed(conn, err)
+			continue
+		}
+		r.readerWG.Add(1)
+		go r.readLoop(conn)
+		if !r.resendJournal() {
+			continue
+		}
+		r.outageAttempts = 0
+		r.outageStart = time.Time{}
+		r.nextDialAt = time.Time{}
+		r.reconnects.Add(1)
+		if m := r.opts.Metrics; m != nil {
+			m.Counter("transport.reconnects").Inc()
+		}
+		if cb := r.opts.OnStateChange; cb != nil {
+			cb(LinkConnected)
+		}
+		return true
+	}
+}
+
+// newSeededRng builds the deterministic jitter source.
+func newSeededRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// backoff computes the delay before retry attempt+1: exponential from
+// BackoffBase, capped at BackoffMax, with jitter in [d/2, d).
+func (r *Resilient) backoff(attempt int) time.Duration {
+	d := r.opts.BackoffMax
+	if attempt < 20 {
+		if e := r.opts.BackoffBase << uint(attempt); e < d {
+			d = e
+		}
+	}
+	if d < 2 {
+		return d
+	}
+	r.rngMu.Lock()
+	j := d/2 + time.Duration(r.rng.Int63n(int64(d/2)))
+	r.rngMu.Unlock()
+	return j
+}
+
+// resendJournal replays every unacked frame on the fresh connection.
+func (r *Resilient) resendJournal() bool {
+	r.jmu.Lock()
+	snap := make([]jframe, len(r.jfr)-r.jhead)
+	copy(snap, r.jfr[r.jhead:])
+	r.jmu.Unlock()
+	if len(snap) == 0 {
+		return true
+	}
+	var hdr [headerV2Size]byte
+	for _, jf := range snap {
+		putHeaderV2(hdr[:], jf.channel, jf.payload, 0, jf.seq, r.recvSeq.Load())
+		if _, err := r.bw.Write(hdr[:]); err != nil {
+			r.connFailed(r.conn, err)
+			return false
+		}
+		if _, err := r.bw.Write(jf.payload); err != nil {
+			r.connFailed(r.conn, err)
+			return false
+		}
+	}
+	if err := r.bw.Flush(); err != nil {
+		r.connFailed(r.conn, err)
+		return false
+	}
+	r.redelivered.Add(uint64(len(snap)))
+	if m := r.opts.Metrics; m != nil {
+		m.Counter("transport.redelivered_frames").Add(uint64(len(snap)))
+	}
+	return true
+}
+
+// journalLen reports the number of unacked frames.
+func (r *Resilient) journalLen() int {
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	return len(r.jfr) - r.jhead
+}
+
+// journalAppend admits a frame into the replay buffer, applying the
+// degradation policy when it is full. Writer goroutine only. Returns
+// false when the transport closed while waiting for space.
+func (r *Resilient) journalAppend(jf jframe) bool {
+	need := int64(len(jf.payload)) + headerV2Size
+	r.jmu.Lock()
+	for !r.jclosed && r.jbytes+need > r.opts.ReplayLimit && len(r.jfr)-r.jhead > 0 {
+		if r.opts.Policy == DegradeShedOldest {
+			old := r.jfr[r.jhead]
+			r.jfr[r.jhead] = jframe{}
+			r.jhead++
+			r.jbytes -= int64(len(old.payload)) + headerV2Size
+			r.shedCount.Add(1)
+			if m := r.opts.Metrics; m != nil {
+				m.Counter("transport.frames_shed").Inc()
+				m.Gauge("transport.replay_bytes").Add(-(int64(len(old.payload)) + headerV2Size))
+				m.Gauge("transport.replay_frames").Add(-1)
+			}
+			continue
+		}
+		// Blocking policy: space frees on acks. If the connection broke
+		// while we wait, acks cannot arrive — reconnect and replay so
+		// they can.
+		if r.brokenFlag.Load() && !r.isClosed() {
+			r.jmu.Unlock()
+			ok := r.ready()
+			r.jmu.Lock()
+			if !ok {
+				break
+			}
+			continue
+		}
+		r.jcond.Wait()
+	}
+	if r.jclosed {
+		r.jmu.Unlock()
+		return false
+	}
+	if r.jhead > 0 && r.jhead == len(r.jfr) {
+		r.jfr = r.jfr[:0]
+		r.jhead = 0
+	}
+	r.jfr = append(r.jfr, jf)
+	r.jbytes += need
+	if m := r.opts.Metrics; m != nil {
+		m.Gauge("transport.replay_bytes").Add(need)
+		m.Gauge("transport.replay_frames").Add(1)
+	}
+	r.jmu.Unlock()
+	return true
+}
+
+// journalAck trims every journaled frame covered by the cumulative ack.
+func (r *Resilient) journalAck(ack uint64) {
+	r.jmu.Lock()
+	if ack <= r.acked {
+		r.jmu.Unlock()
+		return
+	}
+	r.acked = ack
+	var freedBytes int64
+	var freedFrames int64
+	for r.jhead < len(r.jfr) && r.jfr[r.jhead].seq <= ack {
+		freedBytes += int64(len(r.jfr[r.jhead].payload)) + headerV2Size
+		freedFrames++
+		r.jfr[r.jhead] = jframe{}
+		r.jhead++
+	}
+	if r.jhead == len(r.jfr) {
+		r.jfr = r.jfr[:0]
+		r.jhead = 0
+	}
+	if freedFrames > 0 {
+		r.jbytes -= freedBytes
+		r.jcond.Broadcast()
+	}
+	r.jmu.Unlock()
+	if freedFrames > 0 {
+		if m := r.opts.Metrics; m != nil {
+			m.Gauge("transport.replay_bytes").Add(-freedBytes)
+			m.Gauge("transport.replay_frames").Add(-freedFrames)
+		}
+	}
+}
+
+// readLoop parses inbound frames on one connection: acks trim the
+// journal, data frames are deduped and delivered. One readLoop runs per
+// connection; it exits when the connection fails.
+func (r *Resilient) readLoop(conn net.Conn) {
+	defer r.readerWG.Done()
+	fr := newFrameReader(bufio.NewReaderSize(conn, 64<<10))
+	for {
+		f, err := fr.next()
+		if err != nil {
+			r.connFailed(conn, err)
+			return
+		}
+		if f.version == frameVersion2 {
+			if f.ack > 0 {
+				r.journalAck(f.ack)
+			}
+			if f.flags&(flagAckOnly|flagHello) != 0 {
+				continue
+			}
+			if f.seq > 0 {
+				if f.seq <= r.recvSeq.Load() {
+					r.dups.Add(1)
+					continue
+				}
+				r.recvSeq.Store(f.seq)
+			}
+		}
+		r.stats.framesReceived.Add(1)
+		r.stats.bytesReceived.Add(uint64(len(f.payload)))
+		if r.handler != nil {
+			r.handler(Frame{Channel: f.channel, Payload: f.payload})
+		}
+	}
+}
+
+// connFailed marks the current connection broken (idempotently), closes
+// it to unblock the peer goroutine, and nudges the writer so recovery
+// is not deferred to the next Send.
+func (r *Resilient) connFailed(conn net.Conn, err error) {
+	_ = err
+	r.mu.Lock()
+	if conn == nil || conn != r.conn || r.broken {
+		r.mu.Unlock()
+		return
+	}
+	r.broken = true
+	closed := r.closed
+	if !closed {
+		r.state = LinkReconnecting
+	}
+	cb := r.opts.OnStateChange
+	r.mu.Unlock()
+	r.brokenFlag.Store(true)
+	conn.Close()
+	// Wake a writer parked in journalAppend's space wait.
+	r.jmu.Lock()
+	r.jcond.Broadcast()
+	r.jmu.Unlock()
+	if closed {
+		return
+	}
+	if cb != nil {
+		cb(LinkReconnecting)
+	}
+	go func() { _ = r.queue.Push(Frame{}, 0) }()
+}
+
+// terminate records a permanent failure: the reconnect budget ran out.
+func (r *Resilient) terminate(err error) {
+	r.mu.Lock()
+	if r.termErr == nil {
+		r.termErr = err
+	}
+	r.closed = true
+	r.state = LinkDown
+	cbState := r.opts.OnStateChange
+	cbErr := r.opts.TCP.OnError
+	r.mu.Unlock()
+	r.closeOnce.Do(func() { close(r.closedCh) })
+	r.queue.Close()
+	r.jmu.Lock()
+	r.jclosed = true
+	r.jcond.Broadcast()
+	r.jmu.Unlock()
+	if cbState != nil {
+		cbState(LinkDown)
+	}
+	if cbErr != nil && err != nil && !errors.Is(err, ErrClosed) {
+		cbErr(err)
+	}
+}
+
+func (r *Resilient) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Err returns the transport's terminal error, if it permanently failed.
+func (r *Resilient) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.termErr != nil && !errors.Is(r.termErr, ErrClosed) {
+		return r.termErr
+	}
+	return nil
+}
+
+// State reports the link's current connectivity.
+func (r *Resilient) State() LinkState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Health snapshots the link's resilience counters.
+func (r *Resilient) Health() LinkHealth {
+	r.jmu.Lock()
+	frames := len(r.jfr) - r.jhead
+	bytes := r.jbytes
+	r.jmu.Unlock()
+	r.mu.Lock()
+	state := r.state
+	err := r.termErr
+	r.mu.Unlock()
+	if err != nil && errors.Is(err, ErrClosed) {
+		err = nil
+	}
+	return LinkHealth{
+		Addr:         r.addr,
+		State:        state,
+		Reconnects:   r.reconnects.Load(),
+		Redelivered:  r.redelivered.Load(),
+		Shed:         r.shedCount.Load(),
+		DupsDropped:  r.dups.Load(),
+		ReplayFrames: frames,
+		ReplayBytes:  bytes,
+		Err:          err,
+	}
+}
+
+// Stats reports transfer counters.
+func (r *Resilient) Stats() Stats { return r.stats.snapshot() }
+
+// Pressure reports the outbound queue's backpressure counters.
+func (r *Resilient) Pressure() backpressure.Stats { return r.queue.Stats() }
+
+// Close shuts the transport down. Queued frames are written best-effort
+// on the live connection; no reconnection is attempted during close.
+func (r *Resilient) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.closeOnce.Do(func() { close(r.closedCh) })
+		r.writerWG.Wait()
+		r.watcherWG.Wait()
+		r.readerWG.Wait()
+		return nil
+	}
+	r.closed = true
+	r.state = LinkDown
+	r.mu.Unlock()
+	r.closeOnce.Do(func() { close(r.closedCh) })
+	r.queue.Close()
+	r.jmu.Lock()
+	r.jclosed = true
+	r.jcond.Broadcast()
+	r.jmu.Unlock()
+	r.writerWG.Wait()
+	r.mu.Lock()
+	conn := r.conn
+	r.conn = nil
+	r.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	r.watcherWG.Wait()
+	r.readerWG.Wait()
+	return nil
+}
+
+var _ Transport = (*Resilient)(nil)
+
+// linkRecv is the receiver-side redelivery state of one link, keyed by
+// the sender's link id so it survives reconnections.
+type linkRecv struct {
+	mu       sync.Mutex
+	lastSeen uint64
+}
+
+// ResilientListener accepts resilient (and plain v1) connections: v2
+// data frames are deduped by last-seen sequence per link and acked
+// cumulatively; v1 frames pass through untouched.
+type ResilientListener struct {
+	ln      net.Listener
+	opts    ResilientOptions
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	links  map[uint64]*linkRecv
+	closed bool
+
+	dups     atomic.Uint64
+	acksSent atomic.Uint64
+}
+
+// ListenResilient starts accepting resilient transport connections on
+// addr, delivering every deduplicated inbound frame to handler.
+func ListenResilient(addr string, handler Handler, opts ResilientOptions) (*ResilientListener, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	opts.defaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &ResilientListener{
+		ln:      ln,
+		opts:    opts,
+		handler: handler,
+		conns:   make(map[net.Conn]struct{}),
+		links:   make(map[uint64]*linkRecv),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *ResilientListener) Addr() string { return l.ln.Addr().String() }
+
+// DupsDropped reports how many duplicate frames were discarded.
+func (l *ResilientListener) DupsDropped() uint64 { return l.dups.Load() }
+
+// AcksSent reports how many ack frames this listener wrote.
+func (l *ResilientListener) AcksSent() uint64 { return l.acksSent.Load() }
+
+func (l *ResilientListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go l.serve(conn)
+	}
+}
+
+// link returns (creating if needed) the redelivery state for a link id.
+func (l *ResilientListener) link(id uint64) *linkRecv {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lr, ok := l.links[id]
+	if !ok {
+		lr = &linkRecv{}
+		l.links[id] = lr
+	}
+	return lr
+}
+
+// serve reads one connection until it fails: hello frames bind the
+// conn to its link's dedup state, data frames are deduped + delivered +
+// acked, v1 frames pass through.
+func (l *ResilientListener) serve(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	fr := newFrameReader(bufio.NewReaderSize(conn, 256<<10))
+	local := &linkRecv{} // dedup state for v2 senders that skip hello
+	var link *linkRecv
+	var ackHdr [headerV2Size]byte
+	unacked := 0
+	// A failed ack write (peer already gone, e.g. it flushed and closed)
+	// must not abort the read side: frames the peer flushed before
+	// vanishing are still in our buffer and must be delivered. Unacked
+	// frames are simply redelivered on the next connection.
+	ackBroken := false
+	for {
+		f, err := fr.next()
+		if err != nil {
+			// A vanished peer is normal here — the dialer side owns
+			// recovery. Surface only corruption-class errors.
+			if l.opts.TCP.OnError != nil &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, net.ErrClosed) {
+				l.opts.TCP.OnError(err)
+			}
+			return
+		}
+		if f.version == frameVersion2 {
+			if f.flags&flagHello != 0 {
+				if len(f.payload) == 8 {
+					link = l.link(binary.LittleEndian.Uint64(f.payload))
+				}
+				continue
+			}
+			if f.flags&flagAckOnly != 0 {
+				continue
+			}
+			if f.seq > 0 {
+				ls := link
+				if ls == nil {
+					ls = local
+				}
+				ls.mu.Lock()
+				dup := f.seq <= ls.lastSeen
+				if !dup {
+					ls.lastSeen = f.seq
+				}
+				ack := ls.lastSeen
+				ls.mu.Unlock()
+				if dup {
+					l.dups.Add(1)
+					if m := l.opts.Metrics; m != nil {
+						m.Counter("transport.dup_frames_dropped").Inc()
+					}
+					// Re-ack so the sender trims its journal even when
+					// the original ack was lost with the connection.
+					if !ackBroken && !l.writeAck(conn, ackHdr[:], ack) {
+						ackBroken = true
+					}
+					unacked = 0
+					continue
+				}
+				l.handler(Frame{Channel: f.channel, Payload: f.payload})
+				unacked++
+				if unacked >= l.opts.AckEvery {
+					if !ackBroken && !l.writeAck(conn, ackHdr[:], ack) {
+						ackBroken = true
+					}
+					unacked = 0
+				}
+				continue
+			}
+		}
+		// v1 frame (or unsequenced v2): deliver without dedup/ack.
+		l.handler(Frame{Channel: f.channel, Payload: f.payload})
+	}
+}
+
+// writeAck sends an ack-only frame carrying the cumulative receive
+// sequence. Only the serve goroutine writes to the conn.
+func (l *ResilientListener) writeAck(conn net.Conn, hdr []byte, ack uint64) bool {
+	putHeaderV2(hdr[:headerV2Size], 0, nil, flagAckOnly, 0, ack)
+	if _, err := conn.Write(hdr[:headerV2Size]); err != nil {
+		return false
+	}
+	l.acksSent.Add(1)
+	return true
+}
+
+// Close stops accepting and closes every open connection.
+func (l *ResilientListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/backpressure"
 )
@@ -44,8 +45,12 @@ type TCPOptions struct {
 	// WriteBufferSize is the size of the socket-level write coalescing
 	// buffer. Zero defaults to 256 KiB.
 	WriteBufferSize int
+	// DialTimeout bounds how long Dial waits for the TCP connect to
+	// complete. Zero defaults to 5s; negative means no timeout.
+	DialTimeout time.Duration
 	// OnError receives asynchronous IO errors (after which the transport
-	// is closed). May be nil.
+	// is closed). A peer that vanishes mid-stream surfaces as
+	// ErrPeerClosed. May be nil.
 	OnError func(error)
 }
 
@@ -58,6 +63,9 @@ func (o *TCPOptions) defaults() {
 	}
 	if o.WriteBufferSize <= 0 {
 		o.WriteBufferSize = 256 << 10
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
 	}
 }
 
@@ -83,9 +91,15 @@ func NewTCP(conn net.Conn, handler Handler, opts TCPOptions) (*TCP, error) {
 	return t, nil
 }
 
-// Dial connects to a listening NEPTUNE resource at addr.
+// Dial connects to a listening NEPTUNE resource at addr, waiting at most
+// opts.DialTimeout (default 5s) for the connect to complete.
 func Dial(addr string, handler Handler, opts TCPOptions) (*TCP, error) {
-	conn, err := net.Dial("tcp", addr)
+	opts.defaults()
+	timeout := opts.DialTimeout
+	if timeout < 0 {
+		timeout = 0 // net.DialTimeout: zero means no timeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +272,12 @@ func (t *TCP) readLoop() {
 	}
 }
 
-// fail records the first IO error and tears the transport down.
+// fail records the first IO error and tears the transport down. A local
+// Close marks the transport closed before touching the socket, so any
+// error that reaches the non-closed path here is a genuine peer-side
+// event: EOF and "use of closed connection" mean the peer vanished, and
+// are surfaced as ErrPeerClosed rather than silently swallowed (a peer
+// crash must be distinguishable from a clean local shutdown).
 func (t *TCP) fail(err error) {
 	t.mu.Lock()
 	if t.closed {
@@ -266,14 +285,15 @@ func (t *TCP) fail(err error) {
 		return
 	}
 	t.closed = true
-	if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-		t.ioErr = err
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+		err = fmt.Errorf("%w: %v", ErrPeerClosed, err)
 	}
+	t.ioErr = err
 	cb := t.onError
 	t.mu.Unlock()
 	t.queue.Close()
 	t.conn.Close()
-	if cb != nil && err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+	if cb != nil && err != nil {
 		cb(err)
 	}
 }

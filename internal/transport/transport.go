@@ -13,14 +13,23 @@
 // Wire format (TCP): every frame is
 //
 //	magic   uint16  0x4E50 ("NP")
-//	version uint8   1
-//	flags   uint8   reserved
+//	version uint8   1 or 2
+//	flags   uint8   v1: reserved; v2: bit 0 = ack-only, bit 1 = hello
 //	channel uint32  link/stream multiplexing id
 //	length  uint32  payload byte count
-//	crc32   uint32  IEEE CRC of the payload
+//	crc32   uint32  IEEE CRC — v1: payload only; v2: all other header
+//	                bytes, then payload (header corruption must not pass)
+//	-- version 2 appends --
+//	seq     uint64  link delivery sequence (0 on ack-only/hello frames)
+//	ack     uint64  cumulative receive sequence piggybacked to the peer
 //	payload [length]byte
 //
 // all little-endian. The CRC guards the paper's no-corruption requirement.
+// Version 2 is spoken by the resilient endpoints (Resilient /
+// ResilientListener): seq numbers every data frame on a link so the
+// receiver can discard redelivered duplicates, and ack lets the sender
+// trim its replay journal. Version-2 endpoints still read version-1
+// frames (they are delivered without dedup or acking).
 package transport
 
 import (
@@ -28,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sync/atomic"
 )
 
@@ -86,13 +96,21 @@ func (c *statCounters) snapshot() Stats {
 
 // Framing constants.
 const (
-	frameMagic   = 0x4E50 // "NP"
-	frameVersion = 1
-	headerSize   = 2 + 1 + 1 + 4 + 4 + 4
+	frameMagic    = 0x4E50 // "NP"
+	frameVersion  = 1
+	frameVersion2 = 2
+	headerSize    = 2 + 1 + 1 + 4 + 4 + 4
+	headerV2Size  = headerSize + 8 + 8
 	// MaxFrameSize bounds a frame payload; larger frames indicate either
 	// misconfiguration or corruption. 16 MiB comfortably exceeds the
 	// paper's 1 MB default buffers.
 	MaxFrameSize = 16 << 20
+)
+
+// Version-2 frame flags.
+const (
+	flagAckOnly = 1 << 0 // carries only a cumulative ack, no payload
+	flagHello   = 1 << 1 // first frame on a resilient conn: payload = link id
 )
 
 // Framing errors.
@@ -103,6 +121,13 @@ var (
 	ErrFrameTooBig = errors.New("transport: frame exceeds size limit")
 	ErrChecksum    = errors.New("transport: frame checksum mismatch")
 	ErrShortHeader = errors.New("transport: short frame header")
+	// ErrPeerClosed reports that the remote end closed or reset the
+	// connection: distinguishable from a local Close, which never
+	// surfaces an error.
+	ErrPeerClosed = errors.New("transport: peer closed connection")
+	// ErrGaveUp reports that a resilient transport exhausted its
+	// reconnect budget (max attempts or deadline).
+	ErrGaveUp = errors.New("transport: reconnect gave up")
 )
 
 // putHeader writes the frame header for payload into hdr (headerSize bytes).
@@ -134,4 +159,99 @@ func parseHeader(hdr []byte) (channel uint32, length int, crc uint32, err error)
 	}
 	crc = binary.LittleEndian.Uint32(hdr[12:])
 	return channel, int(l), crc, nil
+}
+
+// putHeaderV2 writes a version-2 frame header (headerV2Size bytes): the v1
+// layout followed by the link sequence and the piggybacked cumulative ack.
+// Unlike v1, the v2 CRC covers the header fields as well as the payload:
+// a flipped bit in seq would otherwise pass validation and silently
+// poison the receiver's dedup state (frames discarded as "duplicates"
+// and wrongly acked — undetectable loss).
+func putHeaderV2(hdr []byte, channel uint32, payload []byte, flags uint8, seq, ack uint64) {
+	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = frameVersion2
+	hdr[3] = flags
+	binary.LittleEndian.PutUint32(hdr[4:], channel)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[16:], seq)
+	binary.LittleEndian.PutUint64(hdr[24:], ack)
+	binary.LittleEndian.PutUint32(hdr[12:], crcV2(hdr, payload))
+}
+
+// crcV2 checksums a v2 frame: every header byte except the CRC field
+// itself, then the payload.
+func crcV2(hdr []byte, payload []byte) uint32 {
+	c := crc32.Update(0, crc32.IEEETable, hdr[0:12])
+	c = crc32.Update(c, crc32.IEEETable, hdr[16:headerV2Size])
+	return crc32.Update(c, crc32.IEEETable, payload)
+}
+
+// wireFrame is one decoded frame of either wire version. The payload
+// aliases the reader's scratch buffer and is only valid until the next
+// read.
+type wireFrame struct {
+	version uint8
+	flags   uint8
+	channel uint32
+	seq     uint64
+	ack     uint64
+	payload []byte
+}
+
+// frameReader decodes version-1 and version-2 frames from a byte stream,
+// reusing its scratch buffers across frames.
+type frameReader struct {
+	r       io.Reader
+	hdr     [headerV2Size]byte
+	payload []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader { return &frameReader{r: r} }
+
+// next reads one frame, validating magic, version, size, and CRC.
+func (fr *frameReader) next() (wireFrame, error) {
+	var f wireFrame
+	if _, err := io.ReadFull(fr.r, fr.hdr[:headerSize]); err != nil {
+		return f, err
+	}
+	if binary.LittleEndian.Uint16(fr.hdr[0:]) != frameMagic {
+		return f, ErrBadMagic
+	}
+	f.version = fr.hdr[2]
+	f.flags = fr.hdr[3]
+	switch f.version {
+	case frameVersion:
+	case frameVersion2:
+		if _, err := io.ReadFull(fr.r, fr.hdr[headerSize:]); err != nil {
+			return f, err
+		}
+		f.seq = binary.LittleEndian.Uint64(fr.hdr[16:])
+		f.ack = binary.LittleEndian.Uint64(fr.hdr[24:])
+	default:
+		return f, fmt.Errorf("%w: %d", ErrBadVersion, f.version)
+	}
+	f.channel = binary.LittleEndian.Uint32(fr.hdr[4:])
+	length := binary.LittleEndian.Uint32(fr.hdr[8:])
+	if length > MaxFrameSize {
+		return f, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, length)
+	}
+	crc := binary.LittleEndian.Uint32(fr.hdr[12:])
+	if cap(fr.payload) < int(length) {
+		fr.payload = make([]byte, length)
+	}
+	fr.payload = fr.payload[:length]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
+		return f, err
+	}
+	var want uint32
+	if f.version == frameVersion2 {
+		want = crcV2(fr.hdr[:], fr.payload)
+	} else {
+		want = crc32.ChecksumIEEE(fr.payload)
+	}
+	if want != crc {
+		return f, fmt.Errorf("%w on channel %d", ErrChecksum, f.channel)
+	}
+	f.payload = fr.payload
+	return f, nil
 }
