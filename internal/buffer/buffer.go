@@ -86,21 +86,35 @@ func (s Stats) MeanBatchPackets() float64 {
 // the capacity, or until maxDelay elapses from the first packet of the
 // current batch, whichever comes first. Both paths invoke the Flusher with
 // the batch. CapacityBuffer is safe for concurrent Add calls; flushes are
-// serialized.
+// serialized and delivered in admission order, even when a timer fire and
+// a capacity flush race.
 type CapacityBuffer struct {
 	capacity int
 	maxDelay time.Duration
 	flush    Flusher
 
-	mu       sync.Mutex
-	pending  []*packet.Packet
-	spare    []*packet.Packet // double buffer handed to the flusher
-	bytes    int
-	timer    *time.Timer
-	epoch    uint64 // invalidates in-flight timers after a flush
-	closed   bool
-	flushing sync.Mutex // serializes flusher invocations
-	stats    Stats
+	mu      sync.Mutex
+	pending []*packet.Packet
+	spare   []*packet.Packet // double buffer handed to the flusher
+	bytes   int
+	// One timer is allocated on first use and reused (Stop/Reset) across
+	// batches; timerEpoch records the batch it was armed for, so a stale
+	// callback that lost the race to a capacity flush no-ops.
+	timer      *time.Timer
+	timerEpoch uint64
+	epoch      uint64 // invalidates in-flight timers after a flush
+	closed     bool
+	// Flusher invocations are serialized in *take order*: each batch gets a
+	// ticket while b.mu is held, and deliver blocks until its ticket is up.
+	// A plain mutex is not enough — between taking a batch and locking it,
+	// another goroutine (timer fire vs. capacity flush) could take the next
+	// batch and win the lock, reordering frames on the wire; a receiver
+	// that dedups by sequence would then drop the overtaken batch.
+	flushMu     sync.Mutex
+	flushCond   *sync.Cond
+	deliverNext uint64 // ticket currently allowed to invoke the flusher
+	takeTickets uint64 // next ticket to hand out (under b.mu)
+	stats       Stats
 }
 
 // New creates a buffer. capacity is the flush threshold in bytes
@@ -113,11 +127,13 @@ func New(capacity int, maxDelay time.Duration, flush Flusher) *CapacityBuffer {
 	if flush == nil {
 		panic("buffer: nil Flusher")
 	}
-	return &CapacityBuffer{
+	b := &CapacityBuffer{
 		capacity: capacity,
 		maxDelay: maxDelay,
 		flush:    flush,
 	}
+	b.flushCond = sync.NewCond(&b.flushMu)
+	return b
 }
 
 // Add appends p to the current batch, flushing synchronously (on the
@@ -135,62 +151,120 @@ func (b *CapacityBuffer) Add(p *packet.Packet) error {
 		b.armTimerLocked()
 	}
 	if b.bytes >= b.capacity {
-		batch, bytes := b.takeLocked()
+		batch, bytes, ticket := b.takeLocked()
 		b.mu.Unlock()
-		b.deliver(batch, bytes, FlushCapacity)
+		b.deliver(batch, bytes, ticket, FlushCapacity)
 		return nil
 	}
 	b.mu.Unlock()
 	return nil
 }
 
-// armTimerLocked starts (or restarts) the flush timer for the current
-// batch. Caller holds b.mu.
-func (b *CapacityBuffer) armTimerLocked() {
-	epoch := b.epoch
-	if b.timer != nil {
-		b.timer.Stop()
-		b.stats.TimerResets++
+// AddBatch appends every packet of ps under one lock acquisition,
+// flushing synchronously each time the byte threshold is crossed —
+// exactly the batches a loop of Add calls would have produced, with the
+// same timer arming, but without taking the lock per packet. It returns
+// the number of packets admitted; the count is short of len(ps) only on
+// error (the buffer was closed), in which case the remainder ps[n:] still
+// belongs to the caller.
+func (b *CapacityBuffer) AddBatch(ps []*packet.Packet) (int, error) {
+	admitted := 0
+	b.mu.Lock()
+	for {
+		if b.closed {
+			b.mu.Unlock()
+			return admitted, ErrClosed
+		}
+		// Admit packets until the threshold trips or ps runs out.
+		for admitted < len(ps) && b.bytes < b.capacity {
+			p := ps[admitted]
+			admitted++
+			b.pending = append(b.pending, p)
+			b.bytes += p.WireSize()
+			if len(b.pending) == 1 && b.maxDelay > 0 {
+				b.armTimerLocked()
+			}
+		}
+		if b.bytes < b.capacity {
+			b.mu.Unlock()
+			return admitted, nil
+		}
+		batch, bytes, ticket := b.takeLocked()
+		b.mu.Unlock()
+		b.deliver(batch, bytes, ticket, FlushCapacity)
+		if admitted == len(ps) {
+			return admitted, nil
+		}
+		b.mu.Lock()
 	}
-	b.timer = time.AfterFunc(b.maxDelay, func() {
-		b.timerFire(epoch)
-	})
 }
 
-func (b *CapacityBuffer) timerFire(epoch uint64) {
+// armTimerLocked arms the flush timer for the current batch, reusing one
+// underlying timer across batches instead of allocating per batch. Caller
+// holds b.mu.
+//
+// A callback already fired but not yet holding b.mu when the timer is
+// rearmed can observe the new epoch and flush the new batch early — a
+// harmless tightening of the latency bound, never a missed flush (the
+// rearmed timer fires again and finds the batch gone).
+func (b *CapacityBuffer) armTimerLocked() {
+	b.timerEpoch = b.epoch
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.maxDelay, b.timerFire)
+		return
+	}
+	if b.timer.Stop() {
+		b.stats.TimerResets++
+	}
+	b.timer.Reset(b.maxDelay)
+}
+
+func (b *CapacityBuffer) timerFire() {
 	b.mu.Lock()
-	if b.closed || b.epoch != epoch || len(b.pending) == 0 {
+	if b.closed || b.epoch != b.timerEpoch || len(b.pending) == 0 {
 		b.mu.Unlock()
 		return
 	}
-	batch, bytes := b.takeLocked()
+	batch, bytes, ticket := b.takeLocked()
 	b.mu.Unlock()
-	b.deliver(batch, bytes, FlushTimer)
+	b.deliver(batch, bytes, ticket, FlushTimer)
 }
 
-// takeLocked swaps out the pending batch. Caller holds b.mu.
-func (b *CapacityBuffer) takeLocked() ([]*packet.Packet, int) {
+// takeLocked swaps out the pending batch and assigns its delivery ticket.
+// Caller holds b.mu and must pass the ticket to deliver (even if it decides
+// not to flush) or later tickets stall forever.
+func (b *CapacityBuffer) takeLocked() ([]*packet.Packet, int, uint64) {
 	batch := b.pending
 	bytes := b.bytes
 	b.pending = b.spare[:0]
 	b.spare = nil
 	b.bytes = 0
 	b.epoch++
+	ticket := b.takeTickets
+	b.takeTickets++
+	// Stop but keep the timer: the next batch rearms it with Reset.
 	if b.timer != nil {
 		b.timer.Stop()
-		b.timer = nil
 	}
-	return batch, bytes
+	return batch, bytes, ticket
 }
 
-// deliver runs the flusher outside b.mu, then recycles the batch slice.
-func (b *CapacityBuffer) deliver(batch []*packet.Packet, bytes int, reason FlushReason) {
+// deliver runs the flusher outside b.mu, in ticket (= take) order, then
+// recycles the batch slice.
+func (b *CapacityBuffer) deliver(batch []*packet.Packet, bytes int, ticket uint64, reason FlushReason) {
+	b.flushMu.Lock()
+	for ticket != b.deliverNext {
+		b.flushCond.Wait()
+	}
+	if len(batch) > 0 {
+		b.flush(batch, bytes, reason)
+	}
+	b.deliverNext++
+	b.flushCond.Broadcast()
+	b.flushMu.Unlock()
 	if len(batch) == 0 {
 		return
 	}
-	b.flushing.Lock()
-	b.flush(batch, bytes, reason)
-	b.flushing.Unlock()
 
 	b.mu.Lock()
 	b.stats.Packets += uint64(len(batch))
@@ -228,9 +302,9 @@ func (b *CapacityBuffer) Flush() {
 		b.mu.Unlock()
 		return
 	}
-	batch, bytes := b.takeLocked()
+	batch, bytes, ticket := b.takeLocked()
 	b.mu.Unlock()
-	b.deliver(batch, bytes, FlushManual)
+	b.deliver(batch, bytes, ticket, FlushManual)
 }
 
 // Close flushes any pending packets with FlushClose and rejects further
@@ -244,16 +318,19 @@ func (b *CapacityBuffer) Close() {
 	b.closed = true
 	var batch []*packet.Packet
 	var bytes int
+	var ticket uint64
+	took := false
 	if len(b.pending) > 0 {
-		batch, bytes = b.takeLocked()
+		batch, bytes, ticket = b.takeLocked()
+		took = true
 	} else if b.timer != nil {
 		b.timer.Stop()
 		b.timer = nil
 	}
 	b.mu.Unlock()
-	if batch != nil {
+	if took {
 		// deliver checks stats under mu; closed buffers still record.
-		b.deliver(batch, bytes, FlushClose)
+		b.deliver(batch, bytes, ticket, FlushClose)
 	}
 }
 
@@ -262,6 +339,24 @@ func (b *CapacityBuffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.pending)
+}
+
+// Settled reports whether the buffer is fully quiescent: nothing pending
+// AND no taken batch still inside a flusher invocation. A drain that only
+// checks Len can race a timer flush — the batch is out of pending but not
+// yet delivered, invisible to both the buffer and the downstream side.
+func (b *CapacityBuffer) Settled() bool {
+	b.mu.Lock()
+	pending := len(b.pending)
+	taken := b.takeTickets
+	b.mu.Unlock()
+	if pending > 0 {
+		return false
+	}
+	b.flushMu.Lock()
+	delivered := b.deliverNext
+	b.flushMu.Unlock()
+	return delivered == taken
 }
 
 // PendingBytes reports the wire size of the pending batch.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compression"
@@ -19,19 +20,41 @@ import (
 // dispatcher for traffic arriving from remote engines. One OS process
 // typically runs one engine; multi-node deployments connect engines with
 // the transport package (or the cluster simulator models them).
+//
+// The dispatch path is lock-free: channel routing is a copy-on-write map
+// (registration is setup-time, dispatch is per-frame), lifecycle is an
+// atomic flag, the clock is an atomic pointer, and the hot counters are
+// pre-resolved once instead of looked up by name per frame. e.mu
+// serializes only setup and shutdown.
 type Engine struct {
-	name    string
-	cfg     Config
-	res     *granules.Resource
-	pktPool *pool.PacketPool
-	bufPool *pool.BufferPool
-	metrics *metrics.Registry
-	nowFn   func() int64
+	name     string
+	cfg      Config
+	res      *granules.Resource
+	pktPool  *pool.PacketPool
+	bufPool  *pool.BufferPool
+	metrics  *metrics.Registry
+	nowFn    atomic.Pointer[func() int64]
+	allocPkt func() *packet.Packet // pktPool.Get bound once, not per frame
+	// pktPool.GetBatch bound once: the decode path takes a whole frame's
+	// packets under one pool lock instead of one lock op per packet.
+	allocBatch func(dst []*packet.Packet, n int) []*packet.Packet
 
 	mu        sync.Mutex
 	instances map[instKey]*instance
-	channels  map[uint32]*instance // inbound channel -> destination instance
-	closed    bool
+	channels  atomic.Pointer[map[uint32]*instance] // COW: inbound channel -> instance
+	closed    atomic.Bool
+
+	// Hot-path counters, resolved once from the registry at construction.
+	// They stay registered under their usual names (launcher drain checks
+	// and tests read them by name); only the per-event lookup goes away.
+	framesIn        *metrics.Counter
+	dispatchErrs    *metrics.Counter
+	dispatchUnknown *metrics.Counter
+	sendErrs        *metrics.Counter
+	bytesOut        *metrics.Counter
+	batchesOut      *metrics.Counter
+	dropsOnShutdown *metrics.Counter
+	dupDropped      *metrics.Counter
 }
 
 type instKey struct {
@@ -59,10 +82,22 @@ func NewEngine(name string, cfg Config) (*Engine, error) {
 		pktPool:   pool.NewPacketPool(cfg.PoolCapacity, cfg.Pooling),
 		bufPool:   pool.NewBufferPool(256, 4<<20, cfg.Pooling),
 		metrics:   metrics.NewRegistry(nil),
-		nowFn:     func() int64 { return time.Now().UnixNano() },
 		instances: make(map[instKey]*instance),
-		channels:  make(map[uint32]*instance),
 	}
+	e.allocPkt = e.pktPool.Get
+	e.allocBatch = e.pktPool.GetBatch
+	wallClock := func() int64 { return time.Now().UnixNano() }
+	e.nowFn.Store(&wallClock)
+	empty := make(map[uint32]*instance)
+	e.channels.Store(&empty)
+	e.framesIn = e.metrics.Counter("frames_in")
+	e.dispatchErrs = e.metrics.Counter("dispatch_errors")
+	e.dispatchUnknown = e.metrics.Counter("dispatch_unknown_channel")
+	e.sendErrs = e.metrics.Counter("send_errors")
+	e.bytesOut = e.metrics.Counter("bytes_out")
+	e.batchesOut = e.metrics.Counter("batches_out")
+	e.dropsOnShutdown = e.metrics.Counter("drops_on_shutdown")
+	e.dupDropped = e.metrics.Counter("packets_dup_dropped")
 	return e, nil
 }
 
@@ -83,10 +118,11 @@ func (e *Engine) Resource() *granules.Resource { return e.res }
 func (e *Engine) PacketPoolStats() pool.Stats { return e.pktPool.Stats() }
 
 // now returns the engine clock in nanoseconds.
-func (e *Engine) now() int64 { return e.nowFn() }
+func (e *Engine) now() int64 { return (*e.nowFn.Load())() }
 
-// SetClock overrides the engine clock (tests and simulations).
-func (e *Engine) SetClock(fn func() int64) { e.nowFn = fn }
+// SetClock overrides the engine clock (tests and simulations). Safe to
+// call while dispatch and executions are in flight.
+func (e *Engine) SetClock(fn func() int64) { e.nowFn.Store(&fn) }
 
 // Dispatch delivers an inbound transport frame to the destination
 // instance's dataset. It is the Handler wired into transports whose remote
@@ -94,35 +130,40 @@ func (e *Engine) SetClock(fn func() int64) { e.nowFn = fn }
 // inbound buffer is above its high watermark — this is the stall that TCP
 // flow control turns into sender-side backpressure.
 func (e *Engine) Dispatch(f transport.Frame) {
-	e.mu.Lock()
-	inst, ok := e.channels[f.Channel]
-	closed := e.closed
-	e.mu.Unlock()
-	if closed {
+	if e.closed.Load() {
 		return
 	}
+	inst, ok := (*e.channels.Load())[f.Channel]
 	if !ok {
-		e.metrics.Counter("dispatch_unknown_channel").Inc()
-		e.metrics.Counter("frames_in").Inc()
+		e.dispatchUnknown.Inc()
+		e.framesIn.Inc()
 		return
 	}
 	if err := inst.ingestFrame(f.Payload); err != nil {
-		e.metrics.Counter("dispatch_errors").Inc()
+		e.dispatchErrs.Inc()
 	}
 	// frames_in is incremented after ingest so Drain's sent==received
 	// check only passes once the frame's packets sit in a dataset (or
 	// were accounted as errors) rather than in flight.
-	e.metrics.Counter("frames_in").Inc()
+	e.framesIn.Inc()
 }
 
-// registerChannel binds an inbound channel id to an instance.
+// registerChannel binds an inbound channel id to an instance. The routing
+// map is copy-on-write: writers clone under e.mu, concurrent Dispatch
+// calls keep reading the old snapshot lock-free.
 func (e *Engine) registerChannel(ch uint32, inst *instance) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, dup := e.channels[ch]; dup {
+	old := *e.channels.Load()
+	if _, dup := old[ch]; dup {
 		return fmt.Errorf("core: channel %d already registered", ch)
 	}
-	e.channels[ch] = inst
+	next := make(map[uint32]*instance, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[ch] = inst
+	e.channels.Store(&next)
 	return nil
 }
 
@@ -132,7 +173,7 @@ func (e *Engine) registerChannel(ch uint32, inst *instance) error {
 func (e *Engine) addInstance(inst *instance) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return ErrEngineClosed
 	}
 	k := instKey{op: inst.op.Name, idx: inst.idx}
@@ -164,11 +205,10 @@ func (e *Engine) quiesce(timeout time.Duration) bool {
 // close terminates the engine's resource and instances.
 func (e *Engine) close() error {
 	e.mu.Lock()
-	if e.closed {
+	if !e.closed.CompareAndSwap(false, true) {
 		e.mu.Unlock()
 		return nil
 	}
-	e.closed = true
 	insts := make([]*instance, 0, len(e.instances))
 	for _, inst := range e.instances {
 		insts = append(insts, inst)
@@ -193,9 +233,7 @@ func (e *Engine) newSelective() *compression.Selective {
 	return &compression.Selective{Threshold: e.cfg.CompressionThreshold}
 }
 
-// recycleBatch returns a batch of packets to the pool.
+// recycleBatch returns a batch of packets to the pool under one lock.
 func (e *Engine) recycleBatch(ps []*packet.Packet) {
-	for _, p := range ps {
-		e.pktPool.Put(p)
-	}
+	e.pktPool.PutBatch(ps)
 }

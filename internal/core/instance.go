@@ -34,6 +34,13 @@ type destination struct {
 	buf      *buffer.CapacityBuffer
 	sender   *instance
 
+	// Staged packets accumulated during one batched execution; flushStage
+	// hands the whole run to buf.AddBatch so the buffer lock is taken once
+	// per batch instead of once per packet (touched only by the sender's
+	// serialized executions).
+	stage      []*packet.Packet
+	stageBytes int
+
 	seq      uint64 // next sequence number (sender executions are serialized)
 	enc      packet.Encoder
 	sel      *compression.Selective
@@ -54,6 +61,7 @@ type instance struct {
 	engine *Engine
 	op     graph.OperatorSpec
 	idx    int
+	id     string // cached "op[idx]" — formatted once, read on every execution
 
 	source Source
 	proc   Processor
@@ -67,6 +75,18 @@ type instance struct {
 	// Per-message scheduling cursor (Batching = false).
 	cur    *inBatch
 	curPos int
+
+	// Staged-emit state (Batching = true): while staging is set, emitOn
+	// parks packets on each destination's stage slice instead of taking
+	// the buffer lock per packet; flushStage moves each run into the
+	// buffer in one AddBatch call. Touched only by the instance's
+	// serialized executions.
+	staging     bool
+	stagedDests []*destination
+	// recycle collects non-forwarded packets during a staged execution so
+	// the whole batch returns to the pool in one PutBatch instead of one
+	// pool lock op per packet.
+	recycle []*packet.Packet
 
 	// lastTick is the engine-clock time of the last TickingProcessor
 	// callback (accessed only from serialized executions).
@@ -124,9 +144,7 @@ func (e *errOnce) get() error {
 }
 
 // taskID names the instance's Granules task.
-func (inst *instance) taskID() string {
-	return fmt.Sprintf("%s[%d]", inst.op.Name, inst.idx)
-}
+func (inst *instance) taskID() string { return inst.id }
 
 // newInstance builds an instance shell; link wiring attaches outputs.
 func newInstance(e *Engine, op graph.OperatorSpec, idx int, src Source, proc Processor) (*instance, error) {
@@ -134,6 +152,7 @@ func newInstance(e *Engine, op graph.OperatorSpec, idx int, src Source, proc Pro
 		engine:    e,
 		op:        op,
 		idx:       idx,
+		id:        fmt.Sprintf("%s[%d]", op.Name, idx),
 		source:    src,
 		proc:      proc,
 		outByName: make(map[string]*outLink),
@@ -206,9 +225,15 @@ func (inst *instance) Execute(rc *granules.RunContext) error {
 			return nil
 		}
 		inst.batches.Inc()
+		// Stage emissions for the whole batch: emitOn parks packets on
+		// each destination and flushStage moves every run into its buffer
+		// with one lock acquisition, instead of locking per packet.
+		inst.staging = true
 		for _, p := range b.packets {
 			inst.processOne(p)
 		}
+		inst.staging = false
+		inst.flushStage()
 		if inst.dataset.Len() > 0 {
 			_ = rc.Resource().NotifyData(inst.taskID())
 		}
@@ -273,7 +298,11 @@ func (inst *instance) processOne(p *packet.Packet) {
 		inst.latency.Record(inst.engine.now() - p.EmitNanos)
 	}
 	if !inst.ctx.forwarded {
-		inst.engine.pktPool.Put(p)
+		if inst.staging {
+			inst.recycle = append(inst.recycle, p)
+		} else {
+			inst.engine.pktPool.Put(p)
+		}
 	}
 	inst.ctx.current = nil
 }
@@ -331,6 +360,14 @@ func (inst *instance) emitOn(c *OpContext, l *outLink, p *packet.Packet) error {
 		out.StreamID = d.streamID
 		out.Seq = d.seq
 		d.seq++
+		if inst.staging {
+			if len(d.stage) == 0 {
+				inst.stagedDests = append(inst.stagedDests, d)
+			}
+			d.stage = append(d.stage, out)
+			inst.emitted.Inc()
+			continue
+		}
 		if err := d.buf.Add(out); err != nil {
 			inst.engine.pktPool.Put(out)
 			return fmt.Errorf("core: emit on %q: %w", l.spec.Name, err)
@@ -338,6 +375,33 @@ func (inst *instance) emitOn(c *OpContext, l *outLink, p *packet.Packet) error {
 		inst.emitted.Inc()
 	}
 	return nil
+}
+
+// flushStage hands every staged run to its destination's buffer, one
+// AddBatch per destination touched during the execution. A buffer closed
+// mid-run (job shutdown) surfaces like a failed Add: the unadmitted
+// packets are recycled and the error is recorded.
+func (inst *instance) flushStage() {
+	for _, d := range inst.stagedDests {
+		n, err := d.buf.AddBatch(d.stage)
+		if err != nil {
+			inst.engine.pktPool.PutBatch(d.stage[n:])
+			inst.procErrs.Inc()
+			inst.verifyErr.set(fmt.Errorf("core: staged emit from %s: %w", inst.taskID(), err))
+		}
+		for i := range d.stage {
+			d.stage[i] = nil
+		}
+		d.stage = d.stage[:0]
+	}
+	inst.stagedDests = inst.stagedDests[:0]
+	if len(inst.recycle) > 0 {
+		inst.engine.pktPool.PutBatch(inst.recycle)
+		for i := range inst.recycle {
+			inst.recycle[i] = nil
+		}
+		inst.recycle = inst.recycle[:0]
+	}
 }
 
 // flush delivers one flushed batch for a destination: zero-copy handoff to
@@ -351,7 +415,7 @@ func (d *destination) flush(batch []*packet.Packet, bytes int, _ buffer.FlushRea
 		if err := d.local.dataset.Put(&inBatch{packets: pkts, bytes: bytes}, int64(bytes)); err != nil {
 			// Receiver shut down: recycle and drop (job is ending).
 			e.recycleBatch(pkts)
-			e.metrics.Counter("drops_on_shutdown").Add(uint64(len(pkts)))
+			e.dropsOnShutdown.Add(uint64(len(pkts)))
 		}
 		return
 	}
@@ -362,10 +426,10 @@ func (d *destination) flush(batch []*packet.Packet, bytes int, _ buffer.FlushRea
 		frame = d.frameBuf
 	}
 	if err := d.remote.Send(d.channel, frame); err != nil {
-		e.metrics.Counter("send_errors").Inc()
+		e.sendErrs.Inc()
 	} else {
-		e.metrics.Counter("bytes_out").Add(uint64(len(frame)))
-		e.metrics.Counter("batches_out").Inc()
+		e.bytesOut.Add(uint64(len(frame)))
+		e.batchesOut.Inc()
 	}
 	e.recycleBatch(batch)
 }
@@ -387,10 +451,7 @@ func (inst *instance) ingestFrame(frame []byte) error {
 		}
 		data = decBuf
 	}
-	var pkts []*packet.Packet
-	_, err := inst.dec.DecodeBatch(data,
-		func() *packet.Packet { return e.pktPool.Get() },
-		func(p *packet.Packet) error { pkts = append(pkts, p); return nil })
+	pkts, _, err := inst.dec.DecodeBatchAppend(data, e.allocBatch, nil)
 	if decBuf != nil {
 		e.bufPool.Put(decBuf)
 	}
@@ -433,7 +494,7 @@ func (inst *instance) dedupPackets(pkts []*packet.Packet) []*packet.Packet {
 	}
 	inst.dedupMu.Unlock()
 	if dropped > 0 {
-		e.metrics.Counter("packets_dup_dropped").Add(dropped)
+		e.dupDropped.Add(dropped)
 	}
 	return kept
 }
@@ -499,11 +560,13 @@ func (inst *instance) closeOuts() {
 	}
 }
 
-// outsEmpty reports whether every outbound buffer is drained.
+// outsEmpty reports whether every outbound buffer is drained: nothing
+// pending and no taken batch still being delivered (a timer flush in
+// flight is invisible to Len alone).
 func (inst *instance) outsEmpty() bool {
 	for _, l := range inst.outs {
 		for _, d := range l.dests {
-			if d.buf.Len() > 0 {
+			if !d.buf.Settled() {
 				return false
 			}
 		}

@@ -221,11 +221,12 @@ type Job struct {
 	sources map[string]SourceFactory
 	procs   map[string]ProcessorFactory
 
-	engines   []*Engine
-	bridger   Bridger
-	instances []*instance
-	byOp      map[string][]*instance
-	order     []string // topological operator order for draining
+	engines    []*Engine
+	bridger    Bridger
+	instances  []*instance
+	byOp       map[string][]*instance
+	order      []string // topological operator order for draining
+	transports []transport.Transport
 
 	nextChannel uint32
 
@@ -381,6 +382,7 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 							return err
 						}
 						transports[key] = tr
+						j.transports = append(j.transports, tr)
 					}
 					d.remote = tr
 					d.sel = sender.engine.newSelective()
@@ -480,7 +482,17 @@ func (j *Job) WaitSources(timeout time.Duration) bool {
 // emitted packet is processed before the job reports completion.
 func (j *Job) Drain(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	// Frames in kernel socket buffers are invisible to every sender- and
+	// receiver-side check below: the sender has flushed them (InFlight is
+	// zero) but the receiver's read loop has not dispatched them yet. A
+	// single quiet pass can complete in microseconds when all engines are
+	// idle, well inside that window — so Drain only returns after two
+	// consecutive quiet passes, separated by a real sleep, observe the same
+	// received-frame count.
+	quietRcv := uint64(0)
+	havePass := false
 	for {
+		rcvBefore := j.receivedFrames()
 		for _, opName := range j.order {
 			for _, inst := range j.byOp[opName] {
 				inst.flushOuts()
@@ -492,6 +504,7 @@ func (j *Job) Drain(timeout time.Duration) error {
 				quiet = false
 			}
 		}
+		pass := false
 		if quiet && j.transportsSettled() {
 			drained := true
 			for _, inst := range j.instances {
@@ -500,15 +513,31 @@ func (j *Job) Drain(timeout time.Duration) error {
 					break
 				}
 			}
-			if drained && j.transportsSettled() {
+			pass = drained && j.transportsSettled() && j.receivedFrames() == rcvBefore
+		}
+		if pass {
+			if havePass && quietRcv == rcvBefore {
 				return nil
 			}
+			havePass = true
+			quietRcv = rcvBefore
+		} else {
+			havePass = false
 		}
 		if time.Now().After(deadline) {
 			return ErrDrainTimeout
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
 	}
+}
+
+// receivedFrames sums dispatched frames across the job's engines.
+func (j *Job) receivedFrames() uint64 {
+	var received uint64
+	for _, e := range j.engines {
+		received += e.metrics.Counter("frames_in").Value()
+	}
+	return received
 }
 
 // transportsSettled reports whether every remotely-sent frame has been
@@ -517,6 +546,15 @@ func (j *Job) Drain(timeout time.Duration) error {
 // emptiness checks, so Drain must also wait for the sent and received
 // frame counts to agree.
 func (j *Job) transportsSettled() bool {
+	// Transports that can report their own in-flight count are asked
+	// directly — the counter comparison below tolerates received > sent
+	// (injected or duplicated traffic), and that tolerance would otherwise
+	// let one out-of-job frame mask one genuinely in-flight frame.
+	for _, tr := range j.transports {
+		if f, ok := tr.(interface{ InFlight() int }); ok && f.InFlight() > 0 {
+			return false
+		}
+	}
 	var sent, received uint64
 	for _, e := range j.engines {
 		sent += e.metrics.Counter("batches_out").Value()

@@ -1,0 +1,123 @@
+package granules
+
+// Scheduler benchmarks. BenchmarkSchedulerContention is the headline
+// contention sweep: many producer goroutines spray data notifications at a
+// resource while its worker pool drains the resulting executions, with the
+// worker count swept from 1 to NumCPU (plus small fixed points so the
+// sweep is meaningful on small machines). The per-notification cost — task
+// lookup, strategy consult, schedule transition, run-queue submit — is
+// exactly the path the paper's two-tier thread model keeps off the data
+// plane, so ns/op here is the scheduler's contention profile.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchSink is a minimal task: Execute does a fixed tiny amount of work so
+// the benchmark measures scheduling overhead, not task bodies.
+type benchSink struct {
+	id   string
+	hits atomic.Uint64
+}
+
+func (t *benchSink) ID() string                { return t.id }
+func (t *benchSink) Init(*RunContext) error    { return nil }
+func (t *benchSink) Execute(*RunContext) error { t.hits.Add(1); return nil }
+func (t *benchSink) Close() error              { return nil }
+
+// workerSweep returns the sorted, deduplicated worker counts to bench:
+// 1, 2, 4, ... capped at NumCPU, with NumCPU itself always included.
+func workerSweep() []int {
+	cpus := runtime.NumCPU()
+	set := map[int]bool{1: true, cpus: true}
+	for w := 2; w < cpus; w *= 2 {
+		set[w] = true
+	}
+	sweep := make([]int, 0, len(set))
+	for w := range set {
+		sweep = append(sweep, w)
+	}
+	sort.Ints(sweep)
+	return sweep
+}
+
+// BenchmarkSchedulerContention measures concurrent NotifyData throughput
+// against a deployed resource across a worker-count sweep. Each op is one
+// data notification from one of several concurrent producers; executions
+// coalesce per task, so the run queue stays bounded and the measured cost
+// is the notify/schedule/submit path under contention.
+func BenchmarkSchedulerContention(b *testing.B) {
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := NewResource("bench", workers)
+			nTasks := 4 * workers
+			tasks := make([]*benchSink, nTasks)
+			for i := range tasks {
+				tasks[i] = &benchSink{id: fmt.Sprintf("t%d", i)}
+				if err := r.Register(tasks[i], DataDriven{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := r.Deploy(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			b.SetParallelism(4) // producers per GOMAXPROCS: IO goroutines outnumber cores
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if err := r.NotifyData(tasks[i%nTasks].id); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			if !r.Quiesce(5 * time.Second) {
+				b.Fatal("resource did not quiesce")
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			var execs uint64
+			for _, t := range tasks {
+				execs += t.hits.Load()
+			}
+			b.ReportMetric(float64(execs)/elapsed.Seconds(), "execs/s")
+			if err := r.Terminate(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSubmitLatency measures the uncontended single-producer path:
+// one task, one worker, notify-then-quiesce pairs. It isolates the fixed
+// cost of a schedule round trip (notify -> queue -> execute -> idle).
+func BenchmarkSubmitLatency(b *testing.B) {
+	r := NewResource("bench", 1)
+	task := &benchSink{id: "t"}
+	if err := r.Register(task, DataDriven{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Deploy(); err != nil {
+		b.Fatal(err)
+	}
+	defer r.Terminate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.NotifyData("t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !r.Quiesce(5 * time.Second) {
+		b.Fatal("resource did not quiesce")
+	}
+}

@@ -130,39 +130,65 @@ var (
 	ErrTerminated     = errors.New("granules: resource terminated")
 )
 
-// taskState tracks per-task scheduling so one task never executes on two
-// workers concurrently: a notification arriving mid-execution marks the
-// task pending and it is rescheduled as soon as the execution finishes.
-type taskState struct {
-	task     Task
-	strategy Strategy
+// Per-task scheduling states. The state machine replaces the old
+// mutex-guarded running/pending pair so every scheduling transition is one
+// atomic CAS and the hot path never touches a lock:
+//
+//	idle ──schedule──▶ queued ──worker pop──▶ running ──done──▶ idle
+//	                     │                      │  ▲
+//	             schedule│              schedule│  │resubmit (preemption)
+//	                     ▼                      ▼  │
+//	              queuedPending ──pop──▶ runningPending
+//
+// A notification while queued or running marks the task pending: after the
+// execution the worker resubmits it once, so a burst coalesces into at
+// most one follow-up run (the old mutex-guarded running/pending semantics,
+// preserved exactly). The invariant: a task has at most one entry across
+// all run queues, exactly while state is queued or queuedPending.
+const (
+	taskIdle uint32 = iota
+	taskQueued
+	taskQueuedPending
+	taskRunning
+	taskRunningPending
+)
 
-	mu            sync.Mutex
-	strategyLive  Strategy // may be swapped at runtime
-	running       bool
-	pending       bool
-	notifications uint64
+// taskState tracks per-task scheduling so one task never executes on two
+// workers concurrently. Hot fields (state, notifications, strategy) are
+// atomic; ts.mu guards only the cold fields (last error, periodic ticker).
+type taskState struct {
+	task Task
+	rc   RunContext // reused across executions (they never overlap)
+
+	state         atomic.Uint32
+	notifications atomic.Uint64
 	executions    atomic.Uint64
-	lastErr       error
-	ticker        *time.Ticker
-	tickerStop    chan struct{}
+	strategy      atomic.Pointer[Strategy] // may be swapped at runtime
+
+	mu         sync.Mutex
+	lastErr    error
+	ticker     *time.Ticker
+	tickerStop chan struct{}
 }
 
 // Resource is a container for computational tasks at a single machine. It
 // owns the worker pool on which tasks execute and manages task lifecycles.
+// Scheduling state is contention-free: the task table is copy-on-write
+// (registration is rare, notification is per-packet), lifecycle flags are
+// atomic, and the run queue is sharded per worker with work stealing —
+// r.mu serializes only registration, deployment, and termination.
 type Resource struct {
 	name    string
 	workers int
 
-	mu       sync.Mutex
-	tasks    map[string]*taskState
-	deployed bool
-	term     bool
+	mu    sync.Mutex                            // serializes registration/deploy/terminate
+	tasks atomic.Pointer[map[string]*taskState] // copy-on-write task table
 
-	runq     chan *taskState
-	done     chan struct{} // closed at Terminate; workers and submitters select on it
+	deployed atomic.Bool
+	term     atomic.Bool
+
+	sched    *sched
 	wg       sync.WaitGroup
-	idle     atomic.Int64 // workers parked waiting for work
 	switches *metrics.ContextSwitchAccount
 	reg      *metrics.Registry
 
@@ -180,13 +206,15 @@ func NewResource(name string, workers int) *Resource {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Resource{
+	r := &Resource{
 		name:     name,
 		workers:  workers,
-		tasks:    make(map[string]*taskState),
 		switches: &metrics.ContextSwitchAccount{},
 		reg:      metrics.NewRegistry(nil),
 	}
+	empty := make(map[string]*taskState)
+	r.tasks.Store(&empty)
+	return r
 }
 
 // Name returns the resource's name.
@@ -201,6 +229,27 @@ func (r *Resource) Metrics() *metrics.Registry { return r.reg }
 // Switches exposes the context-switch accounting used by Table I.
 func (r *Resource) Switches() *metrics.ContextSwitchAccount { return r.switches }
 
+// task looks ts up in the copy-on-write table without locking.
+func (r *Resource) task(id string) *taskState {
+	return (*r.tasks.Load())[id]
+}
+
+// storeTask copies the task table with ts added (or removed when ts is
+// nil). Caller holds r.mu.
+func (r *Resource) storeTask(id string, ts *taskState) {
+	old := *r.tasks.Load()
+	next := make(map[string]*taskState, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if ts == nil {
+		delete(next, id)
+	} else {
+		next[id] = ts
+	}
+	r.tasks.Store(&next)
+}
+
 // Register adds a task with its scheduling strategy. Tasks may be
 // registered before or after Deploy; Init runs on first deployment or
 // immediately (on the caller) if already deployed.
@@ -209,23 +258,25 @@ func (r *Resource) Register(task Task, strategy Strategy) error {
 		strategy = DataDriven{}
 	}
 	r.mu.Lock()
-	if r.term {
+	if r.term.Load() {
 		r.mu.Unlock()
 		return ErrTerminated
 	}
-	if _, dup := r.tasks[task.ID()]; dup {
+	if r.task(task.ID()) != nil {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicateTask, task.ID())
 	}
-	ts := &taskState{task: task, strategy: strategy, strategyLive: strategy}
-	r.tasks[task.ID()] = ts
-	deployed := r.deployed
+	ts := &taskState{task: task}
+	ts.rc = RunContext{resource: r, taskID: task.ID()}
+	ts.strategy.Store(&strategy)
+	r.storeTask(task.ID(), ts)
+	deployed := r.deployed.Load()
 	r.mu.Unlock()
 
 	if deployed {
 		if err := task.Init(&RunContext{resource: r, taskID: task.ID()}); err != nil {
 			r.mu.Lock()
-			delete(r.tasks, task.ID())
+			r.storeTask(task.ID(), nil)
 			r.mu.Unlock()
 			return err
 		}
@@ -237,19 +288,19 @@ func (r *Resource) Register(task Task, strategy Strategy) error {
 // Deploy initializes all registered tasks and starts the worker pool.
 func (r *Resource) Deploy() error {
 	r.mu.Lock()
-	if r.term {
+	if r.term.Load() {
 		r.mu.Unlock()
 		return ErrTerminated
 	}
-	if r.deployed {
+	if r.deployed.Load() {
 		r.mu.Unlock()
 		return ErrAlreadyRunning
 	}
-	r.deployed = true
-	r.runq = make(chan *taskState, 1024)
-	r.done = make(chan struct{})
-	tasks := make([]*taskState, 0, len(r.tasks))
-	for _, ts := range r.tasks {
+	r.sched = newSched(r, r.workers)
+	r.deployed.Store(true)
+	table := *r.tasks.Load()
+	tasks := make([]*taskState, 0, len(table))
+	for _, ts := range table {
 		tasks = append(tasks, ts)
 	}
 	r.mu.Unlock()
@@ -261,7 +312,7 @@ func (r *Resource) Deploy() error {
 	}
 	for i := 0; i < r.workers; i++ {
 		r.wg.Add(1)
-		go r.worker()
+		go r.worker(i)
 	}
 	for _, ts := range tasks {
 		r.startTickerIfPeriodic(ts)
@@ -270,8 +321,8 @@ func (r *Resource) Deploy() error {
 }
 
 func (r *Resource) startTickerIfPeriodic(ts *taskState) {
+	iv := (*ts.strategy.Load()).Interval()
 	ts.mu.Lock()
-	iv := ts.strategyLive.Interval()
 	if iv <= 0 || ts.ticker != nil {
 		ts.mu.Unlock()
 		return
@@ -292,26 +343,60 @@ func (r *Resource) startTickerIfPeriodic(ts *taskState) {
 	}()
 }
 
-// worker is the body of one worker-pool goroutine.
-func (r *Resource) worker() {
+// worker is the body of one worker-pool goroutine: drain the own shard,
+// fall back to the overflow spill and to stealing, park when everything
+// is dry.
+func (r *Resource) worker(id int) {
 	defer r.wg.Done()
+	s := r.sched
+	w := &workerPark{wake: make(chan struct{}, 1)}
+	rng := uint64(id)*0x9E3779B97F4A7C15 + 1
+	stealBuf := make([]*taskState, 0, shardCap/2)
 	for {
-		r.idle.Add(1)
 		select {
-		case ts := <-r.runq:
-			r.idle.Add(-1)
-			r.execute(ts)
-		case <-r.done:
-			r.idle.Add(-1)
+		case <-s.done:
 			return
+		default:
 		}
+		ts := s.next(id, &rng, &stealBuf)
+		if ts == nil {
+			// Park protocol: enlist as idle, re-check for work published
+			// concurrently, then block on the wake token. A submitter who
+			// popped us off the idle list between the re-check and the
+			// remove will deliver a token; absorbing it here keeps stale
+			// tokens from accumulating (a missed one costs at most a
+			// single spurious wakeup later).
+			s.idle.push(w)
+			ts = s.next(id, &rng, &stealBuf)
+			if ts == nil {
+				select {
+				case <-w.wake:
+				case <-s.done:
+					return
+				}
+				continue
+			}
+			if !s.idle.remove(w) {
+				select {
+				case <-w.wake:
+				default:
+				}
+			}
+		}
+		r.execute(ts, id)
 	}
 }
 
 // execute runs one scheduled execution of a task and reschedules it if
 // notifications arrived meanwhile.
-func (r *Resource) execute(ts *taskState) {
-	rc := &RunContext{resource: r, taskID: ts.task.ID()}
+func (r *Resource) execute(ts *taskState, workerID int) {
+	// The popper owns the queued→running transition; a failed CAS means
+	// notifications arrived between submit and pop, so the pending mark
+	// carries over into the running state.
+	if !ts.state.CompareAndSwap(taskQueued, taskRunning) {
+		ts.state.Store(taskRunningPending) // from taskQueuedPending
+	}
+	rc := &ts.rc
 	err := func() (err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -330,71 +415,59 @@ func (r *Resource) execute(ts *taskState) {
 			r.ErrorHandler(ts.task.ID(), err)
 		}
 	}
-	ts.mu.Lock()
-	if ts.pending {
-		ts.pending = false
-		ts.mu.Unlock()
-		// Re-submission is a preemption-equivalent: the task yielded the
-		// worker with work still pending.
-		r.switches.CountPreemption()
-		r.submit(ts)
+	if ts.state.CompareAndSwap(taskRunning, taskIdle) {
 		return
 	}
-	ts.running = false
-	ts.mu.Unlock()
-}
-
-// submit places a task on the run queue, counting a context-switch
-// equivalent when an idle worker will be woken to take it.
-func (r *Resource) submit(ts *taskState) {
-	if r.idle.Load() > 0 {
-		r.switches.CountWakeup()
-	}
-	r.switches.CountHandoff()
-	select {
-	case r.runq <- ts:
-	case <-r.done:
-	}
+	// Notifications arrived mid-execution (state is runningPending): the
+	// task yields the worker with work still pending — a
+	// preemption-equivalent — and goes back on this worker's own shard.
+	ts.state.Store(taskQueued)
+	r.switches.CountPreemption()
+	r.sched.submit(ts, workerID)
 }
 
 // schedule requests one execution of ts, coalescing with any execution
-// already in flight.
+// already queued or in flight. It is lock-free: a CAS on the task's state
+// machine, plus a sharded queue push only on the idle→queued edge.
 func (r *Resource) schedule(ts *taskState) {
-	ts.mu.Lock()
-	if ts.running {
-		ts.pending = true
-		ts.mu.Unlock()
-		return
+	for {
+		switch ts.state.Load() {
+		case taskIdle:
+			if ts.state.CompareAndSwap(taskIdle, taskQueued) {
+				r.sched.submit(ts, -1)
+				return
+			}
+		case taskQueued:
+			if ts.state.CompareAndSwap(taskQueued, taskQueuedPending) {
+				return
+			}
+		case taskRunning:
+			if ts.state.CompareAndSwap(taskRunning, taskRunningPending) {
+				return
+			}
+		case taskQueuedPending, taskRunningPending:
+			return
+		}
 	}
-	ts.running = true
-	ts.mu.Unlock()
-	r.submit(ts)
 }
 
 // NotifyData signals that data became available for the given task; the
 // task's strategy decides whether this triggers an execution. Datasets
-// call this from IO goroutines.
+// call this from IO goroutines; the whole path — lifecycle checks, task
+// lookup, notification count, strategy consult — is lock-free.
 func (r *Resource) NotifyData(taskID string) error {
-	r.mu.Lock()
-	if !r.deployed {
-		r.mu.Unlock()
+	if !r.deployed.Load() {
 		return ErrNotDeployed
 	}
-	if r.term {
-		r.mu.Unlock()
+	if r.term.Load() {
 		return ErrTerminated
 	}
-	ts, ok := r.tasks[taskID]
-	r.mu.Unlock()
-	if !ok {
+	ts := r.task(taskID)
+	if ts == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
 	}
-	ts.mu.Lock()
-	ts.notifications++
-	n := ts.notifications
-	strat := ts.strategyLive
-	ts.mu.Unlock()
-	if strat.OnData(n) {
+	n := ts.notifications.Add(1)
+	if (*ts.strategy.Load()).OnData(n) {
 		r.schedule(ts)
 	}
 	return nil
@@ -406,17 +479,14 @@ func (r *Resource) SetStrategy(taskID string, s Strategy) error {
 	if s == nil {
 		return errors.New("granules: nil strategy")
 	}
-	r.mu.Lock()
-	ts, ok := r.tasks[taskID]
-	deployed := r.deployed
-	r.mu.Unlock()
-	if !ok {
+	ts := r.task(taskID)
+	if ts == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
 	}
-	ts.mu.Lock()
-	ts.strategyLive = s
+	ts.strategy.Store(&s)
 	// Stop any existing ticker; restart below if the new strategy is
 	// periodic and the resource is live.
+	ts.mu.Lock()
 	if ts.ticker != nil {
 		ts.ticker.Stop()
 		close(ts.tickerStop)
@@ -424,7 +494,7 @@ func (r *Resource) SetStrategy(taskID string, s Strategy) error {
 		ts.tickerStop = nil
 	}
 	ts.mu.Unlock()
-	if deployed {
+	if r.deployed.Load() {
 		r.startTickerIfPeriodic(ts)
 	}
 	return nil
@@ -432,10 +502,8 @@ func (r *Resource) SetStrategy(taskID string, s Strategy) error {
 
 // Executions reports how many times the task has executed.
 func (r *Resource) Executions(taskID string) (uint64, error) {
-	r.mu.Lock()
-	ts, ok := r.tasks[taskID]
-	r.mu.Unlock()
-	if !ok {
+	ts := r.task(taskID)
+	if ts == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
 	}
 	return ts.executions.Load(), nil
@@ -444,10 +512,8 @@ func (r *Resource) Executions(taskID string) (uint64, error) {
 // LastError reports the most recent execution error of the task (nil when
 // none).
 func (r *Resource) LastError(taskID string) (error, error) {
-	r.mu.Lock()
-	ts, ok := r.tasks[taskID]
-	r.mu.Unlock()
-	if !ok {
+	ts := r.task(taskID)
+	if ts == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
 	}
 	ts.mu.Lock()
@@ -457,10 +523,9 @@ func (r *Resource) LastError(taskID string) (error, error) {
 
 // TaskIDs returns the ids of all registered tasks.
 func (r *Resource) TaskIDs() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ids := make([]string, 0, len(r.tasks))
-	for id := range r.tasks {
+	table := *r.tasks.Load()
+	ids := make([]string, 0, len(table))
+	for id := range table {
 		ids = append(ids, id)
 	}
 	return ids
@@ -468,24 +533,19 @@ func (r *Resource) TaskIDs() []string {
 
 // Quiesce blocks until no task is running or pending, or until timeout. It
 // reports whether quiescence was reached. Useful for drain-then-terminate
-// shutdown and for tests.
+// shutdown and for tests. A task holds state != idle exactly while it is
+// queued or executing, so all-idle implies every run queue is empty.
 func (r *Resource) Quiesce(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		busy := false
-		r.mu.Lock()
-		for _, ts := range r.tasks {
-			ts.mu.Lock()
-			if ts.running || ts.pending {
+		for _, ts := range *r.tasks.Load() {
+			if ts.state.Load() != taskIdle {
 				busy = true
-			}
-			ts.mu.Unlock()
-			if busy {
 				break
 			}
 		}
-		r.mu.Unlock()
-		if !busy && len(r.runq) == 0 {
+		if !busy {
 			return true
 		}
 		if time.Now().After(deadline) {
@@ -499,14 +559,15 @@ func (r *Resource) Quiesce(timeout time.Duration) bool {
 // tasks. It blocks until in-flight executions finish.
 func (r *Resource) Terminate() error {
 	r.mu.Lock()
-	if r.term {
+	if r.term.Load() {
 		r.mu.Unlock()
 		return nil
 	}
-	r.term = true
-	deployed := r.deployed
-	tasks := make([]*taskState, 0, len(r.tasks))
-	for _, ts := range r.tasks {
+	r.term.Store(true)
+	deployed := r.deployed.Load()
+	table := *r.tasks.Load()
+	tasks := make([]*taskState, 0, len(table))
+	for _, ts := range table {
 		tasks = append(tasks, ts)
 	}
 	r.mu.Unlock()
@@ -522,7 +583,8 @@ func (r *Resource) Terminate() error {
 		ts.mu.Unlock()
 	}
 	if deployed {
-		close(r.done)
+		close(r.sched.done)
+		r.sched.drainIdle()
 		r.wg.Wait()
 	}
 	var firstErr error

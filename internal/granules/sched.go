@@ -1,0 +1,298 @@
+package granules
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The scheduler behind a Resource's worker pool. Instead of one shared run
+// queue — whose channel lock every producer and every worker hammers — each
+// worker owns a bounded ring deque. Submitters spread tasks across the
+// rings round-robin (or straight into the submitting worker's own ring on
+// reschedule), workers drain their own ring first and steal half of a
+// random victim's ring when it runs dry, and an overflow spill list absorbs
+// bursts that outrun every ring. Parked workers sit on an idle list and are
+// unparked one per submission, which is also where the context-switch
+// accounting of Table I observes its wakeups.
+
+// shardCap is each ring's capacity (power of two). Steals take at most
+// half a ring, so anything stolen always fits the thief's empty ring.
+const shardCap = 256
+
+// ringShard is one worker's run deque: a fixed ring guarded by its own
+// lock. The lock is per-shard, so submitters contend only when they pick
+// the same shard, not on every scheduling event.
+type ringShard struct {
+	mu   sync.Mutex
+	buf  [shardCap]*taskState
+	head uint32
+	tail uint32
+}
+
+// push appends ts; it reports false when the ring is full.
+func (s *ringShard) push(ts *taskState) bool {
+	s.mu.Lock()
+	if s.tail-s.head == shardCap {
+		s.mu.Unlock()
+		return false
+	}
+	s.buf[s.tail%shardCap] = ts
+	s.tail++
+	s.mu.Unlock()
+	return true
+}
+
+// pop removes the oldest task, or nil when empty.
+func (s *ringShard) pop() *taskState {
+	s.mu.Lock()
+	if s.tail == s.head {
+		s.mu.Unlock()
+		return nil
+	}
+	ts := s.buf[s.head%shardCap]
+	s.buf[s.head%shardCap] = nil
+	s.head++
+	s.mu.Unlock()
+	return ts
+}
+
+// stealHalf moves the older half of the ring into buf and returns it.
+func (s *ringShard) stealHalf(buf []*taskState) []*taskState {
+	s.mu.Lock()
+	n := s.tail - s.head
+	if n == 0 {
+		s.mu.Unlock()
+		return buf
+	}
+	k := (n + 1) / 2
+	for i := uint32(0); i < k; i++ {
+		idx := s.head % shardCap
+		buf = append(buf, s.buf[idx])
+		s.buf[idx] = nil
+		s.head++
+	}
+	s.mu.Unlock()
+	return buf
+}
+
+// len reports the queued count (approximate once the lock is released).
+func (s *ringShard) len() int {
+	s.mu.Lock()
+	n := int(s.tail - s.head)
+	s.mu.Unlock()
+	return n
+}
+
+// overflowQueue is the unbounded FIFO spill for submissions that found
+// every ring full. It is off the hot path: rings absorb the steady state.
+type overflowQueue struct {
+	mu    sync.Mutex
+	items []*taskState
+	head  int
+}
+
+func (q *overflowQueue) push(ts *taskState) {
+	q.mu.Lock()
+	q.items = append(q.items, ts)
+	q.mu.Unlock()
+}
+
+func (q *overflowQueue) pop() *taskState {
+	q.mu.Lock()
+	if q.head == len(q.items) {
+		q.mu.Unlock()
+		return nil
+	}
+	ts := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.mu.Unlock()
+	return ts
+}
+
+func (q *overflowQueue) len() int {
+	q.mu.Lock()
+	n := len(q.items) - q.head
+	q.mu.Unlock()
+	return n
+}
+
+// workerPark is one worker's parking token. wake is buffered so an unpark
+// never blocks the submitter; a stale token at worst causes one spurious
+// wakeup, never a lost one.
+type workerPark struct {
+	wake chan struct{}
+}
+
+// idleList holds parked workers LIFO (the most recently parked worker has
+// the warmest cache). Push/pop/remove are a few instructions under one
+// small lock touched only when workers actually run out of work.
+type idleList struct {
+	mu     sync.Mutex
+	parked []*workerPark
+}
+
+func (l *idleList) push(w *workerPark) {
+	l.mu.Lock()
+	l.parked = append(l.parked, w)
+	l.mu.Unlock()
+}
+
+func (l *idleList) pop() *workerPark {
+	l.mu.Lock()
+	n := len(l.parked)
+	if n == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	w := l.parked[n-1]
+	l.parked[n-1] = nil
+	l.parked = l.parked[:n-1]
+	l.mu.Unlock()
+	return w
+}
+
+// remove takes w off the list; it reports false when a submitter already
+// popped (and is about to wake) it.
+func (l *idleList) remove(w *workerPark) bool {
+	l.mu.Lock()
+	for i, p := range l.parked {
+		if p == w {
+			last := len(l.parked) - 1
+			l.parked[i] = l.parked[last]
+			l.parked[last] = nil
+			l.parked = l.parked[:last]
+			l.mu.Unlock()
+			return true
+		}
+	}
+	l.mu.Unlock()
+	return false
+}
+
+// sched ties the shards, spill, and idle list together for one Resource.
+type sched struct {
+	res      *Resource
+	shards   []ringShard
+	overflow overflowQueue
+	idle     idleList
+	done     chan struct{}
+	rr       atomic.Uint32 // round-robin cursor for unpinned submissions
+}
+
+func newSched(r *Resource, workers int) *sched {
+	return &sched{
+		res:    r,
+		shards: make([]ringShard, workers),
+		done:   make(chan struct{}),
+	}
+}
+
+// submit queues ts for execution. hint pins the submission to a worker's
+// own shard (resubmission after a preempted execution); hint < 0 spreads
+// round-robin. Every submission is a queue handoff for the Table I
+// accounting; unparking an idle worker is a wakeup.
+func (s *sched) submit(ts *taskState, hint int) {
+	s.res.switches.CountHandoff()
+	if s.res.term.Load() {
+		// Terminating: workers are gone or going; drop like the old
+		// single-queue path dropped on the closed done channel.
+		return
+	}
+	idx := hint
+	if idx < 0 {
+		idx = int(s.rr.Add(1)) % len(s.shards)
+	}
+	if !s.shards[idx].push(ts) {
+		pushed := false
+		for off := 1; off < len(s.shards); off++ {
+			if s.shards[(idx+off)%len(s.shards)].push(ts) {
+				pushed = true
+				break
+			}
+		}
+		if !pushed {
+			s.overflow.push(ts)
+		}
+	}
+	if w := s.idle.pop(); w != nil {
+		s.res.switches.CountWakeup()
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// next returns the next task for worker id: own ring, then the overflow
+// spill (oldest work first), then half of a random victim's ring.
+func (s *sched) next(id int, rng *uint64, stealBuf *[]*taskState) *taskState {
+	if ts := s.shards[id].pop(); ts != nil {
+		return ts
+	}
+	if ts := s.overflow.pop(); ts != nil {
+		return ts
+	}
+	n := len(s.shards)
+	if n == 1 {
+		return nil
+	}
+	// xorshift victim selection: cheap, per-worker, no shared state.
+	x := *rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rng = x
+	start := int(x % uint64(n))
+	for off := 0; off < n; off++ {
+		v := (start + off) % n
+		if v == id {
+			continue
+		}
+		got := s.shards[v].stealHalf((*stealBuf)[:0])
+		if len(got) == 0 {
+			continue
+		}
+		ts := got[0]
+		for _, extra := range got[1:] {
+			// The thief's ring is empty and steals take at most half a
+			// ring, so these pushes cannot fail.
+			s.shards[id].push(extra)
+		}
+		*stealBuf = got
+		return ts
+	}
+	return nil
+}
+
+// empty reports whether no queued work exists anywhere (racy; Quiesce
+// combines it with the per-task state check).
+func (s *sched) empty() bool {
+	if s.overflow.len() > 0 {
+		return false
+	}
+	for i := range s.shards {
+		if s.shards[i].len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drainIdle unparks every parked worker (termination).
+func (s *sched) drainIdle() {
+	for {
+		w := s.idle.pop()
+		if w == nil {
+			return
+		}
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}

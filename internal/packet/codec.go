@@ -223,6 +223,49 @@ func (d *Decoder) DecodeBatch(buf []byte, alloc func() *Packet, emit func(*Packe
 	return pos, nil
 }
 
+// DecodeBatchAppend parses a batch produced by EncodeBatch, appending the
+// decoded packets to dst and returning the extended slice plus the bytes
+// consumed. Unlike DecodeBatch it takes no per-packet emit callback:
+// alloc(dst, n) appends n blank packets in one step (typically
+// pool.PacketPool.GetBatch), so a hot ingest path pays neither a closure
+// allocation per call nor pool synchronization per packet. On error the
+// returned slice still contains every allocated packet — decoded or not —
+// so the caller can recycle them all.
+func (d *Decoder) DecodeBatchAppend(buf []byte, alloc func(dst []*Packet, n int) []*Packet, dst []*Packet) ([]*Packet, int, error) {
+	pos := 0
+	count, n, err := readUvarint(buf)
+	if err != nil {
+		return dst, 0, err
+	}
+	pos += n
+	if count > uint64(len(buf)) {
+		// A packet costs at least one byte; more packets than remaining
+		// bytes means a corrupt count (and an absurd pre-size).
+		return dst, pos, fmt.Errorf("%w: packet count %d exceeds buffer", ErrBatchLength, count)
+	}
+	start := len(dst)
+	dst = alloc(dst, int(count))
+	for i := uint64(0); i < count; i++ {
+		plen, n, err := readUvarint(buf[pos:])
+		if err != nil {
+			return dst, pos, err
+		}
+		pos += n
+		if uint64(len(buf)-pos) < plen {
+			return dst, pos, fmt.Errorf("%w: packet %d claims %d bytes, %d remain", ErrBatchLength, i, plen, len(buf)-pos)
+		}
+		used, err := d.Decode(buf[pos:pos+int(plen)], dst[start+int(i)])
+		if err != nil {
+			return dst, pos, err
+		}
+		if used != int(plen) {
+			return dst, pos, fmt.Errorf("%w: packet %d decoded %d of %d bytes", ErrBatchLength, i, used, plen)
+		}
+		pos += int(plen)
+	}
+	return dst, pos, nil
+}
+
 func readUvarint(buf []byte) (uint64, int, error) {
 	v, n := binary.Uvarint(buf)
 	if n <= 0 {

@@ -325,3 +325,93 @@ func BenchmarkEncodeBatch100(b *testing.B) {
 		buf = enc.EncodeBatch(buf[:0], batch)
 	}
 }
+
+// plainAlloc matches the DecodeBatchAppend allocator contract without a
+// pool: append n blank packets.
+func plainAlloc(dst []*Packet, n int) []*Packet {
+	for i := 0; i < n; i++ {
+		dst = append(dst, &Packet{})
+	}
+	return dst
+}
+
+func TestDecodeBatchAppendRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	enc := &Encoder{}
+	dec := &Decoder{}
+	var batch []*Packet
+	for i := 0; i < 29; i++ {
+		batch = append(batch, randomPacket(rng))
+	}
+	buf := enc.EncodeBatch(nil, batch)
+	prefix := &Packet{}
+	got, n, err := dec.DecodeBatchAppend(buf, plainAlloc, []*Packet{prefix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got) != len(batch)+1 || got[0] != prefix {
+		t.Fatalf("len = %d (prefix kept: %v), want %d", len(got), got[0] == prefix, len(batch)+1)
+	}
+	for i := range batch {
+		if !batch[i].Equal(got[i+1]) {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeBatchAppendCorruptCount(t *testing.T) {
+	dec := &Decoder{}
+	// Claims 2^28 packets in a 5-byte buffer: must fail before allocating.
+	bad := []byte{0x80, 0x80, 0x80, 0x80, 0x01}
+	got, _, err := dec.DecodeBatchAppend(bad, plainAlloc, nil)
+	if !errors.Is(err, ErrBatchLength) {
+		t.Fatalf("err = %v, want ErrBatchLength", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("allocated %d packets for a corrupt count", len(got))
+	}
+}
+
+func TestDecodeBatchAppendTruncatedKeepsAllocated(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	buf := enc.EncodeBatch(nil, []*Packet{samplePacket(), samplePacket()})
+	got, _, err := dec.DecodeBatchAppend(buf[:len(buf)-3], plainAlloc, nil)
+	if err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	// Every allocated packet must be in the returned slice so the caller
+	// can recycle them even though decoding failed partway.
+	if len(got) != 2 {
+		t.Fatalf("returned %d packets, want 2 (all allocated)", len(got))
+	}
+	for i, p := range got {
+		if p == nil {
+			t.Fatalf("slot %d nil", i)
+		}
+	}
+}
+
+func TestDecodeBatchAppendInnerLengthMismatch(t *testing.T) {
+	enc := &Encoder{}
+	dec := &Decoder{}
+	p := &Packet{}
+	p.AddBool("x", true)
+	inner := enc.Encode(nil, p)
+	buf := []byte{1, byte(len(inner) + 1)}
+	buf = append(buf, inner...)
+	buf = append(buf, 0)
+	if _, _, err := dec.DecodeBatchAppend(buf, plainAlloc, nil); !errors.Is(err, ErrBatchLength) {
+		t.Fatalf("err = %v, want ErrBatchLength", err)
+	}
+}
+
+func TestDecodeBatchAppendEmptyInput(t *testing.T) {
+	dec := &Decoder{}
+	if _, _, err := dec.DecodeBatchAppend(nil, plainAlloc, nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}

@@ -50,13 +50,19 @@ func (c *statCounters) snapshot() Stats {
 
 // PacketPool recycles *packet.Packet values. A disabled pool allocates on
 // every Get and drops on every Put, reproducing the no-reuse baseline.
+// The free list is a mutex-guarded stack rather than a channel so the
+// batch operations (GetBatch/PutBatch) can move a whole frame's packets
+// under one lock acquisition — per-packet synchronization on the ingest
+// path is exactly the contention the batched hot path is meant to avoid.
 type PacketPool struct {
 	// Enabled controls whether recycling happens. It must be set before
 	// the pool is shared across goroutines.
 	Enabled bool
 
-	free  chan *packet.Packet
-	stats statCounters
+	mu       sync.Mutex
+	free     []*packet.Packet
+	capacity int
+	stats    statCounters
 }
 
 // NewPacketPool creates a pool holding at most capacity idle packets.
@@ -67,8 +73,8 @@ func NewPacketPool(capacity int, enabled bool) *PacketPool {
 		capacity = 1
 	}
 	return &PacketPool{
-		Enabled: enabled,
-		free:    make(chan *packet.Packet, capacity),
+		Enabled:  enabled,
+		capacity: capacity,
 	}
 }
 
@@ -76,14 +82,62 @@ func NewPacketPool(capacity int, enabled bool) *PacketPool {
 func (p *PacketPool) Get() *packet.Packet {
 	p.stats.gets.Add(1)
 	if p.Enabled {
-		select {
-		case pkt := <-p.free:
+		p.mu.Lock()
+		if n := len(p.free); n > 0 {
+			pkt := p.free[n-1]
+			p.free[n-1] = nil
+			p.free = p.free[:n-1]
+			p.mu.Unlock()
 			p.stats.hits.Add(1)
 			return pkt
-		default:
 		}
+		p.mu.Unlock()
 	}
 	return &packet.Packet{}
+}
+
+// GetBatch appends n reset packets to dst and returns the extended slice,
+// recycling as many as the free list holds under a single lock
+// acquisition. Misses are allocated in one contiguous block.
+func (p *PacketPool) GetBatch(dst []*packet.Packet, n int) []*packet.Packet {
+	if n <= 0 {
+		return dst
+	}
+	p.stats.gets.Add(uint64(n))
+	if need := len(dst) + n; cap(dst) < need {
+		grown := make([]*packet.Packet, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	if p.Enabled {
+		p.mu.Lock()
+		take := len(p.free)
+		if take > n {
+			take = n
+		}
+		if take > 0 {
+			split := len(p.free) - take
+			for _, pkt := range p.free[split:] {
+				dst = append(dst, pkt)
+			}
+			for i := split; i < len(p.free); i++ {
+				p.free[i] = nil
+			}
+			p.free = p.free[:split]
+		}
+		p.mu.Unlock()
+		if take > 0 {
+			p.stats.hits.Add(uint64(take))
+			n -= take
+		}
+	}
+	if n > 0 {
+		blk := make([]packet.Packet, n)
+		for i := range blk {
+			dst = append(dst, &blk[i])
+		}
+	}
+	return dst
 }
 
 // Put recycles pkt. The packet is Reset before being parked so a later Get
@@ -98,10 +152,54 @@ func (p *PacketPool) Put(pkt *packet.Packet) {
 		return
 	}
 	pkt.Reset()
-	select {
-	case p.free <- pkt:
-	default:
-		p.stats.discards.Add(1)
+	p.mu.Lock()
+	if len(p.free) < p.capacity {
+		p.free = append(p.free, pkt)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.stats.discards.Add(1)
+}
+
+// PutBatch recycles every packet in ps under a single lock acquisition.
+// Entries beyond the pool's capacity are discarded; nil entries are
+// skipped. The caller gives up ownership of the packets but keeps the
+// slice itself.
+func (p *PacketPool) PutBatch(ps []*packet.Packet) {
+	count := 0
+	for _, pkt := range ps {
+		if pkt == nil {
+			continue
+		}
+		count++
+		if p.Enabled {
+			pkt.Reset()
+		}
+	}
+	if count == 0 {
+		return
+	}
+	p.stats.puts.Add(uint64(count))
+	if !p.Enabled {
+		p.stats.discards.Add(uint64(count))
+		return
+	}
+	kept := 0
+	p.mu.Lock()
+	for _, pkt := range ps {
+		if pkt == nil {
+			continue
+		}
+		if len(p.free) == p.capacity {
+			break
+		}
+		p.free = append(p.free, pkt)
+		kept++
+	}
+	p.mu.Unlock()
+	if d := count - kept; d > 0 {
+		p.stats.discards.Add(uint64(d))
 	}
 }
 
@@ -109,7 +207,11 @@ func (p *PacketPool) Put(pkt *packet.Packet) {
 func (p *PacketPool) Stats() Stats { return p.stats.snapshot() }
 
 // Idle reports how many packets are currently parked in the pool.
-func (p *PacketPool) Idle() int { return len(p.free) }
+func (p *PacketPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
 
 // BufferPool recycles byte slices in power-of-two size classes, the way the
 // engine's serialization and network layers consume them. Slices larger

@@ -222,3 +222,112 @@ func BenchmarkPacketNoPool(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestPacketPoolGetBatchMixedHitsMisses(t *testing.T) {
+	p := NewPacketPool(8, true)
+	a, b := &packet.Packet{}, &packet.Packet{}
+	p.Put(a)
+	p.Put(b)
+	got := p.GetBatch(nil, 5)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	// The two recycled packets lead the result (tail of the free stack;
+	// relative order within the run is not part of the contract).
+	if !(got[0] == a && got[1] == b) && !(got[0] == b && got[1] == a) {
+		t.Fatal("recycled packets not returned first")
+	}
+	for i, pkt := range got {
+		if pkt == nil {
+			t.Fatalf("slot %d nil", i)
+		}
+		if pkt.NumFields() != 0 {
+			t.Fatalf("slot %d not reset", i)
+		}
+	}
+	if p.Idle() != 0 {
+		t.Fatalf("Idle = %d, want 0", p.Idle())
+	}
+	s := p.Stats()
+	if s.Gets != 5 || s.Hits != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPacketPoolGetBatchAppendsToDst(t *testing.T) {
+	p := NewPacketPool(4, true)
+	prefix := &packet.Packet{}
+	dst := []*packet.Packet{prefix}
+	dst = p.GetBatch(dst, 3)
+	if len(dst) != 4 || dst[0] != prefix {
+		t.Fatalf("prefix lost: len=%d", len(dst))
+	}
+	if got := p.GetBatch(dst, 0); len(got) != len(dst) {
+		t.Fatal("n=0 must be a no-op")
+	}
+}
+
+func TestPacketPoolPutBatchBoundedAndReset(t *testing.T) {
+	p := NewPacketPool(2, true)
+	batch := make([]*packet.Packet, 4)
+	for i := range batch {
+		batch[i] = &packet.Packet{}
+		batch[i].AddInt64("x", int64(i))
+	}
+	batch = append(batch, nil) // nils are skipped, not counted
+	p.PutBatch(batch)
+	if p.Idle() != 2 {
+		t.Fatalf("Idle = %d, want 2", p.Idle())
+	}
+	s := p.Stats()
+	if s.Puts != 4 || s.Discards != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	for _, pkt := range p.GetBatch(nil, 2) {
+		if pkt.NumFields() != 0 {
+			t.Fatal("pooled packet not reset by PutBatch")
+		}
+	}
+}
+
+func TestPacketPoolPutBatchDisabled(t *testing.T) {
+	p := NewPacketPool(4, false)
+	a := &packet.Packet{}
+	a.AddInt64("x", 1)
+	p.PutBatch([]*packet.Packet{a, nil})
+	if p.Idle() != 0 {
+		t.Fatalf("Idle = %d, want 0", p.Idle())
+	}
+	s := p.Stats()
+	if s.Puts != 1 || s.Discards != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	b := p.GetBatch(nil, 2)
+	if b[0] == a || b[1] == a {
+		t.Fatal("disabled pool must not recycle")
+	}
+}
+
+func TestPacketPoolBatchConcurrent(t *testing.T) {
+	p := NewPacketPool(64, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []*packet.Packet
+			for i := 0; i < 200; i++ {
+				local = p.GetBatch(local[:0], 8)
+				p.PutBatch(local)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Gets != 4*200*8 || s.Puts != 4*200*8 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if p.Idle() > 64 {
+		t.Fatalf("Idle = %d exceeds capacity", p.Idle())
+	}
+}

@@ -50,6 +50,15 @@ func (f *Faulty) Send(channel uint32, payload []byte) error {
 // Close closes the inner transport.
 func (f *Faulty) Close() error { return f.Inner.Close() }
 
+// InFlight forwards the inner transport's in-flight count when it exposes
+// one, so drains see through the fault-injection wrapper.
+func (f *Faulty) InFlight() int {
+	if p, ok := f.Inner.(interface{ InFlight() int }); ok {
+		return p.InFlight()
+	}
+	return 0
+}
+
 // Stats reports the inner transport's counters.
 func (f *Faulty) Stats() Stats { return f.Inner.Stats() }
 

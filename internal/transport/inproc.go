@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/backpressure"
 )
@@ -18,6 +19,10 @@ type Inproc struct {
 	handler Handler
 	stats   statCounters
 	wg      sync.WaitGroup
+	// inflight counts frames accepted by Send whose handler invocation has
+	// not returned yet; a job drain polls it to distinguish "all frames
+	// delivered" from "queue momentarily empty while one is being handled".
+	inflight atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -50,6 +55,7 @@ func (t *Inproc) ioLoop() {
 		t.stats.framesReceived.Add(1)
 		t.stats.bytesReceived.Add(uint64(len(f.Payload)))
 		t.handler(f)
+		t.inflight.Add(-1)
 	}
 }
 
@@ -69,7 +75,11 @@ func (t *Inproc) Send(channel uint32, payload []byte) error {
 	if t.queue.Gated() {
 		t.stats.sendBlocked.Add(1)
 	}
+	// Count before Push so InFlight never reads 0 while the frame is
+	// already visible to the IO goroutine.
+	t.inflight.Add(1)
 	if err := t.queue.Push(Frame{Channel: channel, Payload: cp}, int64(len(cp))+64); err != nil {
+		t.inflight.Add(-1)
 		if errors.Is(err, backpressure.ErrClosed) {
 			return ErrClosed
 		}
@@ -82,6 +92,10 @@ func (t *Inproc) Send(channel uint32, payload []byte) error {
 
 // Stats reports transfer counters.
 func (t *Inproc) Stats() Stats { return t.stats.snapshot() }
+
+// InFlight reports how many sent frames have not finished delivery (still
+// queued, or inside the handler).
+func (t *Inproc) InFlight() int { return int(t.inflight.Load()) }
 
 // Pressure reports the queue's backpressure counters.
 func (t *Inproc) Pressure() backpressure.Stats { return t.queue.Stats() }

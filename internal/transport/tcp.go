@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backpressure"
@@ -29,6 +30,10 @@ type TCP struct {
 	stats   statCounters
 	wgWrite sync.WaitGroup
 	wgRead  sync.WaitGroup
+	// inflight counts frames accepted by Send whose bytes have not yet been
+	// flushed to the socket; a job drain polls it to catch frames still
+	// sitting in the outbound queue or the write coalescing buffer.
+	inflight atomic.Int64
 
 	mu      sync.Mutex
 	closed  bool
@@ -198,7 +203,11 @@ func (t *TCP) Send(channel uint32, payload []byte) error {
 	if t.queue.Gated() {
 		t.stats.sendBlocked.Add(1)
 	}
+	// Count before Push so InFlight never reads 0 while the frame is
+	// already visible to the write loop.
+	t.inflight.Add(1)
 	if err := t.queue.Push(Frame{Channel: channel, Payload: cp}, int64(len(cp))+headerSize); err != nil {
+		t.inflight.Add(-1)
 		if errors.Is(err, backpressure.ErrClosed) {
 			return ErrClosed
 		}
@@ -213,28 +222,38 @@ func (t *TCP) writeLoop(bufSize int) {
 	defer t.wgWrite.Done()
 	w := bufio.NewWriterSize(t.conn, bufSize)
 	var hdr [headerSize]byte
+	// Frames written into w but not yet flushed; their inflight counts are
+	// released only once the bytes reach the kernel.
+	unflushed := int64(0)
 	for {
 		f, ok := t.queue.Pop()
 		if !ok {
 			w.Flush()
+			t.inflight.Add(-unflushed)
 			return
 		}
 		putHeader(hdr[:], f.Channel, f.Payload)
 		if _, err := w.Write(hdr[:]); err != nil {
 			t.fail(err)
+			t.inflight.Store(0)
 			return
 		}
 		if _, err := w.Write(f.Payload); err != nil {
 			t.fail(err)
+			t.inflight.Store(0)
 			return
 		}
+		unflushed++
 		// Flush only when no more frames are immediately available —
 		// consecutive frames coalesce into one syscall.
 		if t.queue.Len() == 0 {
 			if err := w.Flush(); err != nil {
 				t.fail(err)
+				t.inflight.Store(0)
 				return
 			}
+			t.inflight.Add(-unflushed)
+			unflushed = 0
 		}
 	}
 }
@@ -307,6 +326,19 @@ func (t *TCP) Err() error {
 
 // Stats reports transfer counters.
 func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
+// InFlight reports how many sent frames have not yet been flushed to the
+// socket (still in the outbound queue or the coalescing buffer). After a
+// terminal IO error it reports 0: those frames are lost, not in flight.
+func (t *TCP) InFlight() int {
+	n := t.inflight.Load()
+	if n < 0 {
+		// A Send that raced fail()'s reset can briefly leave a negative
+		// residue; clamp rather than report nonsense.
+		return 0
+	}
+	return int(n)
+}
 
 // Pressure reports the outbound queue's backpressure counters.
 func (t *TCP) Pressure() backpressure.Stats { return t.queue.Stats() }

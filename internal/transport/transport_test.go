@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -406,5 +408,64 @@ func BenchmarkTCPSend64K(b *testing.B) {
 		if err := cl.Send(1, payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestInprocInFlight(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	tr, err := NewInproc(func(Frame) { entered <- struct{}{}; <-block }, 1<<10, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := tr.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d before any send", got)
+	}
+	if err := tr.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// Queue is empty but the handler has not returned: still in flight.
+	if got := tr.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d with handler running, want 1", got)
+	}
+	close(block)
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("InFlight never returned to 0")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTCPInFlight(t *testing.T) {
+	// net.Pipe is synchronous: a write blocks until the peer reads, so the
+	// sent frame stays observably in flight until we start draining.
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	tr, err := NewTCP(c1, nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := tr.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d before any send", got)
+	}
+	if err := tr.Send(1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := tr.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d with peer not reading, want 1", got)
+	}
+	go io.Copy(io.Discard, c2)
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("InFlight never returned to 0")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Record the headline benchmark numbers as a dated JSON baseline so the
+# perf trajectory is tracked PR over PR.
+#
+#   scripts/bench.sh [label]
+#
+# emits BENCH_<date>[_label].json in the repository root with one entry
+# per benchmark: ns/op, B/op, allocs/op, and every custom metric the
+# bench reports (pkts/s, execs/s, switches/5s, ...). BENCHTIME overrides
+# the per-benchmark measurement time (default 1s; use e.g. 100x for a
+# smoke run).
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:-}"
+benchtime="${BENCHTIME:-1s}"
+date_tag=$(date +%Y-%m-%d)
+out="BENCH_${date_tag}${label:+_$label}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# Headline benches: the scheduler contention sweep, the concurrent
+# dispatch path, the single-node relay headline, and Table I's
+# context-switch accounting.
+go test -run '^$' -bench 'BenchmarkSchedulerContention|BenchmarkSubmitLatency' \
+    -benchmem -benchtime "$benchtime" ./internal/granules >>"$raw"
+go test -run '^$' -bench 'BenchmarkDispatch' \
+    -benchmem -benchtime "$benchtime" ./internal/core >>"$raw"
+go test -run '^$' -bench 'BenchmarkHeadlineSingleNode|BenchmarkTable1ContextSwitches' \
+    -benchmem -benchtime "$benchtime" . >>"$raw"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$date_tag"
+    printf '  "label": "%s",\n' "$label"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^Benchmark/ {
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"iters\": %s", $1, $2
+            for (i = 3; i < NF; i += 2)
+                printf ", \"%s\": %s", $(i + 1), $i
+            printf "}"
+        }
+        END { if (n) printf "\n" }
+    ' "$raw"
+    printf '  ]\n'
+    printf '}\n'
+} >"$out"
+
+echo "wrote $out"

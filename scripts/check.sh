@@ -21,4 +21,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke =="
+# A fixed 100 iterations per benchmark: catches benches that crash, hang,
+# or fail their internal quiesce checks, without measuring anything.
+go test -run '^$' -bench . -benchtime 100x ./internal/granules ./internal/core
+go test -run '^$' -bench 'BenchmarkHeadlineSingleNode' -benchtime 100x .
+
 echo "All checks passed."
