@@ -1,0 +1,21 @@
+// Command neptune-vet runs the NEPTUNE-specific static analyzers
+// (internal/lint) over the module and exits non-zero on any finding that
+// is not covered by the allowlist. It is wired into scripts/check.sh
+// between `go vet` and the build.
+//
+// Usage:
+//
+//	go run ./cmd/neptune-vet ./...
+//	go run ./cmd/neptune-vet -rules
+//	go run ./cmd/neptune-vet -allow .neptune-vet-allow ./internal/...
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.MainOS())
+}

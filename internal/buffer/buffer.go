@@ -139,6 +139,8 @@ func New(capacity int, maxDelay time.Duration, flush Flusher) *CapacityBuffer {
 // Add appends p to the current batch, flushing synchronously (on the
 // caller's goroutine) when the byte threshold is reached. The first packet
 // of a batch arms the flush timer.
+//
+//neptune:hotpath
 func (b *CapacityBuffer) Add(p *packet.Packet) error {
 	b.mu.Lock()
 	if b.closed {
@@ -167,6 +169,8 @@ func (b *CapacityBuffer) Add(p *packet.Packet) error {
 // the number of packets admitted; the count is short of len(ps) only on
 // error (the buffer was closed), in which case the remainder ps[n:] still
 // belongs to the caller.
+//
+//neptune:hotpath
 func (b *CapacityBuffer) AddBatch(ps []*packet.Packet) (int, error) {
 	admitted := 0
 	b.mu.Lock()

@@ -41,7 +41,7 @@ type Engine struct {
 
 	mu        sync.Mutex
 	instances map[instKey]*instance
-	channels  atomic.Pointer[map[uint32]*instance] // COW: inbound channel -> instance
+	channels  atomic.Pointer[map[uint32]*instance] //neptune:cow inbound channel -> instance
 	closed    atomic.Bool
 
 	// Hot-path counters, resolved once from the registry at construction.
@@ -129,6 +129,8 @@ func (e *Engine) SetClock(fn func() int64) { e.nowFn.Store(&fn) }
 // peer sends to this engine. Dispatch blocks while the destination's
 // inbound buffer is above its high watermark — this is the stall that TCP
 // flow control turns into sender-side backpressure.
+//
+//neptune:hotpath
 func (e *Engine) Dispatch(f transport.Frame) {
 	if e.closed.Load() {
 		return
@@ -234,6 +236,10 @@ func (e *Engine) newSelective() *compression.Selective {
 }
 
 // recycleBatch returns a batch of packets to the pool under one lock.
+// Callers give up ownership of every packet in ps, exactly as with
+// PutBatch.
+//
+//neptune:putlike
 func (e *Engine) recycleBatch(ps []*packet.Packet) {
 	e.pktPool.PutBatch(ps)
 }

@@ -72,8 +72,11 @@ type instance struct {
 	outByName map[string]*outLink
 	isSink    bool
 
-	// Per-message scheduling cursor (Batching = false).
-	cur    *inBatch
+	// Per-message scheduling cursor (Batching = false). cur is written
+	// only by the instance's serialized executions but read concurrently
+	// by Job.Drain's quiescence probe (inEmpty), hence atomic; curPos is
+	// private to the execution goroutine.
+	cur    atomic.Pointer[inBatch]
 	curPos int
 
 	// Staged-emit state (Batching = true): while staging is set, emitOn
@@ -235,29 +238,32 @@ func (inst *instance) Execute(rc *granules.RunContext) error {
 		inst.staging = false
 		inst.flushStage()
 		if inst.dataset.Len() > 0 {
-			_ = rc.Resource().NotifyData(inst.taskID())
+			_ = rc.Resource().NotifyData(inst.taskID()) //neptune:discarderr self re-notify; fails only after Stop, when delivery no longer matters
 		}
 		return nil
 	}
 	// Per-message scheduling.
 	defer inst.maybeTick()
-	if inst.cur == nil {
+	cur := inst.cur.Load()
+	if cur == nil {
 		b, ok := inst.dataset.Poll()
 		if !ok {
 			return nil
 		}
 		inst.batches.Inc()
-		inst.cur = b
+		cur = b
+		inst.cur.Store(b)
 		inst.curPos = 0
 	}
-	p := inst.cur.packets[inst.curPos]
+	p := cur.packets[inst.curPos]
 	inst.curPos++
-	if inst.curPos >= len(inst.cur.packets) {
-		inst.cur = nil
+	if inst.curPos >= len(cur.packets) {
+		cur = nil
+		inst.cur.Store(nil)
 	}
 	inst.processOne(p)
-	if inst.cur != nil || inst.dataset.Len() > 0 {
-		_ = rc.Resource().NotifyData(inst.taskID())
+	if cur != nil || inst.dataset.Len() > 0 {
+		_ = rc.Resource().NotifyData(inst.taskID()) //neptune:discarderr self re-notify; fails only after Stop, when delivery no longer matters
 	}
 	return nil
 }
@@ -580,7 +586,7 @@ func (inst *instance) inEmpty() bool {
 	if inst.dataset == nil {
 		return true
 	}
-	if inst.cur != nil {
+	if inst.cur.Load() != nil {
 		return false
 	}
 	return inst.dataset.Len() == 0

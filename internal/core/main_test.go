@@ -1,0 +1,11 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain gates the whole package on goroutine hygiene: engine launch,
+// buffer flush timers, and transport wiring must not outlive their jobs.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

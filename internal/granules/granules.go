@@ -182,7 +182,7 @@ type Resource struct {
 	workers int
 
 	mu    sync.Mutex                            // serializes registration/deploy/terminate
-	tasks atomic.Pointer[map[string]*taskState] // copy-on-write task table
+	tasks atomic.Pointer[map[string]*taskState] //neptune:cow task table
 
 	deployed atomic.Bool
 	term     atomic.Bool
@@ -323,7 +323,12 @@ func (r *Resource) Deploy() error {
 func (r *Resource) startTickerIfPeriodic(ts *taskState) {
 	iv := (*ts.strategy.Load()).Interval()
 	ts.mu.Lock()
-	if iv <= 0 || ts.ticker != nil {
+	// The term check must sit under ts.mu: Terminate stores term before
+	// sweeping tickers under the same lock, so either this call finishes
+	// first and the sweep stops the new ticker, or it observes term and
+	// starts nothing. Without it a SetStrategy/Register racing Terminate
+	// can start a ticker goroutine that nothing ever stops.
+	if iv <= 0 || ts.ticker != nil || r.term.Load() {
 		ts.mu.Unlock()
 		return
 	}
@@ -346,6 +351,8 @@ func (r *Resource) startTickerIfPeriodic(ts *taskState) {
 // worker is the body of one worker-pool goroutine: drain the own shard,
 // fall back to the overflow spill and to stealing, park when everything
 // is dry.
+//
+//neptune:hotpath
 func (r *Resource) worker(id int) {
 	defer r.wg.Done()
 	s := r.sched
@@ -389,6 +396,8 @@ func (r *Resource) worker(id int) {
 
 // execute runs one scheduled execution of a task and reschedules it if
 // notifications arrived meanwhile.
+//
+//neptune:hotpath
 func (r *Resource) execute(ts *taskState, workerID int) {
 	// The popper owns the queued→running transition; a failed CAS means
 	// notifications arrived between submit and pop, so the pending mark
@@ -396,15 +405,7 @@ func (r *Resource) execute(ts *taskState, workerID int) {
 	if !ts.state.CompareAndSwap(taskQueued, taskRunning) {
 		ts.state.Store(taskRunningPending) // from taskQueuedPending
 	}
-	rc := &ts.rc
-	err := func() (err error) {
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("granules: task %q panicked: %v", ts.task.ID(), p)
-			}
-		}()
-		return ts.task.Execute(rc)
-	}()
+	err := r.runTask(ts)
 	ts.executions.Add(1)
 	if err != nil {
 		r.reg.Counter("task_errors").Inc()
@@ -426,9 +427,24 @@ func (r *Resource) execute(ts *taskState, workerID int) {
 	r.sched.submit(ts, workerID)
 }
 
+// runTask runs one task invocation, converting panics into errors. It is
+// a named method rather than a literal inside execute so the hot path
+// does not build a capturing closure per execution; the deferred recover
+// here is open-coded by the compiler and stays on the stack.
+func (r *Resource) runTask(ts *taskState) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("granules: task %q panicked: %v", ts.task.ID(), p)
+		}
+	}()
+	return ts.task.Execute(&ts.rc)
+}
+
 // schedule requests one execution of ts, coalescing with any execution
 // already queued or in flight. It is lock-free: a CAS on the task's state
 // machine, plus a sharded queue push only on the idle→queued edge.
+//
+//neptune:hotpath
 func (r *Resource) schedule(ts *taskState) {
 	for {
 		switch ts.state.Load() {
@@ -455,6 +471,8 @@ func (r *Resource) schedule(ts *taskState) {
 // task's strategy decides whether this triggers an execution. Datasets
 // call this from IO goroutines; the whole path — lifecycle checks, task
 // lookup, notification count, strategy consult — is lock-free.
+//
+//neptune:hotpath
 func (r *Resource) NotifyData(taskID string) error {
 	if !r.deployed.Load() {
 		return ErrNotDeployed

@@ -1,0 +1,11 @@
+package granules
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain gates the whole package on goroutine hygiene: parked workers,
+// periodic tickers, and the scheduler must all wind down with Terminate.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

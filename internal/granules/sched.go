@@ -196,6 +196,8 @@ func newSched(r *Resource, workers int) *sched {
 // own shard (resubmission after a preempted execution); hint < 0 spreads
 // round-robin. Every submission is a queue handoff for the Table I
 // accounting; unparking an idle worker is a wakeup.
+//
+//neptune:hotpath
 func (s *sched) submit(ts *taskState, hint int) {
 	s.res.switches.CountHandoff()
 	if s.res.term.Load() {
@@ -230,6 +232,8 @@ func (s *sched) submit(ts *taskState, hint int) {
 
 // next returns the next task for worker id: own ring, then the overflow
 // spill (oldest work first), then half of a random victim's ring.
+//
+//neptune:hotpath
 func (s *sched) next(id int, rng *uint64, stealBuf *[]*taskState) *taskState {
 	if ts := s.shards[id].pop(); ts != nil {
 		return ts

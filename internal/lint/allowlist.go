@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Allowlist holds the intentional, documented rule violations the driver
+// tolerates. Each entry matches a finding by (rule, file, key) — never by
+// line number, so entries survive unrelated edits — and must carry a
+// reason after '#'. Example line:
+//
+//	hotpathlock internal/buffer/buffer.go (*CapacityBuffer).AddBatch:lock(b.mu) # single batch-amortized lock, measured in PR 2
+type Allowlist struct {
+	entries map[allowKey]*allowEntry
+}
+
+type allowKey struct {
+	Rule, File, Key string
+}
+
+type allowEntry struct {
+	reason string
+	line   int
+	used   bool
+}
+
+// ParseAllowlist reads the allowlist format: one entry per line,
+// whitespace-separated `rule file key`, a mandatory `# reason`, blank lines
+// and full-line comments ignored.
+func ParseAllowlist(r io.Reader, name string) (*Allowlist, error) {
+	al := &Allowlist{entries: make(map[allowKey]*allowEntry)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entry, reason, found := strings.Cut(line, "#")
+		if !found || strings.TrimSpace(reason) == "" {
+			return nil, fmt.Errorf("%s:%d: allowlist entry is missing a '# reason'", name, lineNo)
+		}
+		fields := strings.Fields(strings.TrimSpace(entry))
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'rule file key # reason', got %d fields", name, lineNo, len(fields))
+		}
+		k := allowKey{Rule: fields[0], File: fields[1], Key: fields[2]}
+		if _, dup := al.entries[k]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate allowlist entry for %s %s %s", name, lineNo, k.Rule, k.File, k.Key)
+		}
+		al.entries[k] = &allowEntry{reason: strings.TrimSpace(reason), line: lineNo}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	return al, nil
+}
+
+// LoadAllowlist reads path; a missing file yields an empty allowlist.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Allowlist{entries: make(map[allowKey]*allowEntry)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseAllowlist(f, path)
+}
+
+// Allowed reports whether the finding is covered; covered entries are
+// marked used for the stale-entry report.
+func (al *Allowlist) Allowed(f Finding) bool {
+	e, ok := al.entries[allowKey{Rule: f.Rule, File: f.File, Key: f.Key}]
+	if ok {
+		e.used = true
+	}
+	return ok
+}
+
+// Stale returns entries that matched nothing, restricted to files in the
+// analyzed set — entries for packages outside this run's patterns are not
+// judged. Stale entries are reported as warnings, not failures, so a
+// partial-tree run cannot flip the exit code.
+func (al *Allowlist) Stale(analyzedFiles map[string]bool) []string {
+	var out []string
+	for k, e := range al.entries {
+		if !e.used && analyzedFiles[k.File] {
+			out = append(out, fmt.Sprintf("allowlist entry unused (line %d): %s %s %s", e.line, k.Rule, k.File, k.Key))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

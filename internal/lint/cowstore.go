@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cowstore protects the copy-on-write registries introduced in PR 2
+// (Engine.channels, Resource.tasks): readers dereference an
+// atomic.Pointer[map[...]...] with no lock, so a writer that mutates the
+// published map in place — instead of cloning, editing the clone, and
+// atomically storing a pointer to the fresh map — races every concurrent
+// Dispatch/NotifyData. Fields annotated //neptune:cow may only be updated
+// via .Store(&fresh) where fresh is a map built in the same function
+// (make or a map literal); writing through .Load(), directly or via a
+// local alias, is an in-place mutation of the published snapshot.
+var analyzerCowStore = &Analyzer{
+	Name: "cowstore",
+	Doc:  "in-place mutation of a //neptune:cow copy-on-write map",
+	Run:  runCowStore,
+}
+
+func runCowStore(p *Package) []Finding {
+	r := &reporter{rule: "cowstore", pkg: p}
+	cowFields := collectCowFields(p)
+	if len(cowFields) == 0 {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkCowFunc(r, p, fd, cowFields)
+			}
+		}
+	}
+	return r.out
+}
+
+// collectCowFields returns the struct fields of this package annotated
+// //neptune:cow (on the field's doc or trailing comment).
+func collectCowFields(p *Package) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasDirective(field.Doc, directiveCow) && !hasDirective(field.Comment, directiveCow) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkCowFunc(r *reporter, p *Package, fd *ast.FuncDecl, cowFields map[*types.Var]bool) {
+	fname := funcName(fd)
+
+	// cowFieldSel resolves e to an annotated field selector ("e.channels").
+	cowFieldSel := func(e ast.Expr) (string, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		if v := selectedField(p, sel); v != nil && cowFields[v] {
+			return types.ExprString(sel), true
+		}
+		return "", false
+	}
+
+	// loadOfCow matches f.Load() / *f.Load() for an annotated field.
+	loadOfCow := func(e ast.Expr) (string, bool) {
+		e = ast.Unparen(e)
+		if star, ok := e.(*ast.StarExpr); ok {
+			e = ast.Unparen(star.X)
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" {
+			return "", false
+		}
+		return cowFieldSel(sel.X)
+	}
+
+	// Locals aliasing a loaded snapshot (m := *f.Load()), and locals that
+	// are provably fresh maps (m := make(...) / map literal / clones built
+	// from them). Both maps are filled in a first pass so order of
+	// declaration vs. use inside the function does not matter for Store
+	// checking (the scan below is still source-ordered for mutations).
+	derived := make(map[types.Object]string) // local -> field it aliases
+	fresh := make(map[types.Object]bool)
+	recordAssign := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if fieldName, ok := loadOfCow(rhs); ok {
+			derived[obj] = fieldName
+			return
+		}
+		rhs = ast.Unparen(rhs)
+		switch rx := rhs.(type) {
+		case *ast.CallExpr:
+			if fid, ok := rx.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[fid].(*types.Builtin); ok && b.Name() == "make" {
+					fresh[obj] = true
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := p.Info.Types[rx]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					fresh[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					recordAssign(x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := x.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+						for i := range vs.Names {
+							recordAssign(vs.Names[i], vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// mutatesSnapshot reports whether e is (an alias of) the published map.
+	mutatesSnapshot := func(e ast.Expr) (string, bool) {
+		if fieldName, ok := loadOfCow(e); ok {
+			return fieldName, true
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				obj = p.Info.Defs[id]
+			}
+			if obj != nil {
+				if fieldName, ok := derived[obj]; ok {
+					return fieldName, true
+				}
+			}
+		}
+		return "", false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if fieldName, ok := mutatesSnapshot(idx.X); ok {
+					r.report(lhs.Pos(), fname+":cowmutate("+fieldName+")",
+						"%s writes a key of the live %s snapshot in place — clone the map and %s.Store the clone instead", fname, fieldName, fieldName)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(x.Args) == 2 {
+					if fieldName, ok := mutatesSnapshot(x.Args[0]); ok {
+						r.report(x.Pos(), fname+":cowmutate("+fieldName+")",
+							"%s deletes a key of the live %s snapshot in place — clone the map and %s.Store the clone instead", fname, fieldName, fieldName)
+					}
+				}
+				return true
+			}
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Store" || len(x.Args) != 1 {
+				return true
+			}
+			fieldName, ok := cowFieldSel(sel.X)
+			if !ok {
+				return true
+			}
+			// The stored value must be &local where local is a fresh map.
+			arg := ast.Unparen(x.Args[0])
+			un, ok := arg.(*ast.UnaryExpr)
+			if ok {
+				if id, isIdent := ast.Unparen(un.X).(*ast.Ident); isIdent {
+					obj := p.Info.Uses[id]
+					if obj == nil {
+						obj = p.Info.Defs[id]
+					}
+					if obj != nil && fresh[obj] {
+						return true // canonical clone-and-store
+					}
+					if obj != nil {
+						if _, isDerived := derived[obj]; isDerived {
+							r.report(x.Pos(), fname+":cowstore("+fieldName+")",
+								"%s stores the loaded %s snapshot back — readers of the old pointer still see the same map; build a fresh one", fname, fieldName)
+							return true
+						}
+					}
+				}
+			}
+			r.report(x.Pos(), fname+":cowstore("+fieldName+")",
+				"%s stores a value into %s that is not the address of a freshly built map — copy-on-write requires a private clone", fname, fieldName)
+		}
+		return true
+	})
+}

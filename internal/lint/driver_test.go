@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMain(t *testing.T, args []string, dir string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code = Main(args, dir, &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+// TestMainTreeClean is the regression gate: the shipped repository must be
+// finding-free under its own allowlist.
+func TestMainTreeClean(t *testing.T) {
+	code, stdout, stderr := runMain(t, []string{"./..."}, "../..")
+	if code != ExitClean {
+		t.Fatalf("neptune-vet on the tree: exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, stdout, stderr)
+	}
+	if strings.Contains(stderr, "warning:") {
+		t.Errorf("tree run produced stale-allowlist warnings:\n%s", stderr)
+	}
+}
+
+// TestMainFixtureFindings: each analyzer's fixture package must fail with
+// exit 1 and name its rule in the output.
+func TestMainFixtureFindings(t *testing.T) {
+	cases := []struct {
+		pattern string
+		rule    string
+	}{
+		{"./useafterput", "[pooluseafterput]"},
+		{"./hotpath", "[hotpathlock]"},
+		{"./cow", "[cowstore]"},
+		{"./lockedcb", "[lockedcallback]"},
+		{"./internal/transport/discard", "[errdiscard]"},
+	}
+	for _, tc := range cases {
+		t.Run(strings.TrimPrefix(tc.pattern, "./"), func(t *testing.T) {
+			code, stdout, stderr := runMain(t, []string{tc.pattern}, "testdata/src/fixture")
+			if code != ExitFindings {
+				t.Fatalf("exit %d, want %d\nstderr: %s", code, ExitFindings, stderr)
+			}
+			if !strings.Contains(stdout, tc.rule) {
+				t.Errorf("output does not mention %s:\n%s", tc.rule, stdout)
+			}
+		})
+	}
+}
+
+// TestMainMultiPackage: findings from several packages come out in one
+// run, sorted by file.
+func TestMainMultiPackage(t *testing.T) {
+	code, stdout, _ := runMain(t, []string{"./hotpath", "./cow"}, "testdata/src/fixture")
+	if code != ExitFindings {
+		t.Fatalf("exit %d, want %d", code, ExitFindings)
+	}
+	iCow := strings.Index(stdout, "cow/cow.go")
+	iHot := strings.Index(stdout, "hotpath/hotpath.go")
+	if iCow < 0 || iHot < 0 {
+		t.Fatalf("expected findings from both packages:\n%s", stdout)
+	}
+	if iCow > iHot {
+		t.Errorf("findings not sorted by file (cow after hotpath):\n%s", stdout)
+	}
+}
+
+// TestMainBadPattern: load failures are usage errors, not findings.
+func TestMainBadPattern(t *testing.T) {
+	code, _, stderr := runMain(t, []string{"./no-such-package"}, "testdata/src/fixture")
+	if code != ExitError {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, ExitError, stderr)
+	}
+}
+
+// TestMainRules: -rules lists every registered analyzer and exits clean.
+func TestMainRules(t *testing.T) {
+	code, stdout, _ := runMain(t, []string{"-rules"}, "testdata/src/fixture")
+	if code != ExitClean {
+		t.Fatalf("exit %d, want %d", code, ExitClean)
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-rules output missing %s:\n%s", a.Name, stdout)
+		}
+	}
+}
+
+// TestMainAllowlist: an allowlist covering every fixture finding flips the
+// exit to clean, and an unused entry only warns.
+func TestMainAllowlist(t *testing.T) {
+	// First run without an allowlist to harvest the findings.
+	pkgs := loadFixture(t, "./useafterput")
+	var lines []string
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			for _, f := range a.Run(p) {
+				lines = append(lines, f.Rule+" "+f.File+" "+f.Key+" # harvested for test")
+			}
+		}
+	}
+	if len(lines) == 0 {
+		t.Fatal("useafterput fixture produced no findings to allowlist")
+	}
+	lines = append(lines, "hotpathlock useafterput/useafterput.go nosuchfunc:make # stale entry")
+	allowFile := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(allowFile, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runMain(t, []string{"-allow", allowFile, "./useafterput"}, "testdata/src/fixture")
+	if code != ExitClean {
+		t.Fatalf("allowlisted run: exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "allowlist entry unused") {
+		t.Errorf("expected a stale-entry warning, got stderr:\n%s", stderr)
+	}
+}
+
+// TestMainBadAllowlist: a malformed allowlist is a hard error.
+func TestMainBadAllowlist(t *testing.T) {
+	allowFile := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(allowFile, []byte("pooluseafterput file.go key-without-reason\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runMain(t, []string{"-allow", allowFile, "./useafterput"}, "testdata/src/fixture")
+	if code != ExitError {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, ExitError, stderr)
+	}
+	if !strings.Contains(stderr, "reason") {
+		t.Errorf("error does not explain the missing reason:\n%s", stderr)
+	}
+}
+
+func TestParseAllowlist(t *testing.T) {
+	good := `
+# comment line
+
+hotpathlock internal/buffer/buffer.go (*CapacityBuffer).Add:lock(b.mu) # amortized
+errdiscard internal/transport/tcp.go NewTCP:discard(x) # tuning
+`
+	al, err := ParseAllowlist(strings.NewReader(good), "test")
+	if err != nil {
+		t.Fatalf("good allowlist rejected: %v", err)
+	}
+	hit := Finding{Rule: "hotpathlock", File: "internal/buffer/buffer.go", Key: "(*CapacityBuffer).Add:lock(b.mu)"}
+	if !al.Allowed(hit) {
+		t.Error("matching finding not allowed")
+	}
+	miss := Finding{Rule: "hotpathlock", File: "internal/buffer/buffer.go", Key: "(*CapacityBuffer).Add:append"}
+	if al.Allowed(miss) {
+		t.Error("non-matching finding allowed")
+	}
+	stale := al.Stale(map[string]bool{"internal/transport/tcp.go": true, "internal/buffer/buffer.go": true})
+	if len(stale) != 1 || !strings.Contains(stale[0], "NewTCP:discard(x)") {
+		t.Errorf("stale = %v, want exactly the unused tcp entry", stale)
+	}
+	if got := al.Stale(map[string]bool{}); len(got) != 0 {
+		t.Errorf("entries outside the analyzed set reported stale: %v", got)
+	}
+
+	bad := []string{
+		"hotpathlock only-two-fields # reason",
+		"norule file key",
+		"a b c d # too many fields",
+	}
+	for _, line := range bad {
+		if _, err := ParseAllowlist(strings.NewReader(line), "test"); err == nil {
+			t.Errorf("malformed line accepted: %q", line)
+		}
+	}
+	dup := "r f k # one\nr f k # two\n"
+	if _, err := ParseAllowlist(strings.NewReader(dup), "test"); err == nil {
+		t.Error("duplicate entries accepted")
+	}
+}
+
+// TestLoadMissingDir: loading from a nonexistent directory reports an
+// error instead of panicking.
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope"), []string{"./..."}); err == nil {
+		t.Fatal("Load from a missing directory succeeded")
+	}
+}

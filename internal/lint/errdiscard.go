@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdiscard covers the failure-masking class of bug: in the transport and
+// engine layers a swallowed error usually means a peer failure, a corrupt
+// frame, or a shutdown race that the operator never hears about (the PR-2
+// reconnect work found exactly such a silent `_ = err`). Inside
+// internal/transport and internal/core, discarding an error — `_ = expr`
+// or calling an error-returning function as a bare statement — requires an
+// explicit //neptune:discarderr <reason> annotation on the same line or
+// the line above. Close calls in cleanup paths and deferred calls are
+// exempt by convention.
+var analyzerErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "silently discarded error in internal/transport or internal/core",
+	Run:  runErrDiscard,
+}
+
+func runErrDiscard(p *Package) []Finding {
+	if !strings.Contains(p.Path, "internal/transport") && !strings.Contains(p.Path, "internal/core") {
+		return nil
+	}
+	r := &reporter{rule: "errdiscard", pkg: p}
+	for _, f := range p.Files {
+		directives := directiveLines(p, f, directiveDiscardErr)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrDiscard(r, p, fd, directives)
+		}
+	}
+	return r.out
+}
+
+func checkErrDiscard(r *reporter, p *Package, fd *ast.FuncDecl, directives map[int]string) {
+	fname := funcName(fd)
+
+	// annotated checks the suppression directive on the statement's line or
+	// the line above; a directive with an empty reason does not count.
+	annotated := func(n ast.Node) bool {
+		line := p.Fset.Position(n.Pos()).Line
+		if reason, ok := directives[line]; ok && reason != "" {
+			return true
+		}
+		if reason, ok := directives[line-1]; ok && reason != "" {
+			return true
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			return false // deferred cleanup is exempt by convention
+		case *ast.AssignStmt:
+			// `_ = expr` with an error-typed right-hand side.
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+				return true
+			}
+			id, ok := x.Lhs[0].(*ast.Ident)
+			if !ok || id.Name != "_" {
+				return true
+			}
+			tv, ok := p.Info.Types[x.Rhs[0]]
+			if !ok || !isErrorType(tv.Type) {
+				return true
+			}
+			if annotated(x) {
+				return true
+			}
+			r.report(x.Pos(), fname+":discard("+discardExprString(x.Rhs[0])+")",
+				"%s assigns an error to _ — handle it, surface it via OnError, or annotate with %s <reason>", fname, directiveDiscardErr)
+		case *ast.ExprStmt:
+			call, ok := x.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callReturnsError(p, call) {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				return true // best-effort cleanup Close is exempt
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "Close" {
+				return true
+			}
+			if annotated(x) {
+				return true
+			}
+			r.report(x.Pos(), fname+":discard("+discardExprString(call.Fun)+")",
+				"%s drops the error returned by %s — handle it, surface it via OnError, or annotate with %s <reason>", fname, discardExprString(call.Fun), directiveDiscardErr)
+		}
+		return true
+	})
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func discardExprString(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}

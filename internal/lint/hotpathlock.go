@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathlock guards the paper's Table I claims: the per-frame path
+// (Dispatch → decode → buffer → schedule) must stay lock-free and
+// allocation-free, or the context-switch and GC reductions measured in
+// PR 1–2 silently evaporate. Any function annotated //neptune:hotpath may
+// not acquire a sync.Mutex/RWMutex, allocate with make/new, grow a slice
+// with append, create a closure, or spawn a goroutine. Intentional
+// exceptions (e.g. a cold error path taking a lock) go in the allowlist
+// with a reason.
+var analyzerHotPathLock = &Analyzer{
+	Name: "hotpathlock",
+	Doc:  "mutex acquisition or allocation inside a //neptune:hotpath function",
+	Run:  runHotPathLock,
+}
+
+func runHotPathLock(p *Package) []Finding {
+	r := &reporter{rule: "hotpathlock", pkg: p}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, directiveHotPath) {
+				continue
+			}
+			checkHotPath(r, p, fd)
+		}
+	}
+	return r.out
+}
+
+func checkHotPath(r *reporter, p *Package, fd *ast.FuncDecl) {
+	fname := funcName(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if guard, method, ok := mutexCall(p, x); ok {
+				switch method {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					r.report(x.Pos(), fname+":lock("+guard+")",
+						"%s acquires %s.%s on the hot path — per-frame locking reintroduces the contention PR 2 removed", fname, guard, method)
+				}
+				return true
+			}
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						r.report(x.Pos(), fname+":make",
+							"%s allocates with make on the hot path — per-frame allocation defeats the frugal-object scheme", fname)
+					case "new":
+						r.report(x.Pos(), fname+":new",
+							"%s allocates with new on the hot path", fname)
+					case "append":
+						r.report(x.Pos(), fname+":append",
+							"%s appends on the hot path — slice growth allocates; preallocate or reuse pooled storage", fname)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			r.report(x.Pos(), fname+":closure",
+				"%s creates a closure on the hot path — the captured environment heap-allocates per frame", fname)
+			return true // still walk the body for locks
+		case *ast.GoStmt:
+			r.report(x.Pos(), fname+":go",
+				"%s spawns a goroutine on the hot path — per-frame goroutines cause the context-switch storms NEPTUNE's design avoids", fname)
+		case *ast.CompositeLit:
+			// Composite literals of pointer-escaping kinds are allocations
+			// too, but value literals (e.g. Frame{...}) are stack-friendly;
+			// only slice/map literals are flagged.
+			if tv, ok := p.Info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					r.report(x.Pos(), fname+":literal",
+						"%s builds a slice/map literal on the hot path — this allocates per call", fname)
+				}
+			}
+		}
+		return true
+	})
+}

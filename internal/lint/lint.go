@@ -1,0 +1,207 @@
+// Package lint is a small, stdlib-only static-analysis framework for the
+// NEPTUNE tree. PRs 1–2 made the per-packet path lock-free and
+// pool-recycled, which moved correctness onto conventions the compiler
+// cannot see: no retained reference after PutBatch, no mutex or allocation
+// inside the per-frame dispatch/decode path, copy-on-write maps swapped
+// only through atomic.Pointer.Store of a freshly built map, no user
+// callback invoked under a receiver mutex, no silently discarded transport
+// errors. Each convention is enforced by one analyzer below; the
+// cmd/neptune-vet driver runs them per package and fails the build on any
+// unallowlisted finding.
+//
+// The framework is built directly on go/parser and go/types (loaded via
+// `go list -export`, see Load) because the module deliberately takes no
+// third-party dependencies — golang.org/x/tools/go/analysis is therefore
+// off the table.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	// Rule names the analyzer that produced the finding.
+	Rule string
+	// Pos locates the offending syntax.
+	Pos token.Position
+	// File is the module-root-relative path of the offending file; the
+	// allowlist matches on it rather than on line numbers so entries
+	// survive unrelated edits.
+	File string
+	// Key is a stable, line-number-free identity for the finding
+	// ("Func:kind(detail)"); allowlist entries match (Rule, File, Key).
+	Key string
+	// Msg is the human-readable description.
+	Msg string
+}
+
+// String formats the finding the way the driver prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	// Name is the rule name used in output and allowlist entries.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the rule's findings for one package.
+	Run func(p *Package) []Finding
+}
+
+// Analyzers returns every registered NEPTUNE rule, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerPoolUseAfterPut,
+		analyzerHotPathLock,
+		analyzerCowStore,
+		analyzerLockedCallback,
+		analyzerErrDiscard,
+	}
+}
+
+// reporter accumulates findings for one analyzer over one package.
+type reporter struct {
+	rule string
+	pkg  *Package
+	out  []Finding
+}
+
+func (r *reporter) report(pos token.Pos, key, format string, args ...any) {
+	r.out = append(r.out, Finding{
+		Rule: r.rule,
+		Pos:  r.pkg.Fset.Position(pos),
+		File: r.pkg.RelFile(pos),
+		Key:  key,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ---- Annotation helpers ----
+
+// Annotation directives understood by the analyzers. They are ordinary
+// comment directives (no space after //) so gofmt leaves them alone.
+const (
+	directiveHotPath    = "//neptune:hotpath"
+	directiveCow        = "//neptune:cow"
+	directiveDiscardErr = "//neptune:discarderr"
+)
+
+// hasDirective reports whether the comment group carries the directive
+// (exactly, or followed by an explanation).
+func hasDirective(g *ast.CommentGroup, directive string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines maps, for one file, each source line that carries the
+// directive to the directive's trailing text (the reason). A directive
+// suppresses/annotates the statement on its own line or the line below it.
+func directiveLines(p *Package, file *ast.File, directive string) map[int]string {
+	lines := make(map[int]string)
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if c.Text != directive && !strings.HasPrefix(c.Text, directive+" ") {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(c.Text, directive))
+			lines[p.Fset.Position(c.Pos()).Line] = reason
+		}
+	}
+	return lines
+}
+
+// funcName renders a readable name for a function declaration, including
+// the receiver type for methods ("(*Engine).Dispatch").
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	var b strings.Builder
+	if star, ok := t.(*ast.StarExpr); ok {
+		b.WriteString("*")
+		t = star.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := x.X.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+		}
+	case *ast.IndexListExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+		}
+	}
+	return "(" + b.String() + ")." + fd.Name.Name
+}
+
+// ---- Type helpers shared by analyzers ----
+
+// isSyncMutex reports whether t (after stripping pointers) is sync.Mutex
+// or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexCall matches sel-expression calls like x.mu.Lock() and returns the
+// lock-guard expression ("x.mu") plus the method name. ok is false when the
+// call is not a method on a sync mutex.
+func mutexCall(p *Package, call *ast.CallExpr) (guard string, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	tv, okT := p.Info.Types[sel.X]
+	if !okT || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// selectedField resolves a selector expression to the struct field it
+// reads, or nil when it is not a field selection.
+func selectedField(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks the fixture module under testdata.
+func loadFixture(t *testing.T, patterns ...string) []*Package {
+	t.Helper()
+	pkgs, err := Load("testdata/src/fixture", patterns)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture load matched no packages")
+	}
+	return pkgs
+}
+
+var wantClauseRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// fixtureWants extracts the `// want "substr" ...` expectations, keyed by
+// file:line.
+func fixtureWants(pkgs []*Package) map[string][]string {
+	wants := make(map[string][]string)
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					key := fmt.Sprintf("%s:%d", p.RelFile(c.Pos()), p.Fset.Position(c.Pos()).Line)
+					for _, m := range wantClauseRe.FindAllStringSubmatch(rest, -1) {
+						wants[key] = append(wants[key], m[1])
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runAll runs every analyzer over the packages, keyed by file:line.
+func runAll(pkgs []*Package) map[string][]Finding {
+	got := make(map[string][]Finding)
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			for _, f := range a.Run(p) {
+				key := fmt.Sprintf("%s:%d", f.File, f.Pos.Line)
+				got[key] = append(got[key], f)
+			}
+		}
+	}
+	return got
+}
+
+// TestAnalyzersGolden asserts that the analyzers produce exactly the
+// findings marked by `// want` comments in the fixture tree: every want
+// matches a finding on its line, and no finding lacks a want.
+func TestAnalyzersGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./...")
+	wants := fixtureWants(pkgs)
+	got := runAll(pkgs)
+
+	for key, subs := range wants {
+		findings := got[key]
+		matched := make([]bool, len(findings))
+		for _, sub := range subs {
+			ok := false
+			for i, f := range findings {
+				if !matched[i] && strings.Contains(f.Msg, sub) {
+					matched[i] = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s: no finding matching %q (have: %v)", key, sub, findingMsgs(findings))
+			}
+		}
+		for i, f := range findings {
+			if !matched[i] {
+				t.Errorf("%s: unexpected extra finding [%s] %s", key, f.Rule, f.Msg)
+			}
+		}
+	}
+	for key, findings := range got {
+		if _, expected := wants[key]; !expected {
+			for _, f := range findings {
+				t.Errorf("%s: unexpected finding [%s] %s", key, f.Rule, f.Msg)
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("fixture tree contains no want comments; harness is broken")
+	}
+}
+
+func findingMsgs(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Msg
+	}
+	return out
+}
+
+// TestEachAnalyzerFires guards against an analyzer silently matching
+// nothing (e.g. a renamed directive): every registered rule must produce
+// at least one finding somewhere in the fixture tree.
+func TestEachAnalyzerFires(t *testing.T) {
+	pkgs := loadFixture(t, "./...")
+	fired := make(map[string]int)
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			fired[a.Name] += len(a.Run(p))
+		}
+	}
+	for _, a := range Analyzers() {
+		if fired[a.Name] == 0 {
+			t.Errorf("analyzer %s produced no findings on the fixture tree", a.Name)
+		}
+	}
+}
+
+// TestFindingKeysStable asserts keys are line-number-free and deterministic
+// across runs — the property the allowlist format depends on.
+func TestFindingKeysStable(t *testing.T) {
+	pkgs1 := loadFixture(t, "./...")
+	pkgs2 := loadFixture(t, "./...")
+	keys := func(pkgs []*Package) []string {
+		var out []string
+		for _, p := range pkgs {
+			for _, a := range Analyzers() {
+				for _, f := range a.Run(p) {
+					out = append(out, f.Rule+" "+f.File+" "+f.Key)
+				}
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	k1, k2 := keys(pkgs1), keys(pkgs2)
+	if strings.Join(k1, "\n") != strings.Join(k2, "\n") {
+		t.Fatalf("finding keys differ across identical runs:\n%v\nvs\n%v", k1, k2)
+	}
+	lineRe := regexp.MustCompile(`:\d+`)
+	for _, k := range k1 {
+		fields := strings.Fields(k)
+		if lineRe.MatchString(fields[len(fields)-1]) {
+			t.Errorf("key %q embeds what looks like a line number", k)
+		}
+	}
+}
+
+// TestDirectiveHelpers covers the comment-directive plumbing directly.
+func TestDirectiveHelpers(t *testing.T) {
+	g := &ast.CommentGroup{List: []*ast.Comment{
+		{Text: "// ordinary comment"},
+		{Text: "//neptune:hotpath"},
+	}}
+	if !hasDirective(g, directiveHotPath) {
+		t.Error("hasDirective missed an exact directive")
+	}
+	if hasDirective(g, directiveCow) {
+		t.Error("hasDirective matched the wrong directive")
+	}
+	withReason := &ast.CommentGroup{List: []*ast.Comment{
+		{Text: "//neptune:discarderr shutdown race is benign"},
+	}}
+	if !hasDirective(withReason, directiveDiscardErr) {
+		t.Error("hasDirective missed a directive with a reason")
+	}
+	prefixOnly := &ast.CommentGroup{List: []*ast.Comment{
+		{Text: "//neptune:hotpathological"},
+	}}
+	if hasDirective(prefixOnly, directiveHotPath) {
+		t.Error("hasDirective matched a prefix of a longer word")
+	}
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked module package ready for
+// analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// ModRoot is the root directory of the module the package belongs to;
+	// finding positions are reported relative to it.
+	ModRoot string
+	// Fset is the position set shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files holds the parsed source files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression/object maps.
+	Info *types.Info
+}
+
+// RelFile returns pos's filename relative to the module root (falling back
+// to the raw filename when it is not under the root).
+func (p *Package) RelFile(pos token.Pos) string {
+	file := p.Fset.Position(pos).Filename
+	if rel, err := filepath.Rel(p.ModRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") in dir with the go tool, parses the
+// matched packages' sources, and type-checks them against the export data
+// of their dependencies. It is the module-aware package loader behind
+// neptune-vet; everything it needs ships with the standard toolchain.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(errBuf.String()))
+	}
+
+	byPath := make(map[string]*listPackage)
+	var targets []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		byPath[lp.ImportPath] = lp
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		lp, ok := byPath[path]
+		if !ok || lp.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		modRoot := t.Dir
+		if t.Module != nil && t.Module.Dir != "" {
+			modRoot = t.Module.Dir
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:    t.ImportPath,
+			Dir:     t.Dir,
+			ModRoot: modRoot,
+			Fset:    fset,
+			Files:   files,
+			Pkg:     tp,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockedcallback targets the bug class behind the PR-2 drain races: a
+// method acquires its receiver's mutex and then, still holding it, invokes
+// a user-supplied callback (a func-typed field or variable) or performs a
+// channel send. The callback may block indefinitely or re-enter the same
+// component and self-deadlock; the send can park the goroutine while every
+// other path to the lock backs up behind it. The analysis walks each
+// function in source order, tracking which mutex guards are held (deferred
+// unlocks hold to function end), and flags dynamic calls — calls whose
+// callee is a variable or field of function type rather than a declared
+// function — and channel sends made while any guard is held. Function
+// literals start with an empty held set: they execute later, not here.
+var analyzerLockedCallback = &Analyzer{
+	Name: "lockedcallback",
+	Doc:  "user callback or channel send while holding a receiver mutex",
+	Run:  runLockedCallback,
+}
+
+func runLockedCallback(p *Package) []Finding {
+	r := &reporter{rule: "lockedcallback", pkg: p}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				lc := &lockedCallbackScan{r: r, p: p, fname: funcName(fd), held: map[string]bool{}}
+				lc.scan(fd.Body)
+			}
+		}
+	}
+	return r.out
+}
+
+type lockedCallbackScan struct {
+	r     *reporter
+	p     *Package
+	fname string
+	held  map[string]bool
+}
+
+func (lc *lockedCallbackScan) anyHeld() (string, bool) {
+	for g, h := range lc.held {
+		if h {
+			return g, true
+		}
+	}
+	return "", false
+}
+
+// scan walks a subtree in source order. Mutex Lock/Unlock calls update the
+// held set; while it is non-empty, dynamic calls and sends are findings.
+func (lc *lockedCallbackScan) scan(n ast.Node) {
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs when the value is called, not here;
+			// scan it with a fresh held set and prune.
+			inner := &lockedCallbackScan{r: lc.r, p: lc.p, fname: lc.fname, held: map[string]bool{}}
+			inner.scan(x.Body)
+			return false
+		case *ast.DeferStmt:
+			if guard, method, ok := mutexCall(lc.p, x.Call); ok {
+				switch method {
+				case "Unlock", "RUnlock":
+					// Deferred unlock: the guard stays held until return,
+					// which is exactly the state we must keep flagging.
+					_ = guard
+				}
+				return false
+			}
+			// defer of anything else: body runs at return; scan args only.
+			for _, a := range x.Call.Args {
+				lc.scan(a)
+			}
+			return false
+		case *ast.CallExpr:
+			if guard, method, ok := mutexCall(lc.p, x); ok {
+				// Only struct-field mutexes count ("x.mu.Lock()"): the rule
+				// targets receiver locks whose contention footprint callers
+				// can't see. A local mutex guarding local closures is the
+				// author's own business.
+				if sel, isSel := x.Fun.(*ast.SelectorExpr); isSel {
+					if _, fieldLike := ast.Unparen(sel.X).(*ast.SelectorExpr); !fieldLike {
+						return false
+					}
+				}
+				switch method {
+				case "Lock", "RLock":
+					lc.held[guard] = true
+				case "TryLock", "TryRLock":
+					lc.held[guard] = true
+				case "Unlock", "RUnlock":
+					delete(lc.held, guard)
+				}
+				return false
+			}
+			if guard, heldNow := lc.anyHeld(); heldNow {
+				if name, ok := dynamicCallee(lc.p, x); ok {
+					lc.r.report(x.Pos(), lc.fname+":callback("+name+")",
+						"%s invokes the callback %s while holding %s — a blocking or re-entrant callback deadlocks every path to the lock", lc.fname, name, guard)
+				}
+			}
+		case *ast.SendStmt:
+			if guard, heldNow := lc.anyHeld(); heldNow {
+				lc.r.report(x.Pos(), lc.fname+":send("+types.ExprString(x.Chan)+")",
+					"%s sends on %s while holding %s — the send can block with the lock held", lc.fname, types.ExprString(x.Chan), guard)
+			}
+		}
+		return true
+	})
+}
+
+// dynamicCallee reports whether the call's callee is a variable or struct
+// field of function type — i.e. user-registered code the component does
+// not control — as opposed to a declared function/method, a conversion, or
+// a builtin.
+func dynamicCallee(p *Package, call *ast.CallExpr) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Conversions are not calls.
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+		return "", false
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[f].(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				return f.Name, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[f]; ok && sel.Kind() == types.FieldVal {
+			if _, isSig := sel.Type().Underlying().(*types.Signature); isSig {
+				return types.ExprString(f), true
+			}
+		}
+		if v, ok := p.Info.Uses[f.Sel].(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				return types.ExprString(f), true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Exit codes of the driver.
+const (
+	ExitClean    = 0 // no unallowlisted findings
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // usage, load, or allowlist error
+)
+
+// DefaultAllowFile is the allowlist the driver picks up from the module
+// root when -allow is not given.
+const DefaultAllowFile = ".neptune-vet-allow"
+
+// Main is the neptune-vet driver: it loads the packages matched by the
+// patterns in args (default ./...), runs every analyzer, filters findings
+// through the allowlist, prints the rest sorted by position, and returns
+// the process exit code. dir is the working directory for package loading
+// (the cmd wrapper passes "."); stdout receives findings, stderr receives
+// diagnostics.
+func Main(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("neptune-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	allowPath := fs.String("allow", "", "allowlist file (default: <module root>/"+DefaultAllowFile+" if present)")
+	listRules := fs.Bool("rules", false, "print the registered rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: neptune-vet [-allow file] [-rules] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *listRules {
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+
+	pkgs, err := Load(dir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "neptune-vet: %v\n", err)
+		return ExitError
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "neptune-vet: no packages matched\n")
+		return ExitError
+	}
+
+	path := *allowPath
+	if path == "" {
+		path = filepath.Join(pkgs[0].ModRoot, DefaultAllowFile)
+	}
+	allow, err := LoadAllowlist(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "neptune-vet: %v\n", err)
+		return ExitError
+	}
+
+	analyzedFiles := make(map[string]bool)
+	var findings []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			analyzedFiles[p.RelFile(f.Pos())] = true
+		}
+		for _, a := range Analyzers() {
+			for _, f := range a.Run(p) {
+				if !allow.Allowed(f) {
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	for _, w := range allow.Stale(analyzedFiles) {
+		fmt.Fprintf(stderr, "neptune-vet: warning: %s\n", w)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "neptune-vet: %d finding(s)\n", len(findings))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// MainOS is the convenience wrapper used by cmd/neptune-vet.
+func MainOS() int {
+	return Main(os.Args[1:], ".", os.Stdout, os.Stderr)
+}

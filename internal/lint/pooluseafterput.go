@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// pooluseafterput enforces the object-pool ownership convention from the
+// paper's frugal-object scheme (§III-B3): once a *packet.Packet flows into
+// PacketPool.Put / PacketPool.PutBatch (or a function annotated
+// //neptune:putlike, e.g. Engine.recycleBatch), the caller no longer owns
+// it. Reading the packet afterwards — or an element of a slice handed to
+// PutBatch — races the pool's Reset and the next Get. Storing a pooled
+// packet into a field and then putting it in the same straight-line block
+// leaves a dangling reference that outlives the batch.
+//
+// The analysis is function-local and source-ordered. Branches that exit
+// their block (return/continue/break) between the put and the later use
+// are treated as exclusive paths and not reported; reassignment of the
+// variable ends tracking. For PutBatch the slice header stays with the
+// caller, so clearing elements (xs[i] = nil), reslicing (xs = xs[:0]),
+// len/cap, and append-into-xs remain legal; element reads do not.
+var analyzerPoolUseAfterPut = &Analyzer{
+	Name: "pooluseafterput",
+	Doc:  "packet read, retained, or re-put after it was returned to the pool",
+	Run:  runPoolUseAfterPut,
+}
+
+const directivePutLike = "//neptune:putlike"
+
+type putEventKind int
+
+const (
+	evPut      putEventKind = iota // var relinquished to the pool
+	evKill                         // var reassigned; tracking ends
+	evOkUse                        // legal after PutBatch (elem clear, reslice, len/cap, append-to)
+	evElemRead                     // xs[i] read or value-range — illegal after PutBatch
+	evRead                         // any other read — illegal after any put
+	evEscape                       // var stored into a field/element that outlives the function
+)
+
+type putEvent struct {
+	pos    token.Pos
+	kind   putEventKind
+	v      *types.Var
+	batch  bool   // for evPut: PutBatch-style (slice) vs Put-style (single)
+	detail string // human-readable context
+	stack  []ast.Node
+}
+
+func runPoolUseAfterPut(p *Package) []Finding {
+	r := &reporter{rule: "pooluseafterput", pkg: p}
+	putlike := collectPutLike(p)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				analyzePutFunc(r, p, fd, putlike)
+			}
+		}
+	}
+	return r.out
+}
+
+// collectPutLike gathers functions annotated //neptune:putlike: calls to
+// them relinquish their packet/packet-slice arguments exactly like
+// PacketPool.Put/PutBatch.
+func collectPutLike(p *Package) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, directivePutLike) {
+				continue
+			}
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// putCallConsumes reports which ident arguments the call relinquishes.
+// Matches PacketPool.Put/PutBatch by receiver type name, plus any
+// //neptune:putlike function of the package.
+func putCallConsumes(p *Package, call *ast.CallExpr, putlike map[types.Object]bool) []*ast.Ident {
+	consumes := false
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Put" || sel.Sel.Name == "PutBatch" {
+			if tv, ok := p.Info.Types[sel.X]; ok {
+				t := tv.Type
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj().Name() == "PacketPool" {
+					consumes = true
+				}
+			}
+		}
+		if !consumes {
+			if obj := p.Info.Uses[sel.Sel]; obj != nil && putlike[obj] {
+				consumes = true
+			}
+		}
+	} else if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil && putlike[obj] {
+			consumes = true
+		}
+	}
+	if !consumes {
+		return nil
+	}
+	var ids []*ast.Ident
+	for _, a := range call.Args {
+		if id, ok := a.(*ast.Ident); ok && id.Name != "_" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func analyzePutFunc(r *reporter, p *Package, fd *ast.FuncDecl, putlike map[types.Object]bool) {
+	fname := funcName(fd)
+
+	// localVar resolves id to a function-local variable (param or local).
+	localVar := func(id *ast.Ident) *types.Var {
+		obj := p.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return nil
+		}
+		if v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+			return nil
+		}
+		return v
+	}
+
+	// Pass 1: mark the argument idents of put calls so pass 2 does not
+	// double-classify them as ordinary reads.
+	putArg := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, id := range putCallConsumes(p, call, putlike) {
+				putArg[id] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: collect put/use/escape events in source order.
+	var events []putEvent
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || len(stack) == 0 {
+			return true
+		}
+		v := localVar(id)
+		if v == nil {
+			return true
+		}
+		if putArg[id] {
+			_, isSlice := v.Type().Underlying().(*types.Slice)
+			events = append(events, putEvent{
+				pos: id.Pos(), kind: evPut, v: v, batch: isSlice,
+				detail: id.Name, stack: snapshotStack(stack),
+			})
+			return true
+		}
+		kind, detail := classifyPutUse(p, id, stack)
+		if kind == evOkUse {
+			return true
+		}
+		events = append(events, putEvent{
+			pos: id.Pos(), kind: kind, v: v, detail: detail, stack: snapshotStack(stack),
+		})
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Pass 3: linear scan. After a put, flag illegal uses unless an
+	// exclusive-path terminator separates them; a reassignment kills
+	// tracking. An escape followed (same straight-line block) by a put of
+	// the same variable is a retained dangling reference.
+	type putInfo struct {
+		ev       putEvent
+		reported bool
+	}
+	active := make(map[*types.Var]*putInfo)
+	var escapes []putEvent
+	for _, ev := range events {
+		switch ev.kind {
+		case evKill:
+			delete(active, ev.v)
+		case evPut:
+			if pi, ok := active[ev.v]; ok && !pi.reported && sameStraightLinePath(pi.ev.stack, ev.stack) {
+				r.report(ev.pos, fname+":useafterput("+ev.v.Name()+")",
+					"%s is returned to the pool again after already being put — double put races the pool free list", ev.v.Name())
+				pi.reported = true
+				continue
+			}
+			for i := range escapes {
+				e := &escapes[i]
+				if e.v == ev.v && e.pos < ev.pos && sameStraightLinePath(e.stack, ev.stack) {
+					r.report(ev.pos, fname+":escapeput("+ev.v.Name()+")",
+						"%s was stored into %s and is now returned to the pool — the retained reference outlives the batch", ev.v.Name(), e.detail)
+					e.v = nil // report once
+				}
+			}
+			active[ev.v] = &putInfo{ev: ev}
+		case evEscape:
+			escapes = append(escapes, ev)
+			fallthrough
+		case evRead, evElemRead:
+			pi, ok := active[ev.v]
+			if !ok || pi.reported {
+				continue
+			}
+			if !pi.ev.batch && ev.kind == evOkUse {
+				// unreachable; evOkUse filtered above
+				continue
+			}
+			if pi.ev.batch && ev.kind == evRead && ev.detail == "reslice" {
+				continue
+			}
+			if !sameStraightLinePath(pi.ev.stack, ev.stack) {
+				continue
+			}
+			what := "is read"
+			if ev.kind == evElemRead {
+				what = "has an element read"
+			}
+			if ev.kind == evEscape {
+				what = "is stored into " + ev.detail
+			}
+			r.report(ev.pos, fname+":useafterput("+ev.v.Name()+")",
+				"%s %s after being returned to the pool — the pool may already have recycled it", ev.v.Name(), what)
+			pi.reported = true
+		}
+	}
+}
+
+// classifyPutUse decides what a mention of a tracked variable means for
+// pool-ownership purposes.
+func classifyPutUse(p *Package, id *ast.Ident, stack []ast.Node) (putEventKind, string) {
+	parent := stack[len(stack)-1]
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		if pn.Sel == id {
+			return evOkUse, "" // field/method name, not a variable use
+		}
+		return evRead, "selector"
+	case *ast.AssignStmt:
+		for _, l := range pn.Lhs {
+			if l == ast.Expr(id) {
+				return evKill, "" // whole-variable reassignment ends tracking
+			}
+		}
+		// RHS whole-ident assigned into a field/element → escape.
+		for i, rh := range pn.Rhs {
+			if rh != ast.Expr(id) || i >= len(pn.Lhs) {
+				continue
+			}
+			if target, ok := outlivingTarget(p, pn.Lhs[i]); ok {
+				return evEscape, target
+			}
+		}
+		return evRead, "assign"
+	case *ast.IndexExpr:
+		if pn.X != ast.Expr(id) {
+			return evRead, "index"
+		}
+		if len(stack) >= 2 {
+			if as, ok := stack[len(stack)-2].(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if l == ast.Expr(pn) {
+						return evOkUse, "" // xs[i] = ... (element clear)
+					}
+				}
+			}
+		}
+		return evElemRead, "element"
+	case *ast.SliceExpr:
+		if pn.X == ast.Expr(id) {
+			return evRead, "reslice" // legal after PutBatch, illegal after Put
+		}
+		return evRead, "slice-bound"
+	case *ast.CallExpr:
+		for _, a := range pn.Args {
+			if a != ast.Expr(id) {
+				continue
+			}
+			switch fn := pn.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := p.Info.Uses[fn].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap":
+						return evOkUse, ""
+					case "append":
+						if pn.Args[0] == ast.Expr(id) {
+							return evOkUse, "" // xs = append(xs, ...) slice reuse
+						}
+						if target, ok := outlivingTarget(p, pn.Args[0]); ok {
+							return evEscape, target
+						}
+						return evRead, "appended elsewhere"
+					}
+				}
+			}
+			return evRead, "passed to call"
+		}
+		return evOkUse, "" // the callee expression itself
+	case *ast.RangeStmt:
+		if pn.X == ast.Expr(id) {
+			if pn.Value != nil {
+				if vid, ok := pn.Value.(*ast.Ident); !ok || vid.Name != "_" {
+					return evElemRead, "value-range"
+				}
+			}
+			return evOkUse, "" // index-only range (clear loop)
+		}
+		return evRead, "range"
+	case *ast.UnaryExpr:
+		return evRead, "address-taken"
+	default:
+		return evRead, "use"
+	}
+}
+
+// outlivingTarget reports whether an lvalue (or append destination) is a
+// field selector or an element of one — storage that outlives the call.
+func outlivingTarget(p *Package, e ast.Expr) (string, bool) {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		if selectedField(p, t) != nil {
+			return types.ExprString(t), true
+		}
+	case *ast.IndexExpr:
+		if sel, ok := t.X.(*ast.SelectorExpr); ok && selectedField(p, sel) != nil {
+			return types.ExprString(sel), true
+		}
+	}
+	return "", false
+}
+
+// ---- shared traversal helpers ----
+
+// walkWithStack traverses n in source order, passing each node and its
+// ancestor stack (excluding the node itself) to fn. Returning false prunes
+// the subtree.
+func walkWithStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if nd == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(nd, stack) {
+			return false
+		}
+		stack = append(stack, nd)
+		return true
+	})
+}
+
+func snapshotStack(stack []ast.Node) []ast.Node {
+	out := make([]ast.Node, len(stack))
+	copy(out, stack)
+	return out
+}
+
+// sameStraightLinePath reports whether the second event is sequentially
+// reachable from the first. Two cases make them exclusive instead: the
+// events sit in different arms of the same if/switch/select (then vs.
+// else, different cases), or a block enclosing the first event — below
+// the deepest node both share — ends in return/continue/break, diverting
+// control away before the second event runs (e.g. a put guarded by
+// `continue` inside a dedup loop).
+func sameStraightLinePath(first, second []ast.Node) bool {
+	common := 0
+	for common < len(first) && common < len(second) && first[common] == second[common] {
+		common++
+	}
+	if common < len(first) && common < len(second) && common > 0 {
+		a, b := first[common], second[common]
+		switch parent := first[common-1].(type) {
+		case *ast.IfStmt:
+			inArm := func(n ast.Node) bool { return n == ast.Node(parent.Body) || n == parent.Else }
+			if inArm(a) && inArm(b) {
+				return false // then-branch vs. else-branch
+			}
+		case *ast.BlockStmt:
+			_, aClause := a.(*ast.CaseClause)
+			_, bClause := b.(*ast.CaseClause)
+			_, aComm := a.(*ast.CommClause)
+			_, bComm := b.(*ast.CommClause)
+			if (aClause && bClause) || (aComm && bComm) {
+				return false // different switch/select cases
+			}
+		}
+	}
+	// Any block strictly enclosing the first event below the divergence
+	// that ends with a terminating statement makes the paths exclusive.
+	for i := common; i < len(first); i++ {
+		if blk, ok := first[i].(*ast.BlockStmt); ok && len(blk.List) > 0 {
+			switch blk.List[len(blk.List)-1].(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				return false
+			}
+		}
+	}
+	return true
+}

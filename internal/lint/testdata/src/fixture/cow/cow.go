@@ -1,0 +1,57 @@
+// Package cow exercises the cowstore analyzer.
+package cow
+
+import "sync/atomic"
+
+type registry struct {
+	table atomic.Pointer[map[string]int] //neptune:cow name -> id
+	plain map[string]int                 // unannotated: free to mutate
+}
+
+// storeFresh is the canonical copy-on-write update — clean.
+func (r *registry) storeFresh(k string, v int) {
+	old := *r.table.Load()
+	next := make(map[string]int, len(old)+1)
+	for key, val := range old {
+		next[key] = val
+	}
+	next[k] = v
+	r.table.Store(&next)
+}
+
+// readOnly dereferences the snapshot without writing — clean.
+func (r *registry) readOnly(k string) int {
+	return (*r.table.Load())[k]
+}
+
+// mutatePlain writes the unannotated map — clean (not a COW field).
+func (r *registry) mutatePlain(k string, v int) {
+	r.plain[k] = v
+}
+
+// ---- hits ----
+
+func (r *registry) mutateInPlace(k string, v int) {
+	(*r.table.Load())[k] = v // want "writes a key of the live r.table snapshot"
+}
+
+func (r *registry) mutateViaAlias(k string, v int) {
+	m := *r.table.Load()
+	m[k] = v // want "writes a key of the live r.table snapshot"
+}
+
+func (r *registry) deleteInPlace(k string) {
+	m := *r.table.Load()
+	delete(m, k) // want "deletes a key of the live r.table snapshot"
+}
+
+func (r *registry) storeStale(k string, v int) {
+	m := *r.table.Load()
+	_ = k
+	_ = v
+	r.table.Store(&m) // want "stores the loaded r.table snapshot back"
+}
+
+func (r *registry) storeForeign(p *map[string]int) {
+	r.table.Store(p) // want "not the address of a freshly built map"
+}

@@ -1,0 +1,52 @@
+// Package hotpath exercises the hotpathlock analyzer.
+package hotpath
+
+import "sync"
+
+type engine struct {
+	mu    sync.Mutex
+	items []int
+	buf   []byte
+}
+
+// dispatchBad violates every sub-rule at once.
+//
+//neptune:hotpath
+func (e *engine) dispatchBad(v int) {
+	e.mu.Lock()                  // want "acquires e.mu.Lock"
+	e.items = append(e.items, v) // want "appends on the hot path"
+	e.mu.Unlock()
+	buf := make([]byte, 64) // want "allocates with make"
+	_ = buf
+	p := new(engine) // want "allocates with new"
+	_ = p
+	_ = []int{1, 2} // want "slice/map literal"
+	go func() {     // want "spawns a goroutine" "creates a closure"
+		_ = v
+	}()
+}
+
+// dispatchClean only reads preallocated state — clean.
+//
+//neptune:hotpath
+func (e *engine) dispatchClean(v int) int {
+	if len(e.buf) > v {
+		return int(e.buf[v])
+	}
+	return 0
+}
+
+// slowPath is not annotated: locking and allocation are fine here.
+func (e *engine) slowPath(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.items = append(e.items, v)
+}
+
+// rlockBad checks the read-lock variant.
+//
+//neptune:hotpath
+func (e *engine) rlockBad(mu *sync.RWMutex) {
+	mu.RLock() // want "acquires mu.RLock"
+	mu.RUnlock()
+}

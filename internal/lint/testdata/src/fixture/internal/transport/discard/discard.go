@@ -1,0 +1,60 @@
+// Package discard exercises the errdiscard analyzer. Its import path
+// deliberately contains "internal/transport" — the rule only applies to
+// the transport and core layers.
+package discard
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func mayFail() error { return errBoom }
+
+func pair() (int, error) { return 0, errBoom }
+
+type closer struct{}
+
+// Close implements the conventional cleanup method.
+func (closer) Close() error { return nil }
+
+// ---- hits ----
+
+func silentAssign() {
+	_ = mayFail() // want "assigns an error to _"
+}
+
+func silentBare() {
+	mayFail() // want "drops the error returned by mayFail"
+}
+
+func missingReason() {
+	//neptune:discarderr
+	_ = mayFail() // want "assigns an error to _"
+}
+
+// ---- non-hits ----
+
+func annotatedAbove() {
+	//neptune:discarderr best effort; a gone peer means nothing to report
+	_ = mayFail()
+}
+
+func annotatedSameLine() {
+	_ = mayFail() //neptune:discarderr shutdown race is benign here
+}
+
+func closeExempt(c closer) {
+	c.Close()
+}
+
+func deferExempt(c closer) {
+	defer c.Close()
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, _ := pair() // tuple-position blank is not the `_ = err` form
+	_ = v
+	return nil
+}

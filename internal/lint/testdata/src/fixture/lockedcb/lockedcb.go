@@ -1,0 +1,64 @@
+// Package lockedcb exercises the lockedcallback analyzer.
+package lockedcb
+
+import "sync"
+
+type emitter struct {
+	mu     sync.Mutex
+	onData func(int)
+	ch     chan int
+}
+
+// ---- hits ----
+
+func (e *emitter) badCallback(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onData(v) // want "invokes the callback e.onData while holding e.mu"
+}
+
+func (e *emitter) badSend(v int) {
+	e.mu.Lock()
+	e.ch <- v // want "sends on e.ch while holding e.mu"
+	e.mu.Unlock()
+}
+
+// ---- non-hits ----
+
+// goodSnapshotThenCall copies the callback out and releases the lock
+// before invoking it — the canonical fix.
+func (e *emitter) goodSnapshotThenCall(v int) {
+	e.mu.Lock()
+	cb := e.onData
+	e.mu.Unlock()
+	if cb != nil {
+		cb(v)
+	}
+}
+
+// goodLiteralNotCalled builds a closure under the lock but does not call
+// it; the body runs later, lock-free.
+func (e *emitter) goodLiteralNotCalled(v int) func() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := func() { e.onData(v) }
+	return f
+}
+
+// goodLocalMutex: a function-local mutex is not a receiver lock; calling
+// through it is the author's own affair.
+func goodLocalMutex(cb func()) {
+	var mu sync.Mutex
+	mu.Lock()
+	cb()
+	mu.Unlock()
+}
+
+// goodStaticCall: declared methods are not user callbacks.
+func (e *emitter) goodStaticCall(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.record(v)
+}
+
+func (e *emitter) record(int) {}

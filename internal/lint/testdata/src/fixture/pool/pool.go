@@ -1,0 +1,41 @@
+// Package pool is a fixture mirror of the real packet pool: the
+// pooluseafterput analyzer matches Put/PutBatch methods on any type named
+// PacketPool, so the fixture does not need to import the real module.
+package pool
+
+// Packet is the pooled object.
+type Packet struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Reset clears the packet for reuse.
+func (p *Packet) Reset() { p.Payload = p.Payload[:0] }
+
+// PacketPool is a free-list of packets.
+type PacketPool struct{ free []*Packet }
+
+// Get returns a packet.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// Put recycles one packet; the caller gives up ownership.
+func (pp *PacketPool) Put(p *Packet) {
+	p.Reset()
+	pp.free = append(pp.free, p)
+}
+
+// PutBatch recycles every packet in ps; the caller keeps the slice header
+// but gives up ownership of the elements.
+func (pp *PacketPool) PutBatch(ps []*Packet) {
+	for _, p := range ps {
+		p.Reset()
+	}
+	pp.free = append(pp.free, ps...)
+}

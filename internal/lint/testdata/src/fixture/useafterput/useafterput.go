@@ -1,0 +1,100 @@
+// Package useafterput exercises the pooluseafterput analyzer: hits are
+// marked with `// want "substring"`; everything unmarked must stay clean.
+package useafterput
+
+import "fixture/pool"
+
+type sink struct {
+	retained *pool.Packet
+	pp       pool.PacketPool
+}
+
+// ---- hits ----
+
+func readAfterPut(pp *pool.PacketPool, p *pool.Packet) uint64 {
+	pp.Put(p)
+	return p.Seq // want "read after being returned to the pool"
+}
+
+func doublePut(pp *pool.PacketPool, p *pool.Packet) {
+	pp.Put(p)
+	pp.Put(p) // want "returned to the pool again"
+}
+
+func retainThenPut(s *sink, p *pool.Packet) {
+	s.retained = p
+	s.pp.Put(p) // want "outlives the batch"
+}
+
+func batchElemAfterPut(pp *pool.PacketPool, ps []*pool.Packet) uint64 {
+	pp.PutBatch(ps)
+	return ps[0].Seq // want "element read"
+}
+
+func batchRangeAfterPut(pp *pool.PacketPool, ps []*pool.Packet) {
+	pp.PutBatch(ps)
+	for _, p := range ps { // want "element read"
+		_ = p
+	}
+}
+
+func passAfterPut(pp *pool.PacketPool, p *pool.Packet) {
+	pp.Put(p)
+	use(p) // want "read after being returned to the pool"
+}
+
+func use(p *pool.Packet) { _ = p }
+
+// ---- non-hits ----
+
+// clearAndReuse is the sanctioned recycle pattern: after PutBatch the
+// slice header still belongs to the caller; clearing elements, reslicing,
+// and len/cap are all legal.
+func clearAndReuse(pp *pool.PacketPool, ps []*pool.Packet) int {
+	pp.PutBatch(ps)
+	for i := range ps {
+		ps[i] = nil
+	}
+	n := len(ps)
+	ps = ps[:0]
+	_ = ps
+	return n
+}
+
+// guardedPut mirrors the dedup loop: the put is behind a continue, so the
+// later append never runs for a recycled packet.
+func guardedPut(pp *pool.PacketPool, ps []*pool.Packet) []*pool.Packet {
+	kept := ps[:0]
+	for _, p := range ps {
+		if p.Seq == 0 {
+			pp.Put(p)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// branchExclusive retains or recycles, never both.
+func branchExclusive(s *sink, pp *pool.PacketPool, p *pool.Packet, keep bool) {
+	if keep {
+		s.retained = p
+	} else {
+		pp.Put(p)
+	}
+}
+
+// killTracking reassigns the variable after the put; the new packet is a
+// different object and may be used freely.
+func killTracking(pp *pool.PacketPool, p *pool.Packet) uint64 {
+	pp.Put(p)
+	p = pp.Get()
+	return p.Seq
+}
+
+// useBeforePut is the normal lifecycle: reads strictly before the put.
+func useBeforePut(pp *pool.PacketPool, p *pool.Packet) uint64 {
+	seq := p.Seq
+	pp.Put(p)
+	return seq
+}

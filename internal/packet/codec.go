@@ -82,6 +82,8 @@ type Decoder struct{}
 
 // Decode parses one packet from buf into p (Reset first) and returns the
 // number of bytes consumed.
+//
+//neptune:hotpath
 func (d *Decoder) Decode(buf []byte, p *Packet) (int, error) {
 	p.Reset()
 	pos := 0
@@ -231,6 +233,8 @@ func (d *Decoder) DecodeBatch(buf []byte, alloc func() *Packet, emit func(*Packe
 // allocation per call nor pool synchronization per packet. On error the
 // returned slice still contains every allocated packet — decoded or not —
 // so the caller can recycle them all.
+//
+//neptune:hotpath
 func (d *Decoder) DecodeBatchAppend(buf []byte, alloc func(dst []*Packet, n int) []*Packet, dst []*Packet) ([]*Packet, int, error) {
 	pos := 0
 	count, n, err := readUvarint(buf)

@@ -1,0 +1,125 @@
+// Package testutil holds test-only infrastructure shared across the
+// NEPTUNE packages. Its centerpiece is a stdlib-only goroutine-leak
+// checker: the transport's reconnect loops, the granules worker pool, and
+// the engine's flush timers all spawn goroutines whose shutdown paths are
+// exactly where past races hid, so every test binary in those packages
+// fails if a goroutine outlives its tests.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// idleFrames marks goroutines that are expected to be alive in an idle,
+// healthy test binary: the testing harness itself, runtime housekeeping,
+// and signal plumbing. A stack containing any of these substrings is not
+// a leak.
+var idleFrames = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.runFuzzing",
+	"testing.runExamples",
+	"runtime.goexit0",
+	"runtime.gc(",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.gcBgMarkWorker",
+	"runtime.ensureSigM",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"repro/internal/testutil.interestingGoroutines",
+}
+
+// interestingGoroutines snapshots every live goroutine and returns the
+// stacks that are neither runtime/testing housekeeping nor this checker
+// itself.
+func interestingGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+stacks:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		stack := strings.TrimSpace(g)
+		if stack == "" || !strings.HasPrefix(stack, "goroutine ") {
+			continue
+		}
+		for _, f := range idleFrames {
+			if strings.Contains(stack, f) {
+				continue stacks
+			}
+		}
+		out = append(out, stack)
+	}
+	return out
+}
+
+// waitForNone polls with exponential backoff until no interesting
+// goroutines remain or maxWait elapses, returning the survivors. The
+// retry absorbs benign teardown latency: a transport writer observing a
+// closed queue or a worker draining its final task is not a leak, just
+// slow.
+func waitForNone(maxWait time.Duration) []string {
+	deadline := time.Now().Add(maxWait)
+	delay := 1 * time.Millisecond
+	for {
+		leaked := interestingGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// CheckMain wraps a package's TestMain: it runs the tests and turns a
+// passing run into a failure when goroutines outlive the tests. Usage:
+//
+//	func TestMain(m *testing.M) { testutil.CheckMain(m) }
+func CheckMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := waitForNone(2 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"testutil: %d goroutine(s) leaked past the tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// CheckNone fails tb if goroutines beyond the known-idle set are still
+// running after maxWait (0 means a 2s default). Use it as a per-test
+// teardown where a whole-binary CheckMain is too coarse:
+//
+//	defer testutil.CheckNone(t, 0)
+func CheckNone(tb testing.TB, maxWait time.Duration) {
+	tb.Helper()
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	if leaked := waitForNone(maxWait); len(leaked) > 0 {
+		tb.Errorf("%d goroutine(s) leaked:\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}

@@ -1,0 +1,63 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInterestingGoroutinesSeesBlockedGoroutine: a goroutine parked on a
+// channel must show up, and must disappear once released.
+func TestInterestingGoroutinesSeesBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	// Give the goroutine time to park.
+	deadline := time.Now().Add(2 * time.Second)
+	var seen bool
+	for time.Now().Before(deadline) {
+		for _, g := range interestingGoroutines() {
+			if strings.Contains(g, "TestInterestingGoroutinesSeesBlockedGoroutine") {
+				seen = true
+			}
+		}
+		if seen {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !seen {
+		t.Fatal("blocked goroutine not reported as interesting")
+	}
+	close(release)
+	<-done
+	if leaked := waitForNone(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("goroutines still reported after release:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestWaitForNoneAbsorbsSlowExit: a goroutine that exits shortly after the
+// check starts must not be reported — that is what the backoff is for.
+func TestWaitForNoneAbsorbsSlowExit(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+	}()
+	if leaked := waitForNone(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("slow-exiting goroutine reported as leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+	<-done
+}
+
+// TestIdleFilter: the test binary at rest has no interesting goroutines.
+func TestIdleFilter(t *testing.T) {
+	if leaked := waitForNone(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("idle binary reports goroutines:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestMain(m *testing.M) { CheckMain(m) }

@@ -1,0 +1,12 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain gates the whole package on goroutine hygiene: reconnect loops,
+// writer/reader IO goroutines, and backoff timers must all be gone when
+// the tests finish.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

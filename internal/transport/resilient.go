@@ -175,7 +175,11 @@ type LinkHealth struct {
 	DupsDropped  uint64 // inbound duplicates discarded (this endpoint)
 	ReplayFrames int    // current journal occupancy
 	ReplayBytes  int64
-	Err          error // terminal error, if the link is down
+	// LastDisconnect is the IO error that broke the most recent
+	// connection (nil if the link has never dropped). Unlike Err it is
+	// informational: the link may have long since reconnected.
+	LastDisconnect error
+	Err            error // terminal error, if the link is down
 }
 
 // jframe is one journaled (sent-but-unacked) frame.
@@ -229,6 +233,9 @@ type Resilient struct {
 	outageStart    time.Time
 	nextDialAt     time.Time
 	lastDialErr    error
+	// lastDisconnect records the IO error behind the most recent
+	// connection break; surfaced through LinkHealth. Guarded by mu.
+	lastDisconnect error
 
 	reconnects  atomic.Uint64
 	redelivered atomic.Uint64
@@ -272,7 +279,7 @@ func DialResilient(addr string, handler Handler, opts ResilientOptions) (*Resili
 		return nil, err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
+		_ = tc.SetNoDelay(true) //neptune:discarderr best-effort socket tuning; the link works without TCP_NODELAY
 	}
 	r.conn = conn
 	r.bw = bufio.NewWriterSize(conn, opts.TCP.WriteBufferSize)
@@ -426,6 +433,8 @@ func (r *Resilient) writeLoop() {
 // it; a rare double-write after replay is discarded by receiver dedup.
 // Under DegradeShedOldest a down link makes this a no-op — the frame
 // stays journaled and the scheduled reconnect replays it later.
+//
+//neptune:hotpath
 func (r *Resilient) writeData(channel uint32, payload []byte, seq uint64) {
 	var hdr [headerV2Size]byte
 	for {
@@ -487,6 +496,7 @@ func (r *Resilient) flushBest() {
 	live := r.conn != nil && !r.broken
 	r.mu.Unlock()
 	if live && r.bw != nil {
+		//neptune:discarderr a failed flush resurfaces as a write error on the writer goroutine, which owns connFailed
 		_ = r.bw.Flush()
 	}
 }
@@ -564,13 +574,14 @@ func (r *Resilient) ready() bool {
 			r.outageAttempts++
 			r.nextDialAt = time.Now().Add(d)
 			if r.opts.Policy == DegradeShedOldest {
+				//neptune:discarderr the nudge push only fails when the queue is closed during shutdown, when waking the writer is moot
 				time.AfterFunc(d, func() { _ = r.queue.Push(Frame{}, 0) })
 				return false
 			}
 			continue
 		}
 		if tc, ok := conn.(*net.TCPConn); ok {
-			_ = tc.SetNoDelay(true)
+			_ = tc.SetNoDelay(true) //neptune:discarderr best-effort socket tuning; the link works without TCP_NODELAY
 		}
 		r.mu.Lock()
 		r.conn = conn
@@ -786,12 +797,12 @@ func (r *Resilient) readLoop(conn net.Conn) {
 // it to unblock the peer goroutine, and nudges the writer so recovery
 // is not deferred to the next Send.
 func (r *Resilient) connFailed(conn net.Conn, err error) {
-	_ = err
 	r.mu.Lock()
 	if conn == nil || conn != r.conn || r.broken {
 		r.mu.Unlock()
 		return
 	}
+	r.lastDisconnect = err
 	r.broken = true
 	closed := r.closed
 	if !closed {
@@ -811,6 +822,7 @@ func (r *Resilient) connFailed(conn net.Conn, err error) {
 	if cb != nil {
 		cb(LinkReconnecting)
 	}
+	//neptune:discarderr the nudge push only fails when the queue is closed during shutdown, when waking the writer is moot
 	go func() { _ = r.queue.Push(Frame{}, 0) }()
 }
 
@@ -871,20 +883,22 @@ func (r *Resilient) Health() LinkHealth {
 	r.mu.Lock()
 	state := r.state
 	err := r.termErr
+	lastDrop := r.lastDisconnect
 	r.mu.Unlock()
 	if err != nil && errors.Is(err, ErrClosed) {
 		err = nil
 	}
 	return LinkHealth{
-		Addr:         r.addr,
-		State:        state,
-		Reconnects:   r.reconnects.Load(),
-		Redelivered:  r.redelivered.Load(),
-		Shed:         r.shedCount.Load(),
-		DupsDropped:  r.dups.Load(),
-		ReplayFrames: frames,
-		ReplayBytes:  bytes,
-		Err:          err,
+		Addr:           r.addr,
+		State:          state,
+		Reconnects:     r.reconnects.Load(),
+		Redelivered:    r.redelivered.Load(),
+		Shed:           r.shedCount.Load(),
+		DupsDropped:    r.dups.Load(),
+		ReplayFrames:   frames,
+		ReplayBytes:    bytes,
+		LastDisconnect: lastDrop,
+		Err:            err,
 	}
 }
 
@@ -1031,7 +1045,7 @@ func (l *ResilientListener) serve(conn net.Conn) {
 		l.mu.Unlock()
 	}()
 	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
+		_ = tc.SetNoDelay(true) //neptune:discarderr best-effort socket tuning; the link works without TCP_NODELAY
 	}
 	fr := newFrameReader(bufio.NewReaderSize(conn, 256<<10))
 	local := &linkRecv{} // dedup state for v2 senders that skip hello

@@ -84,7 +84,7 @@ func NewTCP(conn net.Conn, handler Handler, opts TCPOptions) (*TCP, error) {
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		// Batches are already large; Nagle would only add latency.
-		_ = tc.SetNoDelay(true)
+		_ = tc.SetNoDelay(true) //neptune:discarderr best-effort socket tuning; the link works without TCP_NODELAY
 	}
 	t := &TCP{conn: conn, handler: handler, queue: q, onError: opts.OnError}
 	t.wgWrite.Add(1)
@@ -228,7 +228,11 @@ func (t *TCP) writeLoop(bufSize int) {
 	for {
 		f, ok := t.queue.Pop()
 		if !ok {
-			w.Flush()
+			// Final drain: a failed flush means the tail frames never
+			// reached the kernel — surface it instead of dropping it.
+			if err := w.Flush(); err != nil {
+				t.fail(err)
+			}
 			t.inflight.Add(-unflushed)
 			return
 		}

@@ -15,6 +15,11 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== neptune-vet =="
+# NEPTUNE-specific invariants (pool ownership, hot-path purity, COW
+# discipline, callback-under-lock, error discards); see internal/lint.
+go run ./cmd/neptune-vet ./...
+
 echo "== go build =="
 go build ./...
 
