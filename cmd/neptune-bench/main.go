@@ -9,7 +9,7 @@
 //	neptune-bench -exp table1 -runtime 2s  # longer measurement windows
 //
 // Experiments: fig2, table1, objreuse, fig4, compression, fig5, fig6,
-// fig7, fig9, fig10, headline, ablation, chaos, all.
+// fig7, fig9, fig10, headline, ablation, chaos, recovery, all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2|table1|objreuse|fig4|compression|fig5|fig6|fig7|fig7-engine|fig9|fig10|headline|ablation|chaos|all)")
+	exp := flag.String("exp", "all", "experiment id (fig2|table1|objreuse|fig4|compression|fig5|fig6|fig7|fig7-engine|fig9|fig10|headline|ablation|chaos|recovery|all)")
 	runtime := flag.Duration("runtime", 400*time.Millisecond, "measurement window per real-engine run")
 	trials := flag.Int("trials", 5, "trials for statistical experiments")
 	flag.Parse()
@@ -48,6 +48,7 @@ func main() {
 		{"headline", experiments.Headline},
 		{"ablation", func() (*experiments.Table, error) { return experiments.Ablation(opts) }},
 		{"chaos", func() (*experiments.Table, error) { return experiments.Chaos(opts) }},
+		{"recovery", func() (*experiments.Table, error) { return experiments.Recovery(opts) }},
 	}
 
 	ran := 0

@@ -1,0 +1,241 @@
+// Recovery: a three-engine stateful pipeline (sensor → sliding-window
+// aggregator → sink) supervised with periodic checkpoints to a file-backed
+// store. Mid-stream, the aggregator's engine is killed outright — its
+// process state, window contents, and link cursors all die with it. The
+// supervisor detects the missed heartbeats, revives the engine, restores
+// the newest checkpoint epoch, reconnects the links under a new recovery
+// epoch, and replays the retained upstream frames, so the sink still sees
+// every packet exactly once with the correct windowed aggregate.
+//
+//	go run ./examples/recovery [-n 30000]
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	neptune "repro"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/window"
+)
+
+const windowSize = 32
+
+// aggregator is the stateful middle stage. Implementing SnapshotState /
+// RestoreState opts it into the checkpoint barrier: the supervisor
+// captures the window and the input cursor alongside the engine-owned
+// dedup and emit cursors.
+type aggregator struct {
+	win  *window.SlidingCount
+	seen int64
+}
+
+func (a *aggregator) Open(*neptune.OpContext) error { return nil }
+func (a *aggregator) Close() error                  { return nil }
+
+func (a *aggregator) Process(ctx *neptune.OpContext, p *neptune.Packet) error {
+	v, err := p.Int64("i")
+	if err != nil {
+		return err
+	}
+	a.win.Add(float64(v))
+	a.seen++
+	out := ctx.NewPacket()
+	out.AddInt64("i", v)
+	out.AddInt64("seen", a.seen)
+	out.AddFloat64("mean", a.win.Mean())
+	return ctx.EmitDefault(out)
+}
+
+func (a *aggregator) SnapshotState(*neptune.OpContext) ([]byte, error) {
+	blob, err := a.win.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(binary.AppendVarint(nil, a.seen), blob...), nil
+}
+
+func (a *aggregator) RestoreState(_ *neptune.OpContext, state []byte) error {
+	seen, n := binary.Varint(state)
+	if n <= 0 {
+		return errors.New("aggregator: truncated state")
+	}
+	a.seen = seen
+	return a.win.UnmarshalBinary(state[n:])
+}
+
+func main() {
+	n := flag.Int("n", 30_000, "packets to stream")
+	flag.Parse()
+
+	spec, err := neptune.NewGraph("recovery").
+		Source("sensor", 1).
+		Processor("agg", 1).
+		Processor("sink", 1).
+		Link("sensor", "agg", "").
+		Link("agg", "sink", "").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "neptune-ckpt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := neptune.NewFileCheckpointStore(dir, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := neptune.DefaultConfig()
+	cfg.BufferSize = 4 << 10
+	cfg.FlushInterval = time.Millisecond
+	// Config.Checkpoint attaches a supervisor automatically at launch:
+	// heartbeat crash detection, periodic checkpoints, upstream replay.
+	cfg.Checkpoint = neptune.CheckpointConfig{
+		Interval: 25 * time.Millisecond,
+		Store:    store,
+	}
+
+	var engines []*neptune.Engine
+	for _, name := range []string{"edge", "mid", "hub"} {
+		e, err := neptune.NewEngine(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines = append(engines, e)
+	}
+
+	job, err := neptune.NewJob(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emitted := 0
+	job.SetSource("sensor", func(int) neptune.Source {
+		return neptune.SourceFunc(func(ctx *neptune.OpContext) error {
+			if emitted >= *n {
+				return io.EOF
+			}
+			if emitted%500 == 499 {
+				time.Sleep(time.Millisecond) // keep the stream in flight
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("i", int64(emitted))
+			emitted++
+			return ctx.EmitDefault(p)
+		})
+	})
+	job.SetProcessor("agg", func(int) neptune.Processor {
+		w, err := window.NewSlidingCount(windowSize)
+		if err != nil {
+			panic(err)
+		}
+		return &aggregator{win: w}
+	})
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	var badState int
+	job.SetProcessor("sink", func(int) neptune.Processor {
+		return neptune.ProcessorFunc(func(ctx *neptune.OpContext, p *neptune.Packet) error {
+			v, err := p.Int64("i")
+			if err != nil {
+				return err
+			}
+			sn, err := p.Int64("seen")
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			seen[v]++
+			if sn != v+1 {
+				badState++ // the aggregator lost its cursor across the crash
+			}
+			mu.Unlock()
+			return nil
+		})
+	})
+
+	bridger := core.NewResilientTCPBridger(transport.ResilientOptions{
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	place := func(op string, _ int) int {
+		switch op {
+		case "sensor":
+			return 0
+		case "agg":
+			return 1
+		default:
+			return 2
+		}
+	}
+	if err := job.LaunchOn(engines, place, bridger); err != nil {
+		log.Fatal(err)
+	}
+	sup := job.Supervisor()
+	if sup == nil {
+		log.Fatal("Config.Checkpoint should have attached a supervisor")
+	}
+
+	progress := func(want int) {
+		for {
+			mu.Lock()
+			got := len(seen)
+			mu.Unlock()
+			if got >= want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	fmt.Printf("streaming %d packets through a checkpointed 3-engine pipeline...\n", *n)
+	progress(*n / 3)
+	fmt.Println("  ☠  killing the aggregator's engine (state, windows, cursors all lost)")
+	if err := sup.Kill("mid"); err != nil {
+		log.Fatal(err)
+	}
+	for job.RecoveryHealth().Restarts == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("  ♻  supervisor revived the engine from the latest checkpoint")
+
+	if !job.WaitSources(time.Minute) {
+		log.Fatal("sources never finished")
+	}
+	if err := job.Stop(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	var dups, lost int
+	mu.Lock()
+	for i := 0; i < *n; i++ {
+		switch c := seen[int64(i)]; {
+		case c == 0:
+			lost++
+		case c > 1:
+			dups += c - 1
+		}
+	}
+	bad := badState
+	mu.Unlock()
+	h := job.RecoveryHealth()
+	fmt.Printf("\ndelivered %d/%d packets: %d lost, %d duplicated, %d with stale operator state\n",
+		len(seen), *n, lost, dups, bad)
+	fmt.Printf("recovery: %d restart(s), %d frames replayed, checkpoint epoch %d (%d bytes), restore took %s\n",
+		h.Restarts, h.ReplayedPackets, h.Epoch, h.CheckpointBytes,
+		time.Duration(h.RestoreNs).Round(time.Microsecond))
+	if lost != 0 || dups != 0 || bad != 0 {
+		log.Fatal("recovery was not exactly-once")
+	}
+}

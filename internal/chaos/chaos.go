@@ -32,6 +32,7 @@ type Stats struct {
 	DelayedWrites   uint64
 	CutConns        uint64
 	RefusedDials    uint64
+	Kills           uint64
 }
 
 // Injector produces deterministic faults from a seed. All probability
@@ -43,6 +44,7 @@ type Injector struct {
 	rng         *rand.Rand
 	partitioned bool
 	conns       map[*Conn]struct{}
+	kills       map[string]func()
 
 	// Per-write fault probabilities in [0,1], applied by Conn.Write.
 	corruptP float64
@@ -56,6 +58,7 @@ type Injector struct {
 		delayed   atomic.Uint64
 		cut       atomic.Uint64
 		refused   atomic.Uint64
+		kills     atomic.Uint64
 	}
 }
 
@@ -65,6 +68,7 @@ func New(seed int64) *Injector {
 	return &Injector{
 		rng:   rand.New(rand.NewSource(seed)),
 		conns: make(map[*Conn]struct{}),
+		kills: make(map[string]func()),
 	}
 }
 
@@ -187,6 +191,33 @@ func (in *Injector) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	return c, nil
 }
 
+// RegisterKill binds a process-level kill fault to a name (typically an
+// engine or resource name). A later KillResource(name) invokes kill —
+// usually a supervisor's crash injection for that resource. Re-registering
+// a name replaces the previous hook.
+func (in *Injector) RegisterKill(name string, kill func()) {
+	in.mu.Lock()
+	in.kills[name] = kill
+	in.mu.Unlock()
+}
+
+// KillResource fires the kill hook registered under name, simulating the
+// abrupt death of that resource's process. It reports whether a hook was
+// registered. The hook runs outside the injector lock: kills typically
+// tear down schedulers and transports, which must not deadlock against
+// concurrent chaos decisions.
+func (in *Injector) KillResource(name string) bool {
+	in.mu.Lock()
+	kill := in.kills[name]
+	in.mu.Unlock()
+	if kill == nil {
+		return false
+	}
+	in.stats.kills.Add(1)
+	kill()
+	return true
+}
+
 // Track wraps an existing connection so the injector can fault it.
 func (in *Injector) Track(raw net.Conn) *Conn {
 	c := &Conn{Conn: raw, in: in}
@@ -209,6 +240,7 @@ func (in *Injector) Stats() Stats {
 		DelayedWrites:   in.stats.delayed.Load(),
 		CutConns:        in.stats.cut.Load(),
 		RefusedDials:    in.stats.refused.Load(),
+		Kills:           in.stats.kills.Load(),
 	}
 }
 

@@ -1,0 +1,254 @@
+// Package checkpoint captures and restores per-operator state so a
+// supervisor can rebuild a crashed resource without losing stream
+// progress. A Snapshot is the consistent image of one checkpoint epoch:
+// for every operator instance it records the opaque StatefulProcessor
+// blob (if the operator exposes one), the engine-owned per-stream dedup
+// cursors, and the per-destination emit cursors. Snapshots are framed
+// with the transport package's v2 CRC-covered record codec, so a
+// truncated or corrupted checkpoint fails its checksum on load instead
+// of silently restoring garbage — Latest then falls back to the newest
+// epoch that still decodes.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// Codec errors.
+var (
+	// ErrNoCheckpoint reports that a store holds no decodable snapshot.
+	ErrNoCheckpoint = errors.New("checkpoint: no usable checkpoint")
+	// ErrCorrupt reports a snapshot that failed structural validation
+	// after its records passed CRC (e.g. inconsistent epochs).
+	ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+)
+
+// manifestChannel tags the snapshot's leading manifest record; entry
+// records use their index as the channel, which stays far below this.
+const manifestChannel = math.MaxUint32
+
+// Entry is the checkpointed state of one operator instance.
+type Entry struct {
+	// Op and Index identify the instance (operator name + replica index).
+	Op    string
+	Index int
+	// HasProc distinguishes "operator snapshotted zero bytes" from
+	// "operator is not a StatefulProcessor".
+	HasProc bool
+	// Proc is the operator's opaque SnapshotState blob.
+	Proc []byte
+	// Dedup maps stream id -> next expected sequence (the engine-owned
+	// receive cursor that makes replayed packets idempotent).
+	Dedup map[uint32]uint64
+	// DestSeqs holds the next emit sequence per outbound destination, in
+	// the instance's destination order (the engine-owned emit cursor a
+	// restored operator resumes stamping from).
+	DestSeqs []uint64
+}
+
+// Snapshot is one consistent checkpoint epoch across all instances of a
+// job.
+type Snapshot struct {
+	Epoch   uint64
+	Entries []Entry
+}
+
+// Encode serializes the snapshot as a sequence of CRC-framed records: a
+// manifest record carrying the entry count, then one record per entry.
+// Every record's seq field carries the epoch, so records from different
+// epochs can never be stitched together undetected.
+func Encode(s *Snapshot) ([]byte, error) {
+	var buf []byte
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(len(s.Entries)))
+	buf, err := transport.AppendRecord(buf, manifestChannel, s.Epoch, scratch[:n])
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.Entries {
+		payload := appendEntry(nil, &s.Entries[i])
+		buf, err = transport.AppendRecord(buf, uint32(i), s.Epoch, payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Decode parses and validates a snapshot produced by Encode.
+func Decode(data []byte) (*Snapshot, error) {
+	ch, epoch, payload, rest, err := transport.ReadRecord(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	if ch != manifestChannel {
+		return nil, fmt.Errorf("%w: leading record is not a manifest (channel %d)", ErrCorrupt, ch)
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad manifest entry count", ErrCorrupt)
+	}
+	if count > uint64(len(data)) {
+		// An entry record costs at least a header; more entries than
+		// bytes means a corrupt count.
+		return nil, fmt.Errorf("%w: entry count %d exceeds snapshot size", ErrCorrupt, count)
+	}
+	s := &Snapshot{Epoch: epoch, Entries: make([]Entry, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		var entry []byte
+		ch, seq, entry, restNext, err := transport.ReadRecord(rest)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: entry %d: %w", i, err)
+		}
+		rest = restNext
+		if seq != epoch {
+			return nil, fmt.Errorf("%w: entry %d epoch %d != manifest epoch %d", ErrCorrupt, i, seq, epoch)
+		}
+		if uint64(ch) != i {
+			return nil, fmt.Errorf("%w: entry record %d carries index %d", ErrCorrupt, i, ch)
+		}
+		e, err := decodeEntry(entry)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: entry %d: %w", i, err)
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last entry", ErrCorrupt, len(rest))
+	}
+	return s, nil
+}
+
+// appendEntry serializes one entry: name, index, proc blob, dedup
+// cursors (sorted by stream id for deterministic bytes), emit cursors.
+func appendEntry(dst []byte, e *Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(e.Op)))
+	dst = append(dst, e.Op...)
+	dst = binary.AppendUvarint(dst, uint64(e.Index))
+	if e.HasProc {
+		dst = append(dst, 1)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Proc)))
+		dst = append(dst, e.Proc...)
+	} else {
+		dst = append(dst, 0)
+	}
+	streams := make([]uint32, 0, len(e.Dedup))
+	for id := range e.Dedup {
+		streams = append(streams, id)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i] < streams[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(streams)))
+	for _, id := range streams {
+		dst = binary.AppendUvarint(dst, uint64(id))
+		dst = binary.AppendUvarint(dst, e.Dedup[id])
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.DestSeqs)))
+	for _, seq := range e.DestSeqs {
+		dst = binary.AppendUvarint(dst, seq)
+	}
+	return dst
+}
+
+var errTruncatedEntry = errors.New("checkpoint: truncated entry")
+
+func decodeEntry(buf []byte) (Entry, error) {
+	var e Entry
+	nameLen, buf, err := readUvarint(buf)
+	if err != nil {
+		return e, err
+	}
+	if uint64(len(buf)) < nameLen {
+		return e, errTruncatedEntry
+	}
+	e.Op = string(buf[:nameLen])
+	buf = buf[nameLen:]
+	idx, buf, err := readUvarint(buf)
+	if err != nil {
+		return e, err
+	}
+	if idx > math.MaxInt32 {
+		return e, fmt.Errorf("%w: instance index %d", ErrCorrupt, idx)
+	}
+	e.Index = int(idx)
+	if len(buf) < 1 {
+		return e, errTruncatedEntry
+	}
+	hasProc := buf[0]
+	buf = buf[1:]
+	if hasProc > 1 {
+		return e, fmt.Errorf("%w: bad proc marker %d", ErrCorrupt, hasProc)
+	}
+	if hasProc == 1 {
+		e.HasProc = true
+		var blobLen uint64
+		blobLen, buf, err = readUvarint(buf)
+		if err != nil {
+			return e, err
+		}
+		if uint64(len(buf)) < blobLen {
+			return e, errTruncatedEntry
+		}
+		e.Proc = append([]byte(nil), buf[:blobLen]...)
+		buf = buf[blobLen:]
+	}
+	nStreams, buf, err := readUvarint(buf)
+	if err != nil {
+		return e, err
+	}
+	if nStreams > uint64(len(buf)) {
+		return e, fmt.Errorf("%w: dedup count %d exceeds entry size", ErrCorrupt, nStreams)
+	}
+	if nStreams > 0 {
+		e.Dedup = make(map[uint32]uint64, nStreams)
+	}
+	for i := uint64(0); i < nStreams; i++ {
+		var id, next uint64
+		id, buf, err = readUvarint(buf)
+		if err != nil {
+			return e, err
+		}
+		if id > math.MaxUint32 {
+			return e, fmt.Errorf("%w: stream id %d overflows uint32", ErrCorrupt, id)
+		}
+		next, buf, err = readUvarint(buf)
+		if err != nil {
+			return e, err
+		}
+		e.Dedup[uint32(id)] = next
+	}
+	nDests, buf, err := readUvarint(buf)
+	if err != nil {
+		return e, err
+	}
+	if nDests > uint64(len(buf)) {
+		// A dest cursor costs at least one byte on the wire.
+		return e, fmt.Errorf("%w: dest count %d exceeds entry size", ErrCorrupt, nDests)
+	}
+	e.DestSeqs = make([]uint64, 0, nDests)
+	for i := uint64(0); i < nDests; i++ {
+		var seq uint64
+		seq, buf, err = readUvarint(buf)
+		if err != nil {
+			return e, err
+		}
+		e.DestSeqs = append(e.DestSeqs, seq)
+	}
+	if len(buf) != 0 {
+		return e, fmt.Errorf("%w: %d trailing bytes in entry", ErrCorrupt, len(buf))
+	}
+	return e, nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, buf, errTruncatedEntry
+	}
+	return v, buf[n:], nil
+}

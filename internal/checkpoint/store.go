@@ -1,0 +1,247 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// defaultRetain is how many epochs a store keeps when the caller does
+// not say: enough that a corrupt newest checkpoint still leaves usable
+// fallbacks, small enough to bound storage.
+const defaultRetain = 4
+
+// Store persists encoded snapshots keyed by epoch. Implementations must
+// be safe for concurrent use: the supervisor saves from its checkpoint
+// loop while a recovery may be loading.
+type Store interface {
+	// Save durably records the snapshot for epoch, replacing any
+	// previous snapshot at the same epoch.
+	Save(epoch uint64, snapshot []byte) error
+	// Load returns the snapshot saved for epoch.
+	Load(epoch uint64) ([]byte, error)
+	// Epochs lists the stored epochs in ascending order.
+	Epochs() ([]uint64, error)
+}
+
+// Latest returns the newest stored snapshot that decodes cleanly. A
+// corrupt or truncated newest epoch — the expected outcome of crashing
+// mid-save on a store without atomic writes — falls back to the next
+// older epoch rather than failing recovery. ErrNoCheckpoint means no
+// stored epoch decodes (or none exist).
+func Latest(s Store) (*Snapshot, error) {
+	epochs, err := s.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(epochs) - 1; i >= 0; i-- {
+		data, err := s.Load(epochs[i])
+		if err != nil {
+			continue // unreadable epoch: fall back to an older one
+		}
+		snap, err := Decode(data)
+		if err != nil {
+			continue // corrupt epoch: fall back to an older one
+		}
+		if snap.Epoch != epochs[i] {
+			continue // snapshot stored under the wrong key
+		}
+		return snap, nil
+	}
+	return nil, ErrNoCheckpoint
+}
+
+// MemStore keeps the newest snapshots in memory. It is the default for
+// tests and single-process jobs where surviving an OS process restart is
+// not required (the supervisor revives resources inside the process).
+type MemStore struct {
+	mu     sync.Mutex
+	snaps  map[uint64][]byte
+	retain int
+}
+
+// NewMemStore creates an in-memory store retaining the newest retain
+// epochs (<= 0 selects the default).
+func NewMemStore(retain int) *MemStore {
+	if retain <= 0 {
+		retain = defaultRetain
+	}
+	return &MemStore{snaps: make(map[uint64][]byte), retain: retain}
+}
+
+// Save records a copy of snapshot under epoch and prunes old epochs.
+func (m *MemStore) Save(epoch uint64, snapshot []byte) error {
+	cp := append([]byte(nil), snapshot...)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snaps[epoch] = cp
+	for len(m.snaps) > m.retain {
+		oldest := epoch
+		for e := range m.snaps {
+			if e < oldest {
+				oldest = e
+			}
+		}
+		delete(m.snaps, oldest)
+	}
+	return nil
+}
+
+// Load returns the snapshot stored under epoch.
+func (m *MemStore) Load(epoch uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.snaps[epoch]
+	if !ok {
+		return nil, fmt.Errorf("%w: epoch %d", ErrNoCheckpoint, epoch)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Epochs lists stored epochs in ascending order.
+func (m *MemStore) Epochs() ([]uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	epochs := make([]uint64, 0, len(m.snaps))
+	for e := range m.snaps {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// FileStore persists snapshots as one file per epoch in a directory,
+// written atomically (temp file + rename) so a crash mid-save leaves the
+// previous epochs intact — combined with Latest's fallback, a torn write
+// costs at most one checkpoint interval of progress.
+type FileStore struct {
+	dir    string
+	retain int
+	mu     sync.Mutex
+}
+
+const fileExt = ".ckpt"
+
+// NewFileStore creates (or reuses) dir as a file-backed store retaining
+// the newest retain epochs (<= 0 selects the default).
+func NewFileStore(dir string, retain int) (*FileStore, error) {
+	if retain <= 0 {
+		retain = defaultRetain
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store dir: %w", err)
+	}
+	return &FileStore{dir: dir, retain: retain}, nil
+}
+
+// Dir returns the store's directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+func (f *FileStore) path(epoch uint64) string {
+	// Zero-padded fixed width keeps lexical and numeric order identical.
+	return filepath.Join(f.dir, fmt.Sprintf("epoch-%020d%s", epoch, fileExt))
+}
+
+// Save atomically writes the snapshot for epoch and prunes old epochs.
+func (f *FileStore) Save(epoch uint64, snapshot []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tmp, err := os.CreateTemp(f.dir, ".tmp-epoch-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(snapshot); err != nil {
+		tmp.Close()
+		removeQuiet(tmpName)
+		return fmt.Errorf("checkpoint: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		removeQuiet(tmpName)
+		return fmt.Errorf("checkpoint: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		removeQuiet(tmpName)
+		return fmt.Errorf("checkpoint: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, f.path(epoch)); err != nil {
+		removeQuiet(tmpName)
+		return fmt.Errorf("checkpoint: publish snapshot: %w", err)
+	}
+	f.prune()
+	return nil
+}
+
+// prune removes the oldest epoch files beyond the retention count.
+// Caller holds f.mu. Removal is best-effort: a file that cannot be
+// removed now is retried on the next Save, and an extra stale epoch
+// never affects correctness (Latest prefers newer epochs).
+func (f *FileStore) prune() {
+	epochs, err := f.epochsLocked()
+	if err != nil {
+		return
+	}
+	for len(epochs) > f.retain {
+		_ = os.Remove(f.path(epochs[0]))
+		epochs = epochs[1:]
+	}
+}
+
+// Load returns the snapshot stored for epoch.
+func (f *FileStore) Load(epoch uint64) ([]byte, error) {
+	data, err := os.ReadFile(f.path(epoch))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: epoch %d", ErrNoCheckpoint, epoch)
+		}
+		return nil, fmt.Errorf("checkpoint: read epoch %d: %w", epoch, err)
+	}
+	return data, nil
+}
+
+// Epochs lists stored epochs in ascending order, ignoring foreign files.
+func (f *FileStore) Epochs() ([]uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epochsLocked()
+}
+
+func (f *FileStore) epochsLocked() ([]uint64, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list store dir: %w", err)
+	}
+	epochs := make([]uint64, 0, len(entries))
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "epoch-") || !strings.HasSuffix(name, fileExt) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, "epoch-"), fileExt)
+		epoch, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue // foreign file that happens to match the prefix
+		}
+		epochs = append(epochs, epoch)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// removeQuiet deletes a temp file left behind by a failed save. The save
+// error is what the caller reports; a leftover temp file is invisible to
+// Epochs (wrong prefix) and harmless.
+func removeQuiet(name string) {
+	//neptune:discarderr cleanup of an orphaned temp file; the originating save error is already surfaced
+	_ = os.Remove(name)
+}
+
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*FileStore)(nil)
+)

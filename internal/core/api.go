@@ -44,6 +44,24 @@ type Processor interface {
 	Close() error
 }
 
+// StatefulProcessor is an optional extension of Processor: operators that
+// carry state across packets (windows, counters, models) expose it so the
+// checkpointing supervisor can capture and restore it around a crash.
+// SnapshotState runs at a checkpoint barrier — the engine guarantees no
+// Process/Tick call is in flight — and returns an opaque blob;
+// RestoreState receives that blob on a freshly-Opened instance after a
+// supervised restart. Operators whose snapshot/restore round-trips
+// deterministically get effectively-once recovery; opaque (non-stateful)
+// operators fall back to at-least-once (see DESIGN §8.1).
+type StatefulProcessor interface {
+	Processor
+	// SnapshotState serializes the instance's state.
+	SnapshotState(ctx *OpContext) ([]byte, error)
+	// RestoreState rebuilds the instance's state from a SnapshotState
+	// blob. It is called after Open and before any Process call.
+	RestoreState(ctx *OpContext, state []byte) error
+}
+
 // SourceFactory builds one Source per instance. The instance index is in
 // [0, parallelism).
 type SourceFactory func(instance int) Source

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/checkpoint"
 )
 
 // Config carries a job's tuning knobs. Every optimization the paper
@@ -62,6 +64,45 @@ type Config struct {
 	// PoolCapacity bounds the packet pool (idle packets). 0 defaults to
 	// 65536.
 	PoolCapacity int
+
+	// Checkpoint configures crash recovery: periodic checkpointing of
+	// operator state, heartbeat-based failure detection, and supervised
+	// restart with upstream replay. The zero value disables recovery
+	// entirely — no supervisor runs, no replay logs are kept, and the data
+	// path is byte-for-byte the one without this feature.
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig tunes the crash-recovery subsystem. A job launched with
+// a non-zero CheckpointConfig is automatically supervised: a Supervisor
+// heartbeats every engine, checkpoints all operator state every Interval,
+// and on a missed-heartbeat (or injected) crash revives the dead resource,
+// restores the latest consistent epoch, and replays upstream traffic.
+type CheckpointConfig struct {
+	// Interval is the time between checkpoint epochs. <= 0 with a non-nil
+	// Store means "no periodic checkpoints" (manual Supervisor.Checkpoint
+	// only).
+	Interval time.Duration
+
+	// Store persists encoded snapshots. nil defaults to an in-memory
+	// store, which survives engine crashes (the supervisor revives the
+	// resource in-process) but not OS process death.
+	Store checkpoint.Store
+
+	// Heartbeat is the liveness beacon period (default 10ms); Misses is
+	// how many consecutive missed beats declare an engine dead (default 4).
+	Heartbeat time.Duration
+	Misses    int
+
+	// BarrierTimeout bounds the stop-the-world drain that makes each
+	// checkpoint epoch consistent (default 5s).
+	BarrierTimeout time.Duration
+}
+
+// Enabled reports whether the zero-value test for recovery passes: any
+// field set opts the job into supervision.
+func (c CheckpointConfig) Enabled() bool {
+	return c.Interval > 0 || c.Store != nil
 }
 
 // DefaultConfig returns the paper's default configuration: 1 MB buffers,

@@ -111,8 +111,13 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Metrics() *metrics.Registry { return e.metrics }
 
 // Resource exposes the underlying Granules resource (scheduling metrics,
-// context-switch accounting).
-func (e *Engine) Resource() *granules.Resource { return e.res }
+// context-switch accounting). The lock makes the read safe against a
+// supervised revive swapping the resource.
+func (e *Engine) Resource() *granules.Resource {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.res
+}
 
 // PacketPoolStats reports the engine's packet pool counters.
 func (e *Engine) PacketPoolStats() pool.Stats { return e.pktPool.Stats() }
@@ -201,7 +206,45 @@ func (e *Engine) deploy() error {
 
 // quiesce waits until all hosted tasks are idle.
 func (e *Engine) quiesce(timeout time.Duration) bool {
-	return e.res.Quiesce(timeout)
+	return e.Resource().Quiesce(timeout)
+}
+
+// hostedInstances snapshots the engine's instances under the setup lock.
+func (e *Engine) hostedInstances() []*instance {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	insts := make([]*instance, 0, len(e.instances))
+	for _, inst := range e.instances {
+		insts = append(insts, inst)
+	}
+	return insts
+}
+
+// crash simulates abrupt process death of the engine's resource: inbound
+// dispatch is gated off, source pumps are told to stop without counting as
+// finished, and the Granules resource is killed without running operator
+// Close hooks — state dies with the process, exactly what checkpointed
+// recovery must compensate for. Idempotent.
+func (e *Engine) crash() {
+	insts := e.hostedInstances()
+	e.closed.Store(true)
+	for _, inst := range insts {
+		if inst.source != nil {
+			inst.pumpCrashed.Store(true)
+			inst.stopping.Store(true)
+		}
+	}
+	e.res.Kill()
+}
+
+// revive replaces the killed resource with a fresh one and reopens the
+// dispatch gate. Only the supervisor calls this, after crash() has
+// finished and with no executions in flight.
+func (e *Engine) revive() {
+	e.mu.Lock()
+	e.res = granules.NewResource(e.name, e.cfg.Workers)
+	e.mu.Unlock()
+	e.closed.Store(false)
 }
 
 // close terminates the engine's resource and instances.

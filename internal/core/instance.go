@@ -23,16 +23,31 @@ type inBatch struct {
 	bytes   int
 }
 
+// transportBox wraps a transport so destinations can swap links atomically:
+// the supervisor replaces a crashed engine's transports while flush timers
+// keep firing on surviving senders.
+type transportBox struct {
+	tr transport.Transport
+}
+
 // destination is one (sender instance, link, receiver instance) edge: a
 // capacity buffer that flushes either into a co-located instance's dataset
 // or over a transport channel.
 type destination struct {
 	channel  uint32
 	streamID uint32
-	local    *instance           // non-nil when receiver shares the engine
-	remote   transport.Transport // used otherwise
+	local    *instance                    // non-nil when receiver shares the engine
+	remote   atomic.Pointer[transportBox] // used otherwise; swapped on supervised rebuild
+	recv     *instance                    // receiving instance (local or remote)
 	buf      *buffer.CapacityBuffer
 	sender   *instance
+
+	// replay retains encoded wire frames since the last checkpoint barrier
+	// so a supervisor can re-send them after the receiving engine crashes.
+	// nil (the default) when the job is not supervised with replay — the
+	// only cost on an unsupervised hot path is this one atomic load per
+	// flushed frame.
+	replay atomic.Pointer[replayLog]
 
 	// Staged packets accumulated during one batched execution; flushStage
 	// hands the whole run to buf.AddBatch so the buffer lock is taken once
@@ -46,6 +61,57 @@ type destination struct {
 	sel      *compression.Selective
 	scratch  []byte // reused encode buffer
 	frameBuf []byte // reused compression frame buffer
+}
+
+// setTransport installs (or swaps) the destination's remote transport.
+func (d *destination) setTransport(tr transport.Transport) {
+	d.remote.Store(&transportBox{tr: tr})
+}
+
+// transport returns the destination's current remote transport (nil for
+// local destinations).
+func (d *destination) transport() transport.Transport {
+	if b := d.remote.Load(); b != nil {
+		return b.tr
+	}
+	return nil
+}
+
+// replayLog retains the encoded frames a destination sent since the last
+// checkpoint barrier, so they can be re-sent verbatim (same encoding, same
+// compression) if the receiving engine crashes. Appends come from flush
+// timer goroutines; resets come from the supervisor's barrier.
+type replayLog struct {
+	mu      sync.Mutex
+	frames  [][]byte
+	packets []int // packet count per frame, for the replayed_packets metric
+}
+
+func (rl *replayLog) append(frame []byte, npkts int) {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	rl.mu.Lock()
+	rl.frames = append(rl.frames, cp)
+	rl.packets = append(rl.packets, npkts)
+	rl.mu.Unlock()
+}
+
+// snapshot copies out the retained frames and their packet counts.
+func (rl *replayLog) snapshot() ([][]byte, []int) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	frames := make([][]byte, len(rl.frames))
+	copy(frames, rl.frames)
+	packets := make([]int, len(rl.packets))
+	copy(packets, rl.packets)
+	return frames, packets
+}
+
+func (rl *replayLog) reset() {
+	rl.mu.Lock()
+	rl.frames = nil
+	rl.packets = nil
+	rl.mu.Unlock()
 }
 
 // outLink is one outgoing link of one sender instance.
@@ -109,6 +175,19 @@ type instance struct {
 	pumpWG   sync.WaitGroup
 	pumpErr  errOnce
 	closeOp  sync.Once
+
+	// Pause gate (checkpoint barriers and recovery): when armed, the
+	// source pump parks at the top of its loop until resumed. paused and
+	// pumpDone let the supervisor observe that every pump is parked (or
+	// exited) before snapshotting. pumpCrashed marks a pump stopped by a
+	// crash injection: its exit must not count toward the job's
+	// sources-finished accounting, because the supervisor restarts it.
+	pauseMu     sync.Mutex
+	pauseCh     chan struct{}
+	paused      atomic.Bool
+	pumpDone    atomic.Bool
+	pumpCrashed atomic.Bool
+	pumpOnExit  func(error) // retained so a supervised restart reuses it
 
 	// Decode-side state. packet.Decoder is stateless; the Selective
 	// codec's Decode path is read-only, so sharing across transport IO
@@ -431,7 +510,13 @@ func (d *destination) flush(batch []*packet.Packet, bytes int, _ buffer.FlushRea
 		d.frameBuf = d.sel.Encode(d.frameBuf[:0], d.scratch)
 		frame = d.frameBuf
 	}
-	if err := d.remote.Send(d.channel, frame); err != nil {
+	// Retain the frame for crash replay before attempting delivery: a Send
+	// that fails because the receiving engine just died is exactly the
+	// frame recovery must re-send.
+	if rl := d.replay.Load(); rl != nil {
+		rl.append(frame, len(batch))
+	}
+	if err := d.transport().Send(d.channel, frame); err != nil {
 		e.sendErrs.Inc()
 	} else {
 		e.bytesOut.Add(uint64(len(frame)))
@@ -509,10 +594,19 @@ func (inst *instance) dedupPackets(pkts []*packet.Packet) []*packet.Packet {
 
 // startPump launches the source loop on its own goroutine.
 func (inst *instance) startPump(onExit func(error)) {
+	inst.pumpOnExit = onExit
+	inst.pumpDone.Store(false)
 	inst.pumpWG.Add(1)
 	go func() {
 		defer inst.pumpWG.Done()
 		err := inst.runPump()
+		inst.pumpDone.Store(true)
+		if inst.pumpCrashed.Load() {
+			// Crash-injected exit: the supervisor owns this pump's
+			// lifecycle and will restart it; the job's sources-finished
+			// accounting must not see this as a completed source.
+			return
+		}
 		inst.pumpErr.set(err)
 		if onExit != nil {
 			onExit(err)
@@ -525,6 +619,10 @@ func (inst *instance) runPump() error {
 		return fmt.Errorf("core: %s open: %w", inst.taskID(), err)
 	}
 	for !inst.stopping.Load() {
+		inst.pausePoint()
+		if inst.stopping.Load() {
+			break
+		}
 		err := inst.source.Next(&inst.ctx)
 		if err == nil {
 			continue
@@ -535,6 +633,48 @@ func (inst *instance) runPump() error {
 		return fmt.Errorf("core: %s next: %w", inst.taskID(), err)
 	}
 	return nil
+}
+
+// ---- Pause gate (checkpoint barriers) ----
+
+// pausePoint parks the pump while a barrier or recovery is in progress.
+func (inst *instance) pausePoint() {
+	for {
+		inst.pauseMu.Lock()
+		ch := inst.pauseCh
+		inst.pauseMu.Unlock()
+		if ch == nil {
+			return
+		}
+		inst.paused.Store(true)
+		<-ch
+		inst.paused.Store(false)
+	}
+}
+
+// pause arms the gate; the pump parks at its next pausePoint.
+func (inst *instance) pause() {
+	inst.pauseMu.Lock()
+	if inst.pauseCh == nil {
+		inst.pauseCh = make(chan struct{})
+	}
+	inst.pauseMu.Unlock()
+}
+
+// resume releases a parked pump.
+func (inst *instance) resume() {
+	inst.pauseMu.Lock()
+	ch := inst.pauseCh
+	inst.pauseCh = nil
+	inst.pauseMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// parked reports whether the pump is at the gate or has exited.
+func (inst *instance) parked() bool {
+	return inst.paused.Load() || inst.pumpDone.Load()
 }
 
 // PumpError reports a source pump failure, if any.

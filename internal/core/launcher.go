@@ -94,7 +94,11 @@ type TCPBridger struct {
 	listeners map[string]bridgeListener // engine name -> listener
 	addrs     map[string]string
 	clients   []transport.Transport
-	links     []*transport.Resilient
+	// Resilient links are keyed by (sender engine, receiver engine) name
+	// pair so a supervised Reconnect can replace exactly the link it
+	// rebuilds — health entries must not go stale after a re-deploy.
+	links     map[[2]string]*transport.Resilient
+	linkOrder [][2]string // deterministic LinkHealth order
 }
 
 // NewTCPBridger creates a TCP bridger with the given transport options.
@@ -103,6 +107,7 @@ func NewTCPBridger(opts transport.TCPOptions) *TCPBridger {
 		opts:      opts,
 		listeners: make(map[string]bridgeListener),
 		addrs:     make(map[string]string),
+		links:     make(map[[2]string]*transport.Resilient),
 	}
 }
 
@@ -118,31 +123,41 @@ func NewResilientTCPBridger(opts transport.ResilientOptions) *TCPBridger {
 	return b
 }
 
+// listenerAddr returns the listen address for the named engine, creating
+// the listener on first use (and after a DropEngine).
+func (b *TCPBridger) listenerAddr(to *Engine) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	addr, ok := b.addrs[to.Name()]
+	if ok {
+		return addr, nil
+	}
+	var (
+		ln  bridgeListener
+		err error
+	)
+	if b.ropts != nil {
+		lopts := *b.ropts
+		lopts.Metrics = to.Metrics()
+		ln, err = transport.ListenResilient("127.0.0.1:0", to.Dispatch, lopts)
+	} else {
+		ln, err = transport.Listen("127.0.0.1:0", to.Dispatch, b.opts)
+	}
+	if err != nil {
+		return "", err
+	}
+	b.listeners[to.Name()] = ln
+	addr = ln.Addr()
+	b.addrs[to.Name()] = addr
+	return addr, nil
+}
+
 // Connect implements Bridger.
 func (b *TCPBridger) Connect(from, to *Engine) (transport.Transport, error) {
-	b.mu.Lock()
-	addr, ok := b.addrs[to.Name()]
-	if !ok {
-		var (
-			ln  bridgeListener
-			err error
-		)
-		if b.ropts != nil {
-			lopts := *b.ropts
-			lopts.Metrics = to.Metrics()
-			ln, err = transport.ListenResilient("127.0.0.1:0", to.Dispatch, lopts)
-		} else {
-			ln, err = transport.Listen("127.0.0.1:0", to.Dispatch, b.opts)
-		}
-		if err != nil {
-			b.mu.Unlock()
-			return nil, err
-		}
-		b.listeners[to.Name()] = ln
-		addr = ln.Addr()
-		b.addrs[to.Name()] = addr
+	addr, err := b.listenerAddr(to)
+	if err != nil {
+		return nil, err
 	}
-	b.mu.Unlock()
 	var t transport.Transport
 	if b.ropts != nil {
 		dopts := *b.ropts
@@ -152,12 +167,15 @@ func (b *TCPBridger) Connect(from, to *Engine) (transport.Transport, error) {
 		if err != nil {
 			return nil, err
 		}
+		key := [2]string{from.Name(), to.Name()}
 		b.mu.Lock()
-		b.links = append(b.links, r)
+		if _, seen := b.links[key]; !seen {
+			b.linkOrder = append(b.linkOrder, key)
+		}
+		b.links[key] = r
 		b.mu.Unlock()
 		t = r
 	} else {
-		var err error
 		t, err = transport.Dial(addr, nil, b.opts)
 		if err != nil {
 			return nil, err
@@ -169,6 +187,64 @@ func (b *TCPBridger) Connect(from, to *Engine) (transport.Transport, error) {
 	return t, nil
 }
 
+// Reconnect rebuilds the resilient link between two engines after a
+// supervised restart: the old link is closed, and a new one is dialed with
+// the same link id but a bumped recovery epoch, so the receiver rewinds
+// its per-link dedup state and accepts the replayed frame sequence from
+// the start. The bridger's health entry for the pair is replaced, not
+// appended — Job.LinkHealth never reports the dead link's state.
+func (b *TCPBridger) Reconnect(from, to *Engine, epoch uint64) (transport.Transport, error) {
+	if b.ropts == nil {
+		return nil, errors.New("core: recovery requires a resilient bridger")
+	}
+	key := [2]string{from.Name(), to.Name()}
+	b.mu.Lock()
+	old := b.links[key]
+	b.mu.Unlock()
+	var linkID uint64
+	if old != nil {
+		linkID = old.LinkID()
+		if err := old.Close(); err != nil && !errors.Is(err, transport.ErrClosed) {
+			return nil, err
+		}
+	}
+	addr, err := b.listenerAddr(to)
+	if err != nil {
+		return nil, err
+	}
+	dopts := *b.ropts
+	dopts.Metrics = from.Metrics()
+	dopts.LinkID = linkID
+	dopts.Epoch = epoch
+	r, err := transport.DialResilient(addr, nil, dopts)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if _, seen := b.links[key]; !seen {
+		b.linkOrder = append(b.linkOrder, key)
+	}
+	b.links[key] = r
+	b.clients = append(b.clients, r)
+	b.mu.Unlock()
+	return r, nil
+}
+
+// DropEngine tears down the listener of a crashed engine, severing every
+// inbound connection to it, as the death of its process would. A later
+// Reconnect toward the engine recreates the listener lazily.
+func (b *TCPBridger) DropEngine(name string) error {
+	b.mu.Lock()
+	ln := b.listeners[name]
+	delete(b.listeners, name)
+	delete(b.addrs, name)
+	b.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
 // LinkHealth reports per-link health snapshots. Only resilient links track
 // health; a plain TCP bridger reports nil.
 func (b *TCPBridger) LinkHealth() []transport.LinkHealth {
@@ -178,8 +254,8 @@ func (b *TCPBridger) LinkHealth() []transport.LinkHealth {
 		return nil
 	}
 	out := make([]transport.LinkHealth, 0, len(b.links))
-	for _, r := range b.links {
-		out = append(out, r.Health())
+	for _, key := range b.linkOrder {
+		out = append(out, b.links[key].Health())
 	}
 	return out
 }
@@ -221,12 +297,18 @@ type Job struct {
 	sources map[string]SourceFactory
 	procs   map[string]ProcessorFactory
 
-	engines    []*Engine
-	bridger    Bridger
-	instances  []*instance
-	byOp       map[string][]*instance
-	order      []string // topological operator order for draining
-	transports []transport.Transport
+	engines   []*Engine
+	bridger   Bridger
+	instances []*instance
+	byOp      map[string][]*instance
+	order     []string // topological operator order for draining
+
+	// transports maps (sender engine, receiver engine) name pairs to the
+	// live transport for that pair. The supervisor replaces entries when
+	// it rebuilds links after a crash; trMu guards the map against the
+	// concurrent reads in Drain's settle checks.
+	trMu       sync.Mutex
+	transports map[[2]string]transport.Transport
 
 	nextChannel uint32
 
@@ -234,6 +316,15 @@ type Job struct {
 	stopped     atomic.Bool
 	sourcesLeft atomic.Int64
 	sourcesDone chan struct{}
+
+	// drainSlack absorbs the frame-accounting gap a crash leaves behind:
+	// frames counted as sent whose receiving engine died before
+	// dispatching them can never be counted as received, so the settle
+	// check credits the receiver with this many frames.
+	drainSlack atomic.Uint64
+
+	supMu sync.Mutex
+	sup   *Supervisor
 
 	firstErr errOnce
 }
@@ -354,7 +445,7 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 
 	// 2. Wire links: per sender instance, one partitioner and one
 	// destination (buffer + delivery path) per receiver instance.
-	transports := make(map[[2]string]transport.Transport)
+	j.transports = make(map[[2]string]transport.Transport)
 	for _, link := range j.spec.Links {
 		receivers := j.byOp[link.To]
 		for _, sender := range j.byOp[link.From] {
@@ -370,21 +461,21 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 					channel:  ch,
 					streamID: ch,
 					sender:   sender,
+					recv:     recv,
 				}
 				if recv.engine == sender.engine {
 					d.local = recv
 				} else {
 					key := [2]string{sender.engine.Name(), recv.engine.Name()}
-					tr, ok := transports[key]
+					tr, ok := j.transports[key]
 					if !ok {
 						tr, err = bridger.Connect(sender.engine, recv.engine)
 						if err != nil {
 							return err
 						}
-						transports[key] = tr
-						j.transports = append(j.transports, tr)
+						j.transports[key] = tr
 					}
-					d.remote = tr
+					d.setTransport(tr)
 					d.sel = sender.engine.newSelective()
 					if err := recv.engine.registerChannel(ch, recv); err != nil {
 						return err
@@ -441,6 +532,18 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 		})
 	}
 	j.launched = true
+	if j.cfg.Checkpoint.Enabled() {
+		if _, err := j.Supervise(SupervisorOptions{
+			Interval:       j.cfg.Checkpoint.Interval,
+			Store:          j.cfg.Checkpoint.Store,
+			Heartbeat:      j.cfg.Checkpoint.Heartbeat,
+			Misses:         j.cfg.Checkpoint.Misses,
+			BarrierTimeout: j.cfg.Checkpoint.BarrierTimeout,
+			Replay:         true,
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -550,7 +653,13 @@ func (j *Job) transportsSettled() bool {
 	// directly — the counter comparison below tolerates received > sent
 	// (injected or duplicated traffic), and that tolerance would otherwise
 	// let one out-of-job frame mask one genuinely in-flight frame.
+	j.trMu.Lock()
+	trs := make([]transport.Transport, 0, len(j.transports))
 	for _, tr := range j.transports {
+		trs = append(trs, tr)
+	}
+	j.trMu.Unlock()
+	for _, tr := range trs {
 		if f, ok := tr.(interface{ InFlight() int }); ok && f.InFlight() > 0 {
 			return false
 		}
@@ -562,8 +671,99 @@ func (j *Job) transportsSettled() bool {
 	}
 	// received can exceed sent when frames arrive from outside the job
 	// (e.g. injected or duplicated traffic); only frames still in flight
-	// (received < sent) block the drain.
-	return received >= sent
+	// (received < sent) block the drain. drainSlack credits the receiver
+	// for frames whose receiving engine crashed before dispatching them —
+	// they are gone and will never be counted.
+	return received+j.drainSlack.Load() >= sent
+}
+
+// pauseSources arms every source pump's pause gate.
+func (j *Job) pauseSources() {
+	for _, inst := range j.instances {
+		if inst.source != nil {
+			inst.pause()
+		}
+	}
+}
+
+// resumeSources releases every parked source pump.
+func (j *Job) resumeSources() {
+	for _, inst := range j.instances {
+		if inst.source != nil {
+			inst.resume()
+		}
+	}
+}
+
+// waitSourcesParked waits until every source pump is parked at its pause
+// gate (or has exited), reporting whether that happened before timeout. A
+// pump blocked in a downstream Send can take a while to reach the gate;
+// recovery proceeds anyway after the timeout because closing the dead
+// engine's transports fails such sends fast.
+func (j *Job) waitSourcesParked(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		parked := true
+		for _, inst := range j.instances {
+			if inst.source != nil && !inst.parked() {
+				parked = false
+				break
+			}
+		}
+		if parked {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// supervisor returns the attached supervisor, if any.
+func (j *Job) supervisor() *Supervisor {
+	j.supMu.Lock()
+	defer j.supMu.Unlock()
+	return j.sup
+}
+
+// Supervisor returns the supervisor attached to this job — by Supervise or
+// automatically at launch when Config.Checkpoint is enabled — or nil when
+// the job is unsupervised.
+func (j *Job) Supervisor() *Supervisor { return j.supervisor() }
+
+// engineByName finds a hosting engine by name.
+func (j *Job) engineByName(name string) *Engine {
+	for _, e := range j.engines {
+		if e.Name() == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// transportPairs snapshots the (sender, receiver) engine-name pairs that
+// currently have a live transport.
+func (j *Job) transportPairs() [][2]string {
+	j.trMu.Lock()
+	defer j.trMu.Unlock()
+	pairs := make([][2]string, 0, len(j.transports))
+	for key := range j.transports {
+		pairs = append(pairs, key)
+	}
+	return pairs
+}
+
+func (j *Job) transportFor(key [2]string) transport.Transport {
+	j.trMu.Lock()
+	defer j.trMu.Unlock()
+	return j.transports[key]
+}
+
+func (j *Job) replaceTransport(key [2]string, tr transport.Transport) {
+	j.trMu.Lock()
+	j.transports[key] = tr
+	j.trMu.Unlock()
 }
 
 // StopSources asks all source pumps to wind down and waits for them.
@@ -588,6 +788,11 @@ func (j *Job) Stop(timeout time.Duration) error {
 	if !j.launched || !j.stopped.CompareAndSwap(false, true) {
 		return nil
 	}
+	if s := j.supervisor(); s != nil {
+		// Stop supervision first: a monitor mid-recovery finishes, and no
+		// new recovery or checkpoint can start under the teardown.
+		s.shutdown()
+	}
 	j.StopSources()
 	if err := j.Drain(timeout); err != nil {
 		j.firstErr.set(err)
@@ -600,6 +805,7 @@ func (j *Job) Stop(timeout time.Duration) error {
 			j.firstErr.set(err)
 		}
 	}
+	j.scanLinkErrors()
 	if err := j.bridger.Close(); err != nil {
 		j.firstErr.set(err)
 	}
@@ -610,11 +816,28 @@ func (j *Job) Stop(timeout time.Duration) error {
 	return j.firstErr.get()
 }
 
+// scanLinkErrors surfaces terminal transport failures (a link that
+// exhausted MaxAttempts and gave up) as job errors: data was lost, and a
+// job that completes without reporting it would be claiming a delivery
+// guarantee it broke.
+func (j *Job) scanLinkErrors() {
+	for _, h := range j.LinkHealth() {
+		if h.Err != nil {
+			j.firstErr.set(fmt.Errorf("core: link %s: %w", h.Addr, h.Err))
+		}
+	}
+}
+
 // Err returns the first error observed so far without stopping the job.
 func (j *Job) Err() error {
 	for _, inst := range j.instances {
 		if err := inst.VerifyError(); err != nil {
 			return err
+		}
+	}
+	for _, h := range j.LinkHealth() {
+		if h.Err != nil {
+			return fmt.Errorf("core: link %s: %w", h.Addr, h.Err)
 		}
 	}
 	return j.firstErr.get()

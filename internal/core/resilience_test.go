@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -177,5 +178,60 @@ func TestLinkHealthNilForPlainBridgers(t *testing.T) {
 	runToCompletion(t, j)
 	if h := j.LinkHealth(); h != nil {
 		t.Fatalf("in-process job reported link health: %+v", h)
+	}
+}
+
+// TestJobSurfacesGaveUpLink: a link that exhausts its reconnect budget
+// (MaxAttempts) lost data, and the job must say so — ErrGaveUp has to
+// surface through Job.Err and Job.Stop, not stay buried in link health.
+func TestJobSurfacesGaveUpLink(t *testing.T) {
+	const n = 1_000_000 // far more than the dead link will ever deliver
+	cfg := testConfig()
+	cfg.VerifyOrdering = false // loss is the point of this test
+	e1, _ := NewEngine("gu-1", cfg)
+	e2, _ := NewEngine("gu-2", cfg)
+	src := &countingSource{n: n}
+	sink := newCollectSink()
+	j, err := NewJob(twoStageSpec(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("src", func(int) Source { return src })
+	j.SetProcessor("sink", func(int) Processor { return sink })
+	place := func(op string, idx int) int {
+		if op == "sink" {
+			return 1
+		}
+		return 0
+	}
+	inj := chaos.New(13)
+	bridger := NewResilientTCPBridger(transport.ResilientOptions{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		MaxAttempts: 3,
+		// Shed keeps the source pumping while the link dies, so the test
+		// exercises error reporting rather than backpressure.
+		Policy: transport.DegradeShedOldest,
+		Dialer: inj.Dial,
+	})
+	if err := j.LaunchOn([]*Engine{e1, e2}, place, bridger); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sink, 100)
+	inj.Partition() // cut and refuse every re-dial: permanent outage
+
+	deadline := time.Now().Add(20 * time.Second)
+	for !errors.Is(j.Err(), transport.ErrGaveUp) {
+		if time.Now().After(deadline) {
+			t.Fatalf("Job.Err never surfaced ErrGaveUp; got %v", j.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j.StopSources()
+	if err := j.Stop(time.Second); err == nil {
+		t.Fatal("Stop returned nil after a link gave up")
+	}
+	if err := j.Err(); !errors.Is(err, transport.ErrGaveUp) {
+		t.Fatalf("post-stop Err = %v, want ErrGaveUp", err)
 	}
 }

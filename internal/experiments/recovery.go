@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/transport"
+	"repro/internal/window"
+)
+
+// Recovery measures crash recovery of a stateful pipeline — the failure
+// mode the paper's evaluation assumes away entirely (NEPTUNE runs on a
+// healthy cluster; see DESIGN.md §8.1). A three-stage job (source →
+// sliding-window operator → sink) spans three engines over resilient TCP
+// links; a seeded chaos injector kills the mid-pipeline engine while the
+// stream is in flight. With checkpointing and upstream replay the sink
+// must still see every packet exactly once carrying the deterministic
+// windowed state; with restart-only supervision the same kill demonstrably
+// loses both data and operator state.
+func Recovery(opts Options) (*Table, error) {
+	opts.defaults()
+	t := &Table{
+		ID:    "recovery",
+		Title: "Crash recovery of a stateful pipeline (checkpoint + upstream replay)",
+		Columns: []string{
+			"scenario", "sent", "delivered", "lost", "duplicated",
+			"state errors", "restarts", "replayed pkts", "ckpt bytes",
+		},
+	}
+	const n = 20_000
+	scenarios := []struct {
+		name       string
+		kill       bool
+		checkpoint bool
+	}{
+		{"no failure (baseline)", false, true},
+		{"mid-pipeline kill, checkpoint + replay", true, true},
+		{"mid-pipeline kill, restart only", true, false},
+	}
+	for _, sc := range scenarios {
+		r, err := runRecoveryScenario(n, sc.kill, sc.checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		t.AddRow(sc.name,
+			fmt.Sprint(n), fmt.Sprint(r.delivered),
+			fmt.Sprint(r.lost), fmt.Sprint(r.duplicated),
+			fmt.Sprint(r.stateErrors),
+			fmt.Sprint(r.health.Restarts), fmt.Sprint(r.health.ReplayedPackets),
+			fmt.Sprint(r.health.CheckpointBytes))
+	}
+	t.AddNote("The kill destroys the middle engine's process state: window " +
+		"contents, receive/dedup cursors, and emit cursors. Recovery revives " +
+		"the resource, restores the newest checkpoint epoch, rebuilds links " +
+		"under a bumped recovery epoch, and replays retained upstream frames.")
+	t.AddNote("\"state errors\" counts sink packets whose windowed sum or " +
+		"input cursor differs from the deterministic expectation — lost " +
+		"operator state, even when the packet itself arrived.")
+	t.AddNote("The restart-only row is the control: without checkpoints and " +
+		"replay the revived operator restarts empty and the sink's link-dedup " +
+		"cursor swallows its re-emitted sequence numbers — lost > 0 by design.")
+	return t, nil
+}
+
+type recoveryResult struct {
+	delivered   uint64
+	lost        uint64
+	duplicated  uint64
+	stateErrors uint64
+	health      core.RecoveryHealth
+}
+
+// recoveryWindowOp is the stateful middle stage: a sliding window plus an
+// input cursor, snapshot/restored through the checkpoint supervisor.
+type recoveryWindowOp struct {
+	win  *window.SlidingCount
+	seen int64
+}
+
+const recoveryWindowSize = 16
+
+func (m *recoveryWindowOp) Open(*core.OpContext) error { return nil }
+func (m *recoveryWindowOp) Close() error               { return nil }
+
+func (m *recoveryWindowOp) Process(ctx *core.OpContext, p *packet.Packet) error {
+	v, err := p.Int64("i")
+	if err != nil {
+		return err
+	}
+	m.win.Add(float64(v))
+	m.seen++
+	out := ctx.NewPacket()
+	out.AddInt64("i", v)
+	out.AddInt64("seen", m.seen)
+	out.AddFloat64("sum", m.win.Sum())
+	return ctx.EmitDefault(out)
+}
+
+func (m *recoveryWindowOp) SnapshotState(*core.OpContext) ([]byte, error) {
+	blob, err := m.win.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(binary.AppendVarint(nil, m.seen), blob...), nil
+}
+
+func (m *recoveryWindowOp) RestoreState(_ *core.OpContext, state []byte) error {
+	seen, nn := binary.Varint(state)
+	if nn <= 0 {
+		return errors.New("recovery experiment: bad window op state")
+	}
+	m.seen = seen
+	return m.win.UnmarshalBinary(state[nn:])
+}
+
+func expectedRecoverySum(i int64) float64 {
+	lo := i - recoveryWindowSize + 1
+	if lo < 0 {
+		lo = 0
+	}
+	var sum float64
+	for k := lo; k <= i; k++ {
+		sum += float64(k)
+	}
+	return sum
+}
+
+func runRecoveryScenario(n int, kill, checkpoint bool) (recoveryResult, error) {
+	cfg := core.DefaultConfig()
+	cfg.BufferSize = 4 << 10
+	cfg.FlushInterval = time.Millisecond
+	cfg.DedupRemote = true
+	names := [3]string{"rcv-src", "rcv-mid", "rcv-sink"}
+	var engines []*core.Engine
+	for _, name := range names {
+		e, err := core.NewEngine(name, cfg)
+		if err != nil {
+			return recoveryResult{}, err
+		}
+		engines = append(engines, e)
+	}
+	spec := &graph.Spec{
+		Name: "recovery",
+		Operators: []graph.OperatorSpec{
+			{Name: "src", Kind: graph.KindSource},
+			{Name: "mid", Kind: graph.KindProcessor},
+			{Name: "sink", Kind: graph.KindProcessor},
+		},
+		Links: []graph.LinkSpec{
+			{From: "src", To: "mid"},
+			{From: "mid", To: "sink"},
+		},
+	}
+	spec.Normalize()
+	job, err := core.NewJob(spec, cfg)
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	var emitted int
+	job.SetSource("src", func(int) core.Source {
+		return core.SourceFunc(func(ctx *core.OpContext) error {
+			if emitted >= n {
+				return io.EOF
+			}
+			if emitted%500 == 499 {
+				// Pace the source so the kill lands mid-stream.
+				time.Sleep(time.Millisecond)
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("i", int64(emitted))
+			emitted++
+			return ctx.EmitDefault(p)
+		})
+	})
+	job.SetProcessor("mid", func(int) core.Processor {
+		w, werr := window.NewSlidingCount(recoveryWindowSize)
+		if werr != nil {
+			panic(werr)
+		}
+		return &recoveryWindowOp{win: w}
+	})
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	var count, stateErrs uint64
+	job.SetProcessor("sink", func(int) core.Processor {
+		return core.ProcessorFunc(func(ctx *core.OpContext, p *packet.Packet) error {
+			v, err := p.Int64("i")
+			if err != nil {
+				return err
+			}
+			sn, err := p.Int64("seen")
+			if err != nil {
+				return err
+			}
+			sum, err := p.Float64("sum")
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			seen[v]++
+			count++
+			if sn != v+1 || sum != expectedRecoverySum(v) {
+				stateErrs++
+			}
+			mu.Unlock()
+			return nil
+		})
+	})
+	bridger := core.NewResilientTCPBridger(transport.ResilientOptions{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	})
+	place := func(op string, _ int) int {
+		switch op {
+		case "src":
+			return 0
+		case "mid":
+			return 1
+		default:
+			return 2
+		}
+	}
+	if err := job.LaunchOn(engines, place, bridger); err != nil {
+		return recoveryResult{}, err
+	}
+	sup, err := job.Supervise(core.SupervisorOptions{
+		Heartbeat: 5 * time.Millisecond,
+		Misses:    3,
+		Replay:    checkpoint,
+	})
+	if err != nil {
+		job.Stop(time.Second)
+		return recoveryResult{}, err
+	}
+	progress := func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return count
+	}
+	if kill {
+		waitUntil(func() bool { return progress() >= uint64(n)/4 })
+		if checkpoint {
+			if err := sup.Checkpoint(); err != nil {
+				job.Stop(time.Second)
+				return recoveryResult{}, err
+			}
+		}
+		inj := chaos.New(97)
+		inj.RegisterKill(names[1], func() { _ = sup.Kill(names[1]) })
+		inj.KillResource(names[1])
+		waitUntil(func() bool { return job.RecoveryHealth().Restarts >= 1 })
+	}
+	if !job.WaitSources(60 * time.Second) {
+		job.Stop(time.Second)
+		return recoveryResult{}, fmt.Errorf("source never finished (pipeline wedged)")
+	}
+	health := job.RecoveryHealth()
+	if err := job.Stop(60 * time.Second); err != nil && checkpoint {
+		// The restart-only run loses data by design; its drain cannot
+		// balance, so only the recovering runs treat Stop errors as fatal.
+		return recoveryResult{}, err
+	}
+	r := recoveryResult{health: health}
+	mu.Lock()
+	r.stateErrors = stateErrs
+	for i := 0; i < n; i++ {
+		c := seen[int64(i)]
+		switch {
+		case c == 0:
+			r.lost++
+		case c > 1:
+			r.duplicated += uint64(c - 1)
+		}
+		r.delivered += uint64(c)
+	}
+	mu.Unlock()
+	return r, nil
+}

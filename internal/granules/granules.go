@@ -576,10 +576,38 @@ func (r *Resource) Quiesce(timeout time.Duration) bool {
 // Terminate stops the worker pool, stops periodic tickers, and closes all
 // tasks. It blocks until in-flight executions finish.
 func (r *Resource) Terminate() error {
+	tasks, stopped := r.stop()
+	if !stopped {
+		return nil
+	}
+	var firstErr error
+	for _, ts := range tasks {
+		if err := ts.task.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Kill terminates the resource the way a process crash would: the worker
+// pool and tickers stop (so goroutines do not leak from a test-injected
+// crash), but task Close hooks never run — whatever state a task held is
+// abandoned exactly as if the host process had died. Recovery supervisors
+// use this to simulate losing a resource. Like Terminate it blocks until
+// in-flight executions finish; unlike a real crash, executions are not
+// interrupted mid-run (Go cannot preempt arbitrary code safely).
+func (r *Resource) Kill() {
+	r.stop()
+}
+
+// stop performs the shared Terminate/Kill shutdown — mark terminated,
+// stop tickers, stop workers — and returns the task list plus whether
+// this call won the termination race.
+func (r *Resource) stop() ([]*taskState, bool) {
 	r.mu.Lock()
 	if r.term.Load() {
 		r.mu.Unlock()
-		return nil
+		return nil, false
 	}
 	r.term.Store(true)
 	deployed := r.deployed.Load()
@@ -605,11 +633,5 @@ func (r *Resource) Terminate() error {
 		r.sched.drainIdle()
 		r.wg.Wait()
 	}
-	var firstErr error
-	for _, ts := range tasks {
-		if err := ts.task.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return tasks, true
 }

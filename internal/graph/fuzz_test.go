@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDescriptorLoad throws arbitrary JSON (and non-JSON) at the graph
+// descriptor parser. Any accepted descriptor must come back normalized
+// and structurally valid — named links, defaulted partitioners, at
+// least one source — since downstream launch code trusts those
+// invariants without re-checking.
+func FuzzDescriptorLoad(f *testing.F) {
+	f.Add([]byte(relayJSON))
+	f.Add([]byte(`{"name":"x","operators":[{"name":"s","kind":"source"},{"name":"p"}],"links":[{"from":"s","to":"p"}]}`))
+	f.Add([]byte(`{"name":"dup","operators":[{"name":"a","kind":"source"},{"name":"a"}],"links":[]}`))
+	f.Add([]byte(`{"name":"cycle","operators":[{"name":"s","kind":"source"},{"name":"a"},{"name":"b"}],"links":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`))
+	f.Add([]byte(`{"operators":[{"name":"s","kind":"alien"}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"name":"x","unknown_field":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseDescriptor(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; crashes and invalid accepts are not
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("parser accepted a descriptor its own Validate rejects: %v", err)
+		}
+		for _, l := range spec.Links {
+			if l.Name == "" || l.Partitioner == "" {
+				t.Fatalf("accepted link not normalized: %+v", l)
+			}
+		}
+	})
+}

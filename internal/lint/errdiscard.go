@@ -10,19 +10,23 @@ import (
 // engine layers a swallowed error usually means a peer failure, a corrupt
 // frame, or a shutdown race that the operator never hears about (the PR-2
 // reconnect work found exactly such a silent `_ = err`). Inside
-// internal/transport and internal/core, discarding an error — `_ = expr`
-// or calling an error-returning function as a bare statement — requires an
-// explicit //neptune:discarderr <reason> annotation on the same line or
-// the line above. Close calls in cleanup paths and deferred calls are
-// exempt by convention.
+// internal/transport, internal/core, and internal/checkpoint (recovery
+// correctness rides on error plumbing: a swallowed store error silently
+// turns "checkpointed" into "lost on crash"), discarding an error —
+// `_ = expr` or calling an error-returning function as a bare statement —
+// requires an explicit //neptune:discarderr <reason> annotation on the
+// same line or the line above. Close calls in cleanup paths and deferred
+// calls are exempt by convention.
 var analyzerErrDiscard = &Analyzer{
 	Name: "errdiscard",
-	Doc:  "silently discarded error in internal/transport or internal/core",
+	Doc:  "silently discarded error in internal/transport, internal/core, or internal/checkpoint",
 	Run:  runErrDiscard,
 }
 
 func runErrDiscard(p *Package) []Finding {
-	if !strings.Contains(p.Path, "internal/transport") && !strings.Contains(p.Path, "internal/core") {
+	if !strings.Contains(p.Path, "internal/transport") &&
+		!strings.Contains(p.Path, "internal/core") &&
+		!strings.Contains(p.Path, "internal/checkpoint") {
 		return nil
 	}
 	r := &reporter{rule: "errdiscard", pkg: p}

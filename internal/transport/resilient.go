@@ -114,6 +114,22 @@ type ResilientOptions struct {
 	// LinkID identifies this sender's redelivery state at the
 	// receiver across reconnections. Zero picks a random id.
 	LinkID uint64
+	// Epoch tags the link's hello handshake with a recovery generation.
+	// When a supervisor rebuilds a link after a process crash it dials
+	// with a higher epoch; the listener then rewinds the link's dedup
+	// cursor so the rebuilt sender's restarted frame sequence is accepted
+	// instead of discarded as stale. Normal reconnects reuse the same
+	// epoch, preserving dedup across transient outages. Zero is the
+	// default (pre-recovery) epoch.
+	Epoch uint64
+	// Journal, when non-nil, mirrors the replay journal's lifecycle: it
+	// observes every admitted frame and every cumulative-ack trim. This
+	// is the persistence hook for write-ahead durability — an
+	// implementation can append frames to stable storage and truncate on
+	// trim. Callbacks run on transport goroutines outside internal locks;
+	// the payload slice is owned by the journal and must be copied if
+	// retained.
+	Journal JournalObserver
 	// Dialer opens the underlying connection; tests inject faults
 	// here. Nil defaults to net.DialTimeout.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
@@ -163,6 +179,16 @@ func (o *ResilientOptions) defaults() {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+}
+
+// JournalObserver mirrors a resilient link's replay journal to external
+// storage. JournalAppend is invoked after a frame is admitted to the
+// in-memory journal; JournalTrim after a cumulative ack releases every
+// frame with seq <= ackedThrough. Implementations must not block for
+// long: both run on the transport's writer/reader goroutines.
+type JournalObserver interface {
+	JournalAppend(seq uint64, channel uint32, payload []byte)
+	JournalTrim(ackedThrough uint64)
 }
 
 // LinkHealth is a point-in-time snapshot of a resilient link.
@@ -342,10 +368,15 @@ func (r *Resilient) ackWatch() {
 }
 
 // writeHello sends the link-identifying first frame on the current conn
-// and flushes it. Caller owns the writer goroutine (or constructor).
+// and flushes it. Caller owns the writer goroutine (or constructor). The
+// payload carries the link id plus the recovery epoch; pre-epoch
+// listeners that only understand 8-byte hellos never see this sender
+// (both ends ship together), while this listener still accepts 8-byte
+// hellos from older senders as epoch 0.
 func (r *Resilient) writeHello() error {
-	var payload [8]byte
-	binary.LittleEndian.PutUint64(payload[:], r.linkID)
+	var payload [16]byte
+	binary.LittleEndian.PutUint64(payload[:8], r.linkID)
+	binary.LittleEndian.PutUint64(payload[8:], r.opts.Epoch)
 	var hdr [headerV2Size]byte
 	putHeaderV2(hdr[:], 0, payload[:], flagHello, 0, r.recvSeq.Load())
 	if _, err := r.bw.Write(hdr[:]); err != nil {
@@ -722,6 +753,9 @@ func (r *Resilient) journalAppend(jf jframe) bool {
 		m.Gauge("transport.replay_frames").Add(1)
 	}
 	r.jmu.Unlock()
+	if o := r.opts.Journal; o != nil {
+		o.JournalAppend(jf.seq, jf.channel, jf.payload)
+	}
 	return true
 }
 
@@ -754,6 +788,9 @@ func (r *Resilient) journalAck(ack uint64) {
 		if m := r.opts.Metrics; m != nil {
 			m.Gauge("transport.replay_bytes").Add(-freedBytes)
 			m.Gauge("transport.replay_frames").Add(-freedFrames)
+		}
+		if o := r.opts.Journal; o != nil {
+			o.JournalTrim(ack)
 		}
 	}
 }
@@ -902,6 +939,14 @@ func (r *Resilient) Health() LinkHealth {
 	}
 }
 
+// LinkID returns the link identifier carried in the hello handshake. A
+// supervisor reuses it when re-dialing a rebuilt link so the receiver's
+// redelivery state stays keyed to the same logical link.
+func (r *Resilient) LinkID() uint64 { return r.linkID }
+
+// Epoch returns the recovery epoch this link handshakes with.
+func (r *Resilient) Epoch() uint64 { return r.opts.Epoch }
+
 // Stats reports transfer counters.
 func (r *Resilient) Stats() Stats { return r.stats.snapshot() }
 
@@ -945,10 +990,15 @@ func (r *Resilient) Close() error {
 var _ Transport = (*Resilient)(nil)
 
 // linkRecv is the receiver-side redelivery state of one link, keyed by
-// the sender's link id so it survives reconnections.
+// the sender's link id so it survives reconnections. epoch tracks the
+// link's recovery generation: a hello with a higher epoch rewinds
+// lastSeen so a supervisor-rebuilt sender (whose frame sequence restarts
+// at 1) is not misread as a flood of stale duplicates; a hello with the
+// same epoch — every ordinary reconnect — leaves dedup state intact.
 type linkRecv struct {
 	mu       sync.Mutex
 	lastSeen uint64
+	epoch    uint64
 }
 
 // ResilientListener accepts resilient (and plain v1) connections: v2
@@ -1071,8 +1121,18 @@ func (l *ResilientListener) serve(conn net.Conn) {
 		}
 		if f.version == frameVersion2 {
 			if f.flags&flagHello != 0 {
-				if len(f.payload) == 8 {
+				switch len(f.payload) {
+				case 8: // pre-epoch hello: link id only
 					link = l.link(binary.LittleEndian.Uint64(f.payload))
+				case 16: // link id + recovery epoch
+					link = l.link(binary.LittleEndian.Uint64(f.payload))
+					epoch := binary.LittleEndian.Uint64(f.payload[8:])
+					link.mu.Lock()
+					if epoch > link.epoch {
+						link.epoch = epoch
+						link.lastSeen = 0
+					}
+					link.mu.Unlock()
 				}
 				continue
 			}

@@ -235,10 +235,12 @@ func TestResilientShedOldestBoundsJournal(t *testing.T) {
 	c := &collect{}
 	payload := bytes.Repeat([]byte{1}, 1024)
 	limit := int64(8 * (1024 + headerV2Size))
+	reg := metrics.NewRegistry(nil)
 	cl, _ := resilientPair(t, c, inj, ResilientOptions{
 		ReplayLimit: limit,
 		Policy:      DegradeShedOldest,
 		MaxAttempts: 1000,
+		Metrics:     reg,
 	})
 	// Stop acks from arriving: partition, then keep sending well past
 	// the replay limit. Shed policy must keep Send non-blocking.
@@ -256,6 +258,11 @@ func TestResilientShedOldestBoundsJournal(t *testing.T) {
 	h := cl.Health()
 	if h.ReplayBytes > limit {
 		t.Fatalf("journal %d bytes exceeds limit %d", h.ReplayBytes, limit)
+	}
+	if got := reg.Counter("transport.frames_shed").Value(); got == 0 {
+		t.Fatal("transport.frames_shed metric not incremented by shed policy")
+	} else if got != h.Shed {
+		t.Fatalf("transport.frames_shed = %d, link health shed = %d", got, h.Shed)
 	}
 }
 
@@ -477,4 +484,127 @@ func TestResilientConcurrentSendFailClose(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// recordingJournal captures the JournalObserver callback stream.
+type recordingJournal struct {
+	mu      sync.Mutex
+	appends []uint64
+	trimmed uint64
+}
+
+func (r *recordingJournal) JournalAppend(seq uint64, _ uint32, _ []byte) {
+	r.mu.Lock()
+	r.appends = append(r.appends, seq)
+	r.mu.Unlock()
+}
+
+func (r *recordingJournal) JournalTrim(acked uint64) {
+	r.mu.Lock()
+	if acked > r.trimmed {
+		r.trimmed = acked
+	}
+	r.mu.Unlock()
+}
+
+// TestResilientJournalObserver: the write-ahead hook must see every
+// admitted frame, in sequence order, and the trim watermark must follow
+// the cumulative acks all the way to the last frame.
+func TestResilientJournalObserver(t *testing.T) {
+	c := &collect{}
+	jr := &recordingJournal{}
+	cl, _ := resilientPair(t, c, nil, ResilientOptions{Journal: jr})
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := cl.Send(1, seqPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.wait(t, n)
+	waitFor(t, func() bool {
+		jr.mu.Lock()
+		defer jr.mu.Unlock()
+		return jr.trimmed >= n
+	})
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if len(jr.appends) != n {
+		t.Fatalf("observed %d appends, want %d", len(jr.appends), n)
+	}
+	for i, seq := range jr.appends {
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d carries seq %d, want %d", i, seq, i+1)
+		}
+	}
+}
+
+// TestResilientEpochRewindsLinkDedup pins the recovery handshake: a fresh
+// dialer reusing a link id at the SAME epoch has its restarted frame
+// sequence discarded as duplicates (exactly what protects against
+// post-reconnect replays), while a dialer carrying a HIGHER epoch — a
+// supervisor rebuilding the link after a crash — makes the listener
+// rewind its dedup cursor and accept the restarted sequence.
+func TestResilientEpochRewindsLinkDedup(t *testing.T) {
+	c := &collect{}
+	reg := metrics.NewRegistry(nil)
+	ln, err := ListenResilient("127.0.0.1:0", c.handler, ResilientOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	opts := ResilientOptions{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		LinkID:      77,
+	}
+	const n = 100
+	cl1, err := DialResilient(ln.Addr(), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := cl1.Send(1, seqPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.wait(t, n)
+	cl1.Close()
+
+	// Same link id, same epoch: restarted sequence numbers are stale.
+	cl2, err := DialResilient(ln.Addr(), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := cl2.Send(1, seqPayload(n+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The listener drops (and re-acks) every stale frame; nothing new is
+	// delivered.
+	waitFor(t, func() bool { return reg.Counter("transport.dup_frames_dropped").Value() >= 10 })
+	cl2.Close()
+	if got := c.n.Load(); got != n {
+		t.Fatalf("same-epoch redial delivered %d frames, want %d (dups must drop)", got, n)
+	}
+
+	// Higher epoch: the dedup cursor rewinds and the fresh sequence lands.
+	opts.Epoch = 1
+	cl3, err := DialResilient(ln.Addr(), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl3.Close()
+	if got := cl3.Epoch(); got != 1 {
+		t.Fatalf("Epoch() = %d, want 1", got)
+	}
+	if got := cl3.LinkID(); got != 77 {
+		t.Fatalf("LinkID() = %d, want 77", got)
+	}
+	for i := 0; i < 10; i++ {
+		if err := cl3.Send(1, seqPayload(n+10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.wait(t, n+10)
 }

@@ -1,0 +1,246 @@
+package window
+
+// State codecs: every window shape can serialize its live contents so a
+// checkpointing supervisor captures windowed-operator state and restores
+// it bit-equivalently after a crash. The encodings store observations
+// oldest-first and rebuild through the window's own Add path, so derived
+// state (ring layout, monotonic deques, running sums) is reconstructed by
+// the same code that maintains it live — restored windows behave exactly
+// like windows that saw the stream from the start.
+//
+// Floats travel as raw IEEE-754 bits, so NaN payloads and signed zeros
+// survive the round trip.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrBadState reports a window state blob that fails validation.
+var ErrBadState = errors.New("window: bad serialized state")
+
+var errTruncatedState = fmt.Errorf("%w: truncated", ErrBadState)
+
+func appendFloat(dst []byte, x float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+}
+
+func readFloat(buf []byte) (float64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, buf, errTruncatedState
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf)), buf[8:], nil
+}
+
+func readStateUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, buf, errTruncatedState
+	}
+	return v, buf[n:], nil
+}
+
+// countExceeds guards length prefixes: a float64 costs 8 bytes, so a
+// count larger than the remaining bytes / 8 is corrupt.
+func countExceeds(count uint64, buf []byte) bool {
+	return count > uint64(len(buf))/8
+}
+
+// MarshalBinary encodes the window's size and open-window contents.
+func (t *Tumbling) MarshalBinary() ([]byte, error) {
+	dst := binary.AppendUvarint(nil, uint64(t.size))
+	dst = binary.AppendUvarint(dst, uint64(len(t.buf)))
+	for _, x := range t.buf {
+		dst = appendFloat(dst, x)
+	}
+	return dst, nil
+}
+
+// UnmarshalBinary restores a window encoded by MarshalBinary, replacing
+// the receiver's size and contents.
+func (t *Tumbling) UnmarshalBinary(data []byte) error {
+	size, buf, err := readStateUvarint(data)
+	if err != nil {
+		return err
+	}
+	if size == 0 || size > math.MaxInt32 {
+		return fmt.Errorf("%w: tumbling size %d", ErrBadState, size)
+	}
+	count, buf, err := readStateUvarint(buf)
+	if err != nil {
+		return err
+	}
+	if count >= size || countExceeds(count, buf) {
+		return fmt.Errorf("%w: tumbling holds %d of %d", ErrBadState, count, size)
+	}
+	t.size = int(size)
+	t.buf = make([]float64, 0, size)
+	for i := uint64(0); i < count; i++ {
+		var x float64
+		x, buf, err = readFloat(buf)
+		if err != nil {
+			return err
+		}
+		t.buf = append(t.buf, x)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadState, len(buf))
+	}
+	return nil
+}
+
+// MarshalBinary encodes the window's size and live values oldest-first.
+func (s *SlidingCount) MarshalBinary() ([]byte, error) {
+	dst := binary.AppendUvarint(nil, uint64(s.size))
+	dst = binary.AppendUvarint(dst, uint64(s.n))
+	for i := 0; i < s.n; i++ {
+		dst = appendFloat(dst, s.ring[(s.head+i)%s.size])
+	}
+	return dst, nil
+}
+
+// UnmarshalBinary restores a window encoded by MarshalBinary. The ring,
+// running sum, and min/max deques are rebuilt by replaying the values
+// through Add, so the restored window is observationally identical.
+func (s *SlidingCount) UnmarshalBinary(data []byte) error {
+	size, buf, err := readStateUvarint(data)
+	if err != nil {
+		return err
+	}
+	if size == 0 || size > math.MaxInt32 {
+		return fmt.Errorf("%w: sliding size %d", ErrBadState, size)
+	}
+	count, buf, err := readStateUvarint(buf)
+	if err != nil {
+		return err
+	}
+	if count > size || countExceeds(count, buf) {
+		return fmt.Errorf("%w: sliding holds %d of %d", ErrBadState, count, size)
+	}
+	fresh, err := NewSlidingCount(int(size))
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var x float64
+		x, buf, err = readFloat(buf)
+		if err != nil {
+			return err
+		}
+		fresh.Add(x)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadState, len(buf))
+	}
+	*s = *fresh
+	return nil
+}
+
+// MarshalBinary encodes the span and the live (timestamp, value) pairs
+// oldest-first.
+func (w *SlidingTime) MarshalBinary() ([]byte, error) {
+	dst := binary.AppendUvarint(nil, uint64(w.span))
+	dst = binary.AppendUvarint(dst, uint64(len(w.ts)))
+	for i := range w.ts {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(w.ts[i]))
+		dst = appendFloat(dst, w.vals[i])
+	}
+	return dst, nil
+}
+
+// UnmarshalBinary restores a window encoded by MarshalBinary, rebuilding
+// through Add so eviction and the running sum replay identically.
+func (w *SlidingTime) UnmarshalBinary(data []byte) error {
+	span, buf, err := readStateUvarint(data)
+	if err != nil {
+		return err
+	}
+	if span == 0 || span > math.MaxInt64 {
+		return fmt.Errorf("%w: time span %d", ErrBadState, span)
+	}
+	count, buf, err := readStateUvarint(buf)
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(buf))/16 { // 8 bytes timestamp + 8 bytes value
+		return fmt.Errorf("%w: time window count %d exceeds blob", ErrBadState, count)
+	}
+	fresh, err := NewSlidingTime(time.Duration(span))
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(buf) < 8 {
+			return errTruncatedState
+		}
+		ts := int64(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+		var x float64
+		x, buf, err = readFloat(buf)
+		if err != nil {
+			return err
+		}
+		if err := fresh.Add(ts, x); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadState, err)
+		}
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadState, len(buf))
+	}
+	*w = *fresh
+	return nil
+}
+
+// MarshalBinary encodes the detector's window, threshold, and emission
+// state.
+func (c *ChangeDetector) MarshalBinary() ([]byte, error) {
+	win, err := c.win.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	dst := binary.AppendUvarint(nil, uint64(len(win)))
+	dst = append(dst, win...)
+	dst = appendFloat(dst, c.RelThreshold)
+	dst = appendFloat(dst, c.lastEmitted)
+	if c.emittedOnce {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst, nil
+}
+
+// UnmarshalBinary restores a detector encoded by MarshalBinary.
+func (c *ChangeDetector) UnmarshalBinary(data []byte) error {
+	winLen, buf, err := readStateUvarint(data)
+	if err != nil {
+		return err
+	}
+	if winLen > uint64(len(buf)) {
+		return fmt.Errorf("%w: embedded window claims %d bytes", ErrBadState, winLen)
+	}
+	win := &SlidingCount{}
+	if err := win.UnmarshalBinary(buf[:winLen]); err != nil {
+		return err
+	}
+	buf = buf[winLen:]
+	rel, buf, err := readFloat(buf)
+	if err != nil {
+		return err
+	}
+	last, buf, err := readFloat(buf)
+	if err != nil {
+		return err
+	}
+	if len(buf) != 1 || buf[0] > 1 {
+		return fmt.Errorf("%w: bad emission marker", ErrBadState)
+	}
+	c.win = win
+	c.RelThreshold = rel
+	c.lastEmitted = last
+	c.emittedOnce = buf[0] == 1
+	return nil
+}

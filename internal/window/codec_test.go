@@ -1,0 +1,199 @@
+package window
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTumblingCodecRoundTrip(t *testing.T) {
+	w, err := NewTumbling(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave a partially filled open window (2 of 4).
+	for _, x := range []float64{1, 2, 3, 4, 10.5, -0.25} {
+		w.Add(x)
+	}
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Tumbling
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Pending() != w.Pending() {
+		t.Fatalf("pending %d, want %d", got.Pending(), w.Pending())
+	}
+	// Both close their window on the same future input, with equal
+	// aggregates: restored state is observationally identical.
+	a1, c1 := w.Add(7)
+	a2, c2 := got.Add(7)
+	b1, d1 := w.Add(8)
+	b2, d2 := got.Add(8)
+	if c1 != c2 || d1 != d2 || a1 != a2 || b1 != b2 {
+		t.Fatalf("restored tumbling diverged: %v/%v vs %v/%v", a1, b1, a2, b2)
+	}
+}
+
+func TestSlidingCountCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 3, 8, 13} { // under-full, full, wrapped
+		w, err := NewSlidingCount(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			w.Add(float64(i) * 1.5)
+		}
+		blob, err := w.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got SlidingCount
+		if err := got.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Count() != w.Count() || got.Sum() != w.Sum() {
+			t.Fatalf("n=%d: count/sum %d/%v, want %d/%v", n, got.Count(), got.Sum(), w.Count(), w.Sum())
+		}
+		if w.Count() > 0 && (got.Min() != w.Min() || got.Max() != w.Max()) {
+			t.Fatalf("n=%d: min/max %v/%v, want %v/%v", n, got.Min(), got.Max(), w.Min(), w.Max())
+		}
+		// Derived state (ring, deques) must behave identically ahead.
+		w.Add(-100)
+		got.Add(-100)
+		if got.Min() != w.Min() || got.Sum() != w.Sum() {
+			t.Fatalf("n=%d: restored window diverged after Add", n)
+		}
+	}
+}
+
+func TestSlidingCountCodecNaN(t *testing.T) {
+	w, err := NewSlidingCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(math.NaN())
+	w.Add(math.Copysign(0, -1))
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SlidingCount
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	vals := got.Values(nil)
+	if len(vals) != 2 || !math.IsNaN(vals[0]) {
+		t.Fatalf("NaN did not survive: %v", vals)
+	}
+	if math.Float64bits(vals[1]) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("-0 did not survive: %v", vals[1])
+	}
+}
+
+func TestSlidingTimeCodecRoundTrip(t *testing.T) {
+	w, err := NewSlidingTime(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_000_000_000)
+	for i := 0; i < 10; i++ {
+		if err := w.Add(base+int64(i)*100_000_000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SlidingTime
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != w.Count() || got.Sum() != w.Sum() || got.Span() != w.Span() {
+		t.Fatalf("restored %d/%v/%v, want %d/%v/%v",
+			got.Count(), got.Sum(), got.Span(), w.Count(), w.Sum(), w.Span())
+	}
+	// Same eviction behavior for a future timestamp.
+	next := base + 15*100_000_000
+	if err := w.Add(next, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Add(next, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != w.Count() || got.Sum() != w.Sum() {
+		t.Fatal("restored time window diverged after eviction")
+	}
+}
+
+func TestChangeDetectorCodecRoundTrip(t *testing.T) {
+	c, err := NewChangeDetector(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, 1, 1, 1, 1} {
+		c.Observe(x)
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ChangeDetector
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// A non-significant observation must stay non-significant in both
+	// (lastEmitted/emittedOnce survived), and a big jump fires in both.
+	m1, s1 := c.Observe(1.1)
+	m2, s2 := got.Observe(1.1)
+	if s1 != s2 || m1 != m2 {
+		t.Fatalf("restored detector diverged: (%v,%v) vs (%v,%v)", m1, s1, m2, s2)
+	}
+	m1, s1 = c.Observe(100)
+	m2, s2 = got.Observe(100)
+	if s1 != s2 || m1 != m2 || !s1 {
+		t.Fatalf("significant change diverged: (%v,%v) vs (%v,%v)", m1, s1, m2, s2)
+	}
+}
+
+func TestCodecRejectsBadState(t *testing.T) {
+	w, err := NewSlidingCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(1)
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": blob[:len(blob)-2],
+		"trailing":  append(append([]byte{}, blob...), 1, 2, 3),
+		"zero size": {0},
+		// Count prefix claiming more floats than the blob holds.
+		"oversized count": {4, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+	}
+	for name, data := range cases {
+		var s SlidingCount
+		if err := s.UnmarshalBinary(data); !errors.Is(err, ErrBadState) {
+			t.Fatalf("%s: err = %v, want ErrBadState", name, err)
+		}
+	}
+	var tb Tumbling
+	if err := tb.UnmarshalBinary([]byte{4, 4}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("tumbling full-window blob: %v, want ErrBadState", err)
+	}
+	var st SlidingTime
+	if err := st.UnmarshalBinary([]byte{0}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("zero-span time window: %v, want ErrBadState", err)
+	}
+	var cd ChangeDetector
+	if err := cd.UnmarshalBinary([]byte{0xFF}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("truncated detector: %v, want ErrBadState", err)
+	}
+}

@@ -36,6 +36,7 @@ package neptune
 import (
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/packet"
@@ -82,7 +83,32 @@ type (
 	// (Granules' combined strategy) — implement it to emit on time even
 	// when a stream goes quiet.
 	TickingProcessor = core.TickingProcessor
+	// StatefulProcessor is a Processor whose state the checkpointing
+	// supervisor captures and restores around a crash — implement it for
+	// effectively-once recovery of windowed/stateful operators.
+	StatefulProcessor = core.StatefulProcessor
+	// CheckpointConfig configures crash recovery (Config.Checkpoint); the
+	// zero value disables it.
+	CheckpointConfig = core.CheckpointConfig
+	// SupervisorOptions tunes a manually attached supervisor.
+	SupervisorOptions = core.SupervisorOptions
+	// Supervisor drives checkpointing and supervised restart for a job.
+	Supervisor = core.Supervisor
+	// RecoveryHealth aggregates a job's crash-recovery counters.
+	RecoveryHealth = core.RecoveryHealth
+	// CheckpointStore persists encoded checkpoint snapshots.
+	CheckpointStore = checkpoint.Store
 )
+
+// NewMemCheckpointStore returns an in-memory checkpoint store retaining
+// the newest retain epochs (<= 0 selects the default).
+func NewMemCheckpointStore(retain int) CheckpointStore { return checkpoint.NewMemStore(retain) }
+
+// NewFileCheckpointStore returns a file-backed checkpoint store in dir,
+// written atomically, retaining the newest retain epochs.
+func NewFileCheckpointStore(dir string, retain int) (CheckpointStore, error) {
+	return checkpoint.NewFileStore(dir, retain)
+}
 
 // Throttle wraps a source so it emits at most rate packets/second with
 // the given burst — offered-load sources, as IoT gateways behave.

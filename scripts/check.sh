@@ -26,6 +26,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke =="
+# Short seeded fuzzing of the wire decoders and the descriptor parser:
+# enough to catch regressions in the corpus and obvious panics, cheap
+# enough for every run.
+go test -run '^$' -fuzz 'FuzzDecodeFrame' -fuzztime 10s ./internal/transport
+go test -run '^$' -fuzz 'FuzzPacketCodecRoundTrip' -fuzztime 10s ./internal/packet
+go test -run '^$' -fuzz 'FuzzDescriptorLoad' -fuzztime 10s ./internal/graph
+
 echo "== bench smoke =="
 # A fixed 100 iterations per benchmark: catches benches that crash, hang,
 # or fail their internal quiesce checks, without measuring anything.
