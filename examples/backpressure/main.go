@@ -41,6 +41,7 @@ func main() {
 	cfg.BufferSize = 16 << 10 // small buffers keep the control loop tight
 	cfg.InHighWatermark = 64 << 10
 	cfg.InLowWatermark = 32 << 10
+	cfg.FlowSignals = true // advertise stage C's gate upstream to hold stage A directly
 
 	job, err := neptune.NewJob(spec, cfg)
 	if err != nil {
@@ -102,9 +103,14 @@ func main() {
 	}
 
 	stop.Store(true)
+	fh := job.FlowHealth()
 	if err := job.Stop(time.Minute); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nemitted %d, processed %d — nothing dropped: %v\n",
 		emitted.Load(), processed.Load(), emitted.Load() == processed.Load())
+	fmt.Printf("flow health: %d gate closures, %d advertisements, %d credit grants, "+
+		"source held %d times for %v\n",
+		fh.InboundGateClosures, fh.Advertisements, fh.CreditGrants,
+		fh.SourceHolds, time.Duration(fh.SourceHeldNs))
 }

@@ -35,6 +35,15 @@ type Stats struct {
 	MaxLevel int64
 }
 
+// NotifyFunc observes gate transitions: gated reports the new state,
+// level the byte level at the transition, and seq a per-valve counter
+// that orders transitions (a stale close must not override a newer
+// open that raced past it). Callbacks run outside the valve's lock on
+// the goroutine that caused the transition; they must be quick and must
+// not re-enter the valve. This is the hook the control plane uses to
+// publish watermark advertisements upstream (§III-B4 made explicit).
+type NotifyFunc func(gated bool, level int64, seq uint64)
+
 // Valve is the watermark gate. It tracks a byte level; Acquire raises it
 // and blocks while the gate is closed, Release lowers it and reopens the
 // gate at the low watermark.
@@ -42,13 +51,15 @@ type Valve struct {
 	high int64
 	low  int64
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	level   int64
-	gated   bool
-	closed  bool
-	stats   Stats
-	nowFunc func() time.Time
+	mu         sync.Mutex
+	cond       *sync.Cond
+	level      int64
+	gated      bool
+	closed     bool
+	stats      Stats
+	nowFunc    func() time.Time
+	notify     NotifyFunc
+	transition uint64
 }
 
 // NewValve creates a valve with the given watermarks (bytes). low must be
@@ -82,7 +93,6 @@ func (v *Valve) Acquire(n int64) error {
 		return fmt.Errorf("backpressure: negative acquire %d", n)
 	}
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if v.gated && !v.closed {
 		v.stats.BlockedAcquires++
 		start := v.nowFunc()
@@ -92,17 +102,32 @@ func (v *Valve) Acquire(n int64) error {
 		v.stats.BlockedTime += v.nowFunc().Sub(start)
 	}
 	if v.closed {
+		v.mu.Unlock()
 		return ErrClosed
 	}
 	v.level += n
 	if v.level > v.stats.MaxLevel {
 		v.stats.MaxLevel = v.level
 	}
-	if !v.gated && v.level >= v.high {
-		v.gated = true
-		v.stats.GateClosures++
+	fn, level, seq := v.closeGateLocked()
+	v.mu.Unlock()
+	if fn != nil {
+		fn(true, level, seq)
 	}
 	return nil
+}
+
+// closeGateLocked closes the gate if the level warrants it. Called with
+// mu held; the returned callback (the transition notification, if any)
+// must be invoked by the caller after unlocking — never under the lock.
+func (v *Valve) closeGateLocked() (fn NotifyFunc, level int64, seq uint64) {
+	if v.gated || v.level < v.high {
+		return nil, 0, 0
+	}
+	v.gated = true
+	v.stats.GateClosures++
+	v.transition++
+	return v.notify, v.level, v.transition
 }
 
 // TryAcquire is a non-blocking Acquire. It reports whether the bytes were
@@ -112,20 +137,22 @@ func (v *Valve) TryAcquire(n int64) (bool, error) {
 		return false, fmt.Errorf("backpressure: negative acquire %d", n)
 	}
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if v.closed {
+		v.mu.Unlock()
 		return false, ErrClosed
 	}
 	if v.gated {
+		v.mu.Unlock()
 		return false, nil
 	}
 	v.level += n
 	if v.level > v.stats.MaxLevel {
 		v.stats.MaxLevel = v.level
 	}
-	if v.level >= v.high {
-		v.gated = true
-		v.stats.GateClosures++
+	fn, level, seq := v.closeGateLocked()
+	v.mu.Unlock()
+	if fn != nil {
+		fn(true, level, seq)
 	}
 	return true, nil
 }
@@ -141,11 +168,19 @@ func (v *Valve) Release(n int64) {
 	if v.level < 0 {
 		v.level = 0
 	}
+	var fn NotifyFunc
+	var level int64
+	var seq uint64
 	if v.gated && v.level <= v.low {
 		v.gated = false
+		v.transition++
+		fn, level, seq = v.notify, v.level, v.transition
 		v.cond.Broadcast()
 	}
 	v.mu.Unlock()
+	if fn != nil {
+		fn(false, level, seq)
+	}
 }
 
 // Level reports the current byte level.
@@ -164,6 +199,15 @@ func (v *Valve) Gated() bool {
 
 // Watermarks returns the configured low and high watermarks.
 func (v *Valve) Watermarks() (low, high int64) { return v.low, v.high }
+
+// SetNotify installs the gate-transition observer (see NotifyFunc).
+// Passing nil removes it. The callback fires only for transitions after
+// the call; install it before traffic starts to see every one.
+func (v *Valve) SetNotify(fn NotifyFunc) {
+	v.mu.Lock()
+	v.notify = fn
+	v.mu.Unlock()
+}
 
 // Stats returns a snapshot of the valve's counters.
 func (v *Valve) Stats() Stats {
@@ -289,6 +333,13 @@ func (q *Queue[T]) Gated() bool { return q.valve.Gated() }
 
 // Stats returns the underlying valve's counters.
 func (q *Queue[T]) Stats() Stats { return q.valve.Stats() }
+
+// Watermarks returns the underlying valve's low and high watermarks.
+func (q *Queue[T]) Watermarks() (low, high int64) { return q.valve.Watermarks() }
+
+// SetNotify installs a gate-transition observer on the underlying valve
+// (see NotifyFunc).
+func (q *Queue[T]) SetNotify(fn NotifyFunc) { q.valve.SetNotify(fn) }
 
 // Close shuts the queue down: blocked Push calls fail with ErrClosed and
 // Pop drains remaining items before reporting closure.

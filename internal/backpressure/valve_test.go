@@ -410,3 +410,74 @@ func BenchmarkQueuePushPop(b *testing.B) {
 		}
 	})
 }
+
+// TestValveNotify checks the gate-transition observer: a close fires
+// with gated=true at or above the high watermark, the matching open
+// fires with gated=false, seq strictly orders the two, and the callback
+// runs outside the valve lock (re-reading state from the callback must
+// not deadlock... so we only record here and assert after).
+func TestValveNotify(t *testing.T) {
+	v := MustValve(10, 20)
+	type event struct {
+		gated bool
+		level int64
+		seq   uint64
+	}
+	var mu sync.Mutex
+	var events []event
+	v.SetNotify(func(gated bool, level int64, seq uint64) {
+		mu.Lock()
+		events = append(events, event{gated, level, seq})
+		mu.Unlock()
+	})
+	if err := v.Acquire(25); err != nil { // closes the gate
+		t.Fatal(err)
+	}
+	v.Release(5)                                        // 20 > low: still gated, no event
+	v.Release(10)                                       // 10 <= low: reopens
+	if ok, err := v.TryAcquire(30); err != nil || !ok { // closes again
+		t.Fatalf("TryAcquire: %v %v", ok, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []event{{true, 25, 1}, {false, 10, 2}, {true, 40, 3}}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+// TestQueueNotify checks the pass-through on Queue and that removing
+// the observer stops callbacks.
+func TestQueueNotify(t *testing.T) {
+	q, err := NewQueue[int](8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := q.Watermarks(); lo != 8 || hi != 16 {
+		t.Fatalf("watermarks = %d/%d", lo, hi)
+	}
+	var n atomic.Int64
+	q.SetNotify(func(bool, int64, uint64) { n.Add(1) })
+	if err := q.Push(1, 16); err != nil { // close
+		t.Fatal(err)
+	}
+	if _, ok := q.Pop(); !ok { // open
+		t.Fatal("pop failed")
+	}
+	if n.Load() != 2 {
+		t.Fatalf("observed %d transitions, want 2", n.Load())
+	}
+	q.SetNotify(nil)
+	if err := q.Push(2, 16); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 2 {
+		t.Fatalf("removed observer still fired: %d", n.Load())
+	}
+	q.Close()
+}

@@ -1,0 +1,96 @@
+package control
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus fans control messages out to in-process subscribers. Each engine
+// owns one; co-located engines exchange signals bus-to-bus, and the
+// bridger feeds frames that arrived over a link into the destination
+// engine's bus, so a subscriber cannot tell (and need not care) whether
+// a message crossed a process boundary.
+//
+// Publish is lock-free on the fast path: the subscriber list is
+// copy-on-write (subscribe/unsubscribe swap a fresh slice), so a
+// publish races only with an atomic pointer load. Delivery is
+// synchronous on the publisher's goroutine — handlers must be quick and
+// must not block, the same contract as a transport read-loop callback.
+type Bus struct {
+	subs atomic.Pointer[[]*subscription] //neptune:cow subs
+	mu   sync.Mutex                      // serializes subscribe/unsubscribe
+	next uint64                          // publisher seq source (atomic)
+}
+
+type subscription struct {
+	mask uint64 // bit i set = deliver Kind(i)
+	fn   func(Message)
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	b := &Bus{}
+	empty := make([]*subscription, 0)
+	b.subs.Store(&empty)
+	return b
+}
+
+// kindMask folds kinds into a bitmask; no kinds means all kinds.
+func kindMask(kinds []Kind) uint64 {
+	if len(kinds) == 0 {
+		return ^uint64(0)
+	}
+	var m uint64
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// Subscribe registers fn for the given kinds (all kinds when none are
+// given) and returns a cancel function. fn runs synchronously on the
+// publisher's goroutine; it must return quickly and must not publish
+// back into the same bus while holding locks the publisher might hold.
+func (b *Bus) Subscribe(fn func(Message), kinds ...Kind) (cancel func()) {
+	sub := &subscription{mask: kindMask(kinds), fn: fn}
+	b.mu.Lock()
+	old := *b.subs.Load()
+	next := make([]*subscription, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, sub)
+	b.subs.Store(&next)
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		cur := *b.subs.Load()
+		pruned := make([]*subscription, 0, len(cur))
+		for _, s := range cur {
+			if s != sub {
+				pruned = append(pruned, s)
+			}
+		}
+		b.subs.Store(&pruned)
+		b.mu.Unlock()
+	}
+}
+
+// Publish delivers m to every subscriber whose kind mask matches.
+// Returns the number of subscribers that received it.
+func (b *Bus) Publish(m Message) int {
+	subs := *b.subs.Load()
+	bit := uint64(1) << uint(m.Kind)
+	n := 0
+	for _, s := range subs {
+		if s.mask&bit != 0 {
+			s.fn(m)
+			n++
+		}
+	}
+	return n
+}
+
+// NextSeq returns a fresh monotonically increasing sequence number for
+// messages originated through this bus's owner.
+func (b *Bus) NextSeq() uint64 {
+	return atomic.AddUint64(&b.next, 1)
+}

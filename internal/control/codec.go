@@ -1,0 +1,259 @@
+// Package control is NEPTUNE's unified control plane: one typed,
+// versioned signaling layer for everything that is *about* the stream
+// rather than *in* it. Before this package existed the repro had three
+// ad-hoc side channels — epoch-aware hello frames hard-wired into the
+// resilient transport, in-process-only atomic heartbeats in the
+// supervisor, and implicit backpressure where a blocked writer stalls
+// the upstream emit (§III-B4). Each solved its slice of the problem and
+// none composed: liveness stopped at the process boundary, and a
+// three-hop pipeline only throttled its source after every intermediate
+// buffer filled.
+//
+// The control plane replaces those bolt-ons with a single small codec
+// and an in-process bus:
+//
+//   - Message is the typed control frame: Heartbeat, EpochHello,
+//     WatermarkAdvertise, CreditGrant, BarrierMarker. The wire form is
+//     versioned and CRC-framed so a corrupted or truncated frame is
+//     rejected, never misinterpreted.
+//   - Bus fans messages out to in-process subscribers (engines that
+//     share an address space).
+//   - The resilient transport multiplexes encoded messages over
+//     existing data links as a dedicated frame kind (flagControl), so
+//     the same signals cross TCP bridges without a second connection.
+//
+// Control traffic is soft state: frames are not journaled, sequenced,
+// or redelivered. Anything load-bearing (a closed watermark gate, a
+// liveness claim) is re-advertised periodically and expires on the
+// receiving side, so a lost frame degrades to the paper-faithful
+// blocking behavior instead of wedging the pipeline.
+package control
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind discriminates the typed control messages.
+type Kind uint8
+
+const (
+	// KindHeartbeat is a liveness beacon: Origin engine was alive at
+	// Nanos (sender clock). Receivers use arrival time, not Nanos, to
+	// judge staleness, so clocks need not be synchronized.
+	KindHeartbeat Kind = 1
+	// KindEpochHello identifies a link on (re)connect: LinkID names the
+	// logical link, Epoch its recovery incarnation. Replaces the raw
+	// 8/16-byte hello payloads the resilient transport used to parse.
+	KindEpochHello Kind = 2
+	// KindWatermarkAdvertise tells upstream engines that the valve
+	// feeding Op[Index] on Origin crossed its high watermark and closed.
+	// Level/Low/High carry the valve state for observability. Soft
+	// state: re-advertised every lease third while the gate is closed.
+	KindWatermarkAdvertise Kind = 3
+	// KindCreditGrant is the matching open: the valve drained to its low
+	// watermark, upstream sources may resume.
+	KindCreditGrant Kind = 4
+	// KindBarrierMarker marks a checkpoint barrier: Origin reached the
+	// stop-the-world barrier for checkpoint Epoch. Observability only —
+	// the barrier mechanism itself is unchanged.
+	KindBarrierMarker Kind = 5
+
+	kindMax = KindBarrierMarker
+)
+
+// String names the kind for logs and metrics.
+func (k Kind) String() string {
+	switch k {
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindEpochHello:
+		return "epoch-hello"
+	case KindWatermarkAdvertise:
+		return "watermark-advertise"
+	case KindCreditGrant:
+		return "credit-grant"
+	case KindBarrierMarker:
+		return "barrier-marker"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one typed control frame. Kind selects which fields are
+// meaningful; unused fields encode as zero. Messages are plain values —
+// copying one never aliases the wire buffer it was decoded from.
+type Message struct {
+	// Kind selects the message type (required, non-zero).
+	Kind Kind
+	// Origin is the name of the engine that first published the message.
+	// Relays forward it unchanged so receivers can dedup and attribute.
+	Origin string
+	// Op and Index locate the operator instance a flow message is about
+	// (WatermarkAdvertise / CreditGrant).
+	Op    string
+	Index int32
+	// Seq orders messages from one (Origin, Op, Index) publisher so a
+	// stale close cannot override a newer open that raced past it.
+	Seq uint64
+	// Nanos is the sender's clock at publish time (UnixNano).
+	Nanos int64
+	// Epoch is the link recovery epoch (EpochHello) or checkpoint epoch
+	// (BarrierMarker).
+	Epoch uint64
+	// LinkID identifies the logical link for EpochHello.
+	LinkID uint64
+	// Level, Low, High carry valve state on flow messages.
+	Level int64
+	Low   int64
+	High  int64
+	// TTL bounds relay hops for messages forwarded across links; a relay
+	// decrements it and drops the message at zero.
+	TTL uint8
+}
+
+// Wire layout (little-endian), CRC32 (Castagnoli) over everything
+// before the trailing checksum:
+//
+//	magic     u8   = 0xC7
+//	version   u8   = 1
+//	kind      u8
+//	ttl       u8
+//	index     i32
+//	seq       u64
+//	nanos     i64
+//	epoch     u64
+//	linkID    u64
+//	level     i64
+//	low       i64
+//	high      i64
+//	originLen u8, origin bytes
+//	opLen     u8, op bytes
+//	crc32c    u32
+const (
+	codecMagic   = 0xC7
+	codecVersion = 1
+
+	fixedSize = 4 + 4 + 8*7 // magic..index + seq..high
+	crcSize   = 4
+
+	// MaxNameLen bounds Origin and Op on the wire.
+	MaxNameLen = 255
+	// MaxMessageSize is the largest encoded message.
+	MaxMessageSize = fixedSize + 2 + 2*MaxNameLen + crcSize
+)
+
+var (
+	// ErrTooShort reports a buffer smaller than a minimal message.
+	ErrTooShort = errors.New("control: message too short")
+	// ErrBadMagic reports a buffer that is not a control message.
+	ErrBadMagic = errors.New("control: bad magic")
+	// ErrBadVersion reports an unknown codec version.
+	ErrBadVersion = errors.New("control: unknown version")
+	// ErrBadChecksum reports a CRC mismatch.
+	ErrBadChecksum = errors.New("control: checksum mismatch")
+	// ErrBadKind reports an out-of-range kind.
+	ErrBadKind = errors.New("control: unknown kind")
+	// ErrBadLength reports inconsistent string bounds.
+	ErrBadLength = errors.New("control: inconsistent length")
+	// ErrNameTooLong reports an Origin or Op above MaxNameLen at encode.
+	ErrNameTooLong = errors.New("control: name exceeds 255 bytes")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodedSize returns the wire size of m.
+func EncodedSize(m Message) int {
+	return fixedSize + 1 + len(m.Origin) + 1 + len(m.Op) + crcSize
+}
+
+// AppendEncode appends the wire form of m to dst and returns the
+// extended slice. It fails only on invalid input (zero/unknown kind,
+// over-long names).
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	if m.Kind == 0 || m.Kind > kindMax {
+		return dst, ErrBadKind
+	}
+	if len(m.Origin) > MaxNameLen || len(m.Op) > MaxNameLen {
+		return dst, ErrNameTooLong
+	}
+	start := len(dst)
+	var fixed [fixedSize]byte
+	fixed[0] = codecMagic
+	fixed[1] = codecVersion
+	fixed[2] = byte(m.Kind)
+	fixed[3] = m.TTL
+	binary.LittleEndian.PutUint32(fixed[4:], uint32(m.Index))
+	binary.LittleEndian.PutUint64(fixed[8:], m.Seq)
+	binary.LittleEndian.PutUint64(fixed[16:], uint64(m.Nanos))
+	binary.LittleEndian.PutUint64(fixed[24:], m.Epoch)
+	binary.LittleEndian.PutUint64(fixed[32:], m.LinkID)
+	binary.LittleEndian.PutUint64(fixed[40:], uint64(m.Level))
+	binary.LittleEndian.PutUint64(fixed[48:], uint64(m.Low))
+	binary.LittleEndian.PutUint64(fixed[56:], uint64(m.High))
+	dst = append(dst, fixed[:]...)
+	dst = append(dst, byte(len(m.Origin)))
+	dst = append(dst, m.Origin...)
+	dst = append(dst, byte(len(m.Op)))
+	dst = append(dst, m.Op...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	var crc [crcSize]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	return append(dst, crc[:]...), nil
+}
+
+// Encode returns the wire form of m in a fresh buffer.
+func Encode(m Message) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, EncodedSize(m)), m)
+}
+
+// Decode parses one control message from buf, which must contain
+// exactly one message. The returned Message owns its strings — it never
+// aliases buf, so callers may reuse the read buffer immediately.
+func Decode(buf []byte) (Message, error) {
+	var m Message
+	if len(buf) < fixedSize+2+crcSize {
+		return m, ErrTooShort
+	}
+	if buf[0] != codecMagic {
+		return m, ErrBadMagic
+	}
+	if buf[1] != codecVersion {
+		return m, ErrBadVersion
+	}
+	body, crc := buf[:len(buf)-crcSize], buf[len(buf)-crcSize:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(crc) {
+		return m, ErrBadChecksum
+	}
+	kind := Kind(buf[2])
+	if kind == 0 || kind > kindMax {
+		return m, ErrBadKind
+	}
+	m.Kind = kind
+	m.TTL = buf[3]
+	m.Index = int32(binary.LittleEndian.Uint32(buf[4:]))
+	m.Seq = binary.LittleEndian.Uint64(buf[8:])
+	m.Nanos = int64(binary.LittleEndian.Uint64(buf[16:]))
+	m.Epoch = binary.LittleEndian.Uint64(buf[24:])
+	m.LinkID = binary.LittleEndian.Uint64(buf[32:])
+	m.Level = int64(binary.LittleEndian.Uint64(buf[40:]))
+	m.Low = int64(binary.LittleEndian.Uint64(buf[48:]))
+	m.High = int64(binary.LittleEndian.Uint64(buf[56:]))
+	rest := body[fixedSize:]
+	originLen := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < originLen+1 {
+		return Message{}, ErrBadLength
+	}
+	m.Origin = string(rest[:originLen])
+	rest = rest[originLen:]
+	opLen := int(rest[0])
+	rest = rest[1:]
+	if len(rest) != opLen {
+		return Message{}, ErrBadLength
+	}
+	m.Op = string(rest)
+	return m, nil
+}

@@ -1,0 +1,125 @@
+package control
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		{Kind: KindHeartbeat, Origin: "engine-a", Seq: 1, Nanos: 123456789},
+		{Kind: KindEpochHello, Origin: "engine-b", LinkID: 0xDEADBEEF, Epoch: 7},
+		{
+			Kind: KindWatermarkAdvertise, Origin: "engine-c", Op: "relay",
+			Index: 3, Seq: 42, Level: 9000, Low: 1024, High: 8192, TTL: 8,
+		},
+		{Kind: KindCreditGrant, Origin: "engine-c", Op: "relay", Index: 3, Seq: 43, TTL: 8},
+		{Kind: KindBarrierMarker, Origin: "engine-a", Epoch: 12},
+		{Kind: KindHeartbeat}, // all-zero fields but a valid kind
+		{Kind: KindCreditGrant, Level: -1, Low: -2, High: -3}, // negative levels survive
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, want := range sampleMessages() {
+		buf, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", want, err)
+		}
+		if len(buf) != EncodedSize(want) {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), EncodedSize(want))
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	buf, err := Encode(Message{Kind: KindWatermarkAdvertise, Origin: "eng", Op: "op", Level: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-bit flip anywhere in the frame must be rejected: the
+	// CRC covers header, fixed fields, and both strings.
+	for i := range buf {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= 1 << bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("flip byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+	for i := 1; i < len(buf); i++ {
+		if _, err := Decode(buf[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+}
+
+func TestCodecRejectsBadInput(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("nil: got %v, want ErrTooShort", err)
+	}
+	if _, err := Encode(Message{}); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("zero kind: got %v, want ErrBadKind", err)
+	}
+	if _, err := Encode(Message{Kind: 99}); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("kind 99: got %v, want ErrBadKind", err)
+	}
+	long := strings.Repeat("x", MaxNameLen+1)
+	if _, err := Encode(Message{Kind: KindHeartbeat, Origin: long}); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("long origin: got %v, want ErrNameTooLong", err)
+	}
+	if _, err := Encode(Message{Kind: KindHeartbeat, Op: long}); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("long op: got %v, want ErrNameTooLong", err)
+	}
+	ok, err := Encode(Message{Kind: KindHeartbeat, Origin: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), ok...)
+	bad[0] = 0x00
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	}
+	bad = append([]byte(nil), ok...)
+	bad[1] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: got %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeDoesNotAliasInput(t *testing.T) {
+	buf, err := Encode(Message{Kind: KindWatermarkAdvertise, Origin: "origin-x", Op: "op-y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if m.Origin != "origin-x" || m.Op != "op-y" {
+		t.Fatalf("decoded strings alias the wire buffer: %+v", m)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindHeartbeat; k <= kindMax; k++ {
+		if s := k.String(); strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if s := Kind(42).String(); s != "kind(42)" {
+		t.Fatalf("unknown kind string = %q", s)
+	}
+}

@@ -1,0 +1,70 @@
+package control
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustEncode(t testing.TB, m Message) []byte {
+	t.Helper()
+	buf, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func fuzzSeed(m Message) []byte {
+	buf, err := Encode(m)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// FuzzDecodeControl drives the control-message codec over arbitrary
+// bytes. Seeds cover every kind, both strings populated, and single-bit
+// flips across the frame. The decoder must reject or accept without
+// panicking; anything it accepts must survive a re-encode/re-decode
+// round trip (canonical form), and its names must respect the bounds.
+func FuzzDecodeControl(f *testing.F) {
+	for _, m := range []Message{
+		{Kind: KindHeartbeat, Origin: "engine-a", Seq: 9, Nanos: 1},
+		{Kind: KindEpochHello, Origin: "engine-b", LinkID: 77, Epoch: 3},
+		{Kind: KindWatermarkAdvertise, Origin: "c", Op: "relay", Index: 1, Level: 10, Low: 2, High: 8, TTL: 8},
+		{Kind: KindCreditGrant, Origin: "c", Op: "relay", Index: 1, Seq: 5, TTL: 8},
+		{Kind: KindBarrierMarker, Origin: "a", Epoch: 4},
+	} {
+		f.Add(fuzzSeed(m))
+	}
+	f.Add([]byte("definitely not a control frame"))
+	f.Add(bytes.Repeat([]byte{0xC7}, MaxMessageSize))
+	for _, off := range []int{0, 1, 2, 3, 8, 60, 64} {
+		mut := fuzzSeed(Message{Kind: KindWatermarkAdvertise, Origin: "eng", Op: "op"})
+		if off < len(mut) {
+			mut[off] ^= 0x01
+		}
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // clean rejection; panics are the bug class here
+		}
+		if m.Kind == 0 || m.Kind > kindMax {
+			t.Fatalf("decoder accepted invalid kind %d", m.Kind)
+		}
+		if len(m.Origin) > MaxNameLen || len(m.Op) > MaxNameLen {
+			t.Fatalf("decoder accepted over-long names: %d/%d", len(m.Origin), len(m.Op))
+		}
+		re := mustEncode(t, m)
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if back != m {
+			t.Fatalf("not canonical:\n got %+v\nwant %+v", back, m)
+		}
+	})
+}

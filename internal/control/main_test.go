@@ -1,0 +1,11 @@
+package control
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain gates the package's test binary on goroutine hygiene: no test
+// may leak a goroutine past its own teardown.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

@@ -71,6 +71,22 @@ type Config struct {
 	// entirely — no supervisor runs, no replay logs are kept, and the data
 	// path is byte-for-byte the one without this feature.
 	Checkpoint CheckpointConfig
+
+	// FlowSignals publishes each inbound buffer's watermark transitions
+	// (§III-B4) as control-plane advertisements that travel upstream and
+	// hold the stream sources directly, instead of relying solely on the
+	// blocked-writer chain (buffer -> transport -> emit) to reach them.
+	// The blocking semantics stay in place as the paper-faithful fallback
+	// — an advertisement lost or late costs latency, never correctness.
+	// False (the default) leaves the data path byte-for-byte unchanged.
+	FlowSignals bool
+
+	// FlowLease bounds how long a watermark advertisement holds a source
+	// without being refreshed. Gated buffers re-advertise every
+	// FlowLease/3; a hold whose lease expires is dropped, so a lost
+	// CreditGrant can stall a source for at most one lease. <= 0 defaults
+	// to 100ms. Ignored unless FlowSignals is set.
+	FlowLease time.Duration
 }
 
 // CheckpointConfig tunes the crash-recovery subsystem. A job launched with
@@ -156,6 +172,9 @@ func (c *Config) normalize() error {
 	}
 	if c.PoolCapacity <= 0 {
 		c.PoolCapacity = 65536
+	}
+	if c.FlowLease <= 0 {
+		c.FlowLease = 100 * time.Millisecond
 	}
 	return nil
 }

@@ -1,0 +1,528 @@
+// Control-plane wiring: every engine owns a control.Bus, registers the
+// links it can signal over, and the job rides three concerns on top of
+// that one layer — supervisor heartbeats (liveness that works across TCP
+// bridgers, not just in-process atomics), checkpoint barrier markers,
+// and §III-B4 watermark advertisements that throttle stream sources
+// directly instead of waiting for the blocked-writer chain to reach
+// them. All control state is soft: frames are unsequenced, droppable,
+// and re-advertised; a lost message costs latency, never correctness.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backpressure"
+	"repro/internal/control"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// flowTTL bounds how many engine hops a watermark advertisement or
+// credit grant is relayed upstream. Pipelines deeper than this still
+// throttle through the blocking fallback.
+const flowTTL = 8
+
+// listenerPeer keys a broadcast uplink (a resilient listener reaches
+// every upstream dialer at once) in an engine's link registry.
+const listenerPeer = "*"
+
+// controlSender is the link-level contract the control plane multiplexes
+// over: resilient dialers, resilient listener broadcasts, and direct
+// in-process engine links all implement it. Sends are best-effort.
+type controlSender interface {
+	SendControl(payload []byte) error
+}
+
+// engineControl is an engine's control-plane endpoint: the local bus,
+// the links toward upstream and downstream peer engines, and the
+// counters that make control traffic observable.
+type engineControl struct {
+	bus *control.Bus
+
+	mu        sync.Mutex
+	uplinks   map[string]controlSender // toward engines that send data to us
+	downlinks map[string]controlSender // toward engines we send data to
+
+	remoteIn     *metrics.Counter
+	decodeErrs   *metrics.Counter
+	relayed      *metrics.Counter
+	sendDrops    *metrics.Counter
+	advertiseOut *metrics.Counter
+	creditOut    *metrics.Counter
+}
+
+// initControl builds the engine's control-plane endpoint (NewEngine).
+func (e *Engine) initControl() {
+	e.ctrl = engineControl{
+		bus:          control.NewBus(),
+		uplinks:      make(map[string]controlSender),
+		downlinks:    make(map[string]controlSender),
+		remoteIn:     e.metrics.Counter("control.remote_in"),
+		decodeErrs:   e.metrics.Counter("control.decode_errors"),
+		relayed:      e.metrics.Counter("control.relayed"),
+		sendDrops:    e.metrics.Counter("control.send_drops"),
+		advertiseOut: e.metrics.Counter("control.advertise_out"),
+		creditOut:    e.metrics.Counter("control.credit_out"),
+	}
+}
+
+// bus returns the engine's control bus.
+func (e *Engine) bus() *control.Bus { return e.ctrl.bus }
+
+// registerUplink installs (or replaces) the control link toward an
+// upstream peer. peer is the sending engine's name, or listenerPeer for
+// a listener broadcast that reaches every upstream dialer.
+func (e *Engine) registerUplink(peer string, l controlSender) {
+	e.ctrl.mu.Lock()
+	e.ctrl.uplinks[peer] = l
+	e.ctrl.mu.Unlock()
+}
+
+// registerDownlink installs (or replaces) the control link toward a
+// downstream peer engine.
+func (e *Engine) registerDownlink(peer string, l controlSender) {
+	e.ctrl.mu.Lock()
+	e.ctrl.downlinks[peer] = l
+	e.ctrl.mu.Unlock()
+}
+
+func (e *Engine) uplinkSnapshot() []controlSender {
+	e.ctrl.mu.Lock()
+	defer e.ctrl.mu.Unlock()
+	out := make([]controlSender, 0, len(e.ctrl.uplinks))
+	for _, l := range e.ctrl.uplinks {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (e *Engine) downlinkSnapshot() []controlSender {
+	e.ctrl.mu.Lock()
+	defer e.ctrl.mu.Unlock()
+	out := make([]controlSender, 0, len(e.ctrl.downlinks))
+	for _, l := range e.ctrl.downlinks {
+		out = append(out, l)
+	}
+	return out
+}
+
+// publishUp publishes m on the local bus and best-effort sends it toward
+// upstream engines — the direction watermark advertisements and credit
+// grants travel.
+func (e *Engine) publishUp(m control.Message) {
+	e.publishControl(m, e.uplinkSnapshot())
+}
+
+// publishDown publishes m on the local bus and best-effort sends it
+// toward downstream engines — the direction heartbeats and barrier
+// markers travel.
+func (e *Engine) publishDown(m control.Message) {
+	e.publishControl(m, e.downlinkSnapshot())
+}
+
+// publishControl delivers one control message: local subscribers first
+// (the in-process consumers must see it even when every link is down),
+// then each link, dropping on send failure. A crashed engine is silent —
+// its beacon dying with the "process" is exactly what the supervisor's
+// monitor detects.
+func (e *Engine) publishControl(m control.Message, links []controlSender) {
+	if e.closed.Load() {
+		return
+	}
+	if m.Origin == "" {
+		m.Origin = e.name
+	}
+	e.ctrl.bus.Publish(m)
+	if len(links) == 0 {
+		return
+	}
+	buf, err := control.Encode(m)
+	if err != nil {
+		return
+	}
+	for _, l := range links {
+		if err := l.SendControl(buf); err != nil {
+			e.ctrl.sendDrops.Inc()
+		}
+	}
+}
+
+// deliverRemoteControl is the ControlHandler wired into this engine's
+// transport endpoints: decode, count, publish to the local bus, and —
+// for flow messages arriving from downstream — relay further upstream
+// with a decremented TTL so a three-hop pipeline's advertisement reaches
+// its source. Runs on transport IO goroutines; payload aliases the read
+// buffer (Decode copies what it keeps).
+func (e *Engine) deliverRemoteControl(payload []byte, fromDownstream bool) {
+	if e.closed.Load() {
+		return
+	}
+	m, err := control.Decode(payload)
+	if err != nil {
+		e.ctrl.decodeErrs.Inc()
+		return
+	}
+	e.ctrl.remoteIn.Inc()
+	e.ctrl.bus.Publish(m)
+	if !fromDownstream || m.TTL == 0 {
+		return
+	}
+	if m.Kind != control.KindWatermarkAdvertise && m.Kind != control.KindCreditGrant {
+		return
+	}
+	m.TTL--
+	buf, err := control.Encode(m)
+	if err != nil {
+		return
+	}
+	for _, l := range e.uplinkSnapshot() {
+		if err := l.SendControl(buf); err != nil {
+			e.ctrl.sendDrops.Inc()
+		}
+	}
+	e.ctrl.relayed.Inc()
+}
+
+// directControlLink delivers control payloads to a co-located engine
+// synchronously — the control channel for bridgers whose transports do
+// not multiplex control frames (in-process queues, plain TCP). The
+// payload goes through the codec like any remote frame, so both wirings
+// exercise identical semantics.
+type directControlLink struct {
+	target         *Engine
+	fromDownstream bool
+}
+
+func (l directControlLink) SendControl(payload []byte) error {
+	l.target.deliverRemoteControl(payload, l.fromDownstream)
+	return nil
+}
+
+// wireControlPeers gives a (sender, receiver) engine pair a control
+// channel. Resilient transports multiplex control frames themselves and
+// the resilient TCP bridger registers their handlers and links; any
+// other transport gets a direct in-process link — both engines share
+// this address space in every non-resilient deployment this repo runs.
+func wireControlPeers(from, to *Engine, tr transport.Transport) {
+	if _, ok := tr.(controlSender); ok {
+		return // the bridger wired the real thing
+	}
+	from.registerDownlink(to.Name(), directControlLink{target: to, fromDownstream: false})
+	to.registerUplink(from.Name(), directControlLink{target: from, fromDownstream: true})
+}
+
+// ---- Source-side flow holds ----
+
+// flowKey identifies one advertised inbound buffer: the engine that
+// published the advertisement plus the operator instance it guards.
+type flowKey struct {
+	origin string
+	op     string
+	index  int32
+}
+
+// flowHold is the soft state a source keeps per advertised buffer. seq
+// orders transitions (a stale close must not override the open that
+// raced past it); deadline expires holds whose lease was never renewed.
+type flowHold struct {
+	seq      uint64
+	gated    bool
+	deadline int64 // unix nanos
+}
+
+// flowState is a source instance's view of downstream watermark holds.
+// The pump's fast path is one atomic load; the map and lock are touched
+// only around gate transitions and while actually held.
+type flowState struct {
+	lease int64        // nanos a hold survives without renewal
+	gated atomic.Int32 // active holds; 0 = run freely
+
+	mu    sync.Mutex
+	holds map[flowKey]*flowHold
+}
+
+func newFlowState(lease time.Duration) *flowState {
+	return &flowState{lease: int64(lease), holds: make(map[flowKey]*flowHold)}
+}
+
+// apply ingests one advertisement or credit grant.
+func (fs *flowState) apply(m control.Message, now int64) {
+	key := flowKey{origin: m.Origin, op: m.Op, index: m.Index}
+	fs.mu.Lock()
+	h := fs.holds[key]
+	if h == nil {
+		h = &flowHold{}
+		fs.holds[key] = h
+	}
+	if m.Seq < h.seq {
+		fs.mu.Unlock()
+		return // stale transition
+	}
+	h.seq = m.Seq
+	h.gated = m.Kind == control.KindWatermarkAdvertise
+	h.deadline = now + fs.lease
+	fs.recountLocked(now)
+	fs.mu.Unlock()
+}
+
+// recountLocked drops lease-expired holds and refreshes the fast-path
+// counter. Released holds are kept until their lease runs out: their
+// sequence number is what rejects a stale advertisement arriving after
+// the credit grant that raced past it.
+func (fs *flowState) recountLocked(now int64) {
+	n := 0
+	for k, h := range fs.holds {
+		if now > h.deadline {
+			delete(fs.holds, k)
+			continue
+		}
+		if h.gated {
+			n++
+		}
+	}
+	fs.gated.Store(int32(n))
+}
+
+// gatedNow reports whether any un-expired hold is active.
+func (fs *flowState) gatedNow(now int64) bool {
+	if fs.gated.Load() == 0 {
+		return false
+	}
+	fs.mu.Lock()
+	fs.recountLocked(now)
+	n := fs.gated.Load()
+	fs.mu.Unlock()
+	return n > 0
+}
+
+// ---- Job-level flow wiring ----
+
+// setupFlowSignals wires §III-B4's gate transitions onto the control
+// plane (LaunchOn, before pumps start): every processor's inbound valve
+// publishes its open/close transitions upstream, every source watches
+// its hosting engine's bus for advertisements from buffers downstream of
+// it, and a refresher re-advertises still-closed gates every lease/3 so
+// holds survive dropped frames.
+func (j *Job) setupFlowSignals() {
+	if !j.cfg.FlowSignals {
+		return
+	}
+	j.flowStop = make(chan struct{})
+	j.upSources = upstreamSources(j.spec)
+	j.flowSrcByEngine = make(map[*Engine][]*instance)
+	for _, inst := range j.instances {
+		if inst.source != nil {
+			inst.flow = newFlowState(j.cfg.FlowLease)
+			j.flowSrcByEngine[inst.engine] = append(j.flowSrcByEngine[inst.engine], inst)
+		}
+		if inst.proc != nil && inst.dataset != nil {
+			inst.dataset.SetPressureNotify(j.flowNotify(inst))
+		}
+	}
+	for e, srcs := range j.flowSrcByEngine {
+		srcs := srcs
+		cancel := e.bus().Subscribe(func(m control.Message) {
+			j.applyFlow(srcs, m)
+		}, control.KindWatermarkAdvertise, control.KindCreditGrant)
+		j.flowCancels = append(j.flowCancels, cancel)
+	}
+	go j.flowRefresher(j.cfg.FlowLease / 3)
+}
+
+// flowNotify builds the valve transition callback for one processor
+// instance. It runs on the goroutine that crossed the watermark, outside
+// the valve's lock, and must stay quick: encode + best-effort sends.
+func (j *Job) flowNotify(inst *instance) backpressure.NotifyFunc {
+	return func(gated bool, level int64, seq uint64) {
+		j.publishFlow(inst, gated, level, seq)
+	}
+}
+
+// publishFlow advertises one gate transition (or refresh) upstream.
+func (j *Job) publishFlow(inst *instance, gated bool, level int64, seq uint64) {
+	low, high := inst.dataset.Watermarks()
+	m := control.Message{
+		Origin: inst.engine.Name(),
+		Op:     inst.op.Name,
+		Index:  int32(inst.idx),
+		Seq:    seq,
+		Nanos:  time.Now().UnixNano(),
+		Level:  level,
+		Low:    low,
+		High:   high,
+		TTL:    flowTTL,
+	}
+	if gated {
+		m.Kind = control.KindWatermarkAdvertise
+		inst.flowSeq.Store(seq)
+		inst.engine.ctrl.advertiseOut.Inc()
+	} else {
+		m.Kind = control.KindCreditGrant
+		inst.engine.ctrl.creditOut.Inc()
+	}
+	inst.engine.publishUp(m)
+}
+
+// applyFlow gates (or releases) the sources on one engine that are
+// transitively upstream of the advertised operator.
+func (j *Job) applyFlow(srcs []*instance, m control.Message) {
+	up := j.upSources[m.Op]
+	if len(up) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for _, inst := range srcs {
+		if up[inst.op.Name] {
+			inst.flow.apply(m, now)
+		}
+	}
+}
+
+// flowRefresher re-advertises every still-gated inbound buffer each
+// period: load-bearing closed state must outlive dropped frames, link
+// rebuilds, and subscriber restarts, and the lease on the receiving side
+// expires anything this loop stops renewing.
+func (j *Job) flowRefresher(period time.Duration) {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.flowStop:
+			return
+		case <-t.C:
+			for _, inst := range j.instances {
+				if inst.proc == nil || inst.dataset == nil || !inst.dataset.Gated() {
+					continue
+				}
+				j.publishFlow(inst, true, inst.dataset.Level(), inst.flowSeq.Load())
+			}
+		}
+	}
+}
+
+// stopFlow tears the flow wiring down: the refresher exits and the bus
+// subscriptions detach. Existing holds become irrelevant — pumps observe
+// stopping ahead of any hold.
+func (j *Job) stopFlow() {
+	if j.flowStop != nil {
+		j.flowOnce.Do(func() { close(j.flowStop) })
+	}
+	for _, c := range j.flowCancels {
+		c()
+	}
+	j.flowCancels = nil
+}
+
+// upstreamSources maps every operator to the set of source operators
+// transitively upstream of it — the sources an advertisement from that
+// operator's inbound buffer should hold.
+func upstreamSources(spec *graph.Spec) map[string]map[string]bool {
+	parents := make(map[string][]string)
+	for i := range spec.Links {
+		l := &spec.Links[i]
+		parents[l.To] = append(parents[l.To], l.From)
+	}
+	isSource := make(map[string]bool)
+	for i := range spec.Operators {
+		if spec.Operators[i].Kind == graph.KindSource {
+			isSource[spec.Operators[i].Name] = true
+		}
+	}
+	out := make(map[string]map[string]bool, len(spec.Operators))
+	for i := range spec.Operators {
+		name := spec.Operators[i].Name
+		srcs := make(map[string]bool)
+		seen := map[string]bool{name: true}
+		stack := []string{name}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isSource[cur] {
+				srcs[cur] = true
+			}
+			for _, p := range parents[cur] {
+				if !seen[p] {
+					seen[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		out[name] = srcs
+	}
+	return out
+}
+
+// FlowHealth aggregates a job's flow-control and control-plane activity:
+// the inbound valves' §III-B4 counters, the outbound transports' gate
+// closures, the control messages exchanged, and how often sources were
+// held by upstream advertisements rather than by a blocked emit chain.
+type FlowHealth struct {
+	// Inbound valve counters summed over every processor instance.
+	InboundGateClosures  uint64
+	InboundBlockedWrites uint64
+	InboundBlockedNs     int64
+	InboundMaxLevel      int64 // max across instances
+
+	// OutboundGateClosures sums gate closures of transports that report
+	// backpressure stats (resilient links).
+	OutboundGateClosures uint64
+
+	// Control-plane traffic summed over engines.
+	Advertisements  uint64 // watermark advertisements published
+	CreditGrants    uint64 // credit grants published
+	RemoteControlIn uint64 // control frames delivered from peer engines
+	ControlDrops    uint64 // best-effort sends that failed
+
+	// Source-side holds (Config.FlowSignals).
+	SourceHolds   uint64 // times a pump paused on an advertisement
+	SourceHeldNs  int64  // cumulative time pumps spent held
+	SourcesGated  int    // sources currently held
+	FlowSignalsOn bool
+}
+
+// FlowHealth reports the job's flow-control health snapshot.
+func (j *Job) FlowHealth() FlowHealth {
+	h := FlowHealth{FlowSignalsOn: j.cfg.FlowSignals}
+	for _, inst := range j.instances {
+		if inst.proc != nil && inst.dataset != nil {
+			st := inst.dataset.PressureStats()
+			h.InboundGateClosures += st.GateClosures
+			h.InboundBlockedWrites += st.BlockedAcquires
+			h.InboundBlockedNs += int64(st.BlockedTime)
+			if st.MaxLevel > h.InboundMaxLevel {
+				h.InboundMaxLevel = st.MaxLevel
+			}
+		}
+		if inst.source != nil {
+			h.SourceHolds += inst.flowGates.Load()
+			h.SourceHeldNs += inst.flowGatedNs.Load()
+			if inst.flow != nil && inst.flow.gated.Load() > 0 {
+				h.SourcesGated++
+			}
+		}
+	}
+	for _, e := range j.engines {
+		h.Advertisements += e.ctrl.advertiseOut.Value()
+		h.CreditGrants += e.ctrl.creditOut.Value()
+		h.RemoteControlIn += e.ctrl.remoteIn.Value()
+		h.ControlDrops += e.ctrl.sendDrops.Value()
+	}
+	j.trMu.Lock()
+	trs := make([]transport.Transport, 0, len(j.transports))
+	for _, tr := range j.transports {
+		trs = append(trs, tr)
+	}
+	j.trMu.Unlock()
+	for _, tr := range trs {
+		if p, ok := tr.(interface{ Pressure() backpressure.Stats }); ok {
+			h.OutboundGateClosures += p.Pressure().GateClosures
+		}
+	}
+	return h
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/control"
+	"repro/internal/packet"
+)
+
+// flowJob wires the three-hop flow-signal schedule: throttled source on
+// engine A, forwarding relay on B, slow checking sink on C, in-process
+// bridging with deliberately small outbound watermarks so the chain's
+// total buffer capacity is far below the stream size.
+func flowJob(t *testing.T, cfg Config, n, payload int, rate float64, sinkDelay time.Duration) (*Job, *collectSink) {
+	t.Helper()
+	ea, err := NewEngine("flow-a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewEngine("flow-b", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := NewEngine("flow-c", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &countingSource{n: n, payload: payload}
+	sink := newCollectSink()
+	sink.onProc = func(*OpContext, *packet.Packet) error {
+		time.Sleep(sinkDelay)
+		return nil
+	}
+	j, err := NewJob(relaySpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst stays small relative to the sink's low/high hysteresis: tokens
+	// accumulate while the source is held, and a credit grant must not
+	// release more than the space the sink just freed.
+	j.SetSource("sender", func(int) Source { return Throttle(rate, 8, src) })
+	j.SetProcessor("relay", func(int) Processor { return relayProc{} })
+	j.SetProcessor("receiver", func(int) Processor { return sink })
+	place := func(op string, _ int) int {
+		switch op {
+		case "sender":
+			return 0
+		case "relay":
+			return 1
+		default:
+			return 2
+		}
+	}
+	if err := j.LaunchOn([]*Engine{ea, eb, ec}, place, NewInprocBridger(32<<10, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	return j, sink
+}
+
+// TestFlowSignalsThreeHopThrottlesSource is the flow-control acceptance
+// test: with FlowSignals on, the slow sink's inbound valve closing is
+// advertised upstream across two engine hops and holds the source pump
+// directly, so the intermediate relay's inbound buffer never reaches its
+// high watermark — the source is throttled by signaling, not by a chain
+// of blocked writers.
+func TestFlowSignalsThreeHopThrottlesSource(t *testing.T) {
+	const n = 3000
+	cfg := testConfig()
+	cfg.FlowSignals = true
+	cfg.FlowLease = 60 * time.Millisecond
+	cfg.FlushInterval = time.Millisecond
+	cfg.InLowWatermark = 16 << 10
+	cfg.InHighWatermark = 32 << 10
+	// The offered rate only modestly exceeds the sink's service rate: the
+	// per-credit burst the chain must absorb while an advertisement is in
+	// flight then stays well under the relay's watermark, which is what
+	// lets signaling (not blocked writers) do the throttling.
+	j, sink := flowJob(t, cfg, n, 1024, 12_000, 100*time.Microsecond)
+	finishJob(t, j)
+
+	if got := sink.count.Load(); got != n {
+		t.Fatalf("sink processed %d, want %d", got, n)
+	}
+	sink.exactlyOnce(t, n)
+
+	fh := j.FlowHealth()
+	if !fh.FlowSignalsOn {
+		t.Fatal("FlowSignalsOn not reported")
+	}
+	if fh.Advertisements == 0 {
+		t.Fatal("no watermark advertisements published")
+	}
+	if fh.CreditGrants == 0 {
+		t.Fatal("no credit grants published")
+	}
+	if fh.SourceHolds == 0 || fh.SourceHeldNs == 0 {
+		t.Fatalf("source never held: holds=%d heldNs=%d", fh.SourceHolds, fh.SourceHeldNs)
+	}
+	if fh.RemoteControlIn == 0 {
+		t.Fatal("no control messages crossed an engine boundary")
+	}
+	sinkStats := j.byOp["receiver"][0].dataset.PressureStats()
+	if sinkStats.GateClosures == 0 {
+		t.Fatal("sink valve never closed — the test applied no pressure")
+	}
+	relayStats := j.byOp["relay"][0].dataset.PressureStats()
+	if relayStats.GateClosures != 0 {
+		t.Fatalf("relay inbound gated %d times; flow signals should hold the source before the middle fills", relayStats.GateClosures)
+	}
+}
+
+// TestFlowSignalsDisabledFallsBack is the contrast run: identical
+// schedule and pressure with FlowSignals off. No advertisements are
+// published and the source is never held by the control plane — the
+// §III-B4 blocked-writer chain (Fig. 4) does all the throttling, and
+// delivery is still complete and exactly-once.
+func TestFlowSignalsDisabledFallsBack(t *testing.T) {
+	const n = 3000
+	cfg := testConfig()
+	cfg.FlushInterval = time.Millisecond
+	cfg.InLowWatermark = 16 << 10
+	cfg.InHighWatermark = 32 << 10
+	j, sink := flowJob(t, cfg, n, 1024, 30_000, 100*time.Microsecond)
+	finishJob(t, j)
+
+	if got := sink.count.Load(); got != n {
+		t.Fatalf("sink processed %d, want %d", got, n)
+	}
+	sink.exactlyOnce(t, n)
+
+	fh := j.FlowHealth()
+	if fh.FlowSignalsOn {
+		t.Fatal("FlowSignalsOn reported with flow signals disabled")
+	}
+	if fh.Advertisements != 0 || fh.CreditGrants != 0 {
+		t.Fatalf("control plane published flow messages while disabled: adv=%d credit=%d",
+			fh.Advertisements, fh.CreditGrants)
+	}
+	if fh.SourceHolds != 0 {
+		t.Fatalf("source held %d times with flow signals disabled", fh.SourceHolds)
+	}
+	sinkStats := j.byOp["receiver"][0].dataset.PressureStats()
+	if sinkStats.GateClosures == 0 {
+		t.Fatal("sink valve never closed — blocking fallback untested")
+	}
+	if sinkStats.BlockedAcquires == 0 {
+		t.Fatal("no writer ever blocked — blocking fallback untested")
+	}
+}
+
+// TestControlPlaneLivenessOverTCPBridger is the liveness acceptance
+// test: on a resilient-TCP-bridged job, supervisor heartbeats are
+// published on the control plane and cross engine boundaries as control
+// frames (observable at the transport layer and on the receiving
+// engine's bus), and a killed mid-pipeline engine still recovers exactly
+// once with the heartbeat path running over the new layer.
+func TestControlPlaneLivenessOverTCPBridger(t *testing.T) {
+	const n = 4000
+	cfg := testConfig()
+	j, sink, _, engines := recoveryJob(t, cfg, 25_000, n)
+
+	sup, err := j.Supervise(SupervisorOptions{
+		Heartbeat:      5 * time.Millisecond,
+		Misses:         3,
+		Store:          checkpoint.NewMemStore(0),
+		Replay:         true,
+		BarrierTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heartbeats from the upstream engine must arrive on the downstream
+	// engine's bus — proof they rode the TCP link, not an in-process
+	// shortcut.
+	var remoteBeats atomic.Int64
+	cancel := engines[1].bus().Subscribe(func(m control.Message) {
+		if m.Origin == "rec-a" {
+			remoteBeats.Add(1)
+		}
+	}, control.KindHeartbeat)
+	defer cancel()
+
+	waitCount(t, sink.collectSink, n/4)
+	if err := sup.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Kill("rec-b"); err != nil {
+		t.Fatal(err)
+	}
+	waitRestarts(t, j, 1)
+	finishJob(t, j)
+
+	if got := sink.count.Load(); got != n {
+		t.Fatalf("sink processed %d, want %d", got, n)
+	}
+	sink.exactlyOnce(t, n)
+	if j.RecoveryHealth().Restarts < 1 {
+		t.Fatal("engine was not recovered")
+	}
+	if remoteBeats.Load() == 0 {
+		t.Fatal("no remote heartbeats observed on the downstream engine's bus")
+	}
+	var ctrlIn, ctrlOut, remoteIn uint64
+	for _, e := range engines {
+		ctrlIn += e.Metrics().Counter("transport.control_in").Value()
+		ctrlOut += e.Metrics().Counter("transport.control_out").Value()
+		remoteIn += e.Metrics().Counter("control.remote_in").Value()
+	}
+	if ctrlIn == 0 || ctrlOut == 0 {
+		t.Fatalf("transport saw no control frames: in=%d out=%d", ctrlIn, ctrlOut)
+	}
+	if remoteIn == 0 {
+		t.Fatal("no control messages were delivered across engines")
+	}
+}
+
+// TestUpstreamSources checks the reachability map that decides which
+// sources an advertisement holds.
+func TestUpstreamSources(t *testing.T) {
+	spec := relaySpec()
+	up := upstreamSources(spec)
+	if !up["receiver"]["sender"] || !up["relay"]["sender"] {
+		t.Fatalf("sender not upstream of pipeline: %v", up)
+	}
+	if len(up["sender"]) != 1 || !up["sender"]["sender"] {
+		t.Fatalf("source's own entry wrong: %v", up["sender"])
+	}
+}
+
+// TestFlowHoldLeaseExpires checks the soft-state backstop: a hold whose
+// advertisement is never refreshed (lost CreditGrant) expires after one
+// lease instead of wedging the source forever.
+func TestFlowHoldLeaseExpires(t *testing.T) {
+	fs := newFlowState(10 * time.Millisecond)
+	now := time.Now().UnixNano()
+	fs.apply(control.Message{
+		Kind: control.KindWatermarkAdvertise, Origin: "e", Op: "op", Seq: 1,
+	}, now)
+	if !fs.gatedNow(now) {
+		t.Fatal("advertisement did not gate")
+	}
+	if fs.gatedNow(now + int64(11*time.Millisecond)) {
+		t.Fatal("hold survived its lease")
+	}
+	// A stale close must not override the open that raced past it.
+	fs.apply(control.Message{Kind: control.KindCreditGrant, Origin: "e", Op: "op", Seq: 3}, now)
+	fs.apply(control.Message{Kind: control.KindWatermarkAdvertise, Origin: "e", Op: "op", Seq: 2}, now)
+	if fs.gatedNow(now) {
+		t.Fatal("stale advertisement re-gated after a newer credit grant")
+	}
+}

@@ -44,6 +44,10 @@ type Engine struct {
 	channels  atomic.Pointer[map[uint32]*instance] //neptune:cow inbound channel -> instance
 	closed    atomic.Bool
 
+	// ctrl is the engine's control-plane endpoint: local bus, links
+	// toward peer engines, and control-traffic counters (controlplane.go).
+	ctrl engineControl
+
 	// Hot-path counters, resolved once from the registry at construction.
 	// They stay registered under their usual names (launcher drain checks
 	// and tests read them by name); only the per-event lookup goes away.
@@ -98,6 +102,7 @@ func NewEngine(name string, cfg Config) (*Engine, error) {
 	e.batchesOut = e.metrics.Counter("batches_out")
 	e.dropsOnShutdown = e.metrics.Counter("drops_on_shutdown")
 	e.dupDropped = e.metrics.Counter("packets_dup_dropped")
+	e.initControl()
 	return e, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/compression"
@@ -188,6 +189,16 @@ type instance struct {
 	pumpDone    atomic.Bool
 	pumpCrashed atomic.Bool
 	pumpOnExit  func(error) // retained so a supervised restart reuses it
+
+	// Flow-signal state (Config.FlowSignals, controlplane.go). For a
+	// source, flow holds the downstream watermark advertisements that
+	// pause its pump at flowPoint; flowGates/flowGatedNs count the pauses.
+	// For a processor, flowSeq retains the last close-transition sequence
+	// so the refresher re-advertises with consistent ordering.
+	flow        *flowState
+	flowGates   atomic.Uint64
+	flowGatedNs atomic.Int64
+	flowSeq     atomic.Uint64
 
 	// Decode-side state. packet.Decoder is stateless; the Selective
 	// codec's Decode path is read-only, so sharing across transport IO
@@ -623,6 +634,7 @@ func (inst *instance) runPump() error {
 		if inst.stopping.Load() {
 			break
 		}
+		inst.flowPoint()
 		err := inst.source.Next(&inst.ctx)
 		if err == nil {
 			continue
@@ -633,6 +645,40 @@ func (inst *instance) runPump() error {
 		return fmt.Errorf("core: %s next: %w", inst.taskID(), err)
 	}
 	return nil
+}
+
+// flowPoint holds the source pump while a downstream watermark
+// advertisement is active (Config.FlowSignals): the control-plane
+// counterpart of the blocked-writer chain, engaging before this pump
+// fills the intermediate buffers. The no-signal fast path is one nil
+// check plus one atomic load. The hold yields to shutdown and to an
+// armed pause gate — checkpoint barriers park at pausePoint, not here.
+func (inst *instance) flowPoint() {
+	fs := inst.flow
+	if fs == nil || fs.gated.Load() == 0 {
+		return
+	}
+	start := time.Now().UnixNano()
+	if !fs.gatedNow(start) {
+		return
+	}
+	inst.flowGates.Add(1)
+	for !inst.stopping.Load() && !inst.pauseArmed() {
+		time.Sleep(200 * time.Microsecond)
+		if !fs.gatedNow(time.Now().UnixNano()) {
+			break
+		}
+	}
+	inst.flowGatedNs.Add(time.Now().UnixNano() - start)
+}
+
+// pauseArmed reports whether a pause gate is set (the pump will park at
+// its next pausePoint).
+func (inst *instance) pauseArmed() bool {
+	inst.pauseMu.Lock()
+	armed := inst.pauseCh != nil
+	inst.pauseMu.Unlock()
+	return armed
 }
 
 // ---- Pause gate (checkpoint barriers) ----

@@ -139,7 +139,17 @@ func (b *TCPBridger) listenerAddr(to *Engine) (string, error) {
 	if b.ropts != nil {
 		lopts := *b.ropts
 		lopts.Metrics = to.Metrics()
-		ln, err = transport.ListenResilient("127.0.0.1:0", to.Dispatch, lopts)
+		// Control frames arriving from upstream dialers (heartbeats,
+		// barrier markers) land on the receiving engine's bus; the
+		// listener's broadcast is the engine's uplink for advertisements
+		// traveling the other way.
+		lopts.ControlHandler = func(p []byte) { to.deliverRemoteControl(p, false) }
+		var rln *transport.ResilientListener
+		rln, err = transport.ListenResilient("127.0.0.1:0", to.Dispatch, lopts)
+		if err == nil {
+			to.registerUplink(listenerPeer, rln)
+			ln = rln
+		}
 	} else {
 		ln, err = transport.Listen("127.0.0.1:0", to.Dispatch, b.opts)
 	}
@@ -163,10 +173,15 @@ func (b *TCPBridger) Connect(from, to *Engine) (transport.Transport, error) {
 		dopts := *b.ropts
 		dopts.Metrics = from.Metrics()
 		dopts.LinkID = 0 // unique random id per link
+		// Control frames coming back on this link (watermark
+		// advertisements, credit grants) originate downstream; the dialer
+		// itself is the sender's downlink for heartbeats and markers.
+		dopts.ControlHandler = func(p []byte) { from.deliverRemoteControl(p, true) }
 		r, err := transport.DialResilient(addr, nil, dopts)
 		if err != nil {
 			return nil, err
 		}
+		from.registerDownlink(to.Name(), r)
 		key := [2]string{from.Name(), to.Name()}
 		b.mu.Lock()
 		if _, seen := b.links[key]; !seen {
@@ -216,10 +231,12 @@ func (b *TCPBridger) Reconnect(from, to *Engine, epoch uint64) (transport.Transp
 	dopts.Metrics = from.Metrics()
 	dopts.LinkID = linkID
 	dopts.Epoch = epoch
+	dopts.ControlHandler = func(p []byte) { from.deliverRemoteControl(p, true) }
 	r, err := transport.DialResilient(addr, nil, dopts)
 	if err != nil {
 		return nil, err
 	}
+	from.registerDownlink(to.Name(), r)
 	b.mu.Lock()
 	if _, seen := b.links[key]; !seen {
 		b.linkOrder = append(b.linkOrder, key)
@@ -325,6 +342,16 @@ type Job struct {
 
 	supMu sync.Mutex
 	sup   *Supervisor
+
+	// Flow-signal wiring (Config.FlowSignals, controlplane.go): the
+	// refresher's stop channel, the bus subscription cancels, the
+	// operator -> upstream-source reachability map, and the sources each
+	// engine hosts.
+	flowStop        chan struct{}
+	flowOnce        sync.Once
+	flowCancels     []func()
+	upSources       map[string]map[string]bool
+	flowSrcByEngine map[*Engine][]*instance
 
 	firstErr errOnce
 }
@@ -474,6 +501,7 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 							return err
 						}
 						j.transports[key] = tr
+						wireControlPeers(sender.engine, recv.engine, tr)
 					}
 					d.setTransport(tr)
 					d.sel = sender.engine.newSelective()
@@ -490,6 +518,7 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 	for _, inst := range j.instances {
 		inst.markSinkIfTerminal()
 	}
+	j.setupFlowSignals()
 
 	// 3. Register processor tasks and deploy the engines.
 	for _, inst := range j.instances {
@@ -793,6 +822,7 @@ func (j *Job) Stop(timeout time.Duration) error {
 		// new recovery or checkpoint can start under the teardown.
 		s.shutdown()
 	}
+	j.stopFlow()
 	j.StopSources()
 	if err := j.Drain(timeout); err != nil {
 		j.firstErr.set(err)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/checkpoint"
+	"repro/internal/control"
 	"repro/internal/granules"
 	"repro/internal/transport"
 )
@@ -63,10 +64,11 @@ type Supervisor struct {
 
 	linkEpoch atomic.Uint64 // recovery generation stamped into rebuilt links
 
-	beats  []atomic.Int64 // last heartbeat per engine, unix nanos
-	closed atomic.Bool
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	beats   []atomic.Int64 // receipt time of last heartbeat per engine, unix nanos
+	cancels []func()       // control-bus heartbeat subscriptions
+	closed  atomic.Bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
 }
 
 // Supervision errors.
@@ -119,9 +121,27 @@ func (j *Job) Supervise(opts SupervisorOptions) (*Supervisor, error) {
 	for i := range j.engines {
 		s.beats[i].Store(now)
 	}
+	// Liveness rides the control plane: each beater publishes a Heartbeat
+	// on its engine's bus (and down its links, so beats are observable as
+	// control frames over TCP bridgers); the monitor's staleness check
+	// reads receipt times recorded by these subscriptions. A beat
+	// relayed in from a remote engine refreshes that engine too — any
+	// heartbeat that reaches any bus proves its origin was alive.
+	byName := make(map[string]int, len(j.engines))
 	for i, e := range j.engines {
+		byName[e.Name()] = i
+	}
+	for _, e := range j.engines {
+		cancel := e.bus().Subscribe(func(m control.Message) {
+			if i, ok := byName[m.Origin]; ok {
+				s.beats[i].Store(time.Now().UnixNano())
+			}
+		}, control.KindHeartbeat)
+		s.cancels = append(s.cancels, cancel)
+	}
+	for _, e := range j.engines {
 		s.wg.Add(1)
-		go s.beater(e, &s.beats[i])
+		go s.beater(e)
 	}
 	s.wg.Add(1)
 	go s.monitor()
@@ -174,6 +194,9 @@ func (s *Supervisor) shutdown() {
 	}
 	close(s.stopCh)
 	s.wg.Wait()
+	for _, cancel := range s.cancels {
+		cancel()
+	}
 	// Synchronize with (and after) any state transition that was in
 	// flight when the flag flipped: acquiring the transition lock once is
 	// the happens-before edge the caller's teardown relies on.
@@ -181,13 +204,16 @@ func (s *Supervisor) shutdown() {
 	s.mu.Unlock() //nolint:staticcheck // empty critical section is the point
 }
 
-// beater periodically stores a liveness timestamp for one engine. A
-// crashed engine (dispatch gate closed) stops beating — the beacon dies
-// with the "process" — which is what the monitor detects.
-func (s *Supervisor) beater(e *Engine, beat *atomic.Int64) {
+// beater periodically publishes one engine's liveness beacon on the
+// control plane. A crashed engine (dispatch gate closed) stops beating —
+// the beacon dies with the "process" — which is what the monitor
+// detects; publishControl re-checks the gate so a beat can never be
+// published for a crashed engine.
+func (s *Supervisor) beater(e *Engine) {
 	defer s.wg.Done()
 	t := time.NewTicker(s.opts.Heartbeat)
 	defer t.Stop()
+	var seq uint64
 	for {
 		select {
 		case <-s.stopCh:
@@ -196,7 +222,12 @@ func (s *Supervisor) beater(e *Engine, beat *atomic.Int64) {
 			if e.closed.Load() {
 				continue // crashed: no beacon until the supervisor revives it
 			}
-			beat.Store(time.Now().UnixNano())
+			seq++
+			e.publishDown(control.Message{
+				Kind:  control.KindHeartbeat,
+				Seq:   seq,
+				Nanos: time.Now().UnixNano(),
+			})
 		}
 	}
 }
@@ -286,6 +317,15 @@ func (s *Supervisor) Checkpoint() error {
 	}
 	s.epoch = snap.Epoch
 	j.engines[0].metrics.Counter("recovery.checkpoint_bytes").Add(uint64(len(data)))
+	// Announce the completed epoch on the control plane (observability:
+	// downstream engines and bus subscribers see which barrier committed).
+	for _, e := range j.engines {
+		e.publishDown(control.Message{
+			Kind:  control.KindBarrierMarker,
+			Epoch: snap.Epoch,
+			Nanos: time.Now().UnixNano(),
+		})
+	}
 	// Replay logs now hold only post-epoch traffic.
 	for _, inst := range j.instances {
 		for _, l := range inst.outs {
@@ -561,6 +601,9 @@ func (s *Supervisor) rebuildInstances(dead *Engine, deadInsts []*instance) error
 				return err
 			}
 			inst.dataset = ds
+			if cfg.FlowSignals {
+				ds.SetPressureNotify(j.flowNotify(inst))
+			}
 		}
 		if inst.source != nil {
 			f, ok := j.sources[inst.op.Name]

@@ -80,6 +80,14 @@ func (d *StreamDataset[T]) Gated() bool { return d.queue.Gated() }
 // PressureStats exposes the backpressure counters.
 func (d *StreamDataset[T]) PressureStats() backpressure.Stats { return d.queue.Stats() }
 
+// Watermarks returns the inbound queue's low and high watermarks.
+func (d *StreamDataset[T]) Watermarks() (low, high int64) { return d.queue.Watermarks() }
+
+// SetPressureNotify installs a gate-transition observer on the inbound
+// queue's valve (see backpressure.NotifyFunc) — the hook the control
+// plane uses to advertise this dataset's watermark state upstream.
+func (d *StreamDataset[T]) SetPressureNotify(fn backpressure.NotifyFunc) { d.queue.SetNotify(fn) }
+
 // Close shuts the dataset down; blocked producers fail with
 // backpressure.ErrClosed.
 func (d *StreamDataset[T]) Close() error {

@@ -93,7 +93,8 @@ func TestMainRules(t *testing.T) {
 }
 
 // TestMainAllowlist: an allowlist covering every fixture finding flips the
-// exit to clean, and an unused entry only warns.
+// exit to clean; an unused entry is an error by default and a warning
+// under -lenient.
 func TestMainAllowlist(t *testing.T) {
 	// First run without an allowlist to harvest the findings.
 	pkgs := loadFixture(t, "./useafterput")
@@ -115,12 +116,31 @@ func TestMainAllowlist(t *testing.T) {
 	}
 
 	code, stdout, stderr := runMain(t, []string{"-allow", allowFile, "./useafterput"}, "testdata/src/fixture")
+	if code != ExitFindings {
+		t.Fatalf("strict run with stale entry: exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitFindings, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "allowlist entry unused") || !strings.Contains(stderr, "-lenient") {
+		t.Errorf("strict stale error should name the entry and suggest -lenient, got stderr:\n%s", stderr)
+	}
+
+	code, stdout, stderr = runMain(t, []string{"-allow", allowFile, "-lenient", "./useafterput"}, "testdata/src/fixture")
 	if code != ExitClean {
-		t.Fatalf("allowlisted run: exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+		t.Fatalf("lenient allowlisted run: exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
 			code, ExitClean, stdout, stderr)
 	}
-	if !strings.Contains(stderr, "allowlist entry unused") {
-		t.Errorf("expected a stale-entry warning, got stderr:\n%s", stderr)
+	if !strings.Contains(stderr, "warning:") || !strings.Contains(stderr, "allowlist entry unused") {
+		t.Errorf("expected a stale-entry warning under -lenient, got stderr:\n%s", stderr)
+	}
+
+	// Without the stale line the strict default is clean.
+	if err := os.WriteFile(allowFile, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr = runMain(t, []string{"-allow", allowFile, "./useafterput"}, "testdata/src/fixture")
+	if code != ExitClean {
+		t.Fatalf("strict run without stale entries: exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, stdout, stderr)
 	}
 }
 

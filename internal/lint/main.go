@@ -31,8 +31,9 @@ func Main(args []string, dir string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	allowPath := fs.String("allow", "", "allowlist file (default: <module root>/"+DefaultAllowFile+" if present)")
 	listRules := fs.Bool("rules", false, "print the registered rules and exit")
+	lenient := fs.Bool("lenient", false, "downgrade stale allowlist entries to warnings instead of errors")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: neptune-vet [-allow file] [-rules] [packages]\n")
+		fmt.Fprintf(stderr, "usage: neptune-vet [-allow file] [-lenient] [-rules] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -96,11 +97,24 @@ func Main(args []string, dir string, stdout, stderr io.Writer) int {
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f.String())
 	}
-	for _, w := range allow.Stale(analyzedFiles) {
-		fmt.Fprintf(stderr, "neptune-vet: warning: %s\n", w)
+	// Stale allowlist entries are errors by default so suppressions cannot
+	// outlive the findings they covered; -lenient keeps them as warnings
+	// for local runs mid-refactor.
+	stale := allow.Stale(analyzedFiles)
+	for _, w := range stale {
+		if *lenient {
+			fmt.Fprintf(stderr, "neptune-vet: warning: %s\n", w)
+		} else {
+			fmt.Fprintf(stderr, "neptune-vet: %s\n", w)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "neptune-vet: %d finding(s)\n", len(findings))
+		return ExitFindings
+	}
+	if len(stale) > 0 && !*lenient {
+		fmt.Fprintf(stderr, "neptune-vet: %d stale allowlist entr%s (use -lenient to downgrade)\n",
+			len(stale), map[bool]string{true: "y", false: "ies"}[len(stale) == 1])
 		return ExitFindings
 	}
 	return ExitClean

@@ -6,7 +6,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -14,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/backpressure"
+	"repro/internal/control"
 	"repro/internal/metrics"
 )
 
@@ -130,6 +130,13 @@ type ResilientOptions struct {
 	// the payload slice is owned by the journal and must be copied if
 	// retained.
 	Journal JournalObserver
+	// ControlHandler, when non-nil, receives the payload of every
+	// inbound control frame (flagControl) on this endpoint. The slice
+	// aliases the read buffer and is only valid during the call —
+	// decode or copy before returning. Handlers run on the endpoint's
+	// IO goroutines and must not block; control traffic is soft state,
+	// so a handler may simply drop what it does not understand.
+	ControlHandler func(payload []byte)
 	// Dialer opens the underlying connection; tests inject faults
 	// here. Nil defaults to net.DialTimeout.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
@@ -267,6 +274,8 @@ type Resilient struct {
 	redelivered atomic.Uint64
 	shedCount   atomic.Uint64
 	dups        atomic.Uint64
+	ctrlIn      atomic.Uint64
+	ctrlOut     atomic.Uint64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -369,20 +378,25 @@ func (r *Resilient) ackWatch() {
 
 // writeHello sends the link-identifying first frame on the current conn
 // and flushes it. Caller owns the writer goroutine (or constructor). The
-// payload carries the link id plus the recovery epoch; pre-epoch
-// listeners that only understand 8-byte hellos never see this sender
-// (both ends ship together), while this listener still accepts 8-byte
-// hellos from older senders as epoch 0.
+// payload is an EpochHello control message carrying the link id and the
+// recovery epoch; the listener still accepts the raw 8-byte (link id
+// only) and 16-byte (id + epoch) hellos from pre-control-plane senders.
 func (r *Resilient) writeHello() error {
-	var payload [16]byte
-	binary.LittleEndian.PutUint64(payload[:8], r.linkID)
-	binary.LittleEndian.PutUint64(payload[8:], r.opts.Epoch)
+	payload, err := control.Encode(control.Message{
+		Kind:   control.KindEpochHello,
+		LinkID: r.linkID,
+		Epoch:  r.opts.Epoch,
+		Nanos:  time.Now().UnixNano(),
+	})
+	if err != nil {
+		return err
+	}
 	var hdr [headerV2Size]byte
-	putHeaderV2(hdr[:], 0, payload[:], flagHello, 0, r.recvSeq.Load())
+	putHeaderV2(hdr[:], 0, payload, flagHello|flagControl, 0, r.recvSeq.Load())
 	if _, err := r.bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := r.bw.Write(payload[:]); err != nil {
+	if _, err := r.bw.Write(payload); err != nil {
 		return err
 	}
 	return r.bw.Flush()
@@ -422,6 +436,69 @@ func (r *Resilient) Send(channel uint32, payload []byte) error {
 	return nil
 }
 
+// SendControl enqueues an encoded control-plane message for the peer.
+// Control frames ride the same outbound queue and connection as data
+// (one frame kind, no second socket) but are unsequenced and never
+// journaled: if the link is down when the writer reaches the frame it
+// is dropped. Control state is soft — publishers re-advertise — so a
+// dropped frame costs latency, not correctness.
+func (r *Resilient) SendControl(payload []byte) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.mu.Unlock()
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	if len(payload) == 0 {
+		return errors.New("transport: empty control payload")
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	if err := r.queue.Push(Frame{Payload: cp, ctrl: true}, int64(len(cp))+headerV2Size); err != nil {
+		if errors.Is(err, backpressure.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	return nil
+}
+
+// writeControl writes one control frame on the live connection, if any.
+// Never journals, never dials: a control frame that meets a dead link
+// is dropped (soft state). Writer goroutine only.
+func (r *Resilient) writeControl(f Frame) {
+	r.mu.Lock()
+	conn := r.conn
+	live := conn != nil && !r.broken && !r.closed
+	r.mu.Unlock()
+	if !live || r.bw == nil {
+		return
+	}
+	var hdr [headerV2Size]byte
+	putHeaderV2(hdr[:], f.Channel, f.Payload, flagControl, 0, r.recvSeq.Load())
+	if _, err := r.bw.Write(hdr[:]); err != nil {
+		r.connFailed(conn, err)
+		return
+	}
+	if _, err := r.bw.Write(f.Payload); err != nil {
+		r.connFailed(conn, err)
+		return
+	}
+	if r.queue.Len() == 0 {
+		if err := r.bw.Flush(); err != nil {
+			r.connFailed(conn, err)
+			return
+		}
+	}
+	r.ctrlOut.Add(1)
+	if m := r.opts.Metrics; m != nil {
+		m.Counter("transport.control_out").Inc()
+	}
+}
+
 // writeLoop is the single IO writer: it drains the outbound queue,
 // journals every frame, and owns dialing/replacement of the connection.
 func (r *Resilient) writeLoop() {
@@ -442,6 +519,10 @@ func (r *Resilient) writeLoop() {
 			// flush (the queue looked non-empty); flush them now or they
 			// rot in the buffer with no further pops to trigger it.
 			r.flushIfIdle()
+			continue
+		}
+		if f.ctrl {
+			r.writeControl(f)
 			continue
 		}
 		if r.isClosed() {
@@ -811,6 +892,16 @@ func (r *Resilient) readLoop(conn net.Conn) {
 			if f.ack > 0 {
 				r.journalAck(f.ack)
 			}
+			if f.flags&flagControl != 0 && f.flags&flagHello == 0 {
+				r.ctrlIn.Add(1)
+				if m := r.opts.Metrics; m != nil {
+					m.Counter("transport.control_in").Inc()
+				}
+				if h := r.opts.ControlHandler; h != nil {
+					h(f.payload)
+				}
+				continue
+			}
 			if f.flags&(flagAckOnly|flagHello) != 0 {
 				continue
 			}
@@ -947,6 +1038,12 @@ func (r *Resilient) LinkID() uint64 { return r.linkID }
 // Epoch returns the recovery epoch this link handshakes with.
 func (r *Resilient) Epoch() uint64 { return r.opts.Epoch }
 
+// ControlIn reports how many control frames this endpoint received.
+func (r *Resilient) ControlIn() uint64 { return r.ctrlIn.Load() }
+
+// ControlOut reports how many control frames this endpoint wrote.
+func (r *Resilient) ControlOut() uint64 { return r.ctrlOut.Load() }
+
 // Stats reports transfer counters.
 func (r *Resilient) Stats() Stats { return r.stats.snapshot() }
 
@@ -988,226 +1085,3 @@ func (r *Resilient) Close() error {
 }
 
 var _ Transport = (*Resilient)(nil)
-
-// linkRecv is the receiver-side redelivery state of one link, keyed by
-// the sender's link id so it survives reconnections. epoch tracks the
-// link's recovery generation: a hello with a higher epoch rewinds
-// lastSeen so a supervisor-rebuilt sender (whose frame sequence restarts
-// at 1) is not misread as a flood of stale duplicates; a hello with the
-// same epoch — every ordinary reconnect — leaves dedup state intact.
-type linkRecv struct {
-	mu       sync.Mutex
-	lastSeen uint64
-	epoch    uint64
-}
-
-// ResilientListener accepts resilient (and plain v1) connections: v2
-// data frames are deduped by last-seen sequence per link and acked
-// cumulatively; v1 frames pass through untouched.
-type ResilientListener struct {
-	ln      net.Listener
-	opts    ResilientOptions
-	handler Handler
-	wg      sync.WaitGroup
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	links  map[uint64]*linkRecv
-	closed bool
-
-	dups     atomic.Uint64
-	acksSent atomic.Uint64
-}
-
-// ListenResilient starts accepting resilient transport connections on
-// addr, delivering every deduplicated inbound frame to handler.
-func ListenResilient(addr string, handler Handler, opts ResilientOptions) (*ResilientListener, error) {
-	if handler == nil {
-		return nil, errors.New("transport: nil handler")
-	}
-	opts.defaults()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	l := &ResilientListener{
-		ln:      ln,
-		opts:    opts,
-		handler: handler,
-		conns:   make(map[net.Conn]struct{}),
-		links:   make(map[uint64]*linkRecv),
-	}
-	l.wg.Add(1)
-	go l.acceptLoop()
-	return l, nil
-}
-
-// Addr returns the listener's bound address.
-func (l *ResilientListener) Addr() string { return l.ln.Addr().String() }
-
-// DupsDropped reports how many duplicate frames were discarded.
-func (l *ResilientListener) DupsDropped() uint64 { return l.dups.Load() }
-
-// AcksSent reports how many ack frames this listener wrote.
-func (l *ResilientListener) AcksSent() uint64 { return l.acksSent.Load() }
-
-func (l *ResilientListener) acceptLoop() {
-	defer l.wg.Done()
-	for {
-		conn, err := l.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		l.mu.Lock()
-		if l.closed {
-			l.mu.Unlock()
-			conn.Close()
-			return
-		}
-		l.conns[conn] = struct{}{}
-		l.wg.Add(1)
-		l.mu.Unlock()
-		go l.serve(conn)
-	}
-}
-
-// link returns (creating if needed) the redelivery state for a link id.
-func (l *ResilientListener) link(id uint64) *linkRecv {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	lr, ok := l.links[id]
-	if !ok {
-		lr = &linkRecv{}
-		l.links[id] = lr
-	}
-	return lr
-}
-
-// serve reads one connection until it fails: hello frames bind the
-// conn to its link's dedup state, data frames are deduped + delivered +
-// acked, v1 frames pass through.
-func (l *ResilientListener) serve(conn net.Conn) {
-	defer l.wg.Done()
-	defer func() {
-		conn.Close()
-		l.mu.Lock()
-		delete(l.conns, conn)
-		l.mu.Unlock()
-	}()
-	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true) //neptune:discarderr best-effort socket tuning; the link works without TCP_NODELAY
-	}
-	fr := newFrameReader(bufio.NewReaderSize(conn, 256<<10))
-	local := &linkRecv{} // dedup state for v2 senders that skip hello
-	var link *linkRecv
-	var ackHdr [headerV2Size]byte
-	unacked := 0
-	// A failed ack write (peer already gone, e.g. it flushed and closed)
-	// must not abort the read side: frames the peer flushed before
-	// vanishing are still in our buffer and must be delivered. Unacked
-	// frames are simply redelivered on the next connection.
-	ackBroken := false
-	for {
-		f, err := fr.next()
-		if err != nil {
-			// A vanished peer is normal here — the dialer side owns
-			// recovery. Surface only corruption-class errors.
-			if l.opts.TCP.OnError != nil &&
-				!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
-				!errors.Is(err, net.ErrClosed) {
-				l.opts.TCP.OnError(err)
-			}
-			return
-		}
-		if f.version == frameVersion2 {
-			if f.flags&flagHello != 0 {
-				switch len(f.payload) {
-				case 8: // pre-epoch hello: link id only
-					link = l.link(binary.LittleEndian.Uint64(f.payload))
-				case 16: // link id + recovery epoch
-					link = l.link(binary.LittleEndian.Uint64(f.payload))
-					epoch := binary.LittleEndian.Uint64(f.payload[8:])
-					link.mu.Lock()
-					if epoch > link.epoch {
-						link.epoch = epoch
-						link.lastSeen = 0
-					}
-					link.mu.Unlock()
-				}
-				continue
-			}
-			if f.flags&flagAckOnly != 0 {
-				continue
-			}
-			if f.seq > 0 {
-				ls := link
-				if ls == nil {
-					ls = local
-				}
-				ls.mu.Lock()
-				dup := f.seq <= ls.lastSeen
-				if !dup {
-					ls.lastSeen = f.seq
-				}
-				ack := ls.lastSeen
-				ls.mu.Unlock()
-				if dup {
-					l.dups.Add(1)
-					if m := l.opts.Metrics; m != nil {
-						m.Counter("transport.dup_frames_dropped").Inc()
-					}
-					// Re-ack so the sender trims its journal even when
-					// the original ack was lost with the connection.
-					if !ackBroken && !l.writeAck(conn, ackHdr[:], ack) {
-						ackBroken = true
-					}
-					unacked = 0
-					continue
-				}
-				l.handler(Frame{Channel: f.channel, Payload: f.payload})
-				unacked++
-				if unacked >= l.opts.AckEvery {
-					if !ackBroken && !l.writeAck(conn, ackHdr[:], ack) {
-						ackBroken = true
-					}
-					unacked = 0
-				}
-				continue
-			}
-		}
-		// v1 frame (or unsequenced v2): deliver without dedup/ack.
-		l.handler(Frame{Channel: f.channel, Payload: f.payload})
-	}
-}
-
-// writeAck sends an ack-only frame carrying the cumulative receive
-// sequence. Only the serve goroutine writes to the conn.
-func (l *ResilientListener) writeAck(conn net.Conn, hdr []byte, ack uint64) bool {
-	putHeaderV2(hdr[:headerV2Size], 0, nil, flagAckOnly, 0, ack)
-	if _, err := conn.Write(hdr[:headerV2Size]); err != nil {
-		return false
-	}
-	l.acksSent.Add(1)
-	return true
-}
-
-// Close stops accepting and closes every open connection.
-func (l *ResilientListener) Close() error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil
-	}
-	l.closed = true
-	conns := make([]net.Conn, 0, len(l.conns))
-	for c := range l.conns {
-		conns = append(conns, c)
-	}
-	l.mu.Unlock()
-	err := l.ln.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-	l.wg.Wait()
-	return err
-}

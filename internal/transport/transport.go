@@ -14,7 +14,8 @@
 //
 //	magic   uint16  0x4E50 ("NP")
 //	version uint8   1 or 2
-//	flags   uint8   v1: reserved; v2: bit 0 = ack-only, bit 1 = hello
+//	flags   uint8   v1: reserved; v2: bit 0 = ack-only, bit 1 = hello,
+//	                bit 2 = control (payload is an internal/control message)
 //	channel uint32  link/stream multiplexing id
 //	length  uint32  payload byte count
 //	crc32   uint32  IEEE CRC — v1: payload only; v2: all other header
@@ -30,6 +31,15 @@
 // receiver can discard redelivered duplicates, and ack lets the sender
 // trim its replay journal. Version-2 endpoints still read version-1
 // frames (they are delivered without dedup or acking).
+//
+// Control frames (flag bit 2) multiplex the unified control plane over
+// the same connection: the payload is an internal/control message
+// (heartbeats, epoch hellos, watermark advertisements, barrier markers)
+// rather than stream data. They are unsequenced, never journaled, and
+// never redelivered — control state is soft and re-advertised, so a
+// frame lost to an outage degrades behavior instead of corrupting it.
+// Both resilient endpoints deliver them to ResilientOptions.ControlHandler;
+// the hello handshake itself is an EpochHello control message.
 package transport
 
 import (
@@ -48,6 +58,9 @@ type Frame struct {
 	Channel uint32
 	// Payload is the serialized (and possibly compressed) packet batch.
 	Payload []byte
+	// ctrl marks an internal control-plane frame: written with
+	// flagControl, unsequenced, and never journaled (set by SendControl).
+	ctrl bool
 }
 
 // Handler consumes inbound frames on the receiver's IO goroutine. The
@@ -111,6 +124,7 @@ const (
 const (
 	flagAckOnly = 1 << 0 // carries only a cumulative ack, no payload
 	flagHello   = 1 << 1 // first frame on a resilient conn: payload = link id
+	flagControl = 1 << 2 // payload is an internal/control message, not data
 )
 
 // Framing errors.

@@ -96,6 +96,10 @@ type (
 	Supervisor = core.Supervisor
 	// RecoveryHealth aggregates a job's crash-recovery counters.
 	RecoveryHealth = core.RecoveryHealth
+	// FlowHealth aggregates a job's flow-control and control-plane
+	// counters (valve closures, watermark advertisements, source holds);
+	// see Job.FlowHealth and Config.FlowSignals.
+	FlowHealth = core.FlowHealth
 	// CheckpointStore persists encoded checkpoint snapshots.
 	CheckpointStore = checkpoint.Store
 )

@@ -33,6 +33,7 @@ echo "== fuzz smoke =="
 go test -run '^$' -fuzz 'FuzzDecodeFrame' -fuzztime 10s ./internal/transport
 go test -run '^$' -fuzz 'FuzzPacketCodecRoundTrip' -fuzztime 10s ./internal/packet
 go test -run '^$' -fuzz 'FuzzDescriptorLoad' -fuzztime 10s ./internal/graph
+go test -run '^$' -fuzz 'FuzzDecodeControl' -fuzztime 10s ./internal/control
 
 echo "== bench smoke =="
 # A fixed 100 iterations per benchmark: catches benches that crash, hang,
