@@ -33,6 +33,7 @@ type Stats struct {
 	CutConns        uint64
 	RefusedDials    uint64
 	Kills           uint64
+	OneWayDrops     uint64
 }
 
 // Injector produces deterministic faults from a seed. All probability
@@ -45,6 +46,7 @@ type Injector struct {
 	partitioned bool
 	conns       map[*Conn]struct{}
 	kills       map[string]func()
+	oneWay      map[[2]string]struct{} // directed {from, to} pairs currently cut
 
 	// Per-write fault probabilities in [0,1], applied by Conn.Write.
 	corruptP float64
@@ -54,11 +56,12 @@ type Injector struct {
 	corruptOnce atomic.Int64 // pending one-shot corruptions
 
 	stats struct {
-		corrupted atomic.Uint64
-		delayed   atomic.Uint64
-		cut       atomic.Uint64
-		refused   atomic.Uint64
-		kills     atomic.Uint64
+		corrupted   atomic.Uint64
+		delayed     atomic.Uint64
+		cut         atomic.Uint64
+		refused     atomic.Uint64
+		kills       atomic.Uint64
+		oneWayDrops atomic.Uint64
 	}
 }
 
@@ -66,9 +69,10 @@ type Injector struct {
 // seed.
 func New(seed int64) *Injector {
 	return &Injector{
-		rng:   rand.New(rand.NewSource(seed)),
-		conns: make(map[*Conn]struct{}),
-		kills: make(map[string]func()),
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[*Conn]struct{}),
+		kills:  make(map[string]func()),
+		oneWay: make(map[[2]string]struct{}),
 	}
 }
 
@@ -141,6 +145,47 @@ func (in *Injector) Partitioned() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.partitioned
+}
+
+// PartitionOneWay cuts the from -> to direction only: messages from
+// "from" toward "to" are dropped while the reverse direction keeps
+// flowing. This is the asymmetric partition that exercises a membership
+// layer's refutation path — the victim still hears it is suspected but
+// its rebuttals (and heartbeats) never arrive. Consult DropOneWay at
+// each send. Purely directional state: no tracked connection is cut.
+func (in *Injector) PartitionOneWay(from, to string) {
+	in.mu.Lock()
+	in.oneWay[[2]string{from, to}] = struct{}{}
+	in.mu.Unlock()
+}
+
+// HealOneWay restores the from -> to direction.
+func (in *Injector) HealOneWay(from, to string) {
+	in.mu.Lock()
+	delete(in.oneWay, [2]string{from, to})
+	in.mu.Unlock()
+}
+
+// PairBlocked reports whether the from -> to direction is currently cut
+// (a pure query: no stats are recorded).
+func (in *Injector) PairBlocked(from, to string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, cut := in.oneWay[[2]string{from, to}]
+	return cut
+}
+
+// DropOneWay is the per-send decision point: it reports whether a
+// message from -> to must be dropped, counting each drop. Senders call
+// it on every control send so a heal takes effect immediately.
+func (in *Injector) DropOneWay(from, to string) bool {
+	in.mu.Lock()
+	_, cut := in.oneWay[[2]string{from, to}]
+	in.mu.Unlock()
+	if cut {
+		in.stats.oneWayDrops.Add(1)
+	}
+	return cut
 }
 
 // CutAll severs every tracked connection without blocking new dials —
@@ -241,6 +286,7 @@ func (in *Injector) Stats() Stats {
 		CutConns:        in.stats.cut.Load(),
 		RefusedDials:    in.stats.refused.Load(),
 		Kills:           in.stats.kills.Load(),
+		OneWayDrops:     in.stats.oneWayDrops.Load(),
 	}
 }
 

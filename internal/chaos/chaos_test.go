@@ -161,3 +161,30 @@ func TestCutAllDoesNotBlockNewDials(t *testing.T) {
 	}
 	c2.Close()
 }
+
+func TestPartitionOneWay(t *testing.T) {
+	inj := New(5)
+	if inj.DropOneWay("a", "b") {
+		t.Fatal("unpartitioned pair dropped")
+	}
+	inj.PartitionOneWay("a", "b")
+	if !inj.PairBlocked("a", "b") {
+		t.Fatal("PairBlocked false after PartitionOneWay")
+	}
+	if inj.PairBlocked("b", "a") {
+		t.Fatal("reverse direction blocked: partition must be asymmetric")
+	}
+	if !inj.DropOneWay("a", "b") || inj.DropOneWay("b", "a") {
+		t.Fatal("DropOneWay disagrees with the directed block")
+	}
+	if got := inj.Stats().OneWayDrops; got != 1 {
+		t.Fatalf("OneWayDrops = %d, want 1 (PairBlocked must not count)", got)
+	}
+	inj.HealOneWay("a", "b")
+	if inj.DropOneWay("a", "b") {
+		t.Fatal("dropped after heal")
+	}
+	if got := inj.Stats().OneWayDrops; got != 1 {
+		t.Fatalf("OneWayDrops moved to %d after heal", got)
+	}
+}

@@ -60,8 +60,24 @@ const (
 	// stop-the-world barrier for checkpoint Epoch. Observability only —
 	// the barrier mechanism itself is unchanged.
 	KindBarrierMarker Kind = 5
+	// KindNodeHello is a cluster join (or re-join) announcement: Origin
+	// is the joining node's ID, Op its advertised address, and Epoch its
+	// incarnation number. A node bootstraps by sending hellos to seed
+	// nodes with capped exponential backoff until the cluster answers
+	// with NodeState dissemination.
+	KindNodeHello Kind = 6
+	// KindNodeState disseminates one membership entry gossip-style:
+	// Origin is the gossiping node, Op packs the subject node's identity
+	// (PackNode), Epoch the subject's incarnation, and Level its
+	// membership state (alive/suspect/down/evicted/left as defined by
+	// internal/membership). TTL bounds relay hops.
+	KindNodeState Kind = 7
+	// KindNodeLeave is a graceful departure: Origin leaves the cluster at
+	// incarnation Epoch. Unlike eviction, a left node may re-join with
+	// the same identity without being fenced.
+	KindNodeLeave Kind = 8
 
-	kindMax = KindBarrierMarker
+	kindMax = KindNodeLeave
 )
 
 // String names the kind for logs and metrics.
@@ -77,6 +93,12 @@ func (k Kind) String() string {
 		return "credit-grant"
 	case KindBarrierMarker:
 		return "barrier-marker"
+	case KindNodeHello:
+		return "node-hello"
+	case KindNodeState:
+		return "node-state"
+	case KindNodeLeave:
+		return "node-leave"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -16,8 +16,28 @@ func sampleMessages() []Message {
 		},
 		{Kind: KindCreditGrant, Origin: "engine-c", Op: "relay", Index: 3, Seq: 43, TTL: 8},
 		{Kind: KindBarrierMarker, Origin: "engine-a", Epoch: 12},
+		{Kind: KindNodeHello, Origin: "node-a", Op: "127.0.0.1:9000", Epoch: 3, Seq: 1, TTL: 4},
+		{Kind: KindNodeState, Origin: "node-a", Op: PackNode("node-b", "127.0.0.1:9001"), Epoch: 5, Level: 2, TTL: 4},
+		{Kind: KindNodeLeave, Origin: "node-b", Epoch: 5},
 		{Kind: KindHeartbeat}, // all-zero fields but a valid kind
 		{Kind: KindCreditGrant, Level: -1, Low: -2, High: -3}, // negative levels survive
+	}
+}
+
+func TestPackUnpackNode(t *testing.T) {
+	cases := []struct{ id, addr string }{
+		{"node-a", "127.0.0.1:9000"},
+		{"n", ""},
+		{"node-b", "host|with|pipes:1"}, // addr may contain the separator
+	}
+	for _, c := range cases {
+		id, addr := UnpackNode(PackNode(c.id, c.addr))
+		if id != c.id || addr != c.addr {
+			t.Fatalf("PackNode(%q,%q) round trip = (%q,%q)", c.id, c.addr, id, addr)
+		}
+	}
+	if id, addr := UnpackNode("bare-id"); id != "bare-id" || addr != "" {
+		t.Fatalf("bare ref = (%q,%q)", id, addr)
 	}
 }
 

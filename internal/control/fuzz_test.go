@@ -34,6 +34,9 @@ func FuzzDecodeControl(f *testing.F) {
 		{Kind: KindWatermarkAdvertise, Origin: "c", Op: "relay", Index: 1, Level: 10, Low: 2, High: 8, TTL: 8},
 		{Kind: KindCreditGrant, Origin: "c", Op: "relay", Index: 1, Seq: 5, TTL: 8},
 		{Kind: KindBarrierMarker, Origin: "a", Epoch: 4},
+		{Kind: KindNodeHello, Origin: "node-a", Op: "127.0.0.1:9000", Epoch: 2, Seq: 1, TTL: 4},
+		{Kind: KindNodeState, Origin: "node-a", Op: PackNode("node-b", "127.0.0.1:9001"), Epoch: 3, Level: 1, TTL: 4},
+		{Kind: KindNodeLeave, Origin: "node-b", Epoch: 3},
 	} {
 		f.Add(fuzzSeed(m))
 	}

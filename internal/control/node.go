@@ -1,0 +1,27 @@
+package control
+
+import "strings"
+
+// nodeRefSep separates a node's ID from its advertised address when both
+// must ride one wire string (NodeState's Op field names a *subject* node,
+// which is not the message Origin). Node IDs therefore must not contain
+// the separator; addresses may (split is on the first occurrence).
+const nodeRefSep = "|"
+
+// PackNode packs a node identity (id, advertised address) into a single
+// string for NodeState's Op field. The pair must fit MaxNameLen or the
+// message will fail to encode.
+func PackNode(id, addr string) string {
+	return id + nodeRefSep + addr
+}
+
+// UnpackNode splits a packed node reference back into (id, addr). A
+// reference without a separator is treated as an ID with no address —
+// the decoder never fails, because a malformed reference only degrades
+// membership metadata, never correctness.
+func UnpackNode(ref string) (id, addr string) {
+	if i := strings.Index(ref, nodeRefSep); i >= 0 {
+		return ref[:i], ref[i+1:]
+	}
+	return ref, ""
+}

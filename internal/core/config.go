@@ -87,6 +87,62 @@ type Config struct {
 	// CreditGrant can stall a source for at most one lease. <= 0 defaults
 	// to 100ms. Ignored unless FlowSignals is set.
 	FlowLease time.Duration
+
+	// Membership enables the cluster-membership layer: per-engine
+	// membership nodes with an adaptive (phi-accrual) failure detector,
+	// join/bootstrap through seed engines, eviction fencing, and
+	// quorum-loss degraded mode. The zero value disables it entirely.
+	Membership MembershipConfig
+}
+
+// Supervisor timing defaults, shared by CheckpointConfig and
+// SupervisorOptions (zero values in either select these).
+const (
+	// DefaultHeartbeat is the liveness beacon period.
+	DefaultHeartbeat = 10 * time.Millisecond
+	// DefaultHeartbeatMisses is how many consecutive missed beats
+	// declare an engine dead.
+	DefaultHeartbeatMisses = 4
+	// DefaultBarrierTimeout bounds checkpoint barriers and recovery
+	// settling.
+	DefaultBarrierTimeout = 5 * time.Second
+)
+
+// MembershipConfig tunes the membership layer (DESIGN §12). A job with
+// Enabled set is automatically supervised: every engine runs a
+// membership node speaking NodeHello/NodeState/NodeLeave over the
+// control plane, heartbeats feed a phi-accrual detector, and the
+// supervisor consults the member map before recovering, fences evicted
+// engines behind a bumped recovery epoch, and holds sources while the
+// cluster lacks quorum.
+type MembershipConfig struct {
+	// Enabled opts the job into membership. All other fields are
+	// ignored while false.
+	Enabled bool
+
+	// Seeds are the engine names dialed during join/bootstrap. Empty
+	// defaults to the job's first engine.
+	Seeds []string
+
+	// SuspectThreshold and EvictThreshold are phi suspicion levels:
+	// alive -> suspect at the first (default 3), suspect -> down at the
+	// second (default 8). Supervised recovery only triggers for members
+	// at or past down.
+	SuspectThreshold float64
+	EvictThreshold   float64
+
+	// EvictAfter is how long a member must stay down before it is
+	// evicted and fenced (default 10x the supervisor heartbeat).
+	EvictAfter time.Duration
+
+	// Quorum is how many reachable members (alive or suspect) the
+	// cluster needs before sources are held in degraded mode. <= 0
+	// selects a majority of the job's engines.
+	Quorum int
+
+	// Seed fixes the membership layer's jitter schedule (beacon phase,
+	// join backoff) for deterministic tests.
+	Seed int64
 }
 
 // CheckpointConfig tunes the crash-recovery subsystem. A job launched with

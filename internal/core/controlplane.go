@@ -36,6 +36,20 @@ type controlSender interface {
 	SendControl(payload []byte) error
 }
 
+// namedLink pairs a control link with the peer engine it reaches, so
+// per-peer policies (the chaos control filter) can act on each send.
+type namedLink struct {
+	peer string
+	l    controlSender
+}
+
+// ControlFilter decides, per control send, whether the from -> to frame
+// must be dropped (true = drop). Chaos injectors plug their asymmetric
+// partitions in here (chaos.Injector.DropOneWay has exactly this
+// shape). Listener broadcasts (peer "*") reach every upstream dialer at
+// once and bypass the filter.
+type ControlFilter func(from, to string) bool
+
 // engineControl is an engine's control-plane endpoint: the local bus,
 // the links toward upstream and downstream peer engines, and the
 // counters that make control traffic observable.
@@ -46,10 +60,14 @@ type engineControl struct {
 	uplinks   map[string]controlSender // toward engines that send data to us
 	downlinks map[string]controlSender // toward engines we send data to
 
+	// filter, when set, is consulted on every per-peer control send.
+	filter atomic.Pointer[ControlFilter]
+
 	remoteIn     *metrics.Counter
 	decodeErrs   *metrics.Counter
 	relayed      *metrics.Counter
 	sendDrops    *metrics.Counter
+	filteredOut  *metrics.Counter
 	advertiseOut *metrics.Counter
 	creditOut    *metrics.Counter
 }
@@ -64,6 +82,7 @@ func (e *Engine) initControl() {
 		decodeErrs:   e.metrics.Counter("control.decode_errors"),
 		relayed:      e.metrics.Counter("control.relayed"),
 		sendDrops:    e.metrics.Counter("control.send_drops"),
+		filteredOut:  e.metrics.Counter("control.filtered"),
 		advertiseOut: e.metrics.Counter("control.advertise_out"),
 		creditOut:    e.metrics.Counter("control.credit_out"),
 	}
@@ -89,24 +108,51 @@ func (e *Engine) registerDownlink(peer string, l controlSender) {
 	e.ctrl.mu.Unlock()
 }
 
-func (e *Engine) uplinkSnapshot() []controlSender {
+func (e *Engine) uplinkSnapshot() []namedLink {
 	e.ctrl.mu.Lock()
 	defer e.ctrl.mu.Unlock()
-	out := make([]controlSender, 0, len(e.ctrl.uplinks))
-	for _, l := range e.ctrl.uplinks {
-		out = append(out, l)
+	out := make([]namedLink, 0, len(e.ctrl.uplinks))
+	for peer, l := range e.ctrl.uplinks {
+		out = append(out, namedLink{peer: peer, l: l})
 	}
 	return out
 }
 
-func (e *Engine) downlinkSnapshot() []controlSender {
+func (e *Engine) downlinkSnapshot() []namedLink {
 	e.ctrl.mu.Lock()
 	defer e.ctrl.mu.Unlock()
-	out := make([]controlSender, 0, len(e.ctrl.downlinks))
-	for _, l := range e.ctrl.downlinks {
-		out = append(out, l)
+	out := make([]namedLink, 0, len(e.ctrl.downlinks))
+	for peer, l := range e.ctrl.downlinks {
+		out = append(out, namedLink{peer: peer, l: l})
 	}
 	return out
+}
+
+// peerLink returns the control link toward the named peer engine, if
+// one is registered in either direction (uplink preferred).
+func (e *Engine) peerLink(peer string) controlSender {
+	e.ctrl.mu.Lock()
+	defer e.ctrl.mu.Unlock()
+	if l, ok := e.ctrl.uplinks[peer]; ok {
+		return l
+	}
+	return e.ctrl.downlinks[peer]
+}
+
+// sendControlLinks best-effort sends one encoded frame on each link,
+// applying the control filter per peer and counting drops. Callers must
+// not hold any engine lock: sends may deliver synchronously in-process.
+func (e *Engine) sendControlLinks(buf []byte, links []namedLink) {
+	drop := e.ctrl.filter.Load()
+	for _, nl := range links {
+		if drop != nil && nl.peer != listenerPeer && (*drop)(e.name, nl.peer) {
+			e.ctrl.filteredOut.Inc()
+			continue
+		}
+		if err := nl.l.SendControl(buf); err != nil {
+			e.ctrl.sendDrops.Inc()
+		}
+	}
 }
 
 // publishUp publishes m on the local bus and best-effort sends it toward
@@ -123,12 +169,19 @@ func (e *Engine) publishDown(m control.Message) {
 	e.publishControl(m, e.downlinkSnapshot())
 }
 
+// publishBoth publishes m on the local bus once and sends it in both
+// directions — membership traffic (heartbeats under membership, gossip)
+// must reach upstream and downstream peers alike.
+func (e *Engine) publishBoth(m control.Message) {
+	e.publishControl(m, append(e.downlinkSnapshot(), e.uplinkSnapshot()...))
+}
+
 // publishControl delivers one control message: local subscribers first
 // (the in-process consumers must see it even when every link is down),
 // then each link, dropping on send failure. A crashed engine is silent —
 // its beacon dying with the "process" is exactly what the supervisor's
 // monitor detects.
-func (e *Engine) publishControl(m control.Message, links []controlSender) {
+func (e *Engine) publishControl(m control.Message, links []namedLink) {
 	if e.closed.Load() {
 		return
 	}
@@ -143,11 +196,7 @@ func (e *Engine) publishControl(m control.Message, links []controlSender) {
 	if err != nil {
 		return
 	}
-	for _, l := range links {
-		if err := l.SendControl(buf); err != nil {
-			e.ctrl.sendDrops.Inc()
-		}
-	}
+	e.sendControlLinks(buf, links)
 }
 
 // deliverRemoteControl is the ControlHandler wired into this engine's
@@ -167,10 +216,27 @@ func (e *Engine) deliverRemoteControl(payload []byte, fromDownstream bool) {
 	}
 	e.ctrl.remoteIn.Inc()
 	e.ctrl.bus.Publish(m)
-	if !fromDownstream || m.TTL == 0 {
+	if m.TTL == 0 {
 		return
 	}
-	if m.Kind != control.KindWatermarkAdvertise && m.Kind != control.KindCreditGrant {
+	// Flow messages relay upstream only (their one meaningful
+	// direction); membership traffic keeps traveling away from its
+	// arrival direction so multi-hop topologies disseminate state
+	// end to end. TTL bounds every relay chain.
+	var onward []namedLink
+	switch m.Kind {
+	case control.KindWatermarkAdvertise, control.KindCreditGrant:
+		if !fromDownstream {
+			return
+		}
+		onward = e.uplinkSnapshot()
+	case control.KindHeartbeat, control.KindNodeHello, control.KindNodeState, control.KindNodeLeave:
+		if fromDownstream {
+			onward = e.uplinkSnapshot()
+		} else {
+			onward = e.downlinkSnapshot()
+		}
+	default:
 		return
 	}
 	m.TTL--
@@ -178,11 +244,7 @@ func (e *Engine) deliverRemoteControl(payload []byte, fromDownstream bool) {
 	if err != nil {
 		return
 	}
-	for _, l := range e.uplinkSnapshot() {
-		if err := l.SendControl(buf); err != nil {
-			e.ctrl.sendDrops.Inc()
-		}
-	}
+	e.sendControlLinks(buf, onward)
 	e.ctrl.relayed.Inc()
 }
 
@@ -212,6 +274,23 @@ func wireControlPeers(from, to *Engine, tr transport.Transport) {
 	}
 	from.registerDownlink(to.Name(), directControlLink{target: to, fromDownstream: false})
 	to.registerUplink(from.Name(), directControlLink{target: from, fromDownstream: true})
+}
+
+// SetControlFilter installs (or clears, with nil) a per-send control
+// filter on every engine of the job: filter(from, to) returning true
+// drops that control frame. Data-path traffic is unaffected. Chaos
+// tests wire an injector's DropOneWay here to build asymmetric
+// partitions of the control plane; the filter must be fast and
+// lock-free toward engine state (it runs on publish and relay paths).
+func (j *Job) SetControlFilter(filter ControlFilter) {
+	for _, e := range j.engines {
+		if filter == nil {
+			e.ctrl.filter.Store(nil)
+		} else {
+			f := filter
+			e.ctrl.filter.Store(&f)
+		}
+	}
 }
 
 // ---- Source-side flow holds ----
@@ -307,21 +386,28 @@ func (fs *flowState) gatedNow(now int64) bool {
 // it, and a refresher re-advertises still-closed gates every lease/3 so
 // holds survive dropped frames.
 func (j *Job) setupFlowSignals() {
-	if !j.cfg.FlowSignals {
+	if !j.cfg.FlowSignals && !j.cfg.Membership.Enabled {
 		return
 	}
-	j.flowStop = make(chan struct{})
-	j.upSources = upstreamSources(j.spec)
+	// Sources get a flowState whenever anything will hold them through
+	// the lease path: §III-B4 advertisements (FlowSignals) or the
+	// membership layer's quorum-loss degraded mode. The valve wiring
+	// below stays exclusive to FlowSignals.
 	j.flowSrcByEngine = make(map[*Engine][]*instance)
 	for _, inst := range j.instances {
 		if inst.source != nil {
 			inst.flow = newFlowState(j.cfg.FlowLease)
 			j.flowSrcByEngine[inst.engine] = append(j.flowSrcByEngine[inst.engine], inst)
 		}
-		if inst.proc != nil && inst.dataset != nil {
+		if inst.proc != nil && inst.dataset != nil && j.cfg.FlowSignals {
 			inst.dataset.SetPressureNotify(j.flowNotify(inst))
 		}
 	}
+	if !j.cfg.FlowSignals {
+		return
+	}
+	j.flowStop = make(chan struct{})
+	j.upSources = upstreamSources(j.spec)
 	for e, srcs := range j.flowSrcByEngine {
 		srcs := srcs
 		cancel := e.bus().Subscribe(func(m control.Message) {

@@ -561,14 +561,18 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 		})
 	}
 	j.launched = true
-	if j.cfg.Checkpoint.Enabled() {
+	// Checkpointing and membership both require a running supervisor;
+	// replay logs are only armed when checkpointing asks for them — a
+	// membership-only job gets liveness, fencing, and quorum handling
+	// without the recovery machinery's memory cost.
+	if j.cfg.Checkpoint.Enabled() || j.cfg.Membership.Enabled {
 		if _, err := j.Supervise(SupervisorOptions{
 			Interval:       j.cfg.Checkpoint.Interval,
 			Store:          j.cfg.Checkpoint.Store,
 			Heartbeat:      j.cfg.Checkpoint.Heartbeat,
 			Misses:         j.cfg.Checkpoint.Misses,
 			BarrierTimeout: j.cfg.Checkpoint.BarrierTimeout,
-			Replay:         true,
+			Replay:         j.cfg.Checkpoint.Enabled(),
 		}); err != nil {
 			return err
 		}

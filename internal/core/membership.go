@@ -1,0 +1,330 @@
+// Membership wiring: when Config.Membership is enabled, every engine of
+// a supervised job runs a membership.Node speaking NodeHello / NodeState
+// / NodeLeave over the same control plane the supervisor's heartbeats
+// ride. The supervisor consults the resulting member map before tearing
+// an engine down (partition-tolerant supervision), fences evicted
+// engines behind a bumped recovery epoch, and holds every stream source
+// through the flow-signal lease path while the cluster lacks quorum —
+// degraded mode trades latency for correctness exactly like §III-B4
+// backpressure does (DESIGN §12).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/membership"
+)
+
+// membershipTTL bounds how many engine hops membership traffic
+// (heartbeats under membership, gossip, hellos) is relayed, so multi-hop
+// control topologies disseminate cluster state end to end.
+const membershipTTL = 4
+
+// engineLinks adapts one engine's control-plane links to the
+// membership.Transport contract. Broadcast reaches every peer the engine
+// has a control link toward (up- and downstream, deduplicated); Dial
+// resolves a seed name to the link toward that engine. A crashed engine
+// broadcasts to nobody — its membership node goes silent with the
+// "process", which is exactly what peers' detectors must observe.
+type engineLinks struct {
+	e *Engine
+}
+
+func (el engineLinks) Broadcast(payload []byte) int {
+	e := el.e
+	if e.closed.Load() {
+		return 0
+	}
+	links := append(e.downlinkSnapshot(), e.uplinkSnapshot()...)
+	seen := make(map[string]bool, len(links))
+	out := links[:0]
+	for _, nl := range links {
+		if seen[nl.peer] {
+			continue
+		}
+		seen[nl.peer] = true
+		out = append(out, nl)
+	}
+	e.sendControlLinks(payload, out)
+	return len(out)
+}
+
+func (el engineLinks) Dial(addr string) (membership.Link, error) {
+	e := el.e
+	if e.closed.Load() {
+		return nil, fmt.Errorf("core: membership: engine %s is down", e.name)
+	}
+	peer := addr
+	l := e.peerLink(peer)
+	if l == nil {
+		// A resilient listener registers its broadcast uplink under "*",
+		// not under each dialer's name; a hello sent there still reaches
+		// the seed (and every other upstream dialer — harmless, hellos
+		// are idempotent).
+		peer = listenerPeer
+		l = e.peerLink(peer)
+	}
+	if l == nil {
+		return nil, fmt.Errorf("core: membership: no control link toward %q", addr)
+	}
+	return filteredLink{e: e, peer: peer, l: l}, nil
+}
+
+// filteredLink applies the engine's control filter per send, so chaos
+// partitions cut bootstrap hellos exactly like every other control frame
+// (a dropped hello is retried by the join backoff loop).
+type filteredLink struct {
+	e    *Engine
+	peer string
+	l    controlSender
+}
+
+func (f filteredLink) SendControl(payload []byte) error {
+	if drop := f.e.ctrl.filter.Load(); drop != nil && f.peer != listenerPeer && (*drop)(f.e.name, f.peer) {
+		f.e.ctrl.filteredOut.Inc()
+		return nil // dropped on the floor, as a partition would
+	}
+	return f.l.SendControl(payload)
+}
+
+// setupMembership builds and starts one membership node per engine
+// (Supervise, before the beaters launch so they observe s.nodes). The
+// first engine (or the configured seeds) anchors bootstrap; every node
+// subscribes to its engine's bus, so frames arriving over any control
+// link — direct, resilient, or relayed — feed its detector and map.
+func (s *Supervisor) setupMembership() {
+	cfg := s.j.cfg.Membership
+	hb := s.opts.Heartbeat
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []string{s.j.engines[0].Name()}
+	}
+	s.nodes = make([]*membership.Node, len(s.j.engines))
+	s.memberPrev = make(map[string]membership.State, len(s.j.engines))
+	for i, e := range s.j.engines {
+		mySeeds := make([]string, 0, len(seeds))
+		for _, seed := range seeds {
+			if seed != e.Name() {
+				mySeeds = append(mySeeds, seed)
+			}
+		}
+		n := membership.NewNode(engineLinks{e: e}, membership.Options{
+			ID:                e.Name(),
+			Addr:              e.Name(),
+			Seeds:             mySeeds,
+			HeartbeatInterval: hb,
+			// The supervisor's beater is this identity's beacon; the node
+			// beaconing too would double the detector's arrival rate.
+			Beacon:           false,
+			SuspectThreshold: cfg.SuspectThreshold,
+			EvictThreshold:   cfg.EvictThreshold,
+			EvictAfter:       cfg.EvictAfter,
+			TTL:              membershipTTL,
+			Seed:             cfg.Seed + int64(i)*7919 + 1,
+			Detector: membership.DetectorOptions{
+				// Before a node has real samples, assume peers beat a few
+				// periods apart: bootstrap staggering must not look like
+				// failure.
+				InitialInterval: 8 * hb,
+			},
+		})
+		s.nodes[i] = n
+		cancel := e.bus().Subscribe(n.Deliver,
+			control.KindHeartbeat, control.KindNodeHello,
+			control.KindNodeState, control.KindNodeLeave)
+		s.cancels = append(s.cancels, cancel)
+	}
+	for _, n := range s.nodes {
+		n.Start()
+	}
+}
+
+// nodeFor returns the membership node of the named engine (nil when
+// membership is off or the name is unknown).
+func (s *Supervisor) nodeFor(name string) *membership.Node {
+	for i, e := range s.j.engines {
+		if e.Name() == name && s.nodes != nil {
+			return s.nodes[i]
+		}
+	}
+	return nil
+}
+
+// membershipWitness picks the node whose view the supervisor trusts this
+// tick: the first engine still running. Soft state — any live witness
+// converges to the same map through gossip.
+func (s *Supervisor) membershipWitness() *membership.Node {
+	for i, e := range s.j.engines {
+		if !e.closed.Load() {
+			return s.nodes[i]
+		}
+	}
+	return nil
+}
+
+// membershipVeto reports whether supervised recovery of dead must wait:
+// true while a live witness still rates the engine better than down. No
+// witness (or membership off) means no veto — plain missed-beat
+// detection proceeds.
+func (s *Supervisor) membershipVeto(dead *Engine) bool {
+	if s.nodes == nil {
+		return false
+	}
+	var witness *membership.Node
+	for i, e := range s.j.engines {
+		if e != dead && !e.closed.Load() {
+			witness = s.nodes[i]
+			break
+		}
+	}
+	if witness == nil {
+		return false
+	}
+	mem, known := witness.Member(dead.Name())
+	if !known {
+		return false
+	}
+	return mem.State < membership.StateDown
+}
+
+// membershipTick runs once per monitor tick: diff the witness's member
+// map against the last one to fence fresh evictions behind a bumped
+// recovery epoch, then enforce quorum — below it, every source is held
+// through the flow lease path (renewed each tick; the lease expiring is
+// the partition-tolerant backstop if this supervisor itself dies), and
+// the first tick back above quorum releases them.
+func (s *Supervisor) membershipTick() {
+	if s.nodes == nil {
+		return
+	}
+	witness := s.membershipWitness()
+	if witness == nil {
+		return
+	}
+	j := s.j
+	snap := witness.Snapshot()
+	reachable := 0
+	for _, mem := range snap {
+		if mem.State <= membership.StateSuspect {
+			reachable++
+		}
+		if mem.State == membership.StateEvicted && s.memberPrev[mem.ID] != membership.StateEvicted {
+			// Fence: bump the recovery epoch so anything the evicted
+			// incarnation still holds (links, replayed frames) is stale
+			// on arrival. Its next hello must carry a higher incarnation.
+			s.linkEpoch.Add(1)
+			j.engines[0].metrics.Counter("membership.evictions").Inc()
+			j.engines[0].metrics.Counter("membership.fence_epochs").Inc()
+		}
+		s.memberPrev[mem.ID] = mem.State
+	}
+	quorum := j.cfg.Membership.Quorum
+	if quorum <= 0 {
+		quorum = len(j.engines)/2 + 1
+	}
+	if reachable >= quorum {
+		s.formed.Store(true)
+	}
+	// Quorum is enforced only once it has been reached: a cluster still
+	// bootstrapping has not *lost* anything, and holding its sources
+	// would turn slow startups into stalls.
+	degraded := s.formed.Load() && reachable < quorum
+	was := s.degraded.Swap(degraded)
+	if degraded != was {
+		j.engines[0].metrics.Counter("membership.degraded_transitions").Inc()
+	}
+	if !degraded && !was {
+		return
+	}
+	// Holds ride the same soft-state machinery as §III-B4 advertisements:
+	// a synthetic key no real operator can collide with, a fresh sequence
+	// per transition/renewal, and the receiving side's lease as expiry.
+	m := control.Message{
+		Kind:   control.KindCreditGrant,
+		Origin: "!membership",
+		Op:     "!quorum",
+		Seq:    s.holdSeq.Add(1),
+	}
+	if degraded {
+		m.Kind = control.KindWatermarkAdvertise
+	}
+	now := time.Now().UnixNano()
+	for _, insts := range j.flowSrcByEngine {
+		for _, inst := range insts {
+			if inst.flow != nil {
+				inst.flow.apply(m, now)
+			}
+		}
+	}
+}
+
+// MembershipHealth aggregates a job's cluster-membership state: the
+// trusted witness's member map, quorum standing, and the fencing /
+// refutation counters summed over every node.
+type MembershipHealth struct {
+	Enabled   bool
+	Members   []membership.Member // witness view, ordered by ID
+	Reachable int                 // members alive or merely suspect
+	Quorum    int                 // threshold below which the job degrades
+	Degraded  bool                // sources currently held on quorum loss
+
+	Evictions           uint64 // members evicted (witness-observed transitions)
+	FenceEpochs         uint64 // recovery-epoch bumps fencing evictions
+	DegradedTransitions uint64 // entries into / exits from degraded mode
+
+	Refutations      uint64 // suspicions rebutted by incarnation bumps
+	RejectedJoins    uint64 // stale-incarnation hellos refused
+	FencedHeartbeats uint64 // heartbeats from evicted members ignored
+	SelfEvictions    uint64 // nodes that learned of their eviction and re-joined
+	HellosSent       uint64 // bootstrap hello attempts
+}
+
+// MembershipHealth reports the job's membership snapshot; Enabled is
+// false (and everything zero) when membership is off or the job is not
+// supervised.
+func (j *Job) MembershipHealth() MembershipHealth {
+	var h MembershipHealth
+	s := j.supervisor()
+	if s == nil || s.nodes == nil {
+		return h
+	}
+	h.Enabled = true
+	if witness := s.membershipWitness(); witness != nil {
+		h.Members = witness.Snapshot()
+		for _, mem := range h.Members {
+			if mem.State <= membership.StateSuspect {
+				h.Reachable++
+			}
+		}
+	}
+	h.Quorum = j.cfg.Membership.Quorum
+	if h.Quorum <= 0 {
+		h.Quorum = len(j.engines)/2 + 1
+	}
+	h.Degraded = s.degraded.Load()
+	h.Evictions = j.engines[0].metrics.Counter("membership.evictions").Value()
+	h.FenceEpochs = j.engines[0].metrics.Counter("membership.fence_epochs").Value()
+	h.DegradedTransitions = j.engines[0].metrics.Counter("membership.degraded_transitions").Value()
+	for _, n := range s.nodes {
+		st := n.Stats()
+		h.Refutations += st.Refutations
+		h.RejectedJoins += st.RejectedJoins
+		h.FencedHeartbeats += st.FencedHeartbeats
+		h.SelfEvictions += st.SelfEvictions
+		h.HellosSent += st.HellosSent
+	}
+	return h
+}
+
+// MembershipNode returns the membership node running on the named engine
+// (nil when membership is off). Tests use it to inspect per-node views,
+// incarnations, and stats.
+func (j *Job) MembershipNode(name string) *membership.Node {
+	s := j.supervisor()
+	if s == nil {
+		return nil
+	}
+	return s.nodeFor(name)
+}

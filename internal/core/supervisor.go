@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/control"
 	"repro/internal/granules"
+	"repro/internal/membership"
 	"repro/internal/transport"
 )
 
@@ -69,6 +71,17 @@ type Supervisor struct {
 	closed  atomic.Bool
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
+
+	// Membership layer (Config.Membership, membership.go): one node per
+	// engine, the previous member states the monitor diffed against (for
+	// eviction fencing), the sequence feeding quorum-loss source holds,
+	// and whether the job is currently degraded. nodes is nil when
+	// membership is disabled.
+	nodes      []*membership.Node
+	memberPrev map[string]membership.State
+	holdSeq    atomic.Uint64
+	degraded   atomic.Bool
+	formed     atomic.Bool // quorum reached at least once
 }
 
 // Supervision errors.
@@ -88,13 +101,13 @@ func (j *Job) Supervise(opts SupervisorOptions) (*Supervisor, error) {
 		return nil, ErrNotLaunched
 	}
 	if opts.Heartbeat <= 0 {
-		opts.Heartbeat = 10 * time.Millisecond
+		opts.Heartbeat = DefaultHeartbeat
 	}
 	if opts.Misses <= 0 {
-		opts.Misses = 4
+		opts.Misses = DefaultHeartbeatMisses
 	}
 	if opts.BarrierTimeout <= 0 {
-		opts.BarrierTimeout = 5 * time.Second
+		opts.BarrierTimeout = DefaultBarrierTimeout
 	}
 	if opts.Store == nil {
 		opts.Store = checkpoint.NewMemStore(0)
@@ -139,9 +152,12 @@ func (j *Job) Supervise(opts SupervisorOptions) (*Supervisor, error) {
 		}, control.KindHeartbeat)
 		s.cancels = append(s.cancels, cancel)
 	}
-	for _, e := range j.engines {
+	if j.cfg.Membership.Enabled {
+		s.setupMembership()
+	}
+	for i, e := range j.engines {
 		s.wg.Add(1)
-		go s.beater(e)
+		go s.beater(i, e)
 	}
 	s.wg.Add(1)
 	go s.monitor()
@@ -194,6 +210,9 @@ func (s *Supervisor) shutdown() {
 	}
 	close(s.stopCh)
 	s.wg.Wait()
+	for _, n := range s.nodes {
+		n.Close() // graceful NodeLeave, not a failure peers must detect
+	}
 	for _, cancel := range s.cancels {
 		cancel()
 	}
@@ -209,25 +228,45 @@ func (s *Supervisor) shutdown() {
 // the beacon dies with the "process" — which is what the monitor
 // detects; publishControl re-checks the gate so a beat can never be
 // published for a crashed engine.
-func (s *Supervisor) beater(e *Engine) {
+//
+// Each period is jittered around Heartbeat (±25%, drawn from a per-engine
+// seeded source) so co-started engines never beat in lockstep: an
+// adaptive failure detector fed by lockstep beacons under-estimates
+// arrival variance and turns trigger-happy the moment scheduling noise
+// appears. Under membership, beats carry a relay TTL and travel both
+// directions so every engine's detector hears every peer.
+func (s *Supervisor) beater(idx int, e *Engine) {
 	defer s.wg.Done()
-	t := time.NewTicker(s.opts.Heartbeat)
+	hb := s.opts.Heartbeat
+	rng := rand.New(rand.NewSource(s.j.cfg.Membership.Seed + int64(idx)*7919 + 1))
+	next := func() time.Duration {
+		return hb - hb/4 + time.Duration(rng.Int63n(int64(hb/2)+1))
+	}
+	t := time.NewTimer(next())
 	defer t.Stop()
+	membershipOn := s.nodes != nil
 	var seq uint64
 	for {
 		select {
 		case <-s.stopCh:
 			return
 		case <-t.C:
+			t.Reset(next())
 			if e.closed.Load() {
 				continue // crashed: no beacon until the supervisor revives it
 			}
 			seq++
-			e.publishDown(control.Message{
+			m := control.Message{
 				Kind:  control.KindHeartbeat,
 				Seq:   seq,
 				Nanos: time.Now().UnixNano(),
-			})
+			}
+			if membershipOn {
+				m.TTL = membershipTTL
+				e.publishBoth(m)
+			} else {
+				e.publishDown(m)
+			}
 		}
 	}
 }
@@ -243,6 +282,7 @@ func (s *Supervisor) monitor() {
 		case <-s.stopCh:
 			return
 		case <-t.C:
+			s.membershipTick()
 			now := time.Now().UnixNano()
 			for i, e := range s.j.engines {
 				if now-s.beats[i].Load() <= stale {
@@ -251,6 +291,13 @@ func (s *Supervisor) monitor() {
 				// Missed-beat detection confirmed by the crash gate: a
 				// starved-but-alive engine must not be torn down.
 				if !e.closed.Load() {
+					continue
+				}
+				// Under membership, recovery additionally waits for the
+				// adaptive detector's verdict: a witness that still rates
+				// the engine better than down (heartbeats merely jittered,
+				// suspicion refuted) vetoes the teardown.
+				if s.membershipVeto(e) {
 					continue
 				}
 				if err := s.recoverEngine(e, &s.beats[i]); err != nil {
@@ -538,6 +585,13 @@ func (s *Supervisor) recoverEngine(dead *Engine, beat *atomic.Int64) error {
 			inst.pause()
 			inst.startPump(inst.pumpOnExit)
 		}
+	}
+
+	// 12. Re-introduce the revived engine to the cluster under a bumped
+	// incarnation: peers may have evicted (fenced) the old one, and a
+	// fenced identity is only re-admitted at a higher incarnation.
+	if n := s.nodeFor(deadName); n != nil {
+		n.Rejoin()
 	}
 
 	dead.metrics.Counter("recovery.restarts").Inc()

@@ -1,0 +1,189 @@
+package membership
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DetectorOptions tunes the adaptive failure detector. Zero values
+// select the documented defaults.
+type DetectorOptions struct {
+	// Window is how many inter-arrival samples are kept per peer
+	// (default 64). Suspicion adapts to the most recent Window
+	// heartbeats, so a link that slows down re-trains the detector
+	// instead of permanently tripping it.
+	Window int
+
+	// MinStdDev floors the estimated inter-arrival deviation (default
+	// 2ms). A perfectly regular history would otherwise make the
+	// detector hair-triggered: one slightly late beat on a quiet
+	// in-process link must not read as multiple standard deviations.
+	MinStdDev time.Duration
+
+	// InitialInterval seeds the mean before MinSamples arrivals have
+	// been observed (default 200ms): a freshly admitted peer gets the
+	// benefit of the doubt rather than instant suspicion.
+	InitialInterval time.Duration
+
+	// MinSamples is how many inter-arrival samples must exist before the
+	// measured history replaces InitialInterval (default 3).
+	MinSamples int
+}
+
+func (o *DetectorOptions) normalize() {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.MinStdDev <= 0 {
+		o.MinStdDev = 2 * time.Millisecond
+	}
+	if o.InitialInterval <= 0 {
+		o.InitialInterval = 200 * time.Millisecond
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+}
+
+// maxPhi caps the suspicion score where the tail probability underflows
+// float64: "astronomically certain" is certain enough.
+const maxPhi = 100.0
+
+// Detector is a phi-accrual-style failure detector (Hayashibara et al.,
+// the design Cassandra and Akka use): per peer it keeps a sliding
+// window of heartbeat inter-arrival times and exposes a continuous
+// suspicion level
+//
+//	phi(t) = -log10( P(next arrival later than t) )
+//
+// under a normal model of the observed inter-arrival distribution.
+// phi ≈ 1 means roughly a 10% chance the silence is benign, phi ≈ 3 a
+// 0.1% chance, and so on. Consumers pick thresholds (suspect, evict)
+// instead of deadlines, so a jittery link raises suspicion smoothly and
+// a recovering one lowers it the moment beats resume.
+type Detector struct {
+	opts DetectorOptions
+
+	mu    sync.Mutex
+	peers map[string]*arrivalHistory
+}
+
+type arrivalHistory struct {
+	last      time.Time
+	intervals []time.Duration // ring buffer
+	next      int             // ring cursor
+	count     int             // samples collected (≤ len(intervals))
+	sum       float64         // running sum of interval nanos
+	sumSq     float64         // running sum of squared interval nanos
+}
+
+// NewDetector creates a detector with the given options.
+func NewDetector(opts DetectorOptions) *Detector {
+	opts.normalize()
+	return &Detector{opts: opts, peers: make(map[string]*arrivalHistory)}
+}
+
+// Observe records one liveness arrival (a heartbeat, or equivalent
+// gossip evidence) from peer id at the given time.
+func (d *Detector) Observe(id string, at time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := d.peers[id]
+	if h == nil {
+		h = &arrivalHistory{intervals: make([]time.Duration, d.opts.Window)}
+		d.peers[id] = h
+	}
+	if h.last.IsZero() {
+		h.last = at
+		return
+	}
+	iv := at.Sub(h.last)
+	if iv <= 0 {
+		return // out-of-order or duplicate delivery; keep the newer base
+	}
+	h.last = at
+	if h.count == len(h.intervals) {
+		old := float64(h.intervals[h.next])
+		h.sum -= old
+		h.sumSq -= old * old
+	} else {
+		h.count++
+	}
+	h.intervals[h.next] = iv
+	h.next = (h.next + 1) % len(h.intervals)
+	f := float64(iv)
+	h.sum += f
+	h.sumSq += f * f
+}
+
+// Forget drops the history for id (the member was evicted or left; a
+// re-join starts a fresh history).
+func (d *Detector) Forget(id string) {
+	d.mu.Lock()
+	delete(d.peers, id)
+	d.mu.Unlock()
+}
+
+// Phi returns the current suspicion level for id at time now. An
+// unknown peer (never observed) reports 0 — suspicion requires an
+// expectation, and expectations come from arrivals.
+func (d *Detector) Phi(id string, now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := d.peers[id]
+	if h == nil || h.last.IsZero() {
+		return 0
+	}
+	elapsed := now.Sub(h.last)
+	if elapsed <= 0 {
+		return 0
+	}
+	mean, std := d.statsLocked(h)
+	// P(interval > elapsed) under N(mean, std), via the complementary
+	// error function; floored so phi stays finite.
+	z := (float64(elapsed) - mean) / (std * math.Sqrt2)
+	p := 0.5 * math.Erfc(z)
+	if p < 1e-100 {
+		p = 1e-100
+	}
+	phi := -math.Log10(p)
+	if phi > maxPhi {
+		phi = maxPhi
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	return phi
+}
+
+// statsLocked estimates the inter-arrival mean and deviation, falling
+// back to the configured bootstrap interval while the history is thin.
+func (d *Detector) statsLocked(h *arrivalHistory) (mean, std float64) {
+	if h.count < d.opts.MinSamples {
+		mean = float64(d.opts.InitialInterval)
+		std = mean / 2
+	} else {
+		n := float64(h.count)
+		mean = h.sum / n
+		variance := h.sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		std = math.Sqrt(variance)
+	}
+	if floor := float64(d.opts.MinStdDev); std < floor {
+		std = floor
+	}
+	return mean, std
+}
+
+// LastHeard reports the time of the most recent arrival from id.
+func (d *Detector) LastHeard(id string) (time.Time, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if h := d.peers[id]; h != nil && !h.last.IsZero() {
+		return h.last, true
+	}
+	return time.Time{}, false
+}

@@ -1,0 +1,133 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func at(ms int64) time.Time { return time.Unix(0, ms*int64(time.Millisecond)) }
+
+func TestDetectorUnknownPeerIsNotSuspect(t *testing.T) {
+	d := NewDetector(DetectorOptions{})
+	if phi := d.Phi("ghost", at(1000)); phi != 0 {
+		t.Fatalf("unknown peer phi = %v, want 0", phi)
+	}
+	if _, ok := d.LastHeard("ghost"); ok {
+		t.Fatal("LastHeard for unknown peer reported true")
+	}
+}
+
+func TestDetectorPhiRisesWithSilence(t *testing.T) {
+	d := NewDetector(DetectorOptions{})
+	// Regular 10ms beats for a second.
+	for ms := int64(0); ms <= 1000; ms += 10 {
+		d.Observe("peer", at(ms))
+	}
+	justAfter := d.Phi("peer", at(1005))
+	late := d.Phi("peer", at(1050))
+	veryLate := d.Phi("peer", at(1500))
+	if justAfter > 1 {
+		t.Fatalf("phi right after a beat = %v, want ~0", justAfter)
+	}
+	if late <= justAfter {
+		t.Fatalf("phi did not rise with silence: %v then %v", justAfter, late)
+	}
+	if veryLate < 8 {
+		t.Fatalf("phi after 50x the interval = %v, want >= 8", veryLate)
+	}
+	if d.Phi("peer", at(2500)) > maxPhi {
+		t.Fatal("phi exceeded cap")
+	}
+}
+
+func TestDetectorRecoversWhenBeatsResume(t *testing.T) {
+	d := NewDetector(DetectorOptions{})
+	for ms := int64(0); ms <= 500; ms += 10 {
+		d.Observe("peer", at(ms))
+	}
+	if phi := d.Phi("peer", at(1000)); phi < 8 {
+		t.Fatalf("phi during outage = %v, want high", phi)
+	}
+	d.Observe("peer", at(1000)) // beats resume
+	if phi := d.Phi("peer", at(1005)); phi > 1 {
+		t.Fatalf("phi after resume = %v, want low again", phi)
+	}
+}
+
+func TestDetectorAdaptsToSlowerCadence(t *testing.T) {
+	fast := NewDetector(DetectorOptions{})
+	slow := NewDetector(DetectorOptions{})
+	for ms := int64(0); ms <= 2000; ms += 10 {
+		fast.Observe("p", at(ms))
+	}
+	for ms := int64(0); ms <= 2000; ms += 100 {
+		slow.Observe("p", at(ms))
+	}
+	// 60ms of silence: many intervals for the fast cadence, benign for
+	// the slow one. The detector must judge relative to history.
+	fp := fast.Phi("p", at(2060))
+	sp := slow.Phi("p", at(2060))
+	if fp <= sp {
+		t.Fatalf("fast-cadence phi %v not above slow-cadence phi %v", fp, sp)
+	}
+	if sp > 1 {
+		t.Fatalf("slow-cadence phi after one interval-equivalent = %v, want low", sp)
+	}
+}
+
+func TestDetectorBootstrapUsesInitialInterval(t *testing.T) {
+	d := NewDetector(DetectorOptions{InitialInterval: 100 * time.Millisecond})
+	d.Observe("p", at(0)) // one arrival: no intervals yet
+	if phi := d.Phi("p", at(50)); phi > 1 {
+		t.Fatalf("phi at half the bootstrap interval = %v, want low", phi)
+	}
+	if phi := d.Phi("p", at(2000)); phi < 3 {
+		t.Fatalf("phi at 20x the bootstrap interval = %v, want suspicious", phi)
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	d := NewDetector(DetectorOptions{})
+	for ms := int64(0); ms <= 200; ms += 10 {
+		d.Observe("p", at(ms))
+	}
+	d.Forget("p")
+	if phi := d.Phi("p", at(5000)); phi != 0 {
+		t.Fatalf("phi after Forget = %v, want 0", phi)
+	}
+}
+
+// TestDetectorFalsePositiveBound is the false-positive guarantee from
+// ISSUE 6: with heartbeats jittered up to 2x their nominal interval (no
+// real failure anywhere), no peer may cross the eviction threshold over
+// a 10-second simulated run. Fully deterministic: synthetic clock,
+// seeded jitter.
+func TestDetectorFalsePositiveBound(t *testing.T) {
+	const (
+		hb             = 10 * time.Millisecond
+		run            = 10 * time.Second
+		evictThreshold = 8.0
+	)
+	rng := rand.New(rand.NewSource(61))
+	d := NewDetector(DetectorOptions{})
+	now := time.Unix(0, 0)
+	end := now.Add(run)
+	maxSeen := 0.0
+	d.Observe("p", now)
+	for now.Before(end) {
+		// Next beat lands between 0.5x and 2x the nominal interval.
+		iv := time.Duration(float64(hb) * (0.5 + 1.5*rng.Float64()))
+		next := now.Add(iv)
+		// Suspicion peaks just before the late beat arrives.
+		if phi := d.Phi("p", next); phi > maxSeen {
+			maxSeen = phi
+		}
+		d.Observe("p", next)
+		now = next
+	}
+	if maxSeen >= evictThreshold {
+		t.Fatalf("jittered-but-healthy peer peaked at phi %.2f, eviction threshold is %v", maxSeen, evictThreshold)
+	}
+	t.Logf("peak phi under 2x jitter over %v: %.2f", run, maxSeen)
+}

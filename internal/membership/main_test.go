@@ -1,0 +1,9 @@
+package membership
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

@@ -1,0 +1,117 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMapPrecedence(t *testing.T) {
+	m := NewMap()
+	now := at(0)
+	if !m.Apply("n", "a:1", StateAlive, 1, now) {
+		t.Fatal("insert of unknown member did not apply")
+	}
+
+	// Equal incarnation: worse states win, better states lose.
+	if !m.Apply("n", "", StateSuspect, 1, at(10)) {
+		t.Fatal("suspect at equal incarnation did not supersede alive")
+	}
+	if m.Apply("n", "", StateAlive, 1, at(20)) {
+		t.Fatal("alive at equal incarnation superseded suspect")
+	}
+	if !m.Apply("n", "", StateDown, 1, at(30)) {
+		t.Fatal("down at equal incarnation did not supersede suspect")
+	}
+
+	// Higher incarnation always wins: the refutation path.
+	if !m.Apply("n", "", StateAlive, 2, at(40)) {
+		t.Fatal("alive at higher incarnation did not supersede down")
+	}
+	// Stale lower incarnation never wins, even with a worse state.
+	if m.Apply("n", "", StateEvicted, 1, at(50)) {
+		t.Fatal("evicted at stale incarnation superseded alive@2")
+	}
+	mem, _ := m.Get("n")
+	if mem.State != StateAlive || mem.Incarnation != 2 {
+		t.Fatalf("final entry = %v@%d, want alive@2", mem.State, mem.Incarnation)
+	}
+	if mem.Addr != "a:1" {
+		t.Fatalf("addr lost across updates: %q", mem.Addr)
+	}
+}
+
+func TestMapTransitionStamps(t *testing.T) {
+	m := NewMap()
+	m.Apply("n", "", StateAlive, 1, at(1))
+	m.Apply("n", "", StateSuspect, 1, at(2))
+	m.Apply("n", "", StateDown, 1, at(3))
+	m.Apply("n", "", StateEvicted, 1, at(4))
+	mem, _ := m.Get("n")
+	if mem.AliveAt != at(1) || mem.SuspectAt != at(2) || mem.DownAt != at(3) || mem.EvictedAt != at(4) {
+		t.Fatalf("stamps = %v %v %v %v", mem.AliveAt, mem.SuspectAt, mem.DownAt, mem.EvictedAt)
+	}
+	if !(mem.SuspectAt.Before(mem.DownAt) && mem.DownAt.Before(mem.EvictedAt)) {
+		t.Fatal("stamps not ordered suspect < down < evicted")
+	}
+}
+
+func TestMapRestoreAlive(t *testing.T) {
+	m := NewMap()
+	m.Apply("n", "", StateAlive, 3, at(0))
+	m.Apply("n", "", StateSuspect, 3, at(10))
+	m.restoreAlive("n", at(20))
+	mem, _ := m.Get("n")
+	if mem.State != StateAlive || mem.Incarnation != 3 {
+		t.Fatalf("after restore: %v@%d, want alive@3", mem.State, mem.Incarnation)
+	}
+	if mem.AliveAt != at(20) {
+		t.Fatalf("restore did not stamp AliveAt: %v", mem.AliveAt)
+	}
+	// Evicted members are fenced; direct evidence must not unfence them.
+	m.Apply("n", "", StateEvicted, 3, at(30))
+	m.restoreAlive("n", at(40))
+	if mem, _ := m.Get("n"); mem.State != StateEvicted {
+		t.Fatalf("restoreAlive unfenced an evicted member: %v", mem.State)
+	}
+}
+
+func TestMapReachableAndSnapshot(t *testing.T) {
+	m := NewMap()
+	m.Apply("c", "", StateAlive, 1, at(0))
+	m.Apply("a", "", StateSuspect, 1, at(0))
+	m.Apply("d", "", StateDown, 1, at(0))
+	m.Apply("b", "", StateEvicted, 1, at(0))
+	m.Apply("e", "", StateLeft, 1, at(0))
+	if got := m.Reachable(); got != 2 {
+		t.Fatalf("Reachable = %d, want 2 (alive + suspect)", got)
+	}
+	if got := m.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	snap := m.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].ID >= snap[i].ID {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].ID, snap[i].ID)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st := StateAlive; st <= StateLeft; st++ {
+		if s := st.String(); s == "state(?)" {
+			t.Fatalf("state %d has no name", st)
+		}
+	}
+	if State(99).String() != "state(?)" {
+		t.Fatal("unknown state must stringify as state(?)")
+	}
+}
+
+func TestMapResetDropsEverything(t *testing.T) {
+	m := NewMap()
+	m.Apply("a", "", StateAlive, 1, time.Unix(0, 0))
+	m.reset()
+	if m.Len() != 0 {
+		t.Fatal("reset left members behind")
+	}
+}

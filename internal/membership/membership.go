@@ -1,0 +1,236 @@
+// Package membership is NEPTUNE's cluster robustness layer: it answers
+// "which engines exist, which of them are alive, and what may I safely
+// do when I cannot tell" for a set of nodes connected by unreliable
+// links.
+//
+// Three pieces compose (DESIGN §12):
+//
+//   - a join/bootstrap protocol: a node dials one or more seed nodes
+//     with capped exponential backoff plus seeded jitter, announces its
+//     identity (ID, incarnation, advertised address) as a NodeHello
+//     control message, and learns the current member map from the
+//     NodeState gossip the cluster answers with;
+//   - an adaptive failure detector (Detector): a phi-accrual-style
+//     suspicion score computed from each peer's observed heartbeat
+//     inter-arrival history, so a slow or jittery link raises suspicion
+//     gradually instead of flapping a fixed deadline;
+//   - a per-node member map (Map) with SWIM-style incarnation
+//     precedence: states only worsen at equal incarnation
+//     (alive < suspect < down < evicted), and only the subject node can
+//     refute suspicion, by re-announcing itself at a bumped
+//     incarnation. An evicted node is fenced: its heartbeats and
+//     re-join attempts at the stale incarnation are rejected until it
+//     re-joins with a higher one.
+//
+// The package is transport-agnostic: a Node speaks through the two
+// small interfaces below, carrying internal/control messages
+// (NodeHello/NodeState/NodeLeave plus the existing Heartbeat kind), so
+// the same state machine runs over the in-process control bus, TCP
+// control frames, or an in-memory test fabric. All randomness (backoff
+// jitter, beacon jitter) comes from one seeded source and all time from
+// an injectable clock, so tests replay the exact same schedule.
+package membership
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a member's lifecycle state. Order matters: at equal
+// incarnation a numerically larger (worse) state always wins, which is
+// what makes gossip convergent — see Map.Apply.
+type State uint8
+
+const (
+	// StateAlive: heartbeats (or gossiped alive evidence) are arriving.
+	StateAlive State = iota
+	// StateSuspect: the detector's suspicion crossed the suspect
+	// threshold. The member may rebut by bumping its incarnation.
+	StateSuspect
+	// StateDown: suspicion crossed the eviction threshold. Supervised
+	// recovery may now act on the member.
+	StateDown
+	// StateEvicted: the member stayed down past the eviction dwell. It
+	// is fenced — heartbeats and joins at its stale incarnation are
+	// rejected until it re-joins with a higher incarnation.
+	StateEvicted
+	// StateLeft: the member departed gracefully (NodeLeave). Not a
+	// failure; the node may re-join with the same identity unfenced.
+	StateLeft
+)
+
+// String names the state for logs and tests.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateEvicted:
+		return "evicted"
+	case StateLeft:
+		return "left"
+	default:
+		return "state(?)"
+	}
+}
+
+// Member is one entry of a node's member map.
+type Member struct {
+	ID          string
+	Addr        string
+	Incarnation uint64
+	State       State
+
+	// Phi is the detector's suspicion level at the last tick (0 for the
+	// local node and for members already evicted or left).
+	Phi float64
+
+	// Transition stamps, for observability and test assertions. Each
+	// records the most recent entry into that state (zero if never).
+	AliveAt   time.Time
+	SuspectAt time.Time
+	DownAt    time.Time
+	EvictedAt time.Time
+}
+
+// Map is a node's view of the cluster: a mutex-protected member table
+// with SWIM-style precedence. It is a passive data structure — the Node
+// drives it from heartbeats, gossip, and detector ticks.
+type Map struct {
+	mu      sync.Mutex
+	members map[string]*Member
+}
+
+// NewMap returns an empty member map.
+func NewMap() *Map {
+	return &Map{members: make(map[string]*Member)}
+}
+
+// supersedes reports whether an update (st, inc) overrides the current
+// entry (cur): a higher incarnation always wins (that is the refutation
+// and re-join path), and at equal incarnation only a worse state wins.
+func supersedes(cur *Member, st State, inc uint64) bool {
+	if inc != cur.Incarnation {
+		return inc > cur.Incarnation
+	}
+	return st > cur.State
+}
+
+// Apply ingests one membership claim about node id: from gossip, a
+// hello, a leave, or the local detector. It reports whether the entry
+// changed. Unknown members are inserted as claimed.
+func (m *Map) Apply(id, addr string, st State, inc uint64, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.members[id]
+	if cur == nil {
+		cur = &Member{ID: id}
+		m.members[id] = cur
+	} else if !supersedes(cur, st, inc) {
+		if addr != "" && cur.Addr == "" {
+			cur.Addr = addr
+		}
+		return false
+	}
+	if addr != "" {
+		cur.Addr = addr
+	}
+	cur.Incarnation = inc
+	if cur.State != st || cur.AliveAt.IsZero() {
+		switch st {
+		case StateAlive:
+			cur.AliveAt = now
+		case StateSuspect:
+			cur.SuspectAt = now
+		case StateDown:
+			cur.DownAt = now
+		case StateEvicted:
+			cur.EvictedAt = now
+		}
+	}
+	cur.State = st
+	return true
+}
+
+// Get returns a copy of the entry for id.
+func (m *Map) Get(id string) (Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.members[id]; ok {
+		return *cur, true
+	}
+	return Member{}, false
+}
+
+// setPhi records the detector's current suspicion for observability.
+func (m *Map) setPhi(id string, phi float64) {
+	m.mu.Lock()
+	if cur, ok := m.members[id]; ok {
+		cur.Phi = phi
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of every entry, ordered by ID.
+func (m *Map) Snapshot() []Member {
+	m.mu.Lock()
+	out := make([]Member, 0, len(m.members))
+	for _, cur := range m.members {
+		out = append(out, *cur)
+	}
+	m.mu.Unlock()
+	// Insertion sort by ID — maps are small and determinism matters.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k-1].ID > out[k].ID; k-- {
+			out[k-1], out[k] = out[k], out[k-1]
+		}
+	}
+	return out
+}
+
+// Len reports the number of known members (any state).
+func (m *Map) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.members)
+}
+
+// Reachable counts members whose state still counts toward quorum:
+// alive or merely suspect. Down, evicted, and left members are
+// unreachable.
+func (m *Map) Reachable() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, cur := range m.members {
+		if cur.State <= StateSuspect {
+			n++
+		}
+	}
+	return n
+}
+
+// restoreAlive returns a suspected or down member to alive at its
+// current incarnation. This is a local-evidence override used when the
+// member's own heartbeats resume: gossip cannot lower a state at equal
+// incarnation (only the subject's refutation can), but direct arrivals
+// are stronger evidence than any third-party claim.
+func (m *Map) restoreAlive(id string, now time.Time) {
+	m.mu.Lock()
+	if cur, ok := m.members[id]; ok && (cur.State == StateSuspect || cur.State == StateDown) {
+		cur.State = StateAlive
+		cur.AliveAt = now
+	}
+	m.mu.Unlock()
+}
+
+// reset drops every entry (used when a fenced node re-joins and must
+// re-sync its view from the cluster).
+func (m *Map) reset() {
+	m.mu.Lock()
+	m.members = make(map[string]*Member)
+	m.mu.Unlock()
+}

@@ -1,0 +1,587 @@
+package membership
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/control"
+)
+
+// Link is one best-effort control channel toward a peer (a resilient
+// transport endpoint, an in-process control link, or a test fabric
+// edge). Sends may fail or silently drop; membership state is soft and
+// re-advertised.
+type Link interface {
+	SendControl(payload []byte) error
+}
+
+// Transport is how a node reaches its cluster: Broadcast best-effort
+// sends an encoded control frame on every currently-wired peer link
+// (returning how many links were attempted), and Dial opens (or
+// returns) a link toward a seed address for bootstrap.
+type Transport interface {
+	Broadcast(payload []byte) int
+	Dial(addr string) (Link, error)
+}
+
+// Options configures a Node. Zero values select the documented
+// defaults.
+type Options struct {
+	// ID is the node's cluster-wide identity (an engine name). It must
+	// not contain the control.PackNode separator.
+	ID string
+	// Addr is the address the node advertises for others to dial.
+	Addr string
+	// Seeds are the addresses dialed during bootstrap. A node with no
+	// seeds considers itself joined (it *is* the cluster).
+	Seeds []string
+	// Incarnation seeds the node's incarnation number (0 selects 1). A
+	// node refutes suspicion, and re-joins after eviction, by bumping
+	// it.
+	Incarnation uint64
+
+	// HeartbeatInterval is the expected peer beacon period and, when
+	// Beacon is set, the node's own beacon period (default 10ms).
+	HeartbeatInterval time.Duration
+	// Beacon makes the node publish its own Heartbeat messages. Leave
+	// false when another layer (the core supervisor's beater) already
+	// beacons for this identity.
+	Beacon bool
+	// GossipInterval is the period of full-state NodeState
+	// dissemination (default 4x HeartbeatInterval).
+	GossipInterval time.Duration
+
+	// SuspectThreshold and EvictThreshold are phi levels (default 3 and
+	// 8): alive -> suspect at the first, suspect -> down at the second.
+	SuspectThreshold float64
+	EvictThreshold   float64
+	// EvictAfter is how long a member must stay down before it is
+	// evicted and fenced (default 10x HeartbeatInterval).
+	EvictAfter time.Duration
+
+	// JoinBackoffBase and JoinBackoffMax bound the capped exponential
+	// backoff between bootstrap rounds (defaults 10ms and 500ms); each
+	// wait adds jitter drawn from the seeded source.
+	JoinBackoffBase time.Duration
+	JoinBackoffMax  time.Duration
+
+	// TTL is the relay budget stamped on outgoing membership messages
+	// so multi-hop control topologies disseminate them (default 4).
+	TTL uint8
+
+	// Seed fixes the jitter schedule (backoff, beacon, gossip phases).
+	Seed int64
+	// Now is the clock (default time.Now). Tests inject a fake.
+	Now func() time.Time
+
+	// Detector tunes the phi-accrual failure detector.
+	Detector DetectorOptions
+}
+
+func (o *Options) normalize() {
+	if o.Incarnation == 0 {
+		o.Incarnation = 1
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if o.GossipInterval <= 0 {
+		o.GossipInterval = 4 * o.HeartbeatInterval
+	}
+	if o.SuspectThreshold <= 0 {
+		o.SuspectThreshold = 3
+	}
+	if o.EvictThreshold <= 0 {
+		o.EvictThreshold = 8
+	}
+	if o.EvictAfter <= 0 {
+		o.EvictAfter = 10 * o.HeartbeatInterval
+	}
+	if o.JoinBackoffBase <= 0 {
+		o.JoinBackoffBase = 10 * time.Millisecond
+	}
+	if o.JoinBackoffMax <= 0 {
+		o.JoinBackoffMax = 500 * time.Millisecond
+	}
+	if o.JoinBackoffMax < o.JoinBackoffBase {
+		o.JoinBackoffMax = o.JoinBackoffBase
+	}
+	if o.TTL == 0 {
+		o.TTL = 4
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// Stats counts a node's membership events.
+type Stats struct {
+	HellosSent       uint64 // bootstrap NodeHello attempts
+	GossipRounds     uint64 // full-state dissemination rounds
+	Refutations      uint64 // suspicion about self rebutted by bumping incarnation
+	RejectedJoins    uint64 // fenced: hellos at a stale incarnation refused
+	FencedHeartbeats uint64 // heartbeats from evicted members ignored
+	SelfEvictions    uint64 // times this node learned it was evicted and re-joined
+}
+
+// Node is one cluster participant: it bootstraps through seed nodes,
+// observes peer liveness through the Detector, maintains a Map of the
+// cluster, disseminates it via gossip, refutes suspicion about itself,
+// and fences evicted members. Drive it either with Start/Close (its own
+// ticker goroutine) or deterministically with explicit Tick calls.
+type Node struct {
+	opts Options
+	tr   Transport
+	det  *Detector
+	view *Map
+
+	// mu guards the incarnation, join schedule, and rng. Never held
+	// across a send: outgoing frames are collected under mu and sent
+	// after release, so synchronous transports cannot deadlock two
+	// nodes against each other.
+	mu          sync.Mutex
+	inc         uint64
+	joined      bool
+	rng         *rand.Rand
+	nextBeat    time.Time
+	nextGossip  time.Time
+	nextJoin    time.Time
+	joinBackoff time.Duration
+	seq         uint64
+
+	stats struct {
+		hellos, gossip, refutes, rejects, fenced, selfEvict atomic.Uint64
+	}
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	closed  atomic.Bool
+}
+
+// NewNode creates a node speaking over tr. It does not start any
+// goroutine; call Start, or drive Tick directly.
+func NewNode(tr Transport, opts Options) *Node {
+	opts.normalize()
+	n := &Node{
+		opts:        opts,
+		tr:          tr,
+		det:         NewDetector(opts.Detector),
+		view:        NewMap(),
+		inc:         opts.Incarnation,
+		joined:      len(opts.Seeds) == 0,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		joinBackoff: opts.JoinBackoffBase,
+		stopCh:      make(chan struct{}),
+	}
+	n.view.Apply(opts.ID, opts.Addr, StateAlive, n.inc, opts.Now())
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() string { return n.opts.ID }
+
+// Incarnation returns the node's current incarnation number.
+func (n *Node) Incarnation() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inc
+}
+
+// Joined reports whether bootstrap completed: the node has learned
+// cluster state from a remote member (or had no seeds to learn from).
+func (n *Node) Joined() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.joined
+}
+
+// View returns the node's member map.
+func (n *Node) View() *Map { return n.view }
+
+// Member returns a copy of the node's entry for id.
+func (n *Node) Member(id string) (Member, bool) { return n.view.Get(id) }
+
+// Snapshot returns a copy of the node's member map, ordered by ID.
+func (n *Node) Snapshot() []Member { return n.view.Snapshot() }
+
+// Stats snapshots the node's event counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		HellosSent:       n.stats.hellos.Load(),
+		GossipRounds:     n.stats.gossip.Load(),
+		Refutations:      n.stats.refutes.Load(),
+		RejectedJoins:    n.stats.rejects.Load(),
+		FencedHeartbeats: n.stats.fenced.Load(),
+		SelfEvictions:    n.stats.selfEvict.Load(),
+	}
+}
+
+// Start launches the node's ticker goroutine. Idempotent.
+func (n *Node) Start() {
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	period := n.opts.HeartbeatInterval / 2
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stopCh:
+				return
+			case <-t.C:
+				n.Tick(n.opts.Now())
+			}
+		}
+	}()
+}
+
+// Close leaves the cluster gracefully (a best-effort NodeLeave
+// broadcast) and stops the ticker goroutine. Idempotent.
+func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	n.mu.Lock()
+	inc := n.inc
+	n.mu.Unlock()
+	n.send(n.message(control.Message{Kind: control.KindNodeLeave, Epoch: inc}))
+	close(n.stopCh)
+	n.wg.Wait()
+}
+
+// message fills the shared fields of an outgoing control message.
+func (n *Node) message(m control.Message) control.Message {
+	m.Origin = n.opts.ID
+	m.Nanos = n.opts.Now().UnixNano()
+	m.TTL = n.opts.TTL
+	m.Seq = atomic.AddUint64(&n.seq, 1)
+	return m
+}
+
+// send encodes and broadcasts one message on every peer link.
+func (n *Node) send(m control.Message) {
+	buf, err := control.Encode(m)
+	if err != nil {
+		return
+	}
+	n.tr.Broadcast(buf)
+}
+
+// stateMessage builds the NodeState gossip entry for one member.
+func (n *Node) stateMessage(mem Member) control.Message {
+	return n.message(control.Message{
+		Kind:  control.KindNodeState,
+		Op:    control.PackNode(mem.ID, mem.Addr),
+		Epoch: mem.Incarnation,
+		Level: int64(mem.State),
+	})
+}
+
+// jitter draws a deterministic duration in [0, d) from the seeded
+// source (0 for non-positive d).
+func (n *Node) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(d)))
+}
+
+// Tick advances the node's time-driven work to now: detector state
+// transitions, the beacon, gossip dissemination, and bootstrap
+// attempts. Start calls it from the ticker goroutine; deterministic
+// tests call it directly with synthetic clocks.
+func (n *Node) Tick(now time.Time) {
+	n.transitions(now)
+	n.beacon(now)
+	n.gossipTick(now)
+	n.joinTick(now)
+}
+
+// transitions applies the detector's suspicion to the member map:
+// alive -> suspect -> down as phi crosses the thresholds, down ->
+// evicted after the dwell. Transitions are gossiped immediately so the
+// cluster converges ahead of the next periodic round.
+func (n *Node) transitions(now time.Time) {
+	var out []control.Message
+	for _, mem := range n.view.Snapshot() {
+		if mem.ID == n.opts.ID || mem.State >= StateEvicted {
+			continue
+		}
+		phi := n.det.Phi(mem.ID, now)
+		n.view.setPhi(mem.ID, phi)
+		var target State
+		switch {
+		case mem.State == StateDown:
+			if now.Sub(mem.DownAt) < n.opts.EvictAfter {
+				continue
+			}
+			target = StateEvicted
+		case phi >= n.opts.EvictThreshold:
+			target = StateDown
+		case phi >= n.opts.SuspectThreshold && mem.State == StateAlive:
+			target = StateSuspect
+		default:
+			continue
+		}
+		if n.view.Apply(mem.ID, "", target, mem.Incarnation, now) {
+			if target == StateEvicted {
+				// The fence is up: a fresh history is required before
+				// this identity can accrue trust again.
+				n.det.Forget(mem.ID)
+			}
+			refreshed, _ := n.view.Get(mem.ID)
+			out = append(out, n.stateMessage(refreshed))
+		}
+	}
+	for _, m := range out {
+		n.send(m)
+	}
+}
+
+// beacon publishes the node's own liveness when Beacon is enabled,
+// jittering each period so co-started nodes do not beat in lockstep.
+func (n *Node) beacon(now time.Time) {
+	if !n.opts.Beacon {
+		return
+	}
+	n.mu.Lock()
+	due := !now.Before(n.nextBeat)
+	if due {
+		hb := n.opts.HeartbeatInterval
+		n.nextBeat = now.Add(hb - hb/4 + time.Duration(n.rng.Int63n(int64(hb/2)+1)))
+	}
+	n.mu.Unlock()
+	if due {
+		n.send(n.message(control.Message{Kind: control.KindHeartbeat}))
+	}
+}
+
+// gossipTick disseminates the full member map each period.
+func (n *Node) gossipTick(now time.Time) {
+	n.mu.Lock()
+	due := !now.Before(n.nextGossip)
+	if due {
+		g := n.opts.GossipInterval
+		n.nextGossip = now.Add(g + time.Duration(n.rng.Int63n(int64(g/4)+1)))
+	}
+	n.mu.Unlock()
+	if !due {
+		return
+	}
+	n.stats.gossip.Add(1)
+	for _, mem := range n.view.Snapshot() {
+		n.send(n.stateMessage(mem))
+	}
+}
+
+// joinTick runs the bootstrap protocol: while not joined, dial every
+// seed and send a NodeHello, backing off exponentially (capped, with
+// seeded jitter) between rounds. A node re-enters this loop when it
+// learns it was evicted (handleSelfClaim bumps the incarnation first).
+func (n *Node) joinTick(now time.Time) {
+	n.mu.Lock()
+	if n.joined || now.Before(n.nextJoin) {
+		n.mu.Unlock()
+		return
+	}
+	backoff := n.joinBackoff
+	n.nextJoin = now.Add(backoff + time.Duration(n.rng.Int63n(int64(backoff)+1)))
+	n.joinBackoff = min(backoff*2, n.opts.JoinBackoffMax)
+	inc := n.inc
+	n.mu.Unlock()
+
+	hello := n.message(control.Message{
+		Kind:  control.KindNodeHello,
+		Op:    n.opts.Addr,
+		Epoch: inc,
+	})
+	buf, err := control.Encode(hello)
+	if err != nil {
+		return
+	}
+	for _, seed := range n.opts.Seeds {
+		if seed == n.opts.Addr {
+			continue
+		}
+		l, err := n.tr.Dial(seed)
+		if err != nil {
+			continue // unreachable seed: the backoff loop retries
+		}
+		n.stats.hellos.Add(1)
+		_ = l.SendControl(buf) // best-effort; retried by the loop
+	}
+}
+
+// Rejoin forces the node back through bootstrap under a bumped
+// incarnation: the supervisor calls it after reviving this node's
+// engine, so a revived identity re-introduces itself instead of
+// resuming a possibly-fenced incarnation. The stale member view is
+// dropped — the cluster's answer to the new hello re-syncs it.
+func (n *Node) Rejoin() {
+	now := n.opts.Now()
+	n.mu.Lock()
+	n.inc++
+	n.joined = len(n.opts.Seeds) == 0
+	n.joinBackoff = n.opts.JoinBackoffBase
+	n.nextJoin = now
+	myInc := n.inc
+	n.mu.Unlock()
+	for _, mem := range n.view.Snapshot() {
+		if mem.ID != n.opts.ID {
+			// Arrival histories spanning the outage would poison the
+			// detector's statistics; peers re-accrue trust from scratch.
+			n.det.Forget(mem.ID)
+		}
+	}
+	n.view.reset()
+	n.view.Apply(n.opts.ID, n.opts.Addr, StateAlive, myInc, now)
+	n.send(n.message(control.Message{
+		Kind:  control.KindNodeState,
+		Op:    control.PackNode(n.opts.ID, n.opts.Addr),
+		Epoch: myInc,
+		Level: int64(StateAlive),
+	}))
+}
+
+// Deliver ingests one control message addressed to (or overheard by)
+// this node: heartbeats feed the detector, hellos admit joiners,
+// NodeState gossip merges into the map (or triggers refutation when it
+// is about us), and leaves retire members. Deliver is safe to call from
+// a control-bus subscription: it is quick and never blocks on I/O
+// beyond best-effort sends.
+func (n *Node) Deliver(m control.Message) {
+	if m.Origin == n.opts.ID || n.closed.Load() {
+		return
+	}
+	now := n.opts.Now()
+	switch m.Kind {
+	case control.KindHeartbeat:
+		n.deliverHeartbeat(m, now)
+	case control.KindNodeHello:
+		n.deliverHello(m, now)
+	case control.KindNodeState:
+		n.deliverState(m, now)
+	case control.KindNodeLeave:
+		n.view.Apply(m.Origin, "", StateLeft, m.Epoch, now)
+		n.det.Forget(m.Origin)
+	}
+}
+
+// deliverHeartbeat feeds the detector with direct liveness evidence.
+// Beats from evicted members are fenced out; beats from suspected
+// members restore them locally (direct evidence beats gossip).
+func (n *Node) deliverHeartbeat(m control.Message, now time.Time) {
+	mem, known := n.view.Get(m.Origin)
+	if !known {
+		return // not a member yet; gossip or a hello introduces it
+	}
+	if mem.State >= StateEvicted {
+		n.stats.fenced.Add(1)
+		return
+	}
+	n.det.Observe(m.Origin, now)
+	if mem.State == StateSuspect || mem.State == StateDown {
+		n.view.restoreAlive(m.Origin, now)
+	}
+}
+
+// deliverHello admits (or fences) a joiner and answers with a full
+// state sync so the joiner learns the current member map.
+func (n *Node) deliverHello(m control.Message, now time.Time) {
+	inc, addr := m.Epoch, m.Op
+	if mem, known := n.view.Get(m.Origin); known && mem.State == StateEvicted && inc <= mem.Incarnation {
+		// Fenced: a stale identity must bump its incarnation to return.
+		// Tell it so directly — its own view may predate the eviction.
+		n.stats.rejects.Add(1)
+		n.send(n.stateMessage(mem))
+		return
+	}
+	n.view.Apply(m.Origin, addr, StateAlive, inc, now)
+	n.det.Observe(m.Origin, now)
+	for _, mem := range n.view.Snapshot() {
+		n.send(n.stateMessage(mem))
+	}
+}
+
+// deliverState merges one gossiped membership claim.
+func (n *Node) deliverState(m control.Message, now time.Time) {
+	subject, addr := control.UnpackNode(m.Op)
+	st, inc := State(m.Level), m.Epoch
+	if st > StateLeft {
+		return // unknown state from a newer peer: ignore, stay safe
+	}
+	if subject == n.opts.ID {
+		n.handleSelfClaim(st, inc, now)
+		return
+	}
+	n.view.Apply(subject, addr, st, inc, now)
+	if st == StateAlive {
+		// Gossiped alive claims are indirect liveness evidence: they
+		// keep multi-hop members trusted even when no direct link
+		// carries their beats.
+		n.det.Observe(subject, now)
+	}
+}
+
+// handleSelfClaim reacts to gossip about this node itself. Suspicion at
+// our current (or newer) incarnation is refuted by bumping it and
+// re-announcing alive — only the subject may do this, which is what
+// keeps false suspicion from snowballing. An eviction claim means we
+// are fenced: adopt a higher incarnation, drop the stale view, and
+// re-enter the join loop to re-sync.
+func (n *Node) handleSelfClaim(st State, inc uint64, now time.Time) {
+	n.mu.Lock()
+	if st == StateAlive && inc >= n.inc {
+		// The cluster echoed our own membership back: bootstrap achieved.
+		n.joined = true
+	}
+	if st >= StateEvicted {
+		// An eviction is a fence notice, not a suspicion: refuting it at
+		// a higher incarnation is impossible (the fence predates any
+		// bump the cluster has not yet seen), so even a claim about an
+		// older incarnation of us means we are fenced and must re-join.
+		// While already re-joining, repeats of the stale notice change
+		// nothing — the backoff schedule must survive them.
+		if !n.joined && inc < n.inc {
+			n.mu.Unlock()
+			return
+		}
+		n.inc = max(inc, n.inc) + 1
+		n.joined = false
+		n.joinBackoff = n.opts.JoinBackoffBase
+		n.nextJoin = now // re-join immediately, then back off
+		myInc := n.inc
+		n.mu.Unlock()
+		n.stats.selfEvict.Add(1)
+		n.view.reset()
+		n.view.Apply(n.opts.ID, n.opts.Addr, StateAlive, myInc, now)
+		return
+	}
+	if st < StateSuspect || inc < n.inc {
+		n.mu.Unlock()
+		return // stale or benign claim; our periodic gossip supersedes it
+	}
+	// Suspect or down: rebut.
+	n.inc = inc + 1
+	myInc := n.inc
+	n.mu.Unlock()
+	n.stats.refutes.Add(1)
+	n.view.Apply(n.opts.ID, n.opts.Addr, StateAlive, myInc, now)
+	n.send(n.message(control.Message{
+		Kind:  control.KindNodeState,
+		Op:    control.PackNode(n.opts.ID, n.opts.Addr),
+		Epoch: myInc,
+		Level: int64(StateAlive),
+	}))
+}

@@ -1,0 +1,465 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+)
+
+// fakeClock is a mutex-protected synthetic clock shared by every node
+// in a test cluster, so the whole run is a pure function of the seed.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// fabric is a synchronous in-memory transport: sends decode and deliver
+// inline, and one-way blocks model asymmetric partitions (from can no
+// longer reach to, while the reverse direction still works).
+type fabric struct {
+	mu      sync.Mutex
+	nodes   map[string]*Node // by address
+	blocked map[string]bool  // "from>to"
+	dials   map[string]int   // bootstrap dial attempts by address
+}
+
+func newFabric() *fabric {
+	return &fabric{
+		nodes:   make(map[string]*Node),
+		blocked: make(map[string]bool),
+		dials:   make(map[string]int),
+	}
+}
+
+func pairKey(from, to string) string { return from + ">" + to }
+
+func (f *fabric) add(n *Node, addr string) {
+	f.mu.Lock()
+	f.nodes[addr] = n
+	f.mu.Unlock()
+}
+
+func (f *fabric) remove(addr string) {
+	f.mu.Lock()
+	delete(f.nodes, addr)
+	f.mu.Unlock()
+}
+
+func (f *fabric) block(from, to string) {
+	f.mu.Lock()
+	f.blocked[pairKey(from, to)] = true
+	f.mu.Unlock()
+}
+
+func (f *fabric) heal(from, to string) {
+	f.mu.Lock()
+	delete(f.blocked, pairKey(from, to))
+	f.mu.Unlock()
+}
+
+// deliver hands payload to the node at to unless the from->to direction
+// is blocked. Synchronous: the receiving node reacts inline.
+func (f *fabric) deliver(from, to string, payload []byte) {
+	f.mu.Lock()
+	target := f.nodes[to]
+	cut := f.blocked[pairKey(from, to)]
+	f.mu.Unlock()
+	if target == nil || cut {
+		return
+	}
+	m, err := control.Decode(payload)
+	if err != nil {
+		panic(err) // test fabric: nodes must emit valid frames
+	}
+	target.Deliver(m)
+}
+
+// port is one node's Transport on the fabric.
+type port struct {
+	f    *fabric
+	addr string
+}
+
+func (p *port) Broadcast(payload []byte) int {
+	p.f.mu.Lock()
+	targets := make([]string, 0, len(p.f.nodes))
+	for addr := range p.f.nodes {
+		if addr != p.addr {
+			targets = append(targets, addr)
+		}
+	}
+	p.f.mu.Unlock()
+	// Deterministic order.
+	for i := 1; i < len(targets); i++ {
+		for k := i; k > 0 && targets[k-1] > targets[k]; k-- {
+			targets[k-1], targets[k] = targets[k], targets[k-1]
+		}
+	}
+	for _, to := range targets {
+		p.f.deliver(p.addr, to, payload)
+	}
+	return len(targets)
+}
+
+func (p *port) Dial(addr string) (Link, error) {
+	p.f.mu.Lock()
+	p.f.dials[addr]++
+	_, ok := p.f.nodes[addr]
+	p.f.mu.Unlock()
+	if !ok {
+		return nil, errors.New("fabric: no node at " + addr)
+	}
+	return &edge{f: p.f, from: p.addr, to: addr}, nil
+}
+
+type edge struct {
+	f        *fabric
+	from, to string
+}
+
+func (e *edge) SendControl(payload []byte) error {
+	e.f.deliver(e.from, e.to, payload) // drops silently when blocked
+	return nil
+}
+
+// cluster drives a set of nodes in lockstep off one fake clock.
+type cluster struct {
+	f     *fabric
+	clock *fakeClock
+	nodes []*Node
+}
+
+func testNodeOptions(id string, seeds []string, seed int64, clock *fakeClock) Options {
+	return Options{
+		ID:                id,
+		Addr:              id, // fabric addresses are the IDs
+		Seeds:             seeds,
+		HeartbeatInterval: 10 * time.Millisecond,
+		Beacon:            true,
+		EvictAfter:        100 * time.Millisecond,
+		Seed:              seed,
+		Now:               clock.Now,
+	}
+}
+
+// newCluster builds n nodes named node-0..node-(n-1); every node except
+// node-0 uses node-0 as its seed.
+func newCluster(n int, seed int64) *cluster {
+	c := &cluster{f: newFabric(), clock: newFakeClock()}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node-%d", i)
+		var seeds []string
+		if i > 0 {
+			seeds = []string{"node-0"}
+		}
+		node := NewNode(&port{f: c.f, addr: id}, testNodeOptions(id, seeds, seed+int64(i), c.clock))
+		c.f.add(node, id)
+		c.nodes = append(c.nodes, node)
+	}
+	return c
+}
+
+// run advances the cluster clock by total in fixed 5ms steps, ticking
+// every node at each step.
+func (c *cluster) run(total time.Duration) {
+	const step = 5 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < total; elapsed += step {
+		now := c.clock.advance(step)
+		for _, n := range c.nodes {
+			n.Tick(now)
+		}
+	}
+}
+
+func (c *cluster) node(i int) *Node { return c.nodes[i] }
+
+func stateOf(t *testing.T, n *Node, id string) Member {
+	t.Helper()
+	mem, ok := n.Member(id)
+	if !ok {
+		t.Fatalf("%s has no entry for %s", n.ID(), id)
+	}
+	return mem
+}
+
+func TestClusterBootstrap(t *testing.T) {
+	c := newCluster(3, 1)
+	c.run(500 * time.Millisecond)
+	for _, n := range c.nodes {
+		if !n.Joined() {
+			t.Fatalf("%s not joined after bootstrap", n.ID())
+		}
+		if got := n.View().Len(); got != 3 {
+			t.Fatalf("%s knows %d members, want 3", n.ID(), got)
+		}
+		if got := n.View().Reachable(); got != 3 {
+			t.Fatalf("%s reaches %d members, want 3: %+v", n.ID(), got, n.Snapshot())
+		}
+		for _, mem := range n.Snapshot() {
+			if mem.State != StateAlive {
+				t.Fatalf("%s sees %s as %v, want alive", n.ID(), mem.ID, mem.State)
+			}
+		}
+	}
+	if hellos := c.node(1).Stats().HellosSent; hellos == 0 {
+		t.Fatal("seeded node bootstrapped without sending a hello")
+	}
+}
+
+// TestJoinBackoffRetries covers the bootstrap retry loop: while the
+// seed is unreachable the node keeps dialing with capped exponential
+// backoff (so attempts are few, not one-per-tick), and it joins as soon
+// as the seed appears.
+func TestJoinBackoffRetries(t *testing.T) {
+	c := newCluster(1, 7)
+	seed := c.node(0)
+	c.f.remove("node-0") // seed is down before the joiner starts
+	c.nodes = nil        // and not ticking
+	late := NewNode(&port{f: c.f, addr: "late"},
+		testNodeOptions("late", []string{"node-0"}, 99, c.clock))
+	c.f.add(late, "late")
+	c.nodes = append(c.nodes, late)
+
+	c.run(400 * time.Millisecond)
+	if late.Joined() {
+		t.Fatal("joined with no seed reachable")
+	}
+	c.f.mu.Lock()
+	attempts := c.f.dials["node-0"]
+	c.f.mu.Unlock()
+	if attempts < 2 {
+		t.Fatalf("only %d dial attempts in 400ms; the retry loop is not retrying", attempts)
+	}
+	// Base 10ms doubling to a 500ms cap gives ~6 rounds in 400ms; a
+	// non-backing-off loop ticking at 5ms would make dozens.
+	if attempts > 12 {
+		t.Fatalf("%d dial attempts in 400ms; backoff is not backing off", attempts)
+	}
+
+	c.f.add(seed, "node-0") // seed comes back
+	c.nodes = append(c.nodes, seed)
+	c.run(1200 * time.Millisecond)
+	if !late.Joined() {
+		t.Fatal("not joined after the seed returned")
+	}
+	if mem := stateOf(t, seed, "late"); mem.State != StateAlive {
+		t.Fatalf("seed sees late joiner as %v", mem.State)
+	}
+}
+
+// TestAsymmetricPartitionRefutation is the SWIM refutation path: cut
+// node-1 -> node-0 only. node-0 stops hearing node-1 and suspects it;
+// the suspicion gossip still reaches node-1 (the reverse direction is
+// open), which rebuts by bumping its incarnation; the rebuttal flows
+// back through node-2. While an indirect path exists the victim must
+// never be evicted.
+func TestAsymmetricPartitionRefutation(t *testing.T) {
+	c := newCluster(3, 3)
+	c.run(500 * time.Millisecond)
+
+	c.f.block("node-1", "node-0")
+	const step = 5 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < time.Second; elapsed += step {
+		now := c.clock.advance(step)
+		for _, n := range c.nodes {
+			n.Tick(now)
+		}
+		if mem, ok := c.node(0).Member("node-1"); ok && mem.State >= StateEvicted {
+			t.Fatalf("node-1 evicted at %v despite an indirect path", mem.EvictedAt)
+		}
+	}
+	if refutes := c.node(1).Stats().Refutations; refutes == 0 {
+		t.Fatal("node-1 never refuted the suspicion about it")
+	}
+	if inc := c.node(1).Incarnation(); inc < 2 {
+		t.Fatalf("node-1 incarnation = %d, want bumped by refutation", inc)
+	}
+
+	c.f.heal("node-1", "node-0")
+	c.run(500 * time.Millisecond)
+	for _, n := range c.nodes {
+		for _, mem := range n.Snapshot() {
+			if mem.State != StateAlive {
+				t.Fatalf("after heal %s sees %s as %v", n.ID(), mem.ID, mem.State)
+			}
+		}
+	}
+}
+
+// TestEvictionFencingAndRejoin fully isolates node-1's outbound
+// direction in a two-node cluster (no indirect path), so node-0 walks
+// it through suspect -> down -> evicted, fences its stale heartbeats
+// after the heal, and re-admits it only at the refutation-bumped
+// incarnation.
+func TestEvictionFencingAndRejoin(t *testing.T) {
+	c := newCluster(2, 5)
+	c.run(500 * time.Millisecond)
+
+	c.f.block("node-1", "node-0")
+	c.run(600 * time.Millisecond) // well past suspect, down, and the dwell
+
+	mem := stateOf(t, c.node(0), "node-1")
+	if mem.State != StateEvicted {
+		t.Fatalf("node-1 state on node-0 = %v, want evicted", mem.State)
+	}
+	if mem.SuspectAt.IsZero() || mem.DownAt.IsZero() || mem.EvictedAt.IsZero() {
+		t.Fatalf("missing transition stamps: %+v", mem)
+	}
+	if !(mem.SuspectAt.Before(mem.DownAt) && mem.DownAt.Before(mem.EvictedAt)) {
+		t.Fatalf("stamps out of order: suspect %v down %v evicted %v",
+			mem.SuspectAt, mem.DownAt, mem.EvictedAt)
+	}
+
+	// A hello at the stale incarnation is a fenced re-join: rejected.
+	c.node(0).Deliver(control.Message{
+		Kind: control.KindNodeHello, Origin: "node-1", Op: "node-1",
+		Epoch: mem.Incarnation, Nanos: 1, TTL: 4,
+	})
+	if got := c.node(0).Stats().RejectedJoins; got != 1 {
+		t.Fatalf("RejectedJoins = %d after stale hello, want 1", got)
+	}
+
+	c.f.heal("node-1", "node-0")
+	c.run(500 * time.Millisecond)
+
+	// While node-0 still held the eviction, node-1's first resumed beats
+	// (still carrying liveness at the old view) were fenced out.
+	if fenced := c.node(0).Stats().FencedHeartbeats; fenced == 0 {
+		t.Fatal("no heartbeat was fenced during the evicted window")
+	}
+	after := stateOf(t, c.node(0), "node-1")
+	if after.State != StateAlive {
+		t.Fatalf("node-1 not re-admitted after heal: %v", after.State)
+	}
+	if after.Incarnation <= mem.Incarnation {
+		t.Fatalf("re-admitted at incarnation %d, want > fenced %d",
+			after.Incarnation, mem.Incarnation)
+	}
+}
+
+// TestRestartedNodeMustBumpIncarnation is the restart fence: a node
+// that crashes, loses its incarnation counter, and comes back with the
+// default one is rejected until the cluster tells it the incarnation it
+// was evicted at, at which point it adopts a higher one and re-joins.
+func TestRestartedNodeMustBumpIncarnation(t *testing.T) {
+	c := newCluster(2, 9)
+	c.run(500 * time.Millisecond)
+
+	// Kill node-1 outright: no leave, beats just stop.
+	c.f.remove("node-1")
+	c.nodes = c.nodes[:1]
+	c.run(600 * time.Millisecond)
+	fenced := stateOf(t, c.node(0), "node-1")
+	if fenced.State != StateEvicted {
+		t.Fatalf("dead node state = %v, want evicted", fenced.State)
+	}
+
+	// Restart with a fresh Node: incarnation falls back to 1.
+	reborn := NewNode(&port{f: c.f, addr: "node-1"},
+		testNodeOptions("node-1", []string{"node-0"}, 11, c.clock))
+	c.f.add(reborn, "node-1")
+	c.nodes = append(c.nodes, reborn)
+	c.run(time.Second)
+
+	if got := c.node(0).Stats().RejectedJoins; got == 0 {
+		t.Fatal("restarted node was never rejected at its stale incarnation")
+	}
+	if got := reborn.Stats().SelfEvictions; got == 0 {
+		t.Fatal("restarted node never learned of its eviction")
+	}
+	if !reborn.Joined() {
+		t.Fatal("restarted node failed to re-join")
+	}
+	mem := stateOf(t, c.node(0), "node-1")
+	if mem.State != StateAlive || mem.Incarnation <= fenced.Incarnation {
+		t.Fatalf("re-join state = %v@%d, want alive above %d",
+			mem.State, mem.Incarnation, fenced.Incarnation)
+	}
+}
+
+func TestLeaveIsNotAFailure(t *testing.T) {
+	c := newCluster(2, 13)
+	c.run(500 * time.Millisecond)
+	c.node(1).Close()
+	if mem := stateOf(t, c.node(0), "node-1"); mem.State != StateLeft {
+		t.Fatalf("after graceful leave state = %v, want left", mem.State)
+	}
+	c.nodes = c.nodes[:1]
+	c.run(300 * time.Millisecond)
+	if mem := stateOf(t, c.node(0), "node-1"); mem.State != StateLeft {
+		t.Fatalf("left member drifted to %v", mem.State)
+	}
+}
+
+func TestHeartbeatFromUnknownPeerIgnored(t *testing.T) {
+	c := newCluster(1, 17)
+	c.node(0).Deliver(control.Message{Kind: control.KindHeartbeat, Origin: "stranger", Nanos: 1})
+	if _, ok := c.node(0).Member("stranger"); ok {
+		t.Fatal("a bare heartbeat admitted an unknown peer")
+	}
+}
+
+func TestNodeStartClose(t *testing.T) {
+	// Smoke the real ticker goroutine path (most tests drive Tick
+	// directly); CheckMain verifies the goroutine exits.
+	f := newFabric()
+	n := NewNode(&port{f: f, addr: "solo"}, Options{ID: "solo", Addr: "solo"})
+	f.add(n, "solo")
+	n.Start()
+	n.Start() // idempotent
+	time.Sleep(20 * time.Millisecond)
+	n.Close()
+	n.Close() // idempotent
+}
+
+// TestMembershipChurnSoak loops partition/heal churn across a 4-node
+// cluster under a seeded schedule: short asymmetric partitions whose
+// refutation traffic must converge the cluster back to everyone-alive
+// after every round. check.sh runs this as the membership churn gate.
+func TestMembershipChurnSoak(t *testing.T) {
+	c := newCluster(4, 21)
+	rng := rand.New(rand.NewSource(21))
+	c.run(500 * time.Millisecond)
+
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		from := c.nodes[rng.Intn(len(c.nodes))].ID()
+		to := c.nodes[rng.Intn(len(c.nodes))].ID()
+		if from != to {
+			c.f.block(from, to)
+			c.run(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+			c.f.heal(from, to)
+		}
+		c.run(700 * time.Millisecond) // settle: refutations land, states converge
+
+		for _, n := range c.nodes {
+			if got := n.View().Reachable(); got != len(c.nodes) {
+				t.Fatalf("round %d (%s->%s cut): %s reaches %d/%d members: %+v",
+					round, from, to, n.ID(), got, len(c.nodes), n.Snapshot())
+			}
+		}
+	}
+}

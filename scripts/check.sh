@@ -35,6 +35,12 @@ go test -run '^$' -fuzz 'FuzzPacketCodecRoundTrip' -fuzztime 10s ./internal/pack
 go test -run '^$' -fuzz 'FuzzDescriptorLoad' -fuzztime 10s ./internal/graph
 go test -run '^$' -fuzz 'FuzzDecodeControl' -fuzztime 10s ./internal/control
 
+echo "== membership churn soak =="
+# Seeded partition/heal churn over a simulated cluster (deterministic
+# fabric + fake clock): every round must re-converge to full
+# reachability. Run un-short so all six rounds execute.
+go test -race -run 'TestMembershipChurnSoak' -count=1 ./internal/membership
+
 echo "== bench smoke =="
 # A fixed 100 iterations per benchmark: catches benches that crash, hang,
 # or fail their internal quiesce checks, without measuring anything.
