@@ -285,6 +285,28 @@ func BenchmarkHeadlineSingleNode(b *testing.B) {
 	})
 }
 
+// BenchmarkHeadlineMulticore sweeps the lane-sharded engine (DESIGN.md
+// §13): the headline relay with the engine split into per-core lanes and
+// a matching relay/receiver parallelism, so each lane runs an independent
+// pipeline slice. On a multi-core host throughput should scale near
+// linearly with lanes until cores run out; on fewer cores the sweep
+// degenerates gracefully (same work, time-sliced).
+func BenchmarkHeadlineMulticore(b *testing.B) {
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			b.ReportAllocs()
+			runRelayBench(b, experiments.RelayConfig{
+				MsgBytes:    50,
+				BufferBytes: 1 << 20,
+				Batching:    true,
+				Pooling:     true,
+				Lanes:       lanes,
+				Parallelism: lanes,
+			})
+		})
+	}
+}
+
 // BenchmarkHeadlineCluster solves the 50-node relay fleet (the ~100M
 // packets/s headline) on the testbed model.
 func BenchmarkHeadlineCluster(b *testing.B) {

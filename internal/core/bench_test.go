@@ -3,11 +3,14 @@ package core
 // Dispatch-path benchmarks. Dispatch is the engine's per-frame entry from
 // transport IO goroutines; its fixed cost (routing lookup, counters,
 // decode, dataset put, schedule) multiplies with every inbound frame, so
-// the small-packet IoT regime the paper targets lives or dies on it.
+// the small-packet IoT regime the paper targets lives or dies on it. The
+// lane sweep pins each concurrent sender to one inbound channel — and so
+// to one engine lane — measuring how dispatch scales when the hot path is
+// sharded across per-core lanes (run with -cpu to vary the core budget).
 
 import (
 	"fmt"
-	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,10 +20,11 @@ import (
 	"repro/internal/transport"
 )
 
-// benchDispatchEngine builds a deployed engine hosting one trivial sink
-// processor bound to inbound channel ch, mirroring the launcher's wiring
-// for a remote link receiver.
-func benchDispatchEngine(b *testing.B, ch uint32) *Engine {
+// benchDispatchEngine builds a deployed engine with the given lane count,
+// hosting one trivial sink processor per inbound channel (instances
+// round-robin across lanes), mirroring the launcher's wiring for remote
+// link receivers.
+func benchDispatchEngine(b *testing.B, lanes int, chans []uint32) *Engine {
 	b.Helper()
 	cfg := DefaultConfig()
 	cfg.DedupRemote = false // dedup would drop the repeated bench frames
@@ -28,22 +32,25 @@ func benchDispatchEngine(b *testing.B, ch uint32) *Engine {
 	// state: senders stall on the high watermark); size the pool to cover
 	// the whole watermark-bounded in-flight set so packet reuse works.
 	cfg.PoolCapacity = 1 << 20
+	cfg.Lanes = lanes
 	e, err := NewEngine("bench", cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	proc := ProcessorFunc(func(*OpContext, *packet.Packet) error { return nil })
-	inst, err := newInstance(e, graph.OperatorSpec{
-		Name: "sink", Kind: graph.KindProcessor, Parallelism: 1,
-	}, 0, nil, proc)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := e.registerChannel(ch, inst); err != nil {
-		b.Fatal(err)
-	}
-	if err := e.res.Register(inst, granules.DataDriven{}); err != nil {
-		b.Fatal(err)
+	for i, ch := range chans {
+		proc := ProcessorFunc(func(*OpContext, *packet.Packet) error { return nil })
+		inst, err := newInstance(e, graph.OperatorSpec{
+			Name: fmt.Sprintf("sink%d", i), Kind: graph.KindProcessor, Parallelism: 1,
+		}, 0, nil, proc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.registerChannel(ch, inst); err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.ln.resource().Register(inst, granules.DataDriven{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	if err := e.deploy(); err != nil {
 		b.Fatal(err)
@@ -70,29 +77,39 @@ func benchFrame(pkts int) []byte {
 // several concurrent senders, the transport-IO fan-in the two-tier thread
 // model must absorb without serializing. Each op is one inbound frame
 // (decode + route + enqueue + schedule); pkts/s counts the packets inside.
+// The lanes sub-sweep shards the engine: each sender goroutine targets one
+// channel, the channel's instance is pinned to one lane, and lanes share
+// no pool or scheduler locks.
 func BenchmarkDispatchConcurrent(b *testing.B) {
-	for _, pkts := range []int{1, 16} {
-		b.Run(fmt.Sprintf("pkts=%d", pkts), func(b *testing.B) {
-			const ch = 7
-			e := benchDispatchEngine(b, ch)
-			payload := benchFrame(pkts)
-			f := transport.Frame{Channel: ch, Payload: payload}
-			b.ReportAllocs()
-			b.ResetTimer()
-			start := time.Now()
-			b.SetParallelism(4) // IO goroutines outnumber cores
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
-					e.Dispatch(f)
+	for _, lanes := range []int{1, 2, 4} {
+		for _, pkts := range []int{1, 16} {
+			b.Run(fmt.Sprintf("lanes=%d/pkts=%d", lanes, pkts), func(b *testing.B) {
+				chans := make([]uint32, lanes)
+				for i := range chans {
+					chans[i] = uint32(7 + i)
 				}
+				e := benchDispatchEngine(b, lanes, chans)
+				payload := benchFrame(pkts)
+				var next atomic.Uint32
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				b.SetParallelism(4) // IO goroutines outnumber cores
+				b.RunParallel(func(pb *testing.PB) {
+					ch := chans[int(next.Add(1)-1)%len(chans)]
+					f := transport.Frame{Channel: ch, Payload: payload}
+					for pb.Next() {
+						e.Dispatch(f)
+					}
+				})
+				if !e.quiesce(10 * time.Second) {
+					b.Fatal("engine did not quiesce")
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*pkts)/elapsed.Seconds(), "pkts/s")
 			})
-			if !e.quiesce(10 * time.Second) {
-				b.Fatal("engine did not quiesce")
-			}
-			elapsed := time.Since(start)
-			b.StopTimer()
-			b.ReportMetric(float64(b.N*pkts)/elapsed.Seconds(), "pkts/s")
-		})
+		}
 	}
 }
 
@@ -100,7 +117,7 @@ func BenchmarkDispatchConcurrent(b *testing.B) {
 // decode, no dataset — just the table lookup and the error counters. This
 // is the purest view of the per-frame routing overhead.
 func BenchmarkDispatchUnknownChannel(b *testing.B) {
-	e := benchDispatchEngine(b, 7)
+	e := benchDispatchEngine(b, 1, []uint32{7})
 	f := transport.Frame{Channel: 9999, Payload: nil}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -110,5 +127,4 @@ func BenchmarkDispatchUnknownChannel(b *testing.B) {
 			e.Dispatch(f)
 		}
 	})
-	_ = runtime.NumCPU()
 }

@@ -126,9 +126,13 @@ type outLink struct {
 // instance is one parallel instance of a stream operator.
 type instance struct {
 	engine *Engine
-	op     graph.OperatorSpec
-	idx    int
-	id     string // cached "op[idx]" — formatted once, read on every execution
+	// ln is the engine lane the instance is pinned to: its dataset lives
+	// on the lane's resource and every pool operation goes to the lane's
+	// pools, so instances on different lanes share no hot-path locks.
+	ln  *lane
+	op  graph.OperatorSpec
+	idx int
+	id  string // cached "op[idx]" — formatted once, read on every execution
 
 	source Source
 	proc   Processor
@@ -243,6 +247,7 @@ func (inst *instance) taskID() string { return inst.id }
 func newInstance(e *Engine, op graph.OperatorSpec, idx int, src Source, proc Processor) (*instance, error) {
 	inst := &instance{
 		engine:    e,
+		ln:        e.assignLane(),
 		op:        op,
 		idx:       idx,
 		id:        fmt.Sprintf("%s[%d]", op.Name, idx),
@@ -264,7 +269,7 @@ func newInstance(e *Engine, op graph.OperatorSpec, idx int, src Source, proc Pro
 	}
 	if proc != nil {
 		ds, err := granules.NewStreamDataset[*inBatch](
-			"in", e.res, inst.taskID(), e.cfg.InLowWatermark, e.cfg.InHighWatermark)
+			"in", inst.ln.resource(), inst.taskID(), e.cfg.InLowWatermark, e.cfg.InHighWatermark)
 		if err != nil {
 			return nil, err
 		}
@@ -397,7 +402,7 @@ func (inst *instance) processOne(p *packet.Packet) {
 		if inst.staging {
 			inst.recycle = append(inst.recycle, p)
 		} else {
-			inst.engine.pktPool.Put(p)
+			inst.ln.pktPool.Put(p)
 		}
 	}
 	inst.ctx.current = nil
@@ -449,7 +454,7 @@ func (inst *instance) emitOn(c *OpContext, l *outLink, p *packet.Packet) error {
 		out := p
 		if i < len(route)-1 {
 			// All but the last destination receive a copy.
-			out = inst.engine.pktPool.Get()
+			out = inst.ln.pktPool.Get()
 			p.CopyTo(out)
 		}
 		d := l.dests[destIdx]
@@ -465,7 +470,7 @@ func (inst *instance) emitOn(c *OpContext, l *outLink, p *packet.Packet) error {
 			continue
 		}
 		if err := d.buf.Add(out); err != nil {
-			inst.engine.pktPool.Put(out)
+			inst.ln.pktPool.Put(out)
 			return fmt.Errorf("core: emit on %q: %w", l.spec.Name, err)
 		}
 		inst.emitted.Inc()
@@ -481,7 +486,7 @@ func (inst *instance) flushStage() {
 	for _, d := range inst.stagedDests {
 		n, err := d.buf.AddBatch(d.stage)
 		if err != nil {
-			inst.engine.pktPool.PutBatch(d.stage[n:])
+			inst.ln.pktPool.PutBatch(d.stage[n:])
 			inst.procErrs.Inc()
 			inst.verifyErr.set(fmt.Errorf("core: staged emit from %s: %w", inst.taskID(), err))
 		}
@@ -492,7 +497,7 @@ func (inst *instance) flushStage() {
 	}
 	inst.stagedDests = inst.stagedDests[:0]
 	if len(inst.recycle) > 0 {
-		inst.engine.pktPool.PutBatch(inst.recycle)
+		inst.ln.pktPool.PutBatch(inst.recycle)
 		for i := range inst.recycle {
 			inst.recycle[i] = nil
 		}
@@ -502,17 +507,26 @@ func (inst *instance) flushStage() {
 
 // flush delivers one flushed batch for a destination: zero-copy handoff to
 // a co-located instance, or encode (+ optional entropy-gated compression)
-// and transport send for a remote one.
+// and transport send for a remote one. Transports implementing
+// transport.OwnedSender get the encoded frame without a copy (the
+// gather-write path); others get the legacy copying Send.
 func (d *destination) flush(batch []*packet.Packet, bytes int, _ buffer.FlushReason) {
 	e := d.sender.engine
+	ln := d.sender.ln
 	if d.local != nil {
 		pkts := make([]*packet.Packet, len(batch))
 		copy(pkts, batch)
 		if err := d.local.dataset.Put(&inBatch{packets: pkts, bytes: bytes}, int64(bytes)); err != nil {
 			// Receiver shut down: recycle and drop (job is ending).
-			e.recycleBatch(pkts)
+			ln.recycleBatch(pkts)
 			e.dropsOnShutdown.Add(uint64(len(pkts)))
 		}
+		return
+	}
+	tr := d.transport()
+	if owned, ok := tr.(transport.OwnedSender); ok {
+		d.flushOwned(owned, batch, bytes)
+		ln.recycleBatch(batch)
 		return
 	}
 	d.scratch = d.enc.EncodeBatch(d.scratch[:0], batch)
@@ -527,38 +541,72 @@ func (d *destination) flush(batch []*packet.Packet, bytes int, _ buffer.FlushRea
 	if rl := d.replay.Load(); rl != nil {
 		rl.append(frame, len(batch))
 	}
-	if err := d.transport().Send(d.channel, frame); err != nil {
+	if err := tr.Send(d.channel, frame); err != nil {
 		e.sendErrs.Inc()
 	} else {
 		e.bytesOut.Add(uint64(len(frame)))
 		e.batchesOut.Inc()
 	}
-	e.recycleBatch(batch)
+	ln.recycleBatch(batch)
+}
+
+// flushOwned is the zero-copy egress path: the batch is encoded into a
+// buffer drawn from the lane's pool and that buffer itself — not a copy —
+// is handed to the transport's gather-writer, which returns it to the
+// pool once the vectored write has reached the kernel (the release
+// closure). SendOwned assumes ownership whether or not it errors, so
+// nothing here may touch the frame after the annotated handoff — the
+// retainedbuf analyzer enforces exactly that.
+func (d *destination) flushOwned(owned transport.OwnedSender, batch []*packet.Packet, bytes int) {
+	e := d.sender.engine
+	ln := d.sender.ln
+	// Headroom above the buffer's byte accounting: per-packet wire framing
+	// can exceed the accounted payload size for tiny packets.
+	frame := d.enc.EncodeBatch(ln.bufPool.Get(bytes+bytes/2+64), batch)
+	if d.sel != nil {
+		comp := d.sel.Encode(ln.bufPool.Get(len(frame)+64), frame)
+		ln.bufPool.Put(frame)
+		frame = comp
+	}
+	// Retain the frame for crash replay (append copies) before the
+	// handoff: a send that fails because the receiving engine just died
+	// is exactly the frame recovery must re-send.
+	if rl := d.replay.Load(); rl != nil {
+		rl.append(frame, len(batch))
+	}
+	size := len(frame)
+	err := owned.SendOwned(d.channel, frame, func() { ln.bufPool.Put(frame) }) //neptune:handoff
+	if err != nil {
+		e.sendErrs.Inc()
+		return
+	}
+	e.bytesOut.Add(uint64(size))
+	e.batchesOut.Inc()
 }
 
 // ingestFrame decodes a remote frame into pooled packets and enqueues them
 // on the instance's dataset. Called from transport IO goroutines; blocking
 // here propagates backpressure into the socket.
 func (inst *instance) ingestFrame(frame []byte) error {
-	e := inst.engine
+	ln := inst.ln
 	data := frame
 	var decBuf []byte
 	if inst.sel != nil {
-		decBuf = e.bufPool.Get(len(frame) * 2)
+		decBuf = ln.bufPool.Get(len(frame) * 2)
 		var err error
 		decBuf, err = inst.sel.Decode(decBuf, frame, transport.MaxFrameSize)
 		if err != nil {
-			e.bufPool.Put(decBuf)
+			ln.bufPool.Put(decBuf)
 			return err
 		}
 		data = decBuf
 	}
-	pkts, _, err := inst.dec.DecodeBatchAppend(data, e.allocBatch, nil)
+	pkts, _, err := inst.dec.DecodeBatchAppend(data, ln.allocBatch, nil)
 	if decBuf != nil {
-		e.bufPool.Put(decBuf)
+		ln.bufPool.Put(decBuf)
 	}
 	if err != nil {
-		e.recycleBatch(pkts)
+		ln.recycleBatch(pkts)
 		return err
 	}
 	if inst.dedupNext != nil {
@@ -568,7 +616,7 @@ func (inst *instance) ingestFrame(frame []byte) error {
 		}
 	}
 	if err := inst.dataset.Put(&inBatch{packets: pkts, bytes: len(data)}, int64(len(data))); err != nil {
-		e.recycleBatch(pkts)
+		ln.recycleBatch(pkts)
 		return err
 	}
 	return nil
@@ -587,7 +635,7 @@ func (inst *instance) dedupPackets(pkts []*packet.Packet) []*packet.Packet {
 	inst.dedupMu.Lock()
 	for _, p := range pkts {
 		if next, ok := inst.dedupNext[p.StreamID]; ok && p.Seq < next {
-			e.pktPool.Put(p)
+			inst.ln.pktPool.Put(p)
 			dropped++
 			continue
 		}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestConfigLanesNormalize pins the lane-count defaulting: zero and
+// negative mean "one lane" (the unsharded engine), explicit values are
+// preserved, and the engine reports what it built.
+func TestConfigLanesNormalize(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {-3, 1}, {1, 1}, {4, 4},
+	} {
+		cfg := testConfig()
+		cfg.Lanes = tc.in
+		e, err := NewEngine("lanes-norm", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Lanes(); got != tc.want {
+			t.Fatalf("Lanes=%d built %d lanes, want %d", tc.in, got, tc.want)
+		}
+		if err := e.close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLaneAssignmentRoundRobin pins the placement rule: instances are
+// assigned to lanes round-robin in creation order, and each lane owns a
+// distinct scheduling resource and packet pool (the hot path never
+// crosses lanes).
+func TestLaneAssignmentRoundRobin(t *testing.T) {
+	cfg := testConfig()
+	cfg.Lanes = 3
+	e, err := NewEngine("lanes-rr", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.close()
+	for i := 0; i < 7; i++ {
+		ln := e.assignLane()
+		if ln.idx != i%3 {
+			t.Fatalf("assignment %d landed on lane %d, want %d", i, ln.idx, i%3)
+		}
+	}
+	seenRes := map[any]bool{}
+	seenPool := map[any]bool{}
+	for _, ln := range e.lanes {
+		if seenRes[ln.resource()] {
+			t.Fatal("two lanes share a resource")
+		}
+		if seenPool[ln.pktPool] {
+			t.Fatal("two lanes share a packet pool")
+		}
+		seenRes[ln.resource()] = true
+		seenPool[ln.pktPool] = true
+	}
+}
+
+// shardedRelaySpec is the Fig. 1 relay with par parallel relay/receiver
+// instances, keyed so every packet of a key stays on one instance (and
+// hence one lane).
+func shardedRelaySpec(par int) *graph.Spec {
+	s := &graph.Spec{
+		Name: "sharded-relay",
+		Operators: []graph.OperatorSpec{
+			{Name: "sender", Kind: graph.KindSource},
+			{Name: "relay", Kind: graph.KindProcessor, Parallelism: par},
+			{Name: "receiver", Kind: graph.KindProcessor, Parallelism: par},
+		},
+		Links: []graph.LinkSpec{
+			{From: "sender", To: "relay", Partitioner: "fields:i"},
+			{From: "relay", To: "receiver", Partitioner: "fields:i"},
+		},
+	}
+	s.Normalize()
+	return s
+}
+
+// TestShardedRelayExactlyOnce runs the keyed parallel relay on engines
+// split into lanes: instances spread round-robin across lanes, each lane
+// schedules and pools independently, and delivery must still be
+// exactly-once across the whole job.
+func TestShardedRelayExactlyOnce(t *testing.T) {
+	const n, par = 12_000, 4
+	cfg := testConfig()
+	cfg.Lanes = 2
+	src := &countingSource{n: n}
+	sinks := make([]*collectSink, par)
+	j, err := NewJob(shardedRelaySpec(par), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("sender", func(int) Source { return src })
+	j.SetProcessor("relay", func(int) Processor { return relayProc{} })
+	j.SetProcessor("receiver", func(i int) Processor {
+		sinks[i] = newCollectSink()
+		return sinks[i]
+	})
+	runToCompletion(t, j)
+	e := j.Engines()[0]
+	if e.Lanes() != 2 {
+		t.Fatalf("engine built %d lanes, want 2", e.Lanes())
+	}
+	all := newCollectSink()
+	var total int64
+	for i, s := range sinks {
+		c := s.count.Load()
+		if c == 0 {
+			t.Fatalf("receiver instance %d processed nothing", i)
+		}
+		total += c
+		s.mu.Lock()
+		for v, cnt := range s.seen {
+			all.seen[v] += cnt
+		}
+		s.mu.Unlock()
+	}
+	if total != n {
+		t.Fatalf("total processed %d, want %d", total, n)
+	}
+	all.exactlyOnce(t, n)
+	// Every lane actually scheduled work.
+	for i, ln := range e.lanes {
+		if ln.resource().Switches().Switches() == 0 {
+			t.Fatalf("lane %d never scheduled", i)
+		}
+	}
+}
+
+// TestShardedMultiEngineRemote drives the lane-sharded engines over the
+// remote (in-process transport) path, exercising the owned zero-copy
+// flush from lane-local buffer pools end to end.
+func TestShardedMultiEngineRemote(t *testing.T) {
+	const n, par = 6_000, 2
+	cfg := testConfig()
+	cfg.Lanes = 2
+	e1, err := NewEngine("shard-1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine("shard-2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &countingSource{n: n, payload: 64}
+	sinks := make([]*collectSink, par)
+	j, err := NewJob(shardedRelaySpec(par), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("sender", func(int) Source { return src })
+	j.SetProcessor("relay", func(int) Processor { return relayProc{} })
+	j.SetProcessor("receiver", func(i int) Processor {
+		sinks[i] = newCollectSink()
+		return sinks[i]
+	})
+	place := func(op string, _ int) int {
+		if op == "relay" {
+			return 1
+		}
+		return 0
+	}
+	if err := j.LaunchOn([]*Engine{e1, e2}, place, nil); err != nil {
+		t.Fatal(err)
+	}
+	finishJob(t, j)
+	var total int64
+	for _, s := range sinks {
+		total += s.count.Load()
+	}
+	if total != n {
+		t.Fatalf("total processed %d, want %d", total, n)
+	}
+	if e1.Metrics().Counter("bytes_out").Value() == 0 || e2.Metrics().Counter("bytes_out").Value() == 0 {
+		t.Fatal("remote path not exercised")
+	}
+}

@@ -641,7 +641,6 @@ func (s *Supervisor) settleSurvivors(dead *Engine) {
 func (s *Supervisor) rebuildInstances(dead *Engine, deadInsts []*instance) error {
 	j := s.j
 	cfg := j.cfg
-	res := dead.Resource()
 	for _, inst := range deadInsts {
 		if inst.proc != nil {
 			f, ok := j.procs[inst.op.Name]
@@ -650,7 +649,7 @@ func (s *Supervisor) rebuildInstances(dead *Engine, deadInsts []*instance) error
 			}
 			inst.proc = f(inst.idx)
 			ds, err := granules.NewStreamDataset[*inBatch](
-				"in", res, inst.taskID(), cfg.InLowWatermark, cfg.InHighWatermark)
+				"in", inst.ln.resource(), inst.taskID(), cfg.InLowWatermark, cfg.InHighWatermark)
 			if err != nil {
 				return err
 			}
@@ -700,7 +699,7 @@ func (s *Supervisor) rebuildInstances(dead *Engine, deadInsts []*instance) error
 			if tp, ok := inst.proc.(TickingProcessor); ok && tp.TickInterval() > 0 {
 				strategy = granules.Combined{Data: granules.DataDriven{}, Every: tp.TickInterval()}
 			}
-			if err := res.Register(inst, strategy); err != nil {
+			if err := inst.ln.resource().Register(inst, strategy); err != nil {
 				return err
 			}
 		}

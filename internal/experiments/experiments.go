@@ -121,6 +121,13 @@ type RelayConfig struct {
 	// SinkDelayNs, when non-nil, is read per packet at the receiver and
 	// slept (the Fig. 3/4 variable-rate stage C).
 	SinkDelayNs *atomic.Int64
+	// Lanes shards each engine into per-core execution lanes
+	// (core.Config.Lanes); 0 means one lane, the unsharded engine.
+	Lanes int
+	// Parallelism sets the relay/receiver operator instance count (0 =
+	// 1). With Lanes > 1 the instances round-robin across lanes, which is
+	// what lets the lane sweep scale past one core.
+	Parallelism int
 	// RelayWorkNs busy-spins the relay processor per packet, simulating
 	// domain-specific processing logic (the paper's non-communication
 	// experiments use complex multi-stage jobs; without this, the
@@ -147,14 +154,18 @@ type RelayResult struct {
 	AllocPerPkt float64 // heap allocations per received packet
 }
 
-// relaySpec builds the Fig. 1 graph.
-func relaySpec() *graph.Spec {
+// relaySpec builds the Fig. 1 graph with par parallel relay/receiver
+// instances (par <= 1 is the paper's single-instance pipeline).
+func relaySpec(par int) *graph.Spec {
+	if par < 1 {
+		par = 1
+	}
 	s := &graph.Spec{
 		Name: "relay",
 		Operators: []graph.OperatorSpec{
 			{Name: "sender", Kind: graph.KindSource},
-			{Name: "relay", Kind: graph.KindProcessor},
-			{Name: "receiver", Kind: graph.KindProcessor},
+			{Name: "relay", Kind: graph.KindProcessor, Parallelism: par},
+			{Name: "receiver", Kind: graph.KindProcessor, Parallelism: par},
 		},
 		Links: []graph.LinkSpec{
 			{From: "sender", To: "relay"},
@@ -191,6 +202,7 @@ func RunRelay(cfg RelayConfig) (RelayResult, error) {
 		ecfg.OutHighWatermark = cfg.OutHighWatermark
 		ecfg.OutLowWatermark = cfg.OutLowWatermark
 	}
+	ecfg.Lanes = cfg.Lanes
 	eA, err := core.NewEngine("A", ecfg)
 	if err != nil {
 		return RelayResult{}, err
@@ -208,7 +220,7 @@ func RunRelay(cfg RelayConfig) (RelayResult, error) {
 	var received atomic.Uint64
 	stop := atomic.Bool{}
 
-	job, err := core.NewJob(relaySpec(), ecfg)
+	job, err := core.NewJob(relaySpec(cfg.Parallelism), ecfg)
 	if err != nil {
 		return RelayResult{}, err
 	}
@@ -289,7 +301,7 @@ func RunRelay(cfg RelayConfig) (RelayResult, error) {
 	res.P99Latency = time.Duration(lat.P99Ns)
 	res.BytesOut = eA.Metrics().Counter("bytes_out").Value()
 	res.BatchesOut = eA.Metrics().Counter("batches_out").Value()
-	res.Switches = eB.Resource().Switches().Switches()
+	res.Switches = eB.ContextSwitches()
 	res.PoolHitRate = eA.PacketPoolStats().HitRate()
 	return res, nil
 }

@@ -59,6 +59,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerPoolUseAfterPut,
+		analyzerRetainedBuf,
 		analyzerHotPathLock,
 		analyzerCowStore,
 		analyzerLockedCallback,
@@ -91,6 +92,7 @@ const (
 	directiveHotPath    = "//neptune:hotpath"
 	directiveCow        = "//neptune:cow"
 	directiveDiscardErr = "//neptune:discarderr"
+	directiveHandoff    = "//neptune:handoff"
 )
 
 // hasDirective reports whether the comment group carries the directive

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// retainedbuf enforces the zero-copy egress ownership convention (ISSUE
+// 7): a call annotated //neptune:handoff (on the call's line or the line
+// above) transfers ownership of its byte-slice arguments to the callee —
+// the OwnedSender contract, where the transport owns the buffer
+// unconditionally from the call on and the release callback is the only
+// point where ownership comes back. Any later mention of a handed-off
+// slice in the same function — reads, reslices, passing it to another
+// call, storing it into a field, or handing it off a second time — races
+// the transport's gather-write and the buffer pool's reuse of the
+// backing array.
+//
+// The analysis is function-local and source-ordered, with the same path
+// discipline as pooluseafterput: reassignment ends tracking, and uses on
+// exclusive branches (other if/switch arms, or separated from the
+// handoff by a terminating block) are not reported. References inside
+// the annotated call itself — including the release closure, which by
+// contract runs only once the transport is done — are part of the
+// handoff, not a retention.
+var analyzerRetainedBuf = &Analyzer{
+	Name: "retainedbuf",
+	Doc:  "payload slice retained past a //neptune:handoff ownership transfer",
+	Run:  runRetainedBuf,
+}
+
+type bufEventKind int
+
+const (
+	evHandoff bufEventKind = iota // var's ownership left with an annotated call
+	evBufKill                     // var reassigned; tracking ends
+	evBufUse                      // any other mention — illegal after a handoff
+)
+
+type bufEvent struct {
+	pos    token.Pos
+	kind   bufEventKind
+	v      *types.Var
+	detail string // for evHandoff: the callee; for evBufUse: context
+	stack  []ast.Node
+}
+
+func runRetainedBuf(p *Package) []Finding {
+	r := &reporter{rule: "retainedbuf", pkg: p}
+	for _, f := range p.Files {
+		directives := directiveLines(p, f, directiveHandoff)
+		if len(directives) == 0 {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				analyzeHandoffFunc(r, p, fd, directives)
+			}
+		}
+	}
+	return r.out
+}
+
+// isByteSlice reports whether t (through named types) is a []byte.
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func analyzeHandoffFunc(r *reporter, p *Package, fd *ast.FuncDecl, directives map[int]string) {
+	fname := funcName(fd)
+
+	// Each directive annotates exactly one call: the outermost call
+	// starting on the directive's own line (trailing form), or failing
+	// that on the line below (standalone form). Nested calls inside the
+	// annotated expression — the release closure's body in particular —
+	// are part of the handoff, not handoffs of their own.
+	annotatedCalls := make(map[*ast.CallExpr]bool)
+	for dl := range directives {
+		var sameLine, lineBelow *ast.CallExpr
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch p.Fset.Position(call.Pos()).Line {
+			case dl:
+				if sameLine == nil {
+					sameLine = call
+				}
+			case dl + 1:
+				if lineBelow == nil {
+					lineBelow = call
+				}
+			}
+			return true
+		})
+		if sameLine != nil {
+			annotatedCalls[sameLine] = true
+		} else if lineBelow != nil {
+			annotatedCalls[lineBelow] = true
+		}
+	}
+	if len(annotatedCalls) == 0 {
+		return
+	}
+
+	localVar := func(id *ast.Ident) *types.Var {
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+			return nil
+		}
+		return v
+	}
+
+	// Pass 1: find annotated calls and the byte-slice idents they consume.
+	// The handoff takes effect at the call's End, so every mention inside
+	// the call (the argument itself, the release closure's body) sorts
+	// before it and stays legal.
+	type handoff struct {
+		call *ast.CallExpr
+		args []*ast.Ident
+	}
+	var handoffs []handoff
+	consumed := make(map[*ast.Ident]*ast.CallExpr)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !annotatedCalls[call] {
+			return true
+		}
+		h := handoff{call: call}
+		for _, a := range call.Args {
+			id, ok := a.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if v := localVar(id); v != nil && isByteSlice(v.Type()) {
+				h.args = append(h.args, id)
+				consumed[id] = call
+			}
+		}
+		if len(h.args) > 0 {
+			handoffs = append(handoffs, h)
+		}
+		return true
+	})
+	if len(handoffs) == 0 {
+		return
+	}
+
+	// Pass 2: collect handoff/kill/use events for the consumed variables
+	// in source order.
+	tracked := make(map[*types.Var]bool)
+	for _, h := range handoffs {
+		for _, id := range h.args {
+			tracked[localVar(id)] = true
+		}
+	}
+	var events []bufEvent
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || len(stack) == 0 {
+			return true
+		}
+		v := localVar(id)
+		if v == nil || !tracked[v] {
+			return true
+		}
+		if call, ok := consumed[id]; ok {
+			events = append(events, bufEvent{
+				pos: call.End(), kind: evHandoff, v: v,
+				detail: types.ExprString(call.Fun), stack: snapshotStack(stack),
+			})
+			return true
+		}
+		parent := stack[len(stack)-1]
+		switch pn := parent.(type) {
+		case *ast.SelectorExpr:
+			if pn.Sel == id {
+				return true // field/method name, not a variable use
+			}
+		case *ast.AssignStmt:
+			for _, l := range pn.Lhs {
+				if l == ast.Expr(id) {
+					events = append(events, bufEvent{
+						pos: id.Pos(), kind: evBufKill, v: v, stack: snapshotStack(stack),
+					})
+					return true
+				}
+			}
+		}
+		events = append(events, bufEvent{
+			pos: id.Pos(), kind: evBufUse, v: v, detail: id.Name, stack: snapshotStack(stack),
+		})
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Pass 3: linear scan — after a handoff, any sequentially reachable
+	// mention is a retention; a second handoff of the same slice is too.
+	type handoffInfo struct {
+		ev       bufEvent
+		reported bool
+	}
+	active := make(map[*types.Var]*handoffInfo)
+	for _, ev := range events {
+		switch ev.kind {
+		case evBufKill:
+			delete(active, ev.v)
+		case evHandoff:
+			if hi, ok := active[ev.v]; ok && !hi.reported && sameStraightLinePath(hi.ev.stack, ev.stack) {
+				r.report(ev.pos, fname+":retainedbuf("+ev.v.Name()+")",
+					"%s is handed off to %s again after its ownership already moved to %s — double handoff of one buffer",
+					ev.v.Name(), ev.detail, hi.ev.detail)
+				hi.reported = true
+				continue
+			}
+			active[ev.v] = &handoffInfo{ev: ev}
+		case evBufUse:
+			hi, ok := active[ev.v]
+			if !ok || hi.reported || !sameStraightLinePath(hi.ev.stack, ev.stack) {
+				continue
+			}
+			r.report(ev.pos, fname+":retainedbuf("+ev.v.Name()+")",
+				"%s is used after being handed off to %s — the callee owns the buffer and may have already recycled it",
+				ev.v.Name(), hi.ev.detail)
+			hi.reported = true
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package handoff exercises the retainedbuf analyzer: a call annotated
+// //neptune:handoff takes ownership of its byte-slice arguments, and
+// any sequentially reachable mention afterwards is a retention. Hits
+// are marked with `// want "substring"`; everything unmarked must stay
+// clean.
+package handoff
+
+type link struct {
+	last []byte
+}
+
+// sendOwned stands in for transport.OwnedSender.SendOwned: the callee
+// owns payload from the call on, release is the only reclaim point.
+func sendOwned(channel uint32, payload []byte, release func()) error {
+	_ = channel
+	if release != nil {
+		release()
+	}
+	return nil
+}
+
+func recycle(buf []byte) { _ = buf }
+
+// ---- hits ----
+
+func readAfterHandoff(frame []byte) int {
+	_ = sendOwned(1, frame, nil) //neptune:handoff
+	return len(frame)            // want "used after being handed off"
+}
+
+func indexAfterHandoff(frame []byte) byte {
+	//neptune:handoff
+	_ = sendOwned(1, frame, nil)
+	return frame[0] // want "used after being handed off"
+}
+
+func passAfterHandoff(frame []byte) {
+	_ = sendOwned(1, frame, nil) //neptune:handoff
+	recycle(frame)               // want "used after being handed off"
+}
+
+func doubleHandoff(frame []byte) {
+	_ = sendOwned(1, frame, nil) //neptune:handoff
+	//neptune:handoff
+	_ = sendOwned(2, frame, nil) // want "double handoff"
+}
+
+func retainAfterHandoff(l *link, frame []byte) {
+	_ = sendOwned(1, frame, nil) //neptune:handoff
+	l.last = frame               // want "used after being handed off"
+}
+
+func resliceAfterHandoff(frame []byte) []byte {
+	_ = sendOwned(1, frame, nil) //neptune:handoff
+	return frame[:0]             // want "used after being handed off"
+}
+
+// ---- non-hits ----
+
+// releaseClosureIsLegal is the sanctioned zero-copy flush shape: the
+// release closure references the buffer, but it is part of the handoff
+// itself — the transport invokes it exactly once when it is done.
+func releaseClosureIsLegal(frame []byte) error {
+	size := len(frame)                                    // reads before the handoff are fine
+	err := sendOwned(1, frame, func() { recycle(frame) }) //neptune:handoff
+	if err != nil {
+		return err
+	}
+	_ = size
+	return nil
+}
+
+// reassignmentEndsTracking: a fresh buffer is a fresh ownership story.
+func reassignmentEndsTracking(frame []byte) int {
+	_ = sendOwned(1, frame, nil) //neptune:handoff
+	frame = make([]byte, 8)
+	return len(frame)
+}
+
+// exclusiveBranchesAreFine: the handoff and the use sit in different
+// arms of the same if, so no execution sees both.
+func exclusiveBranchesAreFine(frame []byte, fast bool) int {
+	if fast {
+		_ = sendOwned(1, frame, nil) //neptune:handoff
+		return 0
+	}
+	return len(frame)
+}
+
+// unannotatedCallKeepsOwnership: without the directive the callee only
+// borrows the slice (the copying Send contract).
+func unannotatedCallKeepsOwnership(frame []byte) int {
+	_ = sendOwned(1, frame, nil)
+	return len(frame)
+}
+
+// nonSliceArgsUntracked: the channel argument is not a buffer; using it
+// after the call is fine.
+func nonSliceArgsUntracked(channel uint32, frame []byte) uint32 {
+	_ = sendOwned(channel, frame, nil) //neptune:handoff
+	return channel
+}

@@ -211,6 +211,167 @@ func TestConcurrentSendDuringCorruptionStorm(t *testing.T) {
 	wg.Wait()
 }
 
+// scriptedConn is a fake net.Conn for driving the writer's gather loop
+// deterministically: the first frame's header write passes, its payload
+// write signals blocked and then parks on gate (letting the test build a
+// backlog), and the next write — the first header of the coalesced
+// batch — accepts a few bytes and fails, a mid-batch short write.
+type scriptedConn struct {
+	injected error
+	writes   atomic.Int32
+	blocked  chan struct{} // closed when the payload write parks
+	gate     chan struct{} // closed by the test to release it
+	done     chan struct{} // closed by Close; unblocks Read
+	closeOne sync.Once
+}
+
+func newScriptedConn(injected error) *scriptedConn {
+	return &scriptedConn{
+		injected: injected,
+		blocked:  make(chan struct{}),
+		gate:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (c *scriptedConn) Write(b []byte) (int, error) {
+	switch c.writes.Add(1) {
+	case 1: // first frame's header
+		return len(b), nil
+	case 2: // first frame's payload: park until the backlog is queued
+		close(c.blocked)
+		<-c.gate
+		return len(b), nil
+	case 3: // first header of the gather batch: short write, then error
+		return min(5, len(b)), c.injected
+	default:
+		return 0, c.injected
+	}
+}
+
+func (c *scriptedConn) Read(b []byte) (int, error) {
+	<-c.done
+	return 0, net.ErrClosed
+}
+func (c *scriptedConn) Close() error {
+	c.closeOne.Do(func() { close(c.done) })
+	return nil
+}
+func (c *scriptedConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *scriptedConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *scriptedConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptedConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptedConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestGatherMidBatchShortWriteReleasesOnce pins the writer's failure
+// accounting (ISSUE 7): when a vectored write dies partway through a
+// coalesced batch, every unflushed frame must decrement InFlight exactly
+// once and fire its owned-buffer release exactly once — no leaks (frames
+// never settled) and no double releases (buffers pooled twice) — and the
+// injected error must surface via OnError.
+func TestGatherMidBatchShortWriteReleasesOnce(t *testing.T) {
+	injected := errors.New("injected mid-batch short write")
+	conn := newScriptedConn(injected)
+	var lastErr atomic.Value
+	tr, err := NewTCP(conn, nil, TCPOptions{
+		OnError: func(e error) { lastErr.Store(e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const n = 9 // frame 0 writes alone; 1..8 coalesce into the doomed batch
+	releases := make([]atomic.Int32, n)
+	send := func(i int) error {
+		return tr.SendOwned(uint32(i), seqPayload(i), func() { releases[i].Add(1) })
+	}
+	if err := send(0); err != nil {
+		t.Fatal(err)
+	}
+	// The writer is now parked inside the first frame's payload write;
+	// everything sent here lands in the queue and becomes one batch.
+	select {
+	case <-conn.blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never reached the scripted payload write")
+	}
+	for i := 1; i < n; i++ {
+		if err := send(i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	close(conn.gate)
+
+	if err := waitErr(t, &lastErr); !errors.Is(err, injected) {
+		t.Fatalf("OnError got %v, want the injected write error", err)
+	}
+	waitFor(t, func() bool { return tr.inflight.Load() == 0 })
+	// Raw counter, not InFlight(): the accessor clamps negatives, which
+	// would hide a double decrement.
+	if got := tr.inflight.Load(); got != 0 {
+		t.Fatalf("inflight settled at %d, want 0", got)
+	}
+	for i := range releases {
+		if got := releases[i].Load(); got != 1 {
+			t.Fatalf("frame %d released %d times, want exactly 1", i, got)
+		}
+	}
+
+	// After the terminal error the transport still owns rejected payloads:
+	// SendOwned must fail with the recorded IO error and fire release
+	// exactly once on the way out.
+	var late atomic.Int32
+	if err := tr.SendOwned(99, seqPayload(99), func() { late.Add(1) }); !errors.Is(err, injected) {
+		t.Fatalf("post-error SendOwned = %v, want injected error", err)
+	}
+	if got := late.Load(); got != 1 {
+		t.Fatalf("post-error release fired %d times, want 1", got)
+	}
+	if got := tr.inflight.Load(); got != 0 {
+		t.Fatalf("post-error inflight = %d, want 0", got)
+	}
+}
+
+// TestSendOwnedReleaseAfterDelivery pins the success path of the owned
+// gather-write contract over a real socket pair: every release fires
+// exactly once, only after its bytes reached the kernel, the frames are
+// delivered intact, and the gather counters account for every frame.
+func TestSendOwnedReleaseAfterDelivery(t *testing.T) {
+	c := &collect{}
+	ln, err := Listen("127.0.0.1:0", c.handler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	tr, err := Dial(ln.Addr(), nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const n = 500
+	releases := make([]atomic.Int32, n)
+	for i := 0; i < n; i++ {
+		i := i
+		if err := tr.SendOwned(7, seqPayload(i), func() { releases[i].Add(1) }); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	c.wait(t, n)
+	waitFor(t, func() bool { return tr.InFlight() == 0 })
+	for i := range releases {
+		if got := releases[i].Load(); got != 1 {
+			t.Fatalf("frame %d released %d times, want exactly 1", i, got)
+		}
+	}
+	verifyExactlyOnceInOrder(t, c, n)
+	writes, frames := tr.GatherStats()
+	if writes == 0 || frames != n {
+		t.Fatalf("gather stats writes=%d frames=%d, want all %d frames accounted", writes, frames, n)
+	}
+}
+
 func TestValidFramesAroundFailureStillDelivered(t *testing.T) {
 	// A good frame before the corruption is delivered; the connection
 	// dies at the corruption; a fresh connection keeps working.

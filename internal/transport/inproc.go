@@ -55,6 +55,13 @@ func (t *Inproc) ioLoop() {
 		t.stats.framesReceived.Add(1)
 		t.stats.bytesReceived.Add(uint64(len(f.Payload)))
 		t.handler(f)
+		if f.release != nil {
+			// Owned payload: the handler contract says it must finish with
+			// the slice before returning, so the buffer can go back to its
+			// pool now — the in-process analogue of "bytes reached the
+			// kernel".
+			f.release()
+		}
 		t.inflight.Add(-1)
 	}
 }
@@ -90,6 +97,43 @@ func (t *Inproc) Send(channel uint32, payload []byte) error {
 	return nil
 }
 
+// SendOwned enqueues payload without copying it (see OwnedSender): the IO
+// goroutine hands the same backing slice to the handler and calls release
+// when the handler returns. The transport owns payload from this call on,
+// error returns included — release fires exactly once either way.
+func (t *Inproc) SendOwned(channel uint32, payload []byte, release func()) error {
+	reject := func(err error) error {
+		if release != nil {
+			release()
+		}
+		return err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return reject(ErrClosed)
+	}
+	t.mu.Unlock()
+	if len(payload) > MaxFrameSize {
+		return reject(ErrFrameTooBig)
+	}
+	if t.queue.Gated() {
+		t.stats.sendBlocked.Add(1)
+	}
+	t.inflight.Add(1)
+	f := Frame{Channel: channel, Payload: payload, release: release}
+	if err := t.queue.Push(f, int64(len(payload))+64); err != nil {
+		t.inflight.Add(-1)
+		if errors.Is(err, backpressure.ErrClosed) {
+			return reject(ErrClosed)
+		}
+		return reject(err)
+	}
+	t.stats.framesSent.Add(1)
+	t.stats.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
 // Stats reports transfer counters.
 func (t *Inproc) Stats() Stats { return t.stats.snapshot() }
 
@@ -114,4 +158,7 @@ func (t *Inproc) Close() error {
 	return nil
 }
 
-var _ Transport = (*Inproc)(nil)
+var (
+	_ Transport   = (*Inproc)(nil)
+	_ OwnedSender = (*Inproc)(nil)
+)

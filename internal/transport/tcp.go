@@ -16,13 +16,16 @@ import (
 
 // TCP is the distributed transport: one TCP connection carrying framed
 // batches. A writer IO goroutine drains the bounded outbound queue into
-// the socket (coalescing frames through a bufio.Writer, reducing syscalls
-// exactly as the paper's application-level buffering intends), and a
-// reader IO goroutine parses inbound frames and hands them to the
-// receiver's handler. Send blocks when the outbound queue is full; since
-// the writer stalls when the kernel send buffer fills — which happens when
-// the remote reader stops draining — backpressure propagates end to end
-// through TCP flow control, as in the paper.
+// the socket with vectored gather-writes (net.Buffers / writev): headers
+// and payloads go to the kernel straight from their backing buffers, no
+// intermediate coalescing copy, and a run of queued frames becomes one
+// syscall — the copy-elimination counterpart of the paper's
+// application-level buffering. A reader IO goroutine parses inbound
+// frames and hands them to the receiver's handler. Send blocks when the
+// outbound queue is full; since the writer stalls when the kernel send
+// buffer fills — which happens when the remote reader stops draining —
+// backpressure propagates end to end through TCP flow control, as in the
+// paper.
 type TCP struct {
 	conn    net.Conn
 	handler Handler
@@ -30,16 +33,33 @@ type TCP struct {
 	stats   statCounters
 	wgWrite sync.WaitGroup
 	wgRead  sync.WaitGroup
-	// inflight counts frames accepted by Send whose bytes have not yet been
-	// flushed to the socket; a job drain polls it to catch frames still
-	// sitting in the outbound queue or the write coalescing buffer.
+	// inflight counts frames accepted by Send/SendOwned whose bytes have
+	// not yet reached the kernel; a job drain polls it to catch frames
+	// still sitting in the outbound queue or a gather batch being written.
 	inflight atomic.Int64
+	// gatherWrites / gatherFrames count vectored writes and the frames
+	// they carried; their ratio is the achieved coalescing factor.
+	gatherWrites atomic.Uint64
+	gatherFrames atomic.Uint64
 
 	mu      sync.Mutex
 	closed  bool
 	ioErr   error
 	onError func(error)
 }
+
+// Gather-write tuning.
+const (
+	// maxGatherFrames bounds the frames coalesced into one vectored
+	// write: two iovecs per frame keeps a full batch far below Linux's
+	// IOV_MAX (1024) while still amortizing the syscall up to 64x under
+	// backlog.
+	maxGatherFrames = 64
+	// minGatherBytes floors the adaptive coalescing budget: a lone small
+	// frame is never delayed to wait for peers, it just goes out in an
+	// under-filled writev.
+	minGatherBytes = 4 << 10
+)
 
 // TCPOptions configures a TCP transport endpoint.
 type TCPOptions struct {
@@ -218,47 +238,155 @@ func (t *TCP) Send(channel uint32, payload []byte) error {
 	return nil
 }
 
+// SendOwned enqueues payload without copying it (see OwnedSender). The
+// transport owns payload from this call on: release fires exactly once —
+// after the gather-write that carried the frame reached the kernel, when
+// the frame is dropped on a terminal IO error, or before an error return
+// from SendOwned itself.
+func (t *TCP) SendOwned(channel uint32, payload []byte, release func()) error {
+	reject := func(err error) error {
+		if release != nil {
+			release()
+		}
+		return err
+	}
+	t.mu.Lock()
+	if t.closed {
+		err := t.ioErr
+		t.mu.Unlock()
+		if err != nil {
+			return reject(err)
+		}
+		return reject(ErrClosed)
+	}
+	t.mu.Unlock()
+	if len(payload) > MaxFrameSize {
+		return reject(ErrFrameTooBig)
+	}
+	if t.queue.Gated() {
+		t.stats.sendBlocked.Add(1)
+	}
+	// Count before Push so InFlight never reads 0 while the frame is
+	// already visible to the write loop.
+	t.inflight.Add(1)
+	f := Frame{Channel: channel, Payload: payload, release: release}
+	if err := t.queue.Push(f, int64(len(payload))+headerSize); err != nil {
+		t.inflight.Add(-1)
+		if errors.Is(err, backpressure.ErrClosed) {
+			return reject(ErrClosed)
+		}
+		return reject(err)
+	}
+	t.stats.framesSent.Add(1)
+	t.stats.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+// GatherStats reports the writer's vectored-write counters: writes is the
+// number of writev calls, frames how many frames they carried.
+func (t *TCP) GatherStats() (writes, frames uint64) {
+	return t.gatherWrites.Load(), t.gatherFrames.Load()
+}
+
+// writeLoop drains the outbound queue with vectored gather-writes: each
+// round pops a run of frames, lays their headers out in a fixed arena,
+// and hands header/payload pairs to net.Buffers.WriteTo (writev on
+// Linux) — zero copies between the queue and the kernel. The per-round
+// byte budget adapts per link: a queue still backlogged after a write
+// (the regime the flow-signal telemetry advertises upstream) doubles the
+// budget up to the configured write-buffer size, amortizing syscalls
+// exactly when the link is saturated; an emptied queue halves it back
+// toward minGatherBytes so a trickle of lone frames never waits.
+// Owned payloads are released — returned to their pool — only after the
+// vectored write that carried them returns, preserving the InFlight and
+// replay-journal invariants of the copying path.
 func (t *TCP) writeLoop(bufSize int) {
 	defer t.wgWrite.Done()
-	w := bufio.NewWriterSize(t.conn, bufSize)
-	var hdr [headerSize]byte
-	// Frames written into w but not yet flushed; their inflight counts are
-	// released only once the bytes reach the kernel.
-	unflushed := int64(0)
+	var (
+		hdrs  [maxGatherFrames][headerSize]byte
+		batch [maxGatherFrames]Frame
+		arena = make(net.Buffers, 0, 2*maxGatherFrames)
+	)
+	target := minGatherBytes
+	if bufSize < target {
+		target = bufSize
+	}
 	for {
 		f, ok := t.queue.Pop()
 		if !ok {
-			// Final drain: a failed flush means the tail frames never
-			// reached the kernel — surface it instead of dropping it.
-			if err := w.Flush(); err != nil {
-				t.fail(err)
+			return // clean close: queue fully drained by earlier rounds
+		}
+		n, bytes := 0, 0
+		vecs := arena[:0]
+		for {
+			batch[n] = f
+			putHeader(hdrs[n][:], f.Channel, f.Payload)
+			vecs = append(vecs, hdrs[n][:])
+			if len(f.Payload) > 0 {
+				vecs = append(vecs, f.Payload)
 			}
-			t.inflight.Add(-unflushed)
-			return
-		}
-		putHeader(hdr[:], f.Channel, f.Payload)
-		if _, err := w.Write(hdr[:]); err != nil {
-			t.fail(err)
-			t.inflight.Store(0)
-			return
-		}
-		if _, err := w.Write(f.Payload); err != nil {
-			t.fail(err)
-			t.inflight.Store(0)
-			return
-		}
-		unflushed++
-		// Flush only when no more frames are immediately available —
-		// consecutive frames coalesce into one syscall.
-		if t.queue.Len() == 0 {
-			if err := w.Flush(); err != nil {
-				t.fail(err)
-				t.inflight.Store(0)
-				return
+			bytes += headerSize + len(f.Payload)
+			n++
+			if n == maxGatherFrames || bytes >= target || t.queue.Len() == 0 {
+				break
 			}
-			t.inflight.Add(-unflushed)
-			unflushed = 0
+			if f, ok = t.queue.TryPop(); !ok {
+				break
+			}
 		}
+		// Adapt the budget before writing: still-backlogged means grow,
+		// drained means decay.
+		if t.queue.Len() > 0 {
+			if target < bufSize {
+				target = min(target*2, bufSize)
+			}
+		} else if target > minGatherBytes {
+			target = max(target/2, minGatherBytes)
+		}
+		// WriteTo consumes from the slice it is given; write through a
+		// copy of the header so the arena's backing array survives reuse.
+		wr := vecs
+		if _, err := wr.WriteTo(t.conn); err != nil {
+			t.fail(err)
+			// Exactly one inflight decrement and one release per frame of
+			// the unflushed batch, then drain what Send already queued.
+			t.releaseBatch(batch[:n])
+			t.drainAfterError()
+			return
+		}
+		t.gatherWrites.Add(1)
+		t.gatherFrames.Add(uint64(n))
+		t.releaseBatch(batch[:n])
+	}
+}
+
+// releaseBatch settles a written (or abandoned) gather batch: each owned
+// payload goes back to its pool and each frame's inflight count drops —
+// exactly once per frame, whether the bytes made it out or the write
+// failed mid-batch.
+func (t *TCP) releaseBatch(batch []Frame) {
+	for i := range batch {
+		if batch[i].release != nil {
+			batch[i].release()
+		}
+		batch[i] = Frame{}
+	}
+	t.inflight.Add(-int64(len(batch)))
+}
+
+// drainAfterError empties the queue after a terminal IO error so frames
+// the writer will never deliver still release their buffers and inflight
+// counts (fail closed the queue; Pop hands back the remainder).
+func (t *TCP) drainAfterError() {
+	for {
+		f, ok := t.queue.Pop()
+		if !ok {
+			return
+		}
+		if f.release != nil {
+			f.release()
+		}
+		t.inflight.Add(-1)
 	}
 }
 
@@ -368,4 +496,7 @@ func (t *TCP) Close() error {
 	return err
 }
 
-var _ Transport = (*TCP)(nil)
+var (
+	_ Transport   = (*TCP)(nil)
+	_ OwnedSender = (*TCP)(nil)
+)

@@ -61,6 +61,12 @@ type Frame struct {
 	// ctrl marks an internal control-plane frame: written with
 	// flagControl, unsequenced, and never journaled (set by SendControl).
 	ctrl bool
+	// release, when non-nil, returns the payload's backing buffer to its
+	// owner (set by SendOwned). The transport calls it exactly once: after
+	// the payload bytes reached the kernel, or when the frame is dropped
+	// on a terminal error. Frames built by the copying Send path leave it
+	// nil.
+	release func()
 }
 
 // Handler consumes inbound frames on the receiver's IO goroutine. The
@@ -68,6 +74,22 @@ type Frame struct {
 // returns; implementations must finish with it (or copy) before returning.
 // Blocking inside Handler applies backpressure to the remote sender.
 type Handler func(f Frame)
+
+// OwnedSender is an optional Transport extension for zero-copy egress:
+// SendOwned enqueues payload without copying it, so a pooled encode
+// buffer travels untouched from the engine's flush path into the writer's
+// vectored (gather) write. The transport assumes ownership of payload
+// unconditionally — whether SendOwned returns nil or an error, release is
+// invoked exactly once when the transport is done with the buffer (for
+// TCP, after the writev that carried the frame returned; on failure
+// paths, when the frame is dropped; possibly before SendOwned itself
+// returns). After calling SendOwned the caller must not read, reuse, or
+// re-pool payload: the release callback is the single point where
+// ownership comes back. release may be nil when the caller has nothing
+// to reclaim.
+type OwnedSender interface {
+	SendOwned(channel uint32, payload []byte, release func()) error
+}
 
 // Transport is a point-to-point frame mover.
 type Transport interface {

@@ -26,6 +26,17 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== lane smoke (-race -cpu 2) =="
+# The lane-sharded dispatch path and the headline acceptance tests under
+# the race detector at GOMAXPROCS=2: lanes only run truly concurrently
+# with more than one P, so this is where cross-lane races would surface.
+go test -race -cpu 2 -count=1 \
+    -run 'TestLane|TestSharded|TestCrashRecoveryExactlyOnceSharded|TestMembershipPartitionEvictRejoinSharded|TestTwoStageExactlyOnceInOrder|TestThreeStageRelayForwarding' \
+    ./internal/core
+go test -race -cpu 2 -count=1 \
+    -run 'TestGatherMidBatchShortWriteReleasesOnce|TestSendOwnedReleaseAfterDelivery' \
+    ./internal/transport
+
 echo "== fuzz smoke =="
 # Short seeded fuzzing of the wire decoders and the descriptor parser:
 # enough to catch regressions in the corpus and obvious panics, cheap
