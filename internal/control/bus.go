@@ -18,8 +18,10 @@ import (
 // must not block, the same contract as a transport read-loop callback.
 type Bus struct {
 	subs atomic.Pointer[[]*subscription] //neptune:cow subs
-	mu   sync.Mutex                      // serializes subscribe/unsubscribe
-	next uint64                          // publisher seq source (atomic)
+	// mu serializes subscribe/unsubscribe.
+	//neptune:lock bus-subs
+	mu   sync.Mutex
+	next uint64 // publisher seq source (atomic)
 }
 
 type subscription struct {

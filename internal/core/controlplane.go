@@ -56,6 +56,7 @@ type ControlFilter func(from, to string) bool
 type engineControl struct {
 	bus *control.Bus
 
+	//neptune:lock engine-ctrl
 	mu        sync.Mutex
 	uplinks   map[string]controlSender // toward engines that send data to us
 	downlinks map[string]controlSender // toward engines we send data to
@@ -224,6 +225,7 @@ func (e *Engine) deliverRemoteControl(payload []byte, fromDownstream bool) {
 	// arrival direction so multi-hop topologies disseminate state
 	// end to end. TTL bounds every relay chain.
 	var onward []namedLink
+	//neptune:kindexhaustive
 	switch m.Kind {
 	case control.KindWatermarkAdvertise, control.KindCreditGrant:
 		if !fromDownstream {
@@ -236,6 +238,10 @@ func (e *Engine) deliverRemoteControl(payload []byte, fromDownstream bool) {
 		} else {
 			onward = e.downlinkSnapshot()
 		}
+	case control.KindEpochHello, control.KindBarrierMarker:
+		// Hellos are point-to-point link identity and barrier markers
+		// are observability-only: neither relays beyond its first hop.
+		return
 	default:
 		return
 	}
@@ -319,6 +325,7 @@ type flowState struct {
 	lease int64        // nanos a hold survives without renewal
 	gated atomic.Int32 // active holds; 0 = run freely
 
+	//neptune:lock flow
 	mu    sync.Mutex
 	holds map[flowKey]*flowHold
 }

@@ -35,6 +35,7 @@ type Engine struct {
 	metrics *metrics.Registry
 	nowFn   atomic.Pointer[func() int64]
 
+	//neptune:lock engine
 	mu        sync.Mutex
 	nextLane  int // round-robin lane assignment cursor (under mu)
 	instances map[instKey]*instance

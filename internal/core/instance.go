@@ -83,6 +83,7 @@ func (d *destination) transport() transport.Transport {
 // compression) if the receiving engine crashes. Appends come from flush
 // timer goroutines; resets come from the supervisor's barrier.
 type replayLog struct {
+	//neptune:lock replay
 	mu      sync.Mutex
 	frames  [][]byte
 	packets []int // packet count per frame, for the replayed_packets metric
@@ -173,6 +174,7 @@ type instance struct {
 	// Remote-ingest dedup (Config.DedupRemote): next expected sequence per
 	// stream. Guarded by its own mutex because multiple transport IO
 	// goroutines may ingest frames for one instance concurrently.
+	//neptune:lock dedup
 	dedupMu   sync.Mutex
 	dedupNext map[uint32]uint64
 
@@ -187,6 +189,7 @@ type instance struct {
 	// exited) before snapshotting. pumpCrashed marks a pump stopped by a
 	// crash injection: its exit must not count toward the job's
 	// sources-finished accounting, because the supervisor restarts it.
+	//neptune:lock pause
 	pauseMu     sync.Mutex
 	pauseCh     chan struct{}
 	paused      atomic.Bool
@@ -219,6 +222,7 @@ type instance struct {
 
 // errOnce retains the first error recorded.
 type errOnce struct {
+	//neptune:lock erronce
 	mu  sync.Mutex
 	err error
 }

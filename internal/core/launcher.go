@@ -28,8 +28,9 @@ type Bridger interface {
 // in-memory queues.
 type InprocBridger struct {
 	low, high int64
-	mu        sync.Mutex
-	created   []transport.Transport
+	//neptune:lock bridge-inproc
+	mu      sync.Mutex
+	created []transport.Transport
 }
 
 // NewInprocBridger creates a bridger with the given outbound watermarks
@@ -90,6 +91,7 @@ type TCPBridger struct {
 	opts  transport.TCPOptions
 	ropts *transport.ResilientOptions // non-nil selects resilient endpoints
 
+	//neptune:lock bridge-tcp
 	mu        sync.Mutex
 	listeners map[string]bridgeListener // engine name -> listener
 	addrs     map[string]string
@@ -324,6 +326,7 @@ type Job struct {
 	// live transport for that pair. The supervisor replaces entries when
 	// it rebuilds links after a crash; trMu guards the map against the
 	// concurrent reads in Drain's settle checks.
+	//neptune:lock job-links
 	trMu       sync.Mutex
 	transports map[[2]string]transport.Transport
 
@@ -340,6 +343,7 @@ type Job struct {
 	// check credits the receiver with this many frames.
 	drainSlack atomic.Uint64
 
+	//neptune:lock job-sup
 	supMu sync.Mutex
 	sup   *Supervisor
 

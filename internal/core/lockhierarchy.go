@@ -1,0 +1,42 @@
+// Lock hierarchy of the core runtime, enforced by neptune-vet's
+// lockorder analyzer (see DESIGN.md §14). Each //neptune:lockorder
+// declaration below states "the left lock may be held while acquiring
+// the right one"; the analyzer takes the transitive closure and flags
+// any acquisition edge outside it, plus any cycle.
+//
+// Two locks sit at the top:
+//
+//   - sup (Supervisor.mu) is the global outermost lock: recovery and
+//     checkpointing hold it across pause gates, link rebuilds, replay
+//     logs, engine revival, and membership rejoin. Nothing may acquire
+//     sup while holding any other annotated lock.
+//   - bridge-tcp (TCPBridger.mu) is held while building and inspecting
+//     links, which reaches into engine control registration and the
+//     resilient transport's state/journal locks.
+//
+// Every other annotated lock is a leaf: it is never observed (and must
+// never be) held across an acquisition of another annotated lock. The
+// membership package keeps member-node, member-map, and member-detector
+// independent by collecting outgoing frames under its lock and sending
+// after release; the control bus and flow/pause/dedup locks guard plain
+// data with no calls out.
+package core
+
+// Supervisor recovery/checkpoint reach (supervisor.go).
+//
+//neptune:lockorder sup < pause
+//neptune:lockorder sup < job-links
+//neptune:lockorder sup < dedup
+//neptune:lockorder sup < replay
+//neptune:lockorder sup < erronce
+//neptune:lockorder sup < engine
+//neptune:lockorder sup < engine-ctrl
+//neptune:lockorder sup < member-node
+//neptune:lockorder sup < member-map
+//neptune:lockorder sup < member-detector
+
+// TCP bridger link construction and health reach (launcher.go).
+//
+//neptune:lockorder bridge-tcp < engine-ctrl
+//neptune:lockorder bridge-tcp < rlink-state
+//neptune:lockorder bridge-tcp < rlink-journal

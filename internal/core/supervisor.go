@@ -60,7 +60,10 @@ type Supervisor struct {
 	opts SupervisorOptions
 
 	// mu serializes checkpoint epochs, recoveries, and shutdown: at most
-	// one global state transition at a time.
+	// one global state transition at a time. It is the outermost lock of
+	// the whole tree: recovery holds it across engine revival, link
+	// rebuilds, and membership rejoin.
+	//neptune:lock sup
 	mu    sync.Mutex
 	epoch uint64 // last completed checkpoint epoch (under mu)
 

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// analyzerControlKind enforces closed-set exhaustiveness for enum-like
+// types annotated //neptune:kindset (control.Kind being the motivating
+// one). For each kindset the universe is the declaring package's
+// exported constants of that type; the analyzer then checks that (a)
+// every switch annotated //neptune:kindexhaustive — the codec
+// pack/unpack switches, the relay TTL path — cases every constant
+// explicitly (a default clause does not count as handling), and (b)
+// every constant appears in some Fuzz* function of the declaring
+// package's tests, so a new frame kind cannot land without corpus
+// coverage. Switches run cross-package: the kindset is declared in
+// internal/control but the relay path lives in internal/core.
+var analyzerControlKind = &Analyzer{
+	Name:       "controlkind",
+	Doc:        "//neptune:kindset constants must be cased in every //neptune:kindexhaustive switch and fuzz-seeded",
+	RunProgram: runControlKind,
+}
+
+// kindConst is one constant of a kindset universe.
+type kindConst struct {
+	name string
+	pos  token.Pos
+	pkg  *Package
+}
+
+// kindSet is one annotated enum type with its constant universe.
+type kindSet struct {
+	pkgPath  string
+	typeName string
+	pkg      *Package
+	consts   []kindConst
+}
+
+func runControlKind(pkgs []*Package) []Finding {
+	var out []Finding
+	sets := collectKindSets(pkgs)
+	if len(sets) == 0 {
+		return nil
+	}
+	for _, ks := range sets {
+		out = append(out, checkFuzzSeeds(ks)...)
+	}
+	for _, p := range pkgs {
+		out = append(out, checkExhaustiveSwitches(p, sets)...)
+	}
+	sortFindings(out)
+	return dedupFindings(out)
+}
+
+// collectKindSets finds //neptune:kindset type declarations and builds
+// each universe from the declaring package's exported constants of that
+// type, in declaration order.
+func collectKindSets(pkgs []*Package) map[string]*kindSet {
+	sets := make(map[string]*kindSet)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					annotated := hasDirective(ts.Doc, directiveKindSet) ||
+						hasDirective(ts.Comment, directiveKindSet) ||
+						(len(gd.Specs) == 1 && hasDirective(gd.Doc, directiveKindSet))
+					if !annotated {
+						continue
+					}
+					tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					ks := &kindSet{pkgPath: p.Path, typeName: tn.Name(), pkg: p}
+					scope := p.Pkg.Scope()
+					type posConst struct {
+						c   *types.Const
+						pos token.Pos
+					}
+					var cs []posConst
+					for _, name := range scope.Names() {
+						c, ok := scope.Lookup(name).(*types.Const)
+						if !ok || !c.Exported() {
+							continue
+						}
+						if named, ok := c.Type().(*types.Named); !ok || named.Obj() != tn {
+							continue
+						}
+						cs = append(cs, posConst{c, c.Pos()})
+					}
+					sort.Slice(cs, func(i, j int) bool { return cs[i].pos < cs[j].pos })
+					for _, pc := range cs {
+						ks.consts = append(ks.consts, kindConst{name: pc.c.Name(), pos: pc.pos, pkg: p})
+					}
+					sets[ks.pkgPath+"."+ks.typeName] = ks
+				}
+			}
+		}
+	}
+	return sets
+}
+
+// checkFuzzSeeds parses the declaring package's *_test.go files (syntax
+// only — test files are outside the export-data load) and requires every
+// constant of the universe to be mentioned inside some Fuzz* function.
+func checkFuzzSeeds(ks *kindSet) []Finding {
+	seeded := make(map[string]bool)
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(ks.pkg.Dir)
+	if err != nil {
+		entries = nil
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(ks.pkg.Dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					seeded[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	var out []Finding
+	for _, c := range ks.consts {
+		if seeded[c.name] {
+			continue
+		}
+		out = append(out, Finding{
+			Rule: "controlkind",
+			Pos:  c.pkg.Fset.Position(c.pos),
+			File: c.pkg.RelFile(c.pos),
+			Key:  "kindseed(" + c.name + ")",
+			Msg:  "no Fuzz* test in " + c.pkg.Path + " seeds " + c.name + " — add it to the fuzz corpus seeds",
+		})
+	}
+	return out
+}
+
+// checkExhaustiveSwitches validates every //neptune:kindexhaustive
+// switch in p against the kindset universe of its tag type.
+func checkExhaustiveSwitches(p *Package, sets map[string]*kindSet) []Finding {
+	r := &reporter{rule: "controlkind", pkg: p}
+	for _, f := range p.Files {
+		marked := directiveLines(p, f, directiveKindExhaustive)
+		if len(marked) == 0 {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				line := p.Fset.Position(sw.Pos()).Line
+				if _, on := marked[line]; !on {
+					if _, above := marked[line-1]; !above {
+						return true
+					}
+				}
+				checkOneSwitch(r, name, sw, sets)
+				return true
+			})
+		}
+	}
+	return r.out
+}
+
+func checkOneSwitch(r *reporter, fn string, sw *ast.SwitchStmt, sets map[string]*kindSet) {
+	p := r.pkg
+	var ks *kindSet
+	if sw.Tag != nil {
+		if tv, ok := p.Info.Types[sw.Tag]; ok {
+			if named, ok := tv.Type.(*types.Named); ok && named.Obj().Pkg() != nil {
+				ks = sets[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+			}
+		}
+	}
+	if ks == nil {
+		r.report(sw.Pos(), fn+":kindtag",
+			"//neptune:kindexhaustive switch tag is not a //neptune:kindset type")
+		return
+	}
+	cased := make(map[string]bool)
+	for _, cc := range sw.Body.List {
+		c, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range c.List {
+			var id *ast.Ident
+			switch x := e.(type) {
+			case *ast.Ident:
+				id = x
+			case *ast.SelectorExpr:
+				id = x.Sel
+			}
+			if id == nil {
+				continue
+			}
+			if c, ok := p.Info.Uses[id].(*types.Const); ok &&
+				c.Pkg() != nil && c.Pkg().Path() == ks.pkgPath {
+				cased[c.Name()] = true
+			}
+		}
+	}
+	for _, c := range ks.consts {
+		if cased[c.name] {
+			continue
+		}
+		r.report(sw.Pos(), fn+":kindmissing("+c.name+")",
+			"kindexhaustive switch over %s.%s misses %s (a default clause does not count as handling it)",
+			ks.pkg.Pkg.Name(), ks.typeName, c.name)
+	}
+}

@@ -2,8 +2,11 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -40,6 +43,9 @@ func TestMainFixtureFindings(t *testing.T) {
 		{"./cow", "[cowstore]"},
 		{"./lockedcb", "[lockedcallback]"},
 		{"./internal/transport/discard", "[errdiscard]"},
+		{"./lockorder/...", "[lockorder]"},
+		{"./lifecycle", "[goroutinelifecycle]"},
+		{"./kinds/...", "[controlkind]"},
 	}
 	for _, tc := range cases {
 		t.Run(strings.TrimPrefix(tc.pattern, "./"), func(t *testing.T) {
@@ -71,6 +77,138 @@ func TestMainMultiPackage(t *testing.T) {
 	}
 }
 
+// TestMainDeterministicOrdering: when several analyzers fire on the
+// same file (hotpath.go's go statement trips both hotpathlock and
+// goroutinelifecycle), the output interleaves them position-sorted with
+// rule name as the final tiebreaker, identically across runs, and the
+// exit code stays ExitFindings.
+func TestMainDeterministicOrdering(t *testing.T) {
+	args := []string{"./hotpath", "./lifecycle"}
+	code1, out1, _ := runMain(t, args, "testdata/src/fixture")
+	code2, out2, _ := runMain(t, args, "testdata/src/fixture")
+	if code1 != ExitFindings || code2 != ExitFindings {
+		t.Fatalf("exit codes %d/%d, want %d", code1, code2, ExitFindings)
+	}
+	if out1 != out2 {
+		t.Fatalf("output differs across identical runs:\n--- run 1\n%s--- run 2\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "[hotpathlock]") || !strings.Contains(out1, "[goroutinelifecycle]") {
+		t.Fatalf("expected findings from both analyzers:\n%s", out1)
+	}
+	// The shared line: goroutinelifecycle sorts before hotpathlock on
+	// the same position, and a later line of the same file sorts after.
+	var prevFile string
+	prevLine, prevCol := 0, 0
+	prevRule := ""
+	for _, line := range strings.Split(strings.TrimSpace(out1), "\n") {
+		m := findingLineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable finding line %q", line)
+		}
+		file, rule := m[1], m[4]
+		ln, col := atoiMust(t, m[2]), atoiMust(t, m[3])
+		if file == prevFile {
+			if ln < prevLine ||
+				(ln == prevLine && col < prevCol) ||
+				(ln == prevLine && col == prevCol && rule < prevRule) {
+				t.Fatalf("findings out of order: %s:%d:%d [%s] after %s:%d:%d [%s]",
+					file, ln, col, rule, prevFile, prevLine, prevCol, prevRule)
+			}
+		} else if file < prevFile {
+			t.Fatalf("files out of order: %s after %s", file, prevFile)
+		}
+		prevFile, prevLine, prevCol, prevRule = file, ln, col, rule
+	}
+}
+
+var findingLineRe = regexp.MustCompile(`^([^:]+):(\d+):(\d+): \[([a-z]+)\]`)
+
+func atoiMust(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("bad number %q: %v", s, err)
+	}
+	return n
+}
+
+// TestMainJSON: -json emits one parseable diagnostic per line with the
+// fixed field set, includes allowlisted findings flagged as such, and
+// keeps the exit code tied to the unallowlisted remainder.
+func TestMainJSON(t *testing.T) {
+	code, stdout, stderr := runMain(t, []string{"-json", "./lifecycle"}, "testdata/src/fixture")
+	if code != ExitFindings {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, ExitFindings, stderr)
+	}
+	type diag struct {
+		Analyzer    string `json:"analyzer"`
+		File        string `json:"file"`
+		Line        int    `json:"line"`
+		Col         int    `json:"col"`
+		Key         string `json:"key"`
+		Message     string `json:"message"`
+		Allowlisted bool   `json:"allowlisted"`
+	}
+	var diags []diag
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		var d diag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("unparseable -json line %q: %v", line, err)
+		}
+		if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Key == "" || d.Message == "" {
+			t.Errorf("diagnostic with missing fields: %+v", d)
+		}
+		if d.Allowlisted {
+			t.Errorf("no allowlist given, but %s reported allowlisted", d.Key)
+		}
+		diags = append(diags, d)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced no diagnostics on the lifecycle fixture")
+	}
+
+	// Allowlist one finding: it stays in the JSON stream flipped to
+	// allowlisted:true, and with every finding covered the exit is clean.
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, d.Analyzer+" "+d.File+" "+d.Key+" # harvested for test")
+	}
+	allowFile := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(allowFile, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr = runMain(t, []string{"-json", "-allow", allowFile, "./lifecycle"}, "testdata/src/fixture")
+	if code != ExitClean {
+		t.Fatalf("fully allowlisted -json run: exit %d, want %d\nstderr: %s", code, ExitClean, stderr)
+	}
+	covered := 0
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		var d diag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("unparseable -json line %q: %v", line, err)
+		}
+		if !d.Allowlisted {
+			t.Errorf("uncovered diagnostic in allowlisted run: %+v", d)
+		}
+		covered++
+	}
+	if covered != len(diags) {
+		t.Errorf("allowlisted run reported %d diagnostics, want all %d", covered, len(diags))
+	}
+}
+
+// TestMainFireForgetReasonRequired: a bare //neptune:fireforget is
+// itself a finding, end to end through the driver.
+func TestMainFireForgetReasonRequired(t *testing.T) {
+	code, stdout, _ := runMain(t, []string{"./lifecycle"}, "testdata/src/fixture")
+	if code != ExitFindings {
+		t.Fatalf("exit %d, want %d", code, ExitFindings)
+	}
+	if !strings.Contains(stdout, "needs a reason") {
+		t.Errorf("bare fireforget not reported:\n%s", stdout)
+	}
+}
+
 // TestMainBadPattern: load failures are usage errors, not findings.
 func TestMainBadPattern(t *testing.T) {
 	code, _, stderr := runMain(t, []string{"./no-such-package"}, "testdata/src/fixture")
@@ -99,11 +237,9 @@ func TestMainAllowlist(t *testing.T) {
 	// First run without an allowlist to harvest the findings.
 	pkgs := loadFixture(t, "./useafterput")
 	var lines []string
-	for _, p := range pkgs {
-		for _, a := range Analyzers() {
-			for _, f := range a.Run(p) {
-				lines = append(lines, f.Rule+" "+f.File+" "+f.Key+" # harvested for test")
-			}
+	for _, a := range Analyzers() {
+		for _, f := range analyzerFindings(a, pkgs) {
+			lines = append(lines, f.Rule+" "+f.File+" "+f.Key+" # harvested for test")
 		}
 	}
 	if len(lines) == 0 {

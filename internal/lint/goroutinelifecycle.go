@@ -1,0 +1,69 @@
+package lint
+
+// analyzerGoroutineLifecycle closes the gap between the runtime
+// goroutine-leak gates in internal/testutil (which only see goroutines a
+// test happens to leave behind) and review: every `go` statement in
+// non-test code must be tied to a shutdown path — the spawned function,
+// directly or through anything it calls, receives from a done/ctx-style
+// channel (struct{} or bool element), ranges over a channel (terminates
+// on close), or signals a sync.WaitGroup — or must carry an explicit
+// //neptune:fireforget <reason> annotation. An annotation without a
+// reason is itself a finding: the reason is the review record.
+var analyzerGoroutineLifecycle = &Analyzer{
+	Name:       "goroutinelifecycle",
+	Doc:        "go statements must be tied to a shutdown path or annotated //neptune:fireforget <reason>",
+	RunProgram: runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pkgs []*Package) []Finding {
+	prog := buildProgram(pkgs)
+	tied := prog.signalClosure()
+	var out []Finding
+	for _, sp := range prog.spawns {
+		if sp.annotated {
+			if sp.reason == "" {
+				out = append(out, Finding{
+					Rule: "goroutinelifecycle",
+					Pos:  sp.pkg.Fset.Position(sp.pos),
+					File: sp.pkg.RelFile(sp.pos),
+					Key:  sp.fn + ":fireforgetreason(" + spawnDetail(sp) + ")",
+					Msg:  "//neptune:fireforget needs a reason — the reason is the review record for the missing shutdown path",
+				})
+			}
+			continue
+		}
+		if sp.target != "" && tied[sp.target] {
+			continue
+		}
+		why := "has no shutdown path (no done/ctx receive, channel range, or WaitGroup tie)"
+		if sp.target == "" {
+			why = "spawns a dynamic function value the analyzer cannot trace"
+		}
+		out = append(out, Finding{
+			Rule: "goroutinelifecycle",
+			Pos:  sp.pkg.Fset.Position(sp.pos),
+			File: sp.pkg.RelFile(sp.pos),
+			Key:  sp.fn + ":gountied(" + spawnDetail(sp) + ")",
+			Msg:  "goroutine spawned in " + sp.fn + " " + why + "; tie it to shutdown or annotate //neptune:fireforget <reason>",
+		})
+	}
+	sortFindings(out)
+	return dedupFindings(out)
+}
+
+// spawnDetail renders the line-free identity of a spawn target for
+// finding keys: the last path component of the callee reference, or
+// "func" for unresolvable function values.
+func spawnDetail(sp progSpawn) string {
+	s := string(sp.target)
+	if s == "" {
+		return "func"
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		switch s[i] {
+		case '.', '/':
+			return s[i+1:]
+		}
+	}
+	return s
+}

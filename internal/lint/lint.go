@@ -45,7 +45,10 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
 }
 
-// Analyzer is one named rule over a type-checked package.
+// Analyzer is one named rule. Most rules are package-local (Run); the
+// concurrency-contract rules added in PR 8 reason about cross-package
+// lock nesting and call graphs and therefore run once over every loaded
+// package together (RunProgram). Exactly one of Run / RunProgram is set.
 type Analyzer struct {
 	// Name is the rule name used in output and allowlist entries.
 	Name string
@@ -53,6 +56,9 @@ type Analyzer struct {
 	Doc string
 	// Run reports the rule's findings for one package.
 	Run func(p *Package) []Finding
+	// RunProgram reports the rule's findings over the whole loaded
+	// program (every package of one driver invocation).
+	RunProgram func(pkgs []*Package) []Finding
 }
 
 // Analyzers returns every registered NEPTUNE rule, in reporting order.
@@ -64,6 +70,9 @@ func Analyzers() []*Analyzer {
 		analyzerCowStore,
 		analyzerLockedCallback,
 		analyzerErrDiscard,
+		analyzerLockOrder,
+		analyzerGoroutineLifecycle,
+		analyzerControlKind,
 	}
 }
 
@@ -93,6 +102,23 @@ const (
 	directiveCow        = "//neptune:cow"
 	directiveDiscardErr = "//neptune:discarderr"
 	directiveHandoff    = "//neptune:handoff"
+	// directiveLock names a mutex field for the lockorder analyzer:
+	// //neptune:lock <name> on the field declaration.
+	directiveLock = "//neptune:lock"
+	// directiveLockOrder declares part of the global lock partial order:
+	// //neptune:lockorder a < b [< c ...] means a may be held while
+	// acquiring b (a is the outer lock).
+	directiveLockOrder = "//neptune:lockorder"
+	// directiveFireForget exempts the go statement on its line (or the
+	// line below) from the goroutine-lifecycle rule; the reason after the
+	// directive is mandatory.
+	directiveFireForget = "//neptune:fireforget"
+	// directiveKindSet marks an enum-like type whose constants form a
+	// closed set the controlkind analyzer tracks.
+	directiveKindSet = "//neptune:kindset"
+	// directiveKindExhaustive marks a switch statement that must case
+	// every constant of the kindset type it switches over.
+	directiveKindExhaustive = "//neptune:kindexhaustive"
 )
 
 // hasDirective reports whether the comment group carries the directive

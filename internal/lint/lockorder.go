@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// analyzerLockOrder enforces the annotated lock hierarchy. Mutex fields
+// carry //neptune:lock <name>; //neptune:lockorder a < b declares that a
+// may be held while acquiring b. The analyzer builds the cross-package
+// lock-acquisition graph (lexical held sets plus transitive acquisitions
+// through the call graph) and flags: acquisitions that invert the
+// declared order, acquisitions no declared pair covers, nested
+// acquisition of one lock class (self-deadlock), and any cycle among
+// observed edges (potential deadlock even when each edge looks locally
+// benign).
+var analyzerLockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "annotated lock acquisitions must follow the declared //neptune:lockorder partial order, acyclically",
+	RunProgram: runLockOrder,
+}
+
+// lockPair is one observed from→to acquisition edge.
+type lockPair struct{ from, to string }
+
+// lockSite is the representative (earliest) source location of one
+// observed from→to acquisition edge.
+type lockSite struct {
+	file string
+	pos  token.Position
+	fn   string
+}
+
+func (s lockSite) before(o lockSite) bool {
+	if s.file != o.file {
+		return s.file < o.file
+	}
+	if s.pos.Line != o.pos.Line {
+		return s.pos.Line < o.pos.Line
+	}
+	return s.pos.Column < o.pos.Column
+}
+
+func runLockOrder(pkgs []*Package) []Finding {
+	prog := buildProgram(pkgs)
+	out := append([]Finding{}, prog.lockProblems...)
+
+	known := make(map[string]bool)
+	for _, l := range prog.locks {
+		known[l.name] = true
+	}
+
+	// Declared partial order: direct pairs, then the transitive closure
+	// (a < b and b < c allows acquiring c under a). The declaration set
+	// must itself be a DAG or the "order" orders nothing.
+	declared := make(map[string]map[string]bool)
+	addDecl := func(from, to string) {
+		if declared[from] == nil {
+			declared[from] = make(map[string]bool)
+		}
+		declared[from][to] = true
+	}
+	for _, e := range prog.orders {
+		for _, n := range []string{e.before, e.after} {
+			if !known[n] {
+				out = append(out, Finding{
+					Rule: "lockorder",
+					Pos:  e.pkg.Fset.Position(e.pos),
+					File: e.pkg.RelFile(e.pos),
+					Key:  "decl:unknownlock(" + n + ")",
+					Msg:  "//neptune:lockorder names unknown lock " + strconvQuote(n) + " (no //neptune:lock declares it)",
+				})
+			}
+		}
+		addDecl(e.before, e.after)
+	}
+	for changed := true; changed; {
+		changed = false
+		for a, bs := range declared {
+			for b := range bs {
+				for c := range declared[b] {
+					if !declared[a][c] {
+						addDecl(a, c)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, e := range prog.orders {
+		if e.before == e.after || declared[e.after][e.before] {
+			out = append(out, Finding{
+				Rule: "lockorder",
+				Pos:  e.pkg.Fset.Position(e.pos),
+				File: e.pkg.RelFile(e.pos),
+				Key:  "decl:ordercycle(" + e.before + "<" + e.after + ")",
+				Msg:  "declared lock order is cyclic around " + strconvQuote(e.before) + " < " + strconvQuote(e.after) + " — a cyclic \"order\" orders nothing",
+			})
+		}
+	}
+
+	// Observed edges: a direct nested acquisition contributes held→new;
+	// a call made under held locks contributes held→(everything the
+	// callee may transitively acquire). Each unique (from, to) pair is
+	// reported once, at its earliest source site.
+	closure := prog.acquireClosure()
+	edges := make(map[lockPair]lockSite)
+	addEdge := func(from, to string, p *Package, pos token.Pos, fn string) {
+		site := lockSite{file: p.RelFile(pos), pos: p.Fset.Position(pos), fn: fn}
+		k := lockPair{from, to}
+		if prev, ok := edges[k]; !ok || site.before(prev) {
+			edges[k] = site
+		}
+	}
+	for _, pf := range prog.order {
+		for _, a := range pf.acquires {
+			for _, h := range a.held {
+				addEdge(h.name, a.name, pf.pkg, a.pos, pf.display)
+			}
+		}
+		for _, c := range pf.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for to := range closure[c.callee] {
+				for _, h := range c.held {
+					addEdge(h.name, to, pf.pkg, c.pos, pf.display)
+				}
+			}
+		}
+	}
+
+	pairs := make([]lockPair, 0, len(edges))
+	for k := range edges {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	for _, k := range pairs {
+		site := edges[k]
+		switch {
+		case k.from == k.to:
+			out = append(out, Finding{
+				Rule: "lockorder",
+				Pos:  site.pos,
+				File: site.file,
+				Key:  site.fn + ":locknest(" + k.from + ")",
+				Msg:  "lock " + strconvQuote(k.from) + " may be acquired while an instance of it is already held",
+			})
+		case declared[k.to][k.from]:
+			out = append(out, Finding{
+				Rule: "lockorder",
+				Pos:  site.pos,
+				File: site.file,
+				Key:  site.fn + ":lockinvert(" + k.from + "->" + k.to + ")",
+				Msg: "acquiring " + strconvQuote(k.to) + " while holding " + strconvQuote(k.from) +
+					" inverts the declared order (" + k.to + " < " + k.from + ")",
+			})
+		case !declared[k.from][k.to]:
+			out = append(out, Finding{
+				Rule: "lockorder",
+				Pos:  site.pos,
+				File: site.file,
+				Key:  site.fn + ":lockpair(" + k.from + "->" + k.to + ")",
+				Msg: "acquiring " + strconvQuote(k.to) + " while holding " + strconvQuote(k.from) +
+					" is not covered by any //neptune:lockorder declaration",
+			})
+		}
+	}
+
+	// Cycle detection over the observed graph. The declared order is a
+	// DAG, so every cycle contains an undeclared edge already flagged
+	// above — but the cycle finding is the one that names the deadlock.
+	out = append(out, lockCycles(edges, declared)...)
+
+	sortFindings(out)
+	return dedupFindings(out)
+}
+
+// lockCycles reports one finding per strongly connected component of
+// two or more locks in the observed acquisition graph, anchored at the
+// earliest edge the declared order does not cover — the guilty edge,
+// not the compliant one it collides with.
+func lockCycles(edges map[lockPair]lockSite, declared map[string]map[string]bool) []Finding {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for k := range edges {
+		if k.from == k.to {
+			continue // self-nesting reported separately
+		}
+		adj[k.from] = append(adj[k.from], k.to)
+		nodes[k.from], nodes[k.to] = true, true
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan's algorithm, recursive — lock graphs are tiny.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	var out []Finding
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		var site lockSite
+		first := true
+		for _, undeclaredOnly := range []bool{true, false} {
+			for k, s := range edges {
+				if k.from == k.to || !inSCC[k.from] || !inSCC[k.to] {
+					continue
+				}
+				if undeclaredOnly && declared[k.from][k.to] {
+					continue
+				}
+				if first || s.before(site) {
+					site, first = s, false
+				}
+			}
+			if !first {
+				break
+			}
+		}
+		out = append(out, Finding{
+			Rule: "lockorder",
+			Pos:  site.pos,
+			File: site.file,
+			Key:  "lockcycle(" + strings.Join(scc, ",") + ")",
+			Msg:  "lock-acquisition cycle among " + strings.Join(scc, ", ") + " — two goroutines taking these in opposite orders deadlock",
+		})
+	}
+	return out
+}
+
+// dedupFindings drops exact repeats (same rule, file, line, key), which
+// arise when several declaration sites produce the same diagnostic.
+func dedupFindings(fs []Finding) []Finding {
+	seen := make(map[string]bool, len(fs))
+	out := fs[:0]
+	for _, f := range fs {
+		id := f.Rule + "|" + f.File + "|" + itoa(f.Pos.Line) + "|" + f.Key
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// strconvQuote is a minimal %q for lock names (no escapes needed — names
+// are identifiers).
+func strconvQuote(s string) string {
+	return "\"" + s + "\""
+}

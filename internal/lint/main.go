@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,8 +33,9 @@ func Main(args []string, dir string, stdout, stderr io.Writer) int {
 	allowPath := fs.String("allow", "", "allowlist file (default: <module root>/"+DefaultAllowFile+" if present)")
 	listRules := fs.Bool("rules", false, "print the registered rules and exit")
 	lenient := fs.Bool("lenient", false, "downgrade stale allowlist entries to warnings instead of errors")
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line (including allowlisted findings) for CI problem matchers")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: neptune-vet [-allow file] [-lenient] [-rules] [packages]\n")
+		fmt.Fprintf(stderr, "usage: neptune-vet [-allow file] [-json] [-lenient] [-rules] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -67,22 +69,29 @@ func Main(args []string, dir string, stdout, stderr io.Writer) int {
 	}
 
 	analyzedFiles := make(map[string]bool)
-	var findings []Finding
+	var all []Finding
 	for _, p := range pkgs {
 		for _, f := range p.Files {
 			analyzedFiles[p.RelFile(f.Pos())] = true
 		}
 		for _, a := range Analyzers() {
-			for _, f := range a.Run(p) {
-				if !allow.Allowed(f) {
-					findings = append(findings, f)
-				}
+			if a.Run == nil {
+				continue
 			}
+			all = append(all, a.Run(p)...)
 		}
 	}
+	// Whole-program analyzers see every loaded package at once: their
+	// lock-order edges and goroutine call graphs cross package boundaries.
+	for _, a := range Analyzers() {
+		if a.RunProgram == nil {
+			continue
+		}
+		all = append(all, a.RunProgram(pkgs)...)
+	}
 
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -94,8 +103,29 @@ func Main(args []string, dir string, stdout, stderr io.Writer) int {
 		}
 		return a.Rule < b.Rule
 	})
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f.String())
+	var findings []Finding
+	enc := json.NewEncoder(stdout)
+	for _, f := range all {
+		allowed := allow.Allowed(f)
+		if !allowed {
+			findings = append(findings, f)
+		}
+		// JSON mode reports every diagnostic, allowlisted ones included,
+		// so CI annotations can surface suppressions next to the code
+		// they cover; text mode stays quiet about them.
+		if *jsonOut {
+			_ = enc.Encode(jsonDiag{
+				Analyzer:    f.Rule,
+				File:        f.File,
+				Line:        f.Pos.Line,
+				Col:         f.Pos.Column,
+				Key:         f.Key,
+				Message:     f.Msg,
+				Allowlisted: allowed,
+			})
+		} else if !allowed {
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	// Stale allowlist entries are errors by default so suppressions cannot
 	// outlive the findings they covered; -lenient keeps them as warnings
@@ -118,6 +148,18 @@ func Main(args []string, dir string, stdout, stderr io.Writer) int {
 		return ExitFindings
 	}
 	return ExitClean
+}
+
+// jsonDiag is the -json line format. Field order is fixed so the CI
+// problem matcher can anchor on a plain regular expression.
+type jsonDiag struct {
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Key         string `json:"key"`
+	Message     string `json:"message"`
+	Allowlisted bool   `json:"allowlisted"`
 }
 
 // MainOS is the convenience wrapper used by cmd/neptune-vet.

@@ -1,0 +1,744 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared whole-program substrate behind the PR 8
+// concurrency-contract analyzers (lockorder, goroutinelifecycle). It
+// lowers every loaded package into per-function summaries — which
+// annotated locks a function acquires and with which locks lexically
+// held, which functions it calls under which locks, whether its body
+// carries a shutdown signal, and where it spawns goroutines — and links
+// the summaries into one cross-package call graph keyed by
+// types.Func.FullName, which is stable between a package's own
+// type-check and the export data its importers see.
+//
+// Lock tracking is lexical, not path-sensitive: a Lock() adds the lock
+// to the held set for the remainder of its enclosing block, an Unlock()
+// removes it, and nested blocks (if/for/switch/select arms) work on a
+// copy so an unlock-then-return arm does not leak its release into the
+// fallthrough path. A deferred Unlock never pops — the lock is held to
+// the end of the function, which is exactly what defer means. This
+// over-approximates holds in unusual shapes (locking inside one branch
+// only) and under-approximates nothing the tree's idioms produce; the
+// allowlist is the escape hatch for the former.
+
+// funcRef is a stable, cross-package identity for a function:
+// types.Func.FullName for declared functions and methods, plus a
+// "$lit<n>" suffix per function literal in lexical order.
+type funcRef string
+
+// heldLock is one annotated lock held at a program point.
+type heldLock struct {
+	name string
+	pos  token.Pos
+}
+
+// progAcq is one acquisition of an annotated lock.
+type progAcq struct {
+	name string
+	pos  token.Pos
+	held []heldLock // locks already held at this acquisition
+}
+
+// progCall is one call site, with the annotated locks held around it.
+type progCall struct {
+	callee funcRef
+	pos    token.Pos
+	held   []heldLock
+}
+
+// progSpawn is one `go` statement.
+type progSpawn struct {
+	pos       token.Pos
+	pkg       *Package
+	fn        string  // enclosing function display name
+	target    funcRef // spawned function ("" when unresolvable)
+	annotated bool    // carries //neptune:fireforget
+	reason    string  // the directive's reason text
+}
+
+// progFunc summarizes one function (declared or literal).
+type progFunc struct {
+	ref      funcRef
+	display  string
+	pkg      *Package
+	pos      token.Pos
+	acquires []progAcq
+	calls    []progCall
+	// signal reports a direct shutdown signal in the body: a receive
+	// from a struct{}/bool channel (done channels, ctx.Done()), a range
+	// over any channel (terminates on close), or a sync.WaitGroup
+	// Done/Wait.
+	signal bool
+}
+
+// lockDecl is one //neptune:lock annotation.
+type lockDecl struct {
+	name string
+	pos  token.Pos
+	pkg  *Package
+}
+
+// orderEdge is one declared before/after pair of the lock partial order.
+type orderEdge struct {
+	before, after string
+	pos           token.Pos
+	pkg           *Package
+}
+
+// program is the whole-program view shared by the concurrency analyzers.
+type program struct {
+	pkgs   []*Package
+	funcs  map[funcRef]*progFunc
+	order  []*progFunc // deterministic iteration order
+	spawns []progSpawn
+	locks  []lockDecl
+	orders []orderEdge
+	// lockProblems are annotation-syntax errors (a //neptune:lock with
+	// no name, a malformed //neptune:lockorder) reported through the
+	// lockorder rule.
+	lockProblems []Finding
+}
+
+// buildProgram lowers every package into linked function summaries. The
+// result is deterministic: packages arrive sorted from Load, and files,
+// declarations, and literals are visited in source order.
+func buildProgram(pkgs []*Package) *program {
+	prog := &program{pkgs: pkgs, funcs: make(map[funcRef]*progFunc)}
+	for _, p := range pkgs {
+		lockVars := collectLockDecls(prog, p)
+		collectOrderDecls(prog, p)
+		for _, f := range p.Files {
+			ff := directiveLines(p, f, directiveFireForget)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				sc := &progScanner{p: p, prog: prog, lockVars: lockVars, ff: ff}
+				pf := &progFunc{
+					ref:     funcRef(fn.FullName()),
+					display: funcName(fd),
+					pkg:     p,
+					pos:     fd.Pos(),
+				}
+				sc.fn = pf
+				prog.register(pf)
+				var held []heldLock
+				sc.block(fd.Body.List, &held)
+			}
+		}
+	}
+	return prog
+}
+
+func (prog *program) register(pf *progFunc) {
+	prog.funcs[pf.ref] = pf
+	prog.order = append(prog.order, pf)
+}
+
+// collectLockDecls harvests //neptune:lock annotations on sync mutex
+// struct fields and package-level vars, returning the var -> lock-name
+// map used to resolve acquisitions in this package.
+func collectLockDecls(prog *program, p *Package) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	record := func(g *ast.CommentGroup, names []*ast.Ident, t types.Type) {
+		lockName, annotated := lockDirectiveName(g)
+		if !annotated {
+			return
+		}
+		pos := g.Pos()
+		if lockName == "" {
+			prog.lockProblems = append(prog.lockProblems, Finding{
+				Rule: "lockorder",
+				Pos:  p.Fset.Position(pos),
+				File: p.RelFile(pos),
+				Key:  "decl:lockname",
+				Msg:  "//neptune:lock needs a name (\"//neptune:lock <name>\") for the acquisition-order graph",
+			})
+			return
+		}
+		if !isSyncMutex(t) {
+			prog.lockProblems = append(prog.lockProblems, Finding{
+				Rule: "lockorder",
+				Pos:  p.Fset.Position(pos),
+				File: p.RelFile(pos),
+				Key:  "decl:locktype(" + lockName + ")",
+				Msg:  "//neptune:lock " + lockName + " annotates a non-mutex declaration",
+			})
+			return
+		}
+		for _, id := range names {
+			if v, ok := p.Info.Defs[id].(*types.Var); ok {
+				out[v] = lockName
+			}
+		}
+		prog.locks = append(prog.locks, lockDecl{name: lockName, pos: pos, pkg: p})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StructType:
+				for _, field := range x.Fields.List {
+					g := field.Doc
+					if g == nil {
+						g = field.Comment
+					}
+					if g == nil || len(field.Names) == 0 {
+						continue
+					}
+					if tv, ok := p.Info.Types[field.Type]; ok {
+						record(g, field.Names, tv.Type)
+					}
+				}
+			case *ast.GenDecl:
+				if x.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range x.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					g := vs.Doc
+					if g == nil {
+						g = vs.Comment
+					}
+					if g == nil && len(x.Specs) == 1 {
+						g = x.Doc
+					}
+					if g == nil || vs.Type == nil {
+						continue
+					}
+					if tv, ok := p.Info.Types[vs.Type]; ok {
+						record(g, vs.Names, tv.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockDirectiveName extracts the name of a //neptune:lock directive in
+// g; annotated is false when the group carries no lock directive.
+func lockDirectiveName(g *ast.CommentGroup) (name string, annotated bool) {
+	for _, c := range g.List {
+		if c.Text != directiveLock && !strings.HasPrefix(c.Text, directiveLock+" ") {
+			continue
+		}
+		rest := strings.Fields(strings.TrimPrefix(c.Text, directiveLock))
+		if len(rest) > 0 {
+			return rest[0], true
+		}
+		return "", true
+	}
+	return "", false
+}
+
+// collectOrderDecls harvests //neptune:lockorder chains ("a < b < c"
+// declares a before b and b before c).
+func collectOrderDecls(prog *program, p *Package) {
+	for _, f := range p.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				if c.Text != directiveLockOrder && !strings.HasPrefix(c.Text, directiveLockOrder+" ") {
+					continue
+				}
+				chain := strings.TrimPrefix(c.Text, directiveLockOrder)
+				names := strings.Split(chain, "<")
+				bad := len(names) < 2
+				for i := range names {
+					names[i] = strings.TrimSpace(names[i])
+					if names[i] == "" || strings.ContainsAny(names[i], " \t") {
+						bad = true
+					}
+				}
+				if bad {
+					prog.lockProblems = append(prog.lockProblems, Finding{
+						Rule: "lockorder",
+						Pos:  p.Fset.Position(c.Pos()),
+						File: p.RelFile(c.Pos()),
+						Key:  "decl:lockorder",
+						Msg:  "//neptune:lockorder wants \"a < b [< c ...]\" (outer lock first)",
+					})
+					continue
+				}
+				for i := 0; i+1 < len(names); i++ {
+					prog.orders = append(prog.orders, orderEdge{
+						before: names[i], after: names[i+1], pos: c.Pos(), pkg: p,
+					})
+				}
+			}
+		}
+	}
+}
+
+// progScanner walks one declared function and its literals.
+type progScanner struct {
+	p        *Package
+	prog     *program
+	lockVars map[*types.Var]string
+	ff       map[int]string // fireforget directive lines of the current file
+	fn       *progFunc
+	lits     int
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	out := make([]heldLock, len(held))
+	copy(out, held)
+	return out
+}
+
+// lockName resolves the guard expression of a mutex method call to its
+// annotated lock name ("" when the mutex is unannotated).
+func (s *progScanner) lockName(guard ast.Expr) string {
+	switch g := guard.(type) {
+	case *ast.SelectorExpr:
+		if v := selectedField(s.p, g); v != nil {
+			return s.lockVars[v]
+		}
+		if v, ok := s.p.Info.Uses[g.Sel].(*types.Var); ok {
+			return s.lockVars[v]
+		}
+	case *ast.Ident:
+		if v, ok := s.p.Info.Uses[g].(*types.Var); ok {
+			return s.lockVars[v]
+		}
+	}
+	return ""
+}
+
+// block scans a statement list, mutating held in place: changes at this
+// block level persist to the following statements of the same block.
+func (s *progScanner) block(list []ast.Stmt, held *[]heldLock) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+// nested scans a child block on a copy of held: an arm that unlocks and
+// returns must not release the lock for the code after the branch.
+func (s *progScanner) nested(list []ast.Stmt, held *[]heldLock) {
+	cp := cloneHeld(*held)
+	s.block(list, &cp)
+}
+
+func (s *progScanner) stmt(st ast.Stmt, held *[]heldLock) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok && s.mutexStmt(call, held) {
+			return
+		}
+		s.expr(x.X, *held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end (no
+		// pop); any other deferred call runs while every lock with a
+		// later-deferred unlock is still held — recording the current
+		// held set matches defer's LIFO order for the tree's idioms.
+		if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Unlock", "RUnlock":
+				if tv, ok := s.p.Info.Types[sel.X]; ok && isSyncMutex(tv.Type) {
+					return
+				}
+			}
+		}
+		s.expr(x.Call, *held)
+	case *ast.GoStmt:
+		s.spawn(x, *held)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.expr(e, *held)
+		}
+		for _, e := range x.Lhs {
+			s.expr(e, *held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, *held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			s.expr(e, *held)
+		}
+	case *ast.SendStmt:
+		s.expr(x.Chan, *held)
+		s.expr(x.Value, *held)
+	case *ast.IncDecStmt:
+		s.expr(x.X, *held)
+	case *ast.LabeledStmt:
+		s.stmt(x.Stmt, held)
+	case *ast.BlockStmt:
+		s.block(x.List, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, held)
+		}
+		s.expr(x.Cond, *held)
+		s.nested(x.Body.List, held)
+		if x.Else != nil {
+			s.nested([]ast.Stmt{x.Else}, held)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			s.expr(x.Cond, *held)
+		}
+		body := x.Body.List
+		if x.Post != nil {
+			body = append(append([]ast.Stmt{}, body...), x.Post)
+		}
+		s.nested(body, held)
+	case *ast.RangeStmt:
+		s.expr(x.X, *held)
+		if tv, ok := s.p.Info.Types[x.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				s.fn.signal = true // terminates when the channel is closed
+			}
+		}
+		s.nested(x.Body.List, held)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			s.expr(x.Tag, *held)
+		}
+		for _, cc := range x.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range c.List {
+					s.expr(e, *held)
+				}
+				s.nested(c.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			s.stmt(x.Init, held)
+		}
+		s.stmt(x.Assign, held)
+		for _, cc := range x.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				s.nested(c.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range x.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				if c.Comm != nil {
+					s.stmt(c.Comm, held)
+				}
+				s.nested(c.Body, held)
+			}
+		}
+	}
+}
+
+// mutexStmt handles a statement-level mutex call on an annotated lock,
+// reporting whether the call was consumed as a lock-state transition.
+func (s *progScanner) mutexStmt(call *ast.CallExpr, held *[]heldLock) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var locking bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	tv, ok := s.p.Info.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return false
+	}
+	name := s.lockName(sel.X)
+	if name == "" {
+		return true // unannotated mutex: invisible to the order graph
+	}
+	if locking {
+		s.fn.acquires = append(s.fn.acquires, progAcq{
+			name: name, pos: call.Pos(), held: cloneHeld(*held),
+		})
+		*held = append(*held, heldLock{name: name, pos: call.Pos()})
+		return true
+	}
+	for i := len(*held) - 1; i >= 0; i-- {
+		if (*held)[i].name == name {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// spawn records a `go` statement, scanning its arguments (evaluated on
+// the spawning goroutine) and its function literal (which starts with an
+// empty held set — the new goroutine holds nothing).
+func (s *progScanner) spawn(g *ast.GoStmt, held []heldLock) {
+	var target funcRef
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		target = s.scanLit(lit).ref
+	} else {
+		target = calleeRef(s.p, g.Call.Fun)
+		s.expr(g.Call.Fun, held)
+	}
+	for _, a := range g.Call.Args {
+		s.expr(a, held)
+	}
+	line := s.p.Fset.Position(g.Pos()).Line
+	reason, annotated := s.ff[line]
+	if !annotated {
+		reason, annotated = s.ff[line-1]
+	}
+	s.prog.spawns = append(s.prog.spawns, progSpawn{
+		pos: g.Pos(), pkg: s.p, fn: s.fn.display,
+		target: target, annotated: annotated, reason: reason,
+	})
+}
+
+// scanLit summarizes a function literal as its own program function.
+func (s *progScanner) scanLit(lit *ast.FuncLit) *progFunc {
+	s.lits++
+	child := &progFunc{
+		ref:     funcRef(string(s.fn.ref) + "$lit" + itoa(s.lits)),
+		display: s.fn.display,
+		pkg:     s.p,
+		pos:     lit.Pos(),
+	}
+	s.prog.register(child)
+	sub := &progScanner{p: s.p, prog: s.prog, lockVars: s.lockVars, ff: s.ff, fn: child}
+	var held []heldLock
+	sub.block(lit.Body.List, &held)
+	return child
+}
+
+// expr records calls (with the current held set), signal receives, and
+// function literals inside one expression.
+func (s *progScanner) expr(e ast.Expr, held []heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			child := s.scanLit(x)
+			// The literal may run with the locks held where it was
+			// built (immediate call, defer, callback-under-lock); link
+			// it conservatively.
+			s.fn.calls = append(s.fn.calls, progCall{
+				callee: child.ref, pos: x.Pos(), held: cloneHeld(held),
+			})
+			return false
+		case *ast.CallExpr:
+			if isWaitGroupSignal(s.p, x) {
+				s.fn.signal = true
+			}
+			if ref := calleeRef(s.p, x.Fun); ref != "" {
+				s.fn.calls = append(s.fn.calls, progCall{
+					callee: ref, pos: x.Pos(), held: cloneHeld(held),
+				})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isSignalChan(s.p, x.X) {
+				s.fn.signal = true
+			}
+		case *ast.GoStmt:
+			// go statements inside expressions cannot occur; inside
+			// scanned literals they are handled by scanLit's walk.
+			return false
+		}
+		return true
+	})
+}
+
+// calleeRef resolves a call's function expression to a stable funcRef
+// ("" for interface methods, function values, and builtins).
+func calleeRef(p *Package, fun ast.Expr) funcRef {
+	switch f := fun.(type) {
+	case *ast.ParenExpr:
+		return calleeRef(p, f.X)
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[f].(*types.Func); ok {
+			return funcRef(fn.FullName())
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[f.Sel].(*types.Func); ok {
+			if sel, ok := p.Info.Selections[f]; ok {
+				if m, ok := sel.Obj().(*types.Func); ok {
+					return funcRef(m.FullName())
+				}
+			}
+			return funcRef(fn.FullName())
+		}
+	}
+	return ""
+}
+
+// isSignalChan reports whether e is a channel whose receives look like
+// shutdown signals: element type struct{} (done channels, ctx.Done())
+// or bool.
+func isSignalChan(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	switch elem := ch.Elem().Underlying().(type) {
+	case *types.Basic:
+		return elem.Kind() == types.Bool
+	case *types.Struct:
+		return elem.NumFields() == 0
+	}
+	return false
+}
+
+// isWaitGroupSignal reports whether call is Done or Wait on a
+// sync.WaitGroup.
+func isWaitGroupSignal(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Wait") {
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// acquireClosure computes, per function, every annotated lock it may
+// acquire directly or through calls (memoized DFS; recursion is cut by
+// the in-progress marker).
+func (prog *program) acquireClosure() map[funcRef]map[string]bool {
+	memo := make(map[funcRef]map[string]bool, len(prog.funcs))
+	state := make(map[funcRef]int, len(prog.funcs)) // 0 new, 1 visiting, 2 done
+	var visit func(ref funcRef) map[string]bool
+	visit = func(ref funcRef) map[string]bool {
+		pf, ok := prog.funcs[ref]
+		if !ok || state[ref] == 1 {
+			return nil
+		}
+		if state[ref] == 2 {
+			return memo[ref]
+		}
+		state[ref] = 1
+		out := make(map[string]bool)
+		for _, a := range pf.acquires {
+			out[a.name] = true
+		}
+		for _, c := range pf.calls {
+			for name := range visit(c.callee) {
+				out[name] = true
+			}
+		}
+		state[ref] = 2
+		memo[ref] = out
+		return out
+	}
+	for _, pf := range prog.order {
+		visit(pf.ref)
+	}
+	return memo
+}
+
+// signalClosure computes, per function, whether it (or anything it
+// calls) carries a shutdown signal.
+func (prog *program) signalClosure() map[funcRef]bool {
+	memo := make(map[funcRef]bool, len(prog.funcs))
+	state := make(map[funcRef]int, len(prog.funcs))
+	var visit func(ref funcRef) bool
+	visit = func(ref funcRef) bool {
+		pf, ok := prog.funcs[ref]
+		if !ok || state[ref] == 1 {
+			return false
+		}
+		if state[ref] == 2 {
+			return memo[ref]
+		}
+		state[ref] = 1
+		out := pf.signal
+		for _, c := range pf.calls {
+			if out {
+				break
+			}
+			if visit(c.callee) {
+				out = true
+			}
+		}
+		state[ref] = 2
+		memo[ref] = out
+		return out
+	}
+	for _, pf := range prog.order {
+		visit(pf.ref)
+	}
+	return memo
+}
+
+// sortFindings orders findings by position then rule, the driver's
+// output order, so program analyzers stay deterministic on their own.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Key < b.Key
+	})
+}
+
+// itoa is strconv.Itoa for the tiny positive ints used in literal refs,
+// saving the strconv import in this hot include path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

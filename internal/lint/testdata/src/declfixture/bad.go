@@ -1,0 +1,25 @@
+// Package declfixture seeds the lockorder declaration diagnostics,
+// asserted by TestLockOrderDeclDiagnostics rather than // want comments
+// (the finding anchors on the directive's own line, which the directive
+// comment occupies): a nameless //neptune:lock, a lock annotation on a
+// non-mutex, a malformed //neptune:lockorder, an unknown lock name, and
+// a cyclic declared order.
+package declfixture
+
+import "sync"
+
+//neptune:lockorder nosuch < lx
+//neptune:lockorder broken
+//neptune:lockorder lx < ly
+//neptune:lockorder ly < lx
+
+type holder struct {
+	//neptune:lock
+	a sync.Mutex
+	//neptune:lock lbad
+	b int
+	//neptune:lock lx
+	x sync.Mutex
+	//neptune:lock ly
+	y sync.Mutex
+}

@@ -1,0 +1,3 @@
+module declfixture
+
+go 1.22

@@ -21,7 +21,7 @@ func (e *engine) dispatchBad(v int) {
 	p := new(engine) // want "allocates with new"
 	_ = p
 	_ = []int{1, 2} // want "slice/map literal"
-	go func() {     // want "spawns a goroutine" "creates a closure"
+	go func() {     // want "spawns a goroutine" "creates a closure" "no shutdown path"
 		_ = v
 	}()
 }

@@ -1,0 +1,70 @@
+// Package kinds exercises the controlkind analyzer: a //neptune:kindset
+// enum, exhaustive and non-exhaustive annotated switches, a
+// mis-annotated switch, and fuzz-seed coverage (KindGamma has no seed in
+// kinds_test.go).
+package kinds
+
+// Kind is the fixture's closed frame-kind set.
+//
+//neptune:kindset
+type Kind uint8
+
+const (
+	KindAlpha Kind = 1
+	KindBeta  Kind = 2
+	KindGamma Kind = 3 // want "seeds KindGamma"
+
+	// kindMax is unexported bookkeeping, outside the universe.
+	kindMax = KindGamma
+)
+
+// ---- non-hits ----
+
+// Name cases every constant; the unexported kindMax is not required.
+func Name(k Kind) string {
+	//neptune:kindexhaustive
+	switch k {
+	case KindAlpha:
+		return "alpha"
+	case KindBeta:
+		return "beta"
+	case KindGamma:
+		return "gamma"
+	}
+	return "unknown"
+}
+
+// Route is unannotated: partial switches are fine without the directive.
+func Route(k Kind) int {
+	switch k {
+	case KindAlpha:
+		return 1
+	}
+	return 0
+}
+
+// ---- hits ----
+
+// Partial is annotated but misses KindGamma; the default clause does not
+// count as handling it.
+func Partial(k Kind) int {
+	//neptune:kindexhaustive
+	switch k { // want "misses KindGamma"
+	case KindAlpha, KindBeta:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// WrongTag is annotated but switches over a plain int.
+func WrongTag(n int) int {
+	//neptune:kindexhaustive
+	switch n { // want "not a //neptune:kindset type"
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+var _ = kindMax

@@ -1,0 +1,14 @@
+// Fuzz-seed fixture for the controlkind analyzer: FuzzKind seeds
+// KindAlpha and KindBeta but not KindGamma. The file avoids importing
+// "testing" because the fixture module is loaded syntax-only for seed
+// scanning, never compiled as a test binary.
+package kinds
+
+type fuzzHarness struct{}
+
+func (*fuzzHarness) Add(args ...any) {}
+
+func FuzzKind(f *fuzzHarness) {
+	f.Add(uint8(KindAlpha))
+	f.Add(uint8(KindBeta))
+}

@@ -1,0 +1,16 @@
+// Package user proves controlkind exhaustiveness crosses package
+// boundaries: the kindset lives in fixture/kinds, the annotated switch
+// lives here.
+package user
+
+import "fixture/kinds"
+
+// Weight misses KindBeta.
+func Weight(k kinds.Kind) int {
+	//neptune:kindexhaustive
+	switch k { // want "misses KindBeta"
+	case kinds.KindAlpha, kinds.KindGamma:
+		return 2
+	}
+	return 0
+}

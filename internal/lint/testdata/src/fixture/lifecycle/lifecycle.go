@@ -1,0 +1,119 @@
+// Package lifecycle exercises the goroutinelifecycle analyzer: spawns
+// tied to done channels, context-style channels, channel ranges, and
+// WaitGroups are clean; untied spawns and bare //neptune:fireforget
+// annotations are findings.
+package lifecycle
+
+import "sync"
+
+type worker struct {
+	done chan struct{}
+	quit chan bool
+	in   chan int
+	wg   sync.WaitGroup
+	n    int
+}
+
+func (w *worker) work() {
+	w.n++
+}
+
+// ---- non-hits ----
+
+// goodDirect spawns a literal that blocks on the done channel.
+func (w *worker) goodDirect() {
+	go func() {
+		<-w.done
+	}()
+}
+
+// goodMethod spawns a method whose select covers the done channel.
+func (w *worker) goodMethod() {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		case v := <-w.in:
+			w.n += v
+		}
+	}
+}
+
+// goodTransitive is tied through a callee: outer calls loop.
+func (w *worker) goodTransitive() {
+	go w.outer()
+}
+
+func (w *worker) outer() {
+	w.work()
+	w.loop()
+}
+
+// goodBool treats a bool channel as a shutdown signal too.
+func (w *worker) goodBool() {
+	go func() {
+		<-w.quit
+	}()
+}
+
+// goodRange terminates when the input channel closes.
+func (w *worker) goodRange() {
+	go w.drain()
+}
+
+func (w *worker) drain() {
+	for v := range w.in {
+		w.n += v
+	}
+}
+
+// goodWaitGroup signals its exit through the group.
+func (w *worker) goodWaitGroup() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.work()
+	}()
+}
+
+// goodFireForget is untied but carries an annotated reason.
+func (w *worker) goodFireForget() {
+	//neptune:fireforget one-shot best-effort notification, bounded by the send below
+	go w.work()
+}
+
+// ---- hits ----
+
+// badLiteral spawns a literal with no shutdown path.
+func (w *worker) badLiteral() {
+	go func() { // want "no shutdown path"
+		w.work()
+	}()
+}
+
+// badMethod spawns a method that loops forever.
+func (w *worker) badMethod() {
+	go w.spin() // want "no shutdown path"
+}
+
+func (w *worker) spin() {
+	for {
+		w.work()
+	}
+}
+
+// badDynamic spawns a function value the analyzer cannot trace.
+func (w *worker) badDynamic(fn func()) {
+	go fn() // want "cannot trace"
+}
+
+// badBareAnnotation has a fireforget directive but no reason — the
+// reason is the point.
+func (w *worker) badBareAnnotation() {
+	//neptune:fireforget
+	go w.work() // want "needs a reason"
+}

@@ -1,0 +1,132 @@
+// Package lockorder exercises the lockorder analyzer: annotated locks,
+// a declared partial order, an inversion, an undeclared pair, nested
+// same-class acquisition, a seeded two-lock cycle, and cross-package
+// edges through fixture/lockorder/sub.
+package lockorder
+
+import (
+	"sync"
+
+	"fixture/lockorder/sub"
+)
+
+//neptune:lockorder la < lb
+//neptune:lockorder la < lsub
+
+type state struct {
+	//neptune:lock la
+	a sync.Mutex
+	//neptune:lock lb
+	b sync.Mutex
+	//neptune:lock lc
+	c sync.Mutex
+	//neptune:lock ld
+	d sync.Mutex
+	n int
+}
+
+// ---- non-hits ----
+
+// goodNest follows the declared order la < lb.
+func (s *state) goodNest() {
+	s.a.Lock()
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// goodDeferred holds la to function end via defer; lb under it is still
+// the declared order.
+func (s *state) goodDeferred() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+}
+
+// goodBranchRelease unlocks in one arm and returns; the fallthrough path
+// still holds la, and the nested acquisition stays declared.
+func (s *state) goodBranchRelease() {
+	s.a.Lock()
+	if s.n == 0 {
+		s.a.Unlock()
+		return
+	}
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// goodCross takes the declared cross-package edge la < lsub.
+func (s *state) goodCross() {
+	s.a.Lock()
+	sub.Touch()
+	s.a.Unlock()
+}
+
+// goodSequential never holds two locks at once: no edges at all.
+func (s *state) goodSequential() {
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+// ---- hits ----
+
+// invert acquires la under lb, the reverse of the declared la < lb —
+// which also closes a cycle with goodNest's compliant la → lb edge.
+func (s *state) invert() {
+	s.b.Lock()
+	s.a.Lock() // want "inverts the declared order" "cycle among la, lb"
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// undeclared nests lc under la with no covering declaration.
+func (s *state) undeclared() {
+	s.a.Lock()
+	s.c.Lock() // want "not covered by any //neptune:lockorder"
+	s.c.Unlock()
+	s.a.Unlock()
+}
+
+// nestSame re-enters the ld class through a callee while holding it.
+func (s *state) nestSame() {
+	s.d.Lock()
+	s.lockD() // want "already held"
+	s.d.Unlock()
+}
+
+func (s *state) lockD() {
+	s.d.Lock()
+	s.n++
+	s.d.Unlock()
+}
+
+// cycleCD and cycleDC take lc and ld in opposite orders: each edge is
+// undeclared, and together they form the seeded deadlock cycle. The
+// cycle finding lands on the earliest edge site (inside cycleCD).
+func (s *state) cycleCD() {
+	s.c.Lock()
+	s.d.Lock() // want "not covered by any //neptune:lockorder" "cycle among lc, ld"
+	s.d.Unlock()
+	s.c.Unlock()
+}
+
+func (s *state) cycleDC() {
+	s.d.Lock()
+	s.c.Lock() // want "not covered by any //neptune:lockorder"
+	s.c.Unlock()
+	s.d.Unlock()
+}
+
+// crossBad reaches lsub through a call while holding lb — a
+// cross-package edge no declaration covers.
+func (s *state) crossBad() {
+	s.b.Lock()
+	sub.Touch() // want "not covered by any //neptune:lockorder"
+	s.b.Unlock()
+}

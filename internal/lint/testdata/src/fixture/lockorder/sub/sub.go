@@ -1,0 +1,19 @@
+// Package sub holds the far side of the cross-package lock edges in the
+// lockorder fixture.
+package sub
+
+import "sync"
+
+var (
+	//neptune:lock lsub
+	mu sync.Mutex
+	n  int
+)
+
+// Touch acquires lsub; callers holding other annotated locks create
+// cross-package acquisition edges.
+func Touch() {
+	mu.Lock()
+	n++
+	mu.Unlock()
+}

@@ -65,6 +65,7 @@ const maxPhi = 100.0
 type Detector struct {
 	opts DetectorOptions
 
+	//neptune:lock member-detector
 	mu    sync.Mutex
 	peers map[string]*arrivalHistory
 }

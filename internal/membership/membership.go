@@ -100,6 +100,7 @@ type Member struct {
 // with SWIM-style precedence. It is a passive data structure — the Node
 // drives it from heartbeats, gossip, and detector ticks.
 type Map struct {
+	//neptune:lock member-map
 	mu      sync.Mutex
 	members map[string]*Member
 }

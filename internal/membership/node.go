@@ -141,6 +141,7 @@ type Node struct {
 	// across a send: outgoing frames are collected under mu and sent
 	// after release, so synchronous transports cannot deadlock two
 	// nodes against each other.
+	//neptune:lock member-node
 	mu          sync.Mutex
 	inc         uint64
 	joined      bool
@@ -465,6 +466,7 @@ func (n *Node) Deliver(m control.Message) {
 		return
 	}
 	now := n.opts.Now()
+	//neptune:kindexhaustive
 	switch m.Kind {
 	case control.KindHeartbeat:
 		n.deliverHeartbeat(m, now)
@@ -475,6 +477,10 @@ func (n *Node) Deliver(m control.Message) {
 	case control.KindNodeLeave:
 		n.view.Apply(m.Origin, "", StateLeft, m.Epoch, now)
 		n.det.Forget(m.Origin)
+	case control.KindEpochHello, control.KindWatermarkAdvertise,
+		control.KindCreditGrant, control.KindBarrierMarker:
+		// Link identity, flow control, and checkpoint markers are not
+		// membership evidence; a node deliberately ignores them.
 	}
 }
 

@@ -24,6 +24,7 @@ type Inproc struct {
 	// delivered" from "queue momentarily empty while one is being handled".
 	inflight atomic.Int64
 
+	//neptune:lock inproc
 	mu     sync.Mutex
 	closed bool
 }

@@ -238,6 +238,13 @@ type Resilient struct {
 	// read by other goroutines under mu / brokenFlag).
 	bw *bufio.Writer
 
+	// Declared order: the journal wait loop checks link state (isClosed)
+	// while parked under jmu; nothing acquires jmu under mu — connFailed
+	// releases mu before waking the journal.
+	//
+	//neptune:lockorder rlink-journal < rlink-state
+
+	//neptune:lock rlink-state
 	mu      sync.Mutex
 	conn    net.Conn
 	broken  bool
@@ -249,6 +256,7 @@ type Resilient struct {
 	closedCh   chan struct{}
 	closeOnce  sync.Once // guards close(closedCh): Close and terminate race
 
+	//neptune:lock rlink-journal
 	jmu     sync.Mutex
 	jcond   *sync.Cond
 	jfr     []jframe
@@ -277,6 +285,7 @@ type Resilient struct {
 	ctrlIn      atomic.Uint64
 	ctrlOut     atomic.Uint64
 
+	//neptune:lock rlink-rng
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -951,7 +960,7 @@ func (r *Resilient) connFailed(conn net.Conn, err error) {
 		cb(LinkReconnecting)
 	}
 	//neptune:discarderr the nudge push only fails when the queue is closed during shutdown, when waking the writer is moot
-	go func() { _ = r.queue.Push(Frame{}, 0) }()
+	go func() { _ = r.queue.Push(Frame{}, 0) }() //neptune:fireforget one-shot wake of a writer parked on the send queue; exits after one bounded Push
 }
 
 // terminate records a permanent failure: the reconnect budget ran out.

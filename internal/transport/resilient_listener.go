@@ -28,6 +28,7 @@ import (
 // at 1) is not misread as a flood of stale duplicates; a hello with the
 // same epoch — every ordinary reconnect — leaves dedup state intact.
 type linkRecv struct {
+	//neptune:lock rlisten-link
 	mu       sync.Mutex
 	lastSeen uint64
 	epoch    uint64
@@ -38,7 +39,8 @@ type linkRecv struct {
 // callers, and the two must not interleave mid-frame.
 type servedConn struct {
 	conn net.Conn
-	wmu  sync.Mutex
+	//neptune:lock rlisten-write
+	wmu sync.Mutex
 }
 
 // writeFrame writes one v2 frame (header + payload) under the write
@@ -66,6 +68,7 @@ type ResilientListener struct {
 	handler Handler
 	wg      sync.WaitGroup
 
+	//neptune:lock rlisten
 	mu     sync.Mutex
 	conns  map[net.Conn]*servedConn
 	links  map[uint64]*linkRecv

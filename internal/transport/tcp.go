@@ -42,6 +42,7 @@ type TCP struct {
 	gatherWrites atomic.Uint64
 	gatherFrames atomic.Uint64
 
+	//neptune:lock tcp
 	mu      sync.Mutex
 	closed  bool
 	ioErr   error
@@ -138,6 +139,7 @@ type Listener struct {
 	handler Handler
 	wg      sync.WaitGroup
 
+	//neptune:lock tcp-listen
 	mu     sync.Mutex
 	conns  []*TCP
 	closed bool
