@@ -235,6 +235,12 @@ func main() {
 	fmt.Printf("recovery: %d restart(s), %d frames replayed, checkpoint epoch %d (%d bytes), restore took %s\n",
 		h.Restarts, h.ReplayedPackets, h.Epoch, h.CheckpointBytes,
 		time.Duration(h.RestoreNs).Round(time.Microsecond))
+	fmt.Printf("checkpoint store: %d save retries, %d skipped epochs, degraded=%v",
+		h.CheckpointRetries, h.SkippedEpochs, h.CheckpointDegraded)
+	if h.LastCheckpointErr != "" {
+		fmt.Printf(" (last error: %s)", h.LastCheckpointErr)
+	}
+	fmt.Println()
 	if lost != 0 || dups != 0 || bad != 0 {
 		log.Fatal("recovery was not exactly-once")
 	}

@@ -26,7 +26,11 @@ var ErrInjected = errors.New("chaos: injected fault")
 // active.
 var ErrPartitioned = errors.New("chaos: network partitioned")
 
-// Stats counts the faults an injector has delivered.
+// Stats counts the faults an injector has delivered. Reordered,
+// Duplicated and StoreFaults are recorded by frame- and store-level
+// wrappers (transport.Faulty, checkpoint.FaultyStore) through the
+// Count* methods, so one injector aggregates every fault a schedule
+// produced regardless of which layer injected it.
 type Stats struct {
 	CorruptedWrites uint64
 	DelayedWrites   uint64
@@ -34,6 +38,9 @@ type Stats struct {
 	RefusedDials    uint64
 	Kills           uint64
 	OneWayDrops     uint64
+	Reordered       uint64
+	Duplicated      uint64
+	StoreFaults     uint64
 }
 
 // Injector produces deterministic faults from a seed. All probability
@@ -62,6 +69,9 @@ type Injector struct {
 		refused     atomic.Uint64
 		kills       atomic.Uint64
 		oneWayDrops atomic.Uint64
+		reordered   atomic.Uint64
+		duplicated  atomic.Uint64
+		storeFaults atomic.Uint64
 	}
 }
 
@@ -278,6 +288,18 @@ func (in *Injector) forget(c *Conn) {
 	in.mu.Unlock()
 }
 
+// CountReorder records one frame reorder injected by a frame-level
+// wrapper (transport.Faulty holds a frame back past its successor).
+func (in *Injector) CountReorder() { in.stats.reordered.Add(1) }
+
+// CountDuplicate records one frame duplication injected by a
+// frame-level wrapper.
+func (in *Injector) CountDuplicate() { in.stats.duplicated.Add(1) }
+
+// CountStoreFault records one checkpoint-store fault (failed save/load,
+// torn write, or stall) injected by a store-level wrapper.
+func (in *Injector) CountStoreFault() { in.stats.storeFaults.Add(1) }
+
 // Stats snapshots the injector's fault counters.
 func (in *Injector) Stats() Stats {
 	return Stats{
@@ -287,6 +309,9 @@ func (in *Injector) Stats() Stats {
 		RefusedDials:    in.stats.refused.Load(),
 		Kills:           in.stats.kills.Load(),
 		OneWayDrops:     in.stats.oneWayDrops.Load(),
+		Reordered:       in.stats.reordered.Load(),
+		Duplicated:      in.stats.duplicated.Load(),
+		StoreFaults:     in.stats.storeFaults.Load(),
 	}
 }
 

@@ -1,0 +1,394 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ActionKind identifies one orchestrated fault action.
+type ActionKind uint8
+
+const (
+	// ActKill fires the kill hook registered under Action.Target.
+	ActKill ActionKind = iota + 1
+	// ActCutAll severs every tracked connection (links reconnect).
+	ActCutAll
+	// ActPartition starts a two-way partition: tracked conns cut, dials
+	// refused until ActHeal.
+	ActPartition
+	// ActHeal ends a two-way partition.
+	ActHeal
+	// ActPartitionOneWay cuts the From -> To direction only.
+	ActPartitionOneWay
+	// ActHealOneWay restores the From -> To direction.
+	ActHealOneWay
+	// ActWireFaults arms per-write wire faults (corruption trips the
+	// frame CRC; delay models a slow link). Zero probabilities clear.
+	ActWireFaults
+	// ActFrameFaults arms frame-level faults via the orchestrator's
+	// OnFrameFaults hook (transport.Faulty). Zero probabilities clear.
+	ActFrameFaults
+	// ActStoreFaults arms checkpoint-store faults via the orchestrator's
+	// OnStoreFaults hook (checkpoint.FaultyStore). Zero values clear.
+	ActStoreFaults
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActKill:
+		return "kill"
+	case ActCutAll:
+		return "cut-all"
+	case ActPartition:
+		return "partition"
+	case ActHeal:
+		return "heal"
+	case ActPartitionOneWay:
+		return "partition-one-way"
+	case ActHealOneWay:
+		return "heal-one-way"
+	case ActWireFaults:
+		return "wire-faults"
+	case ActFrameFaults:
+		return "frame-faults"
+	case ActStoreFaults:
+		return "store-faults"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(k))
+	}
+}
+
+// Action is one timed fault in a Schedule. Which fields matter depends
+// on Kind; unused fields are zero.
+type Action struct {
+	// At is the offset from the start of playback.
+	At   time.Duration
+	Kind ActionKind
+
+	// Target names the kill hook for ActKill.
+	Target string
+	// From, To name the directed pair for one-way partitions.
+	From, To string
+
+	// Wire-level faults (ActWireFaults).
+	CorruptP float64
+	DelayP   float64
+	DelayFor time.Duration
+
+	// Frame-level faults (ActFrameFaults).
+	DropP    float64
+	DupP     float64
+	ReorderP float64
+
+	// Checkpoint-store faults (ActStoreFaults).
+	FailSaveP float64
+	FailLoadP float64
+	TornP     float64
+	Stall     time.Duration
+}
+
+// String renders the action deterministically (fixed field order, %g
+// floats), so a schedule dump is byte-identical across replays of the
+// same seed.
+func (a Action) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s %s", a.At, a.Kind)
+	switch a.Kind {
+	case ActKill:
+		fmt.Fprintf(&b, " target=%s", a.Target)
+	case ActPartitionOneWay, ActHealOneWay:
+		fmt.Fprintf(&b, " from=%s to=%s", a.From, a.To)
+	case ActWireFaults:
+		fmt.Fprintf(&b, " corrupt=%g delay=%g delayFor=%s", a.CorruptP, a.DelayP, a.DelayFor)
+	case ActFrameFaults:
+		fmt.Fprintf(&b, " drop=%g dup=%g reorder=%g", a.DropP, a.DupP, a.ReorderP)
+	case ActStoreFaults:
+		fmt.Fprintf(&b, " failSave=%g failLoad=%g torn=%g stall=%s", a.FailSaveP, a.FailLoadP, a.TornP, a.Stall)
+	}
+	return b.String()
+}
+
+// Schedule is a seeded, timed composition of fault actions over a
+// running job. Actions are sorted by offset; playback past Horizon is
+// quiet — Generate guarantees every fault is healed or cleared before
+// the horizon so convergence invariants can be checked after it.
+type Schedule struct {
+	Seed    int64
+	Horizon time.Duration
+	Actions []Action
+}
+
+// String dumps the schedule deterministically — the replay artifact for
+// a failing soak round.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d horizon=%s actions=%d\n", s.Seed, s.Horizon, len(s.Actions))
+	for _, a := range s.Actions {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	return b.String()
+}
+
+// Profile constrains what Generate may compose. Exact counts rather
+// than maxima keep the schedule shape a pure function of (seed,
+// profile); callers derive counts from their own seeded draws.
+type Profile struct {
+	// Horizon bounds the schedule; all faults heal before it.
+	Horizon time.Duration
+
+	// KillTargets are kill-hook names eligible for ActKill. Kills is how
+	// many to inject. Kills get slots disjoint from partition windows: a
+	// kill during a partition would strand recovery on refused dials,
+	// which is an environment error, not a system fault.
+	KillTargets []string
+	Kills       int
+
+	// Partitions two-way partition-then-heal windows.
+	Partitions int
+	// Cuts transient cut-all events (links reconnect immediately).
+	Cuts int
+
+	// Pairs are directed (from, to) candidates for one-way partitions;
+	// OneWay is how many partition-then-heal windows to inject.
+	Pairs  [][2]string
+	OneWay int
+
+	// WireFaults arms a window of low-probability wire corruption and
+	// write delays.
+	WireFaults bool
+	// FrameDup arms a window of frame duplication (safe under remote
+	// dedup). Drop/reorder are deliberately excluded from generated
+	// schedules: both violate the delivery contract the invariant
+	// checker asserts (see transport.Faulty docs).
+	FrameDup bool
+	// StoreFaults arms a window of checkpoint save failures, torn
+	// writes, or stalls (mode drawn from the seed). StoreStall bounds
+	// the stall mode; zero defaults to 250ms.
+	StoreFaults bool
+	StoreStall  time.Duration
+}
+
+// Schedule geometry, as fractions of the horizon. Exclusive events
+// (kills, partitions, cuts, one-way windows) divide the active region
+// into disjoint slots; overlay windows (wire/frame/store faults) may
+// overlap anything. Everything is healed by healBy.
+const (
+	activeFrom = 0.08
+	activeTo   = 0.68
+	healBy     = 0.80
+)
+
+// Generate composes a deterministic fault schedule: same seed and
+// profile, byte-identical schedule.
+func Generate(seed int64, p Profile) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	h := p.Horizon
+	if h <= 0 {
+		h = 2 * time.Second
+	}
+	s := &Schedule{Seed: seed, Horizon: h}
+	at := func(frac float64) time.Duration { return time.Duration(frac * float64(h)) }
+
+	// Disjoint slots for exclusive events, in seeded order.
+	kills := p.Kills
+	if len(p.KillTargets) == 0 {
+		kills = 0
+	}
+	oneWay := p.OneWay
+	if len(p.Pairs) == 0 {
+		oneWay = 0
+	}
+	type eventKind uint8
+	const (
+		evKill eventKind = iota
+		evPartition
+		evCut
+		evOneWay
+	)
+	var events []eventKind
+	for i := 0; i < kills; i++ {
+		events = append(events, evKill)
+	}
+	for i := 0; i < p.Partitions; i++ {
+		events = append(events, evPartition)
+	}
+	for i := 0; i < p.Cuts; i++ {
+		events = append(events, evCut)
+	}
+	for i := 0; i < oneWay; i++ {
+		events = append(events, evOneWay)
+	}
+	if n := len(events); n > 0 {
+		rng.Shuffle(n, func(i, j int) { events[i], events[j] = events[j], events[i] })
+		width := (activeTo - activeFrom) / float64(n)
+		for i, ev := range events {
+			lo := activeFrom + float64(i)*width
+			start := lo + rng.Float64()*0.3*width
+			switch ev {
+			case evKill:
+				target := p.KillTargets[rng.Intn(len(p.KillTargets))]
+				s.Actions = append(s.Actions, Action{At: at(start), Kind: ActKill, Target: target})
+			case evPartition:
+				end := start + (0.2+rng.Float64()*0.4)*width
+				s.Actions = append(s.Actions,
+					Action{At: at(start), Kind: ActPartition},
+					Action{At: at(end), Kind: ActHeal})
+			case evCut:
+				s.Actions = append(s.Actions, Action{At: at(start), Kind: ActCutAll})
+			case evOneWay:
+				pair := p.Pairs[rng.Intn(len(p.Pairs))]
+				end := start + (0.3+rng.Float64()*0.5)*width
+				s.Actions = append(s.Actions,
+					Action{At: at(start), Kind: ActPartitionOneWay, From: pair[0], To: pair[1]},
+					Action{At: at(end), Kind: ActHealOneWay, From: pair[0], To: pair[1]})
+			}
+		}
+	}
+
+	// Overlay windows.
+	window := func(loFrac, hiFrac float64) (time.Duration, time.Duration) {
+		start := loFrac + rng.Float64()*(hiFrac-loFrac)*0.5
+		end := start + (hiFrac-start)*(0.3+rng.Float64()*0.6)
+		return at(start), at(end)
+	}
+	if p.WireFaults {
+		from, to := window(0.05, 0.7)
+		s.Actions = append(s.Actions,
+			Action{At: from, Kind: ActWireFaults,
+				CorruptP: 0.003 + rng.Float64()*0.012,
+				DelayP:   0.02 + rng.Float64()*0.05,
+				DelayFor: 200*time.Microsecond + time.Duration(rng.Intn(800))*time.Microsecond},
+			Action{At: to, Kind: ActWireFaults})
+	}
+	if p.FrameDup {
+		from, to := window(0.05, 0.7)
+		s.Actions = append(s.Actions,
+			Action{At: from, Kind: ActFrameFaults, DupP: 0.05 + rng.Float64()*0.15},
+			Action{At: to, Kind: ActFrameFaults})
+	}
+	if p.StoreFaults {
+		stall := p.StoreStall
+		if stall <= 0 {
+			stall = 250 * time.Millisecond
+		}
+		// Window starts late enough that at least one epoch normally
+		// commits first, so a later kill recovers from a good snapshot.
+		from, to := window(0.3, 0.7)
+		a := Action{At: from, Kind: ActStoreFaults}
+		switch rng.Intn(3) {
+		case 0:
+			a.FailSaveP = 1
+		case 1:
+			a.TornP = 1
+		case 2:
+			a.Stall = stall
+		}
+		s.Actions = append(s.Actions, a, Action{At: to, Kind: ActStoreFaults})
+	}
+
+	// Safety tail: re-heal every fault class the schedule used, so the
+	// post-horizon convergence check never races a straggling window.
+	tail := at(healBy)
+	if p.Partitions > 0 {
+		s.Actions = append(s.Actions, Action{At: tail, Kind: ActHeal})
+	}
+	healed := make(map[[2]string]bool)
+	for _, a := range s.Actions {
+		if a.Kind == ActPartitionOneWay && !healed[[2]string{a.From, a.To}] {
+			healed[[2]string{a.From, a.To}] = true
+			s.Actions = append(s.Actions, Action{At: tail, Kind: ActHealOneWay, From: a.From, To: a.To})
+		}
+	}
+	if p.WireFaults {
+		s.Actions = append(s.Actions, Action{At: tail, Kind: ActWireFaults})
+	}
+	if p.FrameDup {
+		s.Actions = append(s.Actions, Action{At: tail, Kind: ActFrameFaults})
+	}
+	if p.StoreFaults {
+		s.Actions = append(s.Actions, Action{At: tail, Kind: ActStoreFaults})
+	}
+
+	sort.SliceStable(s.Actions, func(i, j int) bool { return s.Actions[i].At < s.Actions[j].At })
+	return s
+}
+
+// Orchestrator plays a Schedule against a running job: injector
+// built-ins handle kills, cuts and partitions; the two hooks let the
+// caller wire frame-level and store-level fault planes without chaos
+// importing transport or checkpoint.
+type Orchestrator struct {
+	Inj *Injector
+	// OnFrameFaults applies an ActFrameFaults action (typically
+	// transport.Faulty.SetPlan). Nil ignores such actions.
+	OnFrameFaults func(a Action)
+	// OnStoreFaults applies an ActStoreFaults action (typically
+	// checkpoint.FaultyStore.SetFaults). Nil ignores such actions.
+	OnStoreFaults func(a Action)
+	// Logf, when set, records each applied action.
+	Logf func(format string, args ...any)
+}
+
+// Play executes the schedule in real time, blocking until every action
+// has been applied or stop is closed. It returns how many actions were
+// applied. Playback is wall-clock best effort: a late action fires
+// immediately, preserving order.
+func (o *Orchestrator) Play(s *Schedule, stop <-chan struct{}) int {
+	start := time.Now()
+	applied := 0
+	for _, a := range s.Actions {
+		if wait := a.At - time.Since(start); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return applied
+			}
+		} else {
+			select {
+			case <-stop:
+				return applied
+			default:
+			}
+		}
+		o.apply(a)
+		applied++
+	}
+	return applied
+}
+
+func (o *Orchestrator) apply(a Action) {
+	switch a.Kind {
+	case ActKill:
+		o.Inj.KillResource(a.Target)
+	case ActCutAll:
+		o.Inj.CutAll()
+	case ActPartition:
+		o.Inj.Partition()
+	case ActHeal:
+		o.Inj.Heal()
+	case ActPartitionOneWay:
+		o.Inj.PartitionOneWay(a.From, a.To)
+	case ActHealOneWay:
+		o.Inj.HealOneWay(a.From, a.To)
+	case ActWireFaults:
+		o.Inj.SetCorrupt(a.CorruptP)
+		o.Inj.SetDelay(a.DelayP, a.DelayFor)
+	case ActFrameFaults:
+		if o.OnFrameFaults != nil {
+			o.OnFrameFaults(a)
+		}
+	case ActStoreFaults:
+		if o.OnStoreFaults != nil {
+			o.OnStoreFaults(a)
+		}
+	}
+	if o.Logf != nil {
+		o.Logf("chaos: apply %s", a)
+	}
+}

@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fullProfile(h time.Duration) Profile {
+	return Profile{
+		Horizon:     h,
+		KillTargets: []string{"mid"},
+		Kills:       2,
+		Partitions:  1,
+		Cuts:        1,
+		Pairs:       [][2]string{{"a", "b"}, {"b", "a"}},
+		OneWay:      1,
+		WireFaults:  true,
+		FrameDup:    true,
+		StoreFaults: true,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := fullProfile(2 * time.Second)
+	a := Generate(42, p).String()
+	b := Generate(42, p).String()
+	if a != b {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if c := Generate(43, p).String(); c == a {
+		t.Fatalf("different seeds produced identical schedules:\n%s", a)
+	}
+}
+
+func TestGenerateHealsBeforeHorizon(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := fullProfile(time.Second)
+		s := Generate(seed, p)
+		if len(s.Actions) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		open := 0 // two-way partition depth
+		oneWay := map[[2]string]bool{}
+		var lastWire, lastFrame, lastStore Action
+		var killTimes []time.Duration
+		type span struct{ from, to time.Duration }
+		var partitions []span
+		var openAt time.Duration
+		for _, a := range s.Actions {
+			if a.At < 0 || a.At >= s.Horizon {
+				t.Fatalf("seed %d: action outside horizon: %s", seed, a)
+			}
+			switch a.Kind {
+			case ActPartition:
+				open++
+				openAt = a.At
+			case ActHeal:
+				if open > 0 {
+					open--
+					partitions = append(partitions, span{openAt, a.At})
+				}
+			case ActPartitionOneWay:
+				oneWay[[2]string{a.From, a.To}] = true
+			case ActHealOneWay:
+				delete(oneWay, [2]string{a.From, a.To})
+			case ActKill:
+				killTimes = append(killTimes, a.At)
+			case ActWireFaults:
+				lastWire = a
+			case ActFrameFaults:
+				lastFrame = a
+			case ActStoreFaults:
+				lastStore = a
+			}
+		}
+		if open != 0 {
+			t.Fatalf("seed %d: partition never healed", seed)
+		}
+		if len(oneWay) != 0 {
+			t.Fatalf("seed %d: one-way partition never healed: %v", seed, oneWay)
+		}
+		if lastWire.CorruptP != 0 || lastWire.DelayP != 0 {
+			t.Fatalf("seed %d: wire faults never cleared: %s", seed, lastWire)
+		}
+		if lastFrame.DupP != 0 || lastFrame.DropP != 0 || lastFrame.ReorderP != 0 {
+			t.Fatalf("seed %d: frame faults never cleared: %s", seed, lastFrame)
+		}
+		if lastStore.FailSaveP != 0 || lastStore.TornP != 0 || lastStore.Stall != 0 {
+			t.Fatalf("seed %d: store faults never cleared: %s", seed, lastStore)
+		}
+		for _, k := range killTimes {
+			for _, sp := range partitions {
+				if k >= sp.from && k <= sp.to {
+					t.Fatalf("seed %d: kill at %s inside partition window [%s, %s]", seed, k, sp.from, sp.to)
+				}
+			}
+		}
+	}
+}
+
+func TestOrchestratorPlaysSchedule(t *testing.T) {
+	inj := New(7)
+	var killed atomic.Int64
+	inj.RegisterKill("mid", func() { killed.Add(1) })
+
+	var frame, store atomic.Value
+	o := &Orchestrator{
+		Inj:           inj,
+		OnFrameFaults: func(a Action) { frame.Store(a) },
+		OnStoreFaults: func(a Action) { store.Store(a) },
+	}
+	s := &Schedule{Seed: 7, Horizon: 50 * time.Millisecond, Actions: []Action{
+		{At: 0, Kind: ActKill, Target: "mid"},
+		{At: time.Millisecond, Kind: ActPartitionOneWay, From: "a", To: "b"},
+		{At: 2 * time.Millisecond, Kind: ActFrameFaults, DupP: 0.5},
+		{At: 3 * time.Millisecond, Kind: ActStoreFaults, FailSaveP: 1},
+		{At: 4 * time.Millisecond, Kind: ActHealOneWay, From: "a", To: "b"},
+	}}
+	stop := make(chan struct{})
+	if n := o.Play(s, stop); n != len(s.Actions) {
+		t.Fatalf("applied %d of %d actions", n, len(s.Actions))
+	}
+	if killed.Load() != 1 {
+		t.Fatalf("kill hook fired %d times", killed.Load())
+	}
+	if inj.PairBlocked("a", "b") {
+		t.Fatal("one-way partition not healed")
+	}
+	if a := frame.Load().(Action); a.DupP != 0.5 {
+		t.Fatalf("frame hook got %s", a)
+	}
+	if a := store.Load().(Action); a.FailSaveP != 1 {
+		t.Fatalf("store hook got %s", a)
+	}
+	if st := inj.Stats(); st.Kills != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestOrchestratorStops(t *testing.T) {
+	o := &Orchestrator{Inj: New(1)}
+	s := &Schedule{Horizon: time.Minute, Actions: []Action{
+		{At: time.Minute, Kind: ActCutAll},
+	}}
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if n := o.Play(s, stop); n != 0 {
+		t.Fatalf("applied %d actions after stop", n)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Play did not return promptly on stop")
+	}
+}
+
+func TestScheduleStringRoundTripStable(t *testing.T) {
+	s := Generate(99, fullProfile(1500*time.Millisecond))
+	dump := s.String()
+	if !strings.HasPrefix(dump, "schedule seed=99 horizon=1.5s") {
+		t.Fatalf("unexpected header: %q", strings.SplitN(dump, "\n", 2)[0])
+	}
+	if strings.Count(dump, "\n") != len(s.Actions)+1 {
+		t.Fatalf("dump line count mismatch:\n%s", dump)
+	}
+}

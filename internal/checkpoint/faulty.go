@@ -1,0 +1,110 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// FaultPlan is a runtime-swappable set of checkpoint-store fault
+// probabilities for FaultyStore. The zero plan clears all faults.
+type FaultPlan struct {
+	// FailSave is the probability a Save fails without touching the
+	// inner store.
+	FailSave float64
+	// FailLoad is the probability a Load fails without consulting the
+	// inner store (Latest falls back to an older epoch).
+	FailLoad float64
+	// Torn is the probability a Save writes a truncated snapshot to the
+	// inner store and then reports failure — the observable half of a
+	// crash mid-write. The store is honest: a torn write is never
+	// reported as success, mirroring a process that died before Save
+	// returned.
+	Torn float64
+	// Stall delays every Save by this much before it proceeds, modeling
+	// a slow or hung store; the save itself then succeeds.
+	Stall time.Duration
+}
+
+// FaultyStore wraps a Store with deterministic fault injection — failed
+// saves/loads, torn writes, stalls — driven by a chaos.Injector so a
+// soak schedule reproduces the exact same store faults per seed. Fault
+// modes compose in a fixed order per Save: stall, then torn write, then
+// clean failure.
+type FaultyStore struct {
+	inner Store
+	inj   *chaos.Injector
+
+	mu   sync.Mutex
+	plan FaultPlan
+}
+
+// NewFaultyStore wraps inner with fault injection decided by inj. The
+// initial plan is clean; arm faults with SetFaults.
+func NewFaultyStore(inner Store, inj *chaos.Injector) *FaultyStore {
+	return &FaultyStore{inner: inner, inj: inj}
+}
+
+// SetFaults atomically installs a new fault plan.
+func (fs *FaultyStore) SetFaults(p FaultPlan) {
+	fs.mu.Lock()
+	fs.plan = p
+	fs.mu.Unlock()
+}
+
+// Plan returns the current fault plan.
+func (fs *FaultyStore) Plan() FaultPlan {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plan
+}
+
+// Inner returns the wrapped store, for inspecting what actually
+// committed.
+func (fs *FaultyStore) Inner() Store { return fs.inner }
+
+// Save applies the armed fault plan, then forwards to the inner store.
+func (fs *FaultyStore) Save(epoch uint64, snapshot []byte) error {
+	p := fs.Plan()
+	if p.Stall > 0 {
+		fs.inj.CountStoreFault()
+		time.Sleep(p.Stall)
+	}
+	if fs.inj.Decide(p.Torn) && len(snapshot) > 0 {
+		fs.inj.CountStoreFault()
+		// Commit a truncated prefix to the inner store — the on-disk
+		// state of a crash mid-write — and report the save failed.
+		// Latest must skip this epoch and fall back.
+		cut := 1 + fs.inj.Intn(len(snapshot))
+		if cut >= len(snapshot) {
+			cut = len(snapshot) - 1
+		}
+		if err := fs.inner.Save(epoch, snapshot[:cut]); err != nil {
+			return fmt.Errorf("%w: torn write at epoch %d (inner: %v)", chaos.ErrInjected, epoch, err)
+		}
+		return fmt.Errorf("%w: torn write at epoch %d", chaos.ErrInjected, epoch)
+	}
+	if fs.inj.Decide(p.FailSave) {
+		fs.inj.CountStoreFault()
+		return fmt.Errorf("%w: save refused at epoch %d", chaos.ErrInjected, epoch)
+	}
+	return fs.inner.Save(epoch, snapshot)
+}
+
+// Load applies the armed fault plan, then forwards to the inner store.
+func (fs *FaultyStore) Load(epoch uint64) ([]byte, error) {
+	if fs.inj.Decide(fs.Plan().FailLoad) {
+		fs.inj.CountStoreFault()
+		return nil, fmt.Errorf("%w: load refused at epoch %d", chaos.ErrInjected, epoch)
+	}
+	return fs.inner.Load(epoch)
+}
+
+// Epochs forwards to the inner store. Listing is deliberately not
+// faulted: Latest's fallback loop needs the epoch index to exercise the
+// per-epoch load/decode fault paths.
+func (fs *FaultyStore) Epochs() ([]uint64, error) { return fs.inner.Epochs() }
+
+var _ Store = (*FaultyStore)(nil)

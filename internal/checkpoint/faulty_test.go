@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func savedEpoch(t *testing.T, st Store, epoch uint64) []byte {
+	t.Helper()
+	data, err := Encode(sampleSnapshot(epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFaultyStoreFailSave(t *testing.T) {
+	inner := NewMemStore(0)
+	fs := NewFaultyStore(inner, chaos.New(1))
+	fs.SetFaults(FaultPlan{FailSave: 1})
+	if err := fs.Save(1, savedEpoch(t, inner, 1)); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Save error = %v, want ErrInjected", err)
+	}
+	if epochs, _ := inner.Epochs(); len(epochs) != 0 {
+		t.Fatalf("failed save reached inner store: %v", epochs)
+	}
+	fs.SetFaults(FaultPlan{})
+	if err := fs.Save(1, savedEpoch(t, inner, 1)); err != nil {
+		t.Fatalf("clean save failed: %v", err)
+	}
+	if epochs, _ := inner.Epochs(); len(epochs) != 1 {
+		t.Fatalf("clean save missing from inner store: %v", epochs)
+	}
+}
+
+func TestFaultyStoreFailLoadFallsBack(t *testing.T) {
+	inner := NewMemStore(0)
+	fs := NewFaultyStore(inner, chaos.New(2))
+	for epoch := uint64(1); epoch <= 2; epoch++ {
+		if err := fs.Save(epoch, savedEpoch(t, inner, epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Refuse half the loads; a refused newest load must fall back to the
+	// older epoch rather than failing recovery. Only the draw where every
+	// stored epoch is refused may surface ErrNoCheckpoint.
+	fs.SetFaults(FaultPlan{FailLoad: 0.5})
+	fellBack := false
+	for i := 0; i < 100; i++ {
+		snap, err := Latest(fs)
+		if err != nil {
+			if !errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("Latest with flaky loads: %v", err)
+			}
+			continue
+		}
+		switch snap.Epoch {
+		case 2:
+		case 1:
+			fellBack = true
+		default:
+			t.Fatalf("Latest returned unexpected epoch %d", snap.Epoch)
+		}
+	}
+	if !fellBack {
+		t.Fatal("refused newest load never fell back to the older epoch")
+	}
+}
+
+func TestFaultyStoreStallDelaysSave(t *testing.T) {
+	inner := NewMemStore(0)
+	fs := NewFaultyStore(inner, chaos.New(3))
+	const stall = 50 * time.Millisecond
+	fs.SetFaults(FaultPlan{Stall: stall})
+	start := time.Now()
+	if err := fs.Save(1, savedEpoch(t, inner, 1)); err != nil {
+		t.Fatalf("stalled save failed: %v", err)
+	}
+	if d := time.Since(start); d < stall {
+		t.Fatalf("stalled save returned after %v, want >= %v", d, stall)
+	}
+	if epochs, _ := inner.Epochs(); len(epochs) != 1 {
+		t.Fatal("stalled save did not commit")
+	}
+	if st := fs.inj.Stats(); st.StoreFaults != 1 {
+		t.Fatalf("stall not counted: %+v", st)
+	}
+}
+
+// TestFileStoreCrashConsistencyTornWrite is the crash-consistency check
+// for FileStore.Save's atomic write + directory fsync: a torn write at
+// the newest epoch (the injected analogue of power loss mid-save) must
+// leave every previously committed epoch readable, and Latest must fall
+// back to the newest intact one.
+func TestFileStoreCrashConsistencyTornWrite(t *testing.T) {
+	inner, err := NewFileStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultyStore(inner, chaos.New(4))
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		if err := fs.Save(epoch, savedEpoch(t, inner, epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetFaults(FaultPlan{Torn: 1})
+	if err := fs.Save(4, savedEpoch(t, inner, 4)); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("torn save error = %v, want ErrInjected", err)
+	}
+	// The torn epoch is on disk but truncated; it must never be served.
+	snap, err := Latest(fs)
+	if err != nil {
+		t.Fatalf("Latest after torn write: %v", err)
+	}
+	if snap.Epoch != 3 {
+		t.Fatalf("Latest served epoch %d after torn write, want 3", snap.Epoch)
+	}
+	// And a subsequent clean save of the same epoch repairs it.
+	fs.SetFaults(FaultPlan{})
+	if err := fs.Save(4, savedEpoch(t, inner, 4)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = Latest(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 4 {
+		t.Fatalf("Latest served epoch %d after repair, want 4", snap.Epoch)
+	}
+}
+
+func TestFaultyStoreDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		inner := NewMemStore(64)
+		fs := NewFaultyStore(inner, chaos.New(seed))
+		fs.SetFaults(FaultPlan{FailSave: 0.5})
+		var outcomes []bool
+		for epoch := uint64(1); epoch <= 40; epoch++ {
+			err := fs.Save(epoch, savedEpoch(t, inner, epoch))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("save %d diverged between equal seeds", i)
+		}
+	}
+}

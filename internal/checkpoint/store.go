@@ -173,8 +173,27 @@ func (f *FileStore) Save(epoch uint64, snapshot []byte) error {
 		removeQuiet(tmpName)
 		return fmt.Errorf("checkpoint: publish snapshot: %w", err)
 	}
+	// The rename only became durable when the directory entry is on
+	// disk: fsync the parent directory, or a power loss can forget a
+	// snapshot whose Save already returned success.
+	if err := syncDir(f.dir); err != nil {
+		return fmt.Errorf("checkpoint: sync store dir: %w", err)
+	}
 	f.prune()
 	return nil
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // prune removes the oldest epoch files beyond the retention count.

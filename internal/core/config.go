@@ -117,6 +117,12 @@ const (
 	// DefaultBarrierTimeout bounds checkpoint barriers and recovery
 	// settling.
 	DefaultBarrierTimeout = 5 * time.Second
+	// DefaultSaveRetries is how many times one epoch's checkpoint Save
+	// is attempted before the epoch is skipped (degrade-and-alarm).
+	DefaultSaveRetries = 3
+	// DefaultSaveBackoff is the base backoff between Save retries,
+	// doubling per attempt.
+	DefaultSaveBackoff = 5 * time.Millisecond
 )
 
 // MembershipConfig tunes the membership layer (DESIGN §12). A job with

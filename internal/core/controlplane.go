@@ -92,6 +92,12 @@ func (e *Engine) initControl() {
 // bus returns the engine's control bus.
 func (e *Engine) bus() *control.Bus { return e.ctrl.bus }
 
+// ControlBus exposes the engine's control bus for observers — invariant
+// checkers and diagnostics subscribe here to watch barrier markers,
+// watermark advertisements, and membership traffic without touching the
+// data path.
+func (e *Engine) ControlBus() *control.Bus { return e.ctrl.bus }
+
 // registerUplink installs (or replaces) the control link toward an
 // upstream peer. peer is the sending engine's name, or listenerPeer for
 // a listener broadcast that reaches every upstream dialer.
@@ -490,10 +496,15 @@ func (j *Job) flowRefresher(period time.Duration) {
 			return
 		case <-t.C:
 			for _, inst := range j.instances {
-				if inst.proc == nil || inst.dataset == nil || !inst.dataset.Gated() {
+				// Copy the dataset pointer out under rebuildMu: supervised
+				// recovery replaces it while this goroutine runs.
+				j.rebuildMu.RLock()
+				ds := inst.dataset
+				j.rebuildMu.RUnlock()
+				if ds == nil || !ds.Gated() {
 					continue
 				}
-				j.publishFlow(inst, true, inst.dataset.Level(), inst.flowSeq.Load())
+				j.publishFlow(inst, true, ds.Level(), inst.flowSeq.Load())
 			}
 		}
 	}
@@ -576,6 +587,7 @@ type FlowHealth struct {
 	SourceHolds   uint64 // times a pump paused on an advertisement
 	SourceHeldNs  int64  // cumulative time pumps spent held
 	SourcesGated  int    // sources currently held
+	InboundGated  int    // processor valves currently gated (live backpressure)
 	FlowSignalsOn bool
 }
 
@@ -583,16 +595,25 @@ type FlowHealth struct {
 func (j *Job) FlowHealth() FlowHealth {
 	h := FlowHealth{FlowSignalsOn: j.cfg.FlowSignals}
 	for _, inst := range j.instances {
-		if inst.proc != nil && inst.dataset != nil {
-			st := inst.dataset.PressureStats()
+		// Copy the wiring pointers out under rebuildMu: supervised
+		// recovery replaces them while this snapshot runs.
+		j.rebuildMu.RLock()
+		ds := inst.dataset
+		src := inst.source
+		j.rebuildMu.RUnlock()
+		if ds != nil {
+			st := ds.PressureStats()
 			h.InboundGateClosures += st.GateClosures
 			h.InboundBlockedWrites += st.BlockedAcquires
 			h.InboundBlockedNs += int64(st.BlockedTime)
 			if st.MaxLevel > h.InboundMaxLevel {
 				h.InboundMaxLevel = st.MaxLevel
 			}
+			if ds.Gated() {
+				h.InboundGated++
+			}
 		}
-		if inst.source != nil {
+		if src != nil {
 			h.SourceHolds += inst.flowGates.Load()
 			h.SourceHeldNs += inst.flowGatedNs.Load()
 			if inst.flow != nil && inst.flow.gated.Load() > 0 {

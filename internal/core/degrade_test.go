@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
+)
+
+// TestCheckpointStoreFaultsDegrade is the degrade-and-alarm acceptance
+// test: with the checkpoint store failing every Save mid-run, the job
+// must keep processing (no barrier wedge — sources resume after each
+// aborted epoch), report the skipped epochs and the alarm through
+// RecoveryHealth, and a subsequent kill must still recover exactly-once
+// from the last good snapshot while the store is still refusing saves.
+func TestCheckpointStoreFaultsDegrade(t *testing.T) {
+	const n = 10_000
+	cfg := testConfig() // VerifyOrdering + DedupRemote on
+	j, sink, _, _ := recoveryJob(t, cfg, 20_000, n)
+
+	inj := chaos.New(21)
+	store := checkpoint.NewFaultyStore(checkpoint.NewMemStore(0), inj)
+	sup, err := j.Supervise(SupervisorOptions{
+		Interval:       10 * time.Millisecond,
+		Heartbeat:      5 * time.Millisecond,
+		Misses:         3,
+		Store:          store,
+		Replay:         true,
+		BarrierTimeout: 5 * time.Second,
+		SaveBackoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: healthy. At least one epoch commits.
+	waitUntil(t, 10*time.Second, "first committed epoch", func() bool {
+		return sup.Epoch() >= 1
+	})
+
+	// Phase 2: the store refuses every Save. Epochs are skipped, sources
+	// must keep flowing.
+	store.SetFaults(checkpoint.FaultPlan{FailSave: 1})
+	before := sink.count.Load()
+	waitUntil(t, 10*time.Second, "skipped epochs recorded", func() bool {
+		return j.RecoveryHealth().SkippedEpochs >= 2
+	})
+	waitUntil(t, 10*time.Second, "processing continues during store faults", func() bool {
+		return sink.count.Load() > before || sink.count.Load() == n
+	})
+	rh := j.RecoveryHealth()
+	if !rh.CheckpointDegraded || rh.LastCheckpointErr == "" {
+		t.Fatalf("degradation not surfaced: %+v", rh)
+	}
+	if rh.CheckpointRetries == 0 {
+		t.Fatalf("no save retries recorded: %+v", rh)
+	}
+
+	// Phase 3: kill the stateful mid engine with the store still
+	// refusing saves. Recovery loads the last good snapshot and replays;
+	// the sink must end exactly-once with deterministic state.
+	goodEpoch := sup.Epoch()
+	inj.RegisterKill("rec-b", func() { _ = sup.Kill("rec-b") })
+	if !inj.KillResource("rec-b") {
+		t.Fatal("kill hook did not fire")
+	}
+	waitRestarts(t, j, 1)
+
+	finishJob(t, j)
+	if got := sink.count.Load(); got != n {
+		t.Fatalf("sink processed %d, want %d", got, n)
+	}
+	sink.exactlyOnce(t, n)
+	sink.assertDeterministic(t)
+	rh = j.RecoveryHealth()
+	if rh.Epoch != goodEpoch {
+		t.Fatalf("epoch advanced to %d while every save failed (good epoch %d)", rh.Epoch, goodEpoch)
+	}
+	if rh.Restarts < 1 || rh.ReplayedPackets == 0 {
+		t.Fatalf("recovery did not replay: %+v", rh)
+	}
+	if st := inj.Stats(); st.StoreFaults == 0 {
+		t.Fatalf("store faults not counted: %+v", st)
+	}
+}
+
+// TestCheckpointStallDoesNotWedgeBarrier pins the barrier deadline: a
+// store whose Save hangs far past BarrierTimeout must not hold the
+// stop-the-world barrier (sources parked) for longer than the deadline —
+// the epoch aborts with ErrCheckpointTimeout and processing resumes.
+func TestCheckpointStallDoesNotWedgeBarrier(t *testing.T) {
+	const n = 20_000
+	cfg := testConfig()
+	j, sink, _, _ := recoveryJob(t, cfg, 20_000, n)
+
+	inj := chaos.New(22)
+	store := checkpoint.NewFaultyStore(checkpoint.NewMemStore(0), inj)
+	// Stall far past the 300ms deadline, but short enough that the
+	// abandoned saver goroutine drains before the package leak gate runs.
+	store.SetFaults(checkpoint.FaultPlan{Stall: 3 * time.Second})
+	sup, err := j.Supervise(SupervisorOptions{
+		Heartbeat:      5 * time.Millisecond,
+		Misses:         3,
+		Store:          store,
+		Replay:         true,
+		BarrierTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitCount(t, sink.collectSink, n/8)
+	start := time.Now()
+	err = sup.Checkpoint()
+	held := time.Since(start)
+	if !errors.Is(err, ErrCheckpointTimeout) {
+		t.Fatalf("stalled checkpoint returned %v, want ErrCheckpointTimeout", err)
+	}
+	// The barrier may legitimately spend up to BarrierTimeout parking
+	// sources before the save phase; the stalled save itself must not
+	// add more than another deadline's worth.
+	if held > 2*time.Second {
+		t.Fatalf("barrier held %v despite 300ms deadline", held)
+	}
+	rh := j.RecoveryHealth()
+	if rh.SkippedEpochs != 1 || !rh.CheckpointDegraded {
+		t.Fatalf("stall not surfaced as skipped epoch: %+v", rh)
+	}
+	if rh.Epoch != 0 {
+		t.Fatalf("epoch advanced past a stalled save: %+v", rh)
+	}
+
+	// Sources resumed: the stream finishes and stays exactly-once.
+	finishJob(t, j)
+	sink.exactlyOnce(t, n)
+	sink.assertDeterministic(t)
+}
+
+// TestCheckpointRetryRecovers pins the bounded-retry path: transient
+// save failures within one epoch are retried with backoff and the epoch
+// still commits; the degradation alarm clears on the next success.
+func TestCheckpointRetryRecovers(t *testing.T) {
+	const n = 8_000
+	cfg := testConfig()
+	j, sink, _, _ := recoveryJob(t, cfg, 25_000, n)
+
+	inj := chaos.New(23)
+	store := checkpoint.NewFaultyStore(checkpoint.NewMemStore(0), inj)
+	sup, err := j.Supervise(SupervisorOptions{
+		Heartbeat:   5 * time.Millisecond,
+		Misses:      3,
+		Store:       store,
+		Replay:      true,
+		SaveBackoff: time.Millisecond,
+		SaveRetries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sink.collectSink, n/8)
+
+	// Every save fails: the epoch must be skipped and the alarm raised.
+	store.SetFaults(checkpoint.FaultPlan{FailSave: 1})
+	if err := sup.Checkpoint(); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("checkpoint with failing store returned %v, want injected error", err)
+	}
+	rh := j.RecoveryHealth()
+	if rh.SkippedEpochs != 1 || rh.CheckpointRetries != 3 || !rh.CheckpointDegraded {
+		t.Fatalf("retry accounting after hard failure: %+v", rh)
+	}
+
+	// Half the saves fail: with 4 attempts per epoch the epoch commits
+	// anyway (P(all four fail) for this seed's draw sequence is not hit),
+	// and the alarm clears.
+	store.SetFaults(checkpoint.FaultPlan{FailSave: 0.5})
+	committed := false
+	for i := 0; i < 8 && !committed; i++ {
+		committed = sup.Checkpoint() == nil
+	}
+	if !committed {
+		t.Fatal("no epoch committed through transient save failures")
+	}
+	rh = j.RecoveryHealth()
+	if rh.CheckpointDegraded || rh.LastCheckpointErr != "" {
+		t.Fatalf("alarm did not clear after commit: %+v", rh)
+	}
+	if rh.Epoch < 1 {
+		t.Fatalf("no epoch recorded: %+v", rh)
+	}
+
+	store.SetFaults(checkpoint.FaultPlan{})
+	finishJob(t, j)
+	sink.exactlyOnce(t, n)
+}

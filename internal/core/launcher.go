@@ -347,6 +347,16 @@ type Job struct {
 	supMu sync.Mutex
 	sup   *Supervisor
 
+	// rebuildMu orders supervised recovery's rewiring of instance fields
+	// (proc, source, dataset) against job-level goroutines that read them
+	// concurrently — the flow refresher and FlowHealth. Writers hold the
+	// write lock only around plain assignments; readers copy the pointers
+	// out under the read lock. Engine-local readers (workers, checkpoint
+	// barriers) are already ordered by worker joins and the supervisor
+	// mutex and do not take it.
+	//neptune:lock job-rebuild
+	rebuildMu sync.RWMutex
+
 	// Flow-signal wiring (Config.FlowSignals, controlplane.go): the
 	// refresher's stop channel, the bus subscription cancels, the
 	// operator -> upstream-source reachability map, and the sources each
@@ -712,6 +722,19 @@ func (j *Job) transportsSettled() bool {
 	// for frames whose receiving engine crashed before dispatching them —
 	// they are gone and will never be counted.
 	return received+j.drainSlack.Load() >= sent
+}
+
+// engineDown returns the name of a crashed (closed) engine, or "" when
+// all engines are up. Checkpoint barriers consult it because a crashed
+// engine's listener still acks inbound frames while Dispatch drops them
+// — a drain can look complete without being one.
+func (j *Job) engineDown() string {
+	for _, e := range j.engines {
+		if e.closed.Load() {
+			return e.name
+		}
+	}
+	return ""
 }
 
 // pauseSources arms every source pump's pause gate.

@@ -34,6 +34,7 @@ package core
 //neptune:lockorder sup < member-node
 //neptune:lockorder sup < member-map
 //neptune:lockorder sup < member-detector
+//neptune:lockorder sup < job-rebuild
 
 // TCP bridger link construction and health reach (launcher.go).
 //

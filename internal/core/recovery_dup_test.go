@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/transport"
+)
+
+// faultyRecBridger wraps the resilient TCP bridger's links in Faulty
+// transports sharing a dup plan (mirrors the soak harness wiring), so
+// every data frame — including recovery replay — can be duplicated.
+type faultyRecBridger struct {
+	inner *TCPBridger
+	inj   *chaos.Injector
+	dup   float64
+}
+
+func (b *faultyRecBridger) wrap(tr transport.Transport, err error) (transport.Transport, error) {
+	if err != nil {
+		return nil, err
+	}
+	f := &transport.Faulty{Inner: tr, Inj: b.inj}
+	f.SetPlan(transport.FaultPlan{Dup: b.dup})
+	return f, nil
+}
+
+func (b *faultyRecBridger) Connect(from, to *Engine) (transport.Transport, error) {
+	return b.wrap(b.inner.Connect(from, to))
+}
+func (b *faultyRecBridger) Reconnect(from, to *Engine, epoch uint64) (transport.Transport, error) {
+	return b.wrap(b.inner.Reconnect(from, to, epoch))
+}
+func (b *faultyRecBridger) DropEngine(name string) error       { return b.inner.DropEngine(name) }
+func (b *faultyRecBridger) LinkHealth() []transport.LinkHealth { return b.inner.LinkHealth() }
+func (b *faultyRecBridger) Close() error                       { return b.inner.Close() }
+
+// TestDupFramesAcrossKillRecovery kills an engine while the links carry
+// injected frame duplication, then requires exactly-once delivery and
+// deterministic state after recovery.
+//
+// Regression: a kill that heartbeat detection had not yet surfaced let
+// the checkpoint loop run a barrier against the dead engine. Its
+// listener acked-and-dropped the frames flushed by the drain (Dispatch
+// refuses frames on a closed engine, but the ack still trims the
+// sender's journal), the duplicate-frame surplus in frames_in masked
+// the sent/received deficit, and the epoch committed with the crashed
+// instances' moment-of-crash cursors — resetting the replay logs that
+// held the only copies of the swallowed frames. Recovery then restored
+// a cursor whose window nothing could replay, permanently losing one
+// buffer's worth of packets. The barrier now aborts when any engine is
+// down, and the resilient transport reports true in-flight counts so a
+// drain cannot settle on counter surplus alone.
+func TestDupFramesAcrossKillRecovery(t *testing.T) {
+	const n = 20_000
+	cfg := testConfig()
+	ea, _ := NewEngine("rec-a", cfg)
+	eb, _ := NewEngine("rec-b", cfg)
+	ec, _ := NewEngine("rec-c", cfg)
+	src := &countingSource{n: n}
+	sink := newCheckedSink()
+	j, err := NewJob(relaySpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("sender", func(int) Source { return Throttle(20_000, 64, src) })
+	j.SetProcessor("relay", func(int) Processor { return newSlidingMid() })
+	j.SetProcessor("receiver", func(int) Processor { return sink })
+	place := func(op string, _ int) int {
+		switch op {
+		case "sender":
+			return 0
+		case "relay":
+			return 1
+		default:
+			return 2
+		}
+	}
+	inj := chaos.New(99)
+	bridger := &faultyRecBridger{
+		inner: NewResilientTCPBridger(transport.ResilientOptions{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+		}),
+		inj: inj,
+		dup: 0.15,
+	}
+	if err := j.LaunchOn([]*Engine{ea, eb, ec}, place, bridger); err != nil {
+		t.Fatal(err)
+	}
+	sup, err := j.Supervise(SupervisorOptions{
+		Interval:  20 * time.Millisecond,
+		Heartbeat: 5 * time.Millisecond,
+		Misses:    3,
+		Replay:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, sink.collectSink, n/4)
+	if err := sup.Kill("rec-b"); err != nil {
+		t.Fatal(err)
+	}
+	waitRestarts(t, j, 1)
+	finishJob(t, j)
+	sink.exactlyOnce(t, n)
+	sink.assertDeterministic(t)
+}

@@ -39,6 +39,14 @@ type SupervisorOptions struct {
 	Heartbeat      time.Duration    // liveness beacon period (default 10ms)
 	Misses         int              // missed beats before an engine is declared dead (default 4)
 	BarrierTimeout time.Duration    // checkpoint barrier / recovery settle bound (default 5s)
+	// SaveRetries bounds how many times one epoch's Save is attempted
+	// before the epoch is skipped (default 3). SaveBackoff is the base
+	// backoff between attempts, doubling per retry (default 5ms); the
+	// whole persist phase — attempts, backoffs, and a stalled Save —
+	// is additionally bounded by BarrierTimeout so a hung store can
+	// never wedge the stop-the-world barrier.
+	SaveRetries int
+	SaveBackoff time.Duration
 	// Replay arms per-destination replay logs and re-sends them to a
 	// revived engine. Without it, recovery is restart-only: the operator
 	// comes back empty (or checkpoint-restored) and in-flight data since
@@ -68,6 +76,11 @@ type Supervisor struct {
 	epoch uint64 // last completed checkpoint epoch (under mu)
 
 	linkEpoch atomic.Uint64 // recovery generation stamped into rebuilt links
+
+	// ckptErr holds the error of the most recent checkpoint epoch while
+	// the supervisor is degraded (the epoch was skipped); nil once an
+	// epoch commits again. Surfaced via RecoveryHealth.LastCheckpointErr.
+	ckptErr atomic.Pointer[error]
 
 	beats   []atomic.Int64 // receipt time of last heartbeat per engine, unix nanos
 	cancels []func()       // control-bus heartbeat subscriptions
@@ -111,6 +124,12 @@ func (j *Job) Supervise(opts SupervisorOptions) (*Supervisor, error) {
 	}
 	if opts.BarrierTimeout <= 0 {
 		opts.BarrierTimeout = DefaultBarrierTimeout
+	}
+	if opts.SaveRetries <= 0 {
+		opts.SaveRetries = DefaultSaveRetries
+	}
+	if opts.SaveBackoff <= 0 {
+		opts.SaveBackoff = DefaultSaveBackoff
 	}
 	if opts.Store == nil {
 		opts.Store = checkpoint.NewMemStore(0)
@@ -342,6 +361,9 @@ func (s *Supervisor) Checkpoint() error {
 		return ErrSupervisorClosed
 	}
 	j := s.j
+	if name := j.engineDown(); name != "" {
+		return fmt.Errorf("core: checkpoint barrier: engine %q is down", name)
+	}
 	j.pauseSources()
 	defer j.resumeSources()
 	if !j.waitSourcesParked(s.opts.BarrierTimeout) {
@@ -358,13 +380,35 @@ func (s *Supervisor) Checkpoint() error {
 		}
 		snap.Entries = append(snap.Entries, ent)
 	}
+	// A crash that heartbeat detection has not yet surfaced would poison
+	// this epoch: the dead engine's listener acks-and-drops inbound frames
+	// (and injected duplicate traffic can mask the resulting drain
+	// deficit), while its instances snapshot at their moment-of-crash
+	// cursors rather than a drained cut. Committing would then reset
+	// replay logs holding the only copies of the swallowed frames. Abort
+	// instead — the last good epoch plus the intact replay logs stay
+	// authoritative, and recovery restores from those. A crash after this
+	// check is benign: the snapshot above is a consistent drained cut, and
+	// everything flushed after it lands in the freshly reset replay logs.
+	if name := j.engineDown(); name != "" {
+		return fmt.Errorf("core: checkpoint barrier: engine %q died during the barrier", name)
+	}
 	data, err := checkpoint.Encode(snap)
 	if err != nil {
 		return fmt.Errorf("core: encode checkpoint: %w", err)
 	}
-	if err := s.opts.Store.Save(snap.Epoch, data); err != nil {
-		return fmt.Errorf("core: save checkpoint: %w", err)
+	if err := s.persistEpoch(snap.Epoch, data); err != nil {
+		// Degrade-and-alarm: the epoch is skipped, not fatal. The last
+		// good snapshot stays authoritative, the replay logs keep
+		// covering everything since it (they are only cleared below, on
+		// commit), and processing resumes via the deferred source
+		// resume. The next interval retries with the same epoch number.
+		s.j.engines[0].metrics.Counter("recovery.skipped_epochs").Inc()
+		e := fmt.Errorf("core: save checkpoint epoch %d: %w", snap.Epoch, err)
+		s.ckptErr.Store(&e)
+		return e
 	}
+	s.ckptErr.Store(nil)
 	s.epoch = snap.Epoch
 	j.engines[0].metrics.Counter("recovery.checkpoint_bytes").Add(uint64(len(data)))
 	// Announce the completed epoch on the control plane (observability:
@@ -387,6 +431,67 @@ func (s *Supervisor) Checkpoint() error {
 		}
 	}
 	return nil
+}
+
+// ErrCheckpointTimeout reports that a checkpoint Save outran the barrier
+// deadline — the store stalled — and the epoch was aborted so processing
+// could resume.
+var ErrCheckpointTimeout = errors.New("core: checkpoint save exceeded barrier deadline")
+
+// persistEpoch saves one encoded epoch with bounded retries and
+// exponential backoff, the whole phase capped by BarrierTimeout. A Save
+// that stalls past the deadline is abandoned (the barrier must not stay
+// wedged with sources parked); Store implementations are required to be
+// concurrent-safe, and an abandoned Save that eventually succeeds is
+// harmless — s.epoch was not advanced and the replay logs were not
+// cleared, so the next committed epoch simply overwrites it.
+func (s *Supervisor) persistEpoch(epoch uint64, data []byte) error {
+	deadline := time.Now().Add(s.opts.BarrierTimeout)
+	retries := s.j.engines[0].metrics.Counter("recovery.checkpoint_retries")
+	var err error
+	for attempt := 0; attempt < s.opts.SaveRetries; attempt++ {
+		if attempt > 0 {
+			retries.Inc()
+			backoff := s.opts.SaveBackoff << (attempt - 1)
+			if backoff >= time.Until(deadline) {
+				break // no budget left for another attempt
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-s.stopCh:
+				t.Stop()
+				return ErrSupervisorClosed
+			}
+		}
+		if err = s.saveBounded(epoch, data, deadline); err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrCheckpointTimeout) {
+			break // the deadline is burned; retrying cannot fit
+		}
+	}
+	return err
+}
+
+// saveBounded runs one Store.Save attempt, bounded by the barrier
+// deadline.
+func (s *Supervisor) saveBounded(epoch uint64, data []byte, deadline time.Time) error {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return ErrCheckpointTimeout
+	}
+	done := make(chan error, 1)
+	//neptune:fireforget Store.Save has no cancellation hook; the buffered done channel lets an abandoned attempt finish and exit on its own after the deadline
+	go func() { done <- s.opts.Store.Save(epoch, data) }()
+	t := time.NewTimer(remaining)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return ErrCheckpointTimeout
+	}
 }
 
 // recoverEngine rebuilds one dead engine end to end. Serialized with
@@ -650,23 +755,31 @@ func (s *Supervisor) rebuildInstances(dead *Engine, deadInsts []*instance) error
 			if !ok {
 				return fmt.Errorf("%w: processor %q", ErrMissingFactory, inst.op.Name)
 			}
-			inst.proc = f(inst.idx)
+			proc := f(inst.idx)
 			ds, err := granules.NewStreamDataset[*inBatch](
 				"in", inst.ln.resource(), inst.taskID(), cfg.InLowWatermark, cfg.InHighWatermark)
 			if err != nil {
 				return err
 			}
-			inst.dataset = ds
 			if cfg.FlowSignals {
 				ds.SetPressureNotify(j.flowNotify(inst))
 			}
+			// Publish under rebuildMu: the flow refresher and FlowHealth
+			// read these fields from their own goroutines.
+			j.rebuildMu.Lock()
+			inst.proc = proc
+			inst.dataset = ds
+			j.rebuildMu.Unlock()
 		}
 		if inst.source != nil {
 			f, ok := j.sources[inst.op.Name]
 			if !ok {
 				return fmt.Errorf("%w: source %q", ErrMissingFactory, inst.op.Name)
 			}
-			inst.source = f(inst.idx)
+			src := f(inst.idx)
+			j.rebuildMu.Lock()
+			inst.source = src
+			j.rebuildMu.Unlock()
 		}
 		inst.cur.Store(nil)
 		inst.curPos = 0
@@ -786,6 +899,17 @@ type RecoveryHealth struct {
 	CheckpointBytes uint64 // encoded snapshot bytes persisted
 	RestoreNs       uint64 // total wall time spent in recovery
 	Epoch           uint64 // last completed checkpoint epoch
+
+	// Degrade-and-alarm counters for the checkpoint store. Retries are
+	// re-attempted Saves within an epoch; SkippedEpochs counts epochs
+	// abandoned after the retry budget or barrier deadline ran out —
+	// the job kept processing on the last good snapshot each time.
+	CheckpointRetries uint64
+	SkippedEpochs     uint64
+	// CheckpointDegraded is true while the most recent epoch attempt
+	// failed; LastCheckpointErr then carries its error.
+	CheckpointDegraded bool
+	LastCheckpointErr  string
 }
 
 // RecoveryHealth reports the job's crash-recovery counters; all zeros when
@@ -797,9 +921,15 @@ func (j *Job) RecoveryHealth() RecoveryHealth {
 		h.ReplayedPackets += e.metrics.Counter("recovery.replayed_packets").Value()
 		h.CheckpointBytes += e.metrics.Counter("recovery.checkpoint_bytes").Value()
 		h.RestoreNs += e.metrics.Counter("recovery.restore_ns").Value()
+		h.CheckpointRetries += e.metrics.Counter("recovery.checkpoint_retries").Value()
+		h.SkippedEpochs += e.metrics.Counter("recovery.skipped_epochs").Value()
 	}
 	if s := j.supervisor(); s != nil {
 		h.Epoch = s.Epoch()
+		if errp := s.ckptErr.Load(); errp != nil && *errp != nil {
+			h.CheckpointDegraded = true
+			h.LastCheckpointErr = (*errp).Error()
+		}
 	}
 	return h
 }

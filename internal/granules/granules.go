@@ -607,6 +607,13 @@ func (r *Resource) stop() ([]*taskState, bool) {
 	r.mu.Lock()
 	if r.term.Load() {
 		r.mu.Unlock()
+		// The racing Terminate/Kill that won may still be joining the
+		// workers. Wait for them here too, so that EVERY stop caller
+		// returns only after the workers are gone — the supervisor's
+		// idempotent re-crash during recovery relies on this edge to
+		// order the dead workers' last reads before it rewires the
+		// instances for redeploy.
+		r.wg.Wait()
 		return nil, false
 	}
 	r.term.Store(true)

@@ -1,0 +1,411 @@
+// Package invariant runs continuous guarantee checks alongside a live
+// job while a chaos schedule plays against it. It asserts the
+// guarantees DESIGN §8.1/§11/§12 promise:
+//
+//   - exactly-once delivery: per-key sequence accounting at the sink —
+//     a key observed twice is a violation the moment it happens, and a
+//     key never observed is a completeness violation at Finish.
+//   - watermark/barrier monotonicity: checkpoint barrier markers carry
+//     non-decreasing epochs per (bus, origin), and the supervisor's
+//     committed epoch never moves backward. (Flow-control seqs are
+//     deliberately NOT asserted in bus order: valve advertisements are
+//     soft state published from racing goroutines, ordered by the
+//     receiver's seq comparison, so bus-order inversions are legal.)
+//   - flow-lease safety: a source hold must not outlive its lease once
+//     faults are quiet — leases expire unrefreshed holds, so a source
+//     gated with no live inbound backpressure and no degraded-mode hold
+//     is a stuck-hold violation.
+//   - liveness: while faults are quiet, an unfinished stream must make
+//     progress; a wedged barrier or lost credit shows up here.
+//   - convergence after heal: AwaitConverged polls membership
+//     reachability, degraded mode, and link health until the cluster
+//     returns to steady state or the timeout records a violation.
+//   - goroutine-leak bounds: Baseline/CheckGoroutines bracket a run.
+//
+// The checker is an observer: it subscribes to control buses and polls
+// exported health snapshots, never touching the data path.
+package invariant
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Name identifies the invariant: "exactly-once", "completeness",
+	// "barrier-monotonic", "epoch-monotonic", "flow-lease", "liveness",
+	// "convergence", "goroutine-leak", "job-error".
+	Name   string
+	Detail string
+	// At is the offset from checker start when the breach was seen.
+	At time.Duration
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s @ %s] %s", v.Name, v.At.Round(time.Millisecond), v.Detail)
+}
+
+// maxViolations bounds recorded violations so a systemic breach (every
+// packet duplicated) cannot flood memory; the count still accumulates.
+const maxViolations = 64
+
+// Options tunes a Checker.
+type Options struct {
+	// Lease is the job's flow lease, bounding how long a source hold may
+	// outlive quiet faults. Zero disables the lease-safety check.
+	Lease time.Duration
+	// ExpectKeys is the number of distinct keys the stream delivers
+	// (keys are 0..ExpectKeys-1); zero disables completeness/liveness.
+	ExpectKeys int64
+	// Poll is the health-poll period (default 2ms).
+	Poll time.Duration
+	// ProgressStall is how long the stream may make no progress while
+	// faults are quiet before a liveness violation (default 8s — must
+	// comfortably exceed one recovery plus one barrier timeout).
+	ProgressStall time.Duration
+}
+
+// Checker watches one job. Create with New, feed sink keys through
+// ObserveKey, bracket the fault window with SetFaultsActive, then
+// AwaitConverged / Finish / Stop.
+type Checker struct {
+	j     *core.Job
+	opts  Options
+	start time.Time
+
+	mu         sync.Mutex
+	seen       map[int64]int64
+	violations []Violation
+	dropped    uint64 // violations beyond maxViolations
+
+	faultsActive atomic.Bool
+
+	// Monotonicity high-waters.
+	monoMu  sync.Mutex
+	barrier map[string]uint64 // "bus|origin" -> barrier epoch
+	epochHi uint64            // supervisor committed epoch
+
+	// Lease-safety / liveness state (poll loop only).
+	gatedSince   time.Time
+	lastProgress int64
+	progressAt   time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	cancels  []func()
+}
+
+// New attaches a checker to a launched job and starts its observers.
+func New(j *core.Job, opts Options) *Checker {
+	if opts.Poll <= 0 {
+		opts.Poll = 2 * time.Millisecond
+	}
+	if opts.ProgressStall <= 0 {
+		opts.ProgressStall = 8 * time.Second
+	}
+	c := &Checker{
+		j:       j,
+		opts:    opts,
+		start:   time.Now(),
+		seen:    make(map[int64]int64),
+		barrier: make(map[string]uint64),
+		stop:    make(chan struct{}),
+	}
+	c.progressAt = c.start
+	for _, e := range j.Engines() {
+		bus := e.ControlBus()
+		name := e.Name()
+		cancel := bus.Subscribe(func(m control.Message) {
+			c.observeBarrier(name, m)
+		}, control.KindBarrierMarker)
+		c.cancels = append(c.cancels, cancel)
+	}
+	c.wg.Add(1)
+	go c.pollLoop()
+	return c
+}
+
+// SetFaultsActive brackets the chaos window: lease-safety and liveness
+// checks only alarm while faults are quiet (false), since an active
+// partition legitimately stalls progress and holds sources.
+func (c *Checker) SetFaultsActive(active bool) {
+	c.faultsActive.Store(active)
+	if !active {
+		// Restart the quiet-period clocks: time spent under faults never
+		// counts toward a stall.
+		c.mu.Lock()
+		c.gatedSince = time.Time{}
+		c.progressAt = time.Now()
+		c.mu.Unlock()
+	}
+}
+
+// ObserveKey records one sink delivery of key. The second delivery of a
+// key is an exactly-once violation right away.
+func (c *Checker) ObserveKey(key int64) {
+	c.mu.Lock()
+	c.seen[key]++
+	n := c.seen[key]
+	c.mu.Unlock()
+	if n == 2 { // report each duplicated key once
+		c.violate("exactly-once", fmt.Sprintf("key %d delivered more than once", key))
+	}
+}
+
+// Observed reports how many distinct keys the sink has delivered.
+func (c *Checker) Observed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(len(c.seen))
+}
+
+// observeBarrier asserts barrier-marker epochs never move backward per
+// (bus, origin). Markers are published serially under the supervisor
+// transition lock and relayed over in-order links on a single path, so
+// a regression means barrier state went backward.
+func (c *Checker) observeBarrier(bus string, m control.Message) {
+	key := bus + "|" + m.Origin
+	c.monoMu.Lock()
+	prev := c.barrier[key]
+	if m.Epoch >= prev {
+		c.barrier[key] = m.Epoch
+		c.monoMu.Unlock()
+		return
+	}
+	c.monoMu.Unlock()
+	c.violate("barrier-monotonic",
+		fmt.Sprintf("bus %s saw origin %s barrier epoch %d after %d", bus, m.Origin, m.Epoch, prev))
+}
+
+// pollLoop drives the sampled invariants: supervisor epoch
+// monotonicity, flow-lease safety, and liveness.
+func (c *Checker) pollLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.pollOnce()
+		}
+	}
+}
+
+func (c *Checker) pollOnce() {
+	now := time.Now()
+
+	// Supervisor epoch must never regress.
+	rh := c.j.RecoveryHealth()
+	c.monoMu.Lock()
+	prevEpoch := c.epochHi
+	if rh.Epoch >= prevEpoch {
+		c.epochHi = rh.Epoch
+	}
+	c.monoMu.Unlock()
+	if rh.Epoch < prevEpoch {
+		c.violate("epoch-monotonic",
+			fmt.Sprintf("committed checkpoint epoch went backward: %d after %d", rh.Epoch, prevEpoch))
+	}
+
+	if c.faultsActive.Load() {
+		return // active faults legitimately stall and hold
+	}
+
+	// Flow-lease safety: a held source with no gated inbound valve and
+	// no degraded-mode hold is a hold that outlived its lease.
+	if c.opts.Lease > 0 {
+		fh := c.j.FlowHealth()
+		mh := c.j.MembershipHealth()
+		stuck := fh.SourcesGated > 0 && fh.InboundGated == 0 && !mh.Degraded
+		c.mu.Lock()
+		if !stuck {
+			c.gatedSince = time.Time{}
+			c.mu.Unlock()
+		} else if c.gatedSince.IsZero() {
+			c.gatedSince = now
+			c.mu.Unlock()
+		} else {
+			held := now.Sub(c.gatedSince)
+			bound := 6 * c.opts.Lease
+			if bound < time.Second {
+				bound = time.Second
+			}
+			c.mu.Unlock()
+			if held > bound {
+				c.violate("flow-lease",
+					fmt.Sprintf("%d source(s) held %s with no gated valve and no degraded mode (lease %s)",
+						fh.SourcesGated, held.Round(time.Millisecond), c.opts.Lease))
+				c.mu.Lock()
+				c.gatedSince = time.Time{} // re-arm rather than flood
+				c.mu.Unlock()
+			}
+		}
+	}
+
+	// Liveness: an unfinished stream must progress while faults are quiet.
+	if c.opts.ExpectKeys > 0 {
+		got := c.Observed()
+		c.mu.Lock()
+		if got > c.lastProgress {
+			c.lastProgress = got
+			c.progressAt = now
+			c.mu.Unlock()
+		} else if got >= c.opts.ExpectKeys {
+			c.progressAt = now
+			c.mu.Unlock()
+		} else {
+			stalled := now.Sub(c.progressAt)
+			c.mu.Unlock()
+			if stalled > c.opts.ProgressStall {
+				c.violate("liveness",
+					fmt.Sprintf("no progress for %s at %d/%d keys",
+						stalled.Round(time.Millisecond), got, c.opts.ExpectKeys))
+				c.mu.Lock()
+				c.progressAt = now // re-arm
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// AwaitConverged blocks until the healed cluster is back to steady
+// state — membership undegraded with every member reachable, no link
+// down — or records a convergence violation at the timeout.
+func (c *Checker) AwaitConverged(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	var detail string
+	for {
+		detail = c.convergenceBlocker()
+		if detail == "" {
+			return true
+		}
+		if time.Now().After(deadline) {
+			c.violate("convergence", fmt.Sprintf("not converged %v after heal: %s", timeout, detail))
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// convergenceBlocker names what still blocks convergence ("" = none).
+func (c *Checker) convergenceBlocker() string {
+	mh := c.j.MembershipHealth()
+	if mh.Enabled {
+		if mh.Degraded {
+			return "membership degraded"
+		}
+		if want := len(c.j.Engines()); mh.Reachable < want {
+			return fmt.Sprintf("only %d/%d members reachable", mh.Reachable, want)
+		}
+	}
+	for _, lh := range c.j.LinkHealth() {
+		if lh.State == transport.LinkDown {
+			return fmt.Sprintf("link %s down", lh.Addr)
+		}
+		if lh.Err != nil {
+			return fmt.Sprintf("link %s error: %v", lh.Addr, lh.Err)
+		}
+	}
+	return ""
+}
+
+// Finish runs the end-of-stream checks: completeness of keys
+// 0..ExpectKeys-1 and any terminal job error.
+func (c *Checker) Finish(jobErr error) {
+	if jobErr != nil {
+		c.violate("job-error", jobErr.Error())
+	}
+	if c.opts.ExpectKeys <= 0 {
+		return
+	}
+	c.mu.Lock()
+	missing := int64(0)
+	var first int64 = -1
+	for k := int64(0); k < c.opts.ExpectKeys; k++ {
+		if c.seen[k] == 0 {
+			missing++
+			if first < 0 {
+				first = k
+			}
+		}
+	}
+	c.mu.Unlock()
+	if missing > 0 {
+		c.violate("completeness",
+			fmt.Sprintf("%d of %d keys never delivered (first missing: %d)", missing, c.opts.ExpectKeys, first))
+	}
+}
+
+// Stop detaches the checker: subscriptions cancel, the poll loop exits.
+func (c *Checker) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+		for _, cancel := range c.cancels {
+			cancel()
+		}
+	})
+}
+
+func (c *Checker) violate(name, detail string) {
+	v := Violation{Name: name, Detail: detail, At: time.Since(c.start)}
+	c.mu.Lock()
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, v)
+	} else {
+		c.dropped++
+	}
+	c.mu.Unlock()
+}
+
+// Violations snapshots the recorded violations (capped; Dropped counts
+// the overflow).
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.violations...)
+}
+
+// Dropped reports how many violations overflowed the cap.
+func (c *Checker) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// GoroutineBaseline samples the current goroutine count before a run.
+func GoroutineBaseline() int { return runtime.NumGoroutine() }
+
+// CheckGoroutines waits up to settle for the goroutine count to return
+// to baseline+slack after a run, returning a violation if it never
+// does. Slack absorbs runtime background goroutines; settle absorbs
+// teardown latency (sockets draining, timers firing).
+func CheckGoroutines(baseline, slack int, settle time.Duration) *Violation {
+	deadline := time.Now().Add(settle)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return &Violation{
+		Name:   "goroutine-leak",
+		Detail: fmt.Sprintf("%d goroutines after teardown, baseline %d (slack %d)", n, baseline, slack),
+	}
+}

@@ -1,0 +1,189 @@
+package invariant
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	neptune "repro"
+	"repro/internal/control"
+	"repro/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.CheckMain(m) }
+
+// launchJob deploys a one-engine source→sink pipeline streaming keys
+// 0..n-1 into the returned checker-feed function.
+func launchJob(t *testing.T, n int64, observe func(int64)) *neptune.Job {
+	t.Helper()
+	spec, err := neptune.NewGraph("invariant-test").
+		Source("src", 1).
+		Processor("sink", 1).
+		Link("src", "sink", "").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := neptune.DefaultConfig()
+	cfg.BufferSize = 4 << 10
+	cfg.FlushInterval = time.Millisecond
+	cfg.FlowSignals = true
+	j, err := neptune.NewJob(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted int64
+	j.SetSource("src", func(int) neptune.Source {
+		return neptune.SourceFunc(func(ctx *neptune.OpContext) error {
+			if emitted >= n {
+				return io.EOF
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("i", emitted)
+			emitted++
+			return ctx.EmitDefault(p)
+		})
+	})
+	j.SetProcessor("sink", func(int) neptune.Processor {
+		return neptune.ProcessorFunc(func(_ *neptune.OpContext, p *neptune.Packet) error {
+			v, err := p.Int64("i")
+			if err != nil {
+				return err
+			}
+			observe(v)
+			return nil
+		})
+	})
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = j.Stop(5 * time.Second) })
+	return j
+}
+
+// TestCleanRunNoViolations pins the false-positive floor: a fault-free
+// run observed end to end must record zero violations.
+func TestCleanRunNoViolations(t *testing.T) {
+	const n = 5_000
+	var c *Checker
+	j := launchJob(t, n, func(k int64) { c.ObserveKey(k) })
+	c = New(j, Options{Lease: 100 * time.Millisecond, ExpectKeys: n})
+	defer c.Stop()
+
+	if !j.WaitSources(10 * time.Second) {
+		t.Fatal("sources did not finish")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Observed() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !c.AwaitConverged(time.Second) {
+		t.Fatalf("clean job did not converge: %v", c.Violations())
+	}
+	c.Finish(j.Err())
+	c.Stop()
+	if vs := c.Violations(); len(vs) != 0 {
+		t.Fatalf("clean run recorded violations: %v", vs)
+	}
+}
+
+// TestExactlyOnceAndCompleteness pins the sink accounting: a duplicated
+// key is flagged the moment it repeats, and Finish flags keys that never
+// arrived.
+func TestExactlyOnceAndCompleteness(t *testing.T) {
+	j := launchJob(t, 1, func(int64) {})
+	c := New(j, Options{ExpectKeys: 10})
+	defer c.Stop()
+
+	c.ObserveKey(3)
+	c.ObserveKey(3)
+	c.ObserveKey(3) // third delivery must not re-report the same key
+	c.ObserveKey(4)
+	c.Finish(nil)
+
+	var dups, missing int
+	for _, v := range c.Violations() {
+		switch v.Name {
+		case "exactly-once":
+			dups++
+			if !strings.Contains(v.Detail, "key 3") {
+				t.Fatalf("wrong dup key: %v", v)
+			}
+		case "completeness":
+			missing++
+			if !strings.Contains(v.Detail, "8 of 10") {
+				t.Fatalf("wrong missing count: %v", v)
+			}
+		}
+	}
+	if dups != 1 || missing != 1 {
+		t.Fatalf("want 1 dup + 1 completeness violation, got %v", c.Violations())
+	}
+}
+
+// TestBarrierMonotonicity pins the watermark invariant: a barrier
+// marker whose epoch regresses for a (bus, origin) pair is a violation;
+// equal or advancing epochs are not.
+func TestBarrierMonotonicity(t *testing.T) {
+	j := launchJob(t, 1, func(int64) {})
+	c := New(j, Options{})
+	defer c.Stop()
+
+	bus := j.Engines()[0].ControlBus()
+	marker := func(origin string, epoch uint64) control.Message {
+		return control.Message{Kind: control.KindBarrierMarker, Origin: origin, Epoch: epoch}
+	}
+	bus.Publish(marker("eng-a", 1))
+	bus.Publish(marker("eng-a", 1)) // redelivery of the same epoch is legal
+	bus.Publish(marker("eng-a", 2))
+	bus.Publish(marker("eng-b", 1)) // other origins track independently
+	if vs := c.Violations(); len(vs) != 0 {
+		t.Fatalf("monotone markers flagged: %v", vs)
+	}
+
+	bus.Publish(marker("eng-a", 1)) // regression
+	vs := c.Violations()
+	if len(vs) != 1 || vs[0].Name != "barrier-monotonic" {
+		t.Fatalf("regressed marker not flagged: %v", vs)
+	}
+}
+
+// TestViolationCap pins the flood bound: a systemic breach records at
+// most maxViolations entries and counts the overflow.
+func TestViolationCap(t *testing.T) {
+	j := launchJob(t, 1, func(int64) {})
+	c := New(j, Options{})
+	defer c.Stop()
+
+	for k := int64(0); k < maxViolations+10; k++ {
+		c.ObserveKey(k)
+		c.ObserveKey(k)
+	}
+	if got := len(c.Violations()); got != maxViolations {
+		t.Fatalf("recorded %d violations, want cap %d", got, maxViolations)
+	}
+	if c.Dropped() != 10 {
+		t.Fatalf("dropped %d, want 10", c.Dropped())
+	}
+}
+
+// TestCheckGoroutines pins the leak gate: a goroutine still alive after
+// settle is reported, and a freed one is not.
+func TestCheckGoroutines(t *testing.T) {
+	base := GoroutineBaseline()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	if v := CheckGoroutines(base, 0, 50*time.Millisecond); v == nil {
+		t.Fatal("live goroutine not reported")
+	}
+	close(release)
+	<-done
+	if v := CheckGoroutines(base, 0, 2*time.Second); v != nil {
+		t.Fatalf("settled count still reported: %v", v)
+	}
+}

@@ -1,0 +1,596 @@
+// Package soak runs randomized, invariant-checked chaos rounds against
+// live jobs. Each round derives everything — scenario, fault schedule,
+// job wiring — from one int64 seed, so a failing round replays
+// deterministically from the seed alone (the acceptance loop of DESIGN
+// §15): cmd/neptune-soak drives N rounds and dumps the schedule of any
+// round whose invariant checker records a violation.
+//
+// A round builds a three-stage pipeline (source → stateful aggregator →
+// sink) on real engines, attaches an invariant.Checker, plays a
+// chaos.Schedule against it, then demands full convergence, exactly-once
+// delivery, deterministic operator state, and a goroutine count that
+// returns to baseline.
+package soak
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	neptune "repro"
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/transport"
+)
+
+// Options tunes a soak round. The zero value selects the defaults used
+// by cmd/neptune-soak.
+type Options struct {
+	// N is the number of keys streamed per round (default 6000).
+	N int64
+	// Horizon is the chaos schedule horizon (default 1200ms); the source
+	// paces itself to keep the stream in flight across it.
+	Horizon time.Duration
+	// Timeout bounds the post-chaos delivery wait (default 30s).
+	Timeout time.Duration
+	// Logf, when set, receives verbose round progress (applied actions).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.N <= 0 {
+		o.N = 6000
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 1200 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Result is one round's outcome: the schedule that played, what the
+// invariant checker saw, and the fault/recovery accounting.
+type Result struct {
+	Seed       int64
+	Scenario   string
+	Schedule   *chaos.Schedule
+	Applied    int   // schedule actions applied
+	Delivered  int64 // distinct keys the sink observed
+	Expected   int64 // keys streamed
+	StateErrs  int64 // nondeterministic aggregator cursors seen
+	BuildErr   error // round could not even be built
+	Violations []invariant.Violation
+	Stats      chaos.Stats
+	Health     core.RecoveryHealth
+	Elapsed    time.Duration
+}
+
+// Failed reports whether the round breached any invariant.
+func (r *Result) Failed() bool { return r.BuildErr != nil || len(r.Violations) > 0 }
+
+// Report renders the replay artifact for a round: seed, scenario, the
+// full deterministic schedule, and every violation. This is what a
+// failing CI soak uploads.
+func (r *Result) Report() string {
+	var b strings.Builder
+	status := "ok"
+	if r.Failed() {
+		status = "FAILED"
+	}
+	fmt.Fprintf(&b, "soak round %s: seed=%d scenario=%s delivered=%d/%d applied=%d elapsed=%s\n",
+		status, r.Seed, r.Scenario, r.Delivered, r.Expected, r.Applied, r.Elapsed.Round(time.Millisecond))
+	if r.BuildErr != nil {
+		fmt.Fprintf(&b, "build error: %v\n", r.BuildErr)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "violation %s\n", v)
+	}
+	fmt.Fprintf(&b, "stats: %+v\n", r.Stats)
+	fmt.Fprintf(&b, "recovery: restarts=%d replayed=%d epoch=%d retries=%d skipped=%d degraded=%v\n",
+		r.Health.Restarts, r.Health.ReplayedPackets, r.Health.Epoch,
+		r.Health.CheckpointRetries, r.Health.SkippedEpochs, r.Health.CheckpointDegraded)
+	if r.Schedule != nil {
+		fmt.Fprintf(&b, "replay: go run ./cmd/neptune-soak -replay %d\n%s", r.Seed, r.Schedule)
+	}
+	return b.String()
+}
+
+// Plan reports which scenario and schedule a seed resolves to, without
+// building the job — the same draws RunRound makes, so a planned
+// schedule is byte-identical to the one the round plays.
+func Plan(seed int64, opts Options) (string, *chaos.Schedule) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	sc := scenarios[rng.Intn(len(scenarios))]
+	prof := sc.profile(rng, opts)
+	return sc.name, chaos.Generate(seed, prof)
+}
+
+// RunRound plays one fully seeded chaos round and returns its result.
+func RunRound(seed int64, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	sc := scenarios[rng.Intn(len(scenarios))]
+	prof := sc.profile(rng, opts)
+	sched := chaos.Generate(seed, prof)
+	res := &Result{Seed: seed, Scenario: sc.name, Schedule: sched, Expected: opts.N}
+
+	base := invariant.GoroutineBaseline()
+	rd, err := sc.build(rng, seed, opts, sched)
+	if err != nil {
+		res.BuildErr = err
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	checker := invariant.New(rd.job, invariant.Options{Lease: rd.lease, ExpectKeys: opts.N})
+	rd.obs.attach(checker.ObserveKey)
+
+	checker.SetFaultsActive(true)
+	res.Applied = rd.orch.Play(sched, nil)
+	// Belt and braces on top of the schedule's safety tail: playback is
+	// done, nothing may stay faulted into the convergence check.
+	rd.inj.Heal()
+	rd.inj.SetCorrupt(0)
+	rd.inj.SetDelay(0, 0)
+	checker.SetFaultsActive(false)
+
+	deadline := time.Now().Add(opts.Timeout)
+	for checker.Observed() < opts.N && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	rd.job.WaitSources(time.Until(deadline))
+	checker.AwaitConverged(10 * time.Second)
+	res.Health = rd.job.RecoveryHealth()
+
+	stopErr := rd.job.Stop(10 * time.Second)
+	checker.Finish(stopErr)
+	checker.Stop()
+
+	res.Delivered = checker.Observed()
+	res.Stats = rd.inj.Stats()
+	res.StateErrs = rd.badState.Load()
+	res.Violations = checker.Violations()
+	if res.StateErrs > 0 {
+		res.Violations = append(res.Violations, invariant.Violation{
+			Name:   "state-determinism",
+			Detail: fmt.Sprintf("%d packets carried a cursor that disagrees with replayed state", res.StateErrs),
+		})
+	}
+	if v := invariant.CheckGoroutines(base, 8, 10*time.Second); v != nil {
+		res.Violations = append(res.Violations, *v)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// round is one built-and-launched job under chaos control.
+type round struct {
+	job      *core.Job
+	inj      *chaos.Injector
+	orch     *chaos.Orchestrator
+	obs      *keyObserver
+	lease    time.Duration
+	badState *atomic.Int64
+}
+
+// scenario pairs a fault profile with the job wiring it abuses. profile
+// and build consume the same rng in a fixed order, so the whole round is
+// a pure function of the seed.
+type scenario struct {
+	name    string
+	profile func(rng *rand.Rand, opts Options) chaos.Profile
+	build   func(rng *rand.Rand, seed int64, opts Options, sched *chaos.Schedule) (*round, error)
+}
+
+// scenarios is the fixed drawing order — append only, or every pinned
+// seed re-rolls its scenario.
+var scenarios = []scenario{
+	{
+		// Supervised kills of the stateful mid engine over resilient TCP,
+		// with connection cuts, two-way partitions, wire corruption/delay,
+		// and frame duplication layered on top.
+		name: "kill-recovery",
+		profile: func(rng *rand.Rand, opts Options) chaos.Profile {
+			return chaos.Profile{
+				Horizon:     opts.Horizon,
+				KillTargets: []string{"soak-b"},
+				Kills:       1 + rng.Intn(2),
+				Partitions:  rng.Intn(2),
+				Cuts:        rng.Intn(3),
+				WireFaults:  true,
+				FrameDup:    true,
+			}
+		},
+		build: func(rng *rand.Rand, seed int64, opts Options, _ *chaos.Schedule) (*round, error) {
+			return buildTCPRound(seed, opts, roundConfig{frameDup: true, barrierTimeout: time.Second})
+		},
+	},
+	{
+		// One-way control-plane partitions against a membership-enabled
+		// pair: suspicion, degraded-mode holds, and refutation must all
+		// converge after heal.
+		name: "membership-oneway",
+		profile: func(rng *rand.Rand, opts Options) chaos.Profile {
+			return chaos.Profile{
+				Horizon: opts.Horizon,
+				Pairs:   [][2]string{{"soak-a", "soak-b"}, {"soak-b", "soak-a"}},
+				OneWay:  1 + rng.Intn(2),
+			}
+		},
+		build: func(rng *rand.Rand, seed int64, opts Options, _ *chaos.Schedule) (*round, error) {
+			return buildMembershipRound(seed, opts)
+		},
+	},
+	{
+		// Checkpoint-store faults (refused saves, torn writes, or stalls
+		// past the barrier deadline) with a kill mixed in: the job must
+		// degrade-and-alarm, never wedge, and recover exactly-once from
+		// the last good snapshot.
+		name: "store-faults",
+		profile: func(rng *rand.Rand, opts Options) chaos.Profile {
+			return chaos.Profile{
+				Horizon:     opts.Horizon,
+				KillTargets: []string{"soak-b"},
+				Kills:       1,
+				Cuts:        rng.Intn(2),
+				WireFaults:  true,
+				StoreFaults: true,
+				StoreStall:  2 * time.Second,
+			}
+		},
+		build: func(rng *rand.Rand, seed int64, opts Options, _ *chaos.Schedule) (*round, error) {
+			return buildTCPRound(seed, opts, roundConfig{storeFaults: true, barrierTimeout: time.Second})
+		},
+	},
+	{
+		// Everything at once: membership and checkpointing enabled, kills,
+		// partitions, cuts, wire faults, and frame duplication.
+		name: "mixed",
+		profile: func(rng *rand.Rand, opts Options) chaos.Profile {
+			return chaos.Profile{
+				Horizon:     opts.Horizon,
+				KillTargets: []string{"soak-b"},
+				Kills:       1,
+				Partitions:  rng.Intn(2),
+				Cuts:        rng.Intn(2),
+				WireFaults:  true,
+				FrameDup:    true,
+			}
+		},
+		build: func(rng *rand.Rand, seed int64, opts Options, _ *chaos.Schedule) (*round, error) {
+			return buildTCPRound(seed, opts, roundConfig{frameDup: true, membership: true, barrierTimeout: time.Second})
+		},
+	},
+}
+
+type roundConfig struct {
+	frameDup       bool
+	storeFaults    bool
+	membership     bool
+	barrierTimeout time.Duration
+}
+
+// buildTCPRound launches the pipeline across three engines over
+// resilient TCP with supervised checkpointing, wiring the injector into
+// dials, kills, and (optionally) frame and store fault planes.
+func buildTCPRound(seed int64, opts Options, rc roundConfig) (*round, error) {
+	inj := chaos.New(seed)
+	cfg := soakConfig()
+	store := checkpoint.Store(checkpoint.NewMemStore(0))
+	var faultyStore *checkpoint.FaultyStore
+	if rc.storeFaults {
+		faultyStore = checkpoint.NewFaultyStore(store, inj)
+		store = faultyStore
+	}
+	cfg.Checkpoint = neptune.CheckpointConfig{
+		Interval:       25 * time.Millisecond,
+		Store:          store,
+		Heartbeat:      5 * time.Millisecond,
+		Misses:         3,
+		BarrierTimeout: rc.barrierTimeout,
+	}
+	if rc.membership {
+		cfg.Membership = neptune.MembershipConfig{
+			Enabled: true,
+			// Long enough that a partition window's silence suspects but
+			// never evicts a live engine.
+			EvictAfter: 250 * time.Millisecond,
+			Seed:       seed,
+		}
+	}
+
+	inner := core.NewResilientTCPBridger(transport.ResilientOptions{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		AckTimeout:  250 * time.Millisecond,
+		Dialer:      inj.Dial,
+	})
+	var bridger core.Bridger = inner
+	var fb *faultyBridger
+	if rc.frameDup {
+		fb = &faultyBridger{inner: inner, inj: inj}
+		bridger = fb
+	}
+
+	names := []string{"soak-a", "soak-b", "soak-c"}
+	place := func(op string, _ int) int {
+		switch op {
+		case "src":
+			return 0
+		case "agg":
+			return 1
+		default:
+			return 2
+		}
+	}
+	rd, err := launchRound(names, cfg, opts, bridger, place, inj)
+	if err != nil {
+		return nil, err
+	}
+	sup := rd.job.Supervisor()
+	if sup == nil {
+		_ = rd.job.Stop(time.Second)
+		return nil, errors.New("soak: checkpointed job has no supervisor")
+	}
+	inj.RegisterKill("soak-b", func() { _ = sup.Kill("soak-b") })
+	if fb != nil {
+		rd.orch.OnFrameFaults = func(a chaos.Action) {
+			fb.SetPlan(transport.FaultPlan{Dup: a.DupP})
+		}
+	}
+	if faultyStore != nil {
+		rd.orch.OnStoreFaults = func(a chaos.Action) {
+			faultyStore.SetFaults(checkpoint.FaultPlan{
+				FailSave: a.FailSaveP,
+				FailLoad: a.FailLoadP,
+				Torn:     a.TornP,
+				Stall:    a.Stall,
+			})
+		}
+	}
+	return rd, nil
+}
+
+// buildMembershipRound launches the pipeline across a membership-enabled
+// in-process pair; one-way partitions act on the control plane.
+func buildMembershipRound(seed int64, opts Options) (*round, error) {
+	inj := chaos.New(seed)
+	cfg := soakConfig()
+	cfg.Membership = neptune.MembershipConfig{
+		Enabled:    true,
+		EvictAfter: 40 * time.Millisecond,
+		Seed:       seed,
+	}
+	names := []string{"soak-a", "soak-b"}
+	place := func(op string, _ int) int {
+		if op == "src" {
+			return 0
+		}
+		return 1
+	}
+	return launchRound(names, cfg, opts, core.NewInprocBridger(0, 0), place, inj)
+}
+
+func soakConfig() neptune.Config {
+	cfg := neptune.DefaultConfig()
+	cfg.BufferSize = 4 << 10
+	cfg.FlushInterval = time.Millisecond
+	cfg.VerifyOrdering = true
+	cfg.DedupRemote = true
+	cfg.FlowSignals = true
+	return cfg
+}
+
+// launchRound builds the source → aggregator → sink pipeline on the
+// named engines and launches it with the injector's control filter
+// installed.
+func launchRound(names []string, cfg neptune.Config, opts Options, bridger core.Bridger, place core.Placement, inj *chaos.Injector) (*round, error) {
+	spec, err := neptune.NewGraph("soak").
+		Source("src", 1).
+		Processor("agg", 1).
+		Processor("snk", 1).
+		Link("src", "agg", "").
+		Link("agg", "snk", "").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]*neptune.Engine, 0, len(names))
+	for _, name := range names {
+		e, err := neptune.NewEngine(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, e)
+	}
+	j, err := neptune.NewJob(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pace the source so the stream stays in flight across the whole
+	// chaos horizon: one 1ms sleep every perSleep packets.
+	perSleep := int(opts.N / int64(opts.Horizon/time.Millisecond))
+	if perSleep < 1 {
+		perSleep = 1
+	}
+	var emitted int64
+	j.SetSource("src", func(int) neptune.Source {
+		return neptune.SourceFunc(func(ctx *neptune.OpContext) error {
+			if emitted >= opts.N {
+				return io.EOF
+			}
+			if emitted%int64(perSleep) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			p := ctx.NewPacket()
+			p.AddInt64("i", emitted)
+			emitted++
+			return ctx.EmitDefault(p)
+		})
+	})
+	j.SetProcessor("agg", func(int) neptune.Processor { return &soakAgg{} })
+	obs := &keyObserver{}
+	badState := &atomic.Int64{}
+	j.SetProcessor("snk", func(int) neptune.Processor {
+		return neptune.ProcessorFunc(func(_ *neptune.OpContext, p *neptune.Packet) error {
+			v, err := p.Int64("i")
+			if err != nil {
+				return err
+			}
+			sn, err := p.Int64("seen")
+			if err != nil {
+				return err
+			}
+			if sn != v+1 {
+				badState.Add(1)
+			}
+			obs.observe(v)
+			return nil
+		})
+	})
+
+	j.SetControlFilter(inj.DropOneWay)
+	if err := j.LaunchOn(engines, place, bridger); err != nil {
+		return nil, err
+	}
+	return &round{
+		job:      j,
+		inj:      inj,
+		orch:     &chaos.Orchestrator{Inj: inj},
+		obs:      obs,
+		lease:    cfg.FlowLease,
+		badState: badState,
+	}, nil
+}
+
+// soakAgg is the stateful mid stage: a cursor snapshotted into every
+// checkpoint epoch. After a kill and replay, the cursor emitted with key
+// v must equal v+1 — anything else means recovery replayed state
+// nondeterministically.
+type soakAgg struct{ seen int64 }
+
+func (a *soakAgg) Open(*neptune.OpContext) error { return nil }
+func (a *soakAgg) Close() error                  { return nil }
+
+func (a *soakAgg) Process(ctx *neptune.OpContext, p *neptune.Packet) error {
+	v, err := p.Int64("i")
+	if err != nil {
+		return err
+	}
+	a.seen++
+	out := ctx.NewPacket()
+	out.AddInt64("i", v)
+	out.AddInt64("seen", a.seen)
+	return ctx.EmitDefault(out)
+}
+
+func (a *soakAgg) SnapshotState(*neptune.OpContext) ([]byte, error) {
+	return binary.AppendVarint(nil, a.seen), nil
+}
+
+func (a *soakAgg) RestoreState(_ *neptune.OpContext, state []byte) error {
+	seen, n := binary.Varint(state)
+	if n <= 0 {
+		return errors.New("soak: truncated aggregator state")
+	}
+	a.seen = seen
+	return nil
+}
+
+// keyObserver buffers sink keys until the invariant checker attaches
+// (the job launches before the checker exists), then forwards directly.
+type keyObserver struct {
+	//neptune:lock soak-observer
+	mu  sync.Mutex
+	buf []int64
+	fn  func(int64)
+}
+
+func (o *keyObserver) observe(k int64) {
+	o.mu.Lock()
+	fn := o.fn
+	if fn == nil {
+		o.buf = append(o.buf, k)
+		o.mu.Unlock()
+		return
+	}
+	o.mu.Unlock()
+	// Outside the lock: the checker's ObserveKey is key-set based, so the
+	// ordering race with a concurrent attach flush is harmless.
+	fn(k)
+}
+
+func (o *keyObserver) attach(fn func(int64)) {
+	o.mu.Lock()
+	buf := o.buf
+	o.buf = nil
+	o.fn = fn
+	o.mu.Unlock()
+	for _, k := range buf {
+		fn(k)
+	}
+}
+
+// faultyBridger wraps every link of a resilient TCP bridger in a
+// transport.Faulty sharing one fault plan, so the orchestrator can arm
+// frame duplication across all links (including links rebuilt by
+// supervised recovery) with one call.
+type faultyBridger struct {
+	inner *core.TCPBridger
+	inj   *chaos.Injector
+
+	//neptune:lock soak-faulty-bridge
+	mu    sync.Mutex
+	plan  transport.FaultPlan
+	wraps []*transport.Faulty
+}
+
+func (b *faultyBridger) wrap(tr transport.Transport, err error) (transport.Transport, error) {
+	if err != nil {
+		return nil, err
+	}
+	f := &transport.Faulty{Inner: tr, Inj: b.inj}
+	b.mu.Lock()
+	f.SetPlan(b.plan)
+	b.wraps = append(b.wraps, f)
+	b.mu.Unlock()
+	return f, nil
+}
+
+// SetPlan arms the plan on every live link and every future one.
+func (b *faultyBridger) SetPlan(p transport.FaultPlan) {
+	b.mu.Lock()
+	b.plan = p
+	wraps := append([]*transport.Faulty(nil), b.wraps...)
+	b.mu.Unlock()
+	for _, f := range wraps {
+		f.SetPlan(p)
+	}
+}
+
+func (b *faultyBridger) Connect(from, to *core.Engine) (transport.Transport, error) {
+	return b.wrap(b.inner.Connect(from, to))
+}
+
+func (b *faultyBridger) Reconnect(from, to *core.Engine, epoch uint64) (transport.Transport, error) {
+	return b.wrap(b.inner.Reconnect(from, to, epoch))
+}
+
+func (b *faultyBridger) DropEngine(name string) error { return b.inner.DropEngine(name) }
+
+func (b *faultyBridger) LinkHealth() []transport.LinkHealth { return b.inner.LinkHealth() }
+
+func (b *faultyBridger) Close() error { return b.inner.Close() }

@@ -1,0 +1,84 @@
+package soak
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.CheckMain(m) }
+
+// soakSeeds are the pinned regression seeds replayed by every CI run —
+// one per scenario plus a second, heavier kill-recovery draw. A seed
+// resolves to the same scenario and byte-identical schedule forever
+// (the scenario table is append-only), so a fix verified against a
+// failing seed stays verified.
+var soakSeeds = []struct {
+	seed     int64
+	scenario string
+}{
+	{3, "kill-recovery"},
+	{1, "membership-oneway"},
+	{2, "store-faults"},
+	{15, "mixed"},
+	{8, "kill-recovery"},
+}
+
+// TestSoakSeeds replays the pinned seeds end to end and fails on any
+// invariant violation. This is the PR-gating smoke slice of the soak;
+// cmd/neptune-soak runs the randomized long haul.
+func TestSoakSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak rounds take seconds each")
+	}
+	for _, tc := range soakSeeds {
+		r := RunRound(tc.seed, Options{})
+		if r.Scenario != tc.scenario {
+			t.Fatalf("seed %d resolved to scenario %s, pinned as %s (scenario table must be append-only)",
+				tc.seed, r.Scenario, tc.scenario)
+		}
+		if r.Failed() {
+			t.Errorf("seed %d violated invariants:\n%s", tc.seed, r.Report())
+		} else {
+			t.Logf("seed %d ok: %s, delivered %d/%d, %d actions, %s",
+				tc.seed, r.Scenario, r.Delivered, r.Expected, r.Applied, r.Elapsed.Round(time.Millisecond))
+		}
+	}
+}
+
+// TestPlanDeterministic pins replayability at the planning layer: the
+// same seed must resolve to the same scenario and a byte-identical
+// schedule, and different seeds must diverge.
+func TestPlanDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		n1, s1 := Plan(seed, Options{})
+		n2, s2 := Plan(seed, Options{})
+		if n1 != n2 || s1.String() != s2.String() {
+			t.Fatalf("seed %d not deterministic:\n%s\n--\n%s", seed, s1, s2)
+		}
+	}
+	_, a := Plan(101, Options{})
+	_, b := Plan(102, Options{})
+	if a.String() == b.String() {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}
+
+// TestPlanMatchesRound pins that Plan predicts exactly what RunRound
+// plays — the replay artifact's schedule is the planned one.
+func TestPlanMatchesRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full soak round")
+	}
+	const seed = 4 // membership-oneway: the cheapest scenario
+	name, planned := Plan(seed, Options{})
+	r := RunRound(seed, Options{})
+	if r.Scenario != name || r.Schedule.String() != planned.String() {
+		t.Fatalf("round diverged from plan:\nplan %s:\n%s\nround %s:\n%s",
+			name, planned, r.Scenario, r.Schedule)
+	}
+	if r.Failed() {
+		t.Errorf("seed %d violated invariants:\n%s", seed, r.Report())
+	}
+}

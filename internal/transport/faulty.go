@@ -1,62 +1,156 @@
 package transport
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos"
 )
 
-// Faulty injects frame-level faults — drop, duplicate, corrupt, delay —
-// in front of any Transport. Decisions come from a shared chaos.Injector
-// so the fault schedule is deterministic per seed. It is meant for tests
-// and cmd/neptune-bench; corruption flips a payload byte *before*
-// framing, so the CRC is computed over the corrupted payload and the
-// fault models an application-level error rather than wire noise (use
-// chaos.Conn for wire-level corruption that trips the CRC).
+// FaultPlan is a runtime-swappable set of frame-level fault
+// probabilities for Faulty. A chaos orchestrator installs plans
+// mid-run via SetPlan; the zero plan clears all faults.
+type FaultPlan struct {
+	// Drop, Dup, Corrupt, Delay, Reorder are per-frame probabilities.
+	Drop, Dup, Corrupt, Delay, Reorder float64
+	// DelayFor is how long a delayed frame sleeps.
+	DelayFor time.Duration
+}
+
+// Faulty injects frame-level faults — drop, duplicate, corrupt, delay,
+// reorder — in front of any Transport. Decisions come from a shared
+// chaos.Injector so the fault schedule is deterministic per seed. It is
+// meant for tests and cmd/neptune-bench; corruption flips a payload
+// byte *before* framing, so the CRC is computed over the corrupted
+// payload and the fault models an application-level error rather than
+// wire noise (use chaos.Conn for wire-level corruption that trips the
+// CRC).
+//
+// Reorder holds the frame back and releases it after the next frame on
+// any channel (a trailing held frame is released on Close or SetPlan),
+// modeling adjacent-frame inversion. Note that drop and reorder both
+// violate the delivery contract the core pipeline asserts: drop loses
+// frames before the replay journal sees them, and reorder trips
+// VerifyOrdering / remote dedup cursors. They exist to prove those
+// detectors fire, and for transport-level robustness tests — seeded
+// soak schedules inject dup only.
 type Faulty struct {
 	// Inner is the wrapped transport all surviving frames go to.
 	Inner Transport
 	// Inj supplies deterministic fault decisions.
 	Inj *chaos.Injector
-	// Drop, Dup, Corrupt, Delay are per-frame fault probabilities.
+	// Drop, Dup, Corrupt, Delay are the static per-frame fault
+	// probabilities, used while no SetPlan plan is installed.
 	Drop, Dup, Corrupt, Delay float64
 	// DelayFor is how long a delayed frame sleeps.
 	DelayFor time.Duration
+	// Reorder is the static per-frame reorder probability.
+	Reorder float64
+
+	plan atomic.Pointer[FaultPlan]
+
+	mu   sync.Mutex // guards held
+	held []heldFrame
+}
+
+type heldFrame struct {
+	channel uint32
+	payload []byte
+}
+
+// SetPlan atomically installs a new fault plan, overriding the static
+// probability fields for subsequent sends, and releases any frame held
+// for reordering (so clearing faults quiesces the wrapper).
+func (f *Faulty) SetPlan(p FaultPlan) {
+	f.plan.Store(&p)
+	f.flushHeld()
+}
+
+func (f *Faulty) currentPlan() FaultPlan {
+	if p := f.plan.Load(); p != nil {
+		return *p
+	}
+	return FaultPlan{Drop: f.Drop, Dup: f.Dup, Corrupt: f.Corrupt, Delay: f.Delay, Reorder: f.Reorder, DelayFor: f.DelayFor}
 }
 
 // Send applies the fault schedule, then forwards to the inner transport.
 func (f *Faulty) Send(channel uint32, payload []byte) error {
-	if f.Inj.Decide(f.Drop) {
+	p := f.currentPlan()
+	if f.Inj.Decide(p.Drop) {
 		return nil // silently dropped
 	}
-	if f.Inj.Decide(f.Delay) && f.DelayFor > 0 {
-		time.Sleep(f.DelayFor)
+	if f.Inj.Decide(p.Delay) && p.DelayFor > 0 {
+		time.Sleep(p.DelayFor)
 	}
-	if f.Inj.Decide(f.Corrupt) && len(payload) > 0 {
+	if f.Inj.Decide(p.Corrupt) && len(payload) > 0 {
 		cp := make([]byte, len(payload))
 		copy(cp, payload)
 		cp[f.Inj.Intn(len(cp))] ^= 0xFF
 		payload = cp
 	}
+	if f.Inj.Decide(p.Reorder) {
+		// Hold this frame; it is released after the next frame (or on
+		// Close/SetPlan), arriving out of order. The payload is copied
+		// because senders may reuse their buffers after Send returns.
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		f.mu.Lock()
+		f.held = append(f.held, heldFrame{channel: channel, payload: cp})
+		f.mu.Unlock()
+		f.Inj.CountReorder()
+		return nil
+	}
 	if err := f.Inner.Send(channel, payload); err != nil {
 		return err
 	}
-	if f.Inj.Decide(f.Dup) {
+	if err := f.sendHeld(); err != nil {
+		return err
+	}
+	if f.Inj.Decide(p.Dup) {
+		f.Inj.CountDuplicate()
 		return f.Inner.Send(channel, payload)
 	}
 	return nil
 }
 
-// Close closes the inner transport.
-func (f *Faulty) Close() error { return f.Inner.Close() }
-
-// InFlight forwards the inner transport's in-flight count when it exposes
-// one, so drains see through the fault-injection wrapper.
-func (f *Faulty) InFlight() int {
-	if p, ok := f.Inner.(interface{ InFlight() int }); ok {
-		return p.InFlight()
+// sendHeld releases every held frame, in hold order, after the frame
+// that overtook them.
+func (f *Faulty) sendHeld() error {
+	f.mu.Lock()
+	held := f.held
+	f.held = nil
+	f.mu.Unlock()
+	for _, h := range held {
+		if err := f.Inner.Send(h.channel, h.payload); err != nil {
+			return err
+		}
 	}
-	return 0
+	return nil
+}
+
+func (f *Faulty) flushHeld() {
+	//neptune:discarderr fault-injection wrapper: a failed held-frame flush surfaces through the inner transport's own error path
+	_ = f.sendHeld()
+}
+
+// Close releases any held frame, then closes the inner transport.
+func (f *Faulty) Close() error {
+	f.flushHeld()
+	return f.Inner.Close()
+}
+
+// InFlight forwards the inner transport's in-flight count — plus any
+// frame held for reordering — so drains see through the fault-injection
+// wrapper.
+func (f *Faulty) InFlight() int {
+	f.mu.Lock()
+	held := len(f.held)
+	f.mu.Unlock()
+	if p, ok := f.Inner.(interface{ InFlight() int }); ok {
+		return held + p.InFlight()
+	}
+	return held
 }
 
 // Stats reports the inner transport's counters.

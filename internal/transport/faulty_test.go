@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// faultyPair returns a Faulty over an Inproc delivering to c.
+func faultyPair(t *testing.T, c *collect, seed int64) *Faulty {
+	t.Helper()
+	inner, err := NewInproc(c.handler, 1<<19, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Faulty{Inner: inner, Inj: chaos.New(seed)}
+}
+
+func TestFaultySetPlanOverridesStaticFields(t *testing.T) {
+	c := &collect{}
+	f := faultyPair(t, c, 11)
+	f.Drop = 1 // static plan drops everything...
+	f.SetPlan(FaultPlan{})
+	for i := 0; i < 100; i++ {
+		if err := f.Send(1, seqPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if got := c.n.Load(); got != 100 {
+		t.Fatalf("zero plan delivered %d of 100", got)
+	}
+}
+
+func TestFaultyPlanSwitchableMidRun(t *testing.T) {
+	c := &collect{}
+	f := faultyPair(t, c, 12)
+	f.SetPlan(FaultPlan{Drop: 1})
+	for i := 0; i < 50; i++ {
+		if err := f.Send(1, seqPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.SetPlan(FaultPlan{})
+	for i := 0; i < 50; i++ {
+		if err := f.Send(1, seqPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if got := c.n.Load(); got != 50 {
+		t.Fatalf("delivered %d, want 50 (first half dropped, second clean)", got)
+	}
+}
+
+func TestFaultyReorderSwapsAdjacentFrames(t *testing.T) {
+	c := &collect{}
+	f := faultyPair(t, c, 13)
+	// Deterministic swap: hold frame 0, send frame 1, frame 0 released
+	// after it.
+	f.SetPlan(FaultPlan{Reorder: 1})
+	if err := f.Send(1, seqPayload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if f.InFlight() < 1 {
+		t.Fatal("held frame not accounted in InFlight")
+	}
+	f.SetPlan(FaultPlan{}) // also flushes nothing new: frame 0 released here
+	if err := f.Send(1, seqPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.frames) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(c.frames))
+	}
+	got0 := binary.LittleEndian.Uint32(c.frames[0].Payload)
+	got1 := binary.LittleEndian.Uint32(c.frames[1].Payload)
+	if got0 != 0 || got1 != 1 {
+		// SetPlan flushed frame 0 before frame 1 was sent, so order is
+		// restored; that is the quiesce contract.
+		t.Fatalf("after SetPlan flush expected in-order 0,1; got %d,%d", got0, got1)
+	}
+	if st := f.Inj.Stats(); st.Reordered != 1 {
+		t.Fatalf("reorder not counted: %+v", st)
+	}
+}
+
+func TestFaultyReorderReleasesAfterNextSend(t *testing.T) {
+	c := &collect{}
+	f := faultyPair(t, c, 14)
+	f.SetPlan(FaultPlan{Reorder: 1})
+	if err := f.Send(1, seqPayload(0)); err != nil { // held
+		t.Fatal(err)
+	}
+	f.SetPlan(FaultPlan{Reorder: 0})
+	// Frame 0 was already flushed by SetPlan above; re-hold manually by
+	// installing reorder again for exactly one send.
+	f.SetPlan(FaultPlan{Reorder: 1})
+	if err := f.Send(1, seqPayload(1)); err != nil { // held
+		t.Fatal(err)
+	}
+	f.plan.Store(&FaultPlan{})                       // clear without flushing
+	if err := f.Send(1, seqPayload(2)); err != nil { // releases frame 1 after 2
+		t.Fatal(err)
+	}
+	f.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.frames) != 3 {
+		t.Fatalf("delivered %d frames, want 3", len(c.frames))
+	}
+	var order []uint32
+	for _, fr := range c.frames {
+		order = append(order, binary.LittleEndian.Uint32(fr.Payload))
+	}
+	if order[0] != 0 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("expected reorder 0,2,1; got %v", order)
+	}
+}
+
+func TestFaultyCloseFlushesHeldFrame(t *testing.T) {
+	c := &collect{}
+	f := faultyPair(t, c, 15)
+	f.plan.Store(&FaultPlan{Reorder: 1})
+	if err := f.Send(1, seqPayload(0)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close() // trailing held frame must not be lost
+	deadline := time.Now().Add(5 * time.Second)
+	for c.n.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("held frame lost at close: delivered %d", c.n.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFaultyDupCounted(t *testing.T) {
+	c := &collect{}
+	f := faultyPair(t, c, 16)
+	f.SetPlan(FaultPlan{Dup: 1})
+	for i := 0; i < 10; i++ {
+		if err := f.Send(1, seqPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if got := c.n.Load(); got != 20 {
+		t.Fatalf("dup=1 delivered %d of 20", got)
+	}
+	if st := f.Inj.Stats(); st.Duplicated != 10 {
+		t.Fatalf("duplicates not counted: %+v", st)
+	}
+}

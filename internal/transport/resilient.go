@@ -1039,6 +1039,22 @@ func (r *Resilient) Health() LinkHealth {
 	}
 }
 
+// InFlight reports how many frames have not been confirmed delivered:
+// frames queued for the writer goroutine plus journaled frames awaiting
+// the receiver's cumulative ack. The listener acks a data frame only
+// after dispatching it to its handler, so a zero InFlight means every
+// sent frame was actually delivered — duplicated or out-of-job traffic
+// arriving at the receiver cannot fake it. Drain barriers rely on that:
+// without this count a checkpoint could commit (and reset its replay
+// logs) while frames sit unacked in the journal of a flapping link,
+// losing them for any later recovery.
+func (r *Resilient) InFlight() int {
+	r.jmu.Lock()
+	pending := len(r.jfr) - r.jhead
+	r.jmu.Unlock()
+	return r.queue.Len() + pending
+}
+
 // LinkID returns the link identifier carried in the hello handshake. A
 // supervisor reuses it when re-dialing a rebuilt link so the receiver's
 // redelivery state stays keyed to the same logical link.

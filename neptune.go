@@ -90,6 +90,12 @@ type (
 	// CheckpointConfig configures crash recovery (Config.Checkpoint); the
 	// zero value disables it.
 	CheckpointConfig = core.CheckpointConfig
+	// MembershipConfig configures the cluster-membership layer
+	// (Config.Membership); the zero value disables it.
+	MembershipConfig = core.MembershipConfig
+	// MembershipHealth aggregates a job's membership counters; see
+	// Job.MembershipHealth.
+	MembershipHealth = core.MembershipHealth
 	// SupervisorOptions tunes a manually attached supervisor.
 	SupervisorOptions = core.SupervisorOptions
 	// Supervisor drives checkpointing and supervised restart for a job.

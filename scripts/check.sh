@@ -46,6 +46,12 @@ go test -run '^$' -fuzz 'FuzzPacketCodecRoundTrip' -fuzztime 10s ./internal/pack
 go test -run '^$' -fuzz 'FuzzDescriptorLoad' -fuzztime 10s ./internal/graph
 go test -run '^$' -fuzz 'FuzzDecodeControl' -fuzztime 10s ./internal/control
 
+echo "== chaos soak smoke (pinned seeds) =="
+# The pinned regression seeds of the randomized chaos soak (DESIGN §15):
+# one deterministic round per scenario, invariant-checked end to end.
+# cmd/neptune-soak runs the randomized long haul; this slice gates PRs.
+go test -run 'TestSoakSeeds' -count=1 ./internal/soak
+
 echo "== membership churn soak =="
 # Seeded partition/heal churn over a simulated cluster (deterministic
 # fabric + fake clock): every round must re-converge to full
