@@ -35,6 +35,7 @@ func runRelayBench(b *testing.B, cfg experiments.RelayConfig) {
 		}
 		pkts += float64(res.Received)
 		ns += float64(res.Elapsed.Nanoseconds())
+		b.ReportMetric(float64(res.P50Latency.Microseconds()), "p50-lat-µs")
 		b.ReportMetric(float64(res.P99Latency.Microseconds()), "p99-lat-µs")
 	}
 	b.ReportMetric(pkts/(ns/1e9), "pkts/s")
@@ -303,6 +304,55 @@ func BenchmarkHeadlineMulticore(b *testing.B) {
 				Lanes:       lanes,
 				Parallelism: lanes,
 			})
+		})
+	}
+}
+
+// BenchmarkLatencyTargetSweep measures the adaptive QoS runtime
+// (DESIGN.md §16) on an offered-load relay: an IoT-gateway-style source
+// pushes 200k pkts/s through deliberately latency-hostile static knobs
+// (1 MB buffers, 50 ms flush timer). Untargeted, the batching delay
+// dominates end-to-end p99; with a latency target the controller halves
+// the capacity and flush bounds per hop until each link's share of the
+// end-to-end budget is met. p50/p99 and controller activity are
+// recorded alongside pkts/s. Runs are longer than the usual bench
+// window so the controller's convergence transient does not dominate
+// the latency distribution. (The saturation throughput headline is
+// BenchmarkHeadlineSingleNode; an offered-load job is used here because
+// no batching knob can tune away a saturated pipeline's standing
+// queues.)
+func BenchmarkLatencyTargetSweep(b *testing.B) {
+	for _, target := range []time.Duration{0, 50 * time.Millisecond, 10 * time.Millisecond} {
+		name := "untargeted"
+		if target > 0 {
+			name = "target=" + target.String()
+		}
+		tgt := target
+		b.Run(name, func(b *testing.B) {
+			var pkts, ns float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunRelay(experiments.RelayConfig{
+					MsgBytes:      50,
+					BufferBytes:   1 << 20,
+					FlushInterval: 50 * time.Millisecond,
+					Batching:      true,
+					Pooling:       true,
+					Duration:      20 * time.Second,
+					RateLimit:     200_000,
+					LatencyTarget: tgt,
+					QoSTick:       5 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pkts += float64(res.Received)
+				ns += float64(res.Elapsed.Nanoseconds())
+				b.ReportMetric(float64(res.P50Latency.Microseconds()), "p50-lat-µs")
+				b.ReportMetric(float64(res.P99Latency.Microseconds()), "p99-lat-µs")
+				b.ReportMetric(float64(res.QoSEscalations), "escalations")
+				b.ReportMetric(float64(res.ChainedLinks), "chained-links")
+			}
+			b.ReportMetric(pkts/(ns/1e9), "pkts/s")
 		})
 	}
 }

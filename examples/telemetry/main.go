@@ -7,7 +7,13 @@
 // the stream goes quiet — the emit-on-time pattern that NEPTUNE's
 // combined (data-driven + periodic) Granules scheduling enables.
 //
-//	go run ./examples/telemetry [-rate 5000] [-duration 5s]
+// The job also runs under a latency target (-target), so the adaptive
+// QoS runtime is live: at exit the per-link LatencyHealth snapshot shows
+// each link's smoothed p50/p99 sojourn, tuning level, and whether the
+// quiet window -> dashboard link was fused into a direct call (the
+// ticking window stage itself is never a fusion receiver).
+//
+//	go run ./examples/telemetry [-rate 5000] [-duration 5s] [-target 20ms]
 package main
 
 import (
@@ -27,6 +33,7 @@ const devices = 3
 func main() {
 	rate := flag.Float64("rate", 5000, "telemetry packets per second")
 	duration := flag.Duration("duration", 5*time.Second, "run duration")
+	target := flag.Duration("target", 20*time.Millisecond, "QoS latency target (0 disables)")
 	flag.Parse()
 
 	spec, err := neptune.NewGraph("telemetry").
@@ -40,7 +47,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	job, err := neptune.NewJob(spec, neptune.DefaultConfig())
+	cfg := neptune.DefaultConfig()
+	cfg.LatencyTarget = *target
+	job, err := neptune.NewJob(spec, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,11 +91,35 @@ func main() {
 	}
 	time.Sleep(*duration)
 	stop.Store(true)
+	qh := job.LatencyHealth() // snapshot while the links are still live
 	if err := job.Stop(time.Minute); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n%d telemetry packets at %.0f/s produced %d window summaries\n",
 		tick.Load(), *rate, summaries.Load())
+	printLatencyHealth(qh)
+}
+
+// printLatencyHealth renders the QoS runtime snapshot: one line per link
+// plus the controller's action tallies.
+func printLatencyHealth(h neptune.LatencyHealth) {
+	if !h.Enabled {
+		fmt.Println("\nQoS runtime disabled (no latency target)")
+		return
+	}
+	fmt.Printf("\nQoS runtime (target %v):\n", h.Target)
+	for _, l := range h.Links {
+		state := "buffered"
+		if l.Chained {
+			state = "fused"
+		} else if l.Chainable {
+			state = "chainable"
+		}
+		fmt.Printf("  %-28s p50 %-10v p99 %-10v level %d  %s  %d pkts (%d via direct call)\n",
+			l.Link, l.P50, l.P99, l.Level, state, l.Packets, l.ChainDelivered)
+	}
+	fmt.Printf("  controller: %d escalations, %d relaxations, %d fusions, %d breaks (%d flips failed)\n",
+		h.Escalations, h.Relaxations, h.ChainFlips, h.UnchainFlips, h.FlipFailures)
 }
 
 // windower keeps a sliding window per device and emits summaries on time.

@@ -52,6 +52,14 @@ func (r FlushReason) String() string {
 // wire size of the batch.
 type Flusher func(batch []*packet.Packet, bytes int, reason FlushReason)
 
+// Probe observes one delivered batch for latency telemetry: sojourn is
+// the time from the batch's first Add to its take, packets the batch
+// size. Probes run outside every buffer lock, after the Flusher, and
+// must be cheap and non-blocking (the QoS sampler feeds an EWMA). A
+// sojourn of 0 means the batch was taken before stamping (probe
+// installed mid-batch) and should be ignored.
+type Probe func(sojourn time.Duration, packets int)
+
 // ErrClosed is returned by Add after Close.
 var ErrClosed = errors.New("buffer: closed")
 
@@ -89,14 +97,22 @@ func (s Stats) MeanBatchPackets() float64 {
 // serialized and delivered in admission order, even when a timer fire and
 // a capacity flush race.
 type CapacityBuffer struct {
+	flush Flusher
+
+	mu sync.Mutex
+	// capacity and maxDelay started life as construction-time constants;
+	// the QoS controller (DESIGN §16) retunes them per link at runtime via
+	// SetCapacity/SetMaxDelay, so both now live under b.mu.
 	capacity int
 	maxDelay time.Duration
-	flush    Flusher
-
-	mu      sync.Mutex
-	pending []*packet.Packet
-	spare   []*packet.Packet // double buffer handed to the flusher
-	bytes   int
+	// probe, when installed, samples batch sojourn for the QoS loop.
+	// firstAdd stamps the first packet of the current batch (only while a
+	// probe is installed — one clock read per batch, not per packet).
+	probe    Probe
+	firstAdd int64 // UnixNano of the current batch's first Add; 0 if none
+	pending  []*packet.Packet
+	spare    []*packet.Packet // double buffer handed to the flusher
+	bytes    int
 	// One timer is allocated on first use and reused (Stop/Reset) across
 	// batches; timerEpoch records the batch it was armed for, so a stale
 	// callback that lost the race to a capacity flush no-ops.
@@ -149,13 +165,18 @@ func (b *CapacityBuffer) Add(p *packet.Packet) error {
 	}
 	b.pending = append(b.pending, p)
 	b.bytes += p.WireSize()
-	if len(b.pending) == 1 && b.maxDelay > 0 {
-		b.armTimerLocked()
+	if len(b.pending) == 1 {
+		if b.maxDelay > 0 {
+			b.armTimerLocked()
+		}
+		if b.probe != nil {
+			b.firstAdd = time.Now().UnixNano()
+		}
 	}
 	if b.bytes >= b.capacity {
-		batch, bytes, ticket := b.takeLocked()
+		t := b.takeLocked()
 		b.mu.Unlock()
-		b.deliver(batch, bytes, ticket, FlushCapacity)
+		b.deliver(t, FlushCapacity)
 		return nil
 	}
 	b.mu.Unlock()
@@ -185,17 +206,22 @@ func (b *CapacityBuffer) AddBatch(ps []*packet.Packet) (int, error) {
 			admitted++
 			b.pending = append(b.pending, p)
 			b.bytes += p.WireSize()
-			if len(b.pending) == 1 && b.maxDelay > 0 {
-				b.armTimerLocked()
+			if len(b.pending) == 1 {
+				if b.maxDelay > 0 {
+					b.armTimerLocked()
+				}
+				if b.probe != nil {
+					b.firstAdd = time.Now().UnixNano()
+				}
 			}
 		}
 		if b.bytes < b.capacity {
 			b.mu.Unlock()
 			return admitted, nil
 		}
-		batch, bytes, ticket := b.takeLocked()
+		t := b.takeLocked()
 		b.mu.Unlock()
-		b.deliver(batch, bytes, ticket, FlushCapacity)
+		b.deliver(t, FlushCapacity)
 		if admitted == len(ps) {
 			return admitted, nil
 		}
@@ -229,35 +255,49 @@ func (b *CapacityBuffer) timerFire() {
 		b.mu.Unlock()
 		return
 	}
-	batch, bytes, ticket := b.takeLocked()
+	t := b.takeLocked()
 	b.mu.Unlock()
-	b.deliver(batch, bytes, ticket, FlushTimer)
+	b.deliver(t, FlushTimer)
 }
 
 // takeLocked swaps out the pending batch and assigns its delivery ticket.
 // Caller holds b.mu and must pass the ticket to deliver (even if it decides
-// not to flush) or later tickets stall forever.
-func (b *CapacityBuffer) takeLocked() ([]*packet.Packet, int, uint64) {
-	batch := b.pending
-	bytes := b.bytes
+// not to flush) or later tickets stall forever. The returned take carries
+// the batch's sojourn (first Add to take) for the probe; zero when no
+// probe stamped the batch.
+func (b *CapacityBuffer) takeLocked() take {
+	t := take{batch: b.pending, bytes: b.bytes, ticket: b.takeTickets}
 	b.pending = b.spare[:0]
 	b.spare = nil
 	b.bytes = 0
 	b.epoch++
-	ticket := b.takeTickets
 	b.takeTickets++
+	if b.firstAdd != 0 {
+		t.sojourn = time.Duration(time.Now().UnixNano() - b.firstAdd)
+		b.firstAdd = 0
+	}
 	// Stop but keep the timer: the next batch rearms it with Reset.
 	if b.timer != nil {
 		b.timer.Stop()
 	}
-	return batch, bytes, ticket
+	return t
+}
+
+// take is one swapped-out batch in flight between takeLocked and deliver.
+type take struct {
+	batch   []*packet.Packet
+	bytes   int
+	ticket  uint64
+	sojourn time.Duration
 }
 
 // deliver runs the flusher outside b.mu, in ticket (= take) order, then
-// recycles the batch slice.
-func (b *CapacityBuffer) deliver(batch []*packet.Packet, bytes int, ticket uint64, reason FlushReason) {
+// recycles the batch slice and reports the batch to the probe (outside
+// every buffer lock).
+func (b *CapacityBuffer) deliver(t take, reason FlushReason) {
+	batch, bytes := t.batch, t.bytes
 	b.flushMu.Lock()
-	for ticket != b.deliverNext {
+	for t.ticket != b.deliverNext {
 		b.flushCond.Wait()
 	}
 	if len(batch) > 0 {
@@ -269,9 +309,10 @@ func (b *CapacityBuffer) deliver(batch []*packet.Packet, bytes int, ticket uint6
 	if len(batch) == 0 {
 		return
 	}
+	packets := len(batch)
 
 	b.mu.Lock()
-	b.stats.Packets += uint64(len(batch))
+	b.stats.Packets += uint64(packets)
 	b.stats.Bytes += uint64(bytes)
 	switch reason {
 	case FlushCapacity:
@@ -283,11 +324,11 @@ func (b *CapacityBuffer) deliver(batch []*packet.Packet, bytes int, ticket uint6
 	case FlushClose:
 		b.stats.CloseFlush++
 	}
-	if len(batch) > b.stats.LargestBatch {
-		b.stats.LargestBatch = len(batch)
+	if packets > b.stats.LargestBatch {
+		b.stats.LargestBatch = packets
 	}
-	if b.stats.SmallestBatch == 0 || len(batch) < b.stats.SmallestBatch {
-		b.stats.SmallestBatch = len(batch)
+	if b.stats.SmallestBatch == 0 || packets < b.stats.SmallestBatch {
+		b.stats.SmallestBatch = packets
 	}
 	// Park the slice for reuse by the next batch.
 	for i := range batch {
@@ -296,7 +337,12 @@ func (b *CapacityBuffer) deliver(batch []*packet.Packet, bytes int, ticket uint6
 	if b.spare == nil {
 		b.spare = batch[:0]
 	}
+	probe := b.probe
 	b.mu.Unlock()
+
+	if probe != nil && t.sojourn > 0 {
+		probe(t.sojourn, packets)
+	}
 }
 
 // Flush forces any pending packets out with FlushManual.
@@ -306,9 +352,9 @@ func (b *CapacityBuffer) Flush() {
 		b.mu.Unlock()
 		return
 	}
-	batch, bytes, ticket := b.takeLocked()
+	t := b.takeLocked()
 	b.mu.Unlock()
-	b.deliver(batch, bytes, ticket, FlushManual)
+	b.deliver(t, FlushManual)
 }
 
 // Close flushes any pending packets with FlushClose and rejects further
@@ -320,12 +366,10 @@ func (b *CapacityBuffer) Close() {
 		return
 	}
 	b.closed = true
-	var batch []*packet.Packet
-	var bytes int
-	var ticket uint64
+	var t take
 	took := false
 	if len(b.pending) > 0 {
-		batch, bytes, ticket = b.takeLocked()
+		t = b.takeLocked()
 		took = true
 	} else if b.timer != nil {
 		b.timer.Stop()
@@ -334,7 +378,7 @@ func (b *CapacityBuffer) Close() {
 	b.mu.Unlock()
 	if took {
 		// deliver checks stats under mu; closed buffers still record.
-		b.deliver(batch, bytes, ticket, FlushClose)
+		b.deliver(t, FlushClose)
 	}
 }
 
@@ -370,11 +414,70 @@ func (b *CapacityBuffer) PendingBytes() int {
 	return b.bytes
 }
 
-// Capacity reports the configured flush threshold in bytes.
-func (b *CapacityBuffer) Capacity() int { return b.capacity }
+// Capacity reports the current flush threshold in bytes.
+func (b *CapacityBuffer) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
 
-// MaxDelay reports the configured timer bound.
-func (b *CapacityBuffer) MaxDelay() time.Duration { return b.maxDelay }
+// MaxDelay reports the current timer bound.
+func (b *CapacityBuffer) MaxDelay() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxDelay
+}
+
+// SetCapacity retunes the flush threshold at runtime (minimum 1 byte).
+// Shrinking below the bytes already pending flushes the current batch
+// immediately, so a latency-motivated shrink takes effect now rather
+// than after one more packet.
+func (b *CapacityBuffer) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b.mu.Lock()
+	b.capacity = capacity
+	if b.closed || b.bytes < b.capacity {
+		b.mu.Unlock()
+		return
+	}
+	t := b.takeLocked()
+	b.mu.Unlock()
+	b.deliver(t, FlushCapacity)
+}
+
+// SetMaxDelay retunes the flush-timer bound at runtime. A batch already
+// accumulating is re-armed with the new delay (measured from now, not
+// from its first packet — the one-batch transient is harmless either
+// way). d <= 0 disables the timer for subsequent batches and stops any
+// armed one.
+func (b *CapacityBuffer) SetMaxDelay(d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maxDelay = d
+	if b.closed {
+		return
+	}
+	if d <= 0 {
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		return
+	}
+	if len(b.pending) > 0 {
+		b.armTimerLocked()
+	}
+}
+
+// SetProbe installs (or, with nil, removes) the latency probe. Sojourn
+// stamping begins with the next batch; the in-flight batch reports zero
+// and is skipped.
+func (b *CapacityBuffer) SetProbe(p Probe) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probe = p
+}
 
 // Stats returns a snapshot of the buffer's counters.
 func (b *CapacityBuffer) Stats() Stats {

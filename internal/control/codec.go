@@ -82,8 +82,15 @@ const (
 	// incarnation Epoch. Unlike eviction, a left node may re-join with
 	// the same identity without being fenced.
 	KindNodeLeave Kind = 8
+	// KindLatencyReport carries per-link latency telemetry for the QoS
+	// controller: Op and Index locate the operator instance the link
+	// feeds, LinkID names the link, Level/Low/High carry the EWMA'd p99
+	// sojourn (ns), p50 sojourn (ns), and receiver queue depth. Soft
+	// state like the flow signals: re-published every QoS tick, relayed
+	// upstream across bridgers, and simply absent when a link is idle.
+	KindLatencyReport Kind = 9
 
-	kindMax = KindNodeLeave
+	kindMax = KindLatencyReport
 )
 
 // String names the kind for logs and metrics.
@@ -106,6 +113,8 @@ func (k Kind) String() string {
 		return "node-state"
 	case KindNodeLeave:
 		return "node-leave"
+	case KindLatencyReport:
+		return "latency-report"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -37,6 +37,7 @@ func FuzzDecodeControl(f *testing.F) {
 		{Kind: KindNodeHello, Origin: "node-a", Op: "127.0.0.1:9000", Epoch: 2, Seq: 1, TTL: 4},
 		{Kind: KindNodeState, Origin: "node-a", Op: PackNode("node-b", "127.0.0.1:9001"), Epoch: 3, Level: 1, TTL: 4},
 		{Kind: KindNodeLeave, Origin: "node-b", Epoch: 3},
+		{Kind: KindLatencyReport, Origin: "engine-a", Op: "relay", Index: 0, LinkID: 11, Level: 9_000_000, Low: 2_000_000, High: 64, TTL: 8},
 	} {
 		f.Add(fuzzSeed(m))
 	}

@@ -104,6 +104,36 @@ type Config struct {
 	// join/bootstrap through seed engines, eviction fencing, and
 	// quorum-loss degraded mode. The zero value disables it entirely.
 	Membership MembershipConfig
+
+	// LatencyTarget enables the latency-aware adaptive QoS runtime
+	// (DESIGN §16): a per-job closed loop that samples per-link sojourn
+	// and retunes each link's batch capacity, flush timer, and
+	// gather-coalescing floor until the job's p99 meets the target,
+	// and fuses lightly-loaded co-located 1:1 links into direct calls
+	// (operator chaining). The target is end-to-end: the controller
+	// splits the budget evenly across the deepest source-to-sink link
+	// path and holds every hop's sojourn to its share, so the sum meets
+	// the job's goal. Zero (the default) disables the runtime
+	// entirely — no probes, no controller, the data path is
+	// byte-for-byte the untargeted one. Negative targets are rejected
+	// with ErrBadLatencyTarget.
+	//
+	// Precedence vs. FlowSignals/FlowLease: the watermark backpressure
+	// valves are a correctness mechanism and always win. When both want
+	// to act on the same link, the QoS controller only ever retunes the
+	// batching knobs (capacity, timer, coalesce floor) — it never
+	// releases a watermark hold, widens a watermark band, or extends a
+	// flow lease, so a source gated by a CreditGrant stays gated no
+	// matter how much latency slack the controller sees. Conversely a
+	// flow-gated (hence quiet) link reads as slack and sheds its
+	// latency bias, which is benign: the knobs re-tighten within
+	// HotTicks control periods once traffic resumes.
+	LatencyTarget time.Duration
+
+	// QoSTick is the control period of the QoS loop (sampling, level
+	// moves, chain flips, LatencyReport publication). <= 0 defaults to
+	// 100ms. Ignored unless LatencyTarget is set.
+	QoSTick time.Duration
 }
 
 // Supervisor timing defaults, shared by CheckpointConfig and
@@ -215,6 +245,10 @@ func DefaultConfig() Config {
 // Config validation errors.
 var (
 	ErrBadWatermarks = errors.New("core: invalid watermarks")
+	// ErrBadLatencyTarget rejects a negative Config.LatencyTarget: the
+	// target must be positive to enable the QoS runtime (leave it zero
+	// to disable the runtime entirely).
+	ErrBadLatencyTarget = errors.New("core: Config.LatencyTarget must be positive (zero disables the QoS runtime)")
 )
 
 // normalize fills defaults and validates.
@@ -251,6 +285,12 @@ func (c *Config) normalize() error {
 	}
 	if c.FlowLease <= 0 {
 		c.FlowLease = 100 * time.Millisecond
+	}
+	if c.LatencyTarget < 0 {
+		return fmt.Errorf("%w: got %v", ErrBadLatencyTarget, c.LatencyTarget)
+	}
+	if c.QoSTick <= 0 {
+		c.QoSTick = 100 * time.Millisecond
 	}
 	return nil
 }

@@ -238,6 +238,14 @@ func (e *Engine) deliverRemoteControl(payload []byte, fromDownstream bool) {
 			return
 		}
 		onward = e.uplinkSnapshot()
+	case control.KindLatencyReport:
+		// Latency telemetry travels the same way as the flow signals:
+		// upstream only, toward the engines whose tuning decisions the
+		// downstream links' sojourn should inform.
+		if !fromDownstream {
+			return
+		}
+		onward = e.uplinkSnapshot()
 	case control.KindHeartbeat, control.KindNodeHello, control.KindNodeState, control.KindNodeLeave:
 		if fromDownstream {
 			onward = e.uplinkSnapshot()

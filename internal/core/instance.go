@@ -57,6 +57,20 @@ type destination struct {
 	stage      []*packet.Packet
 	stageBytes int
 
+	// chained marks the link fused into a direct call (DESIGN §16):
+	// emitOn delivers straight into recv.processOne, skipping the
+	// capacity buffer, the scheduler hop, and (trivially — chained links
+	// are always local) the transport. Flipped only by the QoS runtime
+	// under a full quiesce (sources parked, pipeline drained), and only
+	// for a receiver whose sole input is this link, so the sender's
+	// serialized execution doubles as the receiver's serializing
+	// context. Atomic because LatencyHealth and the QoS tick loop read
+	// it outside that quiesce.
+	chained atomic.Bool
+	// chainDelivered counts packets delivered over the fused path — the
+	// "hop removed" evidence asserted by tests and LatencyHealth.
+	chainDelivered atomic.Uint64
+
 	seq      uint64 // next sequence number (sender executions are serialized)
 	enc      packet.Encoder
 	sel      *compression.Selective
@@ -465,6 +479,16 @@ func (inst *instance) emitOn(c *OpContext, l *outLink, p *packet.Packet) error {
 		out.StreamID = d.streamID
 		out.Seq = d.seq
 		d.seq++
+		if d.chained.Load() {
+			// Fused link: synchronous delivery into the receiver.
+			// StreamID/Seq are still assigned above so ordering
+			// verification holds and an unchain resumes the sequence
+			// without a gap.
+			d.chainDelivered.Add(1)
+			inst.emitted.Inc()
+			d.recv.processOne(out)
+			continue
+		}
 		if inst.staging {
 			if len(d.stage) == 0 {
 				inst.stagedDests = append(inst.stagedDests, d)

@@ -367,6 +367,10 @@ type Job struct {
 	upSources       map[string]map[string]bool
 	flowSrcByEngine map[*Engine][]*instance
 
+	// qos is the latency-aware adaptive runtime (Config.LatencyTarget,
+	// qos.go); nil for untargeted jobs.
+	qos *jobQoS
+
 	firstErr errOnce
 }
 
@@ -533,6 +537,7 @@ func (j *Job) LaunchOn(engines []*Engine, place Placement, bridger Bridger) erro
 		inst.markSinkIfTerminal()
 	}
 	j.setupFlowSignals()
+	j.setupQoS()
 
 	// 3. Register processor tasks and deploy the engines.
 	for _, inst := range j.instances {
@@ -853,6 +858,10 @@ func (j *Job) Stop(timeout time.Duration) error {
 		// new recovery or checkpoint can start under the teardown.
 		s.shutdown()
 	}
+	// Stop the QoS loop before the sources: a chain flip in progress
+	// completes (releasing its paused sources), and no new flip can
+	// park a source while StopSources waits for the pumps.
+	j.stopQoS()
 	j.stopFlow()
 	j.StopSources()
 	if err := j.Drain(timeout); err != nil {

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// paceSource emits forever at a test-adjustable pace: per Next it sleeps
+// delay nanoseconds, then emits burst packets. Flipping the atomics
+// mid-run moves the offered load across the controller's chain/unchain
+// thresholds without restarting the job.
+type paceSource struct {
+	delay atomic.Int64 // ns of sleep per Next
+	burst atomic.Int64 // packets emitted per Next
+	sent  atomic.Int64
+}
+
+func (s *paceSource) Open(*OpContext) error { return nil }
+func (s *paceSource) Close() error          { return nil }
+func (s *paceSource) Next(ctx *OpContext) error {
+	if d := s.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	burst := s.burst.Load()
+	if burst < 1 {
+		burst = 1
+	}
+	for k := int64(0); k < burst; k++ {
+		p := ctx.NewPacket()
+		p.AddInt64("i", s.sent.Load())
+		if err := ctx.EmitDefault(p); err != nil {
+			return err
+		}
+		s.sent.Add(1)
+	}
+	return nil
+}
+
+// linkByName returns the LatencyHealth entry for the named link.
+func linkByName(h LatencyHealth, name string) (LinkLatency, bool) {
+	for _, l := range h.Links {
+		if l.Link == name {
+			return l, true
+		}
+	}
+	return LinkLatency{}, false
+}
+
+// waitChained polls until at least want links are fused.
+func waitChained(t *testing.T, j *Job, want int, within time.Duration) LatencyHealth {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		h := j.LatencyHealth()
+		if h.ChainedLinks >= want {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no fusion within %v: %+v", within, h)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestQoSConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.LatencyTarget = -time.Millisecond
+	if _, err := NewJob(twoStageSpec(1), cfg); !errors.Is(err, ErrBadLatencyTarget) {
+		t.Fatalf("negative LatencyTarget: err = %v, want ErrBadLatencyTarget", err)
+	}
+
+	// Zero target: the QoS runtime must not exist at all.
+	cfg = testConfig()
+	src := &countingSource{n: 200}
+	sink := newCollectSink()
+	j, err := NewJob(twoStageSpec(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("src", func(int) Source { return src })
+	j.SetProcessor("sink", func(int) Processor { return sink })
+	runToCompletion(t, j)
+	h := j.LatencyHealth()
+	if h.Enabled || len(h.Links) != 0 || h.ChainedLinks != 0 {
+		t.Fatalf("QoS runtime active without a latency target: %+v", h)
+	}
+	sink.exactlyOnce(t, 200)
+}
+
+// TestQoSChainsQuietLinkThenUnchains drives a single-engine relay job
+// through the full fusion lifecycle: a quiet stream gets its 1:1 links
+// collapsed into direct calls (demonstrably removing the buffer hop —
+// the fused-path counter grows while the buffered-packet count stays
+// flat), then a load burst breaks the fusion, and ordering verification
+// holds across both flips.
+func TestQoSChainsQuietLinkThenUnchains(t *testing.T) {
+	cfg := testConfig()
+	cfg.LatencyTarget = 50 * time.Millisecond
+	cfg.QoSTick = 10 * time.Millisecond
+	src := &paceSource{}
+	src.delay.Store(int64(time.Millisecond))
+	src.burst.Store(5) // ~5k pkts/s: far below the chain threshold
+	sink := newCollectSink()
+	j, err := NewJob(relaySpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("sender", func(int) Source { return src })
+	j.SetProcessor("relay", func(int) Processor { return relayProc{} })
+	j.SetProcessor("receiver", func(int) Processor { return sink })
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := waitChained(t, j, 1, 20*time.Second)
+	var fused string
+	for _, l := range h.Links {
+		if l.Chained {
+			if !l.Chainable || l.Remote {
+				t.Fatalf("fused link inconsistent: %+v", l)
+			}
+			fused = l.Link
+			break
+		}
+	}
+
+	// Hop-removal evidence: while fused, deliveries ride the direct
+	// call — the fused-path counter advances and the buffered-packet
+	// count (total minus fused) does not.
+	before, _ := linkByName(j.LatencyHealth(), fused)
+	time.Sleep(300 * time.Millisecond)
+	after, ok := linkByName(j.LatencyHealth(), fused)
+	if !ok {
+		t.Fatalf("link %q vanished", fused)
+	}
+	if !after.Chained {
+		t.Fatalf("link %q unfused under steady quiet load: %+v", fused, after)
+	}
+	if after.ChainDelivered <= before.ChainDelivered {
+		t.Fatalf("fused path idle: delivered %d -> %d", before.ChainDelivered, after.ChainDelivered)
+	}
+	bufferedBefore := before.Packets - before.ChainDelivered
+	bufferedAfter := after.Packets - after.ChainDelivered
+	if bufferedAfter != bufferedBefore {
+		t.Fatalf("buffer hop still active while fused: buffered %d -> %d", bufferedBefore, bufferedAfter)
+	}
+
+	// Flood the stream: the controller must break the fusion at once.
+	src.delay.Store(0)
+	src.burst.Store(256)
+	deadline := time.Now().Add(20 * time.Second)
+	for j.LatencyHealth().UnchainFlips == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fusion never broke under load: %+v", j.LatencyHealth())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Ease off so teardown drains quickly, then verify ordering held
+	// across both flips (Stop surfaces any VerifyOrdering violation).
+	src.delay.Store(int64(time.Millisecond))
+	src.burst.Store(1)
+	if err := j.Stop(30 * time.Second); err != nil {
+		t.Fatalf("Stop after chain/unchain: %v", err)
+	}
+	final := j.LatencyHealth()
+	if final.ChainFlips < 1 || final.UnchainFlips < 1 {
+		t.Fatalf("flip tallies: %+v", final)
+	}
+	if final.ChainRequests < final.ChainFlips || final.UnchainRequests < final.UnchainFlips {
+		t.Fatalf("requests below applied flips: %+v", final)
+	}
+}
+
+// TestQoSLatencyTargetAcceptance is the closed-loop acceptance: a job
+// configured with a hopeless baseline for a 10 ms target (1 MB buffers,
+// 100 ms flush timer) must be retuned by the controller until a
+// trafficked link's smoothed p99 sojourn meets the target. The offered
+// load stays above the chain threshold, so knob retuning — not fusion —
+// has to do the work.
+func TestQoSLatencyTargetAcceptance(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferSize = 1 << 20
+	cfg.FlushInterval = 100 * time.Millisecond
+	cfg.LatencyTarget = 10 * time.Millisecond
+	cfg.QoSTick = 20 * time.Millisecond
+	src := &paceSource{}
+	src.delay.Store(int64(time.Millisecond))
+	src.burst.Store(100) // well above the chain threshold
+	sink := newCollectSink()
+	j, err := NewJob(relaySpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("sender", func(int) Source { return src })
+	j.SetProcessor("relay", func(int) Processor { return relayProc{} })
+	j.SetProcessor("receiver", func(int) Processor { return sink })
+	if err := j.Launch(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	met := false
+	for !met {
+		h := j.LatencyHealth()
+		for _, l := range h.Links {
+			if !l.Chained && l.Packets > 1000 && l.P99 > 0 &&
+				l.P99 <= cfg.LatencyTarget && h.Escalations >= 1 {
+				met = true
+				break
+			}
+		}
+		if met {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("p99 never met the %v target: %+v", cfg.LatencyTarget, h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := j.Stop(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h := j.LatencyHealth(); h.Escalations < 1 {
+		t.Fatalf("controller never escalated: %+v", h)
+	}
+}
+
+// qosKillShared holds the cross-incarnation observation state for
+// qosKillSink: content-violation evidence and a delivery progress
+// counter are external side effects (valid across a crash because the
+// mid output is deterministic per packet), while the exactly-once map
+// itself lives inside the checkpointed sink state.
+type qosKillShared struct {
+	bad       atomic.Int64
+	firstBad  atomic.Pointer[string]
+	delivered atomic.Int64
+	cur       atomic.Pointer[qosKillSink]
+}
+
+func (sh *qosKillShared) factory() Processor {
+	s := &qosKillSink{shared: sh, got: map[int64]int64{}}
+	sh.cur.Store(s)
+	return s
+}
+
+// qosKillSink is the co-located checking sink of the mid-chain crash
+// test. Unlike checkedSink it dies WITH the mid stage, so its observed
+// set must be checkpointed state: on recovery it rolls back to the
+// barrier epoch and replay re-fills it, leaving every value seen
+// exactly once in the final incarnation.
+type qosKillSink struct {
+	shared *qosKillShared
+	got    map[int64]int64
+	count  int64
+}
+
+func (s *qosKillSink) Open(*OpContext) error { return nil }
+func (s *qosKillSink) Close() error          { return nil }
+
+func (s *qosKillSink) Process(ctx *OpContext, p *packet.Packet) error {
+	i, err := p.Int64("i")
+	if err != nil {
+		return err
+	}
+	seen, err := p.Int64("seen")
+	if err != nil {
+		return err
+	}
+	sum, err := p.Float64("sum")
+	if err != nil {
+		return err
+	}
+	if seen != i+1 || sum != slidingSum(i) {
+		if s.shared.bad.Add(1) == 1 {
+			msg := fmt.Sprintf("i=%d: seen=%d (want %d) sum=%v (want %v)",
+				i, seen, i+1, sum, slidingSum(i))
+			s.shared.firstBad.Store(&msg)
+		}
+	}
+	s.got[i]++
+	s.count++
+	s.shared.delivered.Add(1)
+	return nil
+}
+
+func (s *qosKillSink) SnapshotState(*OpContext) ([]byte, error) {
+	b := binary.AppendVarint(nil, s.count)
+	b = binary.AppendVarint(b, int64(len(s.got)))
+	for v, c := range s.got {
+		b = binary.AppendVarint(b, v)
+		b = binary.AppendVarint(b, c)
+	}
+	return b, nil
+}
+
+func (s *qosKillSink) RestoreState(_ *OpContext, state []byte) error {
+	next := func() (int64, error) {
+		v, n := binary.Varint(state)
+		if n <= 0 {
+			return 0, errors.New("qosKillSink: truncated state")
+		}
+		state = state[n:]
+		return v, nil
+	}
+	count, err := next()
+	if err != nil {
+		return err
+	}
+	entries, err := next()
+	if err != nil {
+		return err
+	}
+	got := make(map[int64]int64, entries)
+	for k := int64(0); k < entries; k++ {
+		v, err := next()
+		if err != nil {
+			return err
+		}
+		c, err := next()
+		if err != nil {
+			return err
+		}
+		got[v] = c
+	}
+	s.count = count
+	s.got = got
+	return nil
+}
+
+// TestQoSChainSurvivesCrashExactlyOnce kills an engine while one of its
+// links is fused: source on engine A feeds a stateful windowed mid on
+// engine B whose local 1:1 link to the co-located sink has been
+// collapsed into a direct call by the QoS controller. A checkpoint is
+// pinned, the engine dies mid-chain, and supervised recovery must
+// rebuild it un-fused, restore the mid window, the sink's observed set,
+// and the fused link's ordering cursors, then replay the gap — the
+// final sink state holds every value exactly once with deterministic
+// window contents, and the controller re-fuses the quiet link.
+func TestQoSChainSurvivesCrashExactlyOnce(t *testing.T) {
+	const n = 6_000
+	cfg := testConfig()
+	cfg.LatencyTarget = 50 * time.Millisecond
+	cfg.QoSTick = 5 * time.Millisecond
+	ea, err := NewEngine("qos-a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewEngine("qos-b", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &countingSource{n: n}
+	shared := &qosKillShared{}
+	j, err := NewJob(relaySpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSource("sender", func(int) Source { return Throttle(5_000, 64, src) })
+	j.SetProcessor("relay", func(int) Processor { return newSlidingMid() })
+	j.SetProcessor("receiver", func(int) Processor { return shared.factory() })
+	place := func(op string, _ int) int {
+		if op == "sender" {
+			return 0
+		}
+		return 1 // mid and sink co-located: their link is chainable
+	}
+	bridger := NewResilientTCPBridger(transport.ResilientOptions{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	})
+	if err := j.LaunchOn([]*Engine{ea, eb}, place, bridger); err != nil {
+		t.Fatal(err)
+	}
+	sup, err := j.Supervise(SupervisorOptions{
+		Heartbeat:      5 * time.Millisecond,
+		Misses:         3,
+		Store:          checkpoint.NewMemStore(0),
+		Replay:         true,
+		BarrierTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The local mid -> sink link must fuse at this quiet offered load.
+	h := waitChained(t, j, 1, 20*time.Second)
+	fused, ok := linkByName(h, "relay[0] -> receiver[0]")
+	if !ok || !fused.Chained || fused.Remote {
+		t.Fatalf("expected the local mid->sink link fused: %+v", h.Links)
+	}
+
+	// Warm past the window, pin an epoch, then kill the fused engine.
+	deadline := time.Now().Add(30 * time.Second)
+	for shared.delivered.Load() < n/4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck at %d deliveries", shared.delivered.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := sup.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(13)
+	inj.RegisterKill("qos-b", func() { _ = sup.Kill("qos-b") })
+	if !inj.KillResource("qos-b") {
+		t.Fatal("kill hook did not fire")
+	}
+	waitRestarts(t, j, 1)
+
+	finishJob(t, j)
+
+	final := shared.cur.Load()
+	if final == nil {
+		t.Fatal("sink never built")
+	}
+	if final.count != n || len(final.got) != n {
+		t.Fatalf("final sink state: count=%d distinct=%d, want %d/%d",
+			final.count, len(final.got), n, n)
+	}
+	for v, c := range final.got {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times in checkpointed state", v, c)
+		}
+	}
+	if shared.bad.Load() > 0 {
+		t.Fatalf("%d packets carried wrong mid state; first: %s",
+			shared.bad.Load(), *shared.firstBad.Load())
+	}
+	rh := j.RecoveryHealth()
+	if rh.Restarts < 1 || rh.ReplayedPackets == 0 || rh.Epoch < 1 {
+		t.Fatalf("recovery health: %+v", rh)
+	}
+	qh := j.LatencyHealth()
+	if qh.ChainFlips < 1 {
+		t.Fatalf("no fusion ever applied: %+v", qh)
+	}
+}

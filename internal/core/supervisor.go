@@ -614,6 +614,20 @@ func (s *Supervisor) recoverEngine(dead *Engine, beat *atomic.Int64) error {
 				return err
 			}
 		}
+		// Local links between two rebuilt instances never pass through
+		// remote dedup, so restoreEntry's Dedup-seeding cannot reach the
+		// receiver's ordering cursors. Seed them from the sender's
+		// restored emit cursors instead: the first post-recovery packet
+		// on such a link carries exactly the checkpointed sequence.
+		for _, inst := range deadInsts {
+			for _, l := range inst.outs {
+				for _, d := range l.dests {
+					if d.local != nil && d.recv.engine == dead && d.recv.expect != nil {
+						d.recv.expect[d.streamID] = d.seq
+					}
+				}
+			}
+		}
 	}
 
 	// 9. Rebuild every severed link under a bumped recovery epoch and swap
@@ -804,9 +818,20 @@ func (s *Supervisor) rebuildInstances(dead *Engine, deadInsts []*instance) error
 				d.stage = nil
 				d.stageBytes = 0
 				d.seq = 0
-				d.buf = buffer.New(cfg.BufferSize, cfg.FlushInterval, d.flush)
+				nb := buffer.New(cfg.BufferSize, cfg.FlushInterval, d.flush)
+				// Publish the rebuilt buffer under rebuildMu: the QoS
+				// tick loop reads d.buf from its own goroutine.
+				j.rebuildMu.Lock()
+				d.buf = nb
+				j.rebuildMu.Unlock()
 				if rl := d.replay.Load(); rl != nil {
 					rl.reset() // regenerated output re-fills it
+				}
+				if j.qos != nil {
+					// Re-attach the probe, clear the fused flag, and drop
+					// the controller's memory of the link: it re-enters at
+					// level 0 like its freshly built buffer.
+					j.qos.rearm(d)
 				}
 			}
 		}

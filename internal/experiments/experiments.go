@@ -128,6 +128,18 @@ type RelayConfig struct {
 	// 1). With Lanes > 1 the instances round-robin across lanes, which is
 	// what lets the lane sweep scale past one core.
 	Parallelism int
+	// RateLimit, when positive, throttles the sender to that many
+	// packets/second (core.Throttle) — an offered-load source, as IoT
+	// gateways behave. Latency-target runs need it: a saturating source
+	// keeps every bounded queue full, and no batching knob can tune away
+	// standing-queue delay.
+	RateLimit float64
+	// LatencyTarget enables the adaptive QoS runtime with the given
+	// end-to-end sojourn goal (core.Config.LatencyTarget); zero leaves
+	// the job untargeted (static knobs, no controller).
+	LatencyTarget time.Duration
+	// QoSTick overrides the controller period (0: engine default).
+	QoSTick time.Duration
 	// RelayWorkNs busy-spins the relay processor per packet, simulating
 	// domain-specific processing logic (the paper's non-communication
 	// experiments use complex multi-stage jobs; without this, the
@@ -152,6 +164,12 @@ type RelayResult struct {
 	Switches    uint64 // context-switch equivalents on engine B (relay)
 	PoolHitRate float64
 	AllocPerPkt float64 // heap allocations per received packet
+
+	// QoS runtime outcome (zero when LatencyTarget was unset).
+	QoSEscalations uint64 // tuning-level increases the controller applied
+	QoSRelaxations uint64 // tuning-level decreases
+	ChainedLinks   int    // links fused at the end of the run
+	ChainDelivered uint64 // packets that rode a fused direct call
 }
 
 // relaySpec builds the Fig. 1 graph with par parallel relay/receiver
@@ -203,6 +221,10 @@ func RunRelay(cfg RelayConfig) (RelayResult, error) {
 		ecfg.OutLowWatermark = cfg.OutLowWatermark
 	}
 	ecfg.Lanes = cfg.Lanes
+	ecfg.LatencyTarget = cfg.LatencyTarget
+	if cfg.QoSTick > 0 {
+		ecfg.QoSTick = cfg.QoSTick
+	}
 	eA, err := core.NewEngine("A", ecfg)
 	if err != nil {
 		return RelayResult{}, err
@@ -226,7 +248,7 @@ func RunRelay(cfg RelayConfig) (RelayResult, error) {
 	}
 	job.SetSource("sender", func(int) core.Source {
 		buf := make([]byte, cfg.MsgBytes)
-		return core.SourceFunc(func(ctx *core.OpContext) error {
+		var src core.Source = core.SourceFunc(func(ctx *core.OpContext) error {
 			if stop.Load() {
 				return io.EOF
 			}
@@ -235,6 +257,13 @@ func RunRelay(cfg RelayConfig) (RelayResult, error) {
 			p.AddBytes("payload", payloadFn(i, buf))
 			return ctx.EmitDefault(p)
 		})
+		if cfg.RateLimit > 0 {
+			// Burst sized to ~10 ms of tokens: the throttle sleeps one
+			// burst at a time, so a fixed small burst would cap the
+			// effective rate at burst-per-OS-timer-tick.
+			src = core.Throttle(cfg.RateLimit, int(cfg.RateLimit/100)+64, src)
+		}
+		return src
 	})
 	job.SetProcessor("relay", func(int) core.Processor {
 		return core.ProcessorFunc(func(ctx *core.OpContext, p *packet.Packet) error {
@@ -303,6 +332,12 @@ func RunRelay(cfg RelayConfig) (RelayResult, error) {
 	res.BatchesOut = eA.Metrics().Counter("batches_out").Value()
 	res.Switches = eB.ContextSwitches()
 	res.PoolHitRate = eA.PacketPoolStats().HitRate()
+	if qh := job.LatencyHealth(); qh.Enabled {
+		res.QoSEscalations = qh.Escalations
+		res.QoSRelaxations = qh.Relaxations
+		res.ChainedLinks = qh.ChainedLinks
+		res.ChainDelivered = qh.ChainDelivered
+	}
 	return res, nil
 }
 

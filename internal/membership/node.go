@@ -478,9 +478,11 @@ func (n *Node) Deliver(m control.Message) {
 		n.view.Apply(m.Origin, "", StateLeft, m.Epoch, now)
 		n.det.Forget(m.Origin)
 	case control.KindEpochHello, control.KindWatermarkAdvertise,
-		control.KindCreditGrant, control.KindBarrierMarker:
-		// Link identity, flow control, and checkpoint markers are not
-		// membership evidence; a node deliberately ignores them.
+		control.KindCreditGrant, control.KindBarrierMarker,
+		control.KindLatencyReport:
+		// Link identity, flow control, checkpoint markers, and QoS
+		// latency telemetry are not membership evidence; a node
+		// deliberately ignores them.
 	}
 }
 

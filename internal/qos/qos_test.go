@@ -1,0 +1,207 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// tickDriver drives a Controller on a fake clock: the controller itself
+// is clock-free (pure tick-driven), so the ManualClock stands in for the
+// engine's ticker and every test below is fully deterministic.
+type tickDriver struct {
+	c     *Controller
+	clock *metrics.ManualClock
+}
+
+func newDriver(cfg Config) *tickDriver {
+	return &tickDriver{
+		c:     New(cfg),
+		clock: metrics.NewManualClock(time.Unix(0, 0)),
+	}
+}
+
+// tick advances the fake clock one control period and feeds the sample.
+func (d *tickDriver) tick(id uint64, s Sample) Action {
+	d.clock.Advance(d.c.Config().Tick)
+	return d.c.Tick(id, s)
+}
+
+func TestControllerEscalatesAfterHotStreak(t *testing.T) {
+	d := newDriver(Config{Target: 10 * time.Millisecond, HotTicks: 2, Ewma: 1})
+	hot := Sample{P50: 8 * time.Millisecond, P99: 30 * time.Millisecond, Packets: 100}
+
+	a := d.tick(1, hot)
+	if a.LevelChanged || a.Level != 0 {
+		t.Fatalf("one hot tick must not escalate, got %+v", a)
+	}
+	a = d.tick(1, hot)
+	if !a.LevelChanged || a.Level != 1 {
+		t.Fatalf("second consecutive hot tick must escalate to level 1, got %+v", a)
+	}
+	// Streak resets after acting: the next single hot tick is not enough.
+	a = d.tick(1, hot)
+	if a.LevelChanged {
+		t.Fatalf("streak must reset after escalation, got %+v", a)
+	}
+}
+
+func TestControllerDeadbandHoldsLevel(t *testing.T) {
+	d := newDriver(Config{Target: 10 * time.Millisecond, HotTicks: 1, SlackTicks: 2, SlackFraction: 0.5, Ewma: 1})
+	// Escalate once.
+	if a := d.tick(1, Sample{P99: 20 * time.Millisecond}); !a.LevelChanged || a.Level != 1 {
+		t.Fatalf("want escalation, got %+v", a)
+	}
+	// p99 inside [5ms, 10ms]: neither hot nor slack — level holds.
+	inside := Sample{P99: 7 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		if a := d.tick(1, inside); a.LevelChanged {
+			t.Fatalf("tick %d: deadband must hold the level, got %+v", i, a)
+		}
+	}
+}
+
+func TestControllerRelaxesSlowerThanItEscalates(t *testing.T) {
+	d := newDriver(Config{Target: 10 * time.Millisecond, HotTicks: 1, SlackTicks: 3, Ewma: 1})
+	if a := d.tick(1, Sample{P99: 50 * time.Millisecond}); a.Level != 1 {
+		t.Fatalf("want level 1, got %+v", a)
+	}
+	slack := Sample{P99: time.Millisecond}
+	for i := 0; i < 2; i++ {
+		if a := d.tick(1, slack); a.LevelChanged {
+			t.Fatalf("slack tick %d of 3 must not relax yet, got %+v", i+1, a)
+		}
+	}
+	if a := d.tick(1, slack); !a.LevelChanged || a.Level != 0 {
+		t.Fatalf("third slack tick must relax to 0, got %+v", a)
+	}
+	cnt := d.c.Counters()
+	if cnt.Escalations != 1 || cnt.Relaxations != 1 {
+		t.Fatalf("counters: %+v", cnt)
+	}
+}
+
+func TestControllerNoThrashOnOscillation(t *testing.T) {
+	// Alternating hot/slack samples: both streaks keep resetting, so a
+	// controller with HotTicks=2/SlackTicks=2 must never move.
+	d := newDriver(Config{Target: 10 * time.Millisecond, HotTicks: 2, SlackTicks: 2, Ewma: 1})
+	for i := 0; i < 40; i++ {
+		s := Sample{P99: 50 * time.Millisecond}
+		if i%2 == 1 {
+			s.P99 = time.Millisecond
+		}
+		if a := d.tick(1, s); a.LevelChanged {
+			t.Fatalf("tick %d: oscillating input thrashed the level: %+v", i, a)
+		}
+	}
+}
+
+func TestControllerClampsAtMaxLevel(t *testing.T) {
+	d := newDriver(Config{Target: time.Millisecond, HotTicks: 1, MaxLevel: 2, Ewma: 1})
+	hot := Sample{P99: time.Second}
+	var last Action
+	for i := 0; i < 10; i++ {
+		last = d.tick(1, hot)
+	}
+	if last.Level != 2 || last.LevelChanged {
+		t.Fatalf("level must clamp at MaxLevel=2, got %+v", last)
+	}
+}
+
+func TestControllerIdleDecayRelaxes(t *testing.T) {
+	// A link that goes idle (zero samples) must shed its latency bias:
+	// the EWMA decays toward zero, which reads as slack.
+	d := newDriver(Config{Target: 10 * time.Millisecond, HotTicks: 1, SlackTicks: 2, Ewma: 0.5})
+	d.tick(1, Sample{P99: 100 * time.Millisecond})
+	if _, _, level := d.c.Smoothed(1); level != 1 {
+		t.Fatalf("want level 1 after hot tick, got %d", level)
+	}
+	relaxed := false
+	for i := 0; i < 20; i++ {
+		if a := d.tick(1, Sample{}); a.LevelChanged && a.Level == 0 {
+			relaxed = true
+			break
+		}
+	}
+	if !relaxed {
+		t.Fatal("idle link never shed its latency bias")
+	}
+}
+
+func TestControllerChainsAfterQuietStreak(t *testing.T) {
+	d := newDriver(Config{ChainBelowPktsPerSec: 1000, ChainTicks: 3, Tick: 100 * time.Millisecond})
+	quiet := Sample{Packets: 10, Chainable: true} // 100 pkts/s
+	for i := 0; i < 2; i++ {
+		if a := d.tick(1, quiet); a.Chain {
+			t.Fatalf("quiet tick %d of 3 must not chain yet", i+1)
+		}
+	}
+	if a := d.tick(1, quiet); !a.Chain {
+		t.Fatal("third quiet tick must request fusion")
+	}
+	// A busy tick resets the streak.
+	busy := Sample{Packets: 1000, Chainable: true} // 10k pkts/s
+	d.tick(2, quiet)
+	d.tick(2, quiet)
+	if a := d.tick(2, busy); a.Chain {
+		t.Fatal("busy tick must not chain")
+	}
+	if a := d.tick(2, quiet); a.Chain {
+		t.Fatal("streak must restart after a busy tick")
+	}
+}
+
+func TestControllerUnchainHysteresisBand(t *testing.T) {
+	d := newDriver(Config{ChainBelowPktsPerSec: 1000, UnchainFactor: 2, Tick: 100 * time.Millisecond})
+	// Chained link at 1500 pkts/s: above the chain threshold but below
+	// the 2x unchain threshold — must stay fused (hysteresis band).
+	mid := Sample{Packets: 150, Chained: true}
+	for i := 0; i < 10; i++ {
+		if a := d.tick(1, mid); a.Unchain {
+			t.Fatal("rate inside the hysteresis band must not unchain")
+		}
+	}
+	// 3000 pkts/s crosses the unchain threshold: break immediately.
+	if a := d.tick(1, Sample{Packets: 300, Chained: true}); !a.Unchain {
+		t.Fatal("rate above UnchainFactor*ChainBelow must unchain at once")
+	}
+	// A link that is not chainable never gets fusion requests.
+	if a := d.tick(2, Sample{Packets: 0}); a.Chain {
+		t.Fatal("non-chainable link must never chain")
+	}
+}
+
+func TestKnobsHalvePerLevelAndClamp(t *testing.T) {
+	capacity, delay, floor := Knobs(0, 64<<10, 10*time.Millisecond, 4<<10)
+	if capacity != 64<<10 || delay != 10*time.Millisecond || floor != 4<<10 {
+		t.Fatalf("level 0 must be the baseline, got %d %v %d", capacity, delay, floor)
+	}
+	capacity, delay, floor = Knobs(2, 64<<10, 10*time.Millisecond, 4<<10)
+	if capacity != 16<<10 || delay != 2500*time.Microsecond || floor != 1<<10 {
+		t.Fatalf("level 2 must quarter the knobs, got %d %v %d", capacity, delay, floor)
+	}
+	capacity, delay, floor = Knobs(30, 64<<10, 10*time.Millisecond, 4<<10)
+	if capacity != 1 || floor != 1 {
+		t.Fatalf("extreme level must clamp capacity/floor to 1, got %d %d", capacity, floor)
+	}
+	if delay < 100*time.Microsecond {
+		t.Fatalf("delay must clamp at 100µs, got %v", delay)
+	}
+	// Timer-disabled baseline stays disabled at every level.
+	if _, delay, _ = Knobs(3, 1024, 0, 1024); delay != 0 {
+		t.Fatalf("disabled timer must stay disabled, got %v", delay)
+	}
+}
+
+func TestControllerForgetDropsState(t *testing.T) {
+	d := newDriver(Config{Target: 10 * time.Millisecond, HotTicks: 1, Ewma: 1})
+	d.tick(7, Sample{P99: time.Second})
+	if _, _, level := d.c.Smoothed(7); level != 1 {
+		t.Fatalf("want level 1, got %d", level)
+	}
+	d.c.Forget(7)
+	if p50, p99, level := d.c.Smoothed(7); level != 0 || p50 != 0 || p99 != 0 {
+		t.Fatalf("forgotten link must read as fresh, got %v %v %d", p50, p99, level)
+	}
+}

@@ -41,6 +41,12 @@ type TCP struct {
 	// they carried; their ratio is the achieved coalescing factor.
 	gatherWrites atomic.Uint64
 	gatherFrames atomic.Uint64
+	// coalesceFloor is the lower bound of the adaptive gather budget.
+	// It was the minGatherBytes constant until the QoS controller
+	// (DESIGN §16) needed to own it per link: a latency-targeted link
+	// drops the floor so small frames stop pooling into large writevs,
+	// an untargeted link keeps the throughput-tuned default.
+	coalesceFloor atomic.Int64
 
 	//neptune:lock tcp
 	mu      sync.Mutex
@@ -56,10 +62,11 @@ const (
 	// IOV_MAX (1024) while still amortizing the syscall up to 64x under
 	// backlog.
 	maxGatherFrames = 64
-	// minGatherBytes floors the adaptive coalescing budget: a lone small
-	// frame is never delayed to wait for peers, it just goes out in an
-	// under-filled writev.
-	minGatherBytes = 4 << 10
+	// DefaultCoalesceFloor is the initial floor of the adaptive
+	// coalescing budget: a lone small frame is never delayed to wait for
+	// peers, it just goes out in an under-filled writev. The QoS
+	// controller may lower it per link via SetCoalesceFloor.
+	DefaultCoalesceFloor = 4 << 10
 )
 
 // TCPOptions configures a TCP transport endpoint.
@@ -108,6 +115,7 @@ func NewTCP(conn net.Conn, handler Handler, opts TCPOptions) (*TCP, error) {
 		_ = tc.SetNoDelay(true) //neptune:discarderr best-effort socket tuning; the link works without TCP_NODELAY
 	}
 	t := &TCP{conn: conn, handler: handler, queue: q, onError: opts.OnError}
+	t.coalesceFloor.Store(DefaultCoalesceFloor)
 	t.wgWrite.Add(1)
 	go t.writeLoop(opts.WriteBufferSize)
 	if handler != nil {
@@ -290,6 +298,19 @@ func (t *TCP) GatherStats() (writes, frames uint64) {
 	return t.gatherWrites.Load(), t.gatherFrames.Load()
 }
 
+// SetCoalesceFloor retunes the lower bound of the adaptive gather budget
+// (minimum 1 byte). Lowering it trades syscall amortization for latency;
+// the write loop picks the new floor up on its next round.
+func (t *TCP) SetCoalesceFloor(bytes int) {
+	if bytes < 1 {
+		bytes = 1
+	}
+	t.coalesceFloor.Store(int64(bytes))
+}
+
+// CoalesceFloor reports the current gather-budget floor.
+func (t *TCP) CoalesceFloor() int { return int(t.coalesceFloor.Load()) }
+
 // writeLoop drains the outbound queue with vectored gather-writes: each
 // round pops a run of frames, lays their headers out in a fixed arena,
 // and hands header/payload pairs to net.Buffers.WriteTo (writev on
@@ -298,7 +319,7 @@ func (t *TCP) GatherStats() (writes, frames uint64) {
 // (the regime the flow-signal telemetry advertises upstream) doubles the
 // budget up to the configured write-buffer size, amortizing syscalls
 // exactly when the link is saturated; an emptied queue halves it back
-// toward minGatherBytes so a trickle of lone frames never waits.
+// toward the coalescing floor so a trickle of lone frames never waits.
 // Owned payloads are released — returned to their pool — only after the
 // vectored write that carried them returns, preserving the InFlight and
 // replay-journal invariants of the copying path.
@@ -309,7 +330,7 @@ func (t *TCP) writeLoop(bufSize int) {
 		batch [maxGatherFrames]Frame
 		arena = make(net.Buffers, 0, 2*maxGatherFrames)
 	)
-	target := minGatherBytes
+	target := int(t.coalesceFloor.Load())
 	if bufSize < target {
 		target = bufSize
 	}
@@ -337,13 +358,15 @@ func (t *TCP) writeLoop(bufSize int) {
 			}
 		}
 		// Adapt the budget before writing: still-backlogged means grow,
-		// drained means decay.
+		// drained means decay. The floor is re-read each round so a QoS
+		// retune takes effect on the next write, not the next connection.
+		floor := int(t.coalesceFloor.Load())
 		if t.queue.Len() > 0 {
 			if target < bufSize {
 				target = min(target*2, bufSize)
 			}
-		} else if target > minGatherBytes {
-			target = max(target/2, minGatherBytes)
+		} else if target > floor {
+			target = max(target/2, floor)
 		}
 		// WriteTo consumes from the slice it is given; write through a
 		// copy of the header so the arena's backing array survives reuse.

@@ -106,6 +106,13 @@ type (
 	// counters (valve closures, watermark advertisements, source holds);
 	// see Job.FlowHealth and Config.FlowSignals.
 	FlowHealth = core.FlowHealth
+	// LatencyHealth aggregates the adaptive QoS runtime's state —
+	// per-link smoothed p50/p99, tuning levels, operator-chaining
+	// activity, controller action tallies; see Job.LatencyHealth and
+	// Config.LatencyTarget.
+	LatencyHealth = core.LatencyHealth
+	// LinkLatency is one link's entry in a LatencyHealth snapshot.
+	LinkLatency = core.LinkLatency
 	// CheckpointStore persists encoded checkpoint snapshots.
 	CheckpointStore = checkpoint.Store
 )

@@ -16,13 +16,20 @@
 #   CPUS=1,2,4 scripts/bench.sh multicore
 #
 # which emits BENCH_<date>_multicore.json including the
-# BenchmarkHeadlineMulticore lane sweep.
+# BenchmarkHeadlineMulticore lane sweep. QOS=1 adds the adaptive-QoS
+# latency-target sweep (BenchmarkLatencyTargetSweep: the untargeted
+# headline vs closed-loop 50 ms and 10 ms targets; each run records
+# p50-lat-µs/p99-lat-µs plus the controller's escalation and chaining
+# activity); the targeted runs are 5 s each, so budget extra wall time:
+#
+#   QOS=1 scripts/bench.sh qos
 set -eu
 cd "$(dirname "$0")/.."
 
 label="${1:-}"
 benchtime="${BENCHTIME:-1s}"
 cpus="${CPUS:-}"
+qos="${QOS:-}"
 date_tag=$(date +%Y-%m-%d)
 out="BENCH_${date_tag}${label:+_$label}.json"
 raw=$(mktemp)
@@ -46,6 +53,11 @@ run_bench() {
 run_bench 'BenchmarkSchedulerContention|BenchmarkSubmitLatency' ./internal/granules
 run_bench 'BenchmarkDispatch' ./internal/core
 run_bench 'BenchmarkHeadlineSingleNode|BenchmarkHeadlineMulticore|BenchmarkTable1ContextSwitches' .
+
+# Optional adaptive-QoS latency-target sweep (see header).
+if [ -n "$qos" ]; then
+    run_bench 'BenchmarkLatencyTargetSweep' .
+fi
 
 {
     printf '{\n'

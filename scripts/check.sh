@@ -58,6 +58,16 @@ echo "== membership churn soak =="
 # reachability. Run un-short so all six rounds execute.
 go test -race -run 'TestMembershipChurnSoak' -count=1 ./internal/membership
 
+echo "== QoS acceptance (10ms target) =="
+# The adaptive QoS runtime's closed loop (DESIGN §16): a job with
+# deliberately latency-hostile static knobs must be retuned until a
+# trafficked link's smoothed p99 sojourn meets a 10 ms target, the
+# fusion lifecycle must demonstrably remove the buffer hop, and
+# exactly-once must survive an engine kill while a link is fused.
+go test -race -count=1 \
+    -run 'TestQoSLatencyTargetAcceptance|TestQoSChainsQuietLinkThenUnchains|TestQoSChainSurvivesCrashExactlyOnce' \
+    ./internal/core
+
 echo "== bench smoke =="
 # A fixed 100 iterations per benchmark: catches benches that crash, hang,
 # or fail their internal quiesce checks, without measuring anything.
